@@ -1,0 +1,70 @@
+//! Microbenchmarks of the functional units: NPU single-step update, DCU
+//! decay, and the double-precision reference for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use izhi_core::dcu::Dcu;
+use izhi_core::nmregs::{HStep, NmRegs};
+use izhi_core::npu::NpUnit;
+use izhi_core::params::IzhParams;
+use izhi_core::reference::ReferenceNeuron;
+use izhi_fixed::qformat::pack_vu;
+use izhi_fixed::{Q15_16, Q7_8};
+
+fn bench_npu(c: &mut Criterion) {
+    let mut regs = NmRegs::default();
+    regs.load_params(&IzhParams::regular_spiking());
+    regs.set_h(HStep::Half);
+    let mut group = c.benchmark_group("npu");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("update_vu_word", |b| {
+        let mut vu = pack_vu(Q7_8::from_f64(-65.0), Q7_8::from_f64(-13.0));
+        let i = Q15_16::from_f64(10.0);
+        b.iter(|| {
+            let out = NpUnit::update(&regs, black_box(vu), black_box(i));
+            vu = out.vu;
+            black_box(out.spike)
+        })
+    });
+    group.bench_function("update_parts", |b| {
+        let mut v = Q7_8::from_f64(-65.0);
+        let mut u = Q7_8::from_f64(-13.0);
+        let i = Q15_16::from_f64(10.0);
+        b.iter(|| {
+            let (v2, u2, s) = NpUnit::update_parts(&regs, black_box(v), black_box(u), i);
+            v = v2;
+            u = u2;
+            black_box(s)
+        })
+    });
+    group.bench_function("f64_reference_step", |b| {
+        let mut n = ReferenceNeuron::new(IzhParams::regular_spiking());
+        b.iter(|| black_box(n.step(0.5, black_box(10.0))))
+    });
+    group.finish();
+}
+
+fn bench_dcu(c: &mut Criterion) {
+    let mut regs = NmRegs::default();
+    regs.set_h(HStep::Half);
+    let mut group = c.benchmark_group("dcu");
+    group.throughput(Throughput::Elements(1));
+    for tau in [2u32, 7] {
+        group.bench_function(format!("decay_tau{tau}"), |b| {
+            let mut i = Q15_16::from_f64(1000.0);
+            b.iter(|| {
+                i = Dcu::decay(&regs, black_box(i), tau);
+                if i.raw() == 0 {
+                    i = Q15_16::from_f64(1000.0);
+                }
+                black_box(i)
+            })
+        });
+    }
+    group.bench_function("approx_div7", |b| {
+        b.iter(|| black_box(Dcu::approx_div(black_box(Q15_16::from_f64(123.456)), 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_npu, bench_dcu);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Simulator microbenchmarks: raw interpreter throughput (simulated
+//! instructions per second) on representative instruction mixes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use izhi_isa::Assembler;
+use izhi_sim::{System, SystemConfig};
+
+/// Build a system running `body` in a counted loop of `iters` iterations.
+fn run_loop(body: &str, iters: u32) -> u64 {
+    let src = format!(
+        "
+        _start: li   s0, {iters}
+        loop:   {body}
+                addi s0, s0, -1
+                bnez s0, loop
+                ebreak
+        "
+    );
+    let prog = Assembler::new().assemble(&src).unwrap();
+    let mut sys = System::new(SystemConfig::default());
+    sys.load_program(&prog);
+    let exit = sys.run(u64::MAX).unwrap();
+    exit.instret
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mixes = [
+        ("alu", "add t0, t1, t2\n xor t3, t0, t1\n slli t4, t3, 3\n"),
+        ("mul_div", "mul t0, t1, t2\n div t3, t0, t2\n"),
+        (
+            "scratch_mem",
+            "li t5, 0x10000000\n sw t0, (t5)\n lw t1, (t5)\n lw t2, 4(t5)\n",
+        ),
+        (
+            "nm_kernel",
+            "li a6, 0x01990029\n li a7, 0x4000BF00\n nmldl x0, a6, a7\n \
+             li t5, 0x10000000\n lw a6, (t5)\n add a2, x0, t5\n li a7, 0xA0000\n \
+             nmpn a2, a6, a7\n nmdec a3, a7, a2\n",
+        ),
+    ];
+    let mut group = c.benchmark_group("interpreter");
+    for (name, body) in mixes {
+        // Measure simulated instructions per host second.
+        let instret = run_loop(body, 1000);
+        group.throughput(Throughput::Elements(instret));
+        group.bench_function(format!("mix_{name}"), |b| {
+            b.iter(|| black_box(run_loop(black_box(body), 1000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicore(c: &mut Criterion) {
+    let src = "
+        _start: li   t0, 0xF0000004
+                lw   t1, (t0)          # core id
+                li   s0, 2000
+        loop:   addi s0, s0, -1
+                bnez s0, loop
+                li   t4, 0xF0000010    # barrier
+                lw   t5, (t4)
+                sw   x0, (t4)
+        spin:   lw   t6, (t4)
+                beq  t6, t5, spin
+                ebreak
+    ";
+    let prog = Assembler::new().assemble(src).unwrap();
+    let mut group = c.benchmark_group("multicore");
+    for cores in [1u32, 2, 4, 8] {
+        group.bench_function(format!("{cores}_cores_barrier"), |b| {
+            b.iter(|| {
+                let mut sys = System::new(SystemConfig::with_cores(cores));
+                sys.load_program(&prog);
+                black_box(sys.run(10_000_000).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_multicore);
+criterion_main!(benches);

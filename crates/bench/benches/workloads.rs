@@ -1,0 +1,118 @@
+//! Workload-level benches: one per table/figure of the evaluation, at
+//! reduced scale so `cargo bench` completes in minutes. The `tables`
+//! binary regenerates the full-scale numbers.
+//!
+//! * `table5_8020_{1,2}core` — the 80-20 network (Table V)
+//! * `table6_sudoku_{1,2}core` — the Sudoku WTA workload (Table VI)
+//! * `ablation_variants` — NPU vs base-fixed vs soft-float (§VI-C)
+//! * `fig3_host_simulators` — the double/fixed reference arms (Fig. 3)
+//! * `tables_347` — the analytical hardware models (Tables III/IV/VII)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use izhi_hw::asic::{AsicLibrary, AsicReport};
+use izhi_hw::fpga::{FpgaReport, FpgaTarget};
+use izhi_programs::engine::Variant;
+use izhi_programs::net8020::Net8020Workload;
+use izhi_programs::sudoku_prog::SudokuWorkload;
+use izhi_snn::gen8020::Net8020;
+use izhi_snn::simulate::{F64Simulator, FixedSimulator};
+use izhi_snn::sudoku::hard_corpus;
+
+fn bench_8020(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_8020");
+    group.sample_size(10);
+    for cores in [1u32, 2] {
+        group.bench_function(format!("{cores}core_100n_100ms"), |b| {
+            b.iter(|| {
+                let wl = Net8020Workload::sized(80, 20, 100, cores, 5, Variant::Npu);
+                black_box(wl.run().expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sudoku(c: &mut Criterion) {
+    let puzzle = hard_corpus(1)[0];
+    let mut group = c.benchmark_group("table6_sudoku");
+    group.sample_size(10);
+    for cores in [1u32, 2] {
+        group.bench_function(format!("{cores}core_100ms"), |b| {
+            b.iter(|| {
+                let wl = SudokuWorkload::new(puzzle, 100, cores, 42);
+                black_box(wl.run(50).expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_variants");
+    group.sample_size(10);
+    for variant in [Variant::Npu, Variant::BaseFixed, Variant::SoftFloat] {
+        group.bench_function(format!("{variant:?}_50n_50ms"), |b| {
+            b.iter(|| {
+                let wl = Net8020Workload::sized(40, 10, 50, 1, 5, variant);
+                black_box(wl.run().expect("run"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_host_sims(c: &mut Criterion) {
+    let net = Net8020::with_size(80, 20, 3);
+    let mut group = c.benchmark_group("fig3_host_simulators");
+    group.sample_size(10);
+    group.bench_function("f64_100n_100ms", |b| {
+        b.iter(|| {
+            let mut sim = F64Simulator::new(&net.network, 2, 1);
+            for i in 0..net.len() {
+                sim.noise_std[i] = if net.is_excitatory(i) { 5.0 } else { 2.0 };
+            }
+            black_box(sim.run(100))
+        })
+    });
+    group.bench_function("fixed_100n_100ms", |b| {
+        b.iter(|| {
+            let mut sim = FixedSimulator::new(&net.network, 2, 1);
+            for i in 0..net.len() {
+                sim.noise_std[i] = if net.is_excitatory(i) { 5.0 } else { 2.0 };
+            }
+            black_box(sim.run(100))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hw_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_347_hw_models");
+    group.bench_function("table3_max10", |b| {
+        b.iter(|| black_box(FpgaReport::for_cores(FpgaTarget::Max10, 2)))
+    });
+    group.bench_function("table4_agilex_sweep", |b| {
+        b.iter(|| {
+            for n in [16, 32, 64] {
+                black_box(FpgaReport::for_cores(FpgaTarget::Agilex7, n));
+            }
+        })
+    });
+    group.bench_function("table7_asic_both_libs", |b| {
+        b.iter(|| {
+            black_box(AsicReport::generate(AsicLibrary::FreePdk45));
+            black_box(AsicReport::generate(AsicLibrary::Asap7))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_8020,
+    bench_sudoku,
+    bench_variants,
+    bench_host_sims,
+    bench_hw_models
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! # izhi-core — the IzhiRISC-V neuromorphic functional units
+//!
+//! This crate implements the paper's primary contribution at the functional
+//! level: the semantics of the four custom-0 instructions (`nmldl`, `nmldh`,
+//! `nmpn`, `nmdec`) and the two hardware units behind them:
+//!
+//! * **NPU** (Neuron Processing Unit): a single-cycle forward-Euler update
+//!   of the 4-parameter Izhikevich model in signed fixed point
+//!   ([`npu::NpUnit`]). The arithmetic follows the VHDL design: Q7.8 state,
+//!   Q4.11 parameters, Q15.16 synaptic current, a variable-width internal
+//!   accumulator, and a final round-saturate resize back to Q7.8.
+//! * **DCU** (Decay Unit): AMPA-like exponential decay of the synaptic
+//!   current approximated with a bit-shift division array ([`dcu::Dcu`]).
+//!
+//! Both units read their static configuration (Izhikevich `a,b,c,d`, the
+//! hardware timestep `h ∈ {0.5 ms, 0.125 ms}`, and the `pin` clamp bit) from
+//! the NM_REGS block ([`nmregs::NmRegs`]), loaded by the configuration
+//! instructions.
+//!
+//! The same functions are used by the instruction-set simulator (`izhi-sim`)
+//! to execute guest `nmpn`/`nmdec` instructions and by the host-side SNN
+//! library (`izhi-snn`) for its fixed-point software simulator, so the
+//! "fixed-point MATLAB" and "IzhiRISC-V" traces of the paper's Fig. 3 are
+//! bit-identical by construction where the paper only shows them to be
+//! statistically similar.
+//!
+//! A double-precision reference implementation ([`reference`](mod@reference)) reproduces
+//! the "MATLAB double" arm of the comparison.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use izhi_core::nmregs::{HStep, NmRegs};
+//! use izhi_core::npu::NpUnit;
+//! use izhi_core::params::IzhParams;
+//! use izhi_fixed::qformat::pack_vu;
+//! use izhi_fixed::{Q15_16, Q7_8};
+//!
+//! // Regular-spiking neuron, 0.5 ms hardware step, no pin clamp.
+//! let mut regs = NmRegs::default();
+//! regs.load_params(&IzhParams::regular_spiking());
+//! regs.set_h(HStep::Half);
+//!
+//! let mut vu = pack_vu(Q7_8::from_f64(-65.0), Q7_8::from_f64(-13.0));
+//! let input = Q15_16::from_f64(10.0);
+//! for _ in 0..2000 {
+//!     let out = NpUnit::update(&regs, vu, input);
+//!     vu = out.vu;
+//!     if out.spike {
+//!         // the neuron fired this timestep
+//!     }
+//! }
+//! ```
+
+pub mod dcu;
+pub mod izh9;
+pub mod nmregs;
+pub mod npu;
+pub mod params;
+pub mod reference;
+
+pub use dcu::Dcu;
+pub use nmregs::{HStep, NmRegs};
+pub use npu::{NpUnit, NpuOutput};
+pub use params::IzhParams;
+pub use reference::ReferenceNeuron;
+
+/// Firing threshold of the Izhikevich model in millivolts (30 mV).
+pub const V_THRESHOLD_MV: f64 = 30.0;

@@ -1,0 +1,167 @@
+//! NM_REGS — the neuromorphic configuration register block.
+//!
+//! Figure 1 of the paper shows a small register file ("NM REGS") feeding the
+//! NPU and DCU. It is loaded by the two configuration instructions:
+//!
+//! * `nmldl rd, rs1, rs2` — loads the Izhikevich parameters:
+//!   rs1 = {b\[31:16\] (Q4.11), a\[15:0\] (Q4.11)},
+//!   rs2 = {d\[31:16\] (Q4.11), c\[15:0\] (Q7.8)}; rd receives 1 ("OK").
+//! * `nmldh rd, rs1, rs2` — rs1 bit 0 selects the hardware timestep
+//!   (`0` → 0.5 ms, `1` → 0.125 ms), bit 1 sets the `pin` flag that clamps
+//!   the membrane voltage at the reset potential; rd receives 1.
+
+use crate::params::FixedIzhParams;
+
+/// Hardware integration timestep selected by `nmldh`.
+///
+/// Both values are negative powers of two so the NPU multiplies by `h` with
+/// an arithmetic shift instead of a divider (§V-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HStep {
+    /// 0.5 ms: multiply-by-h is a right shift by 1.
+    #[default]
+    Half,
+    /// 0.125 ms: multiply-by-h is a right shift by 3.
+    Eighth,
+}
+
+impl HStep {
+    /// The right-shift amount implementing multiplication by `h`.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            HStep::Half => 1,
+            HStep::Eighth => 3,
+        }
+    }
+
+    /// Timestep in milliseconds.
+    #[inline]
+    pub const fn millis(self) -> f64 {
+        match self {
+            HStep::Half => 0.5,
+            HStep::Eighth => 0.125,
+        }
+    }
+
+    /// Decode from the `h` bit of the `nmldh` rs1 operand.
+    #[inline]
+    pub const fn from_bit(bit: bool) -> Self {
+        if bit {
+            HStep::Eighth
+        } else {
+            HStep::Half
+        }
+    }
+
+    /// Encode to the `h` bit of the `nmldh` rs1 operand.
+    #[inline]
+    pub const fn to_bit(self) -> bool {
+        matches!(self, HStep::Eighth)
+    }
+}
+
+/// The NM_REGS configuration block shared by the NPU and DCU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NmRegs {
+    /// Quantised Izhikevich parameters (loaded by `nmldl`).
+    pub params: FixedIzhParams,
+    /// Hardware timestep (loaded by `nmldh`, bit 0).
+    pub h: HStep,
+    /// Pin-voltage flag (loaded by `nmldh`, bit 1): when set, the NPU clamps
+    /// `v` at the reset potential `c` from below, suppressing the model's
+    /// rebound property (§V-B; needed for Sudoku convergence).
+    pub pin: bool,
+}
+
+impl NmRegs {
+    /// Execute the `nmldl` semantics: latch parameters, return the OK flag.
+    pub fn exec_nmldl(&mut self, rs1: u32, rs2: u32) -> u32 {
+        self.params = FixedIzhParams::unpack(rs1, rs2);
+        1
+    }
+
+    /// Execute the `nmldh` semantics: latch h/pin bits, return the OK flag.
+    pub fn exec_nmldh(&mut self, rs1: u32) -> u32 {
+        self.h = HStep::from_bit(rs1 & 0b01 != 0);
+        self.pin = rs1 & 0b10 != 0;
+        1
+    }
+
+    /// Host-side convenience: load double-precision parameters, quantising.
+    pub fn load_params(&mut self, p: &crate::params::IzhParams) {
+        self.params = p.quantize();
+    }
+
+    /// Host-side convenience: set the timestep directly.
+    pub fn set_h(&mut self, h: HStep) {
+        self.h = h;
+    }
+
+    /// Host-side convenience: set the pin flag directly.
+    pub fn set_pin(&mut self, pin: bool) {
+        self.pin = pin;
+    }
+
+    /// Encode the rs1 operand for `nmldh` reproducing this configuration.
+    pub fn encode_nmldh_rs1(&self) -> u32 {
+        (self.h.to_bit() as u32) | ((self.pin as u32) << 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::IzhParams;
+
+    #[test]
+    fn hstep_shift_values() {
+        assert_eq!(HStep::Half.shift(), 1);
+        assert_eq!(HStep::Eighth.shift(), 3);
+        assert_eq!(HStep::Half.millis(), 0.5);
+        assert_eq!(HStep::Eighth.millis(), 0.125);
+    }
+
+    #[test]
+    fn hstep_bit_roundtrip() {
+        for h in [HStep::Half, HStep::Eighth] {
+            assert_eq!(HStep::from_bit(h.to_bit()), h);
+        }
+    }
+
+    #[test]
+    fn nmldl_latches_parameters() {
+        let mut regs = NmRegs::default();
+        let q = IzhParams::regular_spiking().quantize();
+        let (rs1, rs2) = q.pack();
+        let ok = regs.exec_nmldl(rs1, rs2);
+        assert_eq!(ok, 1);
+        assert_eq!(regs.params, q);
+    }
+
+    #[test]
+    fn nmldh_latches_h_and_pin() {
+        let mut regs = NmRegs::default();
+        assert_eq!(regs.exec_nmldh(0b11), 1);
+        assert_eq!(regs.h, HStep::Eighth);
+        assert!(regs.pin);
+        regs.exec_nmldh(0b00);
+        assert_eq!(regs.h, HStep::Half);
+        assert!(!regs.pin);
+        // Reserved bits are ignored.
+        regs.exec_nmldh(0xFFFF_FF00);
+        assert_eq!(regs.h, HStep::Half);
+        assert!(!regs.pin);
+    }
+
+    #[test]
+    fn nmldh_rs1_encode_roundtrip() {
+        let mut a = NmRegs::default();
+        a.set_h(HStep::Eighth);
+        a.set_pin(true);
+        let mut b = NmRegs::default();
+        b.exec_nmldh(a.encode_nmldh_rs1());
+        assert_eq!(a.h, b.h);
+        assert_eq!(a.pin, b.pin);
+    }
+}

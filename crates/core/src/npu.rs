@@ -1,0 +1,293 @@
+//! NPU — the Neuron Processing Unit.
+//!
+//! Implements the single-cycle forward-Euler Izhikevich update behind the
+//! `nmpn` instruction (Eq. 3 of the paper):
+//!
+//! ```text
+//! spike = (v >= 30 mV)                      // threshold test
+//! if spike { v <- c; u <- u + d }           // post-spike reset (Eq. 2)
+//! dv = 0.04 v^2 + 5 v + 140 - u + Isyn
+//! du = a (b v - u)
+//! v' = v + h * dv                           // h multiply is a right shift
+//! u' = u + h * du
+//! if pin && v' < c { v' = c }               // optional rebound clamp
+//! ```
+//!
+//! The threshold/reset ordering follows Izhikevich's original MATLAB
+//! implementation (reset *then* integrate within the same timestep), which
+//! the paper reproduces on hardware. All arithmetic uses the variable-width
+//! accumulator (`izhi_fixed::Wide`) exactly as the VHDL `sfixed` datapath
+//! does, with one final round-saturate resize back to Q7.8 per variable.
+
+use crate::nmregs::NmRegs;
+use izhi_fixed::qformat::{pack_vu, unpack_vu};
+use izhi_fixed::{Q15_16, Q7_8, ResizeMode, Wide};
+
+/// Fractional bits used for the 0.04 constant inside the datapath. 18 bits
+/// give |0.04 - round(0.04*2^18)/2^18| < 2^-19, far below the Q7.8 output
+/// resolution.
+const C004_FRAC: u32 = 18;
+/// 0.04 in Q*.18 (raw mantissa).
+const C004_RAW: i64 = 10486; // round(0.04 * 2^18)
+
+/// Firing threshold 30 mV in Q7.8.
+pub const V_TH_Q7_8: Q7_8 = Q7_8::from_raw(30 << 8);
+
+/// Result of one `nmpn` execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpuOutput {
+    /// Updated VU word (v in bits 31..16, u in bits 15..0, both Q7.8).
+    pub vu: u32,
+    /// Whether the neuron fired in this timestep.
+    pub spike: bool,
+}
+
+/// The Neuron Processing Unit. Stateless: all state lives in [`NmRegs`] and
+/// the VU word, mirroring the combinational RTL block.
+pub struct NpUnit;
+
+impl NpUnit {
+    /// Execute one `nmpn` update on a packed VU word.
+    #[inline]
+    pub fn update(regs: &NmRegs, vu: u32, isyn: Q15_16) -> NpuOutput {
+        let (v, u) = unpack_vu(vu);
+        let (v2, u2, spike) = Self::update_parts(regs, v, u, isyn);
+        NpuOutput { vu: pack_vu(v2, u2), spike }
+    }
+
+    /// Execute one update on unpacked state; returns `(v', u', spike)`.
+    pub fn update_parts(regs: &NmRegs, v: Q7_8, u: Q7_8, isyn: Q15_16) -> (Q7_8, Q7_8, bool) {
+        let p = regs.params;
+        let shift = regs.h.shift();
+
+        // Threshold test and post-spike reset (Eq. 2), before integration,
+        // as in the original MATLAB reference.
+        let spike = v >= V_TH_Q7_8;
+        let (v, u) = if spike {
+            let u_reset = u.widen().add(p.d.widen()).to_q7_8(ResizeMode::RoundSaturate);
+            (p.c, u_reset)
+        } else {
+            (v, u)
+        };
+
+        let vw = v.widen(); // q8
+        let uw = u.widen(); // q8
+        let iw = isyn.widen(); // q16
+
+        // dv = 0.04 v^2 + 5 v + 140 - u + I   (accumulator grows to q34)
+        let v_sq = vw.mul(vw); // q16
+        let quad = Wide::new(C004_RAW, C004_FRAC).mul(v_sq); // q34
+        let dv = quad
+            .add(vw.mul_int(5))
+            .add(Wide::int(140))
+            .sub(uw)
+            .add(iw);
+
+        // du = a (b v - u)                    (q19 -> q30)
+        let bv = p.b.widen().mul(vw); // q19
+        let du = p.a.widen().mul(bv.sub(uw)); // q30
+
+        // Euler step: multiply by h via arithmetic right shift, then one
+        // round-saturate resize back to storage format.
+        let v_next = vw.add(dv.shr(shift)).to_q7_8(ResizeMode::RoundSaturate);
+        let u_next = uw.add(du.shr(shift)).to_q7_8(ResizeMode::RoundSaturate);
+
+        // Optional pin clamp: never let v fall below the reset potential.
+        let v_next = if regs.pin && v_next < p.c { p.c } else { v_next };
+
+        (v_next, u_next, spike)
+    }
+
+    /// The exact real-valued model the fixed-point datapath approximates,
+    /// including the quantised 0.04 constant and the reset-then-integrate
+    /// ordering, but with no rounding of intermediates. Used by tests to
+    /// bound the datapath's rounding error.
+    pub fn update_parts_exact(
+        regs: &NmRegs,
+        v: f64,
+        u: f64,
+        isyn: f64,
+    ) -> (f64, f64, bool) {
+        let p = regs.params.dequantize();
+        let h = regs.h.millis();
+        let spike = v >= 30.0;
+        let (v, u) = if spike { (p.c, u + p.d) } else { (v, u) };
+        let c004 = C004_RAW as f64 / (1u64 << C004_FRAC) as f64;
+        let dv = c004 * v * v + 5.0 * v + 140.0 - u + isyn;
+        let du = p.a * (p.b * v - u);
+        let mut v_next = v + h * dv;
+        let u_next = u + h * du;
+        if regs.pin && v_next < p.c {
+            v_next = p.c;
+        }
+        (v_next, u_next, spike)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmregs::HStep;
+    use crate::params::IzhParams;
+
+    fn rs_regs(h: HStep) -> NmRegs {
+        let mut regs = NmRegs::default();
+        regs.load_params(&IzhParams::regular_spiking());
+        regs.set_h(h);
+        regs
+    }
+
+    #[test]
+    fn c004_constant_accuracy() {
+        let c = C004_RAW as f64 / (1u64 << C004_FRAC) as f64;
+        assert!((c - 0.04).abs() < 1.0 / (1u64 << 19) as f64);
+    }
+
+    #[test]
+    fn resting_neuron_stays_at_rest() {
+        let regs = rs_regs(HStep::Half);
+        let p = IzhParams::regular_spiking();
+        let (v0, u0) = p.resting_state(0.0).unwrap();
+        let mut v = Q7_8::from_f64(v0);
+        let mut u = Q7_8::from_f64(u0);
+        for _ in 0..10_000 {
+            let (v2, u2, spike) = NpUnit::update_parts(&regs, v, u, Q15_16::ZERO);
+            assert!(!spike);
+            v = v2;
+            u = u2;
+        }
+        // Stays within 1 mV of the analytic rest point.
+        assert!((v.to_f64() - v0).abs() < 1.0, "v drifted to {}", v.to_f64());
+    }
+
+    #[test]
+    fn tonic_spiking_under_constant_current() {
+        let regs = rs_regs(HStep::Half);
+        let mut v = Q7_8::from_f64(-65.0);
+        let mut u = Q7_8::from_f64(-13.0);
+        let i = Q15_16::from_f64(10.0);
+        let mut spikes = 0;
+        for _ in 0..2000 {
+            // 1 second at h = 0.5 ms
+            let (v2, u2, s) = NpUnit::update_parts(&regs, v, u, i);
+            v = v2;
+            u = u2;
+            spikes += s as u32;
+        }
+        // An RS cell at I = 10 fires tonically at a few to tens of Hz.
+        assert!(spikes >= 2 && spikes <= 100, "spikes = {spikes}");
+    }
+
+    #[test]
+    fn reset_applies_c_and_d() {
+        let regs = rs_regs(HStep::Half);
+        let v = Q7_8::from_f64(31.0); // above threshold
+        let u = Q7_8::from_f64(-10.0);
+        let (v2, u2, spike) = NpUnit::update_parts(&regs, v, u, Q15_16::ZERO);
+        assert!(spike);
+        // After reset v integrates from c = -65 with dv = -14 at u = -2,
+        // landing at -65 + 0.5*(-14) = -72.
+        assert!((v2.to_f64() - (-72.0)).abs() < 1.0, "v2 = {}", v2.to_f64());
+        // u gets +d (=8) then a small Euler correction.
+        assert!((u2.to_f64() - (-2.0)).abs() < 0.5, "u2 = {}", u2.to_f64());
+    }
+
+    #[test]
+    fn threshold_is_30mv() {
+        let regs = rs_regs(HStep::Half);
+        let just_below = Q7_8::from_raw((30 << 8) - 1);
+        let at = Q7_8::from_raw(30 << 8);
+        let (_, _, s1) = NpUnit::update_parts(&regs, just_below, Q7_8::ZERO, Q15_16::ZERO);
+        let (_, _, s2) = NpUnit::update_parts(&regs, at, Q7_8::ZERO, Q15_16::ZERO);
+        assert!(!s1);
+        assert!(s2);
+    }
+
+    #[test]
+    fn pin_clamps_voltage_at_reset_potential() {
+        let mut regs = rs_regs(HStep::Half);
+        regs.set_pin(true);
+        // Strong negative current would normally drag v below c.
+        let v = Q7_8::from_f64(-64.0);
+        let u = Q7_8::from_f64(20.0);
+        let i = Q15_16::from_f64(-500.0);
+        let (v2, _, _) = NpUnit::update_parts(&regs, v, u, i);
+        assert_eq!(v2, regs.params.c);
+        // Without pin it undershoots.
+        regs.set_pin(false);
+        let (v3, _, _) = NpUnit::update_parts(&regs, v, u, i);
+        assert!(v3 < regs.params.c);
+    }
+
+    #[test]
+    fn fixed_tracks_exact_model_within_lsb_bound() {
+        let regs = rs_regs(HStep::Half);
+        let mut v = Q7_8::from_f64(-65.0);
+        let mut u = Q7_8::from_f64(-13.0);
+        let mut ve = v.to_f64();
+        let mut ue = u.to_f64();
+        let i = Q15_16::from_f64(4.0);
+        // Single-step error must stay within a couple of output LSBs
+        // (re-sync the exact model to the fixed state each step so error
+        // does not compound in this test).
+        for _ in 0..500 {
+            let (v2, u2, _) = NpUnit::update_parts(&regs, v, u, i);
+            let (ve2, ue2, _) = NpUnit::update_parts_exact(&regs, ve, ue, i.to_f64());
+            assert!((v2.to_f64() - ve2).abs() <= 2.5 / 256.0, "{} vs {ve2}", v2.to_f64());
+            assert!((u2.to_f64() - ue2).abs() <= 2.5 / 256.0);
+            v = v2;
+            u = u2;
+            ve = v.to_f64();
+            ue = u.to_f64();
+        }
+    }
+
+    #[test]
+    fn half_and_eighth_steps_converge_to_same_trajectory() {
+        // Integrating 1 ms as 2x0.5ms or 8x0.125ms should give close results
+        // in the subthreshold regime.
+        let regs_h = rs_regs(HStep::Half);
+        let regs_e = rs_regs(HStep::Eighth);
+        let i = Q15_16::from_f64(3.0);
+        let mut vh = Q7_8::from_f64(-70.0);
+        let mut uh = Q7_8::from_f64(-14.0);
+        let (mut ve, mut ue) = (vh, uh);
+        for _ in 0..20 {
+            for _ in 0..2 {
+                let (a, b, _) = NpUnit::update_parts(&regs_h, vh, uh, i);
+                vh = a;
+                uh = b;
+            }
+            for _ in 0..8 {
+                let (a, b, _) = NpUnit::update_parts(&regs_e, ve, ue, i);
+                ve = a;
+                ue = b;
+            }
+        }
+        assert!((vh.to_f64() - ve.to_f64()).abs() < 1.0, "{} vs {}", vh, ve);
+    }
+
+    #[test]
+    fn vu_word_update_matches_parts() {
+        let regs = rs_regs(HStep::Half);
+        let v = Q7_8::from_f64(-60.0);
+        let u = Q7_8::from_f64(-12.0);
+        let i = Q15_16::from_f64(7.5);
+        let out = NpUnit::update(&regs, pack_vu(v, u), i);
+        let (v2, u2, s) = NpUnit::update_parts(&regs, v, u, i);
+        assert_eq!(out.vu, pack_vu(v2, u2));
+        assert_eq!(out.spike, s);
+    }
+
+    #[test]
+    fn saturation_instead_of_wraparound_on_extreme_input() {
+        let regs = rs_regs(HStep::Half);
+        let (v2, _, _) = NpUnit::update_parts(
+            &regs,
+            Q7_8::from_f64(29.9),
+            Q7_8::from_f64(-128.0),
+            Q15_16::from_f64(30000.0),
+        );
+        assert_eq!(v2, Q7_8::MAX); // saturates high, never wraps negative
+    }
+}

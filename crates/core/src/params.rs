@@ -1,0 +1,230 @@
+//! Izhikevich model parameters and the canonical firing-pattern presets.
+//!
+//! The 4-parameter model (Izhikevich 2003, Eq. 1–2 of the paper):
+//!
+//! ```text
+//! dv/dt = 0.04 v^2 + 5 v + 140 - u + I
+//! du/dt = a (b v - u)
+//! if v >= 30 mV: v <- c, u <- u + d
+//! ```
+//!
+//! `a` is the recovery time scale, `b` the sensitivity of `u` to `v`, `c`
+//! the post-spike reset voltage and `d` the post-spike recovery increment.
+
+use izhi_fixed::{Q4_11, Q7_8};
+
+/// Double-precision Izhikevich parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IzhParams {
+    /// Recovery variable time scale (typ. 0.02).
+    pub a: f64,
+    /// Recovery sensitivity to subthreshold v (typ. 0.2).
+    pub b: f64,
+    /// Post-spike reset voltage in mV (typ. -65).
+    pub c: f64,
+    /// Post-spike recovery increment (typ. 8 for RS).
+    pub d: f64,
+}
+
+impl IzhParams {
+    /// Create from explicit values.
+    pub const fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        IzhParams { a, b, c, d }
+    }
+
+    /// Regular spiking (RS) cortical excitatory neuron.
+    pub const fn regular_spiking() -> Self {
+        IzhParams::new(0.02, 0.2, -65.0, 8.0)
+    }
+
+    /// Intrinsically bursting (IB) neuron.
+    pub const fn intrinsically_bursting() -> Self {
+        IzhParams::new(0.02, 0.2, -55.0, 4.0)
+    }
+
+    /// Chattering (CH) neuron.
+    pub const fn chattering() -> Self {
+        IzhParams::new(0.02, 0.2, -50.0, 2.0)
+    }
+
+    /// Fast spiking (FS) inhibitory interneuron.
+    pub const fn fast_spiking() -> Self {
+        IzhParams::new(0.1, 0.2, -65.0, 2.0)
+    }
+
+    /// Low-threshold spiking (LTS) inhibitory neuron.
+    pub const fn low_threshold_spiking() -> Self {
+        IzhParams::new(0.02, 0.25, -65.0, 2.0)
+    }
+
+    /// Thalamo-cortical (TC) neuron.
+    pub const fn thalamo_cortical() -> Self {
+        IzhParams::new(0.02, 0.25, -65.0, 0.05)
+    }
+
+    /// Resonator (RZ) neuron.
+    pub const fn resonator() -> Self {
+        IzhParams::new(0.1, 0.26, -65.0, 2.0)
+    }
+
+    /// Izhikevich-2003 80-20 network *excitatory* cell: parameters are
+    /// blended towards chattering by a random factor `r ∈ [0,1]`:
+    /// `c = -65 + 15 r^2`, `d = 8 - 6 r^2`.
+    pub fn excitatory_8020(r: f64) -> Self {
+        IzhParams::new(0.02, 0.2, -65.0 + 15.0 * r * r, 8.0 - 6.0 * r * r)
+    }
+
+    /// Izhikevich-2003 80-20 network *inhibitory* cell:
+    /// `a = 0.02 + 0.08 r`, `b = 0.25 - 0.05 r`.
+    pub fn inhibitory_8020(r: f64) -> Self {
+        IzhParams::new(0.02 + 0.08 * r, 0.25 - 0.05 * r, -65.0, 2.0)
+    }
+
+    /// Quantise to the hardware parameter formats (Table I).
+    pub fn quantize(&self) -> FixedIzhParams {
+        FixedIzhParams {
+            a: Q4_11::from_f64(self.a),
+            b: Q4_11::from_f64(self.b),
+            c: Q7_8::from_f64(self.c),
+            d: Q4_11::from_f64(self.d),
+        }
+    }
+
+    /// The steady-state (resting) point of the subthreshold dynamics for a
+    /// given constant input current, obtained from `dv/dt = du/dt = 0`.
+    /// Returns `None` if the quadratic has no real root (the neuron fires
+    /// indefinitely for this input).
+    pub fn resting_state(&self, i_syn: f64) -> Option<(f64, f64)> {
+        // 0.04 v^2 + 5v + 140 - u + I = 0 with u = b v.
+        let a2 = 0.04;
+        let b1 = 5.0 - self.b;
+        let c0 = 140.0 + i_syn;
+        let disc = b1 * b1 - 4.0 * a2 * c0;
+        if disc < 0.0 {
+            return None;
+        }
+        // The lower root is the stable equilibrium.
+        let v = (-b1 - disc.sqrt()) / (2.0 * a2);
+        Some((v, self.b * v))
+    }
+}
+
+impl Default for IzhParams {
+    fn default() -> Self {
+        IzhParams::regular_spiking()
+    }
+}
+
+/// Parameters quantised to the exact register formats the hardware loads
+/// via `nmldl` (a, b, d in Q4.11; c in Q7.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedIzhParams {
+    /// Q4.11 recovery time scale.
+    pub a: Q4_11,
+    /// Q4.11 recovery sensitivity.
+    pub b: Q4_11,
+    /// Q7.8 reset voltage.
+    pub c: Q7_8,
+    /// Q4.11 recovery increment.
+    pub d: Q4_11,
+}
+
+impl FixedIzhParams {
+    /// Pack into the `(rs1, rs2)` operands of `nmldl`
+    /// (rs1 = {b\[31:16\], a\[15:0\]}, rs2 = {d\[31:16\], c\[15:0\]}).
+    pub fn pack(&self) -> (u32, u32) {
+        let rs1 = ((self.b.raw() as u16 as u32) << 16) | (self.a.raw() as u16 as u32);
+        let rs2 = ((self.d.raw() as u16 as u32) << 16) | (self.c.raw() as u16 as u32);
+        (rs1, rs2)
+    }
+
+    /// Unpack from the `(rs1, rs2)` operands of `nmldl`.
+    pub fn unpack(rs1: u32, rs2: u32) -> Self {
+        FixedIzhParams {
+            a: Q4_11::from_raw(rs1 as u16 as i16),
+            b: Q4_11::from_raw((rs1 >> 16) as u16 as i16),
+            c: Q7_8::from_raw(rs2 as u16 as i16),
+            d: Q4_11::from_raw((rs2 >> 16) as u16 as i16),
+        }
+    }
+
+    /// Back-convert to f64 (the values the hardware actually computes with).
+    pub fn dequantize(&self) -> IzhParams {
+        IzhParams {
+            a: self.a.to_f64(),
+            b: self.b.to_f64(),
+            c: self.c.to_f64(),
+            d: self.d.to_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct() {
+        let presets = [
+            IzhParams::regular_spiking(),
+            IzhParams::intrinsically_bursting(),
+            IzhParams::chattering(),
+            IzhParams::fast_spiking(),
+            IzhParams::low_threshold_spiking(),
+            IzhParams::thalamo_cortical(),
+            IzhParams::resonator(),
+        ];
+        for (i, p) in presets.iter().enumerate() {
+            for q in presets.iter().skip(i + 1) {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        // r = 0 gives RS, r = 1 gives CH for the excitatory blend.
+        assert_eq!(IzhParams::excitatory_8020(0.0), IzhParams::regular_spiking());
+        assert_eq!(IzhParams::excitatory_8020(1.0), IzhParams::chattering());
+        // r = 0 gives LTS, r = 1 gives FS-like for the inhibitory blend.
+        assert_eq!(IzhParams::inhibitory_8020(0.0), IzhParams::low_threshold_spiking());
+        let fs_like = IzhParams::inhibitory_8020(1.0);
+        assert!((fs_like.a - 0.1).abs() < 1e-12);
+        assert!((fs_like.b - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_roundtrip_error() {
+        let p = IzhParams::regular_spiking();
+        let q = p.quantize().dequantize();
+        assert!((q.a - p.a).abs() < 1.0 / 2048.0);
+        assert!((q.b - p.b).abs() < 1.0 / 2048.0);
+        assert!((q.c - p.c).abs() < 1.0 / 256.0);
+        assert!((q.d - p.d).abs() < 1.0 / 2048.0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let q = IzhParams::fast_spiking().quantize();
+        let (rs1, rs2) = q.pack();
+        assert_eq!(FixedIzhParams::unpack(rs1, rs2), q);
+    }
+
+    #[test]
+    fn resting_state_is_equilibrium() {
+        let p = IzhParams::regular_spiking();
+        let (v, u) = p.resting_state(0.0).unwrap();
+        let dv = 0.04 * v * v + 5.0 * v + 140.0 - u;
+        let du = p.a * (p.b * v - u);
+        assert!(dv.abs() < 1e-9, "dv = {dv}");
+        assert!(du.abs() < 1e-9, "du = {du}");
+        // RS rest potential is around -70 mV.
+        assert!((-71.0..=-69.0).contains(&v), "v = {v}");
+    }
+
+    #[test]
+    fn resting_state_vanishes_for_large_input() {
+        // With enough current the parabola has no real root: tonic firing.
+        assert!(IzhParams::regular_spiking().resting_state(200.0).is_none());
+    }
+}

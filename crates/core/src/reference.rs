@@ -1,0 +1,149 @@
+//! Double-precision reference implementation of the Izhikevich neuron and
+//! AMPA current decay.
+//!
+//! This is the "MATLAB double precision" arm of the paper's Fig. 3
+//! comparison: the same reset-then-integrate Euler scheme as the NPU, but
+//! with exact `f64` arithmetic and the exact constants (0.04, 1/τ).
+
+use crate::params::IzhParams;
+
+/// A double-precision Izhikevich neuron with its synaptic current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceNeuron {
+    /// Model parameters.
+    pub params: IzhParams,
+    /// Membrane potential (mV).
+    pub v: f64,
+    /// Recovery variable.
+    pub u: f64,
+}
+
+impl ReferenceNeuron {
+    /// Create a neuron at `v = c`, `u = b*v` (the conventional init used by
+    /// Izhikevich's published network script).
+    pub fn new(params: IzhParams) -> Self {
+        let v = params.c;
+        ReferenceNeuron { params, v, u: params.b * v }
+    }
+
+    /// Create with explicit initial state.
+    pub fn with_state(params: IzhParams, v: f64, u: f64) -> Self {
+        ReferenceNeuron { params, v, u }
+    }
+
+    /// One Euler step of size `h` (ms) with input current `isyn`.
+    /// Returns `true` if the neuron fired (threshold test before update,
+    /// mirroring the NPU and the MATLAB reference).
+    pub fn step(&mut self, h: f64, isyn: f64) -> bool {
+        let p = self.params;
+        let spike = self.v >= 30.0;
+        if spike {
+            self.v = p.c;
+            self.u += p.d;
+        }
+        let dv = 0.04 * self.v * self.v + 5.0 * self.v + 140.0 - self.u + isyn;
+        let du = p.a * (p.b * self.v - self.u);
+        self.v += h * dv;
+        self.u += h * du;
+        spike
+    }
+
+    /// Izhikevich's original 1 ms scheme: two 0.5 ms v-updates and one full
+    /// 1 ms u-update (the discretisation used in the 2003 paper's script).
+    pub fn step_1ms_matlab(&mut self, isyn: f64) -> bool {
+        let p = self.params;
+        let spike = self.v >= 30.0;
+        if spike {
+            self.v = p.c;
+            self.u += p.d;
+        }
+        for _ in 0..2 {
+            let dv = 0.04 * self.v * self.v + 5.0 * self.v + 140.0 - self.u + isyn;
+            self.v += 0.5 * dv;
+        }
+        self.u += p.a * (p.b * self.v - self.u);
+        spike
+    }
+}
+
+/// Exact exponential-Euler AMPA decay: `isyn * (1 - h/τ)`.
+#[inline]
+pub fn decay_exact(isyn: f64, tau: f64, h: f64) -> f64 {
+    isyn - isyn / tau * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rs_neuron_fires_tonically_at_i10() {
+        let mut n = ReferenceNeuron::new(IzhParams::regular_spiking());
+        let mut spikes = 0;
+        for _ in 0..2000 {
+            spikes += n.step(0.5, 10.0) as u32;
+        }
+        assert!((2..=100).contains(&spikes), "spikes = {spikes}");
+    }
+
+    #[test]
+    fn chattering_bursts() {
+        // CH neurons emit bursts: inter-spike intervals are bimodal, so the
+        // spike count is substantially higher than RS at the same input.
+        let run = |p: IzhParams| {
+            let mut n = ReferenceNeuron::new(p);
+            (0..4000).map(|_| n.step(0.5, 10.0) as u32).sum::<u32>()
+        };
+        let rs = run(IzhParams::regular_spiking());
+        let ch = run(IzhParams::chattering());
+        assert!(ch > rs, "ch = {ch}, rs = {rs}");
+    }
+
+    #[test]
+    fn fs_fires_faster_than_rs() {
+        let run = |p: IzhParams| {
+            let mut n = ReferenceNeuron::new(p);
+            (0..4000).map(|_| n.step(0.5, 10.0) as u32).sum::<u32>()
+        };
+        assert!(run(IzhParams::fast_spiking()) > run(IzhParams::regular_spiking()));
+    }
+
+    #[test]
+    fn no_input_no_spikes() {
+        let mut n = ReferenceNeuron::new(IzhParams::regular_spiking());
+        let spikes: u32 = (0..4000).map(|_| n.step(0.5, 0.0) as u32).sum();
+        assert_eq!(spikes, 0);
+        assert!(n.v < -50.0);
+    }
+
+    #[test]
+    fn matlab_scheme_close_to_half_steps() {
+        let mut a = ReferenceNeuron::new(IzhParams::regular_spiking());
+        let mut b = a;
+        let mut sa = 0u32;
+        let mut sb = 0u32;
+        for _ in 0..1000 {
+            sa += a.step_1ms_matlab(6.0) as u32;
+            sb += b.step(0.5, 6.0) as u32;
+            sb += b.step(0.5, 6.0) as u32;
+        }
+        // Firing rates agree within a factor ~1.5 between discretisations.
+        let (lo, hi) = if sa < sb { (sa, sb) } else { (sb, sa) };
+        assert!(lo > 0, "no spikes at all");
+        assert!(hi as f64 / lo as f64 <= 2.0, "{sa} vs {sb}");
+    }
+
+    #[test]
+    fn decay_reaches_e_fold_after_tau() {
+        // After τ ms of decay with step h, the current should be near 1/e.
+        let tau = 5.0;
+        let h = 0.5;
+        let mut i = 1.0;
+        let steps = (tau / h) as u32;
+        for _ in 0..steps {
+            i = decay_exact(i, tau, h);
+        }
+        let e_inv = (-1.0_f64).exp();
+        assert!((i - e_inv).abs() < 0.05, "i = {i}, 1/e = {e_inv}");
+    }
+}

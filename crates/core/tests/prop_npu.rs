@@ -1,0 +1,143 @@
+//! Property-based tests for the NPU/DCU datapaths.
+
+use izhi_core::dcu::Dcu;
+use izhi_core::nmregs::{HStep, NmRegs};
+use izhi_core::npu::NpUnit;
+use izhi_core::params::{FixedIzhParams, IzhParams};
+use izhi_fixed::qformat::{pack_vu, unpack_vu};
+use izhi_fixed::{Q15_16, Q4_11, Q7_8};
+use proptest::prelude::*;
+
+fn arb_regs() -> impl Strategy<Value = NmRegs> {
+    (
+        0.001f64..0.3,
+        0.1f64..0.3,
+        -70.0f64..-45.0,
+        0.05f64..8.0,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, c, d, h8, pin)| {
+            let mut regs = NmRegs::default();
+            regs.load_params(&IzhParams::new(a, b, c, d));
+            regs.set_h(if h8 { HStep::Eighth } else { HStep::Half });
+            regs.set_pin(pin);
+            regs
+        })
+}
+
+proptest! {
+    /// The NPU never panics and always produces a valid packed VU word for
+    /// arbitrary bit patterns (hardware cannot crash on garbage input).
+    #[test]
+    fn npu_total_on_arbitrary_bits(
+        regs in arb_regs(),
+        vu in any::<u32>(),
+        isyn in any::<i32>(),
+    ) {
+        let out = NpUnit::update(&regs, vu, Q15_16::from_raw(isyn));
+        let (v, u) = unpack_vu(out.vu);
+        // Re-packing is the identity (no information invented).
+        prop_assert_eq!(pack_vu(v, u), out.vu);
+    }
+
+    /// Single-step output tracks the exact-arithmetic model within a small
+    /// number of output LSBs whenever the exact result is in range.
+    #[test]
+    fn npu_tracks_exact_model(
+        regs in arb_regs(),
+        v in -80.0f64..29.0,
+        u in -20.0f64..20.0,
+        isyn in -50.0f64..50.0,
+    ) {
+        let vq = Q7_8::from_f64(v);
+        let uq = Q7_8::from_f64(u);
+        let iq = Q15_16::from_f64(isyn);
+        let (v2, u2, s2) = NpUnit::update_parts(&regs, vq, uq, iq);
+        let (ve, ue, se) =
+            NpUnit::update_parts_exact(&regs, vq.to_f64(), uq.to_f64(), iq.to_f64());
+        prop_assert_eq!(s2, se);
+        if ve.abs() < 127.0 {
+            prop_assert!((v2.to_f64() - ve).abs() < 4.0 / 256.0,
+                "v: {} vs {}", v2.to_f64(), ve);
+        }
+        if ue.abs() < 127.0 {
+            prop_assert!((u2.to_f64() - ue).abs() < 4.0 / 256.0,
+                "u: {} vs {}", u2.to_f64(), ue);
+        }
+    }
+
+    /// Spiking is exactly the threshold predicate on the incoming v.
+    #[test]
+    fn spike_iff_threshold(regs in arb_regs(), v in any::<i16>(), u in any::<i16>()) {
+        let (_, _, spike) =
+            NpUnit::update_parts(&regs, Q7_8::from_raw(v), Q7_8::from_raw(u), Q15_16::ZERO);
+        prop_assert_eq!(spike, v >= 30 << 8);
+    }
+
+    /// With pin set, the output voltage never falls below the reset value.
+    #[test]
+    fn pin_invariant(
+        mut regs in arb_regs(),
+        vu in any::<u32>(),
+        isyn in any::<i32>(),
+    ) {
+        regs.set_pin(true);
+        let out = NpUnit::update(&regs, vu, Q15_16::from_raw(isyn));
+        let (v, _) = unpack_vu(out.vu);
+        prop_assert!(v >= regs.params.c);
+    }
+
+    /// nmldl pack/unpack round-trips arbitrary parameter bit patterns.
+    #[test]
+    fn nmldl_roundtrip(a in any::<i16>(), b in any::<i16>(), c in any::<i16>(), d in any::<i16>()) {
+        let p = FixedIzhParams {
+            a: Q4_11::from_raw(a),
+            b: Q4_11::from_raw(b),
+            c: Q7_8::from_raw(c),
+            d: Q4_11::from_raw(d),
+        };
+        let (rs1, rs2) = p.pack();
+        let mut regs = NmRegs::default();
+        regs.exec_nmldl(rs1, rs2);
+        prop_assert_eq!(regs.params, p);
+    }
+
+    /// DCU decay is a contraction: |out| <= |in| for every divisor/step.
+    #[test]
+    fn dcu_contraction(
+        isyn in -2_000_000_000i32..2_000_000_000,
+        tau in 1u32..=9,
+        h8 in any::<bool>(),
+    ) {
+        let mut regs = NmRegs::default();
+        regs.set_h(if h8 { HStep::Eighth } else { HStep::Half });
+        let x = Q15_16::from_raw(isyn);
+        let y = Dcu::decay(&regs, x, tau);
+        prop_assert!((y.raw() as i64).abs() <= (x.raw() as i64).abs() + 1,
+            "{} -> {}", x.raw(), y.raw());
+    }
+
+    /// The shift approximation sits within 0.5 % of true division.
+    #[test]
+    fn dcu_approx_relative_error(x in -1_000_000i32..1_000_000, tau in 1u32..=9) {
+        prop_assume!(x.abs() > 10_000); // avoid quantisation-dominated cases
+        let q = Dcu::approx_div(Q15_16::from_raw(x), tau);
+        let exact = x as f64 / tau as f64;
+        let rel = (q.raw() as f64 - exact).abs() / exact.abs();
+        // 0.5 % model error plus shift-truncation (bounded by #terms LSBs).
+        prop_assert!(rel < 0.006, "x={x} tau={tau} rel={rel}");
+    }
+
+    /// Repeated decay always converges towards zero.
+    #[test]
+    fn dcu_converges(x0 in -30000.0f64..30000.0, tau in 2u32..=9) {
+        let mut regs = NmRegs::default();
+        regs.set_h(HStep::Half);
+        let mut x = Q15_16::from_f64(x0);
+        for _ in 0..2000 {
+            x = Dcu::decay(&regs, x, tau);
+        }
+        prop_assert!(x.to_f64().abs() < 1.0, "residual {}", x.to_f64());
+    }
+}

@@ -1,0 +1,53 @@
+//! Signed Q-format fixed-point arithmetic for the IzhiRISC-V reproduction.
+//!
+//! The paper's NPU/DCU operate on signed 16-bit and 32-bit fixed-point values
+//! in several Q-formats (Table I of the paper):
+//!
+//! | Operand            | Format  | Storage |
+//! |--------------------|---------|---------|
+//! | `a`, `b`, `d`      | Q4.11   | `i16`   |
+//! | `c` (reset volt.)  | Q7.8    | `i16`   |
+//! | `v`, `u`           | Q7.8    | `i16`   |
+//! | `Isyn`             | Q15.16  | `i32`   |
+//!
+//! The VHDL implementation uses the IEEE `sfixed` package with a *variable
+//! size accumulator* so intermediate products never overflow; results are
+//! resized (with saturation) back to the storage format. This crate mirrors
+//! that behaviour: concrete storage types ([`Q4_11`], [`Q7_8`], [`Q15_16`])
+//! plus a [`Wide`] accumulator carrying an `i64` mantissa and an explicit
+//! fractional-bit count, with both round-to-nearest and truncating resize
+//! (the paper notes its non-NPU fixed-point baseline truncated incorrectly —
+//! we keep both so that failure mode is reproducible).
+
+#![allow(clippy::should_implement_trait)] // shr/add/mul mirror the RTL operation names
+
+pub mod qformat;
+pub mod wide;
+
+pub use qformat::{Q15_16, Q4_11, Q7_8, QFormat};
+pub use wide::{ResizeMode, Wide};
+
+/// Errors produced by checked fixed-point conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixedError {
+    /// The value does not fit in the target format (would saturate).
+    OutOfRange {
+        /// Target format that could not represent the value.
+        format: QFormat,
+    },
+    /// The input was not finite (NaN or infinity).
+    NotFinite,
+}
+
+impl core::fmt::Display for FixedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FixedError::OutOfRange { format } => {
+                write!(f, "value out of range for {format}")
+            }
+            FixedError::NotFinite => write!(f, "value is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for FixedError {}

@@ -1,0 +1,353 @@
+//! Concrete Q-format storage types.
+//!
+//! Each type stores its mantissa in the exact integer width the hardware
+//! uses: `i16` for the 16-bit formats and `i32` for Q15.16. All arithmetic
+//! that can widen goes through [`crate::wide::Wide`]; the operations defined
+//! directly on the storage types are the ones the RTL performs in-place
+//! (negation, shifts, saturating add).
+
+/// Runtime descriptor of a signed Q-format (`int_bits` integer bits,
+/// `frac_bits` fractional bits, plus an implicit sign bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    /// Number of integer bits (excluding the sign bit).
+    pub int_bits: u32,
+    /// Number of fractional bits.
+    pub frac_bits: u32,
+}
+
+impl QFormat {
+    /// Q4.11: 1 sign + 4 integer + 11 fractional bits (16-bit storage).
+    pub const Q4_11: QFormat = QFormat { int_bits: 4, frac_bits: 11 };
+    /// Q7.8: 1 sign + 7 integer + 8 fractional bits (16-bit storage).
+    pub const Q7_8: QFormat = QFormat { int_bits: 7, frac_bits: 8 };
+    /// Q15.16: 1 sign + 15 integer + 16 fractional bits (32-bit storage).
+    pub const Q15_16: QFormat = QFormat { int_bits: 15, frac_bits: 16 };
+
+    /// Total storage width in bits including the sign bit.
+    #[inline]
+    pub const fn width(self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// The scale factor 2^frac_bits.
+    #[inline]
+    pub fn scale(self) -> f64 {
+        (1i64 << self.frac_bits) as f64
+    }
+
+    /// Largest representable value.
+    #[inline]
+    pub fn max_value(self) -> f64 {
+        let max_raw = (1i64 << (self.width() - 1)) - 1;
+        max_raw as f64 / self.scale()
+    }
+
+    /// Smallest (most negative) representable value.
+    #[inline]
+    pub fn min_value(self) -> f64 {
+        let min_raw = -(1i64 << (self.width() - 1));
+        min_raw as f64 / self.scale()
+    }
+
+    /// Resolution (value of one LSB).
+    #[inline]
+    pub fn epsilon(self) -> f64 {
+        1.0 / self.scale()
+    }
+}
+
+impl core::fmt::Display for QFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+macro_rules! q_type {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $raw:ty, $wide_of_raw:ty, $fmt:expr, $frac:expr
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $raw);
+
+        impl $name {
+            /// The Q-format descriptor for this type.
+            pub const FORMAT: QFormat = $fmt;
+            /// Number of fractional bits.
+            pub const FRAC: u32 = $frac;
+            /// Zero.
+            pub const ZERO: $name = $name(0);
+            /// One (1.0) in this format.
+            pub const ONE: $name = $name(1 << $frac);
+            /// Maximum representable value.
+            pub const MAX: $name = $name(<$raw>::MAX);
+            /// Minimum representable value.
+            pub const MIN: $name = $name(<$raw>::MIN);
+
+            /// Construct from the raw mantissa bits.
+            #[inline]
+            pub const fn from_raw(raw: $raw) -> Self {
+                $name(raw)
+            }
+
+            /// Raw mantissa bits.
+            #[inline]
+            pub const fn raw(self) -> $raw {
+                self.0
+            }
+
+            /// Convert from `f64`, round-to-nearest (ties away from zero),
+            /// saturating at the format bounds. NaN maps to zero, matching
+            /// the behaviour of a host-side converter that feeds hardware.
+            #[inline]
+            pub fn from_f64(x: f64) -> Self {
+                if x.is_nan() {
+                    return $name(0);
+                }
+                let scaled = (x * (1i64 << $frac) as f64).round();
+                if scaled >= <$raw>::MAX as f64 {
+                    $name(<$raw>::MAX)
+                } else if scaled <= <$raw>::MIN as f64 {
+                    $name(<$raw>::MIN)
+                } else {
+                    $name(scaled as $raw)
+                }
+            }
+
+            /// Checked conversion from `f64`: errors instead of saturating.
+            pub fn try_from_f64(x: f64) -> Result<Self, crate::FixedError> {
+                if !x.is_finite() {
+                    return Err(crate::FixedError::NotFinite);
+                }
+                let scaled = (x * (1i64 << $frac) as f64).round();
+                if scaled > <$raw>::MAX as f64 || scaled < <$raw>::MIN as f64 {
+                    Err(crate::FixedError::OutOfRange { format: Self::FORMAT })
+                } else {
+                    Ok($name(scaled as $raw))
+                }
+            }
+
+            /// Convert to `f64` exactly (the mantissa always fits).
+            #[inline]
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 / (1i64 << $frac) as f64
+            }
+
+            /// Saturating addition within the format.
+            #[inline]
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                $name(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction within the format.
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Wrapping addition (what a plain ALU `add` on the mantissa does).
+            #[inline]
+            pub fn wrapping_add(self, rhs: Self) -> Self {
+                $name(self.0.wrapping_add(rhs.0))
+            }
+
+            /// Arithmetic shift right of the mantissa (divide by 2^n,
+            /// rounding towards negative infinity — exactly what the DCU's
+            /// shifter array does).
+            #[inline]
+            pub fn shr(self, n: u32) -> Self {
+                $name(self.0 >> n.min(<$raw>::BITS - 1))
+            }
+
+            /// Negation, saturating at the most-negative value.
+            #[inline]
+            pub fn saturating_neg(self) -> Self {
+                $name(self.0.checked_neg().unwrap_or(<$raw>::MAX))
+            }
+
+            /// Widen into the accumulator type.
+            #[inline]
+            pub fn widen(self) -> crate::wide::Wide {
+                crate::wide::Wide::new(self.0 as i64, $frac)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}", self.to_f64())
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.to_f64()
+            }
+        }
+    };
+}
+
+q_type!(
+    /// Q4.11 signed fixed point in 16 bits: range [-16, 16), LSB = 2^-11.
+    /// Used for the Izhikevich `a`, `b`, `d` parameters.
+    Q4_11, i16, i32, QFormat::Q4_11, 11
+);
+
+q_type!(
+    /// Q7.8 signed fixed point in 16 bits: range [-128, 128), LSB = 2^-8.
+    /// Used for the membrane potential `v`, recovery variable `u` and the
+    /// reset parameter `c`.
+    Q7_8, i16, i32, QFormat::Q7_8, 8
+);
+
+q_type!(
+    /// Q15.16 signed fixed point in 32 bits: range [-32768, 32768),
+    /// LSB = 2^-16. Used for the synaptic current `Isyn`.
+    Q15_16, i32, i64, QFormat::Q15_16, 16
+);
+
+impl Q15_16 {
+    /// Narrow to Q7.8 with round-to-nearest and saturation (the corrected
+    /// conversion the NPU performs internally).
+    #[inline]
+    pub fn to_q7_8_rounded(self) -> Q7_8 {
+        // Q15.16 -> Q7.8 drops 8 fractional bits.
+        let rounded = ((self.0 as i64) + (1 << 7)) >> 8;
+        Q7_8(rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+
+    /// Narrow to Q7.8 by pure truncation of the low 8 bits *without*
+    /// saturation (wraps). This reproduces the defective conversion the
+    /// paper describes for its non-NPU fixed-point Sudoku baseline (§VI-C),
+    /// which prevented convergence.
+    #[inline]
+    pub fn to_q7_8_truncated(self) -> Q7_8 {
+        Q7_8((self.0 >> 8) as i16)
+    }
+}
+
+impl Q7_8 {
+    /// Widen to Q15.16 (exact).
+    #[inline]
+    pub fn to_q15_16(self) -> Q15_16 {
+        Q15_16((self.0 as i32) << 8)
+    }
+}
+
+/// Pack the neuron state `v` (high half) and `u` (low half) into the 32-bit
+/// "VU word" layout used by the `nmpn` instruction (Table I: bits 31..16
+/// hold `v`, bits 15..0 hold `u`, both Q7.8).
+#[inline]
+pub fn pack_vu(v: Q7_8, u: Q7_8) -> u32 {
+    ((v.0 as u16 as u32) << 16) | (u.0 as u16 as u32)
+}
+
+/// Unpack a VU word into `(v, u)`.
+#[inline]
+pub fn unpack_vu(word: u32) -> (Q7_8, Q7_8) {
+    let v = Q7_8((word >> 16) as u16 as i16);
+    let u = Q7_8(word as u16 as i16);
+    (v, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_descriptors() {
+        assert_eq!(QFormat::Q4_11.width(), 16);
+        assert_eq!(QFormat::Q7_8.width(), 16);
+        assert_eq!(QFormat::Q15_16.width(), 32);
+        assert_eq!(QFormat::Q4_11.to_string(), "Q4.11");
+        assert!((QFormat::Q7_8.max_value() - 127.99609375).abs() < 1e-12);
+        assert_eq!(QFormat::Q7_8.min_value(), -128.0);
+        assert_eq!(QFormat::Q15_16.epsilon(), 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for &x in &[0.0, 1.0, -1.0, 0.5, -0.5, 2.25, -65.0, 30.0, 0.02] {
+            let q = Q7_8::from_f64(x);
+            assert!((q.to_f64() - x).abs() <= QFormat::Q7_8.epsilon() / 2.0 + 1e-12, "{x}");
+        }
+    }
+
+    #[test]
+    fn q4_11_parameter_values() {
+        // Typical Izhikevich parameters must be representable with small error.
+        let a = Q4_11::from_f64(0.02);
+        assert!((a.to_f64() - 0.02).abs() < 1.0 / 2048.0);
+        let b = Q4_11::from_f64(0.2);
+        assert!((b.to_f64() - 0.2).abs() < 1.0 / 2048.0);
+        let d = Q4_11::from_f64(8.0);
+        assert_eq!(d.to_f64(), 8.0);
+    }
+
+    #[test]
+    fn saturation_bounds() {
+        assert_eq!(Q7_8::from_f64(1e9), Q7_8::MAX);
+        assert_eq!(Q7_8::from_f64(-1e9), Q7_8::MIN);
+        assert_eq!(Q7_8::from_f64(f64::NAN), Q7_8::ZERO);
+        assert_eq!(Q15_16::from_f64(40000.0), Q15_16::MAX);
+        assert_eq!(Q15_16::from_f64(-40000.0), Q15_16::MIN);
+    }
+
+    #[test]
+    fn try_from_errors() {
+        assert!(Q7_8::try_from_f64(127.0).is_ok());
+        assert_eq!(
+            Q7_8::try_from_f64(200.0),
+            Err(crate::FixedError::OutOfRange { format: QFormat::Q7_8 })
+        );
+        assert_eq!(Q7_8::try_from_f64(f64::INFINITY), Err(crate::FixedError::NotFinite));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Q7_8::MAX.saturating_add(Q7_8::ONE), Q7_8::MAX);
+        assert_eq!(Q7_8::MIN.saturating_sub(Q7_8::ONE), Q7_8::MIN);
+        assert_eq!(Q7_8::MIN.saturating_neg(), Q7_8::MAX);
+        assert_eq!(
+            Q7_8::from_f64(1.0).saturating_add(Q7_8::from_f64(2.0)).to_f64(),
+            3.0
+        );
+    }
+
+    #[test]
+    fn shift_is_arithmetic() {
+        assert_eq!(Q15_16::from_f64(-8.0).shr(1).to_f64(), -4.0);
+        assert_eq!(Q15_16::from_f64(8.0).shr(3).to_f64(), 1.0);
+        // Shift floors towards negative infinity on the mantissa.
+        assert_eq!(Q15_16(-1).shr(1), Q15_16(-1));
+    }
+
+    #[test]
+    fn narrowing_rounds_and_saturates() {
+        let x = Q15_16::from_f64(1.001953125); // 1 + 128.5/65536 -> rounds up at Q7.8
+        assert_eq!(x.to_q7_8_rounded().to_f64(), 1.00390625);
+        let big = Q15_16::from_f64(300.0);
+        assert_eq!(big.to_q7_8_rounded(), Q7_8::MAX);
+        // Truncated variant wraps instead (the paper's defective baseline).
+        assert_ne!(big.to_q7_8_truncated(), Q7_8::MAX);
+    }
+
+    #[test]
+    fn widening_is_exact() {
+        let x = Q7_8::from_f64(-65.0);
+        assert_eq!(x.to_q15_16().to_f64(), -65.0);
+    }
+
+    #[test]
+    fn vu_word_pack_unpack() {
+        let v = Q7_8::from_f64(-65.0);
+        let u = Q7_8::from_f64(-13.0);
+        let w = pack_vu(v, u);
+        let (v2, u2) = unpack_vu(w);
+        assert_eq!(v, v2);
+        assert_eq!(u, u2);
+        // v sits in the high half.
+        assert_eq!((w >> 16) as u16, v.0 as u16);
+    }
+}

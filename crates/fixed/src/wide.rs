@@ -1,0 +1,250 @@
+//! Variable-width accumulator mirroring the NPU's `sfixed` intermediate
+//! arithmetic.
+//!
+//! The VHDL NPU lets the IEEE `fixed_pkg` grow intermediate results so no
+//! product or sum ever overflows, then resizes once at the end. [`Wide`]
+//! reproduces that: an `i64` mantissa plus an explicit count of fractional
+//! bits. Multiplication adds fractional bit counts; addition aligns to the
+//! larger count. A final resize call (`to_q7_8` etc.) converts to a storage format with
+//! either round-to-nearest (what the NPU does) or truncation (the defective
+//! baseline conversion the paper mentions).
+
+use crate::qformat::{Q15_16, Q4_11, Q7_8};
+
+/// How a [`Wide`] resize disposes of dropped fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeMode {
+    /// Round to nearest (ties towards +inf on the mantissa) then saturate.
+    RoundSaturate,
+    /// Truncate (floor on the mantissa) then saturate.
+    TruncateSaturate,
+    /// Truncate and wrap — keeps only the low bits, as a careless cast does.
+    TruncateWrap,
+}
+
+/// A fixed-point value with an `i64` mantissa and explicit binary point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wide {
+    raw: i64,
+    frac: u32,
+}
+
+impl Wide {
+    /// Create from a raw mantissa and fractional-bit count.
+    #[inline]
+    pub const fn new(raw: i64, frac: u32) -> Self {
+        debug_assert!(frac < 63);
+        Wide { raw, frac }
+    }
+
+    /// Zero with the given binary point.
+    #[inline]
+    pub const fn zero(frac: u32) -> Self {
+        Wide { raw: 0, frac }
+    }
+
+    /// An integer constant (no fractional bits).
+    #[inline]
+    pub const fn int(value: i64) -> Self {
+        Wide { raw: value, frac: 0 }
+    }
+
+    /// Construct from `f64` with `frac` fractional bits, round-to-nearest.
+    #[inline]
+    pub fn from_f64(x: f64, frac: u32) -> Self {
+        Wide { raw: (x * (1i64 << frac) as f64).round() as i64, frac }
+    }
+
+    /// Raw mantissa.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Fractional-bit count.
+    #[inline]
+    pub const fn frac(self) -> u32 {
+        self.frac
+    }
+
+    /// Exact value as `f64` (mantissas in the NPU datapath stay well below
+    /// 2^53, so this is lossless in practice).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / (1i64 << self.frac) as f64
+    }
+
+    /// Re-align the binary point to `frac` fractional bits.
+    ///
+    /// Widening (more fractional bits) is exact; narrowing truncates like an
+    /// arithmetic right shift, which matches an `sfixed` resize with
+    /// `round_style => fixed_truncate`.
+    #[inline]
+    pub fn align(self, frac: u32) -> Self {
+        if frac >= self.frac {
+            Wide { raw: self.raw << (frac - self.frac), frac }
+        } else {
+            Wide { raw: self.raw >> (self.frac - frac), frac }
+        }
+    }
+
+    /// Addition; the result carries the larger fractional-bit count.
+    #[inline]
+    pub fn add(self, rhs: Wide) -> Self {
+        let frac = self.frac.max(rhs.frac);
+        Wide { raw: self.align(frac).raw + rhs.align(frac).raw, frac }
+    }
+
+    /// Subtraction; the result carries the larger fractional-bit count.
+    #[inline]
+    pub fn sub(self, rhs: Wide) -> Self {
+        let frac = self.frac.max(rhs.frac);
+        Wide { raw: self.align(frac).raw - rhs.align(frac).raw, frac }
+    }
+
+    /// Full-precision multiplication (fractional bit counts add).
+    #[inline]
+    pub fn mul(self, rhs: Wide) -> Self {
+        Wide { raw: self.raw * rhs.raw, frac: self.frac + rhs.frac }
+    }
+
+    /// Multiply by a small integer constant.
+    #[inline]
+    pub fn mul_int(self, k: i64) -> Self {
+        Wide { raw: self.raw * k, frac: self.frac }
+    }
+
+    /// Arithmetic shift right (divide by 2^n, floor).
+    #[inline]
+    pub fn shr(self, n: u32) -> Self {
+        Wide { raw: self.raw >> n, frac: self.frac }
+    }
+
+    /// Arithmetic shift left (multiply by 2^n).
+    #[inline]
+    pub fn shl(self, n: u32) -> Self {
+        Wide { raw: self.raw << n, frac: self.frac }
+    }
+
+    /// Negate.
+    #[inline]
+    pub fn neg(self) -> Self {
+        Wide { raw: -self.raw, frac: self.frac }
+    }
+
+    /// Resize to a target format described by `(frac_bits, storage_bits)`;
+    /// returns the raw mantissa of the target.
+    fn resize_raw(self, target_frac: u32, storage_bits: u32, mode: ResizeMode) -> i64 {
+        let raw = if target_frac >= self.frac {
+            self.raw << (target_frac - self.frac)
+        } else {
+            let drop = self.frac - target_frac;
+            match mode {
+                ResizeMode::RoundSaturate => (self.raw + (1i64 << (drop - 1))) >> drop,
+                ResizeMode::TruncateSaturate | ResizeMode::TruncateWrap => self.raw >> drop,
+            }
+        };
+        let max = (1i64 << (storage_bits - 1)) - 1;
+        let min = -(1i64 << (storage_bits - 1));
+        match mode {
+            ResizeMode::RoundSaturate | ResizeMode::TruncateSaturate => raw.clamp(min, max),
+            ResizeMode::TruncateWrap => {
+                // Keep the low `storage_bits` bits, sign-extended.
+                let shift = 64 - storage_bits;
+                (raw << shift) >> shift
+            }
+        }
+    }
+
+    /// Resize to Q7.8.
+    #[inline]
+    pub fn to_q7_8(self, mode: ResizeMode) -> Q7_8 {
+        Q7_8(self.resize_raw(Q7_8::FRAC, 16, mode) as i16)
+    }
+
+    /// Resize to Q4.11.
+    #[inline]
+    pub fn to_q4_11(self, mode: ResizeMode) -> Q4_11 {
+        Q4_11(self.resize_raw(Q4_11::FRAC, 16, mode) as i16)
+    }
+
+    /// Resize to Q15.16.
+    #[inline]
+    pub fn to_q15_16(self, mode: ResizeMode) -> Q15_16 {
+        Q15_16(self.resize_raw(Q15_16::FRAC, 32, mode) as i32)
+    }
+}
+
+impl core::fmt::Display for Wide {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} (raw {} q{})", self.to_f64(), self.raw, self.frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_widen_exact() {
+        let x = Wide::from_f64(1.5, 4);
+        let y = x.align(12);
+        assert_eq!(y.to_f64(), 1.5);
+        assert_eq!(y.frac(), 12);
+    }
+
+    #[test]
+    fn add_aligns_binary_points() {
+        let a = Wide::from_f64(1.25, 8); // Q*.8
+        let b = Wide::from_f64(0.5, 16); // Q*.16
+        let s = a.add(b);
+        assert_eq!(s.frac(), 16);
+        assert_eq!(s.to_f64(), 1.75);
+    }
+
+    #[test]
+    fn mul_adds_fracs() {
+        let a = Wide::from_f64(0.04, 20);
+        let b = Wide::from_f64(-65.0, 8);
+        let p = a.mul(b);
+        assert_eq!(p.frac(), 28);
+        assert!((p.to_f64() - (-2.6)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn resize_round_vs_truncate() {
+        // 1.5 LSBs above an even mantissa: rounding and truncation differ.
+        let x = Wide::new(0b1011, 3); // 1.375
+        assert_eq!(x.to_q7_8(ResizeMode::RoundSaturate).to_f64(), 1.375);
+        let y = Wide::new(0b10111, 4); // 1.4375 -> Q7.8 exact too (frac grows)
+        assert_eq!(y.to_q7_8(ResizeMode::RoundSaturate).to_f64(), 1.4375);
+        // Now drop bits: exactly half an output LSB above 0.5 at frac=10.
+        let z = Wide::new((1 << 9) + (1 << 1), 10);
+        assert_eq!(z.to_q7_8(ResizeMode::TruncateSaturate).to_f64(), 0.5);
+        assert_eq!(z.to_q7_8(ResizeMode::RoundSaturate).to_f64(), 0.50390625);
+    }
+
+    #[test]
+    fn resize_saturates() {
+        let big = Wide::from_f64(1000.0, 16);
+        assert_eq!(big.to_q7_8(ResizeMode::RoundSaturate), Q7_8::MAX);
+        assert_eq!(big.neg().to_q7_8(ResizeMode::RoundSaturate), Q7_8::MIN);
+    }
+
+    #[test]
+    fn resize_wrap_drops_high_bits() {
+        let big = Wide::from_f64(256.25, 16);
+        let wrapped = big.to_q7_8(ResizeMode::TruncateWrap);
+        assert_eq!(wrapped.to_f64(), 0.25); // 256 wraps away entirely
+    }
+
+    #[test]
+    fn izhikevich_term_precision() {
+        // 0.04 v^2 for v = -65 must come out near 169 with Q7.8 inputs and a
+        // high-precision constant.
+        let v = Wide::from_f64(-65.0, 8);
+        let c004 = Wide::from_f64(0.04, 20);
+        let term = c004.mul(v.mul(v));
+        assert!((term.to_f64() - 169.0).abs() < 0.01, "{}", term.to_f64());
+    }
+}

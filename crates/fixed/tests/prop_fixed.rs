@@ -1,0 +1,109 @@
+//! Property-based tests for the fixed-point layer.
+
+use izhi_fixed::qformat::{pack_vu, unpack_vu};
+use izhi_fixed::{Q15_16, Q4_11, Q7_8, ResizeMode, Wide};
+use proptest::prelude::*;
+
+proptest! {
+    /// f64 -> Q -> f64 round trip lands within half an LSB for in-range values.
+    #[test]
+    fn q7_8_roundtrip_error_bounded(x in -127.9f64..127.9) {
+        let q = Q7_8::from_f64(x);
+        prop_assert!((q.to_f64() - x).abs() <= 0.5 / 256.0 + 1e-12);
+    }
+
+    #[test]
+    fn q4_11_roundtrip_error_bounded(x in -15.9f64..15.9) {
+        let q = Q4_11::from_f64(x);
+        prop_assert!((q.to_f64() - x).abs() <= 0.5 / 2048.0 + 1e-12);
+    }
+
+    #[test]
+    fn q15_16_roundtrip_error_bounded(x in -32000.0f64..32000.0) {
+        let q = Q15_16::from_f64(x);
+        prop_assert!((q.to_f64() - x).abs() <= 0.5 / 65536.0 + 1e-9);
+    }
+
+    /// Saturating conversion is monotone.
+    #[test]
+    fn from_f64_monotone(a in -200.0f64..200.0, b in -200.0f64..200.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Q7_8::from_f64(lo) <= Q7_8::from_f64(hi));
+    }
+
+    /// VU pack/unpack is a bijection on raw bit patterns.
+    #[test]
+    fn vu_roundtrip(v in any::<i16>(), u in any::<i16>()) {
+        let (v2, u2) = unpack_vu(pack_vu(Q7_8(v), Q7_8(u)));
+        prop_assert_eq!(v2.raw(), v);
+        prop_assert_eq!(u2.raw(), u);
+    }
+
+    /// Wide addition agrees with f64 for moderate magnitudes.
+    #[test]
+    fn wide_add_matches_f64(
+        a in -1000.0f64..1000.0,
+        b in -1000.0f64..1000.0,
+        fa in 4u32..20,
+        fb in 4u32..20,
+    ) {
+        let wa = Wide::from_f64(a, fa);
+        let wb = Wide::from_f64(b, fb);
+        let s = wa.add(wb);
+        prop_assert!((s.to_f64() - (wa.to_f64() + wb.to_f64())).abs() < 1e-9);
+    }
+
+    /// Wide multiplication is exact on the mantissas.
+    #[test]
+    fn wide_mul_exact(
+        a in -30000i64..30000,
+        b in -30000i64..30000,
+        fa in 0u32..16,
+        fb in 0u32..16,
+    ) {
+        let wa = Wide::new(a, fa);
+        let wb = Wide::new(b, fb);
+        let p = wa.mul(wb);
+        prop_assert_eq!(p.raw(), a * b);
+        prop_assert_eq!(p.frac(), fa + fb);
+    }
+
+    /// Round-saturate resize never differs from the ideal real value by more
+    /// than half an output LSB unless it saturated.
+    #[test]
+    fn resize_round_error_bounded(raw in -(1i64 << 40)..(1i64 << 40), frac in 16u32..30) {
+        let w = Wide::new(raw, frac);
+        let q = w.to_q7_8(ResizeMode::RoundSaturate);
+        let ideal = w.to_f64();
+        if ideal < 127.99 && ideal > -128.0 {
+            prop_assert!((q.to_f64() - ideal).abs() <= 0.5 / 256.0 + 1e-12);
+        } else {
+            prop_assert!(q == Q7_8::MAX || q == Q7_8::MIN);
+        }
+    }
+
+    /// Truncating resize never exceeds the true value (floor semantics).
+    #[test]
+    fn resize_truncate_floors(raw in -(1i64 << 30)..(1i64 << 30), frac in 16u32..24) {
+        let w = Wide::new(raw, frac);
+        let q = w.to_q15_16(ResizeMode::TruncateSaturate);
+        prop_assert!(q.to_f64() <= w.to_f64() + 1e-12);
+        prop_assert!(w.to_f64() - q.to_f64() < 1.0 / 65536.0 + 1e-12);
+    }
+
+    /// Narrowing Q15.16 -> Q7.8 (rounded) matches the Wide-based resize.
+    #[test]
+    fn narrow_matches_wide(raw in any::<i32>()) {
+        let x = Q15_16(raw);
+        let via_wide = x.widen().to_q7_8(ResizeMode::RoundSaturate);
+        prop_assert_eq!(x.to_q7_8_rounded(), via_wide);
+    }
+
+    /// Saturating add equals clamped integer add.
+    #[test]
+    fn saturating_add_model(a in any::<i16>(), b in any::<i16>()) {
+        let q = Q7_8(a).saturating_add(Q7_8(b));
+        let model = (a as i32 + b as i32).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        prop_assert_eq!(q.raw(), model);
+    }
+}

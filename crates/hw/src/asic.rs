@@ -1,0 +1,240 @@
+//! ASIC standard-cell mapping model (Table VII, Fig. 5).
+//!
+//! Each library is a small parameter set (area per gate equivalent, FO4
+//! delay, dynamic energy per GE·MHz, leakage per GE, fill factor). The
+//! per-block areas then follow from the block inventory; frequency from a
+//! fixed logic depth; power from gates × frequency; and the derived
+//! figures of merit exactly as the paper defines them:
+//!
+//! * throughput = f / 3 updates/s (one update = `nmpn`×2 + `nmdec`,
+//!   three single-cycle instructions);
+//! * peak neural IPS = f × 15 equivalent Eq.-3 operations per cycle;
+//! * power efficiency = throughput / total power.
+
+use crate::blocks::{self, Block, CORE_BLOCKS};
+
+/// The two standard-cell libraries of §VI-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsicLibrary {
+    /// FreePDK45 (45 nm academic PDK).
+    FreePdk45,
+    /// ASAP7 (7 nm predictive PDK).
+    Asap7,
+}
+
+/// Library parameters (calibrated once against Table VII's totals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LibraryParams {
+    /// Placement area per gate equivalent (µm²/GE).
+    pub area_per_ge: f64,
+    /// Effective FO4-ish gate delay (ps) for the critical path model.
+    pub gate_delay_ps: f64,
+    /// Dynamic power per GE per MHz (mW).
+    pub dyn_mw_per_ge_mhz: f64,
+    /// Leakage per GE (mW).
+    pub leak_mw_per_ge: f64,
+    /// Whitespace/fill multiplier from block areas to die area.
+    pub fill: f64,
+    /// Internal share of dynamic power (the rest is switching).
+    pub internal_frac: f64,
+}
+
+impl AsicLibrary {
+    /// Calibrated parameters.
+    pub fn params(self) -> LibraryParams {
+        match self {
+            // Total area 95654.664 µm² over 92.6 kGE incl. 3.3 % fill;
+            // 201.5 MHz over a ~40-gate critical path; 47.2 mW dynamic at
+            // 201.5 MHz; 2.31 µW leakage.
+            AsicLibrary::FreePdk45 => LibraryParams {
+                area_per_ge: 1.0,
+                gate_delay_ps: 124.1,
+                dyn_mw_per_ge_mhz: 2.530e-6,
+                leak_mw_per_ge: 2.494e-8,
+                fill: 1.033,
+                internal_frac: 0.544,
+            },
+            // Total 6599.375 µm²; 316.3 MHz; 10.89 mW dynamic; 6.45 nW
+            // leakage per the paper's 0.1 % share.
+            AsicLibrary::Asap7 => LibraryParams {
+                area_per_ge: 0.06876,
+                gate_delay_ps: 79.05,
+                dyn_mw_per_ge_mhz: 3.720e-7,
+                leak_mw_per_ge: 6.965e-11,
+                fill: 1.0365,
+                internal_frac: 0.555,
+            },
+        }
+    }
+
+    /// Library display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AsicLibrary::FreePdk45 => "FreePDK45",
+            AsicLibrary::Asap7 => "ASAP7",
+        }
+    }
+
+    /// Logic depth of the critical path (NPU Q-format multiply-accumulate
+    /// chain), in gate delays. Library-independent.
+    pub const CRITICAL_PATH_GATES: f64 = 40.0;
+}
+
+/// A complete Table-VII-style report for one library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsicReport {
+    /// The library.
+    pub library: AsicLibrary,
+    /// Per-block area in µm², in [`CORE_BLOCKS`] order.
+    pub block_areas: Vec<(Block, f64)>,
+    /// Total core area (µm², incl. fill).
+    pub total_area_um2: f64,
+    /// Maximum clock (MHz).
+    pub clock_mhz: f64,
+    /// Total power (mW) at max clock.
+    pub total_power_mw: f64,
+    /// Internal power (mW).
+    pub internal_mw: f64,
+    /// Switching power (mW).
+    pub switching_mw: f64,
+    /// Leakage power (mW).
+    pub leakage_mw: f64,
+    /// Neural-update throughput (updates/s).
+    pub throughput_upd_s: f64,
+    /// Power efficiency (updates/s/W).
+    pub upd_per_s_per_w: f64,
+    /// Peak neural instructions per second (equivalent Eq.-3 ops).
+    pub peak_neural_ips: f64,
+}
+
+impl AsicReport {
+    /// Generate the report for one library.
+    pub fn generate(library: AsicLibrary) -> AsicReport {
+        let p = library.params();
+        let block_areas: Vec<(Block, f64)> =
+            CORE_BLOCKS.iter().map(|b| (b.block, b.gates * p.area_per_ge)).collect();
+        let gates = blocks::core_gates();
+        let total_area_um2 = gates * p.area_per_ge * p.fill;
+        let clock_mhz =
+            1e6 / (AsicLibrary::CRITICAL_PATH_GATES * p.gate_delay_ps);
+        let dynamic = p.dyn_mw_per_ge_mhz * gates * clock_mhz;
+        let leakage_mw = p.leak_mw_per_ge * gates;
+        let internal_mw = dynamic * p.internal_frac;
+        let switching_mw = dynamic * (1.0 - p.internal_frac);
+        let total_power_mw = dynamic + leakage_mw;
+        let throughput_upd_s = clock_mhz * 1e6 / 3.0;
+        AsicReport {
+            library,
+            block_areas,
+            total_area_um2,
+            clock_mhz,
+            total_power_mw,
+            internal_mw,
+            switching_mw,
+            leakage_mw,
+            throughput_upd_s,
+            upd_per_s_per_w: throughput_upd_s / (total_power_mw / 1000.0),
+            peak_neural_ips: clock_mhz * 1e6 * 15.0,
+        }
+    }
+
+    /// Area of one block (µm²).
+    pub fn block_area(&self, block: Block) -> f64 {
+        self.block_areas.iter().find(|(b, _)| *b == block).map(|&(_, a)| a).unwrap_or(0.0)
+    }
+
+    /// Fig. 5 view: per-block fraction of placed area.
+    pub fn area_fractions(&self) -> Vec<(Block, f64)> {
+        let sum: f64 = self.block_areas.iter().map(|&(_, a)| a).sum();
+        self.block_areas.iter().map(|&(b, a)| (b, a / sum)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol_pct: f64) -> bool {
+        (a - b).abs() / b.abs() * 100.0 <= tol_pct
+    }
+
+    #[test]
+    fn freepdk45_matches_table_vii() {
+        let r = AsicReport::generate(AsicLibrary::FreePdk45);
+        assert!(close(r.total_area_um2, 95654.664, 1.0), "area {}", r.total_area_um2);
+        assert!(close(r.clock_mhz, 201.5, 1.0), "clock {}", r.clock_mhz);
+        assert!(close(r.total_power_mw, 49.5, 5.0), "power {}", r.total_power_mw);
+        assert!(close(r.throughput_upd_s, 67.6e6, 1.0), "thr {}", r.throughput_upd_s);
+        assert!(close(r.upd_per_s_per_w, 1.371e9, 7.0), "eff {}", r.upd_per_s_per_w);
+        assert!(close(r.peak_neural_ips, 3.022e9, 1.0), "ips {}", r.peak_neural_ips);
+        // Per-block areas are the calibration inputs; sanity only.
+        assert!(close(r.block_area(Block::Npu), 19516.154, 1.0));
+        assert!(close(r.block_area(Block::Hazard), 146.3, 1.0));
+    }
+
+    #[test]
+    fn asap7_matches_table_vii() {
+        let r = AsicReport::generate(AsicLibrary::Asap7);
+        assert!(close(r.total_area_um2, 6599.375, 1.0), "area {}", r.total_area_um2);
+        assert!(close(r.clock_mhz, 316.3, 1.0), "clock {}", r.clock_mhz);
+        assert!(close(r.total_power_mw, 10.9, 5.0), "power {}", r.total_power_mw);
+        assert!(close(r.throughput_upd_s, 105.4e6, 1.0), "thr {}", r.throughput_upd_s);
+        assert!(close(r.upd_per_s_per_w, 9.67e9, 7.0), "eff {}", r.upd_per_s_per_w);
+        assert!(close(r.peak_neural_ips, 4.74e9, 1.0), "ips {}", r.peak_neural_ips);
+    }
+
+    #[test]
+    fn asap7_per_block_areas_are_predicted_within_7pct() {
+        // These are genuine predictions: the block split was calibrated on
+        // FreePDK45 only, the 7 nm shrink is uniform.
+        let r = AsicReport::generate(AsicLibrary::Asap7);
+        for (block, paper) in [
+            (Block::FetchDecode, 1116.522),
+            (Block::ICache, 723.941),
+            (Block::DCache, 799.830),
+            (Block::Alu, 1441.364),
+            (Block::Npu, 1292.196),
+            (Block::Dcu, 141.411),
+            (Block::Other, 809.584),
+        ] {
+            let got = r.block_area(block);
+            assert!(
+                close(got, paper, 7.0),
+                "{}: predicted {got:.1}, paper {paper}",
+                block.name()
+            );
+        }
+    }
+
+    #[test]
+    fn power_split_shape() {
+        // Internal > switching >> leakage, as in the paper's breakdown.
+        for lib in [AsicLibrary::FreePdk45, AsicLibrary::Asap7] {
+            let r = AsicReport::generate(lib);
+            assert!(r.internal_mw > r.switching_mw);
+            assert!(r.switching_mw > r.leakage_mw * 100.0);
+            assert!(
+                close(r.internal_mw + r.switching_mw + r.leakage_mw, r.total_power_mw, 0.1)
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_fractions_sum_to_one() {
+        let r = AsicReport::generate(AsicLibrary::FreePdk45);
+        let sum: f64 = r.area_fractions().iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // NPU ~20 %, DCU < 2 % (the §VI-D claims).
+        let npu = r.area_fractions().iter().find(|(b, _)| *b == Block::Npu).unwrap().1;
+        assert!((0.15..=0.25).contains(&npu));
+    }
+
+    #[test]
+    fn seven_nm_is_faster_smaller_and_more_efficient() {
+        let a45 = AsicReport::generate(AsicLibrary::FreePdk45);
+        let a7 = AsicReport::generate(AsicLibrary::Asap7);
+        assert!(a7.total_area_um2 < a45.total_area_um2 / 10.0);
+        assert!(a7.clock_mhz > a45.clock_mhz);
+        assert!(a7.upd_per_s_per_w > 5.0 * a45.upd_per_s_per_w);
+    }
+}

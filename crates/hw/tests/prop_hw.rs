@@ -1,0 +1,69 @@
+//! Property tests for the hardware models.
+
+use izhi_hw::asic::{AsicLibrary, AsicReport};
+use izhi_hw::fpga::{FpgaReport, FpgaTarget};
+use proptest::prelude::*;
+
+proptest! {
+    /// FPGA resource usage is strictly monotone in the core count, on both
+    /// targets and every resource class.
+    #[test]
+    fn fpga_monotone(n in 1u32..256) {
+        for target in [FpgaTarget::Max10, FpgaTarget::Agilex7] {
+            let a = FpgaReport::for_cores(target, n);
+            let b = FpgaReport::for_cores(target, n + 1);
+            prop_assert!(b.used.logic > a.used.logic);
+            prop_assert!(b.used.ff > a.used.ff);
+            prop_assert!(b.used.memory >= a.used.memory);
+            prop_assert!(b.used.dsp >= a.used.dsp);
+        }
+    }
+
+    /// Once a configuration stops fitting, no larger one fits either
+    /// (max_cores is a genuine threshold).
+    #[test]
+    fn fpga_fit_is_threshold(n in 1u32..300) {
+        for target in [FpgaTarget::Max10, FpgaTarget::Agilex7] {
+            let fits_n = FpgaReport::for_cores(target, n).fits;
+            let fits_n1 = FpgaReport::for_cores(target, n + 1).fits;
+            prop_assert!(fits_n || !fits_n1, "{target:?}: !fits({n}) but fits({})", n + 1);
+        }
+    }
+
+    /// Utilisation percentages are consistent with absolute usage.
+    #[test]
+    fn fpga_pct_consistent(n in 1u32..128) {
+        for target in [FpgaTarget::Max10, FpgaTarget::Agilex7] {
+            let r = FpgaReport::for_cores(target, n);
+            let cap = target.capacity();
+            prop_assert!((r.pct.logic - r.used.logic / cap.logic * 100.0).abs() < 1e-9);
+            prop_assert!((r.pct.dsp - r.used.dsp / cap.dsp * 100.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn asic_fractions_sum_to_one_for_both_libraries() {
+    for lib in [AsicLibrary::FreePdk45, AsicLibrary::Asap7] {
+        let r = AsicReport::generate(lib);
+        let sum: f64 = r.area_fractions().iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "{lib:?}");
+        // All fractions positive and below one.
+        for (b, f) in r.area_fractions() {
+            assert!(f > 0.0 && f < 1.0, "{lib:?}/{b:?}: {f}");
+        }
+    }
+}
+
+#[test]
+fn asic_identities_hold() {
+    // The paper's derived-metric identities hold in the model by
+    // construction; pin them so refactors cannot silently break them.
+    for lib in [AsicLibrary::FreePdk45, AsicLibrary::Asap7] {
+        let r = AsicReport::generate(lib);
+        assert!((r.throughput_upd_s - r.clock_mhz * 1e6 / 3.0).abs() < 1.0);
+        assert!((r.peak_neural_ips - r.clock_mhz * 1e6 * 15.0).abs() < 1.0);
+        let eff = r.throughput_upd_s / (r.total_power_mw / 1000.0);
+        assert!((eff - r.upd_per_s_per_w).abs() / eff < 1e-12);
+    }
+}

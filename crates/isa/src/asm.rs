@@ -1,0 +1,1207 @@
+//! Two-pass text assembler for RV32IM + Zicsr + the neuromorphic extension.
+//!
+//! Supported syntax (a practical subset of GNU as):
+//!
+//! * labels (`name:`), comments (`#`, `//`, `;`),
+//! * directives: `.text [addr]`, `.data [addr]`, `.org addr`, `.word`,
+//!   `.half`, `.byte`, `.space n`, `.align n` (power of two), `.equ name, expr`,
+//!   `.global` (accepted, ignored),
+//! * integer expressions with `+ - * << >> & |`, parentheses, decimal /
+//!   `0x` / `0b` literals, `'c'` chars, symbols, and `%hi(expr)` / `%lo(expr)`,
+//! * all RV32IM instructions, `csrrw/s/c[i]` (with named CSRs `mcycle`,
+//!   `mcycleh`, `minstret`, `minstreth`, `mhartid`), the four neuromorphic
+//!   instructions, and the usual pseudo-instructions (`li`, `la`, `mv`,
+//!   `not`, `neg`, `j`, `jr`, `ret`, `call`, `nop`, `beqz`, `bnez`, ...).
+//!
+//! Pass 1 lays out sections and collects symbols; pass 2 encodes. `li`/`la`
+//! with a symbolic or large operand always occupy two words (lui+addi) so
+//! both passes agree on layout.
+
+use std::collections::HashMap;
+
+use crate::encode::encode;
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, Inst, NmOp};
+use crate::inst::{LoadOp, StoreOp};
+use crate::reg::Reg;
+
+/// Default base address of the `.text` section (off-chip SDRAM).
+pub const DEFAULT_TEXT_BASE: u32 = 0x0000_0000;
+/// Default base address of the `.data` section (off-chip SDRAM).
+pub const DEFAULT_DATA_BASE: u32 = 0x0004_0000;
+
+/// Assembly error with source line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A contiguous assembled memory region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Base address.
+    pub base: u32,
+    /// Raw little-endian bytes.
+    pub data: Vec<u8>,
+}
+
+/// Assembled program: memory segments plus the symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// All emitted segments (one per `.text`/`.data`/`.org` region).
+    pub segments: Vec<Segment>,
+    /// Label and `.equ` values.
+    pub symbols: HashMap<String, u32>,
+    /// Entry point (base of the first `.text` region, or the `_start`
+    /// symbol when defined).
+    pub entry: u32,
+}
+
+impl Program {
+    /// Words of the segment containing the entry point (the text image).
+    pub fn words(&self) -> Vec<u32> {
+        for seg in &self.segments {
+            if self.entry >= seg.base && self.entry < seg.base + seg.data.len() as u32 {
+                return seg
+                    .data
+                    .chunks(4)
+                    .map(|c| {
+                        let mut w = [0u8; 4];
+                        w[..c.len()].copy_from_slice(c);
+                        u32::from_le_bytes(w)
+                    })
+                    .collect();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Look up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total image size in bytes across all segments.
+    pub fn size(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+}
+
+/// Named CSRs understood by the assembler.
+fn csr_by_name(name: &str) -> Option<u16> {
+    Some(match name {
+        "mcycle" => 0xB00,
+        "minstret" => 0xB02,
+        "mcycleh" => 0xB80,
+        "minstreth" => 0xB82,
+        "mhartid" => 0xF14,
+        _ => return None,
+    })
+}
+
+/// The two-pass assembler.
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    text_base: u32,
+    data_base: u32,
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Assembler { text_base: DEFAULT_TEXT_BASE, data_base: DEFAULT_DATA_BASE }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// An item recorded during pass 1 and encoded during pass 2.
+#[derive(Debug, Clone)]
+enum Item {
+    /// One machine instruction (possibly a pseudo expansion slot).
+    Inst { line: usize, addr: u32, mnemonic: String, operands: Vec<String> },
+    /// Raw data bytes already resolved in pass 1.
+    Bytes { addr: u32, bytes: Vec<u8> },
+    /// A `.word`/`.half`/`.byte` whose expressions need pass-2 symbols.
+    Data { line: usize, addr: u32, width: u32, exprs: Vec<String> },
+}
+
+impl Assembler {
+    /// Assembler with the default section bases.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the `.text` base address.
+    pub fn text_base(mut self, base: u32) -> Self {
+        self.text_base = base;
+        self
+    }
+
+    /// Override the `.data` base address.
+    pub fn data_base(mut self, base: u32) -> Self {
+        self.data_base = base;
+        self
+    }
+
+    /// Assemble a full source text into a [`Program`].
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let mut items: Vec<Item> = Vec::new();
+
+        let mut text_cursor = self.text_base;
+        let mut data_cursor = self.data_base;
+        let mut section = Section::Text;
+
+        // ---- pass 1: layout + symbol collection ----
+        for (lineno, raw_line) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let mut text = strip_comment(raw_line).trim().to_string();
+            if text.is_empty() {
+                continue;
+            }
+            // Possibly several labels on one line.
+            while let Some(colon) = find_label_colon(&text) {
+                let label = text[..colon].trim().to_string();
+                if !is_ident(&label) {
+                    return Err(AsmError { line, message: format!("bad label `{label}`") });
+                }
+                let addr = cursor(section, text_cursor, data_cursor);
+                if symbols.insert(label.clone(), addr).is_some() {
+                    return Err(AsmError { line, message: format!("duplicate label `{label}`") });
+                }
+                text = text[colon + 1..].trim().to_string();
+            }
+            if text.is_empty() {
+                continue;
+            }
+
+            let (mnemonic, rest) = split_mnemonic(&text);
+            let mnemonic = mnemonic.to_ascii_lowercase();
+            let cur = cursor_mut(section, &mut text_cursor, &mut data_cursor);
+
+            if let Some(directive) = mnemonic.strip_prefix('.') {
+                match directive {
+                    "text" => {
+                        if !rest.trim().is_empty() {
+                            text_cursor = eval_const(rest, line, &symbols)? as u32;
+                        }
+                        section = Section::Text;
+                    }
+                    "data" => {
+                        if !rest.trim().is_empty() {
+                            data_cursor = eval_const(rest, line, &symbols)? as u32;
+                        }
+                        section = Section::Data;
+                    }
+                    "org" => {
+                        *cur = eval_const(rest, line, &symbols)? as u32;
+                    }
+                    "align" => {
+                        let n = eval_const(rest, line, &symbols)? as u32;
+                        let a = 1u32 << n;
+                        *cur = (*cur + a - 1) & !(a - 1);
+                    }
+                    "space" | "skip" => {
+                        let n = eval_const(rest, line, &symbols)? as u32;
+                        items.push(Item::Bytes { addr: *cur, bytes: vec![0; n as usize] });
+                        *cur += n;
+                    }
+                    "equ" | "set" => {
+                        let (name, expr) = rest
+                            .split_once(',')
+                            .ok_or_else(|| AsmError { line, message: ".equ needs name, value".into() })?;
+                        let v = eval_const(expr, line, &symbols)? as u32;
+                        symbols.insert(name.trim().to_string(), v);
+                    }
+                    "word" | "half" | "byte" => {
+                        let width = match directive {
+                            "word" => 4,
+                            "half" => 2,
+                            _ => 1,
+                        };
+                        let exprs: Vec<String> =
+                            split_operands(rest).into_iter().map(|s| s.to_string()).collect();
+                        let n = exprs.len() as u32 * width;
+                        items.push(Item::Data { line, addr: *cur, width, exprs });
+                        *cur += n;
+                    }
+                    "global" | "globl" | "section" => { /* accepted, ignored */ }
+                    _ => {
+                        return Err(AsmError {
+                            line,
+                            message: format!("unknown directive `.{directive}`"),
+                        })
+                    }
+                }
+                continue;
+            }
+
+            // An instruction (or pseudo). Determine its encoded size.
+            let operands: Vec<String> =
+                split_operands(rest).into_iter().map(|s| s.to_string()).collect();
+            let words = pseudo_size(&mnemonic, &operands, &symbols);
+            items.push(Item::Inst { line, addr: *cur, mnemonic, operands });
+            *cur += 4 * words;
+        }
+
+        // ---- pass 2: encode ----
+        let mut image: Vec<(u32, Vec<u8>)> = Vec::new();
+        for item in &items {
+            match item {
+                Item::Bytes { addr, bytes } => image.push((*addr, bytes.clone())),
+                Item::Data { line, addr, width, exprs } => {
+                    let mut bytes = Vec::with_capacity(exprs.len() * *width as usize);
+                    for e in exprs {
+                        let v = eval_const(e, *line, &symbols)? as u32;
+                        bytes.extend_from_slice(&v.to_le_bytes()[..*width as usize]);
+                    }
+                    image.push((*addr, bytes));
+                }
+                Item::Inst { line, addr, mnemonic, operands } => {
+                    let insts = encode_mnemonic(mnemonic, operands, *addr, *line, &symbols)?;
+                    let mut bytes = Vec::with_capacity(insts.len() * 4);
+                    for i in insts {
+                        bytes.extend_from_slice(&encode(i).to_le_bytes());
+                    }
+                    image.push((*addr, bytes));
+                }
+            }
+        }
+
+        // Merge adjacent/overlapping pieces into segments.
+        image.sort_by_key(|(a, _)| *a);
+        let mut segments: Vec<Segment> = Vec::new();
+        for (addr, bytes) in image {
+            if bytes.is_empty() {
+                continue;
+            }
+            match segments.last_mut() {
+                Some(seg) if seg.base + seg.data.len() as u32 == addr => {
+                    seg.data.extend_from_slice(&bytes);
+                }
+                _ => segments.push(Segment { base: addr, data: bytes }),
+            }
+        }
+
+        let entry = symbols.get("_start").copied().unwrap_or(self.text_base);
+        Ok(Program { segments, symbols, entry })
+    }
+}
+
+fn cursor(section: Section, text: u32, data: u32) -> u32 {
+    match section {
+        Section::Text => text,
+        Section::Data => data,
+    }
+}
+
+fn cursor_mut<'a>(section: Section, text: &'a mut u32, data: &'a mut u32) -> &'a mut u32 {
+    match section {
+        Section::Text => text,
+        Section::Data => data,
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    let bytes = line.as_bytes();
+    let mut in_char = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\'' {
+            in_char = !in_char;
+        }
+        if !in_char {
+            if c == b'#' || c == b';' {
+                end = i;
+                break;
+            }
+            if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                end = i;
+                break;
+            }
+        }
+        i += 1;
+    }
+    &line[..end]
+}
+
+fn find_label_colon(text: &str) -> Option<usize> {
+    // A label is an identifier followed by ':' before any whitespace-separated
+    // mnemonic. Avoid treating `%hi(x):` style (not valid anyway) specially.
+    let colon = text.find(':')?;
+    let head = &text[..colon];
+    is_ident(head.trim()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn split_mnemonic(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], &text[i + 1..]),
+        None => (text, ""),
+    }
+}
+
+/// Split an operand list on top-level commas (respecting parentheses).
+fn split_operands(rest: &str) -> Vec<&str> {
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(rest[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(rest[start..].trim());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+struct ExprParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    symbols: &'a HashMap<String, u32>,
+}
+
+impl<'a> ExprParser<'a> {
+    fn err(&self, message: impl Into<String>) -> AsmError {
+        AsmError { line: self.line, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat2(&mut self, a: u8, b: u8) -> bool {
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&a) && self.src.get(self.pos + 1) == Some(&b) {
+            self.pos += 2;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(&mut self) -> Result<i64, AsmError> {
+        let v = self.or_expr()?;
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return Err(self.err(format!(
+                "trailing characters in expression: `{}`",
+                String::from_utf8_lossy(&self.src[self.pos..])
+            )));
+        }
+        Ok(v)
+    }
+
+    fn or_expr(&mut self) -> Result<i64, AsmError> {
+        let mut v = self.and_expr()?;
+        loop {
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                v |= self.and_expr()?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<i64, AsmError> {
+        let mut v = self.shift_expr()?;
+        loop {
+            if self.peek() == Some(b'&') {
+                self.pos += 1;
+                v &= self.shift_expr()?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn shift_expr(&mut self) -> Result<i64, AsmError> {
+        let mut v = self.add_expr()?;
+        loop {
+            if self.eat2(b'<', b'<') {
+                v <<= self.add_expr()?;
+            } else if self.eat2(b'>', b'>') {
+                v >>= self.add_expr()?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<i64, AsmError> {
+        let mut v = self.mul_expr()?;
+        loop {
+            if self.eat(b'+') {
+                v = v.wrapping_add(self.mul_expr()?);
+            } else if self.eat(b'-') {
+                v = v.wrapping_sub(self.mul_expr()?);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<i64, AsmError> {
+        let mut v = self.unary()?;
+        loop {
+            if self.eat(b'*') {
+                v = v.wrapping_mul(self.unary()?);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<i64, AsmError> {
+        if self.eat(b'-') {
+            return Ok(self.unary()?.wrapping_neg());
+        }
+        if self.eat(b'+') {
+            return self.unary();
+        }
+        if self.eat(b'~') {
+            return Ok(!self.unary()?);
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<i64, AsmError> {
+        self.skip_ws();
+        let Some(&c) = self.src.get(self.pos) else {
+            return Err(self.err("unexpected end of expression"));
+        };
+        if c == b'(' {
+            self.pos += 1;
+            let v = self.or_expr()?;
+            if !self.eat(b')') {
+                return Err(self.err("missing `)`"));
+            }
+            return Ok(v);
+        }
+        if c == b'%' {
+            // %hi(expr) / %lo(expr)
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_alphabetic() {
+                self.pos += 1;
+            }
+            let func = String::from_utf8_lossy(&self.src[start..self.pos]).to_string();
+            if !self.eat(b'(') {
+                return Err(self.err("expected `(` after %hi/%lo"));
+            }
+            let v = self.or_expr()? as u32;
+            if !self.eat(b')') {
+                return Err(self.err("missing `)`"));
+            }
+            return match func.as_str() {
+                // %hi compensates for the sign extension of the low part.
+                "hi" => Ok(((v.wrapping_add(0x800)) >> 12) as i64),
+                "lo" => Ok(((((v & 0xFFF) as i32) << 20) >> 20) as i64),
+                _ => Err(self.err(format!("unknown function %{func}"))),
+            };
+        }
+        if c == b'\'' {
+            // character literal
+            let bytes = &self.src[self.pos..];
+            if bytes.len() >= 3 && bytes[2] == b'\'' {
+                self.pos += 3;
+                return Ok(bytes[1] as i64);
+            }
+            return Err(self.err("bad character literal"));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            let text: String =
+                String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
+            let v = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                i64::from_str_radix(hex, 16)
+            } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
+                i64::from_str_radix(bin, 2)
+            } else {
+                text.parse::<i64>()
+            };
+            return v.map_err(|_| self.err(format!("bad number `{text}`")));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'.' {
+            let start = self.pos;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric()
+                    || self.src[self.pos] == b'_'
+                    || self.src[self.pos] == b'.')
+            {
+                self.pos += 1;
+            }
+            let name = String::from_utf8_lossy(&self.src[start..self.pos]).to_string();
+            return self
+                .symbols
+                .get(&name)
+                .map(|&v| v as i64)
+                .ok_or_else(|| self.err(format!("undefined symbol `{name}`")));
+        }
+        Err(self.err(format!("unexpected character `{}`", c as char)))
+    }
+}
+
+fn eval_const(expr: &str, line: usize, symbols: &HashMap<String, u32>) -> Result<i64, AsmError> {
+    ExprParser { src: expr.trim().as_bytes(), pos: 0, line, symbols }.parse()
+}
+
+/// Can this expression be evaluated without the symbol table? Used in pass 1
+/// to size `li`.
+fn is_pure_literal(expr: &str) -> bool {
+    eval_const(expr, 0, &HashMap::new()).is_ok()
+}
+
+// ---------------------------------------------------------------------------
+// Instruction encoding
+// ---------------------------------------------------------------------------
+
+/// Number of 32-bit words a mnemonic occupies (pseudo expansion size).
+fn pseudo_size(mnemonic: &str, operands: &[String], _symbols: &HashMap<String, u32>) -> u32 {
+    match mnemonic {
+        "li" => {
+            if let Some(expr) = operands.get(1) {
+                if is_pure_literal(expr) {
+                    // Same truncation as pass 2: `li` loads the low 32 bits
+                    // (so 0xffffffff is -1 and fits one `addi`).
+                    let v = eval_const(expr, 0, &HashMap::new()).unwrap_or(0) as i32;
+                    if (-2048..=2047).contains(&(v as i64)) {
+                        return 1;
+                    }
+                }
+            }
+            2
+        }
+        "la" => 2,
+        _ => 1,
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(tok).ok_or_else(|| AsmError { line, message: format!("bad register `{tok}`") })
+}
+
+/// Parse `imm(reg)` or `(reg)` or `imm` (defaulting the base to x0).
+fn parse_mem(
+    tok: &str,
+    line: usize,
+    symbols: &HashMap<String, u32>,
+) -> Result<(Reg, i32), AsmError> {
+    let tok = tok.trim();
+    if let Some(open) = tok.rfind('(') {
+        let close = tok
+            .rfind(')')
+            .ok_or_else(|| AsmError { line, message: format!("missing `)` in `{tok}`") })?;
+        let base = parse_reg(&tok[open + 1..close], line)?;
+        let imm_src = tok[..open].trim();
+        let imm = if imm_src.is_empty() { 0 } else { eval_const(imm_src, line, symbols)? as i32 };
+        Ok((base, imm))
+    } else {
+        Ok((Reg::ZERO, eval_const(tok, line, symbols)? as i32))
+    }
+}
+
+fn expect_ops(n: usize, operands: &[String], mnemonic: &str, line: usize) -> Result<(), AsmError> {
+    if operands.len() != n {
+        return Err(AsmError {
+            line,
+            message: format!("`{mnemonic}` expects {n} operands, got {}", operands.len()),
+        });
+    }
+    Ok(())
+}
+
+fn check_i_imm(imm: i64, line: usize, mnemonic: &str) -> Result<i32, AsmError> {
+    if !(-2048..=2047).contains(&imm) {
+        return Err(AsmError {
+            line,
+            message: format!("immediate {imm} out of 12-bit range for `{mnemonic}`"),
+        });
+    }
+    Ok(imm as i32)
+}
+
+fn branch_target(
+    expr: &str,
+    pc: u32,
+    line: usize,
+    symbols: &HashMap<String, u32>,
+) -> Result<i32, AsmError> {
+    let v = eval_const(expr, line, symbols)?;
+    // A known symbol (or large value) is absolute; small literals are
+    // already pc-relative offsets.
+    let off = if is_pure_literal(expr) { v } else { v - pc as i64 };
+    if off % 2 != 0 {
+        return Err(AsmError { line, message: format!("misaligned branch target {off}") });
+    }
+    Ok(off as i32)
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_mnemonic(
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    line: usize,
+    symbols: &HashMap<String, u32>,
+) -> Result<Vec<Inst>, AsmError> {
+    let ev = |e: &str| eval_const(e, line, symbols);
+    let reg = |t: &str| parse_reg(t, line);
+
+    let alu_imm = |op: AluImmOp| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(3, ops, mnemonic, line)?;
+        let imm = match op {
+            AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => {
+                let v = ev(&ops[2])?;
+                if !(0..32).contains(&v) {
+                    return Err(AsmError { line, message: format!("shift amount {v} out of range") });
+                }
+                v as i32
+            }
+            _ => check_i_imm(ev(&ops[2])?, line, mnemonic)?,
+        };
+        Ok(vec![Inst::OpImm { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm }])
+    };
+    let alu = |op: AluOp| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(3, ops, mnemonic, line)?;
+        Ok(vec![Inst::Op { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? }])
+    };
+    let load = |op: LoadOp| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(2, ops, mnemonic, line)?;
+        let (rs1, imm) = parse_mem(&ops[1], line, symbols)?;
+        Ok(vec![Inst::Load { op, rd: reg(&ops[0])?, rs1, imm }])
+    };
+    let store = |op: StoreOp| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(2, ops, mnemonic, line)?;
+        let (rs1, imm) = parse_mem(&ops[1], line, symbols)?;
+        Ok(vec![Inst::Store { op, rs1, rs2: reg(&ops[0])?, imm }])
+    };
+    let branch = |op: BranchOp, swap: bool| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(3, ops, mnemonic, line)?;
+        let (a, b) = if swap { (1, 0) } else { (0, 1) };
+        let imm = branch_target(&ops[2], pc, line, symbols)?;
+        Ok(vec![Inst::Branch { op, rs1: reg(&ops[a])?, rs2: reg(&ops[b])?, imm }])
+    };
+    let branch_zero = |op: BranchOp, zero_first: bool| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(2, ops, mnemonic, line)?;
+        let imm = branch_target(&ops[1], pc, line, symbols)?;
+        let r = reg(&ops[0])?;
+        let (rs1, rs2) = if zero_first { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
+        Ok(vec![Inst::Branch { op, rs1, rs2, imm }])
+    };
+    let csr_op = |op: CsrOp, imm_form: bool| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(3, ops, mnemonic, line)?;
+        let rd = reg(&ops[0])?;
+        let csr = match csr_by_name(ops[1].as_str()) {
+            Some(c) => c,
+            None => ev(&ops[1])? as u16,
+        };
+        if imm_form {
+            let uimm = ev(&ops[2])? as u8;
+            Ok(vec![Inst::CsrImm { op, rd, uimm, csr }])
+        } else {
+            Ok(vec![Inst::Csr { op, rd, rs1: reg(&ops[2])?, csr }])
+        }
+    };
+    let nm = |op: NmOp| -> Result<Vec<Inst>, AsmError> {
+        expect_ops(3, ops, mnemonic, line)?;
+        Ok(vec![Inst::Nm { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? }])
+    };
+
+    match mnemonic {
+        // --- RV32I ---
+        "lui" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            let v = ev(&ops[1])?;
+            // Accept either a 20-bit page number or a full 32-bit value.
+            let imm = if (0..0x100000).contains(&v) { (v as i32) << 12 } else { v as i32 };
+            Ok(vec![Inst::Lui { rd: reg(&ops[0])?, imm }])
+        }
+        "auipc" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            let v = ev(&ops[1])?;
+            let imm = if (0..0x100000).contains(&v) { (v as i32) << 12 } else { v as i32 };
+            Ok(vec![Inst::Auipc { rd: reg(&ops[0])?, imm }])
+        }
+        "jal" => match ops.len() {
+            1 => {
+                let imm = branch_target(&ops[0], pc, line, symbols)?;
+                Ok(vec![Inst::Jal { rd: Reg::RA, imm }])
+            }
+            2 => {
+                let imm = branch_target(&ops[1], pc, line, symbols)?;
+                Ok(vec![Inst::Jal { rd: reg(&ops[0])?, imm }])
+            }
+            n => Err(AsmError { line, message: format!("`jal` expects 1 or 2 operands, got {n}") }),
+        },
+        "jalr" => match ops.len() {
+            1 => Ok(vec![Inst::Jalr { rd: Reg::RA, rs1: reg(&ops[0])?, imm: 0 }]),
+            2 => {
+                let (rs1, imm) = parse_mem(&ops[1], line, symbols)?;
+                Ok(vec![Inst::Jalr { rd: reg(&ops[0])?, rs1, imm }])
+            }
+            3 => Ok(vec![Inst::Jalr {
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: check_i_imm(ev(&ops[2])?, line, mnemonic)?,
+            }]),
+            n => Err(AsmError { line, message: format!("`jalr` expects 1-3 operands, got {n}") }),
+        },
+        "beq" => branch(BranchOp::Eq, false),
+        "bne" => branch(BranchOp::Ne, false),
+        "blt" => branch(BranchOp::Lt, false),
+        "bge" => branch(BranchOp::Ge, false),
+        "bltu" => branch(BranchOp::Ltu, false),
+        "bgeu" => branch(BranchOp::Geu, false),
+        "bgt" => branch(BranchOp::Lt, true),
+        "ble" => branch(BranchOp::Ge, true),
+        "bgtu" => branch(BranchOp::Ltu, true),
+        "bleu" => branch(BranchOp::Geu, true),
+        "beqz" => branch_zero(BranchOp::Eq, false),
+        "bnez" => branch_zero(BranchOp::Ne, false),
+        "bltz" => branch_zero(BranchOp::Lt, false),
+        "bgez" => branch_zero(BranchOp::Ge, false),
+        "bgtz" => branch_zero(BranchOp::Lt, true),
+        "blez" => branch_zero(BranchOp::Ge, true),
+        "lb" => load(LoadOp::Lb),
+        "lh" => load(LoadOp::Lh),
+        "lw" => load(LoadOp::Lw),
+        "lbu" => load(LoadOp::Lbu),
+        "lhu" => load(LoadOp::Lhu),
+        "sb" => store(StoreOp::Sb),
+        "sh" => store(StoreOp::Sh),
+        "sw" => store(StoreOp::Sw),
+        "addi" => alu_imm(AluImmOp::Addi),
+        "slti" => alu_imm(AluImmOp::Slti),
+        "sltiu" => alu_imm(AluImmOp::Sltiu),
+        "xori" => alu_imm(AluImmOp::Xori),
+        "ori" => alu_imm(AluImmOp::Ori),
+        "andi" => alu_imm(AluImmOp::Andi),
+        "slli" => alu_imm(AluImmOp::Slli),
+        "srli" => alu_imm(AluImmOp::Srli),
+        "srai" => alu_imm(AluImmOp::Srai),
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "sll" => alu(AluOp::Sll),
+        "slt" => alu(AluOp::Slt),
+        "sltu" => alu(AluOp::Sltu),
+        "xor" => alu(AluOp::Xor),
+        "srl" => alu(AluOp::Srl),
+        "sra" => alu(AluOp::Sra),
+        "or" => alu(AluOp::Or),
+        "and" => alu(AluOp::And),
+        "mul" => alu(AluOp::Mul),
+        "mulh" => alu(AluOp::Mulh),
+        "mulhsu" => alu(AluOp::Mulhsu),
+        "mulhu" => alu(AluOp::Mulhu),
+        "div" => alu(AluOp::Div),
+        "divu" => alu(AluOp::Divu),
+        "rem" => alu(AluOp::Rem),
+        "remu" => alu(AluOp::Remu),
+        "fence" | "fence.i" => Ok(vec![Inst::Fence]),
+        "ecall" => Ok(vec![Inst::Ecall]),
+        "ebreak" => Ok(vec![Inst::Ebreak]),
+        "csrrw" => csr_op(CsrOp::Rw, false),
+        "csrrs" => csr_op(CsrOp::Rs, false),
+        "csrrc" => csr_op(CsrOp::Rc, false),
+        "csrrwi" => csr_op(CsrOp::Rw, true),
+        "csrrsi" => csr_op(CsrOp::Rs, true),
+        "csrrci" => csr_op(CsrOp::Rc, true),
+
+        // --- neuromorphic extension ---
+        "nmldl" => nm(NmOp::Nmldl),
+        "nmldh" => nm(NmOp::Nmldh),
+        "nmpn" => nm(NmOp::Nmpn),
+        "nmdec" => nm(NmOp::Nmdec),
+
+        // --- pseudo-instructions ---
+        "nop" => Ok(vec![Inst::OpImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }]),
+        "li" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            let rd = reg(&ops[0])?;
+            let v = ev(&ops[1])? as i32;
+            if is_pure_literal(&ops[1]) && (-2048..=2047).contains(&(v as i64)) {
+                Ok(vec![Inst::OpImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm: v }])
+            } else {
+                Ok(expand_li(rd, v))
+            }
+        }
+        "la" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            Ok(expand_li(reg(&ops[0])?, ev(&ops[1])? as i32))
+        }
+        "mv" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            Ok(vec![Inst::OpImm { op: AluImmOp::Addi, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 0 }])
+        }
+        "not" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            Ok(vec![Inst::OpImm { op: AluImmOp::Xori, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: -1 }])
+        }
+        "neg" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            Ok(vec![Inst::Op { op: AluOp::Sub, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+        }
+        "seqz" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            Ok(vec![Inst::OpImm { op: AluImmOp::Sltiu, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 1 }])
+        }
+        "snez" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            Ok(vec![Inst::Op { op: AluOp::Sltu, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+        }
+        "j" => {
+            expect_ops(1, ops, mnemonic, line)?;
+            let imm = branch_target(&ops[0], pc, line, symbols)?;
+            Ok(vec![Inst::Jal { rd: Reg::ZERO, imm }])
+        }
+        "jr" => {
+            expect_ops(1, ops, mnemonic, line)?;
+            Ok(vec![Inst::Jalr { rd: Reg::ZERO, rs1: reg(&ops[0])?, imm: 0 }])
+        }
+        "ret" => Ok(vec![Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 }]),
+        "call" => {
+            expect_ops(1, ops, mnemonic, line)?;
+            let imm = branch_target(&ops[0], pc, line, symbols)?;
+            Ok(vec![Inst::Jal { rd: Reg::RA, imm }])
+        }
+        "tail" => {
+            expect_ops(1, ops, mnemonic, line)?;
+            let imm = branch_target(&ops[0], pc, line, symbols)?;
+            Ok(vec![Inst::Jal { rd: Reg::ZERO, imm }])
+        }
+        "csrr" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            let csr = match csr_by_name(ops[1].as_str()) {
+                Some(c) => c,
+                None => ev(&ops[1])? as u16,
+            };
+            Ok(vec![Inst::Csr { op: CsrOp::Rs, rd: reg(&ops[0])?, rs1: Reg::ZERO, csr }])
+        }
+        "csrw" => {
+            expect_ops(2, ops, mnemonic, line)?;
+            let csr = match csr_by_name(ops[0].as_str()) {
+                Some(c) => c,
+                None => ev(&ops[0])? as u16,
+            };
+            Ok(vec![Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: reg(&ops[1])?, csr }])
+        }
+        _ => Err(AsmError { line, message: format!("unknown mnemonic `{mnemonic}`") }),
+    }
+}
+
+/// lui+addi expansion of a 32-bit constant load.
+fn expand_li(rd: Reg, v: i32) -> Vec<Inst> {
+    let lo = (v << 20) >> 20; // sign-extended low 12 bits
+    let hi = v.wrapping_sub(lo) as u32; // upper 20 bits, compensated
+    vec![
+        Inst::Lui { rd, imm: hi as i32 },
+        Inst::OpImm { op: AluImmOp::Addi, rd, rs1: rd, imm: lo },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new().assemble(src).expect("assembly failed")
+    }
+
+    #[test]
+    fn simple_program_layout() {
+        let p = asm("
+            .text
+            _start: addi a0, zero, 1
+                    add  a1, a0, a0
+                    ebreak
+        ");
+        assert_eq!(p.entry, DEFAULT_TEXT_BASE);
+        assert_eq!(p.words().len(), 3);
+        assert_eq!(p.symbol("_start"), Some(DEFAULT_TEXT_BASE));
+    }
+
+    #[test]
+    fn li_small_is_one_word() {
+        assert_eq!(asm("li a0, 42").words().len(), 1);
+        assert_eq!(asm("li a0, -2048").words().len(), 1);
+    }
+
+    #[test]
+    fn li_large_is_two_words() {
+        let p = asm("li a0, 0x12345678\nebreak");
+        assert_eq!(p.words().len(), 3);
+        // Verify the expansion loads the right value: lui + addi.
+        let w = p.words();
+        let i0 = decode(w[0]).unwrap();
+        let i1 = decode(w[1]).unwrap();
+        match (i0, i1) {
+            (Inst::Lui { imm: hi, .. }, Inst::OpImm { op: AluImmOp::Addi, imm: lo, .. }) => {
+                assert_eq!(hi.wrapping_add(lo), 0x12345678);
+            }
+            other => panic!("unexpected expansion {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_sizes_match_between_passes() {
+        // Regression: 0xffffffff is -1 after truncation, so both passes
+        // must agree on a one-word `li` (a mismatch shifts every label).
+        let p = asm("
+            _start: li t6, 0xffffffff
+            after:  ebreak
+        ");
+        assert_eq!(p.symbol("after"), Some(DEFAULT_TEXT_BASE + 4));
+        assert_eq!(p.words().len(), 2);
+    }
+
+    #[test]
+    fn li_negative_edge_cases() {
+        for v in [-1i32, i32::MIN, i32::MAX, 0x800, -0x801, 0x7FFFF800u32 as i32] {
+            let p = asm(&format!("li a0, {v}\nebreak"));
+            let w = p.words();
+            match decode(w[0]).unwrap() {
+                Inst::OpImm { imm, .. } if w.len() == 2 => assert_eq!(imm, v),
+                Inst::Lui { imm: hi, .. } => match decode(w[1]).unwrap() {
+                    Inst::OpImm { imm: lo, .. } => {
+                        assert_eq!(hi.wrapping_add(lo), v, "li {v}");
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = asm("
+            _start: li   t0, 10
+            loop:   addi t0, t0, -1
+                    bnez t0, loop
+                    j    done
+                    nop
+            done:   ebreak
+        ");
+        let w = p.words();
+        // bnez is at index 2 -> pc 8; loop at 4; offset -4.
+        match decode(w[2]).unwrap() {
+            Inst::Branch { op: BranchOp::Ne, imm, .. } => assert_eq!(imm, -4),
+            other => panic!("{other:?}"),
+        }
+        // j done: at pc 12, done at 20, offset 8.
+        match decode(w[3]).unwrap() {
+            Inst::Jal { rd: Reg(0), imm } => assert_eq!(imm, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_directives_and_symbols() {
+        let p = asm("
+            .data 0x1000
+            table:  .word 1, 2, 3, 0xdeadbeef
+            bytes:  .byte 1, 2
+                    .align 2
+            half:   .half 0x1234
+            .text
+            _start: la a0, table
+                    lw a1, (a0)
+                    ebreak
+        ");
+        assert_eq!(p.symbol("table"), Some(0x1000));
+        assert_eq!(p.symbol("bytes"), Some(0x1010));
+        assert_eq!(p.symbol("half"), Some(0x1014));
+        let data_seg = p.segments.iter().find(|s| s.base == 0x1000).unwrap();
+        assert_eq!(&data_seg.data[..4], &1u32.to_le_bytes());
+        assert_eq!(&data_seg.data[12..16], &0xdeadbeefu32.to_le_bytes());
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = asm("
+            .equ BASE, 0x2000
+            .equ COUNT, 8
+            .data BASE + COUNT * 4
+            x: .word (1 << 4) | 3, 'A', ~0
+            .text
+            _start: nop
+        ");
+        assert_eq!(p.symbol("x"), Some(0x2020));
+        let seg = p.segments.iter().find(|s| s.base == 0x2020).unwrap();
+        assert_eq!(&seg.data[..4], &19u32.to_le_bytes());
+        assert_eq!(&seg.data[4..8], &65u32.to_le_bytes());
+        assert_eq!(&seg.data[8..12], &u32::MAX.to_le_bytes());
+    }
+
+    #[test]
+    fn hi_lo_relocation() {
+        let p = asm("
+            .equ TARGET, 0x12345FFC
+            _start: lui  a0, %hi(TARGET)
+                    addi a0, a0, %lo(TARGET)
+                    ebreak
+        ");
+        let w = p.words();
+        let (hi, lo) = match (decode(w[0]).unwrap(), decode(w[1]).unwrap()) {
+            (Inst::Lui { imm: hi, .. }, Inst::OpImm { imm: lo, .. }) => (hi, lo),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(hi.wrapping_add(lo) as u32, 0x12345FFC);
+    }
+
+    #[test]
+    fn paper_listing_1_assembles() {
+        // The exact code from Listing 1 of the paper.
+        let p = asm("
+            lw a6, 4(a3)
+            lw a7, 8(a3)
+            nmldl x0, a6, a7 # load a,b,c,d parameters
+            lw t5, (a4)      # read the thalamic
+            lw a7, (a0)      # read current
+            lw a6, (a3)      # read vu
+            add a7, a7, t5
+            add a2, x0, a3
+            nmpn a2, a6, a7  # process neuron, get spike/nospike, store VU word
+        ");
+        let w = p.words();
+        assert_eq!(w.len(), 9);
+        assert!(matches!(decode(w[2]).unwrap(), Inst::Nm { op: NmOp::Nmldl, .. }));
+        assert!(matches!(
+            decode(w[8]).unwrap(),
+            Inst::Nm { op: NmOp::Nmpn, rd: Reg(12), rs1: Reg(16), rs2: Reg(17) }
+        ));
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = Assembler::new().assemble("nop\nbadop x1, x2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("badop"));
+
+        let e = Assembler::new().assemble("lw a0, 4(qq)").unwrap_err();
+        assert!(e.message.contains("bad register"));
+
+        let e = Assembler::new().assemble("addi a0, a1, 5000").unwrap_err();
+        assert!(e.message.contains("out of 12-bit range"));
+
+        let e = Assembler::new().assemble("j nowhere").unwrap_err();
+        assert!(e.message.contains("undefined symbol"));
+
+        let e = Assembler::new().assemble("x: nop\nx: nop").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn comments_all_styles() {
+        let p = asm("
+            nop # hash
+            nop // slashes
+            nop ; semicolon
+        ");
+        assert_eq!(p.words().len(), 3);
+    }
+
+    #[test]
+    fn csr_names() {
+        let p = asm("
+            _start: csrr a0, mcycle
+                    csrr a1, minstret
+                    csrr a2, mhartid
+                    ebreak
+        ");
+        let w = p.words();
+        match decode(w[0]).unwrap() {
+            Inst::Csr { csr, .. } => assert_eq!(csr, 0xB00),
+            other => panic!("{other:?}"),
+        }
+        match decode(w[2]).unwrap() {
+            Inst::Csr { csr, .. } => assert_eq!(csr, 0xF14),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = asm("
+            _start: j   end
+                    .word 0
+            end:    ebreak
+        ");
+        match decode(p.words()[0]).unwrap() {
+            Inst::Jal { imm, .. } => assert_eq!(imm, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn space_and_org() {
+        let p = asm("
+            .data 0x100
+            a: .space 16
+            b: .word 7
+            .text
+            _start: nop
+        ");
+        assert_eq!(p.symbol("b"), Some(0x110));
+    }
+}

@@ -1,0 +1,277 @@
+//! Binary instruction decoding (u32 -> Inst).
+
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, Inst, LoadOp, NmOp, StoreOp};
+use crate::reg::Reg;
+use crate::OPCODE_CUSTOM0;
+
+/// Decoding failure: the word is not a valid IzhiRISC-V instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "illegal instruction {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg(((w >> 7) & 0x1F) as u8)
+}
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg(((w >> 15) & 0x1F) as u8)
+}
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg(((w >> 20) & 0x1F) as u8)
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | (((w >> 7) & 0x1F) as i32)
+}
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    let b12 = ((w >> 31) & 1) as i32;
+    let b11 = ((w >> 7) & 1) as i32;
+    let b10_5 = ((w >> 25) & 0x3F) as i32;
+    let b4_1 = ((w >> 8) & 0xF) as i32;
+    let v = (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1);
+    (v << 19) >> 19
+}
+#[inline]
+fn imm_u(w: u32) -> i32 {
+    (w & 0xFFFF_F000) as i32
+}
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    let b20 = ((w >> 31) & 1) as i32;
+    let b19_12 = ((w >> 12) & 0xFF) as i32;
+    let b11 = ((w >> 20) & 1) as i32;
+    let b10_1 = ((w >> 21) & 0x3FF) as i32;
+    let v = (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1);
+    (v << 11) >> 11
+}
+
+/// Decode a 32-bit word into an instruction.
+pub fn decode(w: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError { word: w });
+    let inst = match w & 0x7F {
+        0b0110111 => Inst::Lui { rd: rd(w), imm: imm_u(w) },
+        0b0010111 => Inst::Auipc { rd: rd(w), imm: imm_u(w) },
+        0b1101111 => Inst::Jal { rd: rd(w), imm: imm_j(w) },
+        0b1100111 => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            Inst::Jalr { rd: rd(w), rs1: rs1(w), imm: imm_i(w) }
+        }
+        0b1100011 => {
+            let op = match funct3(w) {
+                0b000 => BranchOp::Eq,
+                0b001 => BranchOp::Ne,
+                0b100 => BranchOp::Lt,
+                0b101 => BranchOp::Ge,
+                0b110 => BranchOp::Ltu,
+                0b111 => BranchOp::Geu,
+                _ => return err,
+            };
+            Inst::Branch { op, rs1: rs1(w), rs2: rs2(w), imm: imm_b(w) }
+        }
+        0b0000011 => {
+            let op = match funct3(w) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return err,
+            };
+            Inst::Load { op, rd: rd(w), rs1: rs1(w), imm: imm_i(w) }
+        }
+        0b0100011 => {
+            let op = match funct3(w) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return err,
+            };
+            Inst::Store { op, rs1: rs1(w), rs2: rs2(w), imm: imm_s(w) }
+        }
+        0b0010011 => {
+            let imm = imm_i(w);
+            let shamt = imm & 0x1F;
+            let op = match funct3(w) {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 => {
+                    if funct7(w) != 0 {
+                        return err;
+                    }
+                    return Ok(Inst::OpImm {
+                        op: AluImmOp::Slli,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: shamt,
+                    });
+                }
+                0b101 => {
+                    let op = match funct7(w) {
+                        0b0000000 => AluImmOp::Srli,
+                        0b0100000 => AluImmOp::Srai,
+                        _ => return err,
+                    };
+                    return Ok(Inst::OpImm { op, rd: rd(w), rs1: rs1(w), imm: shamt });
+                }
+                _ => return err,
+            };
+            Inst::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+        }
+        0b0110011 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                (0b0000001, 0b000) => AluOp::Mul,
+                (0b0000001, 0b001) => AluOp::Mulh,
+                (0b0000001, 0b010) => AluOp::Mulhsu,
+                (0b0000001, 0b011) => AluOp::Mulhu,
+                (0b0000001, 0b100) => AluOp::Div,
+                (0b0000001, 0b101) => AluOp::Divu,
+                (0b0000001, 0b110) => AluOp::Rem,
+                (0b0000001, 0b111) => AluOp::Remu,
+                _ => return err,
+            };
+            Inst::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        0b0001111 => Inst::Fence,
+        0b1110011 => match funct3(w) {
+            0b000 => match w >> 20 {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return err,
+            },
+            f3 @ (0b001..=0b011) => {
+                let op = match f3 {
+                    0b001 => CsrOp::Rw,
+                    0b010 => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                Inst::Csr { op, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 }
+            }
+            f3 @ (0b101..=0b111) => {
+                let op = match f3 {
+                    0b101 => CsrOp::Rw,
+                    0b110 => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                Inst::CsrImm {
+                    op,
+                    rd: rd(w),
+                    uimm: ((w >> 15) & 0x1F) as u8,
+                    csr: (w >> 20) as u16,
+                }
+            }
+            _ => return err,
+        },
+        OPCODE_CUSTOM0 => {
+            let Some(op) = NmOp::from_funct3(funct3(w)) else {
+                return err;
+            };
+            if funct7(w) != 0 {
+                return err;
+            }
+            Inst::Nm { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x00500093).unwrap(),
+            Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: 5 }
+        );
+        assert_eq!(
+            decode(0x002081B3).unwrap(),
+            Inst::Op { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }
+        );
+        assert_eq!(decode(0x00000073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x00100073).unwrap(), Inst::Ebreak);
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi x1, x0, -1 = 0xFFF00093
+        assert_eq!(
+            decode(0xFFF00093).unwrap(),
+            Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: -1 }
+        );
+        // jal x0, -4
+        let w = encode(Inst::Jal { rd: Reg(0), imm: -4 });
+        assert_eq!(decode(w).unwrap(), Inst::Jal { rd: Reg(0), imm: -4 });
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        assert!(decode(0x0000_0000).is_err()); // all zeros
+        assert!(decode(0xFFFF_FFFF).is_err()); // all ones
+        // custom-0 with unassigned funct3
+        let w = (0b111 << 12) | OPCODE_CUSTOM0;
+        assert!(decode(w).is_err());
+        // custom-0 with nonzero funct7
+        let w = (1 << 25) | OPCODE_CUSTOM0;
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn branch_offset_roundtrip_extremes() {
+        for imm in [-4096, -2048, -4, 4, 2046, 4094] {
+            let i = Inst::Branch { op: BranchOp::Lt, rs1: Reg(3), rs2: Reg(4), imm };
+            assert_eq!(decode(encode(i)).unwrap(), i, "imm = {imm}");
+        }
+    }
+
+    #[test]
+    fn jal_offset_roundtrip_extremes() {
+        for imm in [-1048576, -2, 2, 1048574, 0x1234 & !1] {
+            let i = Inst::Jal { rd: Reg(1), imm };
+            assert_eq!(decode(encode(i)).unwrap(), i, "imm = {imm}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Disassembler: decoded instructions back to assembler syntax.
+
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, Inst, LoadOp, StoreOp};
+
+fn branch_mnemonic(op: BranchOp) -> &'static str {
+    match op {
+        BranchOp::Eq => "beq",
+        BranchOp::Ne => "bne",
+        BranchOp::Lt => "blt",
+        BranchOp::Ge => "bge",
+        BranchOp::Ltu => "bltu",
+        BranchOp::Geu => "bgeu",
+    }
+}
+
+fn load_mnemonic(op: LoadOp) -> &'static str {
+    match op {
+        LoadOp::Lb => "lb",
+        LoadOp::Lh => "lh",
+        LoadOp::Lw => "lw",
+        LoadOp::Lbu => "lbu",
+        LoadOp::Lhu => "lhu",
+    }
+}
+
+fn store_mnemonic(op: StoreOp) -> &'static str {
+    match op {
+        StoreOp::Sb => "sb",
+        StoreOp::Sh => "sh",
+        StoreOp::Sw => "sw",
+    }
+}
+
+fn alu_imm_mnemonic(op: AluImmOp) -> &'static str {
+    match op {
+        AluImmOp::Addi => "addi",
+        AluImmOp::Slti => "slti",
+        AluImmOp::Sltiu => "sltiu",
+        AluImmOp::Xori => "xori",
+        AluImmOp::Ori => "ori",
+        AluImmOp::Andi => "andi",
+        AluImmOp::Slli => "slli",
+        AluImmOp::Srli => "srli",
+        AluImmOp::Srai => "srai",
+    }
+}
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Mulhsu => "mulhsu",
+        AluOp::Mulhu => "mulhu",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+fn csr_mnemonic(op: CsrOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (CsrOp::Rw, false) => "csrrw",
+        (CsrOp::Rs, false) => "csrrs",
+        (CsrOp::Rc, false) => "csrrc",
+        (CsrOp::Rw, true) => "csrrwi",
+        (CsrOp::Rs, true) => "csrrsi",
+        (CsrOp::Rc, true) => "csrrci",
+    }
+}
+
+/// Render an instruction in the same syntax the assembler accepts, so
+/// `assemble(disassemble(i))` round-trips.
+pub fn disassemble(inst: Inst) -> String {
+    match inst {
+        Inst::Lui { rd, imm } => format!("lui {rd}, {:#x}", (imm as u32) >> 12),
+        Inst::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", (imm as u32) >> 12),
+        Inst::Jal { rd, imm } => format!("jal {rd}, {imm}"),
+        Inst::Jalr { rd, rs1, imm } => format!("jalr {rd}, {imm}({rs1})"),
+        Inst::Branch { op, rs1, rs2, imm } => {
+            format!("{} {rs1}, {rs2}, {imm}", branch_mnemonic(op))
+        }
+        Inst::Load { op, rd, rs1, imm } => {
+            format!("{} {rd}, {imm}({rs1})", load_mnemonic(op))
+        }
+        Inst::Store { op, rs1, rs2, imm } => {
+            format!("{} {rs2}, {imm}({rs1})", store_mnemonic(op))
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            format!("{} {rd}, {rs1}, {imm}", alu_imm_mnemonic(op))
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", alu_mnemonic(op))
+        }
+        Inst::Fence => "fence".to_string(),
+        Inst::Ecall => "ecall".to_string(),
+        Inst::Ebreak => "ebreak".to_string(),
+        Inst::Csr { op, rd, rs1, csr } => {
+            format!("{} {rd}, {csr:#x}, {rs1}", csr_mnemonic(op, false))
+        }
+        Inst::CsrImm { op, rd, uimm, csr } => {
+            format!("{} {rd}, {csr:#x}, {uimm}", csr_mnemonic(op, true))
+        }
+        Inst::Nm { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", op.mnemonic())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::NmOp;
+    use crate::reg::Reg;
+
+    #[test]
+    fn renders_expected_syntax() {
+        assert_eq!(
+            disassemble(Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: -7 }),
+            "addi ra, zero, -7"
+        );
+        assert_eq!(
+            disassemble(Inst::Load { op: LoadOp::Lw, rd: Reg(10), rs1: Reg(2), imm: 16 }),
+            "lw a0, 16(sp)"
+        );
+        assert_eq!(
+            disassemble(Inst::Nm { op: NmOp::Nmpn, rd: Reg(12), rs1: Reg(16), rs2: Reg(17) }),
+            "nmpn a2, a6, a7"
+        );
+        assert_eq!(disassemble(Inst::Ebreak), "ebreak");
+    }
+}

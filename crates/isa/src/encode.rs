@@ -1,0 +1,244 @@
+//! Binary instruction encoding (Inst -> u32), RV32IM + Zicsr + custom-0.
+
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, Inst, LoadOp, StoreOp};
+use crate::OPCODE_CUSTOM0;
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_MISC_MEM: u32 = 0b0001111;
+const OPC_SYSTEM: u32 = 0b1110011;
+
+fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: u32, rs1: u32, rs2: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(opcode: u32, funct3: u32, rd: u32, rs1: u32, imm: i32) -> u32 {
+    let imm = (imm as u32) & 0xFFF;
+    (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    let imm11_5 = (imm >> 5) & 0x7F;
+    let imm4_0 = imm & 0x1F;
+    (imm11_5 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (imm4_0 << 7) | opcode
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    let b12 = (imm >> 12) & 1;
+    let b11 = (imm >> 11) & 1;
+    let b10_5 = (imm >> 5) & 0x3F;
+    let b4_1 = (imm >> 1) & 0xF;
+    (b12 << 31)
+        | (b10_5 << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (b4_1 << 8)
+        | (b11 << 7)
+        | opcode
+}
+
+fn u_type(opcode: u32, rd: u32, imm: i32) -> u32 {
+    ((imm as u32) & 0xFFFF_F000) | (rd << 7) | opcode
+}
+
+fn j_type(opcode: u32, rd: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    let b20 = (imm >> 20) & 1;
+    let b19_12 = (imm >> 12) & 0xFF;
+    let b11 = (imm >> 11) & 1;
+    let b10_1 = (imm >> 1) & 0x3FF;
+    (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd << 7) | opcode
+}
+
+/// Encode a decoded instruction into its 32-bit binary form.
+pub fn encode(inst: Inst) -> u32 {
+    match inst {
+        Inst::Lui { rd, imm } => u_type(OPC_LUI, rd.0 as u32, imm),
+        Inst::Auipc { rd, imm } => u_type(OPC_AUIPC, rd.0 as u32, imm),
+        Inst::Jal { rd, imm } => j_type(OPC_JAL, rd.0 as u32, imm),
+        Inst::Jalr { rd, rs1, imm } => i_type(OPC_JALR, 0b000, rd.0 as u32, rs1.0 as u32, imm),
+        Inst::Branch { op, rs1, rs2, imm } => {
+            let f3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            b_type(OPC_BRANCH, f3, rs1.0 as u32, rs2.0 as u32, imm)
+        }
+        Inst::Load { op, rd, rs1, imm } => {
+            let f3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+            };
+            i_type(OPC_LOAD, f3, rd.0 as u32, rs1.0 as u32, imm)
+        }
+        Inst::Store { op, rs1, rs2, imm } => {
+            let f3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+            };
+            s_type(OPC_STORE, f3, rs1.0 as u32, rs2.0 as u32, imm)
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let (f3, imm) = match op {
+                AluImmOp::Addi => (0b000, imm),
+                AluImmOp::Slti => (0b010, imm),
+                AluImmOp::Sltiu => (0b011, imm),
+                AluImmOp::Xori => (0b100, imm),
+                AluImmOp::Ori => (0b110, imm),
+                AluImmOp::Andi => (0b111, imm),
+                AluImmOp::Slli => (0b001, imm & 0x1F),
+                AluImmOp::Srli => (0b101, imm & 0x1F),
+                AluImmOp::Srai => (0b101, (imm & 0x1F) | (0b0100000 << 5)),
+            };
+            i_type(OPC_OP_IMM, f3, rd.0 as u32, rs1.0 as u32, imm)
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (f3, f7) = match op {
+                AluOp::Add => (0b000, 0b0000000),
+                AluOp::Sub => (0b000, 0b0100000),
+                AluOp::Sll => (0b001, 0b0000000),
+                AluOp::Slt => (0b010, 0b0000000),
+                AluOp::Sltu => (0b011, 0b0000000),
+                AluOp::Xor => (0b100, 0b0000000),
+                AluOp::Srl => (0b101, 0b0000000),
+                AluOp::Sra => (0b101, 0b0100000),
+                AluOp::Or => (0b110, 0b0000000),
+                AluOp::And => (0b111, 0b0000000),
+                AluOp::Mul => (0b000, 0b0000001),
+                AluOp::Mulh => (0b001, 0b0000001),
+                AluOp::Mulhsu => (0b010, 0b0000001),
+                AluOp::Mulhu => (0b011, 0b0000001),
+                AluOp::Div => (0b100, 0b0000001),
+                AluOp::Divu => (0b101, 0b0000001),
+                AluOp::Rem => (0b110, 0b0000001),
+                AluOp::Remu => (0b111, 0b0000001),
+            };
+            r_type(OPC_OP, f3, f7, rd.0 as u32, rs1.0 as u32, rs2.0 as u32)
+        }
+        Inst::Fence => i_type(OPC_MISC_MEM, 0b000, 0, 0, 0),
+        Inst::Ecall => i_type(OPC_SYSTEM, 0b000, 0, 0, 0),
+        Inst::Ebreak => i_type(OPC_SYSTEM, 0b000, 0, 0, 1),
+        Inst::Csr { op, rd, rs1, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            i_type(OPC_SYSTEM, f3, rd.0 as u32, rs1.0 as u32, csr as i32)
+        }
+        Inst::CsrImm { op, rd, uimm, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 0b101,
+                CsrOp::Rs => 0b110,
+                CsrOp::Rc => 0b111,
+            };
+            i_type(OPC_SYSTEM, f3, rd.0 as u32, (uimm & 0x1F) as u32, csr as i32)
+        }
+        Inst::Nm { op, rd, rs1, rs2 } => r_type(
+            OPCODE_CUSTOM0,
+            op.funct3(),
+            0,
+            rd.0 as u32,
+            rs1.0 as u32,
+            rs2.0 as u32,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::NmOp;
+    use crate::reg::Reg;
+
+    #[test]
+    fn known_encodings_match_spec() {
+        // Cross-checked against the RISC-V spec / riscv-tests objdumps.
+        // addi x1, x0, 5  ->  0x00500093
+        assert_eq!(
+            encode(Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: 5 }),
+            0x00500093
+        );
+        // add x3, x1, x2 -> 0x002081B3
+        assert_eq!(
+            encode(Inst::Op { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }),
+            0x002081B3
+        );
+        // lui x5, 0x12345 -> 0x123452B7
+        assert_eq!(encode(Inst::Lui { rd: Reg(5), imm: 0x12345000u32 as i32 }), 0x123452B7);
+        // lw x6, 8(x2) -> 0x00812303
+        assert_eq!(
+            encode(Inst::Load { op: LoadOp::Lw, rd: Reg(6), rs1: Reg(2), imm: 8 }),
+            0x00812303
+        );
+        // sw x6, 12(x2) -> 0x00612623
+        assert_eq!(
+            encode(Inst::Store { op: StoreOp::Sw, rs1: Reg(2), rs2: Reg(6), imm: 12 }),
+            0x00612623
+        );
+        // beq x1, x2, +16 -> 0x00208863
+        assert_eq!(
+            encode(Inst::Branch { op: BranchOp::Eq, rs1: Reg(1), rs2: Reg(2), imm: 16 }),
+            0x00208863
+        );
+        // jal x1, +2048 -> imm[20|10:1|11|19:12]
+        assert_eq!(encode(Inst::Jal { rd: Reg(1), imm: 2048 }), 0x001000EF);
+        // mul x5, x6, x7 -> 0x027302B3
+        assert_eq!(
+            encode(Inst::Op { op: AluOp::Mul, rd: Reg(5), rs1: Reg(6), rs2: Reg(7) }),
+            0x027302B3
+        );
+        // ecall / ebreak
+        assert_eq!(encode(Inst::Ecall), 0x00000073);
+        assert_eq!(encode(Inst::Ebreak), 0x00100073);
+        // csrrs x5, mcycle(0xB00), x0 -> 0xB00022F3
+        assert_eq!(
+            encode(Inst::Csr { op: CsrOp::Rs, rd: Reg(5), rs1: Reg(0), csr: 0xB00 }),
+            0xB00022F3
+        );
+    }
+
+    #[test]
+    fn custom0_opcode_and_funct3() {
+        let w = encode(Inst::Nm { op: NmOp::Nmpn, rd: Reg(12), rs1: Reg(16), rs2: Reg(17) });
+        assert_eq!(w & 0x7F, 0b0001011, "custom-0 opcode per Table I");
+        assert_eq!((w >> 12) & 0x7, NmOp::Nmpn.funct3());
+        assert_eq!((w >> 7) & 0x1F, 12);
+        assert_eq!((w >> 15) & 0x1F, 16);
+        assert_eq!((w >> 20) & 0x1F, 17);
+        assert_eq!(w >> 25, 0, "funct7 zero");
+    }
+
+    #[test]
+    fn srai_sets_funct7_bit() {
+        let w = encode(Inst::OpImm { op: AluImmOp::Srai, rd: Reg(1), rs1: Reg(2), imm: 4 });
+        assert_eq!((w >> 25) & 0x7F, 0b0100000);
+        let w2 = encode(Inst::OpImm { op: AluImmOp::Srli, rd: Reg(1), rs1: Reg(2), imm: 4 });
+        assert_eq!((w2 >> 25) & 0x7F, 0);
+    }
+
+    #[test]
+    fn negative_branch_offset() {
+        let w = encode(Inst::Branch { op: BranchOp::Ne, rs1: Reg(1), rs2: Reg(0), imm: -4 });
+        // b12 (sign) must be set.
+        assert_eq!(w >> 31, 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Decoded instruction representation for RV32IM + Zicsr + custom-0.
+
+use crate::reg::Reg;
+
+/// Conditional branch comparisons (funct3 of the BRANCH opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// beq — branch if equal.
+    Eq,
+    /// bne — branch if not equal.
+    Ne,
+    /// blt — branch if less than (signed).
+    Lt,
+    /// bge — branch if greater or equal (signed).
+    Ge,
+    /// bltu — branch if less than (unsigned).
+    Ltu,
+    /// bgeu — branch if greater or equal (unsigned).
+    Geu,
+}
+
+/// Load widths/signedness (funct3 of the LOAD opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// lb — signed byte.
+    Lb,
+    /// lh — signed half-word.
+    Lh,
+    /// lw — word.
+    Lw,
+    /// lbu — unsigned byte.
+    Lbu,
+    /// lhu — unsigned half-word.
+    Lhu,
+}
+
+/// Store widths (funct3 of the STORE opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// sb — byte.
+    Sb,
+    /// sh — half-word.
+    Sh,
+    /// sw — word.
+    Sw,
+}
+
+/// Register-immediate ALU operations (OP-IMM opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// addi.
+    Addi,
+    /// slti — set if less than, signed.
+    Slti,
+    /// sltiu — set if less than, unsigned.
+    Sltiu,
+    /// xori.
+    Xori,
+    /// ori.
+    Ori,
+    /// andi.
+    Andi,
+    /// slli — shift left logical.
+    Slli,
+    /// srli — shift right logical.
+    Srli,
+    /// srai — shift right arithmetic.
+    Srai,
+}
+
+/// Register-register ALU operations (OP opcode), including the M extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// add.
+    Add,
+    /// sub.
+    Sub,
+    /// sll.
+    Sll,
+    /// slt.
+    Slt,
+    /// sltu.
+    Sltu,
+    /// xor.
+    Xor,
+    /// srl.
+    Srl,
+    /// sra.
+    Sra,
+    /// or.
+    Or,
+    /// and.
+    And,
+    /// mul — low 32 bits of the product (M).
+    Mul,
+    /// mulh — high 32 bits, signed × signed (M).
+    Mulh,
+    /// mulhsu — high 32 bits, signed × unsigned (M).
+    Mulhsu,
+    /// mulhu — high 32 bits, unsigned × unsigned (M).
+    Mulhu,
+    /// div — signed division (M).
+    Div,
+    /// divu — unsigned division (M).
+    Divu,
+    /// rem — signed remainder (M).
+    Rem,
+    /// remu — unsigned remainder (M).
+    Remu,
+}
+
+impl AluOp {
+    /// True for the M-extension multiply/divide group.
+    pub const fn is_m_ext(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhsu
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+        )
+    }
+}
+
+/// Zicsr operations (SYSTEM opcode, funct3 != 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// csrrw — atomic read/write.
+    Rw,
+    /// csrrs — atomic read and set bits.
+    Rs,
+    /// csrrc — atomic read and clear bits.
+    Rc,
+}
+
+/// The custom-0 neuromorphic operations (Table I of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NmOp {
+    /// nmldl — load Izhikevich a/b/c/d parameters into NM_REGS.
+    Nmldl,
+    /// nmldh — load timestep select and pin bit into NM_REGS.
+    Nmldh,
+    /// nmpn — process neuron: Euler-update the VU word, store it to memory
+    /// at the address carried in rd, and write the spike flag to rd.
+    Nmpn,
+    /// nmdec — exponential decay of a Q15.16 current via the DCU.
+    Nmdec,
+}
+
+impl NmOp {
+    /// funct3 encoding chosen for the custom-0 opcode (the paper does not
+    /// publish concrete funct3 values; this assignment is ours and is kept
+    /// stable across the toolchain).
+    pub const fn funct3(self) -> u32 {
+        match self {
+            NmOp::Nmldl => 0b000,
+            NmOp::Nmldh => 0b001,
+            NmOp::Nmpn => 0b010,
+            NmOp::Nmdec => 0b011,
+        }
+    }
+
+    /// Inverse of [`NmOp::funct3`].
+    pub const fn from_funct3(f3: u32) -> Option<NmOp> {
+        match f3 {
+            0b000 => Some(NmOp::Nmldl),
+            0b001 => Some(NmOp::Nmldh),
+            0b010 => Some(NmOp::Nmpn),
+            0b011 => Some(NmOp::Nmdec),
+            _ => None,
+        }
+    }
+
+    /// Mnemonic string.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            NmOp::Nmldl => "nmldl",
+            NmOp::Nmldh => "nmldh",
+            NmOp::Nmpn => "nmpn",
+            NmOp::Nmdec => "nmdec",
+        }
+    }
+}
+
+/// A decoded IzhiRISC-V instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// lui rd, imm20 — load upper immediate.
+    Lui { rd: Reg, imm: i32 },
+    /// auipc rd, imm20 — add upper immediate to pc.
+    Auipc { rd: Reg, imm: i32 },
+    /// jal rd, offset — jump and link.
+    Jal { rd: Reg, imm: i32 },
+    /// jalr rd, rs1, offset — indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, imm: i32 },
+    /// Conditional branch.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, imm: i32 },
+    /// Memory load.
+    Load { op: LoadOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Memory store.
+    Store { op: StoreOp, rs1: Reg, rs2: Reg, imm: i32 },
+    /// Register-immediate ALU.
+    OpImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Register-register ALU (incl. M extension).
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// fence (treated as a no-op by the in-order core).
+    Fence,
+    /// ecall — environment call (host services in the simulator).
+    Ecall,
+    /// ebreak — halts the simulated core.
+    Ebreak,
+    /// Zicsr register form: csrrw/csrrs/csrrc rd, csr, rs1.
+    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    /// Zicsr immediate form: csrrwi/csrrsi/csrrci rd, csr, uimm5.
+    CsrImm { op: CsrOp, rd: Reg, uimm: u8, csr: u16 },
+    /// Custom-0 neuromorphic instruction (R-type operand layout; `nmpn`
+    /// additionally treats rd as a source carrying the VU-word address).
+    Nm { op: NmOp, rd: Reg, rs1: Reg, rs2: Reg },
+}
+
+impl Inst {
+    /// Destination register written by this instruction, if any (x0 counts
+    /// as "none" since writes to it are discarded).
+    pub fn dest(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::Csr { rd, .. }
+            | Inst::CsrImm { rd, .. }
+            | Inst::Nm { rd, .. } => rd,
+            _ => return None,
+        };
+        (rd != Reg::ZERO).then_some(rd)
+    }
+
+    /// Source registers read by this instruction. `nmpn` reads rd as a
+    /// third source (the VU-word address), per the paper's "N-type".
+    pub fn sources(&self) -> [Option<Reg>; 3] {
+        fn nz(r: Reg) -> Option<Reg> {
+            (r != Reg::ZERO).then_some(r)
+        }
+        match *self {
+            Inst::Jalr { rs1, .. } | Inst::Load { rs1, .. } | Inst::OpImm { rs1, .. } => {
+                [nz(rs1), None, None]
+            }
+            Inst::Branch { rs1, rs2, .. }
+            | Inst::Store { rs1, rs2, .. }
+            | Inst::Op { rs1, rs2, .. } => [nz(rs1), nz(rs2), None],
+            Inst::Csr { rs1, .. } => [nz(rs1), None, None],
+            Inst::Nm { op, rd, rs1, rs2 } => match op {
+                NmOp::Nmpn => [nz(rs1), nz(rs2), nz(rd)],
+                _ => [nz(rs1), nz(rs2), None],
+            },
+            _ => [None, None, None],
+        }
+    }
+
+    /// True if this instruction accesses data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+            || matches!(self, Inst::Nm { op: NmOp::Nmpn, .. })
+    }
+
+    /// True if this is one of the custom neuromorphic instructions.
+    pub fn is_nm(&self) -> bool {
+        matches!(self, Inst::Nm { .. })
+    }
+
+    /// True for control-flow instructions (jumps and branches).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nm_funct3_roundtrip() {
+        for op in [NmOp::Nmldl, NmOp::Nmldh, NmOp::Nmpn, NmOp::Nmdec] {
+            assert_eq!(NmOp::from_funct3(op.funct3()), Some(op));
+        }
+        assert_eq!(NmOp::from_funct3(0b111), None);
+    }
+
+    #[test]
+    fn nmpn_reads_rd_as_source() {
+        let i = Inst::Nm { op: NmOp::Nmpn, rd: Reg::A2, rs1: Reg::A6, rs2: Reg::A7 };
+        let srcs = i.sources();
+        assert!(srcs.contains(&Some(Reg::A2)));
+        assert!(srcs.contains(&Some(Reg::A6)));
+        assert!(srcs.contains(&Some(Reg::A7)));
+        // ...and still writes rd.
+        assert_eq!(i.dest(), Some(Reg::A2));
+        // nmpn stores to memory.
+        assert!(i.is_mem());
+    }
+
+    #[test]
+    fn x0_dest_is_none() {
+        let i = Inst::OpImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::A0, imm: 1 };
+        assert_eq!(i.dest(), None);
+    }
+
+    #[test]
+    fn m_ext_classification() {
+        assert!(AluOp::Mul.is_m_ext());
+        assert!(AluOp::Remu.is_m_ext());
+        assert!(!AluOp::Add.is_m_ext());
+    }
+}

@@ -1,0 +1,47 @@
+//! # izhi-isa — the IzhiRISC-V instruction set
+//!
+//! Instruction-set layer for the reproduction: RV32I base, the M extension,
+//! Zicsr, and the paper's custom-0 neuromorphic extension (`nmldl`, `nmldh`,
+//! `nmpn`, `nmdec`; opcode `0001011`, Table I of the paper).
+//!
+//! Provides:
+//!
+//! * [`inst::Inst`] — a decoded instruction representation;
+//! * [`encode()`](encode::encode)/[`decode()`](decode::decode) — bit-exact binary encoding in both directions;
+//! * [`asm::Assembler`] — a two-pass text assembler with labels, data
+//!   directives and the usual pseudo-instructions, used to author the guest
+//!   workloads (80-20 network, Sudoku solver, soft-float library);
+//! * [`disasm`] — a disassembler for debugging and round-trip tests.
+//!
+//! ```
+//! use izhi_isa::asm::Assembler;
+//!
+//! let prog = Assembler::new()
+//!     .assemble(
+//!         r#"
+//!         .text
+//!         start:  li   a0, 42
+//!                 nmdec a1, a0, a2     # custom decay instruction
+//!                 ebreak
+//!         "#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(prog.words().len(), 3);
+//! ```
+
+pub mod asm;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod reg;
+
+pub use asm::{AsmError, Assembler, Program};
+pub use decode::{decode, DecodeError};
+pub use disasm::disassemble;
+pub use encode::encode;
+pub use inst::{AluImmOp, AluOp, BranchOp, CsrOp, Inst, LoadOp, NmOp, StoreOp};
+pub use reg::Reg;
+
+/// The custom-0 opcode (`0001011`) carrying the neuromorphic extension.
+pub const OPCODE_CUSTOM0: u32 = 0b0001011;

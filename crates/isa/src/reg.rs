@@ -1,0 +1,145 @@
+//! General-purpose register file names (x0–x31) with ABI aliases.
+
+/// A RISC-V integer register index (0–31).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporaries t0–t6.
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    /// Saved / frame pointer.
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    /// Arguments / return values a0–a7.
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+
+    /// Index as usize for register-file addressing.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parse a register name: `x0`–`x31` or an ABI alias (`zero`, `ra`,
+    /// `sp`, `gp`, `tp`, `t0`–`t6`, `s0`/`fp`–`s11`, `a0`–`a7`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        let name = name.trim();
+        if let Some(num) = name.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                if n < 32 {
+                    return Some(Reg(n));
+                }
+            }
+            return None;
+        }
+        let r = match name {
+            "zero" => 0,
+            "ra" => 1,
+            "sp" => 2,
+            "gp" => 3,
+            "tp" => 4,
+            "t0" => 5,
+            "t1" => 6,
+            "t2" => 7,
+            "s0" | "fp" => 8,
+            "s1" => 9,
+            "a0" => 10,
+            "a1" => 11,
+            "a2" => 12,
+            "a3" => 13,
+            "a4" => 14,
+            "a5" => 15,
+            "a6" => 16,
+            "a7" => 17,
+            "s2" => 18,
+            "s3" => 19,
+            "s4" => 20,
+            "s5" => 21,
+            "s6" => 22,
+            "s7" => 23,
+            "s8" => 24,
+            "s9" => 25,
+            "s10" => 26,
+            "s11" => 27,
+            "t3" => 28,
+            "t4" => 29,
+            "t5" => 30,
+            "t6" => 31,
+            _ => return None,
+        };
+        Some(Reg(r))
+    }
+
+    /// Canonical ABI name.
+    pub const fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2",
+            "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+            "s10", "s11", "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl core::fmt::Display for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_numeric_and_abi() {
+        assert_eq!(Reg::parse("x0"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("x31"), Some(Reg::T6));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("zero"), Some(Reg(0)));
+        assert_eq!(Reg::parse("fp"), Some(Reg(8)));
+        assert_eq!(Reg::parse("a7"), Some(Reg(17)));
+        assert_eq!(Reg::parse("nope"), None);
+    }
+
+    #[test]
+    fn abi_roundtrip_all() {
+        for i in 0..32 {
+            let r = Reg(i);
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{i}")), Some(r));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: encode/decode round trips and assembler/disassembler
+//! consistency across the whole instruction space.
+
+use izhi_isa::asm::Assembler;
+use izhi_isa::inst::{AluImmOp, AluOp, BranchOp, CsrOp, Inst, LoadOp, NmOp, StoreOp};
+use izhi_isa::reg::Reg;
+use izhi_isa::{decode, disassemble, encode};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let branch_op = prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ];
+    let load_op = prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lw),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lhu),
+    ];
+    let store_op = prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)];
+    let alu_imm_op = prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Andi),
+    ];
+    let shift_op =
+        prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)];
+    let alu_op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ];
+    let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
+    let nm_op = prop_oneof![
+        Just(NmOp::Nmldl),
+        Just(NmOp::Nmldh),
+        Just(NmOp::Nmpn),
+        Just(NmOp::Nmdec),
+    ];
+
+    prop_oneof![
+        (arb_reg(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, page)| Inst::Lui { rd, imm: page << 12 }),
+        (arb_reg(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, page)| Inst::Auipc { rd, imm: page << 12 }),
+        (arb_reg(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, half)| Inst::Jal { rd, imm: half << 1 }),
+        (arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
+        (branch_op, arb_reg(), arb_reg(), (-2048i32..2048))
+            .prop_map(|(op, rs1, rs2, half)| Inst::Branch { op, rs1, rs2, imm: half << 1 }),
+        (load_op, arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(op, rd, rs1, imm)| Inst::Load { op, rd, rs1, imm }),
+        (store_op, arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(op, rs1, rs2, imm)| Inst::Store { op, rs1, rs2, imm }),
+        (alu_imm_op, arb_reg(), arb_reg(), -2048i32..2048)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (shift_op, arb_reg(), arb_reg(), 0i32..32)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (alu_op, arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (csr_op.clone(), arb_reg(), arb_reg(), any::<u16>().prop_map(|c| c & 0xFFF))
+            .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
+        (csr_op, arb_reg(), 0u8..32, any::<u16>().prop_map(|c| c & 0xFFF))
+            .prop_map(|(op, rd, uimm, csr)| Inst::CsrImm { op, rd, uimm, csr }),
+        (nm_op, arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Nm { op, rd, rs1, rs2 }),
+    ]
+}
+
+proptest! {
+    /// encode -> decode is the identity on every representable instruction.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let word = encode(inst);
+        prop_assert_eq!(decode(word).expect("decode failed"), inst);
+    }
+
+    /// decode -> encode is the identity on every word that decodes.
+    #[test]
+    fn decode_encode_roundtrip(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let reencoded = encode(inst);
+            prop_assert_eq!(
+                decode(reencoded).unwrap(),
+                inst,
+                "re-decode mismatch for {:#010x}",
+                word
+            );
+        }
+    }
+
+    /// The disassembler output re-assembles to the original encoding
+    /// (branches/jumps excluded: their text form is a pc-relative offset,
+    /// which the assembler reproduces identically at pc 0).
+    #[test]
+    fn disasm_asm_roundtrip(inst in arb_inst()) {
+        let text = disassemble(inst);
+        let prog = Assembler::new()
+            .assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        prop_assert_eq!(prog.words().len(), 1, "pseudo-expanded: `{}`", text);
+        prop_assert_eq!(
+            decode(prog.words()[0]).unwrap(), inst,
+            "text was `{}`", text
+        );
+    }
+}

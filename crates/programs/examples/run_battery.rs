@@ -1,0 +1,8 @@
+//! Run the guest-side ISA self-test battery on the simulator and print
+//! the per-case results.
+fn main() {
+    let (failures, console) = izhi_programs::selftest::run_battery();
+    print!("{console}");
+    println!("\n{} cases, {failures} failures", izhi_programs::selftest::battery().len());
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

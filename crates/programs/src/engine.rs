@@ -1,0 +1,1121 @@
+//! The parameterised guest SNN engine.
+//!
+//! One assembly skeleton, three arithmetic variants for the per-neuron
+//! update (phase B):
+//!
+//! * [`Variant::Npu`] — the paper's flow (Listing 1): `nmldl` per neuron,
+//!   one `nmdec` for the synaptic decay, two `nmpn` half-steps;
+//! * [`Variant::BaseFixed`] — the same fixed-point math in base RV32IM
+//!   instructions (the "19 operations" of §II-C);
+//! * [`Variant::SoftFloat`] — IEEE-754 single precision through the
+//!   [`crate::softfloat`] library (the §VI-C baseline).
+//!
+//! Every tick has two phases separated by a hardware barrier:
+//! phase A scatters the previous tick's spikes into the synaptic-current
+//! array (row-major weight walk), phase B updates each neuron in the
+//! core's range, appends spikes to a per-core list and logs them to the
+//! MMIO spike FIFO. Work is partitioned across cores in contiguous chunks.
+
+use izhi_core::dcu::SHIFT_TABLES;
+use izhi_core::params::FixedIzhParams;
+use izhi_fixed::Q7_8;
+use izhi_isa::asm::Assembler;
+use izhi_sim::{Metrics, PerfCounters, SimError, System, SystemConfig};
+use izhi_snn::analysis::SpikeRaster;
+use izhi_snn::network::Network;
+use izhi_snn::noise::XorShift32;
+
+use crate::layout;
+use crate::softfloat::FADD_FMUL_ASM;
+
+/// Arithmetic variant of the neuron-update kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Custom neuromorphic instructions (NPU + DCU).
+    Npu,
+    /// Base-ISA fixed point (no custom instructions).
+    BaseFixed,
+    /// Soft-float single precision.
+    SoftFloat,
+}
+
+/// Engine build/run configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Neuron count (≤ 1024 per core chunk).
+    pub n: usize,
+    /// Number of 1 ms ticks to simulate.
+    pub ticks: u32,
+    /// Core count.
+    pub n_cores: u32,
+    /// DCU τ selector (1..9).
+    pub tau: u32,
+    /// Pin-voltage bit (Sudoku uses it).
+    pub pin: bool,
+    /// Kernel variant.
+    pub variant: Variant,
+    /// Use sparse (CSR) spike propagation instead of dense weight rows.
+    /// The right choice for the Sudoku network (4 % density); the 80-20
+    /// network is fully connected and uses the dense walk.
+    pub sparse: bool,
+    /// Emit the hazard-aware instruction schedule (default). When false,
+    /// the NPU kernel uses the naive ordering where every load/nm result
+    /// is consumed immediately — the regime the paper measured (§VI-B
+    /// reports 0.7-9 % hazard stalls and proposes CSR writeback to cut
+    /// them).
+    pub scheduled: bool,
+    /// System configuration template (clock, caches, bus).
+    pub system: SystemConfig,
+}
+
+impl EngineConfig {
+    /// Sensible defaults for a given workload size.
+    pub fn new(n: usize, ticks: u32, n_cores: u32, variant: Variant) -> Self {
+        let mut system = SystemConfig::with_cores(n_cores);
+        system.sdram_size = 32 * 1024 * 1024;
+        EngineConfig { n, ticks, n_cores, tau: 2, pin: false, variant, sparse: false, scheduled: true, system }
+    }
+
+    /// Neurons per core (the last core may get fewer).
+    pub fn chunk(&self) -> usize {
+        self.n.div_ceil(self.n_cores as usize)
+    }
+}
+
+/// Host-built memory image for a workload.
+#[derive(Debug, Clone)]
+pub struct GuestImage {
+    /// Quantised per-neuron parameters.
+    pub params: Vec<FixedIzhParams>,
+    /// Row-major Q7.8 weights (N×N).
+    pub weights_q: Vec<i16>,
+    /// Premixed thalamic drive `[tick][neuron]`, Q7.8 (bias + noise).
+    pub noise_q: Vec<i16>,
+    /// Initial VU words.
+    pub init_vu: Vec<u32>,
+    n: usize,
+    ticks: u32,
+}
+
+impl GuestImage {
+    /// Build from a network plus per-neuron bias and noise descriptors.
+    /// The noise stream is drawn host-side — the paper precomputes thalamic
+    /// inputs as well (Listing 1 reads them from memory).
+    pub fn from_network(
+        net: &Network,
+        bias: &[f64],
+        noise_std: &[f64],
+        ticks: u32,
+        seed: u32,
+    ) -> Self {
+        Self::from_network_scheduled(net, bias, noise_std, &[], ticks, seed)
+    }
+
+    /// Like [`GuestImage::from_network`], with a cyclic per-tick noise
+    /// amplitude schedule (annealing cycles for the WTA search; empty =
+    /// constant amplitude 1).
+    pub fn from_network_scheduled(
+        net: &Network,
+        bias: &[f64],
+        noise_std: &[f64],
+        schedule: &[f64],
+        ticks: u32,
+        seed: u32,
+    ) -> Self {
+        let n = net.len();
+        assert_eq!(bias.len(), n);
+        assert_eq!(noise_std.len(), n);
+        let params = net.quantized_params();
+        let mut weights_q = vec![0i16; n * n];
+        for pre in 0..n {
+            for (post, w) in net.out_edges(pre) {
+                weights_q[pre * n + post as usize] = Q7_8::from_f64(w).raw();
+            }
+        }
+        let mut rng = XorShift32::new(seed);
+        let noise_rows = layout::noise_period(n, ticks);
+        let mut noise_q = Vec::with_capacity(noise_rows as usize * n);
+        for t in 0..noise_rows {
+            let gain = if schedule.is_empty() {
+                1.0
+            } else {
+                schedule[t as usize % schedule.len()]
+            };
+            for i in 0..n {
+                let v = bias[i] + gain * noise_std[i] * rng.next_gaussian();
+                noise_q.push(Q7_8::from_f64(v).raw());
+            }
+        }
+        let init_vu = net
+            .params
+            .iter()
+            .map(|p| {
+                let v = Q7_8::from_f64(p.c);
+                let u = Q7_8::from_f64(p.b * p.c);
+                izhi_fixed::qformat::pack_vu(v, u)
+            })
+            .collect();
+        GuestImage { params, weights_q, noise_q, init_vu, n, ticks }
+    }
+
+    /// Write all tables into simulator memory.
+    pub fn load_into(&self, sys: &mut System, cfg: &EngineConfig) {
+        let variant = cfg.variant;
+        let mem = &mut sys.shared_mut().mem;
+        for (i, p) in self.params.iter().enumerate() {
+            let (rs1, rs2) = p.pack();
+            mem.write_u32(layout::PARAMS + 8 * i as u32, rs1);
+            mem.write_u32(layout::PARAMS + 8 * i as u32 + 4, rs2);
+        }
+        for (i, &vu) in self.init_vu.iter().enumerate() {
+            mem.write_u32(layout::VU + 4 * i as u32, vu);
+            mem.write_u32(layout::ISYN + 4 * i as u32, 0);
+        }
+        for (i, &w) in self.weights_q.iter().enumerate() {
+            mem.write_u16(layout::WEIGHTS + 2 * i as u32, w as u16);
+        }
+        for (i, &x) in self.noise_q.iter().enumerate() {
+            mem.write_u16(layout::NOISE + 2 * i as u32, x as u16);
+        }
+        if variant == Variant::SoftFloat {
+            self.load_f32_mirrors(sys);
+        }
+        if cfg.sparse {
+            self.load_csr_tables(sys, cfg);
+        }
+    }
+
+    /// Build and load the per-core CSR spike-propagation tables: for every
+    /// (owner core, presynaptic neuron) the row of `(target, weight)` pairs
+    /// whose targets the core owns.
+    fn load_csr_tables(&self, sys: &mut System, cfg: &EngineConfig) {
+        let n = self.n;
+        let chunk = cfg.chunk();
+        let mem = &mut sys.shared_mut().mem;
+        let mut edge_idx: u32 = 0;
+        for core in 0..cfg.n_cores as usize {
+            let lo = (core * chunk).min(n);
+            let hi = ((core + 1) * chunk).min(n);
+            let rowptr_base = layout::ROWPTR + (core * (n + 1) * 4) as u32;
+            for pre in 0..n {
+                mem.write_u32(rowptr_base + 4 * pre as u32, edge_idx);
+                for post in lo..hi {
+                    let w = self.weights_q[pre * n + post];
+                    if w != 0 {
+                        let word = ((w as u16 as u32) << 16) | post as u32;
+                        mem.write_u32(layout::EDGES + 4 * edge_idx, word);
+                        if cfg.variant == Variant::SoftFloat {
+                            let f = (Q7_8::from_raw(w).to_f64() as f32).to_bits();
+                            mem.write_u32(layout::EDGES_F32 + 4 * edge_idx, f);
+                        }
+                        edge_idx += 1;
+                    }
+                }
+            }
+            mem.write_u32(rowptr_base + 4 * n as u32, edge_idx);
+        }
+        assert!(
+            layout::EDGES + 4 * edge_idx <= layout::EDGES_F32,
+            "sparse edge table overflow ({edge_idx} edges)"
+        );
+    }
+
+    /// f32 mirrors of every table for the soft-float variant.
+    fn load_f32_mirrors(&self, sys: &mut System) {
+        let n = self.n;
+        let mem = &mut sys.shared_mut().mem;
+        for (i, p) in self.params.iter().enumerate() {
+            let base = layout::F32_PARAMS + 16 * i as u32;
+            mem.write_u32(base, (p.a.to_f64() as f32).to_bits());
+            mem.write_u32(base + 4, (p.b.to_f64() as f32).to_bits());
+            mem.write_u32(base + 8, (p.c.to_f64() as f32).to_bits());
+            mem.write_u32(base + 12, (p.d.to_f64() as f32).to_bits());
+        }
+        for i in 0..n {
+            let (v, u) = izhi_fixed::qformat::unpack_vu(self.init_vu[i]);
+            mem.write_u32(layout::F32_V + 4 * i as u32, (v.to_f64() as f32).to_bits());
+            mem.write_u32(layout::F32_U + 4 * i as u32, (u.to_f64() as f32).to_bits());
+            mem.write_u32(layout::F32_ISYN + 4 * i as u32, 0.0f32.to_bits());
+        }
+        for (i, &w) in self.weights_q.iter().enumerate() {
+            let f = (Q7_8::from_raw(w).to_f64() as f32).to_bits();
+            mem.write_u32(layout::WEIGHTS_F32 + 4 * i as u32, f);
+        }
+        let f32_rows = layout::noise_period_f32(n, self.ticks) as usize;
+        for (i, &x) in self.noise_q.iter().take(f32_rows * n).enumerate() {
+            let f = (Q7_8::from_raw(x).to_f64() as f32).to_bits();
+            mem.write_u32(layout::NOISE_F32 + 4 * i as u32, f);
+        }
+    }
+}
+
+/// Result of running a workload on the simulator.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Spike raster reconstructed from the MMIO spike log.
+    pub raster: SpikeRaster,
+    /// Per-core ROI metrics.
+    pub metrics: Vec<Metrics>,
+    /// Per-core raw ROI counters.
+    pub counters: Vec<PerfCounters>,
+    /// Wall-clock cycles of the whole run (slowest core).
+    pub cycles: u64,
+    /// Total instructions retired.
+    pub instret: u64,
+}
+
+impl WorkloadResult {
+    /// Execution time in seconds of the measured region (slowest core).
+    pub fn exec_time_s(&self) -> f64 {
+        self.metrics.iter().map(|m| m.exec_time_s).fold(0.0, f64::max)
+    }
+
+    /// Per-timestep execution time in milliseconds of wall clock.
+    pub fn time_per_tick_ms(&self, ticks: u32) -> f64 {
+        self.exec_time_s() * 1000.0 / ticks as f64
+    }
+}
+
+/// Generate the full engine assembly for a configuration.
+pub fn build_asm(cfg: &EngineConfig) -> String {
+    assert!(cfg.chunk() <= 1024, "spike-list segments hold at most 1024 entries");
+    assert!(cfg.n_cores >= 1 && cfg.n_cores <= 8, "spike-count table sized for 8 cores");
+    assert!(cfg.ticks >= 1 && cfg.ticks < 65536, "spike-log packing uses 16-bit timestamps");
+    assert!((1..=9).contains(&cfg.tau), "DCU τ selector is 1..9");
+    let mut s = layout::equ_prelude(cfg.n, cfg.ticks, cfg.n_cores, cfg.tau);
+    s.push_str(&format!(".equ CHUNK, {}\n", cfg.chunk()));
+    s.push_str(&format!(".equ NOISE_TICKS, {}\n", layout::noise_period(cfg.n, cfg.ticks)));
+    s.push_str(&format!(
+        ".equ NOISE_TICKS_F32, {}\n",
+        layout::noise_period_f32(cfg.n, cfg.ticks)
+    ));
+    s.push_str(&format!(".equ ROWPTR_STRIDE, {}\n", (cfg.n + 1) * 4));
+    s.push_str(&format!(".equ HBITS, {}\n", u32::from(cfg.pin) << 1)); // h = 0.5 ms
+    s.push_str(SKELETON_HEAD);
+    if cfg.variant == Variant::Npu {
+        s.push_str("    li   a6, HBITS\n    nmldh x0, a6, x0\n");
+    }
+    s.push_str(SKELETON_LOOP_TOP);
+    match cfg.variant {
+        Variant::Npu => {
+            s.push_str(if cfg.sparse { PHASE_A_SPARSE } else { PHASE_A_FIXED });
+            s.push_str(PHASE_B_HEAD);
+            s.push_str(if cfg.scheduled { PHASE_B_NPU } else { PHASE_B_NPU_NAIVE });
+        }
+        Variant::BaseFixed => {
+            s.push_str(if cfg.sparse { PHASE_A_SPARSE } else { PHASE_A_FIXED });
+            s.push_str(PHASE_B_HEAD);
+            s.push_str(&phase_b_base_fixed(cfg.tau));
+        }
+        Variant::SoftFloat => {
+            s.push_str(if cfg.sparse { PHASE_A_SPARSE_SOFTFLOAT } else { PHASE_A_SOFTFLOAT });
+            s.push_str(PHASE_B_HEAD_F32);
+            s.push_str(PHASE_B_SOFTFLOAT_LOOP);
+        }
+    }
+    s.push_str(SKELETON_TAIL);
+    if cfg.variant == Variant::SoftFloat {
+        s.push_str(SF_HALF_STEP);
+        s.push_str(FADD_FMUL_ASM);
+    }
+    s
+}
+
+/// Entry: core id, neuron range, per-core stack, spike-count reset.
+const SKELETON_HEAD: &str = "
+_start:
+    li   t0, MMIO_COREID
+    lw   s4, (t0)            # hart id
+    # per-core stack at the top of the scratchpad
+    li   sp, 0x10040000
+    slli t1, s4, 13
+    sub  sp, sp, t1
+    li   t1, CHUNK
+    mul  s0, s4, t1          # start neuron
+    add  s1, s0, t1
+    li   t2, N
+    ble  s1, t2, end_ok
+    add  s1, t2, x0          # clamp end
+end_ok:
+    ble  s0, s1, range_ok
+    add  s0, s1, x0          # empty range for surplus cores
+range_ok:
+    li   t0, SPIKE_COUNTS
+    slli t1, s4, 2
+    add  t0, t0, t1
+    sw   x0, (t0)            # zero parity-0 count
+    sw   x0, 32(t0)          # zero parity-1 count
+";
+
+/// After optional variant-specific config: barrier, ROI start, loop top.
+const SKELETON_LOOP_TOP: &str = "
+    call barrier
+    li   t0, MMIO_ROI
+    li   t1, 1
+    sw   t1, (t0)            # counters: start region of interest
+    li   s2, 0               # tick
+    li   s3, 0               # parity
+tick_loop:
+    li   s7, 0               # spikes appended this tick
+    bge  s0, s1, tick_publish # surplus core: nothing to do
+    li   t0, 1
+    sub  t6, t0, s3          # previous parity
+    li   a4, 0               # producer core k
+phaseA_core:
+    li   t0, SPIKE_COUNTS
+    slli t1, t6, 5
+    add  t0, t0, t1
+    slli t1, a4, 2
+    add  t0, t0, t1
+    lw   a5, (t0)            # spike count of core k, prev tick
+    beqz a5, phaseA_next_core
+    li   t0, SPIKE_LISTS
+    li   t1, SPIKE_PARITY_STRIDE
+    mul  t1, t1, t6
+    add  t0, t0, t1
+    slli t1, a4, 11
+    add  t0, t0, t1          # t0 = spike-list cursor
+";
+
+/// Phase A for the fixed-point variants: scatter w (Q7.8 -> Q15.16) rows.
+const PHASE_A_FIXED: &str = "
+phaseA_spike:
+    lhu  a2, (t0)            # presynaptic neuron j
+    addi t0, t0, 2
+    li   t1, N
+    mul  a2, a2, t1
+    add  a2, a2, s0
+    slli a2, a2, 1
+    li   t1, WEIGHTS
+    add  a2, a2, t1          # &W[j][start]
+    li   t1, ISYN
+    slli t2, s0, 2
+    add  t1, t1, t2          # &Isyn[start]
+    sub  t3, s1, s0
+phaseA_inner:
+    lh   t4, (a2)            # w (Q7.8)
+    lw   t5, (t1)            # Isyn (fills the load-use slot)
+    slli t4, t4, 8           # -> Q15.16
+    add  t5, t5, t4
+    sw   t5, (t1)
+    addi a2, a2, 2
+    addi t1, t1, 4
+    addi t3, t3, -1
+    bnez t3, phaseA_inner
+    addi a5, a5, -1
+    bnez a5, phaseA_spike
+phaseA_next_core:
+    addi a4, a4, 1
+    li   t0, NCORES
+    bne  a4, t0, phaseA_core
+";
+
+/// Phase A, sparse CSR walk (fixed-point variants): for each spike, only
+/// the edges whose targets this core owns are visited.
+const PHASE_A_SPARSE: &str = "
+phaseA_spike:
+    lhu  a2, (t0)            # presynaptic neuron j
+    addi t0, t0, 2
+    li   t1, ROWPTR
+    li   t2, ROWPTR_STRIDE
+    mul  t2, t2, s4
+    add  t1, t1, t2          # my rowptr table
+    slli a2, a2, 2
+    add  t1, t1, a2
+    lw   t2, (t1)            # edge range lo
+    lw   t3, 4(t1)           # edge range hi
+    beq  t2, t3, phaseA_row_done
+    slli t2, t2, 2
+    li   t1, EDGES
+    add  t2, t2, t1          # edge cursor
+    slli t3, t3, 2
+    add  t3, t3, t1          # edge end
+    li   t1, ISYN
+phaseA_inner:
+    lh   t4, 2(t2)           # weight (Q7.8, high half)
+    lhu  t5, (t2)            # target (low half)
+    slli t4, t4, 8           # -> Q15.16 (fills the load-use slot)
+    slli t5, t5, 2
+    add  t5, t5, t1
+    lw   a2, (t5)
+    addi t2, t2, 4           # fills the load-use slot
+    add  a2, a2, t4
+    sw   a2, (t5)
+    bne  t2, t3, phaseA_inner
+phaseA_row_done:
+    addi a5, a5, -1
+    bnez a5, phaseA_spike
+phaseA_next_core:
+    addi a4, a4, 1
+    li   t0, NCORES
+    bne  a4, t0, phaseA_core
+";
+
+/// Phase A, sparse CSR walk for the soft-float variant.
+const PHASE_A_SPARSE_SOFTFLOAT: &str = "
+phaseA_spike:
+    lhu  a2, (t0)
+    addi t0, t0, 2
+    add  s5, t0, x0          # save cursor across calls
+    add  s6, a5, x0          # save remaining spike count
+    li   t1, ROWPTR
+    li   t2, ROWPTR_STRIDE
+    mul  t2, t2, s4
+    add  t1, t1, t2
+    slli a2, a2, 2
+    add  t1, t1, a2
+    lw   s9, (t1)            # edge index lo
+    lw   s10, 4(t1)          # edge index hi
+    beq  s9, s10, phaseA_row_done
+phaseA_inner:
+    slli t1, s9, 2
+    li   t2, EDGES
+    add  t2, t2, t1
+    lhu  t3, (t2)            # target
+    li   t2, EDGES_F32
+    add  t2, t2, t1
+    lw   a1, (t2)            # f32 weight
+    slli t3, t3, 2
+    li   t2, F32_ISYN
+    add  s11, t2, t3         # isyn address (survives the call)
+    lw   a0, (s11)
+    call fadd
+    sw   a0, (s11)
+    addi s9, s9, 1
+    bne  s9, s10, phaseA_inner
+phaseA_row_done:
+    add  t0, s5, x0
+    add  a5, s6, x0
+    addi a5, a5, -1
+    bnez a5, phaseA_spike
+phaseA_next_core:
+    addi a4, a4, 1
+    li   t0, NCORES
+    bne  a4, t0, phaseA_core
+";
+
+/// Phase A for the soft-float variant: every deposit is an fadd call.
+const PHASE_A_SOFTFLOAT: &str = "
+phaseA_spike:
+    lhu  a2, (t0)
+    addi t0, t0, 2
+    add  s5, t0, x0          # save cursor across calls
+    add  s6, a5, x0          # save remaining spike count
+    li   t1, N
+    mul  a2, a2, t1
+    add  a2, a2, s0
+    slli a2, a2, 2
+    li   t1, WEIGHTS_F32
+    add  s9, a2, t1          # &Wf[j][start]
+    li   t1, F32_ISYN
+    slli t2, s0, 2
+    add  s10, t1, t2         # &IsynF[start]
+    sub  s11, s1, s0
+phaseA_inner:
+    lw   a0, (s10)
+    lw   a1, (s9)
+    call fadd
+    sw   a0, (s10)
+    addi s9, s9, 4
+    addi s10, s10, 4
+    addi s11, s11, -1
+    bnez s11, phaseA_inner
+    add  t0, s5, x0
+    add  a5, s6, x0
+    addi a5, a5, -1
+    bnez a5, phaseA_spike
+phaseA_next_core:
+    addi a4, a4, 1
+    li   t0, NCORES
+    bne  a4, t0, phaseA_core
+";
+
+/// Phase B prologue shared by the fixed-point variants: pointer setup.
+const PHASE_B_HEAD: &str = "
+    li   s8, SPIKE_LISTS
+    li   t1, SPIKE_PARITY_STRIDE
+    mul  t1, t1, s3
+    add  s8, s8, t1
+    slli t1, s4, 11
+    add  s8, s8, t1          # my current spike-list cursor
+    add  a3, s0, x0          # i = start
+    li   s5, ISYN
+    slli t1, s0, 2
+    add  s5, s5, t1
+    li   s6, VU
+    slli t1, s0, 2
+    add  s6, s6, t1
+    li   s9, PARAMS
+    slli t1, s0, 3
+    add  s9, s9, t1
+    slli t1, s2, 13          # xorshift hash of the tick: row selection
+    xor  t1, t1, s2          # stays aperiodic even when the noise table
+    srli t2, t1, 17          # is shorter than the run (a sequential wrap
+    xor  t1, t1, t2          # would phase-lock the stochastic dynamics)
+    slli t2, t1, 5
+    xor  t1, t1, t2
+    li   s10, NOISE_TICKS
+    remu s10, t1, s10
+    li   t1, N
+    mul  s10, s10, t1
+    add  s10, s10, s0
+    slli s10, s10, 1
+    li   t1, NOISE
+    add  s10, s10, t1        # &noise[hash(t) mod P][start]
+";
+
+/// Phase B prologue for the soft-float variant (f32 arrays, 4-byte noise).
+const PHASE_B_HEAD_F32: &str = "
+    li   s8, SPIKE_LISTS
+    li   t1, SPIKE_PARITY_STRIDE
+    mul  t1, t1, s3
+    add  s8, s8, t1
+    slli t1, s4, 11
+    add  s8, s8, t1
+    add  a4, s0, x0          # i = start (a4 survives calls)
+    li   s5, F32_ISYN
+    slli t1, s0, 2
+    add  s5, s5, t1
+    li   s6, F32_V
+    slli t1, s0, 2
+    add  s6, s6, t1
+    li   s11, F32_U
+    slli t1, s0, 2
+    add  s11, s11, t1
+    li   s9, F32_PARAMS
+    slli t1, s0, 4
+    add  s9, s9, t1
+    slli t1, s2, 13          # same hashed row selection as the
+    xor  t1, t1, s2          # fixed-point engine
+    srli t2, t1, 17
+    xor  t1, t1, t2
+    slli t2, t1, 5
+    xor  t1, t1, t2
+    li   s10, NOISE_TICKS_F32
+    remu s10, t1, s10
+    li   t1, N
+    mul  s10, s10, t1
+    add  s10, s10, s0
+    slli s10, s10, 2
+    li   t1, NOISE_F32
+    add  s10, s10, t1
+";
+
+/// Phase B, NPU variant — the paper's Listing-1 flow, two half-steps.
+/// Scheduled so every load/nm result has one unrelated instruction before
+/// its first use (the compiler's job on the real system; keeps the hazard
+/// stalls in the paper's sub-percent range for the single core).
+const PHASE_B_NPU: &str = "
+phaseB_neuron:
+    lw   a6, (s9)            # {b, a}
+    lw   a7, 4(s9)           # {d, c}
+    lh   t5, (s10)           # thalamic drive (Q7.8), hoisted
+    nmldl x0, a6, a7         # load neuron parameters
+    lw   a2, (s5)            # Isyn (Q15.16)
+    li   t6, TAU
+    slli t5, t5, 8           # thalamic -> Q15.16
+    nmdec a2, a2, t6         # synaptic decay (DCU)
+    lw   a6, (s6)            # VU word (fills the nm result slot)
+    sw   a2, (s5)            # persist decayed current
+    add  a7, a2, t5          # total drive
+    add  a2, x0, s6
+    nmpn a2, a6, a7          # half-step 1 (stores VU, returns spike)
+    lw   a6, (s6)            # reload updated VU (fills the nm slot)
+    add  t4, x0, a2
+    add  a2, x0, s6
+    nmpn a2, a6, a7          # half-step 2
+    addi s5, s5, 4           # pointer bumps fill the nm slot
+    or   t4, t4, a2
+    addi s9, s9, 8
+    addi s10, s10, 2
+    beqz t4, phaseB_no_spike
+    sh   a3, (s8)
+    addi s8, s8, 2
+    addi s7, s7, 1
+    slli t5, s2, 16
+    or   t5, t5, a3
+    li   t0, MMIO_SPIKE_LOG
+    sw   t5, (t0)            # export (t, neuron) to the host raster
+phaseB_no_spike:
+    addi a3, a3, 1
+    addi s6, s6, 4
+    bne  a3, s1, phaseB_neuron
+";
+
+/// Phase B, NPU variant, *naive* ordering: every load and nm result is
+/// consumed by the very next instruction, exposing the load-use and
+/// nm-writeback hazards the paper reports (and proposes CSR writeback
+/// for). Functionally identical to [`PHASE_B_NPU`].
+const PHASE_B_NPU_NAIVE: &str = "
+phaseB_neuron:
+    lw   a6, (s9)            # {b, a}
+    lw   a7, 4(s9)           # {d, c}
+    nmldl x0, a6, a7         # nm consumes the load immediately
+    lw   a2, (s5)            # Isyn
+    li   t6, TAU
+    nmdec a2, a2, t6
+    sw   a2, (s5)            # consumes the nm result immediately
+    lh   t5, (s10)
+    slli t5, t5, 8           # load-use
+    add  a7, a2, t5
+    lw   a6, (s6)
+    add  a2, x0, s6
+    nmpn a2, a6, a7
+    add  t4, x0, a2          # consumes the spike flag immediately
+    lw   a6, (s6)
+    add  a2, x0, s6
+    nmpn a2, a6, a7
+    or   t4, t4, a2          # consumes the spike flag immediately
+    beqz t4, phaseB_no_spike
+    sh   a3, (s8)
+    addi s8, s8, 2
+    addi s7, s7, 1
+    slli t5, s2, 16
+    or   t5, t5, a3
+    li   t0, MMIO_SPIKE_LOG
+    sw   t5, (t0)
+phaseB_no_spike:
+    addi a3, a3, 1
+    addi s5, s5, 4
+    addi s6, s6, 4
+    addi s9, s9, 8
+    addi s10, s10, 2
+    bne  a3, s1, phaseB_neuron
+";
+
+/// Phase B in base-ISA fixed point: the 19-operation update, twice per
+/// tick (half-steps), plus the shift-approximated decay for the given τ.
+fn phase_b_base_fixed(tau: u32) -> String {
+    // Decay: dec = (sum of shifts) >> 1 (h = 0.5 ms); isyn -= dec.
+    let shifts = SHIFT_TABLES[(tau as usize).clamp(1, 9) - 1];
+    let mut decay = String::new();
+    decay.push_str(&format!("    srai t0, a7, {}\n", shifts[0]));
+    for &sh in &shifts[1..] {
+        decay.push_str(&format!("    srai t3, a7, {sh}\n    add  t0, t0, t3\n"));
+    }
+    decay.push_str("    srai t0, t0, 1\n    sub  a7, a7, t0\n");
+
+    let half_step = |k: u32| {
+        format!(
+            "
+bf_step{k}:
+    li   t3, 7680            # 30 mV in Q7.8
+    blt  t1, t3, bf_nr{k}
+    lh   t1, 4(s9)           # v <- c
+    lh   t3, 6(s9)           # d (Q4.11)
+    srai t3, t3, 3           # -> Q7.8
+    add  t2, t2, t3          # u += d
+    li   t4, 1               # spike flag
+bf_nr{k}:
+    mul  t5, t1, t1          # v^2 (Q*.16)
+    srai t5, t5, 8           # Q7.8
+    li   t3, 41              # 0.04 in Q0.10
+    mul  t5, t5, t3
+    srai t5, t5, 10          # 0.04 v^2, Q7.8
+    slli t3, t1, 2
+    add  t3, t3, t1          # 5v
+    add  t5, t5, t3
+    li   t3, 35840           # 140 in Q7.8
+    add  t5, t5, t3
+    sub  t5, t5, t2          # -u
+    add  t5, t5, a5          # + drive (Q7.8)
+    srai t5, t5, 1           # * h
+    lh   t3, 2(s9)           # b (Q4.11)
+    mul  t6, t3, t1          # b v (Q*.19)
+    srai t6, t6, 11          # Q7.8
+    sub  t6, t6, t2
+    lh   t3, (s9)            # a (Q4.11)
+    mul  t6, t6, t3
+    srai t6, t6, 11
+    srai t6, t6, 1           # * h
+    add  t1, t1, t5          # v'
+    add  t2, t2, t6          # u'
+"
+        )
+    };
+
+    format!(
+        "
+phaseB_neuron:
+    lw   a7, (s5)            # Isyn (Q15.16)
+{decay}
+    sw   a7, (s5)
+    srai a5, a7, 8           # -> Q7.8 drive
+    lh   t5, (s10)           # thalamic (Q7.8)
+    add  a5, a5, t5
+    lw   t0, (s6)            # VU word
+    srai t1, t0, 16          # v
+    slli t2, t0, 16
+    srai t2, t2, 16          # u
+    li   t4, 0               # spike flag
+{step0}
+{step1}
+    slli t1, t1, 16          # repack VU
+    slli t2, t2, 16
+    srli t2, t2, 16
+    or   t0, t1, t2
+    sw   t0, (s6)
+    beqz t4, phaseB_no_spike
+    sh   a3, (s8)
+    addi s8, s8, 2
+    addi s7, s7, 1
+    slli t5, s2, 16
+    or   t5, t5, a3
+    li   t0, MMIO_SPIKE_LOG
+    sw   t5, (t0)
+phaseB_no_spike:
+    addi a3, a3, 1
+    addi s5, s5, 4
+    addi s6, s6, 4
+    addi s9, s9, 8
+    addi s10, s10, 2
+    bne  a3, s1, phaseB_neuron
+",
+        decay = decay,
+        step0 = half_step(0),
+        step1 = half_step(1),
+    )
+}
+
+/// Phase B loop through the soft-float library. Live across calls:
+/// a4 = i, a5 = drive, a6 = v, a7 = u, gp = spike flag.
+const PHASE_B_SOFTFLOAT_LOOP: &str = "
+phaseB_neuron:
+    lw   a0, (s5)            # Isyn (f32)
+    li   a1, DECAY_F32
+    call fmul                # Isyn *= (1 - h/tau)
+    sw   a0, (s5)
+    lw   a1, (s10)           # thalamic (f32)
+    call fadd
+    add  a5, a0, x0          # drive
+    lw   a6, (s6)            # v
+    lw   a7, (s11)           # u
+    add  gp, x0, x0          # spike flag
+    call sf_half_step
+    call sf_half_step
+    sw   a6, (s6)
+    sw   a7, (s11)
+    beqz gp, phaseB_no_spike
+    sh   a4, (s8)
+    addi s8, s8, 2
+    addi s7, s7, 1
+    slli t5, s2, 16
+    or   t5, t5, a4
+    li   t0, MMIO_SPIKE_LOG
+    sw   t5, (t0)
+phaseB_no_spike:
+    addi a4, a4, 1
+    addi s5, s5, 4
+    addi s6, s6, 4
+    addi s11, s11, 4
+    addi s9, s9, 16
+    addi s10, s10, 4
+    bne  a4, s1, phaseB_neuron
+";
+
+/// One 0.5 ms soft-float half-step over (a6 = v, a7 = u, a5 = drive);
+/// sets gp on threshold crossing. Uses the stack for intermediates.
+const SF_HALF_STEP: &str = "
+sf_half_step:
+    addi sp, sp, -12
+    sw   ra, 8(sp)
+    # spike test: v >= 30.0 (positive IEEE bits are numerically ordered)
+    bltz a6, sf_nospike
+    li   t0, 0x41F00000      # 30.0f
+    blt  a6, t0, sf_nospike
+    lw   a6, 8(s9)           # v <- c
+    lw   a0, 12(s9)          # d
+    add  a1, a7, x0
+    call fadd
+    add  a7, a0, x0          # u += d
+    li   gp, 1
+sf_nospike:
+    add  a0, a6, x0
+    add  a1, a6, x0
+    call fmul                # v^2
+    li   a1, 0x3D23D70A      # 0.04f
+    call fmul
+    sw   a0, (sp)            # acc = 0.04 v^2
+    add  a0, a6, x0
+    li   a1, 0x40A00000      # 5.0f
+    call fmul
+    lw   a1, (sp)
+    call fadd
+    li   a1, 0x430C0000      # 140.0f
+    call fadd
+    li   t0, 0x80000000
+    xor  a1, a7, t0          # -u
+    call fadd
+    add  a1, a5, x0          # + drive
+    call fadd
+    li   a1, 0x3F000000      # 0.5f (h)
+    call fmul
+    sw   a0, (sp)            # h*dv
+    lw   a0, 4(s9)           # b
+    add  a1, a6, x0
+    call fmul                # b v
+    li   t0, 0x80000000
+    xor  a1, a7, t0
+    call fadd                # b v - u
+    lw   a1, (s9)            # a
+    call fmul
+    li   a1, 0x3F000000
+    call fmul                # h*du
+    sw   a0, 4(sp)
+    lw   a1, (sp)
+    add  a0, a6, x0
+    call fadd
+    add  a6, a0, x0          # v += h dv
+    lw   a1, 4(sp)
+    add  a0, a7, x0
+    call fadd
+    add  a7, a0, x0          # u += h du
+    lw   ra, 8(sp)
+    addi sp, sp, 12
+    ret
+";
+
+/// Tail: publish spike count, barrier, parity flip, loop, ROI stop, halt.
+const SKELETON_TAIL: &str = "
+tick_publish:
+    li   t0, SPIKE_COUNTS
+    slli t1, s3, 5
+    add  t0, t0, t1
+    slli t1, s4, 2
+    add  t0, t0, t1
+    sw   s7, (t0)            # publish my spike count
+    call barrier
+    xori s3, s3, 1
+    addi s2, s2, 1
+    li   t0, TICKS
+    bne  s2, t0, tick_loop
+    li   t0, MMIO_ROI
+    sw   x0, (t0)            # stop counters
+    li   t0, MMIO_HALT
+    sw   x0, (t0)
+    ebreak
+
+barrier:
+    li   t0, MMIO_BARRIER
+    lw   t1, (t0)            # generation
+    sw   x0, (t0)            # arrive
+barrier_spin:
+    lw   t2, (t0)
+    beq  t2, t1, barrier_spin
+    ret
+";
+
+/// Assemble, load and run a workload end to end.
+pub fn run_workload(
+    cfg: &EngineConfig,
+    image: &GuestImage,
+    max_cycles: u64,
+) -> Result<WorkloadResult, SimError> {
+    assert_eq!(image.n, cfg.n, "image/config neuron-count mismatch");
+    assert!(
+        image.ticks >= cfg.ticks,
+        "image was built for fewer ticks than the run requests"
+    );
+    if cfg.variant == Variant::SoftFloat {
+        assert!(
+            layout::NOISE_F32 + 4 * (cfg.n as u32) * image.ticks <= layout::ROWPTR,
+            "f32 noise mirror overflows its window — use fewer ticks for soft-float runs"
+        );
+    }
+    let mut asm = build_asm(cfg);
+    // The decay constant is config-dependent; bind it here.
+    let decay = (1.0 - 0.5 / cfg.tau as f64) as f32;
+    asm = format!(".equ DECAY_F32, {:#x}\n{asm}", decay.to_bits());
+    let prog = Assembler::new()
+        .assemble(&asm)
+        .unwrap_or_else(|e| panic!("engine assembly failed: {e}"));
+    let mut system_cfg = cfg.system.clone();
+    system_cfg.n_cores = cfg.n_cores;
+    let mut sys = System::new(system_cfg);
+    assert!(sys.load_program(&prog), "program load failed");
+    image.load_into(&mut sys, cfg);
+    let exit = sys.run(max_cycles)?;
+    let raster =
+        SpikeRaster::from_packed(cfg.n as u32, cfg.ticks, &sys.shared().dev.spike_log);
+    let counters: Vec<PerfCounters> =
+        (0..cfg.n_cores as usize).map(|i| sys.core(i).roi_counters()).collect();
+    // One neuron *update* in the paper's Eq.-9 sense is a full 1 ms step;
+    // the engine realises it as two 0.5 ms `nmpn` half-steps.
+    let metrics = counters
+        .iter()
+        .map(|c| Metrics::with_updates(c, cfg.system.clock_hz, c.nmpn / 2))
+        .collect();
+    Ok(WorkloadResult {
+        raster,
+        metrics,
+        counters,
+        cycles: exit.cycles,
+        instret: exit.instret,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use izhi_core::params::IzhParams;
+    use izhi_snn::network::Network;
+
+    fn tiny_net(n: usize) -> Network {
+        // A ring of RS neurons with modest excitatory coupling.
+        let params = vec![IzhParams::regular_spiking(); n];
+        let edges =
+            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 3.0)).collect::<Vec<_>>();
+        Network::from_edges(params, edges)
+    }
+
+    fn run_tiny(variant: Variant, n_cores: u32, ticks: u32) -> WorkloadResult {
+        let net = tiny_net(20);
+        let bias = vec![6.0; 20];
+        let noise = vec![2.0; 20];
+        let image = GuestImage::from_network(&net, &bias, &noise, ticks, 11);
+        let cfg = EngineConfig::new(20, ticks, n_cores, variant);
+        run_workload(&cfg, &image, 4_000_000_000).expect("run failed")
+    }
+
+    #[test]
+    fn asm_assembles_for_all_variants() {
+        for variant in [Variant::Npu, Variant::BaseFixed, Variant::SoftFloat] {
+            for cores in [1, 2, 4] {
+                let cfg = EngineConfig::new(100, 10, cores, variant);
+                let asm = format!(".equ DECAY_F32, 0x3f400000\n{}", build_asm(&cfg));
+                Assembler::new()
+                    .assemble(&asm)
+                    .unwrap_or_else(|e| panic!("{variant:?}/{cores}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn npu_network_is_active() {
+        let res = run_tiny(Variant::Npu, 1, 200);
+        assert!(!res.raster.spikes.is_empty(), "no spikes at all");
+        assert!(res.counters[0].nmpn > 0, "nmpn never retired");
+        assert_eq!(res.counters[0].nmpn, 2 * 20 * 200, "two nmpn per neuron-tick");
+        assert_eq!(res.counters[0].nmdec, 20 * 200);
+    }
+
+    #[test]
+    fn base_fixed_matches_npu_statistically() {
+        let a = run_tiny(Variant::Npu, 1, 300);
+        let b = run_tiny(Variant::BaseFixed, 1, 300);
+        assert!(b.counters[0].nmpn == 0, "baseline must not use nmpn");
+        let ra = a.raster.spikes.len() as f64;
+        let rb = b.raster.spikes.len() as f64;
+        assert!(ra > 0.0 && rb > 0.0, "{ra} vs {rb}");
+        assert!((ra - rb).abs() / ra < 0.3, "spike counts diverge: {ra} vs {rb}");
+    }
+
+    #[test]
+    fn softfloat_matches_npu_statistically() {
+        let a = run_tiny(Variant::Npu, 1, 150);
+        let b = run_tiny(Variant::SoftFloat, 1, 150);
+        assert!(b.counters[0].nmpn == 0);
+        let ra = a.raster.spikes.len() as f64;
+        let rb = b.raster.spikes.len() as f64;
+        assert!(ra > 0.0 && rb > 0.0, "{ra} vs {rb}");
+        assert!((ra - rb).abs() / ra.max(rb) < 0.35, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn softfloat_is_dramatically_slower() {
+        let a = run_tiny(Variant::Npu, 1, 100);
+        let b = run_tiny(Variant::SoftFloat, 1, 100);
+        let ratio = b.counters[0].cycles as f64 / a.counters[0].cycles as f64;
+        assert!(ratio > 10.0, "soft-float only {ratio:.1}x slower");
+    }
+
+    #[test]
+    fn dual_core_matches_single_core_spikes() {
+        // Same image, same noise stream: spike rasters must be identical
+        // regardless of core count (deterministic partitioned execution).
+        let r1 = run_tiny(Variant::Npu, 1, 200);
+        let r2 = run_tiny(Variant::Npu, 2, 200);
+        let mut s1 = r1.raster.spikes.clone();
+        let mut s2 = r2.raster.spikes.clone();
+        s1.sort_unstable();
+        s2.sort_unstable();
+        assert_eq!(s1, s2, "multi-core changes the computation");
+    }
+
+    #[test]
+    fn dual_core_is_faster() {
+        let r1 = run_tiny(Variant::Npu, 1, 200);
+        let r2 = run_tiny(Variant::Npu, 2, 200);
+        let speedup = r1.cycles as f64 / r2.cycles as f64;
+        assert!(speedup > 1.2, "dual-core speedup only {speedup:.2}");
+        assert!(speedup < 2.1, "speedup {speedup:.2} is super-linear?");
+    }
+
+    #[test]
+    fn roi_metrics_populated() {
+        let res = run_tiny(Variant::Npu, 2, 100);
+        for (i, m) in res.metrics.iter().enumerate() {
+            assert!(m.cycles > 0, "core {i} measured nothing");
+            assert!(m.ipc > 0.1 && m.ipc <= 1.0, "core {i} ipc = {}", m.ipc);
+            assert!(m.icache_hit_pct > 90.0);
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_phase_a_are_equivalent() {
+        // Same network, same noise: the CSR walk must produce the exact
+        // same spike raster as the dense row walk, on 1 and 2 cores.
+        for cores in [1u32, 2] {
+            let net = tiny_net(20);
+            let bias = vec![6.0; 20];
+            let noise = vec![2.0; 20];
+            let image = GuestImage::from_network(&net, &bias, &noise, 150, 11);
+            let mut dense_cfg = EngineConfig::new(20, 150, cores, Variant::Npu);
+            dense_cfg.sparse = false;
+            let mut sparse_cfg = dense_cfg.clone();
+            sparse_cfg.sparse = true;
+            let a = run_workload(&dense_cfg, &image, 2_000_000_000).unwrap();
+            let b = run_workload(&sparse_cfg, &image, 2_000_000_000).unwrap();
+            let mut sa = a.raster.spikes.clone();
+            let mut sb = b.raster.spikes.clone();
+            sa.sort_unstable();
+            sb.sort_unstable();
+            assert_eq!(sa, sb, "{cores} cores");
+        }
+    }
+
+    #[test]
+    fn sparse_is_faster_on_sparse_networks() {
+        // 4 % density: the CSR walk must beat the dense row walk clearly.
+        let net = tiny_net(100); // ring: 1 edge per neuron
+        let bias = vec![8.0; 100];
+        let noise = vec![2.0; 100];
+        let image = GuestImage::from_network(&net, &bias, &noise, 100, 3);
+        let mut dense_cfg = EngineConfig::new(100, 100, 1, Variant::Npu);
+        dense_cfg.sparse = false;
+        let mut sparse_cfg = dense_cfg.clone();
+        sparse_cfg.sparse = true;
+        let a = run_workload(&dense_cfg, &image, 4_000_000_000).unwrap();
+        let b = run_workload(&sparse_cfg, &image, 4_000_000_000).unwrap();
+        assert!(!a.raster.spikes.is_empty());
+        assert!(
+            (b.cycles as f64) * 1.5 < a.cycles as f64,
+            "sparse {} vs dense {} cycles",
+            b.cycles,
+            a.cycles
+        );
+    }
+
+    #[test]
+    fn three_core_odd_split_works() {
+        // 20 neurons over 3 cores: chunks 7/7/6.
+        let res = run_tiny(Variant::Npu, 3, 100);
+        assert!(!res.raster.spikes.is_empty());
+        let r1 = run_tiny(Variant::Npu, 1, 100);
+        let mut a = res.raster.spikes.clone();
+        let mut b = r1.raster.spikes.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Guest memory-map constants shared between the assembly generator and
+//! the host-side image builder.
+//!
+//! The split mirrors the paper's DE10 system (§VI): hot per-neuron state in
+//! on-chip memory, bulk tables (weights, precomputed thalamic noise) in
+//! SDRAM behind the D-cache, code in SDRAM behind the I-cache.
+
+/// Scratchpad base (on-chip, single-cycle).
+pub const SCRATCH: u32 = 0x1000_0000;
+
+/// VU words (packed v/u, 4 B per neuron) — scratchpad.
+pub const VU: u32 = SCRATCH;
+/// Synaptic currents (Q15.16, 4 B per neuron) — scratchpad.
+pub const ISYN: u32 = SCRATCH + 0x4000;
+/// Quantised parameter table (rs1, rs2 word pair per neuron) — scratchpad.
+pub const PARAMS: u32 = SCRATCH + 0x8000;
+/// Spike lists: two parities × up to 8 cores × 1024 u16 entries.
+pub const SPIKE_LISTS: u32 = SCRATCH + 0x1_0000;
+/// Bytes per core segment in a spike list.
+pub const SPIKE_SEG: u32 = 0x800;
+/// Per-parity stride (8 core segments).
+pub const SPIKE_PARITY_STRIDE: u32 = SPIKE_SEG * 8;
+/// Spike counts: two parities × 8 cores × u32.
+pub const SPIKE_COUNTS: u32 = SCRATCH + 0x1_8000;
+/// Soft-float state arrays (f32 v, u, isyn) — scratchpad.
+pub const F32_V: u32 = SCRATCH + 0x2_0000;
+/// Soft-float u array.
+pub const F32_U: u32 = SCRATCH + 0x2_4000;
+/// Soft-float isyn array.
+pub const F32_ISYN: u32 = SCRATCH + 0x2_8000;
+/// Soft-float parameter table (a, b, c, d as f32, 16 B per neuron).
+pub const F32_PARAMS: u32 = SCRATCH + 0x2_C000;
+
+/// Weight matrix, row-major by presynaptic neuron, i16 Q7.8 — SDRAM.
+pub const WEIGHTS: u32 = 0x0020_0000;
+/// Weight matrix as f32 (soft-float variant) — SDRAM.
+pub const WEIGHTS_F32: u32 = 0x0060_0000;
+/// Thalamic-noise table `[tick][neuron]`, i16 Q7.8 — SDRAM.
+pub const NOISE: u32 = 0x00A0_0000;
+/// Thalamic-noise table as f32 (soft-float variant) — SDRAM.
+pub const NOISE_F32: u32 = 0x00D0_0000;
+/// Sparse-connectivity row pointers, one `(N+1)`-entry u32 table per core
+/// (`ROWPTR + core*(N+1)*4 + j*4`) — SDRAM.
+pub const ROWPTR: u32 = 0x00F8_0000;
+/// Sparse edges `(target u16, weight i16 Q7.8)` grouped by (core, pre) —
+/// SDRAM.
+pub const EDGES: u32 = 0x0100_0000;
+/// f32 edge weights parallel to [`EDGES`] (soft-float variant) — SDRAM.
+pub const EDGES_F32: u32 = 0x0180_0000;
+
+/// Number of noise-table rows that fit the fixed-point window; the guest
+/// cycles the table with `t mod NOISE_TICKS`, so long runs reuse the noise
+/// stream periodically.
+pub fn noise_period(n: usize, ticks: u32) -> u32 {
+    let cap = (NOISE_F32 - NOISE) / (2 * n as u32);
+    ticks.min(cap).max(1)
+}
+
+/// Same for the f32 mirror used by the soft-float variant (smaller window).
+pub fn noise_period_f32(n: usize, ticks: u32) -> u32 {
+    let cap = (ROWPTR - NOISE_F32) / (4 * n as u32);
+    ticks.min(cap).max(1)
+}
+
+/// MMIO block base and registers (mirrors `izhi_sim::mem::layout`).
+pub const MMIO: u32 = 0xF000_0000;
+/// Core-id register.
+pub const MMIO_COREID: u32 = MMIO + 0x04;
+/// Barrier register.
+pub const MMIO_BARRIER: u32 = MMIO + 0x10;
+/// Halt register.
+pub const MMIO_HALT: u32 = MMIO + 0x18;
+/// Spike-log FIFO.
+pub const MMIO_SPIKE_LOG: u32 = MMIO + 0x1C;
+/// ROI control.
+pub const MMIO_ROI: u32 = MMIO + 0x24;
+
+/// Emit the `.equ` prelude encoding this layout for the assembler.
+pub fn equ_prelude(n: usize, ticks: u32, n_cores: u32, tau: u32) -> String {
+    format!(
+        "\
+        .equ N, {n}\n\
+        .equ TICKS, {ticks}\n\
+        .equ NCORES, {n_cores}\n\
+        .equ TAU, {tau}\n\
+        .equ VU, {VU:#x}\n\
+        .equ ISYN, {ISYN:#x}\n\
+        .equ PARAMS, {PARAMS:#x}\n\
+        .equ SPIKE_LISTS, {SPIKE_LISTS:#x}\n\
+        .equ SPIKE_SEG, {SPIKE_SEG:#x}\n\
+        .equ SPIKE_PARITY_STRIDE, {SPIKE_PARITY_STRIDE:#x}\n\
+        .equ SPIKE_COUNTS, {SPIKE_COUNTS:#x}\n\
+        .equ F32_V, {F32_V:#x}\n\
+        .equ F32_U, {F32_U:#x}\n\
+        .equ F32_ISYN, {F32_ISYN:#x}\n\
+        .equ F32_PARAMS, {F32_PARAMS:#x}\n\
+        .equ WEIGHTS, {WEIGHTS:#x}\n\
+        .equ WEIGHTS_F32, {WEIGHTS_F32:#x}\n\
+        .equ NOISE, {NOISE:#x}\n\
+        .equ NOISE_F32, {NOISE_F32:#x}\n\
+        .equ ROWPTR, {ROWPTR:#x}\n\
+        .equ EDGES, {EDGES:#x}\n\
+        .equ EDGES_F32, {EDGES_F32:#x}\n\
+        .equ MMIO_COREID, {MMIO_COREID:#x}\n\
+        .equ MMIO_BARRIER, {MMIO_BARRIER:#x}\n\
+        .equ MMIO_HALT, {MMIO_HALT:#x}\n\
+        .equ MMIO_SPIKE_LOG, {MMIO_SPIKE_LOG:#x}\n\
+        .equ MMIO_ROI, {MMIO_ROI:#x}\n\
+        "
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Scratch regions for the maximum supported network (1024 neurons).
+        let n = 1024u32;
+        assert!(VU + 4 * n <= ISYN);
+        assert!(ISYN + 4 * n <= PARAMS);
+        assert!(PARAMS + 8 * n <= SPIKE_LISTS);
+        assert!(SPIKE_LISTS + 2 * SPIKE_PARITY_STRIDE <= SPIKE_COUNTS);
+        assert!(SPIKE_COUNTS + 2 * 8 * 4 <= F32_V);
+        assert!(F32_V + 4 * n <= F32_U);
+        assert!(F32_U + 4 * n <= F32_ISYN);
+        assert!(F32_ISYN + 4 * n <= F32_PARAMS);
+        // SDRAM tables for 1024 neurons and 1500 ticks.
+        assert!(WEIGHTS + 2 * n * n <= WEIGHTS_F32);
+        assert!(WEIGHTS_F32 + 4 * n * n <= NOISE);
+        assert!(NOISE + 2 * n * 1500 <= NOISE_F32);
+        // f32 noise mirrors are only built for short soft-float runs.
+        assert!(NOISE_F32 + 4 * n * 600 <= ROWPTR);
+        assert!(ROWPTR + 8 * (n + 1) * 4 <= EDGES);
+        // Sparse tables hold up to 2M edges (dense 1024^2 allowed).
+        assert!(EDGES + 4 * n * n <= EDGES_F32);
+    }
+
+    #[test]
+    fn prelude_assembles() {
+        let src = format!("{}\nli a0, VU\nli a1, NOISE_F32\nebreak", equ_prelude(1000, 1000, 2, 2));
+        let prog = izhi_isa::Assembler::new().assemble(&src).unwrap();
+        assert!(prog.size() > 0);
+    }
+
+    #[test]
+    fn mmio_constants_match_sim() {
+        use izhi_sim::mem::layout as sl;
+        assert_eq!(MMIO, sl::MMIO_BASE);
+        assert_eq!(MMIO_COREID, sl::MMIO_BASE + sl::MMIO_COREID);
+        assert_eq!(MMIO_BARRIER, sl::MMIO_BASE + sl::MMIO_BARRIER);
+        assert_eq!(MMIO_HALT, sl::MMIO_BASE + sl::MMIO_HALT);
+        assert_eq!(MMIO_SPIKE_LOG, sl::MMIO_BASE + sl::MMIO_SPIKE_LOG);
+        assert_eq!(MMIO_ROI, sl::MMIO_BASE + sl::MMIO_ROI);
+        assert_eq!(SCRATCH, sl::SCRATCH_BASE);
+    }
+}

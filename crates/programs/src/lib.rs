@@ -1,0 +1,29 @@
+//! # izhi-programs — guest workloads for the IzhiRISC-V simulator
+//!
+//! This crate authors, loads and drives the RV32 programs the paper runs on
+//! its FPGA cores:
+//!
+//! * [`engine`] — a parameterised SNN engine (assembly generator) shared by
+//!   both workloads, in three arithmetic variants:
+//!   the neuromorphic-ISA version (`nmldl`/`nmldh`/`nmpn`/`nmdec`), a
+//!   base-ISA fixed-point version (the 19-operation update of §II-C), and
+//!   a soft-float version (the paper's §VI-C comparison baseline);
+//! * [`softfloat`] — IEEE-754 single-precision add/multiply written in
+//!   RV32IM assembly (flush-to-zero, truncating), with a bit-exact Rust
+//!   reference model used for verification;
+//! * [`net8020`] — the 1000-neuron 80-20 cortical workload (Table V,
+//!   Figs. 2–3);
+//! * [`sudoku_prog`] — the 729-neuron WTA Sudoku workload (Table VI);
+//! * [`layout`] — guest memory-map constants shared between the assembly
+//!   generator and the host-side image builder.
+
+pub mod engine;
+pub mod layout;
+pub mod net8020;
+pub mod selftest;
+pub mod softfloat;
+pub mod sudoku_prog;
+
+pub use engine::{EngineConfig, Variant, WorkloadResult};
+pub use net8020::Net8020Workload;
+pub use sudoku_prog::SudokuWorkload;

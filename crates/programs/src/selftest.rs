@@ -1,0 +1,298 @@
+//! Guest-side ISA self-test battery, in the spirit of `riscv-tests`:
+//! a generated assembly program exercises base-ISA and neuromorphic
+//! corner cases *on the simulated core* and reports pass/fail per case
+//! through the console MMIO, so the whole fetch/decode/execute/memory
+//! pipeline is validated end to end (not just the Rust-level semantics).
+
+use izhi_isa::asm::Assembler;
+use izhi_sim::{System, SystemConfig};
+
+/// One self-test case: a code body that leaves its result in `t0`, plus
+/// the expected value.
+#[derive(Debug, Clone)]
+pub struct SelfTest {
+    /// Short identifier (letters/digits/underscore).
+    pub name: &'static str,
+    /// Assembly body; must leave the result in `t0` and clobber only
+    /// `t0`-`t6` / `a0`-`a7`.
+    pub body: &'static str,
+    /// Expected final value of `t0`.
+    pub expect: u32,
+}
+
+/// The battery. Each case is independent; ordering is irrelevant.
+pub fn battery() -> Vec<SelfTest> {
+    vec![
+        SelfTest { name: "addi_chain", body: "li t0, 0\n addi t0, t0, 100\n addi t0, t0, -42\n", expect: 58 },
+        SelfTest {
+            name: "lui_addi_neg",
+            body: "li t0, -1\n srli t0, t0, 4\n",
+            expect: 0x0FFF_FFFF,
+        },
+        SelfTest {
+            name: "slt_signed_edge",
+            body: "li t1, 0x80000000\n li t2, 1\n slt t0, t1, t2\n",
+            expect: 1,
+        },
+        SelfTest {
+            name: "sltu_unsigned_edge",
+            body: "li t1, 0x80000000\n li t2, 1\n sltu t0, t1, t2\n",
+            expect: 0,
+        },
+        SelfTest {
+            name: "sra_sign_extends",
+            body: "li t1, 0x80000000\n srai t0, t1, 31\n",
+            expect: 0xFFFF_FFFF,
+        },
+        SelfTest {
+            name: "sll_by_reg_masks_5_bits",
+            body: "li t1, 1\n li t2, 33\n sll t0, t1, t2\n",
+            expect: 2,
+        },
+        SelfTest {
+            name: "mul_wraps",
+            body: "li t1, 0x10000\n mul t0, t1, t1\n",
+            expect: 0,
+        },
+        SelfTest {
+            name: "mulh_signed",
+            body: "li t1, -2\n li t2, 0x40000000\n mulh t0, t1, t2\n",
+            expect: 0xFFFF_FFFF,
+        },
+        SelfTest {
+            name: "mulhu_unsigned",
+            body: "li t1, 0xFFFFFFFF\n li t2, 0xFFFFFFFF\n mulhu t0, t1, t2\n",
+            expect: 0xFFFF_FFFE,
+        },
+        SelfTest {
+            name: "div_round_to_zero",
+            body: "li t1, -7\n li t2, 2\n div t0, t1, t2\n",
+            expect: (-3i32) as u32,
+        },
+        SelfTest {
+            name: "div_by_zero_all_ones",
+            body: "li t1, 42\n div t0, t1, x0\n",
+            expect: u32::MAX,
+        },
+        SelfTest {
+            name: "div_overflow",
+            body: "li t1, 0x80000000\n li t2, -1\n div t0, t1, t2\n",
+            expect: 0x8000_0000,
+        },
+        SelfTest {
+            name: "rem_sign_of_dividend",
+            body: "li t1, -7\n li t2, 2\n rem t0, t1, t2\n",
+            expect: (-1i32) as u32,
+        },
+        SelfTest {
+            name: "remu_by_zero_is_dividend",
+            body: "li t1, 42\n remu t0, t1, x0\n",
+            expect: 42,
+        },
+        SelfTest {
+            name: "byte_halfword_sign",
+            body: "li t1, 0x10000000\n li t2, 0x8081\n sh t2, (t1)\n lb t0, (t1)\n \
+                   andi t0, t0, 0xFF\n lh t3, (t1)\n srai t3, t3, 16\n add t0, t0, t3\n",
+            expect: 0x81 - 1, // lb sign-extends 0x81; lh sign-extends 0x8081
+        },
+        SelfTest {
+            name: "lbu_lhu_zero_extend",
+            body: "li t1, 0x10000000\n li t2, 0xFFFF\n sh t2, (t1)\n lbu t0, (t1)\n \
+                   lhu t3, (t1)\n add t0, t0, t3\n",
+            expect: 0xFF + 0xFFFF,
+        },
+        SelfTest {
+            name: "store_word_overwrites",
+            body: "li t1, 0x10000000\n li t2, -1\n sw t2, (t1)\n li t2, 0x12\n \
+                   sb t2, 1(t1)\n lw t0, (t1)\n",
+            expect: 0xFFFF_12FF,
+        },
+        SelfTest {
+            name: "jalr_clears_bit0",
+            body: "la t1, jt_target\n addi t1, t1, 1\n jalr ra, t1, 0\n \
+                   j jt_done\n jt_target: li t0, 77\n jt_done: nop\n",
+            expect: 77,
+        },
+        SelfTest {
+            name: "branch_unsigned_vs_signed",
+            body: "li t0, 0\n li t1, -1\n li t2, 1\n bltu t2, t1, bu_ok\n j bu_done\n \
+                   bu_ok: bge t2, t1, bs_ok\n j bu_done\n bs_ok: li t0, 5\n bu_done: nop\n",
+            expect: 5,
+        },
+        SelfTest {
+            name: "auipc_pc_relative",
+            body: "auipc t1, 0\n auipc t2, 0\n sub t0, t2, t1\n",
+            expect: 4,
+        },
+        SelfTest {
+            name: "csr_cycle_monotone",
+            body: "csrr t1, mcycle\n nop\n nop\n csrr t2, mcycle\n sltu t0, t1, t2\n",
+            expect: 1,
+        },
+        SelfTest {
+            name: "nmldl_returns_ok",
+            body: "li a6, 0x01990029\n li a7, 0x4000BF00\n nmldl t0, a6, a7\n",
+            expect: 1,
+        },
+        SelfTest {
+            name: "nmldh_returns_ok",
+            body: "li a6, 2\n nmldh t0, a6, x0\n",
+            expect: 1,
+        },
+        SelfTest {
+            name: "nmdec_tau1_halves",
+            // tau=1, h=0.5ms: dec = (x>>0)>>1 -> y = x - x/2.
+            body: "li a6, 0\n nmldh x0, a6, x0\n li a0, 0x00100000\n li a1, 1\n \
+                   nmdec t0, a0, a1\n",
+            expect: 0x0008_0000,
+        },
+        SelfTest {
+            name: "nmdec_tau8_shifts",
+            // tau=8: dec = (x>>3)>>1 = x/16 -> y = x - x/16.
+            body: "li a6, 0\n nmldh x0, a6, x0\n li a0, 0x00100000\n li a1, 8\n \
+                   nmdec t0, a0, a1\n",
+            expect: 0x0010_0000 - 0x0001_0000,
+        },
+        SelfTest {
+            name: "nmpn_subthreshold_no_spike",
+            body: "li a6, 0x01990029\n li a7, 0x4000BF00\n nmldl x0, a6, a7\n \
+                   li a6, 0\n nmldh x0, a6, x0\n li t1, 0x10000000\n \
+                   li t2, 0xBF00F300\n sw t2, (t1)\n lw a6, (t1)\n \
+                   add a2, x0, t1\n li a7, 0\n nmpn a2, a6, a7\n add t0, a2, x0\n",
+            expect: 0,
+        },
+        SelfTest {
+            name: "nmpn_above_threshold_spikes",
+            // v = +31 (0x1F00 Q7.8) is above V_TH = 30.
+            body: "li a6, 0x01990029\n li a7, 0x4000BF00\n nmldl x0, a6, a7\n \
+                   li a6, 0\n nmldh x0, a6, x0\n li t1, 0x10000000\n \
+                   li t2, 0x1F000000\n sw t2, (t1)\n lw a6, (t1)\n \
+                   add a2, x0, t1\n li a7, 0\n nmpn a2, a6, a7\n add t0, a2, x0\n",
+            expect: 1,
+        },
+        SelfTest {
+            name: "nmpn_stores_vu_to_memory",
+            // After a spike the stored VU word must differ from the input.
+            body: "li a6, 0x01990029\n li a7, 0x4000BF00\n nmldl x0, a6, a7\n \
+                   li a6, 0\n nmldh x0, a6, x0\n li t1, 0x10000000\n \
+                   li t2, 0x1F000000\n sw t2, (t1)\n lw a6, (t1)\n \
+                   add a2, x0, t1\n li a7, 0\n nmpn a2, a6, a7\n \
+                   lw t3, (t1)\n xor t0, t3, t2\n sltu t0, x0, t0\n",
+            expect: 1,
+        },
+        SelfTest {
+            name: "fence_is_noop",
+            body: "li t0, 9\n fence\n",
+            expect: 9,
+        },
+        SelfTest {
+            name: "x0_ignores_writes",
+            body: "li t1, 5\n add x0, t1, t1\n add t0, x0, x0\n",
+            expect: 0,
+        },
+    ]
+}
+
+/// Assemble the whole battery into one guest program. Each case prints
+/// `ok <name>` or `FAIL <name>` to the console.
+pub fn battery_asm() -> String {
+    let mut body = String::from("_start:\n");
+    let mut data = String::from(".data 0x200000\n");
+    for (i, t) in battery().iter().enumerate() {
+        data.push_str(&format!(
+            "msg_ok_{i}: .byte 'o','k',' '\nmsg_name_{i}: ",
+        ));
+        for ch in t.name.chars() {
+            data.push_str(&format!(".byte '{ch}'\n"));
+        }
+        data.push_str(".byte 10\n.align 2\n");
+        body.push_str(&format!(
+            "
+test_{i}:
+{bodytext}
+    li   t6, {expect:#x}
+    beq  t0, t6, pass_{i}
+    # FAIL: print 'F' then the name
+    li   t5, 0xF0000000
+    li   t4, 'F'
+    sw   t4, (t5)
+    la   a0, msg_name_{i}
+    call print_str
+    li   t4, 1
+    la   t5, fail_count
+    lw   t3, (t5)
+    add  t3, t3, t4
+    sw   t3, (t5)
+    j    next_{i}
+pass_{i}:
+    la   a0, msg_ok_{i}
+    call print_str
+next_{i}:
+",
+            bodytext = t.body,
+            expect = t.expect,
+        ));
+    }
+    body.push_str(
+        "
+    la   t5, fail_count
+    lw   a0, (t5)
+    li   a7, 1
+    ecall               # print the failure count
+    ebreak
+
+# print a NUL/newline-terminated string at a0 (stops after '\\n')
+print_str:
+    li   t5, 0xF0000000
+ps_loop:
+    lbu  t4, (a0)
+    sw   t4, (t5)
+    addi a0, a0, 1
+    li   t3, 10
+    bne  t4, t3, ps_loop
+    ret
+",
+    );
+    format!("{body}\n{data}\nfail_count: .word 0\n")
+}
+
+/// Run the battery on a fresh system; returns `(failures, console)`.
+pub fn run_battery() -> (u32, String) {
+    let prog = Assembler::new()
+        .assemble(&battery_asm())
+        .unwrap_or_else(|e| panic!("self-test battery failed to assemble: {e}"));
+    let mut sys = System::new(SystemConfig::default());
+    sys.load_program(&prog);
+    sys.run(50_000_000).expect("battery run trapped");
+    let console = sys.console();
+    // The final printed integer is the failure count.
+    let failures = console
+        .lines()
+        .last()
+        .and_then(|l| l.trim().parse::<u32>().ok())
+        .unwrap_or(u32::MAX);
+    (failures, console)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_passes_on_the_simulator() {
+        let (failures, console) = run_battery();
+        assert_eq!(failures, 0, "self-test failures:\n{console}");
+        // Every case printed its ok line.
+        let oks = console.matches("ok ").count();
+        assert_eq!(oks, battery().len(), "console:\n{console}");
+    }
+
+    #[test]
+    fn battery_names_unique() {
+        let mut names: Vec<_> = battery().iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

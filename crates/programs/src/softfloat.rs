@@ -1,0 +1,480 @@
+//! IEEE-754 single-precision add and multiply in RV32IM assembly, plus a
+//! bit-exact Rust reference model.
+//!
+//! The paper compares its NPU/DCU fixed-point solver against "the soft-float
+//! implementation supported by original DTEK-V" (§VI-C). We reproduce that
+//! baseline with hand-written routines of the size and shape a compact
+//! softfloat library has on RV32IM. Simplifications (documented, identical
+//! in the model):
+//!
+//! * subnormals flush to signed zero (inputs and outputs),
+//! * rounding is truncation (round-toward-zero on the magnitude for
+//!   multiply; floor on the two's-complement-aligned sum for add),
+//! * NaNs are not produced; `fmul` propagates infinity, `fadd` treats
+//!   exp=0xFF as a huge ordinary value.
+//!
+//! None of these affect the SNN workloads (values stay well inside the
+//! normal range) or the cycle counts (the simplified paths are the common
+//! paths), which is what the baseline exists to measure.
+
+/// Calling convention: `a0`, `a1` arguments; result in `a0`; clobbers
+/// `t0`-`t6` and `a2`-`a3`; `ra` used for the return.
+pub const FADD_FMUL_ASM: &str = r#"
+# ---- f32 multiply: a0 = a0 * a1 (flush-to-zero, truncating) ----
+fmul:
+    xor  t0, a0, a1
+    srli t0, t0, 31
+    slli t0, t0, 31          # result sign
+    srli t1, a0, 23
+    andi t1, t1, 0xFF        # ea
+    srli t2, a1, 23
+    andi t2, t2, 0xFF        # eb
+    beqz t1, fmul_zero
+    beqz t2, fmul_zero
+    li   t3, 0xFF
+    beq  t1, t3, fmul_inf
+    beq  t2, t3, fmul_inf
+    slli t4, a0, 9
+    srli t4, t4, 9
+    li   t5, 0x800000
+    or   t4, t4, t5          # ma (24 bits)
+    slli t6, a1, 9
+    srli t6, t6, 9
+    or   t6, t6, t5          # mb
+    mul  a2, t4, t6          # product low 32
+    mulhu a3, t4, t6         # product high (bits 47..32)
+    add  t1, t1, t2
+    addi t1, t1, -127        # tentative exponent
+    li   t2, 0x8000
+    bltu a3, t2, fmul_lo
+    slli a3, a3, 8           # product in [2^47, 2^48): take [47:24]
+    srli a2, a2, 24
+    or   a2, a3, a2
+    addi t1, t1, 1
+    j    fmul_pack
+fmul_lo:
+    slli a3, a3, 9           # product in [2^46, 2^47): take [46:23]
+    srli a2, a2, 23
+    or   a2, a3, a2
+fmul_pack:
+    blez t1, fmul_zero       # underflow flushes
+    li   t3, 0xFF
+    bge  t1, t3, fmul_inf
+    li   t5, 0x7FFFFF
+    and  a2, a2, t5
+    slli t1, t1, 23
+    or   a0, t0, t1
+    or   a0, a0, a2
+    ret
+fmul_zero:
+    add  a0, t0, x0
+    ret
+fmul_inf:
+    li   a0, 0x7F800000
+    or   a0, a0, t0
+    ret
+
+# ---- f32 add: a0 = a0 + a1 (flush-to-zero, truncating) ----
+fadd:
+    srli t0, a0, 23
+    andi t0, t0, 0xFF        # ea
+    beqz t0, fadd_a_zero
+    slli t1, a0, 9
+    srli t1, t1, 9
+    li   t4, 0x800000
+    or   t1, t1, t4          # ma
+    slli t1, t1, 3           # 3 guard bits
+    bgez a0, fadd_unpack_b
+    sub  t1, x0, t1          # signed mantissa
+fadd_unpack_b:
+    srli t2, a1, 23
+    andi t2, t2, 0xFF        # eb
+    beqz t2, fadd_b_zero
+    slli t3, a1, 9
+    srli t3, t3, 9
+    li   t4, 0x800000
+    or   t3, t3, t4
+    slli t3, t3, 3
+    bgez a1, fadd_align
+    sub  t3, x0, t3
+fadd_align:
+    bge  t0, t2, fadd_noswap
+    add  t4, t0, x0          # swap so ea >= eb
+    add  t0, t2, x0
+    add  t2, t4, x0
+    add  t4, t1, x0
+    add  t1, t3, x0
+    add  t3, t4, x0
+fadd_noswap:
+    sub  t4, t0, t2
+    li   t5, 28
+    bge  t4, t5, fadd_norm   # smaller operand negligible
+    sra  t3, t3, t4
+    add  t1, t1, t3
+    beqz t1, fadd_pzero
+fadd_norm:
+    add  t6, x0, x0          # result sign
+    bgez t1, fadd_norm_mag
+    li   t6, 1
+    sub  t1, x0, t1
+fadd_norm_mag:
+    li   t4, 0x8000000       # 2^27 (hidden bit << 3, doubled)
+fadd_norm_down:
+    bltu t1, t4, fadd_norm_up
+    srli t1, t1, 1
+    addi t0, t0, 1
+    j    fadd_norm_down
+fadd_norm_up:
+    li   t4, 0x4000000       # 2^26 (hidden bit << 3)
+fadd_norm_up_loop:
+    bgeu t1, t4, fadd_pack
+    slli t1, t1, 1
+    addi t0, t0, -1
+    j    fadd_norm_up_loop
+fadd_pack:
+    srli t1, t1, 3           # drop guard bits (truncate)
+    blez t0, fadd_zero_signed
+    li   t4, 0xFF
+    bge  t0, t4, fadd_inf
+    li   t4, 0x7FFFFF
+    and  t1, t1, t4
+    slli t0, t0, 23
+    slli t6, t6, 31
+    or   a0, t0, t1
+    or   a0, a0, t6
+    ret
+fadd_a_zero:
+    srli t2, a1, 23
+    andi t2, t2, 0xFF
+    add  a0, a1, x0
+    bnez t2, fadd_ret
+    add  a0, x0, x0          # both (near) zero -> +0
+fadd_ret:
+    ret
+fadd_b_zero:
+    ret                      # a unchanged (b flushed)
+fadd_pzero:
+    add  a0, x0, x0
+    ret
+fadd_zero_signed:
+    slli a0, t6, 31
+    ret
+fadd_inf:
+    li   a0, 0x7F800000
+    slli t6, t6, 31
+    or   a0, a0, t6
+    ret
+"#;
+
+/// Bit-exact Rust model of the guest `fmul` routine.
+pub fn model_fmul(a: u32, b: u32) -> u32 {
+    let sign = (a ^ b) & 0x8000_0000;
+    let ea = (a >> 23) & 0xFF;
+    let eb = (b >> 23) & 0xFF;
+    if ea == 0 || eb == 0 {
+        return sign;
+    }
+    if ea == 0xFF || eb == 0xFF {
+        return 0x7F80_0000 | sign;
+    }
+    let ma = (a & 0x7F_FFFF) | 0x80_0000;
+    let mb = (b & 0x7F_FFFF) | 0x80_0000;
+    let prod = ma as u64 * mb as u64; // in [2^46, 2^48)
+    let mut exp = ea as i32 + eb as i32 - 127;
+    let mant = if prod >= 1 << 47 {
+        exp += 1;
+        (prod >> 24) as u32
+    } else {
+        (prod >> 23) as u32
+    };
+    if exp <= 0 {
+        return sign;
+    }
+    if exp >= 0xFF {
+        return 0x7F80_0000 | sign;
+    }
+    sign | ((exp as u32) << 23) | (mant & 0x7F_FFFF)
+}
+
+/// Bit-exact Rust model of the guest `fadd` routine.
+pub fn model_fadd(a: u32, b: u32) -> u32 {
+    let ea = (a >> 23) & 0xFF;
+    let eb = (b >> 23) & 0xFF;
+    if ea == 0 {
+        return if eb != 0 { b } else { 0 };
+    }
+    if eb == 0 {
+        return a;
+    }
+    let mut ma = (((a & 0x7F_FFFF) | 0x80_0000) << 3) as i32;
+    if a & 0x8000_0000 != 0 {
+        ma = -ma;
+    }
+    let mut mb = (((b & 0x7F_FFFF) | 0x80_0000) << 3) as i32;
+    if b & 0x8000_0000 != 0 {
+        mb = -mb;
+    }
+    let (mut e, m_big, e_small, mut m_small) =
+        if ea >= eb { (ea as i32, ma, eb as i32, mb) } else { (eb as i32, mb, ea as i32, ma) };
+    let diff = e - e_small;
+    let mut m = m_big;
+    if diff < 28 {
+        m_small >>= diff;
+        m += m_small;
+        if m == 0 {
+            return 0;
+        }
+    } else {
+        m = m_big;
+    }
+    let neg = m < 0;
+    let mut mag = if neg { (m as i64).unsigned_abs() as u32 } else { m as u32 };
+    while mag >= 1 << 27 {
+        mag >>= 1;
+        e += 1;
+    }
+    while mag < 1 << 26 {
+        mag <<= 1;
+        e -= 1;
+    }
+    mag >>= 3;
+    if e <= 0 {
+        return if neg { 0x8000_0000 } else { 0 };
+    }
+    if e >= 0xFF {
+        return 0x7F80_0000 | if neg { 0x8000_0000 } else { 0 };
+    }
+    (if neg { 0x8000_0000 } else { 0 }) | ((e as u32) << 23) | (mag & 0x7F_FFFF)
+}
+
+/// Shorthand: model multiply on `f32` values.
+pub fn model_fmul_f32(a: f32, b: f32) -> f32 {
+    f32::from_bits(model_fmul(a.to_bits(), b.to_bits()))
+}
+
+/// Shorthand: model add on `f32` values.
+pub fn model_fadd_f32(a: f32, b: f32) -> f32 {
+    f32::from_bits(model_fadd(a.to_bits(), b.to_bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use izhi_isa::Assembler;
+    use izhi_isa::Reg;
+    use izhi_sim::{System, SystemConfig};
+
+    /// Run the guest routine on a pair of bit patterns.
+    fn run_guest(routine: &str, a: u32, b: u32) -> u32 {
+        let src = format!(
+            "
+            _start: li a0, {a:#x}
+                    li a1, {b:#x}
+                    call {routine}
+                    ebreak
+            {FADD_FMUL_ASM}
+            "
+        );
+        let prog = Assembler::new().assemble(&src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(100_000).unwrap();
+        sys.core(0).reg(Reg::A0)
+    }
+
+    /// Run many pairs in one guest session (table-driven, much faster).
+    fn run_guest_batch(routine: &str, pairs: &[(u32, u32)]) -> Vec<u32> {
+        // Guest reads pairs from a table, writes results back in place.
+        let mut table = String::from(".data 0x100000\npairs:\n");
+        for (a, b) in pairs {
+            table.push_str(&format!(".word {a:#x}, {b:#x}\n"));
+        }
+        let src = format!(
+            "
+            {table}
+            .text
+            _start: la   s0, pairs
+                    li   s1, {n}
+            bloop:  lw   a0, (s0)
+                    lw   a1, 4(s0)
+                    call {routine}
+                    sw   a0, (s0)
+                    addi s0, s0, 8
+                    addi s1, s1, -1
+                    bnez s1, bloop
+                    ebreak
+            {FADD_FMUL_ASM}
+            ",
+            n = pairs.len()
+        );
+        let prog = Assembler::new().assemble(&src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(200_000_000).unwrap();
+        (0..pairs.len())
+            .map(|i| sys.shared().mem.read_u32(0x100000 + 8 * i as u32).unwrap())
+            .collect()
+    }
+
+    fn interesting_values() -> Vec<f32> {
+        vec![
+            0.0, -0.0, 1.0, -1.0, 2.0, 0.5, -0.5, 3.1415926, -2.718, 140.0, 0.04, 5.0,
+            -65.0, 30.0, 1e-3, -1e-3, 1e10, -1e10, 1e-10, 0.75, 123456.78, -0.001953125,
+            16777216.0, 1.0000001, -0.9999999,
+        ]
+    }
+
+    #[test]
+    fn fmul_guest_matches_model_on_grid() {
+        let vals = interesting_values();
+        let mut pairs = Vec::new();
+        for &a in &vals {
+            for &b in &vals {
+                pairs.push((a.to_bits(), b.to_bits()));
+            }
+        }
+        let got = run_guest_batch("fmul", &pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let want = model_fmul(a, b);
+            assert_eq!(
+                got[i], want,
+                "fmul({}, {}) = {:#010x}, want {:#010x}",
+                f32::from_bits(a),
+                f32::from_bits(b),
+                got[i],
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn fadd_guest_matches_model_on_grid() {
+        let vals = interesting_values();
+        let mut pairs = Vec::new();
+        for &a in &vals {
+            for &b in &vals {
+                pairs.push((a.to_bits(), b.to_bits()));
+            }
+        }
+        let got = run_guest_batch("fadd", &pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let want = model_fadd(a, b);
+            assert_eq!(
+                got[i], want,
+                "fadd({}, {}) = {:#010x}, want {:#010x}",
+                f32::from_bits(a),
+                f32::from_bits(b),
+                got[i],
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn fmul_guest_matches_model_randomised() {
+        let mut state = 0x1357_9BDFu32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        let pairs: Vec<(u32, u32)> = (0..300)
+            .map(|_| {
+                // Constrain to normal range exponents to avoid flush paths
+                // dominating.
+                let a = (next() & 0x80FF_FFFF) | (((next() % 200) + 28) << 23);
+                let b = (next() & 0x80FF_FFFF) | (((next() % 200) + 28) << 23);
+                (a, b)
+            })
+            .collect();
+        let got = run_guest_batch("fmul", &pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(got[i], model_fmul(a, b), "fmul {a:#x} {b:#x}");
+        }
+    }
+
+    #[test]
+    fn fadd_guest_matches_model_randomised() {
+        let mut state = 0x2468_ACE0u32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        let pairs: Vec<(u32, u32)> = (0..300)
+            .map(|_| {
+                let a = (next() & 0x80FF_FFFF) | (((next() % 200) + 28) << 23);
+                let b = (next() & 0x80FF_FFFF) | (((next() % 200) + 28) << 23);
+                (a, b)
+            })
+            .collect();
+        let got = run_guest_batch("fadd", &pairs);
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(got[i], model_fadd(a, b), "fadd {a:#x} {b:#x}");
+        }
+    }
+
+    #[test]
+    fn model_accuracy_against_hardware_floats() {
+        // Truncating arithmetic must stay within 1 ulp of true f32 results
+        // for normal operands.
+        for &a in &interesting_values() {
+            for &b in &interesting_values() {
+                let m = model_fmul_f32(a, b);
+                let t = a * b;
+                if t.is_finite() && t != 0.0 && t.abs() > 1e-30 && t.abs() < 1e30 {
+                    let ulp = (t.to_bits() as i64 - m.to_bits() as i64).abs();
+                    assert!(ulp <= 1, "fmul({a}, {b}) = {m}, true {t}");
+                }
+                let m = model_fadd_f32(a, b);
+                let t = a + b;
+                if t.is_finite() && t != 0.0 && t.abs() > 1e-30 && t.abs() < 1e30 {
+                    // Alignment truncation can cost a couple of ulps.
+                    let ulp = (t.to_bits() as i64 - m.to_bits() as i64).abs();
+                    assert!(ulp <= 2, "fadd({a}, {b}) = {m}, true {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_call_smoke() {
+        let r = run_guest("fmul", 3.0f32.to_bits(), 4.0f32.to_bits());
+        assert_eq!(f32::from_bits(r), 12.0);
+        let r = run_guest("fadd", 1.5f32.to_bits(), 2.25f32.to_bits());
+        assert_eq!(f32::from_bits(r), 3.75);
+        let r = run_guest("fadd", 10.0f32.to_bits(), (-10.0f32).to_bits());
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn softfloat_cost_is_tens_of_cycles() {
+        // The whole point of the baseline: one float op costs ~30-80 cycles.
+        let src = format!(
+            "
+            _start: li   a0, 0x40490FDB   # pi
+                    li   a1, 0x402DF854   # e
+                    call fmul             # warm the I-cache
+                    li   a0, 0x40490FDB
+                    li   a1, 0x402DF854
+                    csrr s0, mcycle
+                    call fmul
+                    csrr s1, mcycle
+                    sub  s2, s1, s0
+                    ebreak
+            {FADD_FMUL_ASM}
+            "
+        );
+        let prog = Assembler::new().assemble(&src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(100_000).unwrap();
+        let cycles = sys.core(0).reg(Reg::S2);
+        assert!(
+            (20..=200).contains(&cycles),
+            "fmul took {cycles} cycles — outside the soft-float regime"
+        );
+    }
+}

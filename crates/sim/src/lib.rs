@@ -1,0 +1,69 @@
+//! # izhi-sim — cycle-approximate IzhiRISC-V system simulator
+//!
+//! A timing-annotated instruction-set simulator of the paper's FPGA system:
+//! one or more 3-stage IzhiRISC-V cores (RV32IM + Zicsr + the neuromorphic
+//! custom-0 extension) with private I/D caches, connected through a shared
+//! round-robin bus to an SDRAM model, plus a single-cycle on-chip scratchpad
+//! and an MMIO block (console, hardware mutex, barrier, spike log, RNG,
+//! region-of-interest counter control).
+//!
+//! ## Timing model
+//!
+//! The DTEK-V base core merges Fetch+Decode and Memory+Writeback into a
+//! 3-stage pipeline with a forwarding unit (paper §V-A). We model time per
+//! retired instruction:
+//!
+//! * 1 base cycle (the pipeline is fully bypassed for ALU→ALU dependences);
+//! * +1 *hazard stall* when the previous instruction was a load or a
+//!   neuromorphic instruction and the current one reads its destination —
+//!   the "source register of the fetched instruction equals the
+//!   destination register of the current instruction" condition of §VI-B
+//!   (the nm-writeback stall is what the paper's proposed *CSR writeback*
+//!   would remove; [`SystemConfig::csr_writeback`] models that fix);
+//! * +1 flush cycle for every taken branch or jump (resolved in EX);
+//! * miss penalties from the I/D cache models (bus arbitration and SDRAM
+//!   burst latency);
+//! * a multi-cycle latency for `div`/`rem` (iterative divider).
+//!
+//! Multi-core execution is event-driven: the system always steps the core
+//! with the smallest local clock, and bus transactions reserve global bus
+//! time, so contention between cores emerges naturally.
+//!
+//! ## Example
+//!
+//! ```
+//! use izhi_isa::Assembler;
+//! use izhi_sim::{System, SystemConfig};
+//!
+//! let prog = Assembler::new()
+//!     .assemble(
+//!         r#"
+//!         _start: li   t0, 0
+//!                 li   t1, 100
+//!         loop:   addi t0, t0, 1
+//!                 bne  t0, t1, loop
+//!                 ebreak
+//!         "#,
+//!     )
+//!     .unwrap();
+//! let mut sys = System::new(SystemConfig::default());
+//! sys.load_program(&prog);
+//! sys.run(1_000_000).unwrap();
+//! assert_eq!(sys.core(0).reg(izhi_isa::Reg::T0), 100);
+//! ```
+
+pub mod bus;
+pub mod cache;
+pub mod counters;
+pub mod cpu;
+pub mod mem;
+pub mod mmio;
+pub mod system;
+
+pub use bus::BusArbiter;
+pub use cache::{Cache, CacheConfig};
+pub use counters::{Metrics, PerfCounters};
+pub use cpu::{Core, TrapCause};
+pub use mem::{layout, MainMemory};
+pub use mmio::SharedDevices;
+pub use system::{RunExit, SimError, System, SystemConfig};

@@ -1,0 +1,675 @@
+//! The multi-core system: configuration, program loading and the
+//! event-driven run loop.
+
+use izhi_isa::asm::Program;
+use izhi_isa::decode;
+use izhi_isa::inst::Inst;
+
+use crate::bus::{BusArbiter, BusTimings};
+use crate::cache::{Cache, CacheConfig};
+use crate::counters::Metrics;
+use crate::cpu::{Core, TrapCause};
+use crate::mem::{layout, MainMemory};
+use crate::mmio::SharedDevices;
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of IzhiRISC-V cores.
+    pub n_cores: u32,
+    /// Core clock in Hz (30 MHz on the MAX10 build, 100 MHz on Agilex-7).
+    pub clock_hz: f64,
+    /// SDRAM size in bytes.
+    pub sdram_size: u32,
+    /// On-chip scratchpad size in bytes.
+    pub scratch_size: u32,
+    /// Per-core I-cache geometry.
+    pub icache: CacheConfig,
+    /// Per-core D-cache geometry.
+    pub dcache: CacheConfig,
+    /// Shared-bus/SDRAM timing.
+    pub bus: BusTimings,
+    /// Iterative divider latency (extra cycles per div/rem).
+    pub div_latency: u64,
+    /// Model the paper's proposed CSR writeback for nm results (§V-B),
+    /// which removes the nm-writeback hazard stalls.
+    pub csr_writeback: bool,
+    /// Seed for the MMIO xorshift32 RNG.
+    pub rng_seed: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            n_cores: 1,
+            clock_hz: 30e6,
+            sdram_size: 8 * 1024 * 1024,
+            scratch_size: layout::SCRATCH_DEFAULT_SIZE,
+            icache: CacheConfig::default(),
+            // Longer D-cache lines amortise the streaming weight/noise
+            // walks, landing hit rates in the paper's 96-100 % band.
+            dcache: CacheConfig { size_bytes: 4096, line_bytes: 32 },
+            bus: BusTimings::default(),
+            div_latency: 16,
+            csr_writeback: false,
+            rng_seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's MAX10 dual-core configuration (30 MHz).
+    pub fn max10_dual_core() -> Self {
+        SystemConfig { n_cores: 2, ..Default::default() }
+    }
+
+    /// The paper's §VI-A three-core experiment: fitting a third core on
+    /// the MAX10 required "drastically" smaller caches and a 20 MHz clock,
+    /// "which had a detrimental impact on performance".
+    pub fn max10_triple_core_reduced() -> Self {
+        SystemConfig {
+            n_cores: 3,
+            clock_hz: 20e6,
+            icache: CacheConfig { size_bytes: 1024, line_bytes: 16 },
+            dcache: CacheConfig { size_bytes: 1024, line_bytes: 16 },
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: n cores, everything else default.
+    pub fn with_cores(n: u32) -> Self {
+        SystemConfig { n_cores: n, ..Default::default() }
+    }
+}
+
+/// State shared between all cores (memory, bus, devices, decode cache).
+#[derive(Debug)]
+pub struct Shared {
+    /// Functional memory.
+    pub mem: MainMemory,
+    /// The single shared bus to SDRAM.
+    pub bus: BusArbiter,
+    /// MMIO devices.
+    pub dev: SharedDevices,
+    /// Bus/SDRAM timing parameters.
+    pub bus_timings: BusTimings,
+    /// Divider latency.
+    pub div_latency: u64,
+    /// CSR-writeback hazard fix enabled.
+    pub csr_writeback: bool,
+    decode_cache: Vec<Option<Inst>>,
+}
+
+impl Shared {
+    /// Decode `word` at `pc`, memoising SDRAM-resident code (the system
+    /// does not support self-modifying code).
+    #[inline]
+    pub fn decode_cached(&mut self, pc: u32, word: u32) -> Option<Inst> {
+        let idx = (pc / 4) as usize;
+        if idx < self.decode_cache.len() {
+            if let Some(inst) = self.decode_cache[idx] {
+                return Some(inst);
+            }
+            let inst = decode(word).ok()?;
+            self.decode_cache[idx] = Some(inst);
+            Some(inst)
+        } else {
+            decode(word).ok()
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A core trapped.
+    Trap {
+        /// Which core.
+        core: u32,
+        /// Why.
+        cause: TrapCause,
+    },
+    /// The cycle budget ran out before all cores halted.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+    /// A program segment does not fit in mapped memory.
+    LoadError {
+        /// Base address of the offending segment.
+        base: u32,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Trap { core, cause } => write!(f, "core {core}: {cause}"),
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+            SimError::LoadError { base } => {
+                write!(f, "program segment at {base:#010x} does not fit in memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunExit {
+    /// Wall-clock cycles (slowest core).
+    pub cycles: u64,
+    /// Total instructions retired across cores.
+    pub instret: u64,
+}
+
+/// A complete simulated IzhiRISC-V system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    shared: Shared,
+}
+
+impl System {
+    /// Build a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cores = (0..cfg.n_cores)
+            .map(|id| Core::new(id, Cache::new(cfg.icache), Cache::new(cfg.dcache)))
+            .collect();
+        let shared = Shared {
+            mem: MainMemory::new(cfg.sdram_size, cfg.scratch_size),
+            bus: BusArbiter::new(),
+            dev: SharedDevices::new(cfg.n_cores, cfg.rng_seed),
+            bus_timings: cfg.bus,
+            div_latency: cfg.div_latency,
+            csr_writeback: cfg.csr_writeback,
+            // Code lives in the first MiB of SDRAM; the memoised decode
+            // table only needs to cover that window.
+            decode_cache: vec![None; (cfg.sdram_size.min(1024 * 1024) / 4) as usize],
+        };
+        System { cfg, cores, shared }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Load an assembled program: copy all segments and point every core's
+    /// pc at the entry (guest code branches on the core-id MMIO register).
+    pub fn load_program(&mut self, prog: &Program) -> bool {
+        for seg in &prog.segments {
+            if !self.shared.mem.write_bytes(seg.base, &seg.data) {
+                return false;
+            }
+        }
+        for core in &mut self.cores {
+            core.set_pc(prog.entry);
+        }
+        true
+    }
+
+    /// Borrow a core.
+    pub fn core(&self, idx: usize) -> &Core {
+        &self.cores[idx]
+    }
+
+    /// Borrow a core mutably (e.g. to preset registers).
+    pub fn core_mut(&mut self, idx: usize) -> &mut Core {
+        &mut self.cores[idx]
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Shared state (memory, devices) for host-side setup and readback.
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Mutable shared state.
+    pub fn shared_mut(&mut self) -> &mut Shared {
+        &mut self.shared
+    }
+
+    /// Console output so far.
+    pub fn console(&self) -> String {
+        self.shared.dev.console_string()
+    }
+
+    /// Run until every core halts or `max_cycles` elapse on any core.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
+        loop {
+            // Event-driven: always advance the core that is furthest behind,
+            // so shared-resource ordering approximates real concurrency.
+            let mut next: Option<usize> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if !c.halted() {
+                    match next {
+                        Some(j) if self.cores[j].time <= c.time => {}
+                        _ => next = Some(i),
+                    }
+                }
+            }
+            let Some(i) = next else {
+                break; // all halted
+            };
+            if self.cores[i].time > max_cycles {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            // Batch a few instructions per pick to cut scheduling overhead;
+            // cross-core timing skew stays bounded by the batch length.
+            for _ in 0..8 {
+                if self.cores[i].halted() {
+                    break;
+                }
+                self.cores[i]
+                    .step(&mut self.shared)
+                    .map_err(|cause| SimError::Trap { core: i as u32, cause })?;
+            }
+        }
+        Ok(RunExit {
+            cycles: self.cores.iter().map(|c| c.time).max().unwrap_or(0),
+            instret: self.cores.iter().map(|c| c.counters.instret).sum(),
+        })
+    }
+
+    /// Per-core metrics for the measured region (ROI delta when the guest
+    /// used the ROI MMIO markers).
+    pub fn metrics(&self, core: usize) -> Metrics {
+        self.cores[core].roi_counters().metrics(self.cfg.clock_hz)
+    }
+
+    /// Execute exactly one instruction on one core (single-step debugging;
+    /// the CLI's `--trace` mode uses this).
+    pub fn step_core(&mut self, idx: usize) -> Result<(), TrapCause> {
+        self.cores[idx].step(&mut self.shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use izhi_isa::asm::Assembler;
+    use izhi_isa::Reg;
+
+    fn run_asm(src: &str) -> System {
+        let prog = Assembler::new().assemble(src).expect("asm");
+        let mut sys = System::new(SystemConfig::default());
+        assert!(sys.load_program(&prog));
+        sys.run(10_000_000).expect("run");
+        sys
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let sys = run_asm(
+            "
+            _start: li t0, 0
+                    li t1, 0
+            loop:   addi t1, t1, 1
+                    add  t0, t0, t1
+                    li   t2, 10
+                    bne  t1, t2, loop
+                    ebreak
+            ",
+        );
+        assert_eq!(sys.core(0).reg(Reg::T0), 55);
+    }
+
+    #[test]
+    fn memory_and_mul() {
+        let sys = run_asm(
+            "
+            .data 0x1000
+            arr: .word 3, 5, 7, 9
+            .text
+            _start: la   a0, arr
+                    li   t0, 0      # index
+                    li   t1, 1      # product
+            loop:   slli t2, t0, 2
+                    add  t2, t2, a0
+                    lw   t3, (t2)
+                    mul  t1, t1, t3
+                    addi t0, t0, 1
+                    li   t4, 4
+                    bne  t0, t4, loop
+                    ebreak
+            ",
+        );
+        assert_eq!(sys.core(0).reg(Reg::T1), 3 * 5 * 7 * 9);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let sys = run_asm(
+            "
+            _start: li  t0, -8
+                    li  t1, 3
+                    div t2, t0, t1      # -2
+                    rem t3, t0, t1      # -2
+                    li  t4, 5
+                    li  t5, 0
+                    divu t6, t4, t5     # div by zero -> all ones
+                    ebreak
+            ",
+        );
+        assert_eq!(sys.core(0).reg(Reg::T2) as i32, -2);
+        assert_eq!(sys.core(0).reg(Reg::T3) as i32, -2);
+        assert_eq!(sys.core(0).reg(Reg::T6), u32::MAX);
+        // div consumed extra cycles
+        assert!(sys.core(0).counters.div_stall_cycles >= 3 * 16);
+    }
+
+    #[test]
+    fn scratchpad_roundtrip() {
+        let sys = run_asm(
+            "
+            _start: li  t0, 0x10000000
+                    li  t1, 0xABCD
+                    sw  t1, (t0)
+                    lw  t2, (t0)
+                    sh  t1, 8(t0)
+                    lhu t3, 8(t0)
+                    ebreak
+            ",
+        );
+        assert_eq!(sys.core(0).reg(Reg::T2), 0xABCD);
+        assert_eq!(sys.core(0).reg(Reg::T3), 0xABCD);
+    }
+
+    #[test]
+    fn console_mmio_and_ecall() {
+        let sys = run_asm(
+            "
+            _start: li  t0, 0xF0000000
+                    li  t1, 'H'
+                    sw  t1, (t0)
+                    li  t1, 'i'
+                    sw  t1, (t0)
+                    li  a0, 42
+                    li  a7, 1
+                    ecall           # prints 42
+                    ebreak
+            ",
+        );
+        assert_eq!(sys.console(), "Hi42");
+    }
+
+    #[test]
+    fn csr_counters_increase() {
+        let sys = run_asm(
+            "
+            _start: csrr s0, mcycle
+                    nop
+                    nop
+                    nop
+                    csrr s1, mcycle
+                    csrr s2, mhartid
+                    ebreak
+            ",
+        );
+        let c0 = sys.core(0).reg(Reg::S0);
+        let c1 = sys.core(0).reg(Reg::S1);
+        assert!(c1 > c0, "mcycle must advance: {c0} -> {c1}");
+        assert_eq!(sys.core(0).reg(Reg::S2), 0);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let prog = Assembler::new().assemble("_start: .word 0xFFFFFFFF").unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        match sys.run(1000) {
+            Err(SimError::Trap { cause: TrapCause::IllegalInstruction { .. }, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmapped_access_traps() {
+        let prog = Assembler::new()
+            .assemble("_start: li t0, 0x80000000\n lw t1, (t0)\n ebreak")
+            .unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        match sys.run(1000) {
+            Err(SimError::Trap { cause: TrapCause::BadAccess { store: false, .. }, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_word_traps() {
+        let prog = Assembler::new()
+            .assemble("_start: li t0, 0x1001\n lw t1, (t0)\n ebreak")
+            .unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        match sys.run(1000) {
+            Err(SimError::Trap { cause: TrapCause::Misaligned { .. }, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let prog = Assembler::new().assemble("_start: j _start").unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        assert!(matches!(sys.run(1000), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn load_use_hazard_costs_one_cycle() {
+        // Two variants of the same code: consumer immediately after a load
+        // vs one independent instruction in between.
+        let tight = run_asm(
+            "
+            _start: li  t0, 0x10000000
+                    sw  t0, (t0)
+                    lw  t1, (t0)
+                    addi t2, t1, 1   # load-use: +1 stall
+                    ebreak
+            ",
+        );
+        let spaced = run_asm(
+            "
+            _start: li  t0, 0x10000000
+                    sw  t0, (t0)
+                    lw  t1, (t0)
+                    nop              # fills the bubble
+                    addi t2, t1, 1
+                    ebreak
+            ",
+        );
+        assert_eq!(tight.core(0).counters.hazard_stalls, 1);
+        assert_eq!(spaced.core(0).counters.hazard_stalls, 0);
+        // The nop variant retires one more instruction in the same cycles.
+        assert_eq!(tight.core(0).time, spaced.core(0).time);
+    }
+
+    #[test]
+    fn nm_hazard_removed_by_csr_writeback() {
+        let src = "
+            _start: li   a6, 0x10000000
+                    sw   a6, (a6)
+                    li   a7, 0
+                    add  a2, x0, a6
+                    nmpn a2, a6, a7
+                    addi t0, a2, 0    # consumes the spike flag immediately
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(100_000).unwrap();
+        assert!(sys.core(0).counters.hazard_stalls >= 1);
+
+        let mut cfg = SystemConfig::default();
+        cfg.csr_writeback = true;
+        let mut sys2 = System::new(cfg);
+        sys2.load_program(&prog);
+        sys2.run(100_000).unwrap();
+        assert_eq!(sys2.core(0).counters.hazard_stalls, 0);
+    }
+
+    #[test]
+    fn dual_core_runs_both() {
+        let src = "
+            _start: li   t0, 0xF0000004   # core id register
+                    lw   t1, (t0)
+                    li   t2, 0x10000000
+                    slli t3, t1, 2
+                    add  t2, t2, t3
+                    addi t4, t1, 100
+                    sw   t4, (t2)
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::max10_dual_core());
+        sys.load_program(&prog);
+        sys.run(1_000_000).unwrap();
+        assert_eq!(sys.shared().mem.read_u32(layout::SCRATCH_BASE), Some(100));
+        assert_eq!(sys.shared().mem.read_u32(layout::SCRATCH_BASE + 4), Some(101));
+    }
+
+    #[test]
+    fn barrier_synchronises_cores() {
+        // Core 0 writes a flag before the barrier; core 1 reads it after.
+        let src = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)          # core id
+                    li   t2, 0x10000000
+                    bnez t1, wait
+                    li   t3, 7777
+                    sw   t3, (t2)          # core 0 publishes
+            wait:   li   t4, 0xF0000010    # barrier reg
+                    lw   t5, (t4)          # generation
+                    sw   x0, (t4)          # arrive
+            spin:   lw   t6, (t4)
+                    beq  t6, t5, spin
+                    lw   a0, (t2)          # both read after release
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::max10_dual_core());
+        sys.load_program(&prog);
+        sys.run(1_000_000).unwrap();
+        assert_eq!(sys.core(0).reg(Reg::A0), 7777);
+        assert_eq!(sys.core(1).reg(Reg::A0), 7777);
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        // Both cores increment a shared counter 1000 times under the mutex.
+        let src = "
+            .equ MUTEX, 0xF000000C
+            .equ COUNTER, 0x10000000
+            _start: li   s0, 1000
+                    li   s1, MUTEX
+                    li   s2, COUNTER
+            loop:   lw   t0, (s1)       # try acquire
+                    beqz t0, loop
+                    lw   t1, (s2)
+                    addi t1, t1, 1
+                    sw   t1, (s2)
+                    sw   x0, (s1)       # release
+                    addi s0, s0, -1
+                    bnez s0, loop
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::max10_dual_core());
+        sys.load_program(&prog);
+        sys.run(50_000_000).unwrap();
+        assert_eq!(sys.shared().mem.read_u32(layout::SCRATCH_BASE), Some(2000));
+    }
+
+    #[test]
+    fn roi_markers_scope_the_counters() {
+        let src = "
+            .equ ROI, 0xF0000024
+            _start: li   t0, ROI
+                    li   t1, 500
+            warm:   addi t1, t1, -1     # untimed warmup loop
+                    bnez t1, warm
+                    li   t2, 1
+                    sw   t2, (t0)       # ROI start
+                    li   t1, 100
+            hot:    addi t1, t1, -1
+                    bnez t1, hot
+                    sw   x0, (t0)       # ROI stop
+                    li   t1, 500
+            cool:   addi t1, t1, -1
+                    bnez t1, cool
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(1_000_000).unwrap();
+        let roi = sys.core(0).roi_counters();
+        let total = sys.core(0).counters;
+        // ROI covers ~200 instructions of the 1200+ executed.
+        assert!(roi.instret >= 200 && roi.instret <= 215, "roi = {}", roi.instret);
+        assert!(total.instret > 2000, "total = {}", total.instret);
+    }
+
+    #[test]
+    fn spike_log_collects_words() {
+        let src = "
+            _start: li  t0, 0xF000001C
+                    li  t1, 0x00010005   # t=1, neuron 5
+                    sw  t1, (t0)
+                    li  t1, 0x00020007
+                    sw  t1, (t0)
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(10_000).unwrap();
+        assert_eq!(sys.shared().dev.spike_log, vec![0x00010005, 0x00020007]);
+    }
+
+    #[test]
+    fn nmpn_full_flow_in_guest() {
+        // Configure an RS neuron, drive it with constant current for 2000
+        // half-steps, count spikes, and leave the count in s0.
+        let src = "
+            .equ VU_ADDR, 0x10000000
+            _start: li   a6, 0x06990029      # b=0.2|a=0.02 in Q4.11: 410<<16 | 41
+                    li   a7, 0x4000BF00      # d=8.0 Q4.11 <<16 | c=-65 Q7.8
+                    nmldl x0, a6, a7
+                    li   a6, 0
+                    nmldh x0, a6, x0         # h = 0.5 ms, no pin
+                    li   s1, VU_ADDR
+                    li   t0, 0xBF00F2C0      # v=-65 Q7.8 | u=-13 Q7.8 (0xF2C0)
+                    sw   t0, (s1)
+                    li   s0, 0               # spike count
+                    li   s2, 2000            # steps
+                    li   a7, 0x000A0000      # Isyn = 10.0 in Q15.16
+            loop:   lw   a6, (s1)            # VU word
+                    add  a2, x0, s1          # address
+                    nmpn a2, a6, a7
+                    add  s0, s0, a2          # accumulate spikes
+                    addi s2, s2, -1
+                    bnez s2, loop
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig::default());
+        sys.load_program(&prog);
+        sys.run(10_000_000).unwrap();
+        let spikes = sys.core(0).reg(Reg::S0);
+        assert!((2..=100).contains(&spikes), "spikes = {spikes}");
+        assert_eq!(sys.core(0).counters.nmpn, 2000);
+    }
+}

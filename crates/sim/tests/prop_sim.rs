@@ -1,0 +1,184 @@
+//! Property tests for the system simulator: differential execution of
+//! random straight-line programs against an independent model, plus
+//! determinism and timing invariants.
+
+use izhi_isa::encode;
+use izhi_isa::inst::{AluImmOp, AluOp, Inst};
+use izhi_isa::reg::Reg;
+use izhi_sim::{System, SystemConfig};
+use proptest::prelude::*;
+
+/// Independent (memory-free) model of the ALU subset.
+fn model_exec(insts: &[Inst], regs: &mut [u32; 32]) {
+    let mut pc = 0u32;
+    for &inst in insts {
+        let mut set = |r: Reg, v: u32, regs: &mut [u32; 32]| {
+            if r.0 != 0 {
+                regs[r.idx()] = v;
+            }
+        };
+        match inst {
+            Inst::Lui { rd, imm } => set(rd, imm as u32, regs),
+            Inst::Auipc { rd, imm } => set(rd, pc.wrapping_add(imm as u32), regs),
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let a = regs[rs1.idx()];
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Slti => u32::from((a as i32) < imm),
+                    AluImmOp::Sltiu => u32::from(a < imm as u32),
+                    AluImmOp::Xori => a ^ imm as u32,
+                    AluImmOp::Ori => a | imm as u32,
+                    AluImmOp::Andi => a & imm as u32,
+                    AluImmOp::Slli => a << (imm & 0x1F),
+                    AluImmOp::Srli => a >> (imm & 0x1F),
+                    AluImmOp::Srai => ((a as i32) >> (imm & 0x1F)) as u32,
+                };
+                set(rd, v, regs);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let a = regs[rs1.idx()];
+                let b = regs[rs2.idx()];
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a << (b & 0x1F),
+                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                    AluOp::Sltu => u32::from(a < b),
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a >> (b & 0x1F),
+                    AluOp::Sra => ((a as i32) >> (b & 0x1F)) as u32,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Mulh => ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32,
+                    AluOp::Mulhsu => ((a as i32 as i64).wrapping_mul(b as i64) >> 32) as u32,
+                    AluOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+                    AluOp::Div => {
+                        if b == 0 {
+                            u32::MAX
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            a
+                        } else {
+                            ((a as i32) / (b as i32)) as u32
+                        }
+                    }
+                    AluOp::Divu => if b == 0 { u32::MAX } else { a / b },
+                    AluOp::Rem => {
+                        if b == 0 {
+                            a
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            0
+                        } else {
+                            ((a as i32) % (b as i32)) as u32
+                        }
+                    }
+                    AluOp::Remu => if b == 0 { a } else { a % b },
+                };
+                set(rd, v, regs);
+            }
+            _ => unreachable!("only ALU instructions are generated"),
+        }
+        pc = pc.wrapping_add(4);
+    }
+}
+
+fn arb_alu_inst() -> impl Strategy<Value = Inst> {
+    let reg = (0u8..32).prop_map(Reg);
+    let alu_imm_op = prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Andi),
+    ];
+    let shift_op = prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)];
+    let alu_op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ];
+    prop_oneof![
+        (reg.clone(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, p)| Inst::Lui { rd, imm: p << 12 }),
+        (reg.clone(), (-(1i32 << 19)..(1 << 19)))
+            .prop_map(|(rd, p)| Inst::Auipc { rd, imm: p << 12 }),
+        (alu_imm_op, reg.clone(), reg.clone(), -2048i32..2048)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (shift_op, reg.clone(), reg.clone(), 0i32..32)
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (alu_op, reg.clone(), reg.clone(), reg)
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+    ]
+}
+
+fn run_on_system(insts: &[Inst]) -> System {
+    let mut sys = System::new(SystemConfig::default());
+    let mut addr = 0u32;
+    for &inst in insts {
+        sys.shared_mut().mem.write_u32(addr, encode(inst));
+        addr += 4;
+    }
+    sys.shared_mut().mem.write_u32(addr, encode(Inst::Ebreak));
+    sys.run(10_000_000).expect("straight-line program must not trap");
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interpreter agrees with an independent model on random
+    /// straight-line ALU programs.
+    #[test]
+    fn differential_alu_execution(insts in prop::collection::vec(arb_alu_inst(), 1..60)) {
+        let sys = run_on_system(&insts);
+        let mut model = [0u32; 32];
+        model_exec(&insts, &mut model);
+        for r in 0..32u8 {
+            prop_assert_eq!(
+                sys.core(0).reg(Reg(r)),
+                model[r as usize],
+                "x{} diverges after {:?}",
+                r,
+                insts
+            );
+        }
+    }
+
+    /// x0 is always zero, IPC never exceeds 1, time covers all retired
+    /// instructions.
+    #[test]
+    fn timing_invariants(insts in prop::collection::vec(arb_alu_inst(), 1..60)) {
+        let sys = run_on_system(&insts);
+        prop_assert_eq!(sys.core(0).reg(Reg(0)), 0);
+        let c = sys.core(0).counters;
+        prop_assert_eq!(c.instret, insts.len() as u64 + 1); // + ebreak
+        prop_assert!(c.cycles >= c.instret, "cycles {} < instret {}", c.cycles, c.instret);
+    }
+
+    /// Re-running the same program is bit-for-bit deterministic.
+    #[test]
+    fn determinism(insts in prop::collection::vec(arb_alu_inst(), 1..40)) {
+        let a = run_on_system(&insts);
+        let b = run_on_system(&insts);
+        for r in 0..32u8 {
+            prop_assert_eq!(a.core(0).reg(Reg(r)), b.core(0).reg(Reg(r)));
+        }
+        prop_assert_eq!(a.core(0).time, b.core(0).time);
+    }
+}

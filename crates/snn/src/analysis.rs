@@ -1,0 +1,413 @@
+//! Spike-train analysis: rasters, ISI histograms and population-rhythm
+//! spectra (the quantities behind Figs. 2 and 3 of the paper).
+
+/// A spike raster: `(timestep, neuron)` events over a fixed duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeRaster {
+    /// Number of neurons.
+    pub n_neurons: u32,
+    /// Number of 1 ms timesteps covered.
+    pub n_steps: u32,
+    /// Events in chronological order.
+    pub spikes: Vec<(u32, u32)>,
+}
+
+impl SpikeRaster {
+    /// Empty raster.
+    pub fn new(n_neurons: u32, n_steps: u32) -> Self {
+        SpikeRaster { n_neurons, n_steps, spikes: Vec::new() }
+    }
+
+    /// Append an event.
+    #[inline]
+    pub fn push(&mut self, t: u32, neuron: u32) {
+        self.spikes.push((t, neuron));
+    }
+
+    /// Build from packed guest words `(t << 16) | neuron` (the format the
+    /// workloads write to the MMIO spike log).
+    pub fn from_packed(n_neurons: u32, n_steps: u32, words: &[u32]) -> Self {
+        let spikes = words.iter().map(|&w| (w >> 16, w & 0xFFFF)).collect();
+        SpikeRaster { n_neurons, n_steps, spikes }
+    }
+
+    /// Pack an event the way the guest does.
+    pub fn pack(t: u32, neuron: u32) -> u32 {
+        (t << 16) | (neuron & 0xFFFF)
+    }
+
+    /// Spike times of one neuron.
+    pub fn neuron_times(&self, neuron: u32) -> Vec<u32> {
+        self.spikes.iter().filter(|&&(_, n)| n == neuron).map(|&(t, _)| t).collect()
+    }
+
+    /// Spikes per timestep (population rate, 1 ms bins).
+    pub fn population_rate(&self) -> Vec<u32> {
+        let mut rate = vec![0u32; self.n_steps as usize];
+        for &(t, _) in &self.spikes {
+            if (t as usize) < rate.len() {
+                rate[t as usize] += 1;
+            }
+        }
+        rate
+    }
+
+    /// Mean firing rate in Hz per neuron (assuming 1 ms steps).
+    pub fn mean_rate_hz(&self) -> f64 {
+        if self.n_neurons == 0 || self.n_steps == 0 {
+            return 0.0;
+        }
+        self.spikes.len() as f64 / (self.n_neurons as f64 * self.n_steps as f64 / 1000.0)
+    }
+
+    /// CSV export (`t,neuron` per line) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::with_capacity(self.spikes.len() * 10 + 16);
+        s.push_str("t_ms,neuron\n");
+        for &(t, n) in &self.spikes {
+            s.push_str(&format!("{t},{n}\n"));
+        }
+        s
+    }
+
+    /// ASCII raster: neurons on rows (downsampled to `rows`), time on
+    /// columns (downsampled to `cols`), `*` marking any spike in the cell.
+    pub fn to_ascii(&self, rows: usize, cols: usize) -> String {
+        let mut grid = vec![vec![false; cols]; rows];
+        for &(t, n) in &self.spikes {
+            if self.n_steps == 0 || self.n_neurons == 0 {
+                continue;
+            }
+            let r = (n as usize * rows) / self.n_neurons as usize;
+            let c = (t as usize * cols) / self.n_steps as usize;
+            if r < rows && c < cols {
+                grid[r][c] = true;
+            }
+        }
+        let mut out = String::with_capacity(rows * (cols + 1));
+        for row in grid {
+            for cell in row {
+                out.push(if cell { '*' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Inter-spike-interval histogram pooled over all neurons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsiHistogram {
+    /// Bin counts.
+    pub bins: Vec<u64>,
+    /// Width of each bin in ms.
+    pub bin_width_ms: u32,
+}
+
+impl IsiHistogram {
+    /// Compute from a raster with the given bin width and range.
+    pub fn from_raster(raster: &SpikeRaster, bin_width_ms: u32, max_ms: u32) -> Self {
+        let n_bins = (max_ms / bin_width_ms) as usize;
+        let mut bins = vec![0u64; n_bins];
+        // Collect per-neuron ISIs. The raster is time-ordered, so track the
+        // previous spike time per neuron.
+        let mut last = vec![u32::MAX; raster.n_neurons as usize];
+        for &(t, n) in &raster.spikes {
+            let n = n as usize;
+            if n >= last.len() {
+                continue;
+            }
+            if last[n] != u32::MAX {
+                let isi = t - last[n];
+                let bin = (isi / bin_width_ms) as usize;
+                if bin < n_bins {
+                    bins[bin] += 1;
+                }
+            }
+            last[n] = t;
+        }
+        IsiHistogram { bins, bin_width_ms }
+    }
+
+    /// Total ISI count.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Normalised bin frequencies.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.bins.iter().map(|&b| b as f64 / total).collect()
+    }
+
+    /// ISI interval (ms) of the fullest bin.
+    pub fn peak_isi_ms(&self) -> u32 {
+        let idx = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &b)| b)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        idx as u32 * self.bin_width_ms + self.bin_width_ms / 2
+    }
+
+    /// Histogram-intersection similarity in `[0, 1]` (1 = identical
+    /// shapes). Used to assert the three arms of Fig. 3 agree.
+    pub fn similarity(&self, other: &IsiHistogram) -> f64 {
+        let a = self.normalized();
+        let b = other.normalized();
+        a.iter().zip(b.iter()).map(|(&x, &y)| x.min(y)).sum()
+    }
+}
+
+impl SpikeRaster {
+    /// Restrict to a contiguous neuron range (e.g. the excitatory
+    /// population, indices `0..800` in the 80-20 network), renumbering
+    /// neurons to start at zero.
+    pub fn subset(&self, range: core::ops::Range<u32>) -> SpikeRaster {
+        let spikes = self
+            .spikes
+            .iter()
+            .filter(|&&(_, n)| range.contains(&n))
+            .map(|&(t, n)| (t, n - range.start))
+            .collect();
+        SpikeRaster { n_neurons: range.end - range.start, n_steps: self.n_steps, spikes }
+    }
+}
+
+/// Coefficient of variation of the pooled inter-spike intervals: ~0 for a
+/// clock-like train, ~1 for Poisson firing, >1 for bursting.
+pub fn isi_cv(raster: &SpikeRaster) -> f64 {
+    let mut last = vec![u32::MAX; raster.n_neurons as usize];
+    let mut isis = Vec::new();
+    for &(t, n) in &raster.spikes {
+        let n = n as usize;
+        if n < last.len() {
+            if last[n] != u32::MAX && t >= last[n] {
+                isis.push((t - last[n]) as f64);
+            }
+            last[n] = t;
+        }
+    }
+    if isis.len() < 2 {
+        return 0.0;
+    }
+    let mean = isis.iter().sum::<f64>() / isis.len() as f64;
+    let var = isis.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / isis.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        var.sqrt() / mean
+    }
+}
+
+/// Fano factor of the population spike count over windows of `win` ms:
+/// variance/mean of the per-window counts (1 for a Poisson process).
+pub fn fano_factor(raster: &SpikeRaster, win: u32) -> f64 {
+    let rate = raster.population_rate();
+    let counts: Vec<f64> = rate
+        .chunks(win.max(1) as usize)
+        .map(|c| c.iter().map(|&x| x as f64).sum())
+        .collect();
+    if counts.len() < 2 {
+        return 0.0;
+    }
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    let var =
+        counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / counts.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        var / mean
+    }
+}
+
+/// Single-frequency Goertzel power of a real signal sampled at 1 kHz.
+pub fn goertzel_power(signal: &[f64], freq_hz: f64) -> f64 {
+    let n = signal.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = freq_hz * n as f64 / 1000.0;
+    let w = 2.0 * std::f64::consts::PI * k / n as f64;
+    let coeff = 2.0 * w.cos();
+    let (mut s_prev, mut s_prev2) = (0.0, 0.0);
+    for &x in signal {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    (s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2) / (n as f64 * n as f64)
+}
+
+/// Power spectrum of the (mean-removed) population rate over `lo..=hi` Hz.
+pub fn rate_spectrum(rate: &[u32], lo: u32, hi: u32) -> Vec<(u32, f64)> {
+    let mean = rate.iter().map(|&r| r as f64).sum::<f64>() / rate.len().max(1) as f64;
+    let centered: Vec<f64> = rate.iter().map(|&r| r as f64 - mean).collect();
+    (lo..=hi).map(|f| (f, goertzel_power(&centered, f as f64))).collect()
+}
+
+/// Mean band power (inclusive bounds, Hz).
+pub fn band_power(rate: &[u32], lo: u32, hi: u32) -> f64 {
+    let spec = rate_spectrum(rate, lo, hi);
+    spec.iter().map(|&(_, p)| p).sum::<f64>() / spec.len().max(1) as f64
+}
+
+/// Frequency with the highest power in `lo..=hi` Hz.
+pub fn dominant_frequency(rate: &[u32], lo: u32, hi: u32) -> u32 {
+    rate_spectrum(rate, lo, hi)
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(f, _)| f)
+        .unwrap_or(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_raster(period: u32, n_neurons: u32, steps: u32) -> SpikeRaster {
+        let mut r = SpikeRaster::new(n_neurons, steps);
+        for t in (0..steps).step_by(period as usize) {
+            for n in 0..n_neurons {
+                r.push(t, n);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let w = SpikeRaster::pack(1234, 999);
+        let r = SpikeRaster::from_packed(1000, 2000, &[w]);
+        assert_eq!(r.spikes, vec![(1234, 999)]);
+    }
+
+    #[test]
+    fn population_rate_counts() {
+        let mut r = SpikeRaster::new(10, 5);
+        r.push(0, 1);
+        r.push(0, 2);
+        r.push(3, 1);
+        assert_eq!(r.population_rate(), vec![2, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn mean_rate() {
+        // 10 neurons, 1000 ms, each spiking 8 times -> 8 Hz.
+        let mut r = SpikeRaster::new(10, 1000);
+        for n in 0..10 {
+            for k in 0..8 {
+                r.push(k * 125, n);
+            }
+        }
+        assert!((r.mean_rate_hz() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isi_histogram_of_periodic_train() {
+        let r = periodic_raster(25, 4, 1000);
+        let h = IsiHistogram::from_raster(&r, 5, 200);
+        assert_eq!(h.peak_isi_ms() / 5 * 5, 25, "peak bin should cover 25 ms");
+        // All ISIs identical: one bin holds everything.
+        assert_eq!(h.bins.iter().filter(|&&b| b > 0).count(), 1);
+    }
+
+    #[test]
+    fn isi_similarity_metric() {
+        let a = IsiHistogram::from_raster(&periodic_raster(25, 4, 2000), 5, 200);
+        let b = IsiHistogram::from_raster(&periodic_raster(25, 8, 1000), 5, 200);
+        let c = IsiHistogram::from_raster(&periodic_raster(60, 4, 2000), 5, 200);
+        assert!(a.similarity(&b) > 0.99, "same period, same shape");
+        assert!(a.similarity(&c) < 0.1, "different periods differ");
+        assert!((a.similarity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goertzel_finds_injected_tone() {
+        // 40 Hz tone over 1 s at 1 kHz sampling.
+        let rate: Vec<u32> = (0..1000)
+            .map(|t| {
+                let x = (2.0 * std::f64::consts::PI * 40.0 * t as f64 / 1000.0).sin();
+                (10.0 + 8.0 * x).round() as u32
+            })
+            .collect();
+        assert_eq!(dominant_frequency(&rate, 5, 100), 40);
+        assert!(band_power(&rate, 35, 45) > 10.0 * band_power(&rate, 60, 90));
+    }
+
+    #[test]
+    fn periodic_population_shows_rhythm() {
+        // Population bursting every 100 ms: strong 10 Hz fundamental (and
+        // harmonics); non-harmonic frequencies carry almost no power.
+        let r = periodic_raster(100, 50, 2000);
+        let rate = r.population_rate();
+        let mean = rate.iter().map(|&x| x as f64).sum::<f64>() / rate.len() as f64;
+        let centered: Vec<f64> = rate.iter().map(|&x| x as f64 - mean).collect();
+        let p10 = goertzel_power(&centered, 10.0);
+        let p7 = goertzel_power(&centered, 7.0);
+        let p13 = goertzel_power(&centered, 13.0);
+        assert!(p10 > 50.0 * p7, "10 Hz {p10} vs 7 Hz {p7}");
+        assert!(p10 > 50.0 * p13, "10 Hz {p10} vs 13 Hz {p13}");
+    }
+
+    #[test]
+    fn csv_and_ascii_shapes() {
+        let r = periodic_raster(10, 4, 100);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("t_ms,neuron\n"));
+        assert_eq!(csv.lines().count(), 1 + r.spikes.len());
+        let art = r.to_ascii(4, 20);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('*'));
+    }
+
+    #[test]
+    fn subset_renumbers() {
+        let mut r = SpikeRaster::new(10, 100);
+        r.push(5, 2);
+        r.push(7, 8);
+        r.push(9, 4);
+        let sub = r.subset(2..5);
+        assert_eq!(sub.n_neurons, 3);
+        assert_eq!(sub.spikes, vec![(5, 0), (9, 2)]);
+    }
+
+    #[test]
+    fn cv_of_periodic_train_is_zero() {
+        let r = periodic_raster(20, 4, 1000);
+        assert!(isi_cv(&r) < 1e-9);
+    }
+
+    #[test]
+    fn cv_of_irregular_train_is_positive() {
+        // Two alternating intervals (10 and 40 ms): CV = std/mean = 15/25.
+        let mut r = SpikeRaster::new(1, 1000);
+        let mut t = 0;
+        let mut flip = false;
+        while t < 950 {
+            r.push(t, 0);
+            t += if flip { 10 } else { 40 };
+            flip = !flip;
+        }
+        let cv = isi_cv(&r);
+        assert!((cv - 0.6).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    fn fano_of_regular_population_below_one() {
+        // Perfectly periodic population: every window has the same count.
+        let r = periodic_raster(10, 50, 2000);
+        assert!(fano_factor(&r, 100) < 0.1);
+    }
+
+    #[test]
+    fn empty_raster_is_handled() {
+        let r = SpikeRaster::new(0, 0);
+        assert_eq!(r.mean_rate_hz(), 0.0);
+        let h = IsiHistogram::from_raster(&r, 5, 100);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.normalized().iter().sum::<f64>(), 0.0);
+    }
+}

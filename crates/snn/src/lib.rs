@@ -1,0 +1,33 @@
+//! # izhi-snn — spiking-network substrate for the IzhiRISC-V reproduction
+//!
+//! Host-side SNN machinery used by both evaluation workloads:
+//!
+//! * [`network`] — CSR-style network representation with double-precision
+//!   and hardware-quantised (Q-format) views;
+//! * [`gen8020`] — Izhikevich's 2003 "80-20" cortical network generator
+//!   (800 excitatory / 200 inhibitory, all-to-all random weights, noisy
+//!   thalamic drive);
+//! * [`simulate`] — two reference simulators over a network: double
+//!   precision (the paper's "MATLAB double" arm) and bit-exact fixed point
+//!   sharing the NPU/DCU datapaths (the "MATLAB fixed" arm of Fig. 3);
+//! * [`analysis`] — spike rasters, inter-spike-interval histograms,
+//!   population-rate spectra (alpha/gamma rhythm detection, Fig. 2/3);
+//! * [`sudoku`] — the 729-neuron Winner-Takes-All Sudoku network (Fig. 4),
+//!   a classical backtracking solver for ground truth, an embedded corpus
+//!   of hard puzzles, and a seeded hard-puzzle generator (stand-in for the
+//!   paper's magictour "Top 100" list);
+//! * [`noise`] — deterministic RNG helpers (xorshift32 matching the MMIO
+//!   device, Box-Muller gaussians for thalamic input).
+
+pub mod analysis;
+pub mod gen8020;
+pub mod network;
+pub mod noise;
+pub mod simulate;
+pub mod sudoku;
+
+pub use analysis::{IsiHistogram, SpikeRaster};
+pub use gen8020::Net8020;
+pub use network::Network;
+pub use simulate::{FixedSimulator, F64Simulator};
+pub use sudoku::{SudokuGrid, WtaNetwork};

@@ -1,0 +1,45 @@
+//! The paper's first use case: Izhikevich's 80-20 cortical network running
+//! as a *guest program* on the simulated IzhiRISC-V cores, with the raster
+//! and the performance counters the paper reports in Table V.
+//!
+//! ```text
+//! cargo run --release --example cortical_8020 [-- <neurons> <ticks> <cores>]
+//! ```
+
+use izhirisc::programs::engine::Variant;
+use izhirisc::programs::net8020::Net8020Workload;
+use izhirisc::snn::analysis::{band_power, IsiHistogram};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(250);
+    let ticks: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let cores: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n_exc = n * 4 / 5;
+    let n_inh = n - n_exc;
+
+    println!("80-20 network: {n} neurons ({n_exc} exc / {n_inh} inh), {ticks} ms, {cores} core(s)\n");
+    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, cores, 5, Variant::Npu);
+    let res = wl.run().expect("simulation failed");
+
+    println!("spikes: {}", res.raster.spikes.len());
+    println!("mean rate: {:.2} Hz/neuron", res.raster.mean_rate_hz());
+    let rate = res.raster.population_rate();
+    println!("alpha-band power (8-13 Hz): {:.1}", band_power(&rate, 8, 13));
+    println!("gamma-band power (30-80 Hz): {:.1}", band_power(&rate, 30, 80));
+    let isi = IsiHistogram::from_raster(&res.raster, 10, 300);
+    println!("ISI histogram peak: {} ms", isi.peak_isi_ms());
+
+    println!("\nASCII raster (neurons top-to-bottom, time left-to-right):");
+    print!("{}", res.raster.to_ascii(30, 100));
+
+    for (i, m) in res.metrics.iter().enumerate() {
+        println!("\ncore {i} (region of interest):");
+        println!("  exec time   {:.4} s @ 30 MHz", m.exec_time_s);
+        println!("  IPC         {:.4}", m.ipc);
+        println!("  IPC_eff     {:.4}", m.ipc_eff);
+        println!("  hazard      {:.3} %", m.hazard_stall_pct);
+        println!("  I$ / D$     {:.2} % / {:.2} %", m.icache_hit_pct, m.dcache_hit_pct);
+        println!("  mem intens. {:.2}", m.mem_intensity);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: drive a single Izhikevich neuron through the NPU datapath
+//! and print a voltage trace plus the firing-pattern zoo of presets.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use izhirisc::core::{HStep, IzhParams, NmRegs, NpUnit};
+use izhirisc::fixed::{pack_vu, unpack_vu, Q15_16, Q7_8};
+
+fn run_preset(name: &str, params: IzhParams, input: f64, ms: u32) {
+    let mut regs = NmRegs::default();
+    regs.load_params(&params);
+    regs.set_h(HStep::Half);
+
+    let mut vu = pack_vu(
+        Q7_8::from_f64(params.c),
+        Q7_8::from_f64(params.b * params.c),
+    );
+    let drive = Q15_16::from_f64(input);
+    let mut spikes = 0u32;
+    let mut trace = String::new();
+    for step in 0..(2 * ms) {
+        let out = NpUnit::update(&regs, vu, drive);
+        vu = out.vu;
+        spikes += out.spike as u32;
+        // Sample the membrane once per millisecond for a coarse trace.
+        if step % 50 == 0 {
+            let (v, _) = unpack_vu(vu);
+            let col = ((v.to_f64() + 90.0) / 130.0 * 40.0).clamp(0.0, 40.0) as usize;
+            trace.push_str(&format!("{:>5.0}ms {}*\n", step / 2, " ".repeat(col)));
+        }
+    }
+    let rate = spikes as f64 / (ms as f64 / 1000.0);
+    println!("{name:<22} I = {input:>4.1}: {spikes:>4} spikes ({rate:>6.1} Hz)");
+    if name == "regular spiking" {
+        println!("membrane trace (v from -90 mV to +40 mV):\n{trace}");
+    }
+}
+
+fn main() {
+    println!("IzhiRISC-V NPU quickstart — one neuron per firing-pattern preset\n");
+    run_preset("regular spiking", IzhParams::regular_spiking(), 10.0, 1000);
+    run_preset("intrinsically bursting", IzhParams::intrinsically_bursting(), 10.0, 1000);
+    run_preset("chattering", IzhParams::chattering(), 10.0, 1000);
+    run_preset("fast spiking", IzhParams::fast_spiking(), 10.0, 1000);
+    run_preset("low-threshold spiking", IzhParams::low_threshold_spiking(), 10.0, 1000);
+    run_preset("thalamo-cortical", IzhParams::thalamo_cortical(), 10.0, 1000);
+    run_preset("resonator", IzhParams::resonator(), 10.0, 1000);
+    println!("\nAll updates ran through the bit-exact fixed-point NPU datapath");
+    println!("(Q7.8 state, Q4.11 parameters, Q15.16 current — paper Table I).");
+}

@@ -1,0 +1,202 @@
+//! `izhirisc` — command-line front end for the IzhiRISC-V toolchain.
+//!
+//! ```text
+//! izhirisc asm    <file.s> [-o out.bin]      assemble to a flat binary
+//! izhirisc disasm <file.bin> [--base ADDR]   disassemble a flat binary
+//! izhirisc run    <file.s> [options]         assemble + run on the simulator
+//!     --cores N        number of cores (default 1)
+//!     --cycles N       cycle budget (default 100000000)
+//!     --trace          print every retired instruction (core 0)
+//!     --regs           dump the register file at exit
+//! izhirisc selftest                          run the guest ISA battery
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::process::exit;
+
+use izhirisc::isa::{decode, disassemble, Assembler, Reg};
+use izhirisc::sim::{System, SystemConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--trace] [--regs]\n  izhirisc selftest"
+    );
+    exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_asm(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let src = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let prog = Assembler::new().assemble(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    });
+    let out = arg_value(args, "-o").unwrap_or_else(|| format!("{path}.bin"));
+    // Flat image: from the lowest segment base to the highest end.
+    let lo = prog.segments.iter().map(|s| s.base).min().unwrap_or(0);
+    let hi = prog
+        .segments
+        .iter()
+        .map(|s| s.base + s.data.len() as u32)
+        .max()
+        .unwrap_or(0);
+    let mut image = vec![0u8; (hi - lo) as usize];
+    for seg in &prog.segments {
+        let off = (seg.base - lo) as usize;
+        image[off..off + seg.data.len()].copy_from_slice(&seg.data);
+    }
+    fs::write(&out, &image).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!(
+        "{out}: {} bytes (base {lo:#x}, entry {:#x}, {} symbols)",
+        image.len(),
+        prog.entry,
+        prog.symbols.len()
+    );
+}
+
+fn cmd_disasm(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let base = arg_value(args, "--base")
+        .map(|s| parse_u32(&s))
+        .unwrap_or(0);
+    let bytes = fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    // Tolerate a closed pipe (e.g. `izhirisc disasm x | head`).
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let mut w = [0u8; 4];
+        w[..chunk.len()].copy_from_slice(chunk);
+        let word = u32::from_le_bytes(w);
+        let addr = base + 4 * i as u32;
+        let line = match decode(word) {
+            Ok(inst) => format!("{addr:#010x}: {word:08x}  {}", disassemble(inst)),
+            Err(_) => format!("{addr:#010x}: {word:08x}  .word {word:#010x}"),
+        };
+        if writeln!(out, "{line}").is_err() {
+            return;
+        }
+    }
+}
+
+fn parse_u32(s: &str) -> u32 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    }
+    .unwrap_or_else(|_| {
+        eprintln!("bad number `{s}`");
+        exit(2);
+    })
+}
+
+fn cmd_run(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let src = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let prog = Assembler::new().assemble(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    });
+    let cores = arg_value(args, "--cores").map(|s| parse_u32(&s)).unwrap_or(1);
+    let budget = arg_value(args, "--cycles").map(|s| parse_u32(&s) as u64).unwrap_or(100_000_000);
+    let trace = args.iter().any(|a| a == "--trace");
+    let dump_regs = args.iter().any(|a| a == "--regs");
+
+    let mut sys = System::new(SystemConfig::with_cores(cores));
+    if !sys.load_program(&prog) {
+        eprintln!("program does not fit in simulated memory");
+        exit(1);
+    }
+    let result = if trace {
+        run_traced(&mut sys, budget)
+    } else {
+        sys.run(budget).map(|e| (e.cycles, e.instret))
+    };
+    match result {
+        Ok((cycles, instret)) => {
+            let console = sys.console();
+            if !console.is_empty() {
+                print!("{console}");
+                if !console.ends_with('\n') {
+                    println!();
+                }
+            }
+            eprintln!(
+                "[{instret} instructions, {cycles} cycles, IPC {:.3}]",
+                instret as f64 / cycles.max(1) as f64
+            );
+            if dump_regs {
+                for i in 0..32u8 {
+                    let r = Reg(i);
+                    eprint!("{:>5}={:#010x}", r.abi_name(), sys.core(0).reg(r));
+                    if i % 4 == 3 {
+                        eprintln!();
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+/// Single-core trace loop: disassemble each instruction as it retires.
+fn run_traced(sys: &mut System, budget: u64) -> Result<(u64, u64), izhirisc::sim::SimError> {
+    if sys.n_cores() != 1 {
+        eprintln!("--trace implies --cores 1");
+        exit(2);
+    }
+    loop {
+        if sys.core(0).halted() {
+            break;
+        }
+        if sys.core(0).time > budget {
+            return Err(izhirisc::sim::SimError::Timeout { max_cycles: budget });
+        }
+        let pc = sys.core(0).pc();
+        let word = sys.shared().mem.read_u32(pc).unwrap_or(0);
+        let text = decode(word).map(disassemble).unwrap_or_else(|_| "??".into());
+        eprintln!("[{:>10}] {pc:#010x}: {text}", sys.core(0).time);
+        sys.step_core(0).map_err(|cause| izhirisc::sim::SimError::Trap { core: 0, cause })?;
+    }
+    Ok((sys.core(0).time, sys.core(0).counters.instret))
+}
+
+fn cmd_selftest() {
+    let (failures, console) = izhirisc::programs::selftest::run_battery();
+    print!("{console}");
+    let n = izhirisc::programs::selftest::battery().len();
+    println!("\n{n} cases, {failures} failures");
+    exit(if failures == 0 { 0 } else { 1 });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("selftest") => cmd_selftest(),
+        _ => usage(),
+    }
+}

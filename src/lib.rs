@@ -1,0 +1,72 @@
+//! # IzhiRISC-V — a reproduction in Rust
+//!
+//! This crate re-exports the whole workspace behind one façade so examples
+//! and downstream users need a single dependency:
+//!
+//! * [`fixed`] — Q-format fixed-point arithmetic (Q4.11 / Q7.8 / Q15.16);
+//! * [`core`] — the paper's contribution: NPU (single-cycle Izhikevich
+//!   Euler update) and DCU (shift-approximated synaptic decay) semantics;
+//! * [`isa`] — RV32IM + Zicsr + the custom-0 neuromorphic extension,
+//!   with assembler and disassembler;
+//! * [`sim`] — the cycle-approximate multi-core system simulator;
+//! * [`snn`] — SNN substrate (80-20 generator, WTA Sudoku network, host
+//!   reference simulators, spike-train analysis);
+//! * [`hw`] — FPGA/ASIC resource, power and timing models;
+//! * [`programs`] — the guest workloads (80-20, Sudoku, soft-float
+//!   baseline) and the engine that runs them on the simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use izhirisc::core::{HStep, IzhParams, NmRegs, NpUnit};
+//! use izhirisc::fixed::{pack_vu, Q15_16, Q7_8};
+//!
+//! let mut regs = NmRegs::default();
+//! regs.load_params(&IzhParams::regular_spiking());
+//! regs.set_h(HStep::Half);
+//!
+//! let mut vu = pack_vu(Q7_8::from_f64(-65.0), Q7_8::from_f64(-13.0));
+//! let mut spikes = 0;
+//! for _ in 0..2000 {
+//!     let out = NpUnit::update(&regs, vu, Q15_16::from_f64(10.0));
+//!     vu = out.vu;
+//!     spikes += out.spike as u32;
+//! }
+//! assert!(spikes > 0);
+//! ```
+
+/// Q-format fixed-point arithmetic.
+pub mod fixed {
+    pub use izhi_fixed::qformat::{pack_vu, unpack_vu};
+    pub use izhi_fixed::*;
+}
+
+/// NPU / DCU semantics and the Izhikevich model.
+pub mod core {
+    pub use izhi_core::*;
+}
+
+/// Instruction set, assembler, disassembler.
+pub mod isa {
+    pub use izhi_isa::*;
+}
+
+/// System simulator.
+pub mod sim {
+    pub use izhi_sim::*;
+}
+
+/// SNN substrate.
+pub mod snn {
+    pub use izhi_snn::*;
+}
+
+/// Hardware models.
+pub mod hw {
+    pub use izhi_hw::*;
+}
+
+/// Guest workloads.
+pub mod programs {
+    pub use izhi_programs::*;
+}
