@@ -1,0 +1,52 @@
+//! Per-instruction-class cost microbenchmark of the interpreter: tight
+//! synthetic guest loops (ALU-only, scratch load/store, cached SDRAM
+//! loads, `nmpn`, branch-heavy) reported as host ns per simulated
+//! instruction. Used to attribute interpreter overhead during perf work.
+//!
+//! ```text
+//! cargo run --release --example interp_microbench -p izhi_bench
+//! ```
+
+use izhi_isa::Assembler;
+use izhi_sim::{System, SystemConfig};
+use std::time::Instant;
+
+fn measure(name: &str, body: &str) {
+    let src = format!(
+        "_start: li s0, 2000000\n li s1, 0x10000000\n li s2, 0x100000\nloop:\n{body}\n addi s0, s0, -1\n bnez s0, loop\n ebreak"
+    );
+    let prog = Assembler::new().assemble(&src).unwrap();
+    let mut sys = System::new(SystemConfig::default());
+    assert!(sys.load_program(&prog));
+    let t = Instant::now();
+    sys.run(u64::MAX).unwrap();
+    let dt = t.elapsed().as_secs_f64();
+    let n = sys.core(0).counters.instret;
+    println!(
+        "{name:<24} {:>7.2} ns/instr  ({n} instr, {dt:.3}s)",
+        dt / n as f64 * 1e9
+    );
+}
+
+fn main() {
+    measure(
+        "alu_only",
+        " add t0, t1, t2\n xor t3, t0, t1\n add t4, t3, t0\n xor t5, t4, t1",
+    );
+    measure(
+        "scratch_lw_sw",
+        " lw t0, (s1)\n sw t0, 4(s1)\n lw t1, 4(s1)\n sw t1, (s1)",
+    );
+    measure(
+        "sdram_lw",
+        " lw t0, (s2)\n lw t1, 4(s2)\n lw t2, 8(s2)\n lw t3, 12(s2)",
+    );
+    measure(
+        "nmpn",
+        " lw a6, (s1)\n add a2, x0, s1\n nmpn a2, a6, a7\n nop",
+    );
+    measure(
+        "branch_heavy",
+        " beq x0, x0, l1\nl1: beq x0, x0, l2\nl2: beq x0, x0, l3\nl3: nop",
+    );
+}

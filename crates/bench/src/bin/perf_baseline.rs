@@ -1,0 +1,326 @@
+//! `perf_baseline` — the repo's reproducible simulator-throughput
+//! measurement.
+//!
+//! Two kinds of rows:
+//!
+//! * **Workload battery** (self-test, 80-20 at quick/paper scale on 1 and
+//!   2 cores, an eased Sudoku instance on 1 and 2 cores): host wall time
+//!   plus simulated cycles/s and instructions/s on the live `izhi_sim`.
+//! * **Seed-vs-live comparison**: the single-core 80-20 rows run again on
+//!   the frozen seed interpreter (`izhi_bench::seedsim`), *interleaved*
+//!   with the live one in the same process and repeated `REPS` times
+//!   (best run kept), so the reported speedup is immune to host-speed
+//!   drift between measurement sessions. Both interpreters must agree on
+//!   simulated cycles / instructions / spike count — asserted, which
+//!   doubles as an end-to-end regression check of the predecode rework.
+//!
+//! ```text
+//! cargo run --release --bin perf_baseline [-- <out.json>]
+//! ```
+//!
+//! Writes `BENCH_1.json` (or the given path).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use izhi_bench::seedsim;
+use izhi_isa::Assembler;
+use izhi_programs::engine::{build_asm, GuestImage, Variant};
+use izhi_programs::net8020::Net8020Workload;
+use izhi_programs::sudoku_prog::SudokuWorkload;
+use izhi_programs::{layout, selftest};
+use izhi_sim::{System, SystemConfig};
+use izhi_snn::sudoku::hard_corpus;
+
+/// Interleaved repetitions per comparison session.
+const REPS: usize = 5;
+/// Comparison sessions per workload (the best session's rows are kept;
+/// host-speed drift on this shared VM makes single sessions undershoot).
+const SESSIONS: usize = 5;
+
+/// One measured workload.
+struct Row {
+    name: String,
+    wall_s: f64,
+    sim_cycles: u64,
+    sim_instret: u64,
+    spikes: u64,
+    /// Full packed spike log (`t<<16|neuron` words) for exactness checks;
+    /// empty for rows that don't compare rasters.
+    spike_log: Vec<u32>,
+}
+
+impl Row {
+    fn cycles_per_s(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_s
+    }
+
+    fn instr_per_s(&self) -> f64 {
+        self.sim_instret as f64 / self.wall_s
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn selftest_row() -> Row {
+    let prog = Assembler::new()
+        .assemble(&selftest::battery_asm())
+        .expect("battery assembles");
+    let (wall_s, (exit, failures)) = time(|| {
+        let mut sys = System::new(SystemConfig::default());
+        assert!(sys.load_program(&prog));
+        let exit = sys.run(50_000_000).expect("battery run");
+        let failures = sys
+            .console()
+            .lines()
+            .last()
+            .and_then(|l| l.trim().parse::<u32>().ok())
+            .unwrap_or(u32::MAX);
+        (exit, failures)
+    });
+    assert_eq!(failures, 0, "guest self-test battery failed");
+    Row {
+        name: "selftest_battery".into(),
+        wall_s,
+        sim_cycles: exit.cycles,
+        sim_instret: exit.instret,
+        spikes: 0,
+        spike_log: Vec::new(),
+    }
+}
+
+fn net8020_row(name: &str, n_exc: usize, n_inh: usize, ticks: u32, cores: u32) -> Row {
+    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, cores, 5, Variant::Npu);
+    let (wall_s, res) = time(|| wl.run().expect("net8020 run"));
+    Row {
+        name: name.into(),
+        wall_s,
+        sim_cycles: res.cycles,
+        sim_instret: res.instret,
+        spikes: res.raster.spikes.len() as u64,
+        spike_log: Vec::new(),
+    }
+}
+
+fn sudoku_row(name: &str, cores: u32) -> Row {
+    // The quick-scale instance of the paper's Table VI flow: one hard
+    // puzzle eased by restoring half the blanks, 2500-tick budget.
+    let mut puzzle = hard_corpus(1)[0];
+    let sol = puzzle.solve().expect("classical solver");
+    for i in (0..81).step_by(2) {
+        if puzzle.0[i] == 0 {
+            puzzle.0[i] = sol.0[i];
+        }
+    }
+    let wl = SudokuWorkload::new(puzzle, 2500, cores, 100);
+    let (wall_s, res) = time(|| wl.run(50).expect("sudoku run"));
+    Row {
+        name: name.into(),
+        wall_s,
+        sim_cycles: res.workload.cycles,
+        sim_instret: res.workload.instret,
+        spikes: res.workload.raster.spikes.len() as u64,
+        spike_log: Vec::new(),
+    }
+}
+
+/// Mirror of `GuestImage::load_into` against the frozen seed system
+/// (dense NPU variant only — the configuration the comparison rows use).
+fn load_image_seed(sys: &mut seedsim::System, image: &GuestImage, n: usize) {
+    let mem = &mut sys.shared_mut().mem;
+    for (i, p) in image.params.iter().enumerate() {
+        let (rs1, rs2) = p.pack();
+        mem.write_u32(layout::PARAMS + 8 * i as u32, rs1);
+        mem.write_u32(layout::PARAMS + 8 * i as u32 + 4, rs2);
+    }
+    for (i, &vu) in image.init_vu.iter().enumerate() {
+        mem.write_u32(layout::VU + 4 * i as u32, vu);
+        mem.write_u32(layout::ISYN + 4 * i as u32, 0);
+    }
+    for (i, &w) in image.weights_q.iter().enumerate() {
+        mem.write_u16(layout::WEIGHTS + 2 * i as u32, w as u16);
+    }
+    for (i, &x) in image.noise_q.iter().enumerate() {
+        mem.write_u16(layout::NOISE + 2 * i as u32, x as u16);
+    }
+    let _ = n;
+}
+
+fn seed_config(cfg: &SystemConfig) -> seedsim::SystemConfig {
+    seedsim::SystemConfig {
+        n_cores: cfg.n_cores,
+        clock_hz: cfg.clock_hz,
+        sdram_size: cfg.sdram_size,
+        scratch_size: cfg.scratch_size,
+        icache: seedsim::cache::CacheConfig {
+            size_bytes: cfg.icache.size_bytes,
+            line_bytes: cfg.icache.line_bytes,
+        },
+        dcache: seedsim::cache::CacheConfig {
+            size_bytes: cfg.dcache.size_bytes,
+            line_bytes: cfg.dcache.line_bytes,
+        },
+        bus: seedsim::bus::BusTimings {
+            first_word: cfg.bus.first_word,
+            per_word: cfg.bus.per_word,
+        },
+        div_latency: cfg.div_latency,
+        csr_writeback: cfg.csr_writeback,
+        rng_seed: cfg.rng_seed,
+    }
+}
+
+/// Interleaved seed-vs-live measurement of one single-core 80-20 setup.
+/// Returns `(seed_row, live_row)`, each the best of [`REPS`] runs.
+fn compare_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row) {
+    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, 1, 5, Variant::Npu);
+    let decay = (1.0 - 0.5 / wl.cfg.tau as f64) as f32;
+    let asm = format!(
+        ".equ DECAY_F32, {:#x}\n{}",
+        decay.to_bits(),
+        build_asm(&wl.cfg)
+    );
+
+    let mut seed_best: Option<Row> = None;
+    let mut live_best: Option<Row> = None;
+    for _ in 0..REPS {
+        // Seed interpreter. Symmetric with the live side's `wl.run()`:
+        // assembling the program and building/loading the system are part
+        // of the timed region on both sides.
+        let (wall_s, (exit, spike_log)) = time(|| {
+            let prog = Assembler::new().assemble(&asm).expect("engine assembles");
+            let mut sys = seedsim::System::new(seed_config(&wl.cfg.system));
+            assert!(sys.load_program(&prog));
+            load_image_seed(&mut sys, &wl.image, wl.cfg.n);
+            let exit = sys.run(1_000_000_000).expect("seed run");
+            let spike_log = sys.shared().dev.spike_log.clone();
+            (exit, spike_log)
+        });
+        let row = Row {
+            name: format!("{name}_seed"),
+            wall_s,
+            sim_cycles: exit.cycles,
+            sim_instret: exit.instret,
+            spikes: spike_log.len() as u64,
+            spike_log,
+        };
+        if seed_best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
+            seed_best = Some(row);
+        }
+        // Live interpreter, same program/image, immediately after.
+        let (wall_s, res) = time(|| wl.run().expect("live run"));
+        let row = Row {
+            name: name.into(),
+            wall_s,
+            sim_cycles: res.cycles,
+            sim_instret: res.instret,
+            spikes: res.raster.spikes.len() as u64,
+            spike_log: res
+                .raster
+                .spikes
+                .iter()
+                .map(|&(t, n)| izhi_snn::analysis::SpikeRaster::pack(t, n))
+                .collect(),
+        };
+        if live_best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
+            live_best = Some(row);
+        }
+    }
+    let (seed, live) = (seed_best.unwrap(), live_best.unwrap());
+    // The rework must be bit- and cycle-exact vs the seed interpreter:
+    // same cycles, same retired instructions, and the *full* packed spike
+    // log word for word.
+    assert_eq!(seed.sim_cycles, live.sim_cycles, "{name}: cycle drift");
+    assert_eq!(seed.sim_instret, live.sim_instret, "{name}: instret drift");
+    assert_eq!(seed.spike_log, live.spike_log, "{name}: raster drift");
+    (seed, live)
+}
+
+fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v2\",\n");
+    let _ = writeln!(
+        out,
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; sim cycles/instret and full packed spike logs asserted identical\","
+    );
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \
+             \"sim_instret\": {}, \"spikes\": {}, \"sim_cycles_per_s\": {:.0}, \
+             \"sim_instr_per_s\": {:.0}}}",
+            r.name,
+            r.wall_s,
+            r.sim_cycles,
+            r.sim_instret,
+            r.spikes,
+            r.cycles_per_s(),
+            r.instr_per_s(),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"speedup_vs_seed\": {{");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        let _ = write!(out, "    \"{name}\": {s:.3}");
+        out.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".into());
+    // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
+    // inner loop for performance work on the interpreter itself).
+    let cmp_only = std::env::var_os("BENCH_CMP_ONLY").is_some();
+    let mut rows = if cmp_only {
+        Vec::new()
+    } else {
+        vec![selftest_row()]
+    };
+    let mut speedups = Vec::new();
+    for (name, n_exc, n_inh, ticks) in [
+        ("net8020_quick_1core", 160, 40, 300u32),
+        ("net8020_paper_1core_100ms", 800, 200, 100),
+    ] {
+        let (seed, live) = (0..SESSIONS)
+            .map(|_| compare_rows(name, n_exc, n_inh, ticks))
+            .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
+            .expect("at least one session");
+        speedups.push((name.to_string(), seed.wall_s / live.wall_s));
+        rows.push(seed);
+        rows.push(live);
+    }
+    if !cmp_only {
+        rows.push(net8020_row("net8020_quick_2core", 160, 40, 300, 2));
+        rows.push(sudoku_row("sudoku_quick_1core", 1));
+        rows.push(sudoku_row("sudoku_quick_2core", 2));
+    }
+    println!(
+        "{:<30} {:>9} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "wall [s]", "sim cycles", "sim instret", "Mcycles/s", "Minstr/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<30} {:>9.3} {:>14} {:>14} {:>12.2} {:>12.2}",
+            r.name,
+            r.wall_s,
+            r.sim_cycles,
+            r.sim_instret,
+            r.cycles_per_s() / 1e6,
+            r.instr_per_s() / 1e6,
+        );
+    }
+    for (name, s) in &speedups {
+        println!("speedup vs seed interpreter on {name}: {s:.3}x");
+    }
+    std::fs::write(&out_path, json(&rows, &speedups)).expect("write json");
+    println!("\nwrote {out_path}");
+}

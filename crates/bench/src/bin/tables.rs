@@ -40,15 +40,9 @@ fn run_one(name: &str, scale: Scale) -> bool {
         "fig3" => write_result("fig3", &bench::fig3(scale)),
         "fig4" => write_result("fig4", &bench::fig4()),
         "fig5" => write_result("fig5", &bench::fig5()),
-        "ablation_softfloat" => {
-            write_result("ablation_softfloat", &bench::ablation_softfloat())
-        }
-        "ablation_csr" => {
-            write_result("ablation_csr", &bench::ablation_csr_writeback())
-        }
-        "ablation_cache" => {
-            write_result("ablation_cache", &bench::ablation_cache_sweep())
-        }
+        "ablation_softfloat" => write_result("ablation_softfloat", &bench::ablation_softfloat()),
+        "ablation_csr" => write_result("ablation_csr", &bench::ablation_csr_writeback()),
+        "ablation_cache" => write_result("ablation_cache", &bench::ablation_cache_sweep()),
         "scaling" => write_result("scaling", &bench::scaling_study()),
         _ => return false,
     }
@@ -56,8 +50,21 @@ fn run_one(name: &str, scale: Scale) -> bool {
 }
 
 const ALL: [&str; 15] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig2", "fig3",
-    "fig4", "fig5", "ablation_softfloat", "ablation_csr", "ablation_cache", "scaling",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "ablation_softfloat",
+    "ablation_csr",
+    "ablation_cache",
+    "scaling",
 ];
 
 fn main() {

@@ -22,6 +22,8 @@
 //! | §VI-A     | [`ablation_cache_sweep`] | cache geometry / 3-core fallback |
 //! | §VII      | [`scaling_study`] | bus vs NoC scaling projection |
 
+pub mod seedsim;
+
 use std::fmt::Write as _;
 
 use izhi_core::dcu::{Dcu, SHIFT_TABLES};
@@ -29,10 +31,10 @@ use izhi_hw::asic::{AsicLibrary, AsicReport};
 use izhi_hw::blocks::Block;
 use izhi_hw::fpga::{FpgaReport, FpgaTarget};
 use izhi_isa::inst::{Inst, NmOp};
-use izhi_isa::{disassemble, encode};
 use izhi_isa::Reg;
-use izhi_programs::engine::{run_workload, EngineConfig, Variant};
+use izhi_isa::{disassemble, encode};
 use izhi_programs::engine::GuestImage;
+use izhi_programs::engine::{run_workload, EngineConfig, Variant};
 use izhi_programs::net8020::Net8020Workload;
 use izhi_programs::sudoku_prog::SudokuWorkload;
 use izhi_sim::Metrics;
@@ -79,7 +81,11 @@ pub fn table1() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table I — custom ISA extension (opcode 0001011)");
     let _ = writeln!(out, "{:-<72}", "");
-    let _ = writeln!(out, "{:<8} {:<8} {:<34} disassembly", "mnem", "funct3", "example encoding");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<8} {:<34} disassembly",
+        "mnem", "funct3", "example encoding"
+    );
     for (op, rd, rs1, rs2) in [
         (NmOp::Nmldl, Reg::ZERO, Reg::A6, Reg::A7),
         (NmOp::Nmldh, Reg::ZERO, Reg::A6, Reg::ZERO),
@@ -100,11 +106,23 @@ pub fn table1() -> String {
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "Operand formats (paper Table I):");
-    let _ = writeln!(out, "  nmldl: rs1 = {{b[31:16] Q4.11, a[15:0] Q4.11}}, rs2 = {{d[31:16] Q4.11, c[15:0] Q7.8}}");
-    let _ = writeln!(out, "  nmldh: rs1 bit0 = h (0: 0.5 ms, 1: 0.125 ms), bit1 = pin");
-    let _ = writeln!(out, "  nmpn : rs1 = VU word {{v[31:16] Q7.8, u[15:0] Q7.8}}, rs2 = Isyn Q15.16,");
+    let _ = writeln!(
+        out,
+        "  nmldl: rs1 = {{b[31:16] Q4.11, a[15:0] Q4.11}}, rs2 = {{d[31:16] Q4.11, c[15:0] Q7.8}}"
+    );
+    let _ = writeln!(
+        out,
+        "  nmldh: rs1 bit0 = h (0: 0.5 ms, 1: 0.125 ms), bit1 = pin"
+    );
+    let _ = writeln!(
+        out,
+        "  nmpn : rs1 = VU word {{v[31:16] Q7.8, u[15:0] Q7.8}}, rs2 = Isyn Q15.16,"
+    );
     let _ = writeln!(out, "         rd in = &VU word, rd out = spike flag");
-    let _ = writeln!(out, "  nmdec: rs1 = Isyn Q15.16, rs2 = tau (1..9), rd = decayed Isyn");
+    let _ = writeln!(
+        out,
+        "  nmdec: rs1 = Isyn Q15.16, rs2 = tau (1..9), rd = decayed Isyn"
+    );
     out
 }
 
@@ -112,7 +130,10 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let paper_ae = [0.0, 0.3906, 0.0, 0.3906, 12.1093, 0.1953, 0.0];
     let mut out = String::new();
-    let _ = writeln!(out, "Table II — DCU division approximation (shift factors 1..9)");
+    let _ = writeln!(
+        out,
+        "Table II — DCU division approximation (shift factors 1..9)"
+    );
     let _ = writeln!(out, "{:-<78}", "");
     let _ = writeln!(
         out,
@@ -148,10 +169,26 @@ pub fn table2() -> String {
 
 fn fpga_rows(r: &FpgaReport, labels: [&str; 4]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "  {:<22} {:>12.0} ({:>5.1} %)", labels[0], r.used.logic, r.pct.logic);
-    let _ = writeln!(out, "  {:<22} {:>12.0} ({:>5.1} %)", labels[1], r.used.ff, r.pct.ff);
-    let _ = writeln!(out, "  {:<22} {:>12.1} ({:>5.1} %)", labels[2], r.used.memory, r.pct.memory);
-    let _ = writeln!(out, "  {:<22} {:>12.0} ({:>5.1} %)", labels[3], r.used.dsp, r.pct.dsp);
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12.0} ({:>5.1} %)",
+        labels[0], r.used.logic, r.pct.logic
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12.0} ({:>5.1} %)",
+        labels[1], r.used.ff, r.pct.ff
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12.1} ({:>5.1} %)",
+        labels[2], r.used.memory, r.pct.memory
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12.0} ({:>5.1} %)",
+        labels[3], r.used.dsp, r.pct.dsp
+    );
     out
 }
 
@@ -159,10 +196,16 @@ fn fpga_rows(r: &FpgaReport, labels: [&str; 4]) -> String {
 pub fn table3() -> String {
     let r = FpgaReport::for_cores(FpgaTarget::Max10, 2);
     let mut out = String::new();
-    let _ = writeln!(out, "Table III — dual-core IzhiRISC-V on Intel MAX10 (model)");
+    let _ = writeln!(
+        out,
+        "Table III — dual-core IzhiRISC-V on Intel MAX10 (model)"
+    );
     let _ = writeln!(out, "{:-<56}", "");
     let _ = writeln!(out, "  Frequency              30 MHz");
-    out.push_str(&fpga_rows(&r, ["Logic elements", "FF", "BRAM [Kb]", "Emb. mult (9b)"]));
+    out.push_str(&fpga_rows(
+        &r,
+        ["Logic elements", "FF", "BRAM [Kb]", "Emb. mult (9b)"],
+    ));
     let _ = writeln!(
         out,
         "  paper: 49248 LE (99 %), 28235 FF (51 %), 346.468 Kb (21 %), 68 mult (24 %)"
@@ -179,7 +222,10 @@ pub fn table3() -> String {
 /// Table IV: Agilex-7 16/32/64-core utilisation plus the 192-core claim.
 pub fn table4() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table IV — IzhiRISC-V systems on Intel Agilex-7 (model)");
+    let _ = writeln!(
+        out,
+        "Table IV — IzhiRISC-V systems on Intel Agilex-7 (model)"
+    );
     let _ = writeln!(out, "{:-<56}", "");
     let _ = writeln!(out, "  Frequency              100 MHz");
     for n in [16, 32, 64] {
@@ -232,7 +278,10 @@ pub fn table5(scale: Scale) -> String {
         .run()
         .expect("dual-core run failed");
     let speedup = single.exec_time_s() / dual.exec_time_s();
-    let _ = writeln!(out, "  Speedup (dual vs single): {speedup:.3}x   (paper: 1.643x)");
+    let _ = writeln!(
+        out,
+        "  Speedup (dual vs single): {speedup:.3}x   (paper: 1.643x)"
+    );
     out.push_str(&metric_rows("Single-core", &single.metrics[0]));
     out.push_str(&metric_rows("Dual-core, core #1", &dual.metrics[0]));
     out.push_str(&metric_rows("Dual-core, core #2", &dual.metrics[1]));
@@ -271,12 +320,12 @@ pub fn table6(scale: Scale) -> String {
     let _ = writeln!(out, "{:-<66}", "");
     // Each simulated system is fully independent: fan the per-puzzle
     // single-core and dual-core runs out across host threads.
-    let runs: Vec<(usize, crate::SudokuPair)> = crossbeam::thread::scope(|scope| {
+    let runs: Vec<(usize, crate::SudokuPair)> = std::thread::scope(|scope| {
         let handles: Vec<_> = puzzles
             .iter()
             .enumerate()
             .map(|(k, p)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let one = SudokuWorkload::new(*p, ticks, 1, 100 + k as u32)
                         .run(50)
                         .expect("single-core sudoku failed");
@@ -288,8 +337,7 @@ pub fn table6(scale: Scale) -> String {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("sudoku thread pool failed");
+    });
 
     let mut solved = 0;
     let mut t_single = Vec::new();
@@ -311,7 +359,11 @@ pub fn table6(scale: Scale) -> String {
         let _ = writeln!(
             out,
             "  puzzle {k}: {} in {} steps ({} givens)",
-            if one.solution.is_some() { "solved" } else { "NOT solved" },
+            if one.solution.is_some() {
+                "solved"
+            } else {
+                "NOT solved"
+            },
             steps,
             puzzles[*k].n_givens()
         );
@@ -320,8 +372,14 @@ pub fn table6(scale: Scale) -> String {
     let ts = avg(&t_single);
     let td = avg(&t_dual);
     let _ = writeln!(out, "  solved: {solved}/{n_puzzles}");
-    let _ = writeln!(out, "  Execution time/step [ms] single: {ts:.4}  (paper: 2.0555)");
-    let _ = writeln!(out, "  Execution time/step [ms] dual:   {td:.4}  (paper: 1.2223)");
+    let _ = writeln!(
+        out,
+        "  Execution time/step [ms] single: {ts:.4}  (paper: 2.0555)"
+    );
+    let _ = writeln!(
+        out,
+        "  Execution time/step [ms] dual:   {td:.4}  (paper: 1.2223)"
+    );
     let _ = writeln!(out, "  Speedup: {:.3}x  (paper: 1.682x)", ts / td);
     let avg_m = |ms: &[Metrics], f: fn(&Metrics) -> f64| {
         ms.iter().map(f).sum::<f64>() / ms.len().max(1) as f64
@@ -361,11 +419,18 @@ pub fn table6(scale: Scale) -> String {
 /// Table VII: standard-cell mapping results for both libraries.
 pub fn table7() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table VII — FreePDK45 and ASAP7 standard-cell mapping (model)");
+    let _ = writeln!(
+        out,
+        "Table VII — FreePDK45 and ASAP7 standard-cell mapping (model)"
+    );
     let _ = writeln!(out, "{:-<70}", "");
     let r45 = AsicReport::generate(AsicLibrary::FreePdk45);
     let r7 = AsicReport::generate(AsicLibrary::Asap7);
-    let _ = writeln!(out, "{:<22} {:>14} {:>14}  unit", "Metric", "FreePDK45", "ASAP7");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>14}  unit",
+        "Metric", "FreePDK45", "ASAP7"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>14.3} {:>14.3}  um^2",
@@ -454,7 +519,11 @@ pub fn fig2(scale: Scale) -> (String, String) {
     let gamma = band_power(&rate, 30, 80);
     let high = band_power(&rate, 150, 300);
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 2 — 80-20 raster ({} neurons x {ticks} ms)", wl.net.len());
+    let _ = writeln!(
+        out,
+        "Fig. 2 — 80-20 raster ({} neurons x {ticks} ms)",
+        wl.net.len()
+    );
     let _ = writeln!(out, "{:-<66}", "");
     let _ = writeln!(out, "total spikes: {}", res.raster.spikes.len());
     let _ = writeln!(out, "mean rate: {:.2} Hz/neuron", res.raster.mean_rate_hz());
@@ -479,7 +548,11 @@ pub fn fig3(scale: Scale) -> String {
 
     let set_noise = |sim_noise: &mut [f64]| {
         for (i, ns) in sim_noise.iter_mut().enumerate() {
-            *ns = if wl.net.is_excitatory(i) { wl.net.exc_noise } else { wl.net.inh_noise };
+            *ns = if wl.net.is_excitatory(i) {
+                wl.net.exc_noise
+            } else {
+                wl.net.inh_noise
+            };
         }
     };
     let mut f64_sim = F64Simulator::new(&wl.net.network, 2, 901);
@@ -497,7 +570,11 @@ pub fn fig3(scale: Scale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 3 — ISI histograms ({bins} ms bins, 0-{max} ms)");
     let _ = writeln!(out, "{:-<66}", "");
-    let _ = writeln!(out, "{:<10} {:>12} {:>12} {:>12}", "ISI [ms]", "double", "fixed", "IzhiRISC-V");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>12}",
+        "ISI [ms]", "double", "fixed", "IzhiRISC-V"
+    );
     let nd = hd.normalized();
     let nf = hf.normalized();
     let ng = hg.normalized();
@@ -512,10 +589,28 @@ pub fn fig3(scale: Scale) -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "similarity double vs fixed:      {:.3}", hd.similarity(&hf));
-    let _ = writeln!(out, "similarity double vs IzhiRISC-V: {:.3}", hd.similarity(&hg));
-    let _ = writeln!(out, "similarity fixed  vs IzhiRISC-V: {:.3}", hf.similarity(&hg));
-    let _ = writeln!(out, "peak ISI [ms]: double {}, fixed {}, guest {}", hd.peak_isi_ms(), hf.peak_isi_ms(), hg.peak_isi_ms());
+    let _ = writeln!(
+        out,
+        "similarity double vs fixed:      {:.3}",
+        hd.similarity(&hf)
+    );
+    let _ = writeln!(
+        out,
+        "similarity double vs IzhiRISC-V: {:.3}",
+        hd.similarity(&hg)
+    );
+    let _ = writeln!(
+        out,
+        "similarity fixed  vs IzhiRISC-V: {:.3}",
+        hf.similarity(&hg)
+    );
+    let _ = writeln!(
+        out,
+        "peak ISI [ms]: double {}, fixed {}, guest {}",
+        hd.peak_isi_ms(),
+        hf.peak_isi_ms(),
+        hg.peak_isi_ms()
+    );
     out
 }
 
@@ -528,9 +623,17 @@ pub fn fig4() -> String {
     let _ = writeln!(out, "Fig. 4 — WTA inhibition topology (729 neurons)");
     let _ = writeln!(out, "{:-<66}", "");
     let _ = writeln!(out, "neurons: {}", wta.network.len());
-    let _ = writeln!(out, "synapses: {} (28 inhibitory + 1 self-connection per neuron)", wta.network.n_synapses());
+    let _ = writeln!(
+        out,
+        "synapses: {} (28 inhibitory + 1 self-connection per neuron)",
+        wta.network.n_synapses()
+    );
     let set = WtaNetwork::conflict_set(4, 4, 5);
-    let _ = writeln!(out, "example: neuron (row 4, col 4, digit 5) inhibits {} peers:", set.len());
+    let _ = writeln!(
+        out,
+        "example: neuron (row 4, col 4, digit 5) inhibits {} peers:",
+        set.len()
+    );
     for idx in &set {
         let (r, c, d) = WtaNetwork::coords(*idx);
         let _ = write!(out, " [{r},{c},{d}]");
@@ -557,7 +660,13 @@ pub fn fig5() -> String {
         let _ = writeln!(out, "-- {}:", lib.name());
         for (block, frac) in r.area_fractions() {
             let bar = "#".repeat((frac * 120.0).round() as usize);
-            let _ = writeln!(out, "  {:<18} {:>5.1} % {}", block.name(), frac * 100.0, bar);
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>5.1} % {}",
+                block.name(),
+                frac * 100.0,
+                bar
+            );
         }
     }
     let _ = writeln!(out, "paper claims: NPU <= ~20 % of core area, DCU < 2 %");
@@ -580,15 +689,33 @@ pub fn ablation_softfloat() -> String {
             variant,
         );
         let res = wl.run(50).expect("ablation run failed");
-        rows.push((variant, res.workload.time_per_tick_ms(ticks), res.workload.instret));
+        rows.push((
+            variant,
+            res.workload.time_per_tick_ms(ticks),
+            res.workload.instret,
+        ));
     }
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation §VI-C — per-timestep cost by arithmetic (729 neurons)");
+    let _ = writeln!(
+        out,
+        "Ablation §VI-C — per-timestep cost by arithmetic (729 neurons)"
+    );
     let _ = writeln!(out, "{:-<66}", "");
-    let _ = writeln!(out, "{:<12} {:>16} {:>16} {:>10}", "variant", "ms/step @30MHz", "instructions", "vs NPU");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>16} {:>10}",
+        "variant", "ms/step @30MHz", "instructions", "vs NPU"
+    );
     let npu_t = rows[0].1;
     for (v, t, i) in &rows {
-        let _ = writeln!(out, "{:<12} {:>16.4} {:>16} {:>9.1}x", format!("{v:?}"), t, i, t / npu_t);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16.4} {:>16} {:>9.1}x",
+            format!("{v:?}"),
+            t,
+            i,
+            t / npu_t
+        );
     }
     let _ = writeln!(
         out,
@@ -603,7 +730,10 @@ pub fn ablation_softfloat() -> String {
 pub fn ablation_csr_writeback() -> String {
     let (n_exc, n_inh, ticks) = Scale::Quick.net8020();
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation §V-B — CSR writeback for nm-instruction results");
+    let _ = writeln!(
+        out,
+        "Ablation §V-B — CSR writeback for nm-instruction results"
+    );
     let _ = writeln!(out, "{:-<72}", "");
     let _ = writeln!(
         out,
@@ -612,7 +742,11 @@ pub fn ablation_csr_writeback() -> String {
          writeback is the proposed fix. A scheduled kernel hides them instead."
     );
     for (label, scheduled, csr) in [
-        ("naive kernel, register-file writeback (paper)", false, false),
+        (
+            "naive kernel, register-file writeback (paper)",
+            false,
+            false,
+        ),
         ("naive kernel, CSR writeback (proposed fix)   ", false, true),
         ("hazard-scheduled kernel (compiler fix)       ", true, false),
     ] {
@@ -635,7 +769,10 @@ pub fn ablation_csr_writeback() -> String {
 /// caches and paid for it).
 pub fn ablation_cache_sweep() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation — cache geometry on the 80-20 workload (quick scale)");
+    let _ = writeln!(
+        out,
+        "Ablation — cache geometry on the 80-20 workload (quick scale)"
+    );
     let _ = writeln!(out, "{:-<72}", "");
     let _ = writeln!(
         out,
@@ -644,8 +781,14 @@ pub fn ablation_cache_sweep() -> String {
     );
     for kib in [1u32, 2, 4, 8] {
         let mut wl = Net8020Workload::sized(160, 40, 200, 1, 5, Variant::Npu);
-        wl.cfg.system.icache = izhi_sim::CacheConfig { size_bytes: kib * 1024, line_bytes: 16 };
-        wl.cfg.system.dcache = izhi_sim::CacheConfig { size_bytes: kib * 1024, line_bytes: 32 };
+        wl.cfg.system.icache = izhi_sim::CacheConfig {
+            size_bytes: kib * 1024,
+            line_bytes: 16,
+        };
+        wl.cfg.system.dcache = izhi_sim::CacheConfig {
+            size_bytes: kib * 1024,
+            line_bytes: 32,
+        };
         let res = wl.run().expect("cache sweep run failed");
         let m = &res.metrics[0];
         let _ = writeln!(
@@ -663,7 +806,9 @@ pub fn ablation_cache_sweep() -> String {
     wl.cfg.system = izhi_sim::SystemConfig::max10_triple_core_reduced();
     wl.cfg.system.sdram_size = 32 * 1024 * 1024;
     let three = wl.run().expect("3-core run failed");
-    let two = Net8020Workload::sized(160, 40, 200, 2, 5, Variant::Npu).run().unwrap();
+    let two = Net8020Workload::sized(160, 40, 200, 2, 5, Variant::Npu)
+        .run()
+        .unwrap();
     let _ = writeln!(
         out,
         "\n3 cores @ 20 MHz, 1 KiB caches (the paper's fallback): {:.2} ms\n\
@@ -683,7 +828,10 @@ pub fn ablation_cache_sweep() -> String {
 /// build directly and extrapolate both interconnects analytically.
 pub fn scaling_study() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Scaling — 80-20 workload, 1..8 cores on the shared bus (measured)");
+    let _ = writeln!(
+        out,
+        "Scaling — 80-20 workload, 1..8 cores on the shared bus (measured)"
+    );
     let _ = writeln!(out, "{:-<72}", "");
     let _ = writeln!(
         out,
@@ -764,9 +912,14 @@ pub fn smoke_run() -> usize {
     let net = izhi_snn::gen8020::Net8020::with_size(40, 10, 7);
     let n = net.len();
     let bias = vec![0.0; n];
-    let noise: Vec<f64> =
-        (0..n).map(|i| if net.is_excitatory(i) { 5.0 } else { 2.0 }).collect();
+    let noise: Vec<f64> = (0..n)
+        .map(|i| if net.is_excitatory(i) { 5.0 } else { 2.0 })
+        .collect();
     let image = GuestImage::from_network(&net.network, &bias, &noise, 100, 3);
     let cfg = EngineConfig::new(n, 100, 1, Variant::Npu);
-    run_workload(&cfg, &image, 1_000_000_000).expect("smoke run failed").raster.spikes.len()
+    run_workload(&cfg, &image, 1_000_000_000)
+        .expect("smoke run failed")
+        .raster
+        .spikes
+        .len()
 }

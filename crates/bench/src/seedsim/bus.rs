@@ -1,0 +1,81 @@
+//! Shared-bus arbiter and SDRAM timing model.
+//!
+//! All cores share one Avalon-style bus to the off-chip SDRAM (paper §VI-A:
+//! "2 IzhiRISC-V cores ... connected to a common Avalon bus"). The arbiter
+//! serialises cache-line refills: a transaction issued at local time `t`
+//! starts at `max(t, bus_free)` and occupies the bus for the full burst.
+//! Contention between cores therefore shows up as extra miss latency, which
+//! is what bounds multi-core speedup in Tables V/VI.
+
+/// SDRAM/bus timing parameters (in core clock cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusTimings {
+    /// Cycles from grant to first word (row activation + CAS).
+    pub first_word: u64,
+    /// Cycles per subsequent word of the burst.
+    pub per_word: u64,
+}
+
+impl Default for BusTimings {
+    fn default() -> Self {
+        // ~30 MHz core talking to single-data-rate SDRAM through an Avalon
+        // fabric: row activate + CAS + fabric round trip ≈ 34 cycles to the
+        // first word, 4 cycles per streamed word thereafter.
+        BusTimings {
+            first_word: 34,
+            per_word: 4,
+        }
+    }
+}
+
+impl BusTimings {
+    /// Duration of a burst of `words` 32-bit transfers.
+    #[inline]
+    pub fn burst(&self, words: u64) -> u64 {
+        self.first_word + self.per_word * words
+    }
+}
+
+/// First-come-first-served bus arbiter with single outstanding transaction.
+#[derive(Debug, Clone, Default)]
+pub struct BusArbiter {
+    free_at: u64,
+    /// Total cycles the bus spent transferring data.
+    pub busy_cycles: u64,
+    /// Total cycles requesters spent waiting for a grant.
+    pub contention_cycles: u64,
+    /// Number of transactions served.
+    pub transactions: u64,
+}
+
+impl BusArbiter {
+    /// New idle bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request the bus at local time `now` for `duration` cycles. Returns
+    /// the completion time of the transfer.
+    pub fn acquire(&mut self, now: u64, duration: u64) -> u64 {
+        let start = self.free_at.max(now);
+        self.contention_cycles += start - now;
+        self.free_at = start + duration;
+        self.busy_cycles += duration;
+        self.transactions += 1;
+        self.free_at
+    }
+
+    /// Time at which the bus next becomes free.
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+
+    /// Bus utilisation over `elapsed` cycles (0..=1).
+    pub fn utilisation(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Direct-mapped write-back cache model.
+//!
+//! Used for both the I-cache (read-only) and D-cache of each core. The
+//! model tracks tags, valid and dirty bits only — data always lives in the
+//! functional [`crate::seedsim::mem::MainMemory`], so the cache purely produces
+//! timing (hit/miss and writeback traffic).
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two, ≥ 4).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Number of lines.
+    pub const fn lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Words per line.
+    pub const fn line_words(&self) -> u32 {
+        self.line_bytes / 4
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // The MAX10 build gives each core a few KiB of cache; 4 KiB with
+        // 16-byte lines reproduces the paper's hit-rate regime.
+        CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 16,
+        }
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Line present.
+    Hit,
+    /// Line absent; refill needed. `writeback` is true when the evicted
+    /// line was dirty and must be written to SDRAM first.
+    Miss {
+        /// Evicted line must be written back.
+        writeback: bool,
+    },
+}
+
+/// A direct-mapped, write-back, write-allocate cache (tags only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    tags: Vec<u32>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+    offset_bits: u32,
+    index_bits: u32,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 4);
+        assert!(cfg.size_bytes >= cfg.line_bytes);
+        let lines = cfg.lines();
+        Cache {
+            cfg,
+            tags: vec![0; lines as usize],
+            valid: vec![false; lines as usize],
+            dirty: vec![false; lines as usize],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            offset_bits: cfg.line_bytes.trailing_zeros(),
+            index_bits: lines.trailing_zeros(),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn index_tag(&self, addr: u32) -> (usize, u32) {
+        let line = addr >> self.offset_bits;
+        let index = (line & ((1 << self.index_bits) - 1)) as usize;
+        let tag = line >> self.index_bits;
+        (index, tag)
+    }
+
+    /// Access `addr`; `write` marks the line dirty on hit or after refill.
+    #[inline]
+    pub fn access(&mut self, addr: u32, write: bool) -> Access {
+        let (index, tag) = self.index_tag(addr);
+        if self.valid[index] && self.tags[index] == tag {
+            self.hits += 1;
+            if write {
+                self.dirty[index] = true;
+            }
+            return Access::Hit;
+        }
+        self.misses += 1;
+        let writeback = self.valid[index] && self.dirty[index];
+        if writeback {
+            self.writebacks += 1;
+        }
+        self.valid[index] = true;
+        self.tags[index] = tag;
+        self.dirty[index] = write;
+        Access::Miss { writeback }
+    }
+
+    /// Hit rate in percent.
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            100.0
+        } else {
+            self.hits as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Invalidate everything and clear statistics.
+    pub fn reset(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.dirty.iter_mut().for_each(|v| *v = false);
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Snapshot (hits, misses) — used for ROI deltas.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}

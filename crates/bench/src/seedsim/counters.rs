@@ -1,0 +1,149 @@
+//! Per-core performance counters and the derived metrics of Tables V/VI.
+
+/// Raw event counters accumulated by a core. All counts are cumulative;
+/// region-of-interest (ROI) measurement takes deltas between snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Core-local clock (cycles).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instret: u64,
+    /// Data-hazard stall cycles (load-use and nm-writeback bubbles).
+    pub hazard_stalls: u64,
+    /// Control-flow flush cycles (taken branches/jumps).
+    pub flush_cycles: u64,
+    /// Cycles stalled waiting for cache refills (both caches, incl. bus).
+    pub mem_stall_cycles: u64,
+    /// Cycles spent in the iterative divider beyond the first.
+    pub div_stall_cycles: u64,
+    /// I-cache hits / misses.
+    pub icache_hits: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache hits.
+    pub dcache_hits: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// Data-memory accesses of any kind (cached, scratchpad, MMIO).
+    pub mem_accesses: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// `nmpn` instructions retired.
+    pub nmpn: u64,
+    /// `nmdec` instructions retired.
+    pub nmdec: u64,
+    /// `nmldl` instructions retired.
+    pub nmldl: u64,
+    /// `nmldh` instructions retired.
+    pub nmldh: u64,
+}
+
+impl PerfCounters {
+    /// Element-wise difference `self - base` (ROI delta).
+    pub fn delta(&self, base: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles - base.cycles,
+            instret: self.instret - base.instret,
+            hazard_stalls: self.hazard_stalls - base.hazard_stalls,
+            flush_cycles: self.flush_cycles - base.flush_cycles,
+            mem_stall_cycles: self.mem_stall_cycles - base.mem_stall_cycles,
+            div_stall_cycles: self.div_stall_cycles - base.div_stall_cycles,
+            icache_hits: self.icache_hits - base.icache_hits,
+            icache_misses: self.icache_misses - base.icache_misses,
+            dcache_hits: self.dcache_hits - base.dcache_hits,
+            dcache_misses: self.dcache_misses - base.dcache_misses,
+            mem_accesses: self.mem_accesses - base.mem_accesses,
+            loads: self.loads - base.loads,
+            stores: self.stores - base.stores,
+            nmpn: self.nmpn - base.nmpn,
+            nmdec: self.nmdec - base.nmdec,
+            nmldl: self.nmldl - base.nmldl,
+            nmldh: self.nmldh - base.nmldh,
+        }
+    }
+
+    /// Total neuromorphic instructions.
+    pub fn nm_total(&self) -> u64 {
+        self.nmpn + self.nmdec + self.nmldl + self.nmldh
+    }
+
+    /// Derive the paper's reported metrics from these counters.
+    pub fn metrics(&self, clock_hz: f64) -> Metrics {
+        Metrics::from_counters(self, clock_hz)
+    }
+}
+
+/// Number of equivalent base-ISA operations per full neuron update
+/// (Eq. 3: 15 ops for the v/u update, plus 4 for the synaptic decay —
+/// `N_IZHop = 19`, §VI-B).
+pub const N_IZH_OP: u64 = 19;
+
+/// The derived performance metrics reported in Tables V and VI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Cycles in the measured region.
+    pub cycles: u64,
+    /// Instructions retired in the measured region.
+    pub instret: u64,
+    /// Wall-clock seconds at the configured core frequency.
+    pub exec_time_s: f64,
+    /// Plain instructions-per-cycle (Eq. 8).
+    pub ipc: f64,
+    /// Effective IPC (Eq. 9): regular instructions plus `19 × updates`.
+    pub ipc_eff: f64,
+    /// Hazard-stall cycles as a percentage of all cycles.
+    pub hazard_stall_pct: f64,
+    /// All cache misses (I + D).
+    pub all_cache_misses: u64,
+    /// I-cache hit rate (%).
+    pub icache_hit_pct: f64,
+    /// D-cache hit rate (%).
+    pub dcache_hit_pct: f64,
+    /// Memory intensity: data accesses per 100 retired instructions.
+    pub mem_intensity: f64,
+}
+
+impl Metrics {
+    /// Compute all metrics from raw counters. The neuron-update count for
+    /// `IPC_eff` is taken from the retired `nmpn` count; use
+    /// [`Metrics::with_updates`] for baselines that update neurons with
+    /// base-ISA instructions.
+    pub fn from_counters(c: &PerfCounters, clock_hz: f64) -> Metrics {
+        Self::with_updates(c, clock_hz, c.nmpn)
+    }
+
+    /// Compute metrics with an explicit neuron-update count (Eq. 9's
+    /// `N_updates`).
+    pub fn with_updates(c: &PerfCounters, clock_hz: f64, updates: u64) -> Metrics {
+        let cyc = c.cycles.max(1) as f64;
+        let reg_instr = c.instret - c.nm_total();
+        let icache_total = c.icache_hits + c.icache_misses;
+        let dcache_total = c.dcache_hits + c.dcache_misses;
+        Metrics {
+            cycles: c.cycles,
+            instret: c.instret,
+            exec_time_s: c.cycles as f64 / clock_hz,
+            ipc: c.instret as f64 / cyc,
+            ipc_eff: (reg_instr + updates * N_IZH_OP) as f64 / cyc,
+            hazard_stall_pct: c.hazard_stalls as f64 / cyc * 100.0,
+            all_cache_misses: c.icache_misses + c.dcache_misses,
+            icache_hit_pct: if icache_total == 0 {
+                100.0
+            } else {
+                c.icache_hits as f64 / icache_total as f64 * 100.0
+            },
+            dcache_hit_pct: if dcache_total == 0 {
+                100.0
+            } else {
+                c.dcache_hits as f64 / dcache_total as f64 * 100.0
+            },
+            mem_intensity: if c.instret == 0 {
+                0.0
+            } else {
+                c.mem_accesses as f64 / c.instret as f64 * 100.0
+            },
+        }
+    }
+}

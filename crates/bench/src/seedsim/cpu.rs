@@ -1,0 +1,606 @@
+//! One IzhiRISC-V core: functional RV32IM+Zicsr+custom-0 execution with the
+//! 3-stage-pipeline timing annotations described in the crate docs.
+
+use izhi_core::dcu::Dcu;
+use izhi_core::nmregs::NmRegs;
+use izhi_core::npu::NpUnit;
+use izhi_fixed::Q15_16;
+use izhi_isa::inst::{AluImmOp, AluOp, BranchOp, Inst, LoadOp, NmOp, StoreOp};
+use izhi_isa::reg::Reg;
+
+use crate::seedsim::cache::{Access, Cache};
+use crate::seedsim::counters::PerfCounters;
+use crate::seedsim::mem::layout::{self, Region};
+use crate::seedsim::mmio::MmioEffect;
+use crate::seedsim::system::Shared;
+
+/// Why a core stopped abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapCause {
+    /// Undecodable instruction word.
+    IllegalInstruction {
+        /// Faulting pc.
+        pc: u32,
+        /// The word that failed to decode.
+        word: u32,
+    },
+    /// Instruction fetch outside mapped, executable memory.
+    BadFetch {
+        /// Faulting pc.
+        pc: u32,
+    },
+    /// Data access outside mapped memory.
+    BadAccess {
+        /// pc of the access instruction.
+        pc: u32,
+        /// Offending data address.
+        addr: u32,
+        /// Whether it was a store.
+        store: bool,
+    },
+    /// Misaligned word/half access (the core does not split accesses).
+    Misaligned {
+        /// pc of the access instruction.
+        pc: u32,
+        /// Offending data address.
+        addr: u32,
+    },
+}
+
+impl core::fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            TrapCause::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            TrapCause::BadFetch { pc } => write!(f, "instruction fetch fault at pc {pc:#010x}"),
+            TrapCause::BadAccess { pc, addr, store } => write!(
+                f,
+                "{} fault at address {addr:#010x} (pc {pc:#010x})",
+                if store { "store" } else { "load" }
+            ),
+            TrapCause::Misaligned { pc, addr } => {
+                write!(f, "misaligned access to {addr:#010x} (pc {pc:#010x})")
+            }
+        }
+    }
+}
+
+/// Hazard class of the previously retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrevKind {
+    /// Fully bypassed (ALU etc.) — no stall possible.
+    Bypassed,
+    /// Load: value arrives from MEM+WB, one bubble for an immediate user.
+    Load,
+    /// Neuromorphic instruction with register-file writeback: the paper's
+    /// nm-result hazard (removed by the CSR-writeback option).
+    NmWriteback,
+}
+
+/// One processor core with private caches and counters.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Hart id.
+    pub id: u32,
+    regs: [u32; 32],
+    pc: u32,
+    /// Local clock in cycles.
+    pub time: u64,
+    halted: bool,
+    nmregs: NmRegs,
+    icache: Cache,
+    dcache: Cache,
+    /// Cumulative event counters.
+    pub counters: PerfCounters,
+    roi_active: bool,
+    roi_base: PerfCounters,
+    roi_final: Option<PerfCounters>,
+    prev_kind: PrevKind,
+    prev_dest: Option<Reg>,
+}
+
+impl Core {
+    /// Create a core with the given caches.
+    pub fn new(id: u32, icache: Cache, dcache: Cache) -> Self {
+        Core {
+            id,
+            regs: [0; 32],
+            pc: 0,
+            time: 0,
+            halted: false,
+            nmregs: NmRegs::default(),
+            icache,
+            dcache,
+            counters: PerfCounters::default(),
+            roi_active: false,
+            roi_base: PerfCounters::default(),
+            roi_final: None,
+            prev_kind: PrevKind::Bypassed,
+            prev_dest: None,
+        }
+    }
+
+    /// Read an architectural register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.idx()]
+    }
+
+    /// Write an architectural register (x0 stays zero).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.idx()] = v;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Set the program counter (used by the loader).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Whether this core has halted (ebreak / MMIO halt / ecall exit).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The NM_REGS configuration block (inspection hook).
+    pub fn nmregs(&self) -> &NmRegs {
+        &self.nmregs
+    }
+
+    /// Counters for the measured region: the ROI delta when ROI markers
+    /// were used, the cumulative counters otherwise.
+    pub fn roi_counters(&self) -> PerfCounters {
+        if self.roi_active {
+            self.counters.delta(&self.roi_base)
+        } else if let Some(d) = self.roi_final {
+            d
+        } else {
+            self.counters
+        }
+    }
+
+    /// I-cache statistics handle.
+    pub fn icache(&self) -> &Cache {
+        &self.icache
+    }
+
+    /// D-cache statistics handle.
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+
+    #[inline]
+    fn sdram_size(&self, shared: &Shared) -> u32 {
+        shared.mem.sdram_size()
+    }
+
+    /// Fetch timing + functional fetch. Returns (word, extra_cycles).
+    #[inline]
+    fn fetch(&mut self, shared: &mut Shared) -> Result<(u32, u64), TrapCause> {
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Err(TrapCause::BadFetch { pc });
+        }
+        let mut extra = 0u64;
+        match layout::region_of(pc, self.sdram_size(shared), shared.mem.scratch_size()) {
+            Region::Sdram => match self.icache.access(pc, false) {
+                Access::Hit => {
+                    self.counters.icache_hits += 1;
+                }
+                Access::Miss { .. } => {
+                    self.counters.icache_misses += 1;
+                    let words = self.icache.config().line_words() as u64;
+                    let done = shared
+                        .bus
+                        .acquire(self.time, shared.bus_timings.burst(words));
+                    extra += done - self.time;
+                }
+            },
+            Region::Scratch => { /* single-cycle fetch, no cache */ }
+            _ => return Err(TrapCause::BadFetch { pc }),
+        }
+        let word = shared.mem.read_u32(pc).ok_or(TrapCause::BadFetch { pc })?;
+        Ok((word, extra))
+    }
+
+    /// Data-access timing for `addr`. Returns extra cycles beyond the base
+    /// MEM-stage cycle. Functional access is done by the caller.
+    #[inline]
+    fn data_timing(&mut self, shared: &mut Shared, addr: u32, write: bool) -> u64 {
+        self.counters.mem_accesses += 1;
+        match layout::region_of(addr, self.sdram_size(shared), shared.mem.scratch_size()) {
+            Region::Sdram => match self.dcache.access(addr, write) {
+                Access::Hit => {
+                    self.counters.dcache_hits += 1;
+                    0
+                }
+                Access::Miss { writeback } => {
+                    self.counters.dcache_misses += 1;
+                    let words = self.dcache.config().line_words() as u64;
+                    let mut dur = shared.bus_timings.burst(words);
+                    if writeback {
+                        dur += shared.bus_timings.burst(words);
+                    }
+                    let done = shared.bus.acquire(self.time, dur);
+                    done - self.time
+                }
+            },
+            Region::Scratch => 0,
+            // MMIO registers hang off the shared Avalon fabric: every
+            // access arbitrates for the bus, so a core spinning on the
+            // barrier or streaming the spike log steals bandwidth from the
+            // other core's cache refills (a classic shared-bus effect that
+            // bounds the paper's dual-core speedup below 2).
+            Region::Mmio => {
+                let done = shared.bus.acquire(self.time, 4);
+                (done - self.time).max(2)
+            }
+            Region::Unmapped => 0, // caller traps on the functional access
+        }
+    }
+
+    fn load(
+        &mut self,
+        shared: &mut Shared,
+        addr: u32,
+        op: LoadOp,
+        pc: u32,
+    ) -> Result<(u32, u64), TrapCause> {
+        let size = match op {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw => 4,
+        };
+        if !addr.is_multiple_of(size) {
+            return Err(TrapCause::Misaligned { pc, addr });
+        }
+        let region = layout::region_of(addr, self.sdram_size(shared), shared.mem.scratch_size());
+        if region == Region::Unmapped {
+            return Err(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: false,
+            });
+        }
+        let extra = self.data_timing(shared, addr, false);
+        self.counters.loads += 1;
+        let value = if region == Region::Mmio {
+            shared
+                .dev
+                .read(self.id, addr - layout::MMIO_BASE, self.time)
+        } else {
+            match op {
+                LoadOp::Lw => shared.mem.read_u32(addr),
+                LoadOp::Lh | LoadOp::Lhu => shared.mem.read_u16(addr).map(u32::from),
+                LoadOp::Lb | LoadOp::Lbu => shared.mem.read_u8(addr).map(u32::from),
+            }
+            .ok_or(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: false,
+            })?
+        };
+        let value = match op {
+            LoadOp::Lb => value as u8 as i8 as i32 as u32,
+            LoadOp::Lh => value as u16 as i16 as i32 as u32,
+            _ => value,
+        };
+        Ok((value, extra))
+    }
+
+    fn store(
+        &mut self,
+        shared: &mut Shared,
+        addr: u32,
+        value: u32,
+        op: StoreOp,
+        pc: u32,
+    ) -> Result<(u64, MmioEffect), TrapCause> {
+        let size = match op {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+        };
+        if !addr.is_multiple_of(size) {
+            return Err(TrapCause::Misaligned { pc, addr });
+        }
+        let region = layout::region_of(addr, self.sdram_size(shared), shared.mem.scratch_size());
+        if region == Region::Unmapped {
+            return Err(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: true,
+            });
+        }
+        let extra = self.data_timing(shared, addr, true);
+        self.counters.stores += 1;
+        let mut effect = MmioEffect::None;
+        if region == Region::Mmio {
+            effect = shared.dev.write(self.id, addr - layout::MMIO_BASE, value);
+        } else {
+            let ok = match op {
+                StoreOp::Sw => shared.mem.write_u32(addr, value),
+                StoreOp::Sh => shared.mem.write_u16(addr, value as u16),
+                StoreOp::Sb => shared.mem.write_u8(addr, value as u8),
+            };
+            if !ok {
+                return Err(TrapCause::BadAccess {
+                    pc,
+                    addr,
+                    store: true,
+                });
+            }
+        }
+        Ok((extra, effect))
+    }
+
+    fn csr_read(&self, csr: u16) -> u32 {
+        match csr {
+            0xB00 => self.time as u32,             // mcycle
+            0xB80 => (self.time >> 32) as u32,     // mcycleh
+            0xB02 => self.counters.instret as u32, // minstret
+            0xB82 => (self.counters.instret >> 32) as u32,
+            0xF14 => self.id, // mhartid
+            _ => 0,
+        }
+    }
+
+    /// Execute one instruction; advances the local clock by its full cost.
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&mut self, shared: &mut Shared) -> Result<(), TrapCause> {
+        if self.halted {
+            return Ok(());
+        }
+        let pc = self.pc;
+        let (word, fetch_extra) = self.fetch(shared)?;
+        let inst = shared
+            .decode_cached(pc, word)
+            .ok_or(TrapCause::IllegalInstruction { pc, word })?;
+
+        let mut extra = fetch_extra;
+
+        // Hazard stall: previous load / nm instruction feeding this one.
+        let stall = match self.prev_kind {
+            PrevKind::Bypassed => 0,
+            PrevKind::Load | PrevKind::NmWriteback => {
+                if let Some(dest) = self.prev_dest {
+                    u64::from(inst.sources().contains(&Some(dest)))
+                } else {
+                    0
+                }
+            }
+        };
+        self.counters.hazard_stalls += stall;
+        extra += stall;
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut taken = false;
+        let mut effect = MmioEffect::None;
+        let mut kind = PrevKind::Bypassed;
+
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm as u32),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
+            Inst::Jal { rd, imm } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(imm as u32);
+                taken = true;
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+                taken = true;
+            }
+            Inst::Branch { op, rs1, rs2, imm } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let t = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if t {
+                    next_pc = pc.wrapping_add(imm as u32);
+                    taken = true;
+                }
+            }
+            Inst::Load { op, rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let (value, mem_extra) = self.load(shared, addr, op, pc)?;
+                self.set_reg(rd, value);
+                extra += mem_extra;
+                self.counters.mem_stall_cycles += mem_extra;
+                kind = PrevKind::Load;
+            }
+            Inst::Store { op, rs1, rs2, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as u32);
+                let (mem_extra, eff) = self.store(shared, addr, self.reg(rs2), op, pc)?;
+                extra += mem_extra;
+                self.counters.mem_stall_cycles += mem_extra;
+                effect = eff;
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let a = self.reg(rs1);
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Slti => u32::from((a as i32) < imm),
+                    AluImmOp::Sltiu => u32::from(a < imm as u32),
+                    AluImmOp::Xori => a ^ imm as u32,
+                    AluImmOp::Ori => a | imm as u32,
+                    AluImmOp::Andi => a & imm as u32,
+                    AluImmOp::Slli => a << (imm & 0x1F),
+                    AluImmOp::Srli => a >> (imm & 0x1F),
+                    AluImmOp::Srai => ((a as i32) >> (imm & 0x1F)) as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Sll => a << (b & 0x1F),
+                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                    AluOp::Sltu => u32::from(a < b),
+                    AluOp::Xor => a ^ b,
+                    AluOp::Srl => a >> (b & 0x1F),
+                    AluOp::Sra => ((a as i32) >> (b & 0x1F)) as u32,
+                    AluOp::Or => a | b,
+                    AluOp::And => a & b,
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Mulh => ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32,
+                    AluOp::Mulhsu => ((a as i32 as i64).wrapping_mul(b as i64) >> 32) as u32,
+                    AluOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
+                    AluOp::Div => {
+                        extra += shared.div_latency;
+                        self.counters.div_stall_cycles += shared.div_latency;
+                        if b == 0 {
+                            u32::MAX
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            a // overflow: -2^31 / -1
+                        } else {
+                            ((a as i32) / (b as i32)) as u32
+                        }
+                    }
+                    AluOp::Divu => {
+                        extra += shared.div_latency;
+                        self.counters.div_stall_cycles += shared.div_latency;
+                        a.checked_div(b).unwrap_or(u32::MAX)
+                    }
+                    AluOp::Rem => {
+                        extra += shared.div_latency;
+                        self.counters.div_stall_cycles += shared.div_latency;
+                        if b == 0 {
+                            a
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            0
+                        } else {
+                            ((a as i32) % (b as i32)) as u32
+                        }
+                    }
+                    AluOp::Remu => {
+                        extra += shared.div_latency;
+                        self.counters.div_stall_cycles += shared.div_latency;
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::Fence => {}
+            Inst::Ecall => {
+                // Minimal host services, newlib-free.
+                match self.reg(Reg::A7) {
+                    0 | 93 => self.halted = true,
+                    1 => {
+                        let s = (self.reg(Reg::A0) as i32).to_string();
+                        shared.dev.console.extend_from_slice(s.as_bytes());
+                    }
+                    2 => shared.dev.console.push(self.reg(Reg::A0) as u8),
+                    3 => {
+                        let s = format!("{:#010x}", self.reg(Reg::A0));
+                        shared.dev.console.extend_from_slice(s.as_bytes());
+                    }
+                    _ => {}
+                }
+            }
+            Inst::Ebreak => self.halted = true,
+            Inst::Csr { op, rd, rs1, csr } => {
+                let old = self.csr_read(csr);
+                self.set_reg(rd, old);
+                // Counter CSRs are read-only here; set/clear/write dropped.
+                let _ = (op, rs1);
+            }
+            Inst::CsrImm { op, rd, uimm, csr } => {
+                let old = self.csr_read(csr);
+                self.set_reg(rd, old);
+                let _ = (op, uimm);
+            }
+            Inst::Nm { op, rd, rs1, rs2 } => {
+                match op {
+                    NmOp::Nmldl => {
+                        let ok = self.nmregs.exec_nmldl(self.reg(rs1), self.reg(rs2));
+                        self.set_reg(rd, ok);
+                        self.counters.nmldl += 1;
+                        kind = PrevKind::NmWriteback;
+                    }
+                    NmOp::Nmldh => {
+                        let ok = self.nmregs.exec_nmldh(self.reg(rs1));
+                        self.set_reg(rd, ok);
+                        self.counters.nmldh += 1;
+                        kind = PrevKind::NmWriteback;
+                    }
+                    NmOp::Nmpn => {
+                        let vu = self.reg(rs1);
+                        let isyn = Q15_16::from_raw(self.reg(rs2) as i32);
+                        let addr = self.reg(rd);
+                        let out = NpUnit::update(&self.nmregs, vu, isyn);
+                        let (mem_extra, eff) = self.store(shared, addr, out.vu, StoreOp::Sw, pc)?;
+                        extra += mem_extra;
+                        self.counters.mem_stall_cycles += mem_extra;
+                        effect = eff;
+                        self.set_reg(rd, u32::from(out.spike));
+                        self.counters.nmpn += 1;
+                        kind = PrevKind::NmWriteback;
+                    }
+                    NmOp::Nmdec => {
+                        let out = Dcu::exec_nmdec(&self.nmregs, self.reg(rs1), self.reg(rs2));
+                        self.set_reg(rd, out);
+                        self.counters.nmdec += 1;
+                        // Pure EX-stage result: forwarded like an ALU op.
+                    }
+                }
+                if shared.csr_writeback && kind == PrevKind::NmWriteback {
+                    // The paper's proposed fix: spike/done flags go to CSRs,
+                    // so no register-file writeback hazard remains.
+                    kind = PrevKind::Bypassed;
+                }
+            }
+        }
+
+        if taken {
+            // Branch resolved in EX: one wrong-path fetch squashed.
+            self.counters.flush_cycles += 1;
+            extra += 1;
+        }
+
+        self.prev_kind = kind;
+        self.prev_dest = inst.dest();
+
+        self.counters.instret += 1;
+        self.time += 1 + extra;
+        self.counters.cycles = self.time;
+        self.pc = next_pc;
+
+        match effect {
+            MmioEffect::None => {}
+            MmioEffect::Halt => self.halted = true,
+            MmioEffect::RoiStart => {
+                self.roi_base = self.counters;
+                self.roi_active = true;
+                self.roi_final = None;
+            }
+            MmioEffect::RoiStop => {
+                if self.roi_active {
+                    self.roi_final = Some(self.counters.delta(&self.roi_base));
+                    self.roi_active = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,212 @@
+//! Physical memory map and backing storage.
+//!
+//! The simulated SoC uses the same split the paper describes for the DE10
+//! board: instructions and bulk data live in off-chip SDRAM (slow, cached),
+//! hot network state lives in on-chip memory (single-cycle scratchpad), and
+//! a small MMIO block provides platform services.
+
+/// Address-space layout constants.
+pub mod layout {
+    /// SDRAM base (instructions + bulk data; cached).
+    pub const SDRAM_BASE: u32 = 0x0000_0000;
+    /// Default SDRAM size (16 MiB is plenty for every workload here).
+    pub const SDRAM_DEFAULT_SIZE: u32 = 16 * 1024 * 1024;
+    /// On-chip scratchpad base (single-cycle, uncached, dual-ported).
+    pub const SCRATCH_BASE: u32 = 0x1000_0000;
+    /// Default scratchpad size (256 KiB — generous M9K/M20K budget).
+    pub const SCRATCH_DEFAULT_SIZE: u32 = 256 * 1024;
+    /// MMIO device block base.
+    pub const MMIO_BASE: u32 = 0xF000_0000;
+    /// MMIO block size.
+    pub const MMIO_SIZE: u32 = 0x100;
+
+    // MMIO register offsets.
+    /// Write: emit a byte to the console.
+    pub const MMIO_CONSOLE: u32 = 0x00;
+    /// Read: this core's hart id.
+    pub const MMIO_COREID: u32 = 0x04;
+    /// Read: number of cores in the system.
+    pub const MMIO_NCORES: u32 = 0x08;
+    /// Read: try-acquire the hardware mutex (1 = acquired, 0 = busy).
+    /// Write: release it.
+    pub const MMIO_MUTEX: u32 = 0x0C;
+    /// Read: barrier generation. Write: arrive at the barrier.
+    pub const MMIO_BARRIER: u32 = 0x10;
+    /// Read: low 32 bits of the global cycle counter.
+    pub const MMIO_CYCLE: u32 = 0x14;
+    /// Write: halt this core.
+    pub const MMIO_HALT: u32 = 0x18;
+    /// Write: append a word to the host-visible spike log.
+    pub const MMIO_SPIKE_LOG: u32 = 0x1C;
+    /// Read: next value from the device PRNG (xorshift32).
+    pub const MMIO_RAND: u32 = 0x20;
+    /// Write 1: reset+start the region-of-interest counters;
+    /// write 0: stop them.
+    pub const MMIO_ROI: u32 = 0x24;
+    /// Write: record a host-visible "progress" word (debug aid).
+    pub const MMIO_PROGRESS: u32 = 0x28;
+
+    /// Which region an address belongs to.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Region {
+        /// Off-chip SDRAM (cached).
+        Sdram,
+        /// On-chip scratchpad (uncached, 1 cycle).
+        Scratch,
+        /// Memory-mapped devices.
+        Mmio,
+        /// Unmapped.
+        Unmapped,
+    }
+
+    /// Classify an address.
+    #[inline]
+    pub fn region_of(addr: u32, sdram_size: u32, scratch_size: u32) -> Region {
+        if addr < sdram_size {
+            Region::Sdram
+        } else if (SCRATCH_BASE..SCRATCH_BASE + scratch_size).contains(&addr) {
+            Region::Scratch
+        } else if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&addr) {
+            Region::Mmio
+        } else {
+            Region::Unmapped
+        }
+    }
+}
+
+/// Byte-addressable backing storage for SDRAM and the scratchpad.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    sdram: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl MainMemory {
+    /// Allocate with the given region sizes (both rounded up to 4 bytes).
+    pub fn new(sdram_size: u32, scratch_size: u32) -> Self {
+        MainMemory {
+            sdram: vec![0; (sdram_size as usize + 3) & !3],
+            scratch: vec![0; (scratch_size as usize + 3) & !3],
+        }
+    }
+
+    /// SDRAM size in bytes.
+    pub fn sdram_size(&self) -> u32 {
+        self.sdram.len() as u32
+    }
+
+    /// Scratchpad size in bytes.
+    pub fn scratch_size(&self) -> u32 {
+        self.scratch.len() as u32
+    }
+
+    #[inline]
+    fn backing(&self, addr: u32) -> Option<(&Vec<u8>, usize)> {
+        if (addr as usize) < self.sdram.len() {
+            Some((&self.sdram, addr as usize))
+        } else if addr >= layout::SCRATCH_BASE {
+            let off = (addr - layout::SCRATCH_BASE) as usize;
+            (off < self.scratch.len()).then_some((&self.scratch, off))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn backing_mut(&mut self, addr: u32) -> Option<(&mut Vec<u8>, usize)> {
+        if (addr as usize) < self.sdram.len() {
+            Some((&mut self.sdram, addr as usize))
+        } else if addr >= layout::SCRATCH_BASE {
+            let off = (addr - layout::SCRATCH_BASE) as usize;
+            (off < self.scratch.len()).then_some((&mut self.scratch, off))
+        } else {
+            None
+        }
+    }
+
+    /// Read an aligned 32-bit word; `None` if unmapped.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> Option<u32> {
+        let (mem, off) = self.backing(addr)?;
+        if off + 4 > mem.len() {
+            return None;
+        }
+        Some(u32::from_le_bytes([
+            mem[off],
+            mem[off + 1],
+            mem[off + 2],
+            mem[off + 3],
+        ]))
+    }
+
+    /// Read a 16-bit half-word.
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> Option<u16> {
+        let (mem, off) = self.backing(addr)?;
+        if off + 2 > mem.len() {
+            return None;
+        }
+        Some(u16::from_le_bytes([mem[off], mem[off + 1]]))
+    }
+
+    /// Read a byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> Option<u8> {
+        let (mem, off) = self.backing(addr)?;
+        mem.get(off).copied()
+    }
+
+    /// Write an aligned 32-bit word; `false` if unmapped.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> bool {
+        let Some((mem, off)) = self.backing_mut(addr) else {
+            return false;
+        };
+        if off + 4 > mem.len() {
+            return false;
+        }
+        mem[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        true
+    }
+
+    /// Write a 16-bit half-word.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> bool {
+        let Some((mem, off)) = self.backing_mut(addr) else {
+            return false;
+        };
+        if off + 2 > mem.len() {
+            return false;
+        }
+        mem[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        true
+    }
+
+    /// Write a byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> bool {
+        let Some((mem, off)) = self.backing_mut(addr) else {
+            return false;
+        };
+        if off >= mem.len() {
+            return false;
+        }
+        mem[off] = value;
+        true
+    }
+
+    /// Copy a byte slice into memory (used by the program loader).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> bool {
+        for (i, &b) in bytes.iter().enumerate() {
+            if !self.write_u8(addr + i as u32, b) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Read `len` bytes starting at `addr` (host-side result readback).
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Option<Vec<u8>> {
+        (0..len).map(|i| self.read_u8(addr + i as u32)).collect()
+    }
+}

@@ -1,0 +1,144 @@
+//! Memory-mapped platform devices shared by all cores.
+//!
+//! The register block mirrors what the paper's Avalon system provides:
+//! a JTAG-UART-style console, an Altera-mutex-style hardware mutex, a
+//! barrier peripheral, a spike-log FIFO the workloads use to export raster
+//! data, a seeded xorshift32 RNG (stand-in for the host-supplied thalamic
+//! noise tables), and counter (ROI) control.
+
+use crate::seedsim::mem::layout;
+
+/// Side effects an MMIO write asks the core to apply to itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioEffect {
+    /// Nothing beyond the device state change.
+    None,
+    /// Halt the writing core.
+    Halt,
+    /// Reset and start this core's region-of-interest counters.
+    RoiStart,
+    /// Stop this core's region-of-interest counters.
+    RoiStop,
+}
+
+/// Shared device state.
+#[derive(Debug, Clone)]
+pub struct SharedDevices {
+    n_cores: u32,
+    /// Console output bytes.
+    pub console: Vec<u8>,
+    mutex_owner: Option<u32>,
+    barrier_count: u32,
+    barrier_generation: u32,
+    /// Words written to the spike-log FIFO.
+    pub spike_log: Vec<u32>,
+    /// Progress/debug words.
+    pub progress: Vec<u32>,
+    rng_state: u32,
+    /// Failed mutex acquisition attempts (contention diagnostics).
+    pub mutex_contention: u64,
+}
+
+impl SharedDevices {
+    /// Create devices for an `n_cores` system with the given RNG seed.
+    pub fn new(n_cores: u32, rng_seed: u32) -> Self {
+        SharedDevices {
+            n_cores,
+            console: Vec::new(),
+            mutex_owner: None,
+            barrier_count: 0,
+            barrier_generation: 0,
+            spike_log: Vec::new(),
+            progress: Vec::new(),
+            rng_state: if rng_seed == 0 { 0x1234_5678 } else { rng_seed },
+            mutex_contention: 0,
+        }
+    }
+
+    /// Handle a 32-bit MMIO read from `core_id` at global time `now`.
+    pub fn read(&mut self, core_id: u32, offset: u32, now: u64) -> u32 {
+        match offset {
+            layout::MMIO_COREID => core_id,
+            layout::MMIO_NCORES => self.n_cores,
+            layout::MMIO_MUTEX => match self.mutex_owner {
+                None => {
+                    self.mutex_owner = Some(core_id);
+                    1
+                }
+                Some(owner) if owner == core_id => 1, // re-entrant read
+                Some(_) => {
+                    self.mutex_contention += 1;
+                    0
+                }
+            },
+            layout::MMIO_BARRIER => self.barrier_generation,
+            layout::MMIO_CYCLE => now as u32,
+            layout::MMIO_RAND => {
+                // xorshift32
+                let mut x = self.rng_state;
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                self.rng_state = x;
+                x
+            }
+            _ => 0,
+        }
+    }
+
+    /// Handle a 32-bit MMIO write; returns the effect the core must apply.
+    pub fn write(&mut self, core_id: u32, offset: u32, value: u32) -> MmioEffect {
+        match offset {
+            layout::MMIO_CONSOLE => {
+                self.console.push(value as u8);
+                MmioEffect::None
+            }
+            layout::MMIO_MUTEX => {
+                if self.mutex_owner == Some(core_id) {
+                    self.mutex_owner = None;
+                }
+                MmioEffect::None
+            }
+            layout::MMIO_BARRIER => {
+                self.barrier_count += 1;
+                if self.barrier_count == self.n_cores {
+                    self.barrier_count = 0;
+                    self.barrier_generation = self.barrier_generation.wrapping_add(1);
+                }
+                MmioEffect::None
+            }
+            layout::MMIO_HALT => MmioEffect::Halt,
+            layout::MMIO_SPIKE_LOG => {
+                self.spike_log.push(value);
+                MmioEffect::None
+            }
+            layout::MMIO_ROI => {
+                if value != 0 {
+                    MmioEffect::RoiStart
+                } else {
+                    MmioEffect::RoiStop
+                }
+            }
+            layout::MMIO_PROGRESS => {
+                self.progress.push(value);
+                MmioEffect::None
+            }
+            _ => MmioEffect::None,
+        }
+    }
+
+    /// Console contents as a lossy UTF-8 string.
+    pub fn console_string(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// Current mutex holder, if any (test/diagnostic hook).
+    pub fn mutex_owner(&self) -> Option<u32> {
+        self.mutex_owner
+    }
+
+    /// Current barrier generation (test/diagnostic hook).
+    pub fn barrier_generation(&self) -> u32 {
+        self.barrier_generation
+    }
+}

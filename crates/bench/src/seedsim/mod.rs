@@ -1,0 +1,20 @@
+//! Frozen copy of the **seed** simulator (commit `885a49a`), kept as the
+//! perf-trajectory reference: `perf_baseline` runs the same workloads on
+//! this interpreter and on the live `izhi_sim`, interleaved in one
+//! process, so the reported speedup is immune to host-speed drift between
+//! measurement sessions. Functionally and cycle-wise the two must agree —
+//! the binary asserts identical simulated cycles/instret per workload.
+//!
+//! Do not "improve" this module; it is a measurement fixture. (Only the
+//! `serde` derives and `#[cfg(test)]` blocks were stripped from the seed
+//! sources.)
+
+pub mod bus;
+pub mod cache;
+pub mod counters;
+pub mod cpu;
+pub mod mem;
+pub mod mmio;
+pub mod system;
+
+pub use system::{System, SystemConfig};

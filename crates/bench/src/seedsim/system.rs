@@ -1,0 +1,312 @@
+//! The multi-core system: configuration, program loading and the
+//! event-driven run loop.
+
+use izhi_isa::asm::Program;
+use izhi_isa::decode;
+use izhi_isa::inst::Inst;
+
+use crate::seedsim::bus::{BusArbiter, BusTimings};
+use crate::seedsim::cache::{Cache, CacheConfig};
+use crate::seedsim::counters::Metrics;
+use crate::seedsim::cpu::{Core, TrapCause};
+use crate::seedsim::mem::{layout, MainMemory};
+use crate::seedsim::mmio::SharedDevices;
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of IzhiRISC-V cores.
+    pub n_cores: u32,
+    /// Core clock in Hz (30 MHz on the MAX10 build, 100 MHz on Agilex-7).
+    pub clock_hz: f64,
+    /// SDRAM size in bytes.
+    pub sdram_size: u32,
+    /// On-chip scratchpad size in bytes.
+    pub scratch_size: u32,
+    /// Per-core I-cache geometry.
+    pub icache: CacheConfig,
+    /// Per-core D-cache geometry.
+    pub dcache: CacheConfig,
+    /// Shared-bus/SDRAM timing.
+    pub bus: BusTimings,
+    /// Iterative divider latency (extra cycles per div/rem).
+    pub div_latency: u64,
+    /// Model the paper's proposed CSR writeback for nm results (§V-B),
+    /// which removes the nm-writeback hazard stalls.
+    pub csr_writeback: bool,
+    /// Seed for the MMIO xorshift32 RNG.
+    pub rng_seed: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            n_cores: 1,
+            clock_hz: 30e6,
+            sdram_size: 8 * 1024 * 1024,
+            scratch_size: layout::SCRATCH_DEFAULT_SIZE,
+            icache: CacheConfig::default(),
+            // Longer D-cache lines amortise the streaming weight/noise
+            // walks, landing hit rates in the paper's 96-100 % band.
+            dcache: CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 32,
+            },
+            bus: BusTimings::default(),
+            div_latency: 16,
+            csr_writeback: false,
+            rng_seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's MAX10 dual-core configuration (30 MHz).
+    pub fn max10_dual_core() -> Self {
+        SystemConfig {
+            n_cores: 2,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's §VI-A three-core experiment: fitting a third core on
+    /// the MAX10 required "drastically" smaller caches and a 20 MHz clock,
+    /// "which had a detrimental impact on performance".
+    pub fn max10_triple_core_reduced() -> Self {
+        SystemConfig {
+            n_cores: 3,
+            clock_hz: 20e6,
+            icache: CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 16,
+            },
+            dcache: CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 16,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: n cores, everything else default.
+    pub fn with_cores(n: u32) -> Self {
+        SystemConfig {
+            n_cores: n,
+            ..Default::default()
+        }
+    }
+}
+
+/// State shared between all cores (memory, bus, devices, decode cache).
+#[derive(Debug)]
+pub struct Shared {
+    /// Functional memory.
+    pub mem: MainMemory,
+    /// The single shared bus to SDRAM.
+    pub bus: BusArbiter,
+    /// MMIO devices.
+    pub dev: SharedDevices,
+    /// Bus/SDRAM timing parameters.
+    pub bus_timings: BusTimings,
+    /// Divider latency.
+    pub div_latency: u64,
+    /// CSR-writeback hazard fix enabled.
+    pub csr_writeback: bool,
+    decode_cache: Vec<Option<Inst>>,
+}
+
+impl Shared {
+    /// Decode `word` at `pc`, memoising SDRAM-resident code (the system
+    /// does not support self-modifying code).
+    #[inline]
+    pub fn decode_cached(&mut self, pc: u32, word: u32) -> Option<Inst> {
+        let idx = (pc / 4) as usize;
+        if idx < self.decode_cache.len() {
+            if let Some(inst) = self.decode_cache[idx] {
+                return Some(inst);
+            }
+            let inst = decode(word).ok()?;
+            self.decode_cache[idx] = Some(inst);
+            Some(inst)
+        } else {
+            decode(word).ok()
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A core trapped.
+    Trap {
+        /// Which core.
+        core: u32,
+        /// Why.
+        cause: TrapCause,
+    },
+    /// The cycle budget ran out before all cores halted.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+    /// A program segment does not fit in mapped memory.
+    LoadError {
+        /// Base address of the offending segment.
+        base: u32,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Trap { core, cause } => write!(f, "core {core}: {cause}"),
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+            SimError::LoadError { base } => {
+                write!(f, "program segment at {base:#010x} does not fit in memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunExit {
+    /// Wall-clock cycles (slowest core).
+    pub cycles: u64,
+    /// Total instructions retired across cores.
+    pub instret: u64,
+}
+
+/// A complete simulated IzhiRISC-V system.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    shared: Shared,
+}
+
+impl System {
+    /// Build a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cores = (0..cfg.n_cores)
+            .map(|id| Core::new(id, Cache::new(cfg.icache), Cache::new(cfg.dcache)))
+            .collect();
+        let shared = Shared {
+            mem: MainMemory::new(cfg.sdram_size, cfg.scratch_size),
+            bus: BusArbiter::new(),
+            dev: SharedDevices::new(cfg.n_cores, cfg.rng_seed),
+            bus_timings: cfg.bus,
+            div_latency: cfg.div_latency,
+            csr_writeback: cfg.csr_writeback,
+            // Code lives in the first MiB of SDRAM; the memoised decode
+            // table only needs to cover that window.
+            decode_cache: vec![None; (cfg.sdram_size.min(1024 * 1024) / 4) as usize],
+        };
+        System { cfg, cores, shared }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Load an assembled program: copy all segments and point every core's
+    /// pc at the entry (guest code branches on the core-id MMIO register).
+    pub fn load_program(&mut self, prog: &Program) -> bool {
+        for seg in &prog.segments {
+            if !self.shared.mem.write_bytes(seg.base, &seg.data) {
+                return false;
+            }
+        }
+        for core in &mut self.cores {
+            core.set_pc(prog.entry);
+        }
+        true
+    }
+
+    /// Borrow a core.
+    pub fn core(&self, idx: usize) -> &Core {
+        &self.cores[idx]
+    }
+
+    /// Borrow a core mutably (e.g. to preset registers).
+    pub fn core_mut(&mut self, idx: usize) -> &mut Core {
+        &mut self.cores[idx]
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Shared state (memory, devices) for host-side setup and readback.
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Mutable shared state.
+    pub fn shared_mut(&mut self) -> &mut Shared {
+        &mut self.shared
+    }
+
+    /// Console output so far.
+    pub fn console(&self) -> String {
+        self.shared.dev.console_string()
+    }
+
+    /// Run until every core halts or `max_cycles` elapse on any core.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
+        loop {
+            // Event-driven: always advance the core that is furthest behind,
+            // so shared-resource ordering approximates real concurrency.
+            let mut next: Option<usize> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if !c.halted() {
+                    match next {
+                        Some(j) if self.cores[j].time <= c.time => {}
+                        _ => next = Some(i),
+                    }
+                }
+            }
+            let Some(i) = next else {
+                break; // all halted
+            };
+            if self.cores[i].time > max_cycles {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            // Batch a few instructions per pick to cut scheduling overhead;
+            // cross-core timing skew stays bounded by the batch length.
+            for _ in 0..8 {
+                if self.cores[i].halted() {
+                    break;
+                }
+                self.cores[i]
+                    .step(&mut self.shared)
+                    .map_err(|cause| SimError::Trap {
+                        core: i as u32,
+                        cause,
+                    })?;
+            }
+        }
+        Ok(RunExit {
+            cycles: self.cores.iter().map(|c| c.time).max().unwrap_or(0),
+            instret: self.cores.iter().map(|c| c.counters.instret).sum(),
+        })
+    }
+
+    /// Per-core metrics for the measured region (ROI delta when the guest
+    /// used the ROI MMIO markers).
+    pub fn metrics(&self, core: usize) -> Metrics {
+        self.cores[core].roi_counters().metrics(self.cfg.clock_hz)
+    }
+
+    /// Execute exactly one instruction on one core (single-step debugging;
+    /// the CLI's `--trace` mode uses this).
+    pub fn step_core(&mut self, idx: usize) -> Result<(), TrapCause> {
+        self.cores[idx].step(&mut self.shared)
+    }
+}

@@ -148,7 +148,11 @@ mod tests {
                 assert!(next.to_f64().abs() <= i.to_f64().abs(), "{start}");
                 i = next;
             }
-            assert!(i.to_f64().abs() < start.abs() * 0.01, "did not decay: {}", i.to_f64());
+            assert!(
+                i.to_f64().abs() < start.abs() * 0.01,
+                "did not decay: {}",
+                i.to_f64()
+            );
         }
     }
 

@@ -96,7 +96,17 @@ impl Izh9Params {
         let disc = (5.0f64 * 5.0 - 4.0 * 0.04 * 140.0).sqrt();
         let vr = (-5.0 - disc) / (2.0 * 0.04);
         let vt = (-5.0 + disc) / (2.0 * 0.04);
-        Izh9Params { cap: 1.0, k: 0.04, vr, vt, v_peak: 30.0, a, b, c, d }
+        Izh9Params {
+            cap: 1.0,
+            k: 0.04,
+            vr,
+            vt,
+            v_peak: 30.0,
+            a,
+            b,
+            c,
+            d,
+        }
     }
 }
 
@@ -114,7 +124,11 @@ pub struct Izh9Neuron {
 impl Izh9Neuron {
     /// Initialise at rest (`v = vr`, `u = 0`).
     pub fn new(params: Izh9Params) -> Self {
-        Izh9Neuron { params, v: params.vr, u: 0.0 }
+        Izh9Neuron {
+            params,
+            v: params.vr,
+            u: 0.0,
+        }
     }
 
     /// One Euler step of `h` ms with input current `i`; returns `true` on
@@ -181,11 +195,8 @@ mod tests {
         let mut nine = Izh9Neuron::new(p9);
         nine.v = -65.0;
         nine.u = -13.0 - offset;
-        let mut four = ReferenceNeuron::with_state(
-            crate::params::IzhParams::regular_spiking(),
-            -65.0,
-            -13.0,
-        );
+        let mut four =
+            ReferenceNeuron::with_state(crate::params::IzhParams::regular_spiking(), -65.0, -13.0);
         let mut s9 = 0u32;
         let mut s4 = 0u32;
         for _ in 0..4000 {

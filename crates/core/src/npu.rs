@@ -21,7 +21,7 @@
 
 use crate::nmregs::NmRegs;
 use izhi_fixed::qformat::{pack_vu, unpack_vu};
-use izhi_fixed::{Q15_16, Q7_8, ResizeMode, Wide};
+use izhi_fixed::{ResizeMode, Wide, Q15_16, Q7_8};
 
 /// Fractional bits used for the 0.04 constant inside the datapath. 18 bits
 /// give |0.04 - round(0.04*2^18)/2^18| < 2^-19, far below the Q7.8 output
@@ -52,7 +52,10 @@ impl NpUnit {
     pub fn update(regs: &NmRegs, vu: u32, isyn: Q15_16) -> NpuOutput {
         let (v, u) = unpack_vu(vu);
         let (v2, u2, spike) = Self::update_parts(regs, v, u, isyn);
-        NpuOutput { vu: pack_vu(v2, u2), spike }
+        NpuOutput {
+            vu: pack_vu(v2, u2),
+            spike,
+        }
     }
 
     /// Execute one update on unpacked state; returns `(v', u', spike)`.
@@ -64,7 +67,10 @@ impl NpUnit {
         // as in the original MATLAB reference.
         let spike = v >= V_TH_Q7_8;
         let (v, u) = if spike {
-            let u_reset = u.widen().add(p.d.widen()).to_q7_8(ResizeMode::RoundSaturate);
+            let u_reset = u
+                .widen()
+                .add(p.d.widen())
+                .to_q7_8(ResizeMode::RoundSaturate);
             (p.c, u_reset)
         } else {
             (v, u)
@@ -77,11 +83,7 @@ impl NpUnit {
         // dv = 0.04 v^2 + 5 v + 140 - u + I   (accumulator grows to q34)
         let v_sq = vw.mul(vw); // q16
         let quad = Wide::new(C004_RAW, C004_FRAC).mul(v_sq); // q34
-        let dv = quad
-            .add(vw.mul_int(5))
-            .add(Wide::int(140))
-            .sub(uw)
-            .add(iw);
+        let dv = quad.add(vw.mul_int(5)).add(Wide::int(140)).sub(uw).add(iw);
 
         // du = a (b v - u)                    (q19 -> q30)
         let bv = p.b.widen().mul(vw); // q19
@@ -93,7 +95,11 @@ impl NpUnit {
         let u_next = uw.add(du.shr(shift)).to_q7_8(ResizeMode::RoundSaturate);
 
         // Optional pin clamp: never let v fall below the reset potential.
-        let v_next = if regs.pin && v_next < p.c { p.c } else { v_next };
+        let v_next = if regs.pin && v_next < p.c {
+            p.c
+        } else {
+            v_next
+        };
 
         (v_next, u_next, spike)
     }
@@ -102,12 +108,7 @@ impl NpUnit {
     /// including the quantised 0.04 constant and the reset-then-integrate
     /// ordering, but with no rounding of intermediates. Used by tests to
     /// bound the datapath's rounding error.
-    pub fn update_parts_exact(
-        regs: &NmRegs,
-        v: f64,
-        u: f64,
-        isyn: f64,
-    ) -> (f64, f64, bool) {
+    pub fn update_parts_exact(regs: &NmRegs, v: f64, u: f64, isyn: f64) -> (f64, f64, bool) {
         let p = regs.params.dequantize();
         let h = regs.h.millis();
         let spike = v >= 30.0;
@@ -175,7 +176,7 @@ mod tests {
             spikes += s as u32;
         }
         // An RS cell at I = 10 fires tonically at a few to tens of Hz.
-        assert!(spikes >= 2 && spikes <= 100, "spikes = {spikes}");
+        assert!((2..=100).contains(&spikes), "spikes = {spikes}");
     }
 
     #[test]
@@ -233,7 +234,11 @@ mod tests {
         for _ in 0..500 {
             let (v2, u2, _) = NpUnit::update_parts(&regs, v, u, i);
             let (ve2, ue2, _) = NpUnit::update_parts_exact(&regs, ve, ue, i.to_f64());
-            assert!((v2.to_f64() - ve2).abs() <= 2.5 / 256.0, "{} vs {ve2}", v2.to_f64());
+            assert!(
+                (v2.to_f64() - ve2).abs() <= 2.5 / 256.0,
+                "{} vs {ve2}",
+                v2.to_f64()
+            );
             assert!((u2.to_f64() - ue2).abs() <= 2.5 / 256.0);
             v = v2;
             u = u2;

@@ -184,10 +184,16 @@ mod tests {
     #[test]
     fn blend_endpoints() {
         // r = 0 gives RS, r = 1 gives CH for the excitatory blend.
-        assert_eq!(IzhParams::excitatory_8020(0.0), IzhParams::regular_spiking());
+        assert_eq!(
+            IzhParams::excitatory_8020(0.0),
+            IzhParams::regular_spiking()
+        );
         assert_eq!(IzhParams::excitatory_8020(1.0), IzhParams::chattering());
         // r = 0 gives LTS, r = 1 gives FS-like for the inhibitory blend.
-        assert_eq!(IzhParams::inhibitory_8020(0.0), IzhParams::low_threshold_spiking());
+        assert_eq!(
+            IzhParams::inhibitory_8020(0.0),
+            IzhParams::low_threshold_spiking()
+        );
         let fs_like = IzhParams::inhibitory_8020(1.0);
         assert!((fs_like.a - 0.1).abs() < 1e-12);
         assert!((fs_like.b - 0.2).abs() < 1e-12);

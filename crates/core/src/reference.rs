@@ -23,7 +23,11 @@ impl ReferenceNeuron {
     /// Izhikevich's published network script).
     pub fn new(params: IzhParams) -> Self {
         let v = params.c;
-        ReferenceNeuron { params, v, u: params.b * v }
+        ReferenceNeuron {
+            params,
+            v,
+            u: params.b * v,
+        }
     }
 
     /// Create with explicit initial state.

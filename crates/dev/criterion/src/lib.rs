@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so the benches under
+//! `crates/bench/benches/` run on this minimal harness instead of the real
+//! statistical one. It implements the API subset they use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! `black_box`, `criterion_group!`, `criterion_main!` — measuring median
+//! wall-clock time over a fixed number of samples and printing one line per
+//! benchmark:
+//!
+//! ```text
+//! group/name              median 12.345 us/iter   (81.0 Melem/s)
+//! ```
+//!
+//! There is no outlier rejection, warm-up tuning or HTML report; for
+//! trajectory tracking use `cargo run --release --bin perf_baseline`.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Register a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_one(&name.into(), None, 20, f);
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for the derived rate.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Set the number of timed samples (the real crate's statistical knob).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(3);
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, self.sample_size, f);
+    }
+
+    /// End the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` for the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_secs_f64() * 1e9;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    // Calibrate the per-sample iteration count towards ~20 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        if b.elapsed_ns >= 2e7 || iters >= 1 << 24 {
+            break;
+        }
+        let grow = if b.elapsed_ns <= 0.0 {
+            16.0
+        } else {
+            (2.5e7 / b.elapsed_ns).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0.0,
+            };
+            f(&mut b);
+            b.elapsed_ns / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("   ({:.1} Melem/s)", n as f64 / median * 1e3),
+        Throughput::Bytes(n) => format!(
+            "   ({:.1} MiB/s)",
+            n as f64 / median * 1e9 / (1 << 20) as f64
+        ),
+    });
+    let human = if median < 1e3 {
+        format!("{median:.1} ns/iter")
+    } else if median < 1e6 {
+        format!("{:.3} us/iter", median / 1e3)
+    } else {
+        format!("{:.3} ms/iter", median / 1e6)
+    };
+    println!("{name:<44} median {human}{}", rate.unwrap_or_default());
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

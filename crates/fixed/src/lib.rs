@@ -24,7 +24,7 @@
 pub mod qformat;
 pub mod wide;
 
-pub use qformat::{Q15_16, Q4_11, Q7_8, QFormat};
+pub use qformat::{QFormat, Q15_16, Q4_11, Q7_8};
 pub use wide::{ResizeMode, Wide};
 
 /// Errors produced by checked fixed-point conversions.

@@ -18,11 +18,20 @@ pub struct QFormat {
 
 impl QFormat {
     /// Q4.11: 1 sign + 4 integer + 11 fractional bits (16-bit storage).
-    pub const Q4_11: QFormat = QFormat { int_bits: 4, frac_bits: 11 };
+    pub const Q4_11: QFormat = QFormat {
+        int_bits: 4,
+        frac_bits: 11,
+    };
     /// Q7.8: 1 sign + 7 integer + 8 fractional bits (16-bit storage).
-    pub const Q7_8: QFormat = QFormat { int_bits: 7, frac_bits: 8 };
+    pub const Q7_8: QFormat = QFormat {
+        int_bits: 7,
+        frac_bits: 8,
+    };
     /// Q15.16: 1 sign + 15 integer + 16 fractional bits (32-bit storage).
-    pub const Q15_16: QFormat = QFormat { int_bits: 15, frac_bits: 16 };
+    pub const Q15_16: QFormat = QFormat {
+        int_bits: 15,
+        frac_bits: 16,
+    };
 
     /// Total storage width in bits including the sign bit.
     #[inline]
@@ -270,7 +279,10 @@ mod tests {
     fn roundtrip_exact_values() {
         for &x in &[0.0, 1.0, -1.0, 0.5, -0.5, 2.25, -65.0, 30.0, 0.02] {
             let q = Q7_8::from_f64(x);
-            assert!((q.to_f64() - x).abs() <= QFormat::Q7_8.epsilon() / 2.0 + 1e-12, "{x}");
+            assert!(
+                (q.to_f64() - x).abs() <= QFormat::Q7_8.epsilon() / 2.0 + 1e-12,
+                "{x}"
+            );
         }
     }
 
@@ -299,9 +311,14 @@ mod tests {
         assert!(Q7_8::try_from_f64(127.0).is_ok());
         assert_eq!(
             Q7_8::try_from_f64(200.0),
-            Err(crate::FixedError::OutOfRange { format: QFormat::Q7_8 })
+            Err(crate::FixedError::OutOfRange {
+                format: QFormat::Q7_8
+            })
         );
-        assert_eq!(Q7_8::try_from_f64(f64::INFINITY), Err(crate::FixedError::NotFinite));
+        assert_eq!(
+            Q7_8::try_from_f64(f64::INFINITY),
+            Err(crate::FixedError::NotFinite)
+        );
     }
 
     #[test]
@@ -310,7 +327,9 @@ mod tests {
         assert_eq!(Q7_8::MIN.saturating_sub(Q7_8::ONE), Q7_8::MIN);
         assert_eq!(Q7_8::MIN.saturating_neg(), Q7_8::MAX);
         assert_eq!(
-            Q7_8::from_f64(1.0).saturating_add(Q7_8::from_f64(2.0)).to_f64(),
+            Q7_8::from_f64(1.0)
+                .saturating_add(Q7_8::from_f64(2.0))
+                .to_f64(),
             3.0
         );
     }

@@ -46,13 +46,19 @@ impl Wide {
     /// An integer constant (no fractional bits).
     #[inline]
     pub const fn int(value: i64) -> Self {
-        Wide { raw: value, frac: 0 }
+        Wide {
+            raw: value,
+            frac: 0,
+        }
     }
 
     /// Construct from `f64` with `frac` fractional bits, round-to-nearest.
     #[inline]
     pub fn from_f64(x: f64, frac: u32) -> Self {
-        Wide { raw: (x * (1i64 << frac) as f64).round() as i64, frac }
+        Wide {
+            raw: (x * (1i64 << frac) as f64).round() as i64,
+            frac,
+        }
     }
 
     /// Raw mantissa.
@@ -82,9 +88,15 @@ impl Wide {
     #[inline]
     pub fn align(self, frac: u32) -> Self {
         if frac >= self.frac {
-            Wide { raw: self.raw << (frac - self.frac), frac }
+            Wide {
+                raw: self.raw << (frac - self.frac),
+                frac,
+            }
         } else {
-            Wide { raw: self.raw >> (self.frac - frac), frac }
+            Wide {
+                raw: self.raw >> (self.frac - frac),
+                frac,
+            }
         }
     }
 
@@ -92,44 +104,65 @@ impl Wide {
     #[inline]
     pub fn add(self, rhs: Wide) -> Self {
         let frac = self.frac.max(rhs.frac);
-        Wide { raw: self.align(frac).raw + rhs.align(frac).raw, frac }
+        Wide {
+            raw: self.align(frac).raw + rhs.align(frac).raw,
+            frac,
+        }
     }
 
     /// Subtraction; the result carries the larger fractional-bit count.
     #[inline]
     pub fn sub(self, rhs: Wide) -> Self {
         let frac = self.frac.max(rhs.frac);
-        Wide { raw: self.align(frac).raw - rhs.align(frac).raw, frac }
+        Wide {
+            raw: self.align(frac).raw - rhs.align(frac).raw,
+            frac,
+        }
     }
 
     /// Full-precision multiplication (fractional bit counts add).
     #[inline]
     pub fn mul(self, rhs: Wide) -> Self {
-        Wide { raw: self.raw * rhs.raw, frac: self.frac + rhs.frac }
+        Wide {
+            raw: self.raw * rhs.raw,
+            frac: self.frac + rhs.frac,
+        }
     }
 
     /// Multiply by a small integer constant.
     #[inline]
     pub fn mul_int(self, k: i64) -> Self {
-        Wide { raw: self.raw * k, frac: self.frac }
+        Wide {
+            raw: self.raw * k,
+            frac: self.frac,
+        }
     }
 
     /// Arithmetic shift right (divide by 2^n, floor).
     #[inline]
     pub fn shr(self, n: u32) -> Self {
-        Wide { raw: self.raw >> n, frac: self.frac }
+        Wide {
+            raw: self.raw >> n,
+            frac: self.frac,
+        }
     }
 
     /// Arithmetic shift left (multiply by 2^n).
     #[inline]
     pub fn shl(self, n: u32) -> Self {
-        Wide { raw: self.raw << n, frac: self.frac }
+        Wide {
+            raw: self.raw << n,
+            frac: self.frac,
+        }
     }
 
     /// Negate.
     #[inline]
     pub fn neg(self) -> Self {
-        Wide { raw: -self.raw, frac: self.frac }
+        Wide {
+            raw: -self.raw,
+            frac: self.frac,
+        }
     }
 
     /// Resize to a target format described by `(frac_bits, storage_bits)`;

@@ -1,7 +1,7 @@
 //! Property-based tests for the fixed-point layer.
 
 use izhi_fixed::qformat::{pack_vu, unpack_vu};
-use izhi_fixed::{Q15_16, Q4_11, Q7_8, ResizeMode, Wide};
+use izhi_fixed::{ResizeMode, Wide, Q15_16, Q4_11, Q7_8};
 use proptest::prelude::*;
 
 proptest! {

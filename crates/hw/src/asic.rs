@@ -111,12 +111,13 @@ impl AsicReport {
     /// Generate the report for one library.
     pub fn generate(library: AsicLibrary) -> AsicReport {
         let p = library.params();
-        let block_areas: Vec<(Block, f64)> =
-            CORE_BLOCKS.iter().map(|b| (b.block, b.gates * p.area_per_ge)).collect();
+        let block_areas: Vec<(Block, f64)> = CORE_BLOCKS
+            .iter()
+            .map(|b| (b.block, b.gates * p.area_per_ge))
+            .collect();
         let gates = blocks::core_gates();
         let total_area_um2 = gates * p.area_per_ge * p.fill;
-        let clock_mhz =
-            1e6 / (AsicLibrary::CRITICAL_PATH_GATES * p.gate_delay_ps);
+        let clock_mhz = 1e6 / (AsicLibrary::CRITICAL_PATH_GATES * p.gate_delay_ps);
         let dynamic = p.dyn_mw_per_ge_mhz * gates * clock_mhz;
         let leakage_mw = p.leak_mw_per_ge * gates;
         let internal_mw = dynamic * p.internal_frac;
@@ -140,13 +141,20 @@ impl AsicReport {
 
     /// Area of one block (µm²).
     pub fn block_area(&self, block: Block) -> f64 {
-        self.block_areas.iter().find(|(b, _)| *b == block).map(|&(_, a)| a).unwrap_or(0.0)
+        self.block_areas
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|&(_, a)| a)
+            .unwrap_or(0.0)
     }
 
     /// Fig. 5 view: per-block fraction of placed area.
     pub fn area_fractions(&self) -> Vec<(Block, f64)> {
         let sum: f64 = self.block_areas.iter().map(|&(_, a)| a).sum();
-        self.block_areas.iter().map(|&(b, a)| (b, a / sum)).collect()
+        self.block_areas
+            .iter()
+            .map(|&(b, a)| (b, a / sum))
+            .collect()
     }
 }
 
@@ -161,12 +169,32 @@ mod tests {
     #[test]
     fn freepdk45_matches_table_vii() {
         let r = AsicReport::generate(AsicLibrary::FreePdk45);
-        assert!(close(r.total_area_um2, 95654.664, 1.0), "area {}", r.total_area_um2);
+        assert!(
+            close(r.total_area_um2, 95654.664, 1.0),
+            "area {}",
+            r.total_area_um2
+        );
         assert!(close(r.clock_mhz, 201.5, 1.0), "clock {}", r.clock_mhz);
-        assert!(close(r.total_power_mw, 49.5, 5.0), "power {}", r.total_power_mw);
-        assert!(close(r.throughput_upd_s, 67.6e6, 1.0), "thr {}", r.throughput_upd_s);
-        assert!(close(r.upd_per_s_per_w, 1.371e9, 7.0), "eff {}", r.upd_per_s_per_w);
-        assert!(close(r.peak_neural_ips, 3.022e9, 1.0), "ips {}", r.peak_neural_ips);
+        assert!(
+            close(r.total_power_mw, 49.5, 5.0),
+            "power {}",
+            r.total_power_mw
+        );
+        assert!(
+            close(r.throughput_upd_s, 67.6e6, 1.0),
+            "thr {}",
+            r.throughput_upd_s
+        );
+        assert!(
+            close(r.upd_per_s_per_w, 1.371e9, 7.0),
+            "eff {}",
+            r.upd_per_s_per_w
+        );
+        assert!(
+            close(r.peak_neural_ips, 3.022e9, 1.0),
+            "ips {}",
+            r.peak_neural_ips
+        );
         // Per-block areas are the calibration inputs; sanity only.
         assert!(close(r.block_area(Block::Npu), 19516.154, 1.0));
         assert!(close(r.block_area(Block::Hazard), 146.3, 1.0));
@@ -175,12 +203,32 @@ mod tests {
     #[test]
     fn asap7_matches_table_vii() {
         let r = AsicReport::generate(AsicLibrary::Asap7);
-        assert!(close(r.total_area_um2, 6599.375, 1.0), "area {}", r.total_area_um2);
+        assert!(
+            close(r.total_area_um2, 6599.375, 1.0),
+            "area {}",
+            r.total_area_um2
+        );
         assert!(close(r.clock_mhz, 316.3, 1.0), "clock {}", r.clock_mhz);
-        assert!(close(r.total_power_mw, 10.9, 5.0), "power {}", r.total_power_mw);
-        assert!(close(r.throughput_upd_s, 105.4e6, 1.0), "thr {}", r.throughput_upd_s);
-        assert!(close(r.upd_per_s_per_w, 9.67e9, 7.0), "eff {}", r.upd_per_s_per_w);
-        assert!(close(r.peak_neural_ips, 4.74e9, 1.0), "ips {}", r.peak_neural_ips);
+        assert!(
+            close(r.total_power_mw, 10.9, 5.0),
+            "power {}",
+            r.total_power_mw
+        );
+        assert!(
+            close(r.throughput_upd_s, 105.4e6, 1.0),
+            "thr {}",
+            r.throughput_upd_s
+        );
+        assert!(
+            close(r.upd_per_s_per_w, 9.67e9, 7.0),
+            "eff {}",
+            r.upd_per_s_per_w
+        );
+        assert!(
+            close(r.peak_neural_ips, 4.74e9, 1.0),
+            "ips {}",
+            r.peak_neural_ips
+        );
     }
 
     #[test]
@@ -213,9 +261,11 @@ mod tests {
             let r = AsicReport::generate(lib);
             assert!(r.internal_mw > r.switching_mw);
             assert!(r.switching_mw > r.leakage_mw * 100.0);
-            assert!(
-                close(r.internal_mw + r.switching_mw + r.leakage_mw, r.total_power_mw, 0.1)
-            );
+            assert!(close(
+                r.internal_mw + r.switching_mw + r.leakage_mw,
+                r.total_power_mw,
+                0.1
+            ));
         }
     }
 
@@ -225,7 +275,12 @@ mod tests {
         let sum: f64 = r.area_fractions().iter().map(|&(_, f)| f).sum();
         assert!((sum - 1.0).abs() < 1e-12);
         // NPU ~20 %, DCU < 2 % (the §VI-D claims).
-        let npu = r.area_fractions().iter().find(|(b, _)| *b == Block::Npu).unwrap().1;
+        let npu = r
+            .area_fractions()
+            .iter()
+            .find(|(b, _)| *b == Block::Npu)
+            .unwrap()
+            .1;
         assert!((0.15..=0.25).contains(&npu));
     }
 

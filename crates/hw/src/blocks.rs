@@ -65,14 +65,62 @@ pub struct BlockComplexity {
 /// I-cache + 4 KiB D-cache arrays, 32×32 register file, Q-format multiplier
 /// array in the NPU (five 16/18-bit products → 9-bit slices).
 pub const CORE_BLOCKS: [BlockComplexity; 8] = [
-    BlockComplexity { block: Block::FetchDecode, gates: 16924.0, ffs: 1900.0, mem_bits: 0.0, mult9: 0.0 },
-    BlockComplexity { block: Block::ICache, gates: 10589.0, ffs: 900.0, mem_bits: 36864.0, mult9: 0.0 },
-    BlockComplexity { block: Block::DCache, gates: 12097.0, ffs: 1100.0, mem_bits: 36864.0, mult9: 0.0 },
-    BlockComplexity { block: Block::Hazard, gates: 146.0, ffs: 40.0, mem_bits: 0.0, mult9: 0.0 },
-    BlockComplexity { block: Block::Alu, gates: 19874.0, ffs: 1500.0, mem_bits: 0.0, mult9: 12.0 },
-    BlockComplexity { block: Block::Npu, gates: 19516.0, ffs: 1800.0, mem_bits: 0.0, mult9: 20.0 },
-    BlockComplexity { block: Block::Dcu, gates: 2006.0, ffs: 160.0, mem_bits: 0.0, mult9: 0.0 },
-    BlockComplexity { block: Block::Other, gates: 11449.0, ffs: 5200.0, mem_bits: 0.0, mult9: 2.0 },
+    BlockComplexity {
+        block: Block::FetchDecode,
+        gates: 16924.0,
+        ffs: 1900.0,
+        mem_bits: 0.0,
+        mult9: 0.0,
+    },
+    BlockComplexity {
+        block: Block::ICache,
+        gates: 10589.0,
+        ffs: 900.0,
+        mem_bits: 36864.0,
+        mult9: 0.0,
+    },
+    BlockComplexity {
+        block: Block::DCache,
+        gates: 12097.0,
+        ffs: 1100.0,
+        mem_bits: 36864.0,
+        mult9: 0.0,
+    },
+    BlockComplexity {
+        block: Block::Hazard,
+        gates: 146.0,
+        ffs: 40.0,
+        mem_bits: 0.0,
+        mult9: 0.0,
+    },
+    BlockComplexity {
+        block: Block::Alu,
+        gates: 19874.0,
+        ffs: 1500.0,
+        mem_bits: 0.0,
+        mult9: 12.0,
+    },
+    BlockComplexity {
+        block: Block::Npu,
+        gates: 19516.0,
+        ffs: 1800.0,
+        mem_bits: 0.0,
+        mult9: 20.0,
+    },
+    BlockComplexity {
+        block: Block::Dcu,
+        gates: 2006.0,
+        ffs: 160.0,
+        mem_bits: 0.0,
+        mult9: 0.0,
+    },
+    BlockComplexity {
+        block: Block::Other,
+        gates: 11449.0,
+        ffs: 5200.0,
+        mem_bits: 0.0,
+        mult9: 2.0,
+    },
 ];
 
 /// Total logic gates of one core.

@@ -11,7 +11,7 @@
 use crate::blocks;
 
 /// Resource vector in the units of the respective table.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resources {
     /// Logic elements (MAX10 LEs) or ALMs (Agilex).
     pub logic: f64,
@@ -35,7 +35,7 @@ impl Resources {
 }
 
 /// The two FPGA targets of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FpgaTarget {
     /// Intel MAX10 10M50DAF484C7G on the TerasIC DE10-Lite (30 MHz build).
     Max10,
@@ -97,12 +97,18 @@ impl FpgaTarget {
     /// Agilex).
     pub fn overhead(self) -> Resources {
         match self {
-            FpgaTarget::Max10 => {
-                Resources { logic: 3950.0, ff: 3035.0, memory: 0.0, dsp: 0.0 }
-            }
-            FpgaTarget::Agilex7 => {
-                Resources { logic: 2533.0, ff: 3251.0, memory: 134.0, dsp: 0.0 }
-            }
+            FpgaTarget::Max10 => Resources {
+                logic: 3950.0,
+                ff: 3035.0,
+                memory: 0.0,
+                dsp: 0.0,
+            },
+            FpgaTarget::Agilex7 => Resources {
+                logic: 2533.0,
+                ff: 3251.0,
+                memory: 134.0,
+                dsp: 0.0,
+            },
         }
     }
 
@@ -116,7 +122,7 @@ impl FpgaTarget {
 }
 
 /// A resource-utilisation report for `n_cores` on a target.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaReport {
     /// Target device.
     pub target: FpgaTarget,
@@ -133,7 +139,9 @@ pub struct FpgaReport {
 impl FpgaReport {
     /// Predict utilisation for `n_cores` cores.
     pub fn for_cores(target: FpgaTarget, n_cores: u32) -> FpgaReport {
-        let used = target.overhead().scale_add(&target.per_core(), n_cores as f64);
+        let used = target
+            .overhead()
+            .scale_add(&target.per_core(), n_cores as f64);
         let cap = target.capacity();
         let pct = Resources {
             logic: used.logic / cap.logic * 100.0,
@@ -141,9 +149,14 @@ impl FpgaReport {
             memory: used.memory / cap.memory * 100.0,
             dsp: used.dsp / cap.dsp * 100.0,
         };
-        let fits =
-            pct.logic <= 100.0 && pct.ff <= 100.0 && pct.memory <= 100.0 && pct.dsp <= 100.0;
-        FpgaReport { target, n_cores, used, pct, fits }
+        let fits = pct.logic <= 100.0 && pct.ff <= 100.0 && pct.memory <= 100.0 && pct.dsp <= 100.0;
+        FpgaReport {
+            target,
+            n_cores,
+            used,
+            pct,
+            fits,
+        }
     }
 
     /// The largest core count that fits the device (the paper projects
@@ -194,9 +207,17 @@ mod tests {
             (64, 420977.0, 372741.0, 1158.0, 608.0),
         ] {
             let r = FpgaReport::for_cores(FpgaTarget::Agilex7, n);
-            assert!(close(r.used.logic, alm, 3.0), "{n} cores ALM {}", r.used.logic);
+            assert!(
+                close(r.used.logic, alm, 3.0),
+                "{n} cores ALM {}",
+                r.used.logic
+            );
             assert!(close(r.used.ff, ff, 3.0), "{n} cores FF {}", r.used.ff);
-            assert!(close(r.used.memory, ram, 3.0), "{n} cores RAM {}", r.used.memory);
+            assert!(
+                close(r.used.memory, ram, 3.0),
+                "{n} cores RAM {}",
+                r.used.memory
+            );
             assert!(close(r.used.dsp, dsp, 1.0), "{n} cores DSP {}", r.used.dsp);
             assert!(r.fits);
         }

@@ -118,7 +118,10 @@ pub struct Assembler {
 
 impl Default for Assembler {
     fn default() -> Self {
-        Assembler { text_base: DEFAULT_TEXT_BASE, data_base: DEFAULT_DATA_BASE }
+        Assembler {
+            text_base: DEFAULT_TEXT_BASE,
+            data_base: DEFAULT_DATA_BASE,
+        }
     }
 }
 
@@ -132,11 +135,21 @@ enum Section {
 #[derive(Debug, Clone)]
 enum Item {
     /// One machine instruction (possibly a pseudo expansion slot).
-    Inst { line: usize, addr: u32, mnemonic: String, operands: Vec<String> },
+    Inst {
+        line: usize,
+        addr: u32,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     /// Raw data bytes already resolved in pass 1.
     Bytes { addr: u32, bytes: Vec<u8> },
     /// A `.word`/`.half`/`.byte` whose expressions need pass-2 symbols.
-    Data { line: usize, addr: u32, width: u32, exprs: Vec<String> },
+    Data {
+        line: usize,
+        addr: u32,
+        width: u32,
+        exprs: Vec<String>,
+    },
 }
 
 impl Assembler {
@@ -177,11 +190,17 @@ impl Assembler {
             while let Some(colon) = find_label_colon(&text) {
                 let label = text[..colon].trim().to_string();
                 if !is_ident(&label) {
-                    return Err(AsmError { line, message: format!("bad label `{label}`") });
+                    return Err(AsmError {
+                        line,
+                        message: format!("bad label `{label}`"),
+                    });
                 }
                 let addr = cursor(section, text_cursor, data_cursor);
                 if symbols.insert(label.clone(), addr).is_some() {
-                    return Err(AsmError { line, message: format!("duplicate label `{label}`") });
+                    return Err(AsmError {
+                        line,
+                        message: format!("duplicate label `{label}`"),
+                    });
                 }
                 text = text[colon + 1..].trim().to_string();
             }
@@ -217,13 +236,17 @@ impl Assembler {
                     }
                     "space" | "skip" => {
                         let n = eval_const(rest, line, &symbols)? as u32;
-                        items.push(Item::Bytes { addr: *cur, bytes: vec![0; n as usize] });
+                        items.push(Item::Bytes {
+                            addr: *cur,
+                            bytes: vec![0; n as usize],
+                        });
                         *cur += n;
                     }
                     "equ" | "set" => {
-                        let (name, expr) = rest
-                            .split_once(',')
-                            .ok_or_else(|| AsmError { line, message: ".equ needs name, value".into() })?;
+                        let (name, expr) = rest.split_once(',').ok_or_else(|| AsmError {
+                            line,
+                            message: ".equ needs name, value".into(),
+                        })?;
                         let v = eval_const(expr, line, &symbols)? as u32;
                         symbols.insert(name.trim().to_string(), v);
                     }
@@ -233,10 +256,17 @@ impl Assembler {
                             "half" => 2,
                             _ => 1,
                         };
-                        let exprs: Vec<String> =
-                            split_operands(rest).into_iter().map(|s| s.to_string()).collect();
+                        let exprs: Vec<String> = split_operands(rest)
+                            .into_iter()
+                            .map(|s| s.to_string())
+                            .collect();
                         let n = exprs.len() as u32 * width;
-                        items.push(Item::Data { line, addr: *cur, width, exprs });
+                        items.push(Item::Data {
+                            line,
+                            addr: *cur,
+                            width,
+                            exprs,
+                        });
                         *cur += n;
                     }
                     "global" | "globl" | "section" => { /* accepted, ignored */ }
@@ -251,10 +281,17 @@ impl Assembler {
             }
 
             // An instruction (or pseudo). Determine its encoded size.
-            let operands: Vec<String> =
-                split_operands(rest).into_iter().map(|s| s.to_string()).collect();
+            let operands: Vec<String> = split_operands(rest)
+                .into_iter()
+                .map(|s| s.to_string())
+                .collect();
             let words = pseudo_size(&mnemonic, &operands, &symbols);
-            items.push(Item::Inst { line, addr: *cur, mnemonic, operands });
+            items.push(Item::Inst {
+                line,
+                addr: *cur,
+                mnemonic,
+                operands,
+            });
             *cur += 4 * words;
         }
 
@@ -263,7 +300,12 @@ impl Assembler {
         for item in &items {
             match item {
                 Item::Bytes { addr, bytes } => image.push((*addr, bytes.clone())),
-                Item::Data { line, addr, width, exprs } => {
+                Item::Data {
+                    line,
+                    addr,
+                    width,
+                    exprs,
+                } => {
                     let mut bytes = Vec::with_capacity(exprs.len() * *width as usize);
                     for e in exprs {
                         let v = eval_const(e, *line, &symbols)? as u32;
@@ -271,7 +313,12 @@ impl Assembler {
                     }
                     image.push((*addr, bytes));
                 }
-                Item::Inst { line, addr, mnemonic, operands } => {
+                Item::Inst {
+                    line,
+                    addr,
+                    mnemonic,
+                    operands,
+                } => {
                     let insts = encode_mnemonic(mnemonic, operands, *addr, *line, &symbols)?;
                     let mut bytes = Vec::with_capacity(insts.len() * 4);
                     for i in insts {
@@ -293,12 +340,19 @@ impl Assembler {
                 Some(seg) if seg.base + seg.data.len() as u32 == addr => {
                     seg.data.extend_from_slice(&bytes);
                 }
-                _ => segments.push(Segment { base: addr, data: bytes }),
+                _ => segments.push(Segment {
+                    base: addr,
+                    data: bytes,
+                }),
             }
         }
 
         let entry = symbols.get("_start").copied().unwrap_or(self.text_base);
-        Ok(Program { segments, symbols, entry })
+        Ok(Program {
+            segments,
+            symbols,
+            entry,
+        })
     }
 }
 
@@ -351,8 +405,11 @@ fn find_label_colon(text: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn split_mnemonic(text: &str) -> (&str, &str) {
@@ -399,7 +456,10 @@ struct ExprParser<'a> {
 
 impl<'a> ExprParser<'a> {
     fn err(&self, message: impl Into<String>) -> AsmError {
-        AsmError { line: self.line, message: message.into() }
+        AsmError {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -569,8 +629,7 @@ impl<'a> ExprParser<'a> {
             {
                 self.pos += 1;
             }
-            let text: String =
-                String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
+            let text: String = String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
             let v = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
                 i64::from_str_radix(hex, 16)
             } else if let Some(bin) = text.strip_prefix("0b").or(text.strip_prefix("0B")) {
@@ -601,7 +660,13 @@ impl<'a> ExprParser<'a> {
 }
 
 fn eval_const(expr: &str, line: usize, symbols: &HashMap<String, u32>) -> Result<i64, AsmError> {
-    ExprParser { src: expr.trim().as_bytes(), pos: 0, line, symbols }.parse()
+    ExprParser {
+        src: expr.trim().as_bytes(),
+        pos: 0,
+        line,
+        symbols,
+    }
+    .parse()
 }
 
 /// Can this expression be evaluated without the symbol table? Used in pass 1
@@ -636,7 +701,10 @@ fn pseudo_size(mnemonic: &str, operands: &[String], _symbols: &HashMap<String, u
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    Reg::parse(tok).ok_or_else(|| AsmError { line, message: format!("bad register `{tok}`") })
+    Reg::parse(tok).ok_or_else(|| AsmError {
+        line,
+        message: format!("bad register `{tok}`"),
+    })
 }
 
 /// Parse `imm(reg)` or `(reg)` or `imm` (defaulting the base to x0).
@@ -647,12 +715,17 @@ fn parse_mem(
 ) -> Result<(Reg, i32), AsmError> {
     let tok = tok.trim();
     if let Some(open) = tok.rfind('(') {
-        let close = tok
-            .rfind(')')
-            .ok_or_else(|| AsmError { line, message: format!("missing `)` in `{tok}`") })?;
+        let close = tok.rfind(')').ok_or_else(|| AsmError {
+            line,
+            message: format!("missing `)` in `{tok}`"),
+        })?;
         let base = parse_reg(&tok[open + 1..close], line)?;
         let imm_src = tok[..open].trim();
-        let imm = if imm_src.is_empty() { 0 } else { eval_const(imm_src, line, symbols)? as i32 };
+        let imm = if imm_src.is_empty() {
+            0
+        } else {
+            eval_const(imm_src, line, symbols)? as i32
+        };
         Ok((base, imm))
     } else {
         Ok((Reg::ZERO, eval_const(tok, line, symbols)? as i32))
@@ -688,9 +761,16 @@ fn branch_target(
     let v = eval_const(expr, line, symbols)?;
     // A known symbol (or large value) is absolute; small literals are
     // already pc-relative offsets.
-    let off = if is_pure_literal(expr) { v } else { v - pc as i64 };
+    let off = if is_pure_literal(expr) {
+        v
+    } else {
+        v - pc as i64
+    };
     if off % 2 != 0 {
-        return Err(AsmError { line, message: format!("misaligned branch target {off}") });
+        return Err(AsmError {
+            line,
+            message: format!("misaligned branch target {off}"),
+        });
     }
     Ok(off as i32)
 }
@@ -712,39 +792,71 @@ fn encode_mnemonic(
             AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => {
                 let v = ev(&ops[2])?;
                 if !(0..32).contains(&v) {
-                    return Err(AsmError { line, message: format!("shift amount {v} out of range") });
+                    return Err(AsmError {
+                        line,
+                        message: format!("shift amount {v} out of range"),
+                    });
                 }
                 v as i32
             }
             _ => check_i_imm(ev(&ops[2])?, line, mnemonic)?,
         };
-        Ok(vec![Inst::OpImm { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm }])
+        Ok(vec![Inst::OpImm {
+            op,
+            rd: reg(&ops[0])?,
+            rs1: reg(&ops[1])?,
+            imm,
+        }])
     };
     let alu = |op: AluOp| -> Result<Vec<Inst>, AsmError> {
         expect_ops(3, ops, mnemonic, line)?;
-        Ok(vec![Inst::Op { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? }])
+        Ok(vec![Inst::Op {
+            op,
+            rd: reg(&ops[0])?,
+            rs1: reg(&ops[1])?,
+            rs2: reg(&ops[2])?,
+        }])
     };
     let load = |op: LoadOp| -> Result<Vec<Inst>, AsmError> {
         expect_ops(2, ops, mnemonic, line)?;
         let (rs1, imm) = parse_mem(&ops[1], line, symbols)?;
-        Ok(vec![Inst::Load { op, rd: reg(&ops[0])?, rs1, imm }])
+        Ok(vec![Inst::Load {
+            op,
+            rd: reg(&ops[0])?,
+            rs1,
+            imm,
+        }])
     };
     let store = |op: StoreOp| -> Result<Vec<Inst>, AsmError> {
         expect_ops(2, ops, mnemonic, line)?;
         let (rs1, imm) = parse_mem(&ops[1], line, symbols)?;
-        Ok(vec![Inst::Store { op, rs1, rs2: reg(&ops[0])?, imm }])
+        Ok(vec![Inst::Store {
+            op,
+            rs1,
+            rs2: reg(&ops[0])?,
+            imm,
+        }])
     };
     let branch = |op: BranchOp, swap: bool| -> Result<Vec<Inst>, AsmError> {
         expect_ops(3, ops, mnemonic, line)?;
         let (a, b) = if swap { (1, 0) } else { (0, 1) };
         let imm = branch_target(&ops[2], pc, line, symbols)?;
-        Ok(vec![Inst::Branch { op, rs1: reg(&ops[a])?, rs2: reg(&ops[b])?, imm }])
+        Ok(vec![Inst::Branch {
+            op,
+            rs1: reg(&ops[a])?,
+            rs2: reg(&ops[b])?,
+            imm,
+        }])
     };
     let branch_zero = |op: BranchOp, zero_first: bool| -> Result<Vec<Inst>, AsmError> {
         expect_ops(2, ops, mnemonic, line)?;
         let imm = branch_target(&ops[1], pc, line, symbols)?;
         let r = reg(&ops[0])?;
-        let (rs1, rs2) = if zero_first { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
+        let (rs1, rs2) = if zero_first {
+            (Reg::ZERO, r)
+        } else {
+            (r, Reg::ZERO)
+        };
         Ok(vec![Inst::Branch { op, rs1, rs2, imm }])
     };
     let csr_op = |op: CsrOp, imm_form: bool| -> Result<Vec<Inst>, AsmError> {
@@ -758,12 +870,22 @@ fn encode_mnemonic(
             let uimm = ev(&ops[2])? as u8;
             Ok(vec![Inst::CsrImm { op, rd, uimm, csr }])
         } else {
-            Ok(vec![Inst::Csr { op, rd, rs1: reg(&ops[2])?, csr }])
+            Ok(vec![Inst::Csr {
+                op,
+                rd,
+                rs1: reg(&ops[2])?,
+                csr,
+            }])
         }
     };
     let nm = |op: NmOp| -> Result<Vec<Inst>, AsmError> {
         expect_ops(3, ops, mnemonic, line)?;
-        Ok(vec![Inst::Nm { op, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, rs2: reg(&ops[2])? }])
+        Ok(vec![Inst::Nm {
+            op,
+            rd: reg(&ops[0])?,
+            rs1: reg(&ops[1])?,
+            rs2: reg(&ops[2])?,
+        }])
     };
 
     match mnemonic {
@@ -772,14 +894,28 @@ fn encode_mnemonic(
             expect_ops(2, ops, mnemonic, line)?;
             let v = ev(&ops[1])?;
             // Accept either a 20-bit page number or a full 32-bit value.
-            let imm = if (0..0x100000).contains(&v) { (v as i32) << 12 } else { v as i32 };
-            Ok(vec![Inst::Lui { rd: reg(&ops[0])?, imm }])
+            let imm = if (0..0x100000).contains(&v) {
+                (v as i32) << 12
+            } else {
+                v as i32
+            };
+            Ok(vec![Inst::Lui {
+                rd: reg(&ops[0])?,
+                imm,
+            }])
         }
         "auipc" => {
             expect_ops(2, ops, mnemonic, line)?;
             let v = ev(&ops[1])?;
-            let imm = if (0..0x100000).contains(&v) { (v as i32) << 12 } else { v as i32 };
-            Ok(vec![Inst::Auipc { rd: reg(&ops[0])?, imm }])
+            let imm = if (0..0x100000).contains(&v) {
+                (v as i32) << 12
+            } else {
+                v as i32
+            };
+            Ok(vec![Inst::Auipc {
+                rd: reg(&ops[0])?,
+                imm,
+            }])
         }
         "jal" => match ops.len() {
             1 => {
@@ -788,22 +924,39 @@ fn encode_mnemonic(
             }
             2 => {
                 let imm = branch_target(&ops[1], pc, line, symbols)?;
-                Ok(vec![Inst::Jal { rd: reg(&ops[0])?, imm }])
+                Ok(vec![Inst::Jal {
+                    rd: reg(&ops[0])?,
+                    imm,
+                }])
             }
-            n => Err(AsmError { line, message: format!("`jal` expects 1 or 2 operands, got {n}") }),
+            n => Err(AsmError {
+                line,
+                message: format!("`jal` expects 1 or 2 operands, got {n}"),
+            }),
         },
         "jalr" => match ops.len() {
-            1 => Ok(vec![Inst::Jalr { rd: Reg::RA, rs1: reg(&ops[0])?, imm: 0 }]),
+            1 => Ok(vec![Inst::Jalr {
+                rd: Reg::RA,
+                rs1: reg(&ops[0])?,
+                imm: 0,
+            }]),
             2 => {
                 let (rs1, imm) = parse_mem(&ops[1], line, symbols)?;
-                Ok(vec![Inst::Jalr { rd: reg(&ops[0])?, rs1, imm }])
+                Ok(vec![Inst::Jalr {
+                    rd: reg(&ops[0])?,
+                    rs1,
+                    imm,
+                }])
             }
             3 => Ok(vec![Inst::Jalr {
                 rd: reg(&ops[0])?,
                 rs1: reg(&ops[1])?,
                 imm: check_i_imm(ev(&ops[2])?, line, mnemonic)?,
             }]),
-            n => Err(AsmError { line, message: format!("`jalr` expects 1-3 operands, got {n}") }),
+            n => Err(AsmError {
+                line,
+                message: format!("`jalr` expects 1-3 operands, got {n}"),
+            }),
         },
         "beq" => branch(BranchOp::Eq, false),
         "bne" => branch(BranchOp::Ne, false),
@@ -873,13 +1026,23 @@ fn encode_mnemonic(
         "nmdec" => nm(NmOp::Nmdec),
 
         // --- pseudo-instructions ---
-        "nop" => Ok(vec![Inst::OpImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }]),
+        "nop" => Ok(vec![Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        }]),
         "li" => {
             expect_ops(2, ops, mnemonic, line)?;
             let rd = reg(&ops[0])?;
             let v = ev(&ops[1])? as i32;
             if is_pure_literal(&ops[1]) && (-2048..=2047).contains(&(v as i64)) {
-                Ok(vec![Inst::OpImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm: v }])
+                Ok(vec![Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: v,
+                }])
             } else {
                 Ok(expand_li(rd, v))
             }
@@ -890,23 +1053,48 @@ fn encode_mnemonic(
         }
         "mv" => {
             expect_ops(2, ops, mnemonic, line)?;
-            Ok(vec![Inst::OpImm { op: AluImmOp::Addi, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 0 }])
+            Ok(vec![Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: 0,
+            }])
         }
         "not" => {
             expect_ops(2, ops, mnemonic, line)?;
-            Ok(vec![Inst::OpImm { op: AluImmOp::Xori, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: -1 }])
+            Ok(vec![Inst::OpImm {
+                op: AluImmOp::Xori,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: -1,
+            }])
         }
         "neg" => {
             expect_ops(2, ops, mnemonic, line)?;
-            Ok(vec![Inst::Op { op: AluOp::Sub, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+            Ok(vec![Inst::Op {
+                op: AluOp::Sub,
+                rd: reg(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(&ops[1])?,
+            }])
         }
         "seqz" => {
             expect_ops(2, ops, mnemonic, line)?;
-            Ok(vec![Inst::OpImm { op: AluImmOp::Sltiu, rd: reg(&ops[0])?, rs1: reg(&ops[1])?, imm: 1 }])
+            Ok(vec![Inst::OpImm {
+                op: AluImmOp::Sltiu,
+                rd: reg(&ops[0])?,
+                rs1: reg(&ops[1])?,
+                imm: 1,
+            }])
         }
         "snez" => {
             expect_ops(2, ops, mnemonic, line)?;
-            Ok(vec![Inst::Op { op: AluOp::Sltu, rd: reg(&ops[0])?, rs1: Reg::ZERO, rs2: reg(&ops[1])? }])
+            Ok(vec![Inst::Op {
+                op: AluOp::Sltu,
+                rd: reg(&ops[0])?,
+                rs1: Reg::ZERO,
+                rs2: reg(&ops[1])?,
+            }])
         }
         "j" => {
             expect_ops(1, ops, mnemonic, line)?;
@@ -915,9 +1103,17 @@ fn encode_mnemonic(
         }
         "jr" => {
             expect_ops(1, ops, mnemonic, line)?;
-            Ok(vec![Inst::Jalr { rd: Reg::ZERO, rs1: reg(&ops[0])?, imm: 0 }])
+            Ok(vec![Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: reg(&ops[0])?,
+                imm: 0,
+            }])
         }
-        "ret" => Ok(vec![Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 }]),
+        "ret" => Ok(vec![Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            imm: 0,
+        }]),
         "call" => {
             expect_ops(1, ops, mnemonic, line)?;
             let imm = branch_target(&ops[0], pc, line, symbols)?;
@@ -934,7 +1130,12 @@ fn encode_mnemonic(
                 Some(c) => c,
                 None => ev(&ops[1])? as u16,
             };
-            Ok(vec![Inst::Csr { op: CsrOp::Rs, rd: reg(&ops[0])?, rs1: Reg::ZERO, csr }])
+            Ok(vec![Inst::Csr {
+                op: CsrOp::Rs,
+                rd: reg(&ops[0])?,
+                rs1: Reg::ZERO,
+                csr,
+            }])
         }
         "csrw" => {
             expect_ops(2, ops, mnemonic, line)?;
@@ -942,9 +1143,17 @@ fn encode_mnemonic(
                 Some(c) => c,
                 None => ev(&ops[0])? as u16,
             };
-            Ok(vec![Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: reg(&ops[1])?, csr }])
+            Ok(vec![Inst::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::ZERO,
+                rs1: reg(&ops[1])?,
+                csr,
+            }])
         }
-        _ => Err(AsmError { line, message: format!("unknown mnemonic `{mnemonic}`") }),
+        _ => Err(AsmError {
+            line,
+            message: format!("unknown mnemonic `{mnemonic}`"),
+        }),
     }
 }
 
@@ -954,7 +1163,12 @@ fn expand_li(rd: Reg, v: i32) -> Vec<Inst> {
     let hi = v.wrapping_sub(lo) as u32; // upper 20 bits, compensated
     vec![
         Inst::Lui { rd, imm: hi as i32 },
-        Inst::OpImm { op: AluImmOp::Addi, rd, rs1: rd, imm: lo },
+        Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: rd,
+            imm: lo,
+        },
     ]
 }
 
@@ -995,7 +1209,14 @@ mod tests {
         let i0 = decode(w[0]).unwrap();
         let i1 = decode(w[1]).unwrap();
         match (i0, i1) {
-            (Inst::Lui { imm: hi, .. }, Inst::OpImm { op: AluImmOp::Addi, imm: lo, .. }) => {
+            (
+                Inst::Lui { imm: hi, .. },
+                Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    imm: lo,
+                    ..
+                },
+            ) => {
                 assert_eq!(hi.wrapping_add(lo), 0x12345678);
             }
             other => panic!("unexpected expansion {other:?}"),
@@ -1016,7 +1237,14 @@ mod tests {
 
     #[test]
     fn li_negative_edge_cases() {
-        for v in [-1i32, i32::MIN, i32::MAX, 0x800, -0x801, 0x7FFFF800u32 as i32] {
+        for v in [
+            -1i32,
+            i32::MIN,
+            i32::MAX,
+            0x800,
+            -0x801,
+            0x7FFFF800u32 as i32,
+        ] {
             let p = asm(&format!("li a0, {v}\nebreak"));
             let w = p.words();
             match decode(w[0]).unwrap() {
@@ -1045,7 +1273,11 @@ mod tests {
         let w = p.words();
         // bnez is at index 2 -> pc 8; loop at 4; offset -4.
         match decode(w[2]).unwrap() {
-            Inst::Branch { op: BranchOp::Ne, imm, .. } => assert_eq!(imm, -4),
+            Inst::Branch {
+                op: BranchOp::Ne,
+                imm,
+                ..
+            } => assert_eq!(imm, -4),
             other => panic!("{other:?}"),
         }
         // j done: at pc 12, done at 20, offset 8.
@@ -1125,16 +1357,29 @@ mod tests {
         ");
         let w = p.words();
         assert_eq!(w.len(), 9);
-        assert!(matches!(decode(w[2]).unwrap(), Inst::Nm { op: NmOp::Nmldl, .. }));
+        assert!(matches!(
+            decode(w[2]).unwrap(),
+            Inst::Nm {
+                op: NmOp::Nmldl,
+                ..
+            }
+        ));
         assert!(matches!(
             decode(w[8]).unwrap(),
-            Inst::Nm { op: NmOp::Nmpn, rd: Reg(12), rs1: Reg(16), rs2: Reg(17) }
+            Inst::Nm {
+                op: NmOp::Nmpn,
+                rd: Reg(12),
+                rs1: Reg(16),
+                rs2: Reg(17)
+            }
         ));
     }
 
     #[test]
     fn errors_are_reported_with_lines() {
-        let e = Assembler::new().assemble("nop\nbadop x1, x2\n").unwrap_err();
+        let e = Assembler::new()
+            .assemble("nop\nbadop x1, x2\n")
+            .unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("badop"));
 

@@ -74,14 +74,27 @@ fn imm_j(w: u32) -> i32 {
 pub fn decode(w: u32) -> Result<Inst, DecodeError> {
     let err = Err(DecodeError { word: w });
     let inst = match w & 0x7F {
-        0b0110111 => Inst::Lui { rd: rd(w), imm: imm_u(w) },
-        0b0010111 => Inst::Auipc { rd: rd(w), imm: imm_u(w) },
-        0b1101111 => Inst::Jal { rd: rd(w), imm: imm_j(w) },
+        0b0110111 => Inst::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0b0010111 => Inst::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0b1101111 => Inst::Jal {
+            rd: rd(w),
+            imm: imm_j(w),
+        },
         0b1100111 => {
             if funct3(w) != 0 {
                 return err;
             }
-            Inst::Jalr { rd: rd(w), rs1: rs1(w), imm: imm_i(w) }
+            Inst::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }
         }
         0b1100011 => {
             let op = match funct3(w) {
@@ -93,7 +106,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 0b111 => BranchOp::Geu,
                 _ => return err,
             };
-            Inst::Branch { op, rs1: rs1(w), rs2: rs2(w), imm: imm_b(w) }
+            Inst::Branch {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                imm: imm_b(w),
+            }
         }
         0b0000011 => {
             let op = match funct3(w) {
@@ -104,7 +122,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 0b101 => LoadOp::Lhu,
                 _ => return err,
             };
-            Inst::Load { op, rd: rd(w), rs1: rs1(w), imm: imm_i(w) }
+            Inst::Load {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }
         }
         0b0100011 => {
             let op = match funct3(w) {
@@ -113,7 +136,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 0b010 => StoreOp::Sw,
                 _ => return err,
             };
-            Inst::Store { op, rs1: rs1(w), rs2: rs2(w), imm: imm_s(w) }
+            Inst::Store {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                imm: imm_s(w),
+            }
         }
         0b0010011 => {
             let imm = imm_i(w);
@@ -142,11 +170,21 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                         0b0100000 => AluImmOp::Srai,
                         _ => return err,
                     };
-                    return Ok(Inst::OpImm { op, rd: rd(w), rs1: rs1(w), imm: shamt });
+                    return Ok(Inst::OpImm {
+                        op,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: shamt,
+                    });
                 }
                 _ => return err,
             };
-            Inst::OpImm { op, rd: rd(w), rs1: rs1(w), imm }
+            Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
         }
         0b0110011 => {
             let op = match (funct7(w), funct3(w)) {
@@ -170,7 +208,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 (0b0000001, 0b111) => AluOp::Remu,
                 _ => return err,
             };
-            Inst::Op { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            Inst::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
         }
         0b0001111 => Inst::Fence,
         0b1110011 => match funct3(w) {
@@ -185,7 +228,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                     0b010 => CsrOp::Rs,
                     _ => CsrOp::Rc,
                 };
-                Inst::Csr { op, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 }
+                Inst::Csr {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    csr: (w >> 20) as u16,
+                }
             }
             f3 @ (0b101..=0b111) => {
                 let op = match f3 {
@@ -209,7 +257,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
             if funct7(w) != 0 {
                 return err;
             }
-            Inst::Nm { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+            Inst::Nm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
         }
         _ => return err,
     };
@@ -225,11 +278,21 @@ mod tests {
     fn decode_known_words() {
         assert_eq!(
             decode(0x00500093).unwrap(),
-            Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: 5 }
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 5
+            }
         );
         assert_eq!(
             decode(0x002081B3).unwrap(),
-            Inst::Op { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2)
+            }
         );
         assert_eq!(decode(0x00000073).unwrap(), Inst::Ecall);
         assert_eq!(decode(0x00100073).unwrap(), Inst::Ebreak);
@@ -240,18 +303,32 @@ mod tests {
         // addi x1, x0, -1 = 0xFFF00093
         assert_eq!(
             decode(0xFFF00093).unwrap(),
-            Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: -1 }
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: -1
+            }
         );
         // jal x0, -4
-        let w = encode(Inst::Jal { rd: Reg(0), imm: -4 });
-        assert_eq!(decode(w).unwrap(), Inst::Jal { rd: Reg(0), imm: -4 });
+        let w = encode(Inst::Jal {
+            rd: Reg(0),
+            imm: -4,
+        });
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::Jal {
+                rd: Reg(0),
+                imm: -4
+            }
+        );
     }
 
     #[test]
     fn illegal_words_rejected() {
         assert!(decode(0x0000_0000).is_err()); // all zeros
         assert!(decode(0xFFFF_FFFF).is_err()); // all ones
-        // custom-0 with unassigned funct3
+                                               // custom-0 with unassigned funct3
         let w = (0b111 << 12) | OPCODE_CUSTOM0;
         assert!(decode(w).is_err());
         // custom-0 with nonzero funct7
@@ -262,7 +339,12 @@ mod tests {
     #[test]
     fn branch_offset_roundtrip_extremes() {
         for imm in [-4096, -2048, -4, 4, 2046, 4094] {
-            let i = Inst::Branch { op: BranchOp::Lt, rs1: Reg(3), rs2: Reg(4), imm };
+            let i = Inst::Branch {
+                op: BranchOp::Lt,
+                rs1: Reg(3),
+                rs2: Reg(4),
+                imm,
+            };
             assert_eq!(decode(encode(i)).unwrap(), i, "imm = {imm}");
         }
     }

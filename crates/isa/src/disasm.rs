@@ -126,15 +126,30 @@ mod tests {
     #[test]
     fn renders_expected_syntax() {
         assert_eq!(
-            disassemble(Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: -7 }),
+            disassemble(Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: -7
+            }),
             "addi ra, zero, -7"
         );
         assert_eq!(
-            disassemble(Inst::Load { op: LoadOp::Lw, rd: Reg(10), rs1: Reg(2), imm: 16 }),
+            disassemble(Inst::Load {
+                op: LoadOp::Lw,
+                rd: Reg(10),
+                rs1: Reg(2),
+                imm: 16
+            }),
             "lw a0, 16(sp)"
         );
         assert_eq!(
-            disassemble(Inst::Nm { op: NmOp::Nmpn, rd: Reg(12), rs1: Reg(16), rs2: Reg(17) }),
+            disassemble(Inst::Nm {
+                op: NmOp::Nmpn,
+                rd: Reg(12),
+                rs1: Reg(16),
+                rs2: Reg(17)
+            }),
             "nmpn a2, a6, a7"
         );
         assert_eq!(disassemble(Inst::Ebreak), "ebreak");

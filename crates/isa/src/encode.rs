@@ -150,7 +150,13 @@ pub fn encode(inst: Inst) -> u32 {
                 CsrOp::Rs => 0b110,
                 CsrOp::Rc => 0b111,
             };
-            i_type(OPC_SYSTEM, f3, rd.0 as u32, (uimm & 0x1F) as u32, csr as i32)
+            i_type(
+                OPC_SYSTEM,
+                f3,
+                rd.0 as u32,
+                (uimm & 0x1F) as u32,
+                csr as i32,
+            )
         }
         Inst::Nm { op, rd, rs1, rs2 } => r_type(
             OPCODE_CUSTOM0,
@@ -174,36 +180,78 @@ mod tests {
         // Cross-checked against the RISC-V spec / riscv-tests objdumps.
         // addi x1, x0, 5  ->  0x00500093
         assert_eq!(
-            encode(Inst::OpImm { op: AluImmOp::Addi, rd: Reg(1), rs1: Reg(0), imm: 5 }),
+            encode(Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 5
+            }),
             0x00500093
         );
         // add x3, x1, x2 -> 0x002081B3
         assert_eq!(
-            encode(Inst::Op { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) }),
+            encode(Inst::Op {
+                op: AluOp::Add,
+                rd: Reg(3),
+                rs1: Reg(1),
+                rs2: Reg(2)
+            }),
             0x002081B3
         );
         // lui x5, 0x12345 -> 0x123452B7
-        assert_eq!(encode(Inst::Lui { rd: Reg(5), imm: 0x12345000u32 as i32 }), 0x123452B7);
+        assert_eq!(
+            encode(Inst::Lui {
+                rd: Reg(5),
+                imm: 0x12345000u32 as i32
+            }),
+            0x123452B7
+        );
         // lw x6, 8(x2) -> 0x00812303
         assert_eq!(
-            encode(Inst::Load { op: LoadOp::Lw, rd: Reg(6), rs1: Reg(2), imm: 8 }),
+            encode(Inst::Load {
+                op: LoadOp::Lw,
+                rd: Reg(6),
+                rs1: Reg(2),
+                imm: 8
+            }),
             0x00812303
         );
         // sw x6, 12(x2) -> 0x00612623
         assert_eq!(
-            encode(Inst::Store { op: StoreOp::Sw, rs1: Reg(2), rs2: Reg(6), imm: 12 }),
+            encode(Inst::Store {
+                op: StoreOp::Sw,
+                rs1: Reg(2),
+                rs2: Reg(6),
+                imm: 12
+            }),
             0x00612623
         );
         // beq x1, x2, +16 -> 0x00208863
         assert_eq!(
-            encode(Inst::Branch { op: BranchOp::Eq, rs1: Reg(1), rs2: Reg(2), imm: 16 }),
+            encode(Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                imm: 16
+            }),
             0x00208863
         );
         // jal x1, +2048 -> imm[20|10:1|11|19:12]
-        assert_eq!(encode(Inst::Jal { rd: Reg(1), imm: 2048 }), 0x001000EF);
+        assert_eq!(
+            encode(Inst::Jal {
+                rd: Reg(1),
+                imm: 2048
+            }),
+            0x001000EF
+        );
         // mul x5, x6, x7 -> 0x027302B3
         assert_eq!(
-            encode(Inst::Op { op: AluOp::Mul, rd: Reg(5), rs1: Reg(6), rs2: Reg(7) }),
+            encode(Inst::Op {
+                op: AluOp::Mul,
+                rd: Reg(5),
+                rs1: Reg(6),
+                rs2: Reg(7)
+            }),
             0x027302B3
         );
         // ecall / ebreak
@@ -211,14 +259,24 @@ mod tests {
         assert_eq!(encode(Inst::Ebreak), 0x00100073);
         // csrrs x5, mcycle(0xB00), x0 -> 0xB00022F3
         assert_eq!(
-            encode(Inst::Csr { op: CsrOp::Rs, rd: Reg(5), rs1: Reg(0), csr: 0xB00 }),
+            encode(Inst::Csr {
+                op: CsrOp::Rs,
+                rd: Reg(5),
+                rs1: Reg(0),
+                csr: 0xB00
+            }),
             0xB00022F3
         );
     }
 
     #[test]
     fn custom0_opcode_and_funct3() {
-        let w = encode(Inst::Nm { op: NmOp::Nmpn, rd: Reg(12), rs1: Reg(16), rs2: Reg(17) });
+        let w = encode(Inst::Nm {
+            op: NmOp::Nmpn,
+            rd: Reg(12),
+            rs1: Reg(16),
+            rs2: Reg(17),
+        });
         assert_eq!(w & 0x7F, 0b0001011, "custom-0 opcode per Table I");
         assert_eq!((w >> 12) & 0x7, NmOp::Nmpn.funct3());
         assert_eq!((w >> 7) & 0x1F, 12);
@@ -229,15 +287,30 @@ mod tests {
 
     #[test]
     fn srai_sets_funct7_bit() {
-        let w = encode(Inst::OpImm { op: AluImmOp::Srai, rd: Reg(1), rs1: Reg(2), imm: 4 });
+        let w = encode(Inst::OpImm {
+            op: AluImmOp::Srai,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: 4,
+        });
         assert_eq!((w >> 25) & 0x7F, 0b0100000);
-        let w2 = encode(Inst::OpImm { op: AluImmOp::Srli, rd: Reg(1), rs1: Reg(2), imm: 4 });
+        let w2 = encode(Inst::OpImm {
+            op: AluImmOp::Srli,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: 4,
+        });
         assert_eq!((w2 >> 25) & 0x7F, 0);
     }
 
     #[test]
     fn negative_branch_offset() {
-        let w = encode(Inst::Branch { op: BranchOp::Ne, rs1: Reg(1), rs2: Reg(0), imm: -4 });
+        let w = encode(Inst::Branch {
+            op: BranchOp::Ne,
+            rs1: Reg(1),
+            rs2: Reg(0),
+            imm: -4,
+        });
         // b12 (sign) must be set.
         assert_eq!(w >> 31, 1);
     }

@@ -198,15 +198,40 @@ pub enum Inst {
     /// jalr rd, rs1, offset — indirect jump and link.
     Jalr { rd: Reg, rs1: Reg, imm: i32 },
     /// Conditional branch.
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, imm: i32 },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     /// Memory load.
-    Load { op: LoadOp, rd: Reg, rs1: Reg, imm: i32 },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Memory store.
-    Store { op: StoreOp, rs1: Reg, rs2: Reg, imm: i32 },
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     /// Register-immediate ALU.
-    OpImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Register-register ALU (incl. M extension).
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// fence (treated as a no-op by the in-order core).
     Fence,
     /// ecall — environment call (host services in the simulator).
@@ -214,12 +239,27 @@ pub enum Inst {
     /// ebreak — halts the simulated core.
     Ebreak,
     /// Zicsr register form: csrrw/csrrs/csrrc rd, csr, rs1.
-    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
     /// Zicsr immediate form: csrrwi/csrrsi/csrrci rd, csr, uimm5.
-    CsrImm { op: CsrOp, rd: Reg, uimm: u8, csr: u16 },
+    CsrImm {
+        op: CsrOp,
+        rd: Reg,
+        uimm: u8,
+        csr: u16,
+    },
     /// Custom-0 neuromorphic instruction (R-type operand layout; `nmpn`
     /// additionally treats rd as a source carrying the VU-word address).
-    Nm { op: NmOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Nm {
+        op: NmOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 }
 
 impl Inst {
@@ -298,7 +338,12 @@ mod tests {
 
     #[test]
     fn nmpn_reads_rd_as_source() {
-        let i = Inst::Nm { op: NmOp::Nmpn, rd: Reg::A2, rs1: Reg::A6, rs2: Reg::A7 };
+        let i = Inst::Nm {
+            op: NmOp::Nmpn,
+            rd: Reg::A2,
+            rs1: Reg::A6,
+            rs2: Reg::A7,
+        };
         let srcs = i.sources();
         assert!(srcs.contains(&Some(Reg::A2)));
         assert!(srcs.contains(&Some(Reg::A6)));
@@ -311,7 +356,12 @@ mod tests {
 
     #[test]
     fn x0_dest_is_none() {
-        let i = Inst::OpImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::A0, imm: 1 };
+        let i = Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::A0,
+            imm: 1,
+        };
         assert_eq!(i.dest(), None);
     }
 

@@ -49,7 +49,10 @@ impl Reg {
     /// Index as usize for register-file addressing.
     #[inline]
     pub const fn idx(self) -> usize {
-        self.0 as usize
+        // Masked to the architectural range so indexing a 32-entry
+        // register file compiles without a bounds check (this sits on the
+        // simulator's per-instruction fast path).
+        (self.0 & 31) as usize
     }
 
     /// Parse a register name: `x0`–`x31` or an ABI alias (`zero`, `ra`,
@@ -105,9 +108,9 @@ impl Reg {
     /// Canonical ABI name.
     pub const fn abi_name(self) -> &'static str {
         const NAMES: [&str; 32] = [
-            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2",
-            "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
-            "s10", "s11", "t3", "t4", "t5", "t6",
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
         ];
         NAMES[self.0 as usize]
     }

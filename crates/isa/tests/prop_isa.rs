@@ -36,8 +36,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(AluImmOp::Ori),
         Just(AluImmOp::Andi),
     ];
-    let shift_op =
-        prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)];
+    let shift_op = prop_oneof![
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai)
+    ];
     let alu_op = prop_oneof![
         Just(AluOp::Add),
         Just(AluOp::Sub),
@@ -67,35 +70,74 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     ];
 
     prop_oneof![
-        (arb_reg(), (-(1i32 << 19)..(1 << 19)))
-            .prop_map(|(rd, page)| Inst::Lui { rd, imm: page << 12 }),
-        (arb_reg(), (-(1i32 << 19)..(1 << 19)))
-            .prop_map(|(rd, page)| Inst::Auipc { rd, imm: page << 12 }),
+        (arb_reg(), (-(1i32 << 19)..(1 << 19))).prop_map(|(rd, page)| Inst::Lui {
+            rd,
+            imm: page << 12
+        }),
+        (arb_reg(), (-(1i32 << 19)..(1 << 19))).prop_map(|(rd, page)| Inst::Auipc {
+            rd,
+            imm: page << 12
+        }),
         (arb_reg(), (-(1i32 << 19)..(1 << 19)))
             .prop_map(|(rd, half)| Inst::Jal { rd, imm: half << 1 }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
-        (branch_op, arb_reg(), arb_reg(), (-2048i32..2048))
-            .prop_map(|(op, rs1, rs2, half)| Inst::Branch { op, rs1, rs2, imm: half << 1 }),
-        (load_op, arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(op, rd, rs1, imm)| Inst::Load { op, rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Inst::Jalr {
+            rd,
+            rs1,
+            imm
+        }),
+        (branch_op, arb_reg(), arb_reg(), (-2048i32..2048)).prop_map(|(op, rs1, rs2, half)| {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                imm: half << 1,
+            }
+        }),
+        (load_op, arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(op, rd, rs1, imm)| Inst::Load {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
         (store_op, arb_reg(), arb_reg(), -2048i32..2048)
             .prop_map(|(op, rs1, rs2, imm)| Inst::Store { op, rs1, rs2, imm }),
         (alu_imm_op, arb_reg(), arb_reg(), -2048i32..2048)
             .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (shift_op, arb_reg(), arb_reg(), 0i32..32)
-            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (alu_op, arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (shift_op, arb_reg(), arb_reg(), 0i32..32).prop_map(|(op, rd, rs1, imm)| Inst::OpImm {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
+        (alu_op, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         Just(Inst::Fence),
         Just(Inst::Ecall),
         Just(Inst::Ebreak),
-        (csr_op.clone(), arb_reg(), arb_reg(), any::<u16>().prop_map(|c| c & 0xFFF))
+        (
+            csr_op.clone(),
+            arb_reg(),
+            arb_reg(),
+            any::<u16>().prop_map(|c| c & 0xFFF)
+        )
             .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
-        (csr_op, arb_reg(), 0u8..32, any::<u16>().prop_map(|c| c & 0xFFF))
+        (
+            csr_op,
+            arb_reg(),
+            0u8..32,
+            any::<u16>().prop_map(|c| c & 0xFFF)
+        )
             .prop_map(|(op, rd, uimm, csr)| Inst::CsrImm { op, rd, uimm, csr }),
-        (nm_op, arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Nm { op, rd, rs1, rs2 }),
+        (nm_op, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Nm {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
     ]
 }
 

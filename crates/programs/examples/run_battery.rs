@@ -3,6 +3,9 @@
 fn main() {
     let (failures, console) = izhi_programs::selftest::run_battery();
     print!("{console}");
-    println!("\n{} cases, {failures} failures", izhi_programs::selftest::battery().len());
+    println!(
+        "\n{} cases, {failures} failures",
+        izhi_programs::selftest::battery().len()
+    );
     std::process::exit(if failures == 0 { 0 } else { 1 });
 }

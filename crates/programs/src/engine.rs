@@ -73,7 +73,17 @@ impl EngineConfig {
     pub fn new(n: usize, ticks: u32, n_cores: u32, variant: Variant) -> Self {
         let mut system = SystemConfig::with_cores(n_cores);
         system.sdram_size = 32 * 1024 * 1024;
-        EngineConfig { n, ticks, n_cores, tau: 2, pin: false, variant, sparse: false, scheduled: true, system }
+        EngineConfig {
+            n,
+            ticks,
+            n_cores,
+            tau: 2,
+            pin: false,
+            variant,
+            sparse: false,
+            scheduled: true,
+            system,
+        }
     }
 
     /// Neurons per core (the last core may get fewer).
@@ -155,11 +165,24 @@ impl GuestImage {
                 izhi_fixed::qformat::pack_vu(v, u)
             })
             .collect();
-        GuestImage { params, weights_q, noise_q, init_vu, n, ticks }
+        GuestImage {
+            params,
+            weights_q,
+            noise_q,
+            init_vu,
+            n,
+            ticks,
+        }
     }
 
-    /// Write all tables into simulator memory.
+    /// Write all tables into simulator memory. The big arrays (weights,
+    /// noise) are serialised host-side and uploaded with one bulk copy
+    /// each — at paper scale the seed's per-element `write_u16` loop was a
+    /// visible slice of total workload wall time.
     pub fn load_into(&self, sys: &mut System, cfg: &EngineConfig) {
+        fn le_bytes_u16(values: impl Iterator<Item = u16>) -> Vec<u8> {
+            values.flat_map(u16::to_le_bytes).collect()
+        }
         let variant = cfg.variant;
         let mem = &mut sys.shared_mut().mem;
         for (i, p) in self.params.iter().enumerate() {
@@ -171,12 +194,10 @@ impl GuestImage {
             mem.write_u32(layout::VU + 4 * i as u32, vu);
             mem.write_u32(layout::ISYN + 4 * i as u32, 0);
         }
-        for (i, &w) in self.weights_q.iter().enumerate() {
-            mem.write_u16(layout::WEIGHTS + 2 * i as u32, w as u16);
-        }
-        for (i, &x) in self.noise_q.iter().enumerate() {
-            mem.write_u16(layout::NOISE + 2 * i as u32, x as u16);
-        }
+        let weights = le_bytes_u16(self.weights_q.iter().map(|&w| w as u16));
+        assert!(mem.write_bytes(layout::WEIGHTS, &weights));
+        let noise = le_bytes_u16(self.noise_q.iter().map(|&x| x as u16));
+        assert!(mem.write_bytes(layout::NOISE, &noise));
         if variant == Variant::SoftFloat {
             self.load_f32_mirrors(sys);
         }
@@ -267,7 +288,10 @@ pub struct WorkloadResult {
 impl WorkloadResult {
     /// Execution time in seconds of the measured region (slowest core).
     pub fn exec_time_s(&self) -> f64 {
-        self.metrics.iter().map(|m| m.exec_time_s).fold(0.0, f64::max)
+        self.metrics
+            .iter()
+            .map(|m| m.exec_time_s)
+            .fold(0.0, f64::max)
     }
 
     /// Per-timestep execution time in milliseconds of wall clock.
@@ -278,13 +302,25 @@ impl WorkloadResult {
 
 /// Generate the full engine assembly for a configuration.
 pub fn build_asm(cfg: &EngineConfig) -> String {
-    assert!(cfg.chunk() <= 1024, "spike-list segments hold at most 1024 entries");
-    assert!(cfg.n_cores >= 1 && cfg.n_cores <= 8, "spike-count table sized for 8 cores");
-    assert!(cfg.ticks >= 1 && cfg.ticks < 65536, "spike-log packing uses 16-bit timestamps");
+    assert!(
+        cfg.chunk() <= 1024,
+        "spike-list segments hold at most 1024 entries"
+    );
+    assert!(
+        cfg.n_cores >= 1 && cfg.n_cores <= 8,
+        "spike-count table sized for 8 cores"
+    );
+    assert!(
+        cfg.ticks >= 1 && cfg.ticks < 65536,
+        "spike-log packing uses 16-bit timestamps"
+    );
     assert!((1..=9).contains(&cfg.tau), "DCU τ selector is 1..9");
     let mut s = layout::equ_prelude(cfg.n, cfg.ticks, cfg.n_cores, cfg.tau);
     s.push_str(&format!(".equ CHUNK, {}\n", cfg.chunk()));
-    s.push_str(&format!(".equ NOISE_TICKS, {}\n", layout::noise_period(cfg.n, cfg.ticks)));
+    s.push_str(&format!(
+        ".equ NOISE_TICKS, {}\n",
+        layout::noise_period(cfg.n, cfg.ticks)
+    ));
     s.push_str(&format!(
         ".equ NOISE_TICKS_F32, {}\n",
         layout::noise_period_f32(cfg.n, cfg.ticks)
@@ -298,17 +334,33 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
     s.push_str(SKELETON_LOOP_TOP);
     match cfg.variant {
         Variant::Npu => {
-            s.push_str(if cfg.sparse { PHASE_A_SPARSE } else { PHASE_A_FIXED });
+            s.push_str(if cfg.sparse {
+                PHASE_A_SPARSE
+            } else {
+                PHASE_A_FIXED
+            });
             s.push_str(PHASE_B_HEAD);
-            s.push_str(if cfg.scheduled { PHASE_B_NPU } else { PHASE_B_NPU_NAIVE });
+            s.push_str(if cfg.scheduled {
+                PHASE_B_NPU
+            } else {
+                PHASE_B_NPU_NAIVE
+            });
         }
         Variant::BaseFixed => {
-            s.push_str(if cfg.sparse { PHASE_A_SPARSE } else { PHASE_A_FIXED });
+            s.push_str(if cfg.sparse {
+                PHASE_A_SPARSE
+            } else {
+                PHASE_A_FIXED
+            });
             s.push_str(PHASE_B_HEAD);
             s.push_str(&phase_b_base_fixed(cfg.tau));
         }
         Variant::SoftFloat => {
-            s.push_str(if cfg.sparse { PHASE_A_SPARSE_SOFTFLOAT } else { PHASE_A_SOFTFLOAT });
+            s.push_str(if cfg.sparse {
+                PHASE_A_SPARSE_SOFTFLOAT
+            } else {
+                PHASE_A_SOFTFLOAT
+            });
             s.push_str(PHASE_B_HEAD_F32);
             s.push_str(PHASE_B_SOFTFLOAT_LOOP);
         }
@@ -935,10 +987,10 @@ pub fn run_workload(
     assert!(sys.load_program(&prog), "program load failed");
     image.load_into(&mut sys, cfg);
     let exit = sys.run(max_cycles)?;
-    let raster =
-        SpikeRaster::from_packed(cfg.n as u32, cfg.ticks, &sys.shared().dev.spike_log);
-    let counters: Vec<PerfCounters> =
-        (0..cfg.n_cores as usize).map(|i| sys.core(i).roi_counters()).collect();
+    let raster = SpikeRaster::from_packed(cfg.n as u32, cfg.ticks, &sys.shared().dev.spike_log);
+    let counters: Vec<PerfCounters> = (0..cfg.n_cores as usize)
+        .map(|i| sys.core(i).roi_counters())
+        .collect();
     // One neuron *update* in the paper's Eq.-9 sense is a full 1 ms step;
     // the engine realises it as two 0.5 ms `nmpn` half-steps.
     let metrics = counters
@@ -963,8 +1015,9 @@ mod tests {
     fn tiny_net(n: usize) -> Network {
         // A ring of RS neurons with modest excitatory coupling.
         let params = vec![IzhParams::regular_spiking(); n];
-        let edges =
-            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 3.0)).collect::<Vec<_>>();
+        let edges = (0..n)
+            .map(|i| (i as u32, ((i + 1) % n) as u32, 3.0))
+            .collect::<Vec<_>>();
         Network::from_edges(params, edges)
     }
 
@@ -995,7 +1048,11 @@ mod tests {
         let res = run_tiny(Variant::Npu, 1, 200);
         assert!(!res.raster.spikes.is_empty(), "no spikes at all");
         assert!(res.counters[0].nmpn > 0, "nmpn never retired");
-        assert_eq!(res.counters[0].nmpn, 2 * 20 * 200, "two nmpn per neuron-tick");
+        assert_eq!(
+            res.counters[0].nmpn,
+            2 * 20 * 200,
+            "two nmpn per neuron-tick"
+        );
         assert_eq!(res.counters[0].nmdec, 20 * 200);
     }
 
@@ -1007,7 +1064,10 @@ mod tests {
         let ra = a.raster.spikes.len() as f64;
         let rb = b.raster.spikes.len() as f64;
         assert!(ra > 0.0 && rb > 0.0, "{ra} vs {rb}");
-        assert!((ra - rb).abs() / ra < 0.3, "spike counts diverge: {ra} vs {rb}");
+        assert!(
+            (ra - rb).abs() / ra < 0.3,
+            "spike counts diverge: {ra} vs {rb}"
+        );
     }
 
     #[test]

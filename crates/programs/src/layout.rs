@@ -121,8 +121,8 @@ mod tests {
         assert!(VU + 4 * n <= ISYN);
         assert!(ISYN + 4 * n <= PARAMS);
         assert!(PARAMS + 8 * n <= SPIKE_LISTS);
-        assert!(SPIKE_LISTS + 2 * SPIKE_PARITY_STRIDE <= SPIKE_COUNTS);
-        assert!(SPIKE_COUNTS + 2 * 8 * 4 <= F32_V);
+        const { assert!(SPIKE_LISTS + 2 * SPIKE_PARITY_STRIDE <= SPIKE_COUNTS) };
+        const { assert!(SPIKE_COUNTS + 2 * 8 * 4 <= F32_V) };
         assert!(F32_V + 4 * n <= F32_U);
         assert!(F32_U + 4 * n <= F32_ISYN);
         assert!(F32_ISYN + 4 * n <= F32_PARAMS);
@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn prelude_assembles() {
-        let src = format!("{}\nli a0, VU\nli a1, NOISE_F32\nebreak", equ_prelude(1000, 1000, 2, 2));
+        let src = format!(
+            "{}\nli a0, VU\nli a1, NOISE_F32\nebreak",
+            equ_prelude(1000, 1000, 2, 2)
+        );
         let prog = izhi_isa::Assembler::new().assemble(&src).unwrap();
         assert!(prog.size() > 0);
     }

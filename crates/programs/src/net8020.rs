@@ -44,7 +44,13 @@ impl Net8020Workload {
         let n = net.len();
         let bias = vec![0.0; n];
         let noise_std: Vec<f64> = (0..n)
-            .map(|i| if net.is_excitatory(i) { net.exc_noise } else { net.inh_noise })
+            .map(|i| {
+                if net.is_excitatory(i) {
+                    net.exc_noise
+                } else {
+                    net.inh_noise
+                }
+            })
             .collect();
         let image = GuestImage::from_network(&net.network, &bias, &noise_std, ticks, seed ^ 0xABCD);
         let cfg = EngineConfig::new(n, ticks, n_cores, variant);
@@ -69,7 +75,11 @@ mod tests {
     fn small_8020_runs_and_spikes() {
         let wl = Net8020Workload::sized(80, 20, 300, 1, 5, Variant::Npu);
         let res = wl.run().unwrap();
-        assert!(res.raster.spikes.len() > 50, "only {} spikes", res.raster.spikes.len());
+        assert!(
+            res.raster.spikes.len() > 50,
+            "only {} spikes",
+            res.raster.spikes.len()
+        );
         // Mean rate in a plausible cortical range.
         let rate = res.raster.mean_rate_hz();
         assert!((0.5..=200.0).contains(&rate), "rate = {rate} Hz");
@@ -83,15 +93,21 @@ mod tests {
 
         let mut host = FixedSimulator::new(&wl.net.network, 2, 999);
         for i in 0..wl.net.len() {
-            host.noise_std[i] =
-                if wl.net.is_excitatory(i) { wl.net.exc_noise } else { wl.net.inh_noise };
+            host.noise_std[i] = if wl.net.is_excitatory(i) {
+                wl.net.exc_noise
+            } else {
+                wl.net.inh_noise
+            };
         }
         let host_raster = host.run(600);
 
         let mut f64_host = F64Simulator::new(&wl.net.network, 2, 777);
         for i in 0..wl.net.len() {
-            f64_host.noise_std[i] =
-                if wl.net.is_excitatory(i) { wl.net.exc_noise } else { wl.net.inh_noise };
+            f64_host.noise_std[i] = if wl.net.is_excitatory(i) {
+                wl.net.exc_noise
+            } else {
+                wl.net.inh_noise
+            };
         }
         let f64_raster = f64_host.run(600);
 
@@ -106,14 +122,26 @@ mod tests {
         let hg = IsiHistogram::from_raster(&res.raster, 10, 300);
         let hh = IsiHistogram::from_raster(&host_raster, 10, 300);
         let hf = IsiHistogram::from_raster(&f64_raster, 10, 300);
-        assert!(hg.similarity(&hh) > 0.6, "guest/fixed = {}", hg.similarity(&hh));
-        assert!(hg.similarity(&hf) > 0.5, "guest/f64 = {}", hg.similarity(&hf));
+        assert!(
+            hg.similarity(&hh) > 0.6,
+            "guest/fixed = {}",
+            hg.similarity(&hh)
+        );
+        assert!(
+            hg.similarity(&hf) > 0.5,
+            "guest/f64 = {}",
+            hg.similarity(&hf)
+        );
     }
 
     #[test]
     fn dual_core_speedup_in_expected_band() {
-        let one = Net8020Workload::sized(80, 20, 150, 1, 5, Variant::Npu).run().unwrap();
-        let two = Net8020Workload::sized(80, 20, 150, 2, 5, Variant::Npu).run().unwrap();
+        let one = Net8020Workload::sized(80, 20, 150, 1, 5, Variant::Npu)
+            .run()
+            .unwrap();
+        let two = Net8020Workload::sized(80, 20, 150, 2, 5, Variant::Npu)
+            .run()
+            .unwrap();
         let speedup = one.exec_time_s() / two.exec_time_s();
         // Paper: 1.643x on the full network.
         assert!((1.2..=2.0).contains(&speedup), "speedup {speedup:.3}");

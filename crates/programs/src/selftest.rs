@@ -23,7 +23,11 @@ pub struct SelfTest {
 /// The battery. Each case is independent; ordering is irrelevant.
 pub fn battery() -> Vec<SelfTest> {
     vec![
-        SelfTest { name: "addi_chain", body: "li t0, 0\n addi t0, t0, 100\n addi t0, t0, -42\n", expect: 58 },
+        SelfTest {
+            name: "addi_chain",
+            body: "li t0, 0\n addi t0, t0, 100\n addi t0, t0, -42\n",
+            expect: 58,
+        },
         SelfTest {
             name: "lui_addi_neg",
             body: "li t0, -1\n srli t0, t0, 4\n",
@@ -199,9 +203,7 @@ pub fn battery_asm() -> String {
     let mut body = String::from("_start:\n");
     let mut data = String::from(".data 0x200000\n");
     for (i, t) in battery().iter().enumerate() {
-        data.push_str(&format!(
-            "msg_ok_{i}: .byte 'o','k',' '\nmsg_name_{i}: ",
-        ));
+        data.push_str(&format!("msg_ok_{i}: .byte 'o','k',' '\nmsg_name_{i}: ",));
         for ch in t.name.chars() {
             data.push_str(&format!(".byte '{ch}'\n"));
         }

@@ -214,8 +214,11 @@ pub fn model_fadd(a: u32, b: u32) -> u32 {
     if b & 0x8000_0000 != 0 {
         mb = -mb;
     }
-    let (mut e, m_big, e_small, mut m_small) =
-        if ea >= eb { (ea as i32, ma, eb as i32, mb) } else { (eb as i32, mb, ea as i32, ma) };
+    let (mut e, m_big, e_small, mut m_small) = if ea >= eb {
+        (ea as i32, ma, eb as i32, mb)
+    } else {
+        (eb as i32, mb, ea as i32, ma)
+    };
     let diff = e - e_small;
     let mut m = m_big;
     if diff < 28 {
@@ -228,7 +231,11 @@ pub fn model_fadd(a: u32, b: u32) -> u32 {
         m = m_big;
     }
     let neg = m < 0;
-    let mut mag = if neg { (m as i64).unsigned_abs() as u32 } else { m as u32 };
+    let mut mag = if neg {
+        (m as i64).unsigned_abs() as u32
+    } else {
+        m as u32
+    };
     while mag >= 1 << 27 {
         mag >>= 1;
         e += 1;
@@ -316,11 +323,34 @@ mod tests {
             .collect()
     }
 
+    #[allow(clippy::approx_constant)] // arbitrary probe values, not math constants
     fn interesting_values() -> Vec<f32> {
         vec![
-            0.0, -0.0, 1.0, -1.0, 2.0, 0.5, -0.5, 3.1415926, -2.718, 140.0, 0.04, 5.0,
-            -65.0, 30.0, 1e-3, -1e-3, 1e10, -1e10, 1e-10, 0.75, 123456.78, -0.001953125,
-            16777216.0, 1.0000001, -0.9999999,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            2.0,
+            0.5,
+            -0.5,
+            3.1415926,
+            -2.718,
+            140.0,
+            0.04,
+            5.0,
+            -65.0,
+            30.0,
+            1e-3,
+            -1e-3,
+            1e10,
+            -1e10,
+            1e-10,
+            0.75,
+            123456.78,
+            -0.001953125,
+            16777216.0,
+            1.0000001,
+            -0.9999999,
         ]
     }
 
@@ -337,7 +367,8 @@ mod tests {
         for (i, &(a, b)) in pairs.iter().enumerate() {
             let want = model_fmul(a, b);
             assert_eq!(
-                got[i], want,
+                got[i],
+                want,
                 "fmul({}, {}) = {:#010x}, want {:#010x}",
                 f32::from_bits(a),
                 f32::from_bits(b),
@@ -360,7 +391,8 @@ mod tests {
         for (i, &(a, b)) in pairs.iter().enumerate() {
             let want = model_fadd(a, b);
             assert_eq!(
-                got[i], want,
+                got[i],
+                want,
                 "fadd({}, {}) = {:#010x}, want {:#010x}",
                 f32::from_bits(a),
                 f32::from_bits(b),

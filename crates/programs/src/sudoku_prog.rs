@@ -38,7 +38,14 @@ pub struct SudokuRunResult {
 impl SudokuWorkload {
     /// Prepare a workload for `puzzle` with default WTA parameters.
     pub fn new(puzzle: SudokuGrid, ticks: u32, n_cores: u32, seed: u32) -> Self {
-        Self::with_params(puzzle, WtaParams::default(), ticks, n_cores, seed, Variant::Npu)
+        Self::with_params(
+            puzzle,
+            WtaParams::default(),
+            ticks,
+            n_cores,
+            seed,
+            Variant::Npu,
+        )
     }
 
     /// Full control over WTA parameters and kernel variant.
@@ -63,14 +70,23 @@ impl SudokuWorkload {
         cfg.pin = true; // §V-B: pin voltage improves Sudoku convergence
         cfg.sparse = true; // 29 of 729 targets per neuron: walk CSR rows
         cfg.tau = params.tau; // the WTA search needs the long decay
-        SudokuWorkload { puzzle, wta, image, cfg }
+        SudokuWorkload {
+            puzzle,
+            wta,
+            image,
+            cfg,
+        }
     }
 
     /// Run the guest and decode the raster window by window.
     pub fn run(&self, window: u32) -> Result<SudokuRunResult, SimError> {
         let workload = run_workload(&self.cfg, &self.image, 2_000_000_000_000)?;
         let (solution, solved_at) = self.decode_windows(&workload, window);
-        Ok(SudokuRunResult { solution, solved_at, workload })
+        Ok(SudokuRunResult {
+            solution,
+            solved_at,
+            workload,
+        })
     }
 
     /// Scan consecutive windows of the raster for a valid decoded grid.

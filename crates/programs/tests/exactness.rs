@@ -1,0 +1,104 @@
+//! Cross-crate exactness regression: the batched predecoded `System::run`
+//! must match manual `step_core` single-stepping on the real guest
+//! workloads — the ISA self-test battery and a dual-core engine run —
+//! with identical consoles, spike rasters and `PerfCounters`.
+
+use izhi_isa::Assembler;
+use izhi_programs::engine::{build_asm, EngineConfig, Variant};
+use izhi_programs::net8020::Net8020Workload;
+use izhi_programs::selftest;
+use izhi_sim::{System, SystemConfig};
+
+/// Drive `sys` to completion one instruction at a time with the
+/// event-driven schedule (min local time, lowest hart id on ties).
+fn run_by_single_stepping(sys: &mut System, max_steps: u64) {
+    for _ in 0..max_steps {
+        let mut pick: Option<usize> = None;
+        for i in 0..sys.n_cores() {
+            if sys.core(i).halted() {
+                continue;
+            }
+            match pick {
+                Some(j) if sys.core(j).time <= sys.core(i).time => {}
+                _ => pick = Some(i),
+            }
+        }
+        let Some(i) = pick else {
+            return;
+        };
+        sys.step_core(i).expect("reference stepping trapped");
+    }
+    panic!("reference run did not halt within {max_steps} steps");
+}
+
+fn assert_identical(fast: &System, slow: &System) {
+    for i in 0..fast.n_cores() {
+        assert_eq!(fast.core(i).time, slow.core(i).time, "core {i} clock");
+        assert_eq!(
+            fast.core(i).counters,
+            slow.core(i).counters,
+            "core {i} counters"
+        );
+        assert_eq!(
+            fast.core(i).roi_counters(),
+            slow.core(i).roi_counters(),
+            "core {i} ROI counters"
+        );
+    }
+    assert_eq!(fast.shared().dev.spike_log, slow.shared().dev.spike_log);
+    assert_eq!(fast.console(), slow.console());
+}
+
+#[test]
+fn selftest_battery_run_matches_single_stepping() {
+    let prog = Assembler::new()
+        .assemble(&selftest::battery_asm())
+        .expect("battery assembles");
+    let mut fast = System::new(SystemConfig::default());
+    assert!(fast.load_program(&prog));
+    fast.run(50_000_000).expect("batched run");
+    assert!(
+        fast.console().ends_with('0'),
+        "battery failed:\n{}",
+        fast.console()
+    );
+
+    let mut slow = System::new(SystemConfig::default());
+    assert!(slow.load_program(&prog));
+    run_by_single_stepping(&mut slow, 50_000_000);
+    assert_identical(&fast, &slow);
+}
+
+#[test]
+fn dual_core_engine_run_matches_single_stepping() {
+    // A real (small) 80-20 engine image on two cores: barrier-coupled
+    // phases, spike-log traffic, ROI counters — the full hot path.
+    let wl = Net8020Workload::sized(40, 10, 60, 2, 5, Variant::Npu);
+    let decay = (1.0 - 0.5 / wl.cfg.tau as f64) as f32;
+    let asm = format!(
+        ".equ DECAY_F32, {:#x}\n{}",
+        decay.to_bits(),
+        build_asm(&wl.cfg)
+    );
+    let prog = Assembler::new().assemble(&asm).expect("engine assembles");
+
+    let build = |cfg: &EngineConfig| {
+        let mut sys = System::new(cfg.system.clone());
+        assert!(sys.load_program(&prog));
+        wl.image.load_into(&mut sys, cfg);
+        sys
+    };
+    let mut cfg = wl.cfg.clone();
+    cfg.system.n_cores = cfg.n_cores;
+
+    let mut fast = build(&cfg);
+    fast.run(1_000_000_000).expect("batched run");
+    assert!(
+        !fast.shared().dev.spike_log.is_empty(),
+        "engine produced no spikes — comparison would be vacuous"
+    );
+
+    let mut slow = build(&cfg);
+    run_by_single_stepping(&mut slow, 1_000_000_000);
+    assert_identical(&fast, &slow);
+}

@@ -21,7 +21,10 @@ impl Default for BusTimings {
         // ~30 MHz core talking to single-data-rate SDRAM through an Avalon
         // fabric: row activate + CAS + fabric round trip ≈ 34 cycles to the
         // first word, 4 cycles per streamed word thereafter.
-        BusTimings { first_word: 34, per_word: 4 }
+        BusTimings {
+            first_word: 34,
+            per_word: 4,
+        }
     }
 }
 

@@ -30,7 +30,10 @@ impl Default for CacheConfig {
     fn default() -> Self {
         // The MAX10 build gives each core a few KiB of cache; 4 KiB with
         // 16-byte lines reproduces the paper's hit-rate regime.
-        CacheConfig { size_bytes: 4096, line_bytes: 16 }
+        CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 16,
+        }
     }
 }
 
@@ -48,12 +51,16 @@ pub enum Access {
 }
 
 /// A direct-mapped, write-back, write-allocate cache (tags only).
+///
+/// Each line packs valid bit, dirty bit and tag into one `u32`
+/// ([`Cache::VALID`] | [`Cache::DIRTY`] | tag), so a probe touches one
+/// array slot instead of three parallel ones — this is on the simulator's
+/// per-instruction fast path. Tags fit below bit 30 because
+/// `offset_bits + index_bits >= 2` for every legal geometry.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    tags: Vec<u32>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    lines: Vec<u32>,
     /// Demand accesses that hit.
     pub hits: u64,
     /// Demand accesses that missed.
@@ -65,17 +72,23 @@ pub struct Cache {
 }
 
 impl Cache {
+    /// Line-present bit of a packed line entry.
+    const VALID: u32 = 1 << 31;
+    /// Line-modified bit of a packed line entry.
+    const DIRTY: u32 = 1 << 30;
+
     /// Build an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(
+            cfg.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
         assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 4);
         assert!(cfg.size_bytes >= cfg.line_bytes);
         let lines = cfg.lines();
         Cache {
             cfg,
-            tags: vec![0; lines as usize],
-            valid: vec![false; lines as usize],
-            dirty: vec![false; lines as usize],
+            lines: vec![0; lines as usize],
             hits: 0,
             misses: 0,
             writebacks: 0,
@@ -101,21 +114,20 @@ impl Cache {
     #[inline]
     pub fn access(&mut self, addr: u32, write: bool) -> Access {
         let (index, tag) = self.index_tag(addr);
-        if self.valid[index] && self.tags[index] == tag {
+        let entry = self.lines[index];
+        if entry & !Self::DIRTY == Self::VALID | tag {
             self.hits += 1;
             if write {
-                self.dirty[index] = true;
+                self.lines[index] = entry | Self::DIRTY;
             }
             return Access::Hit;
         }
         self.misses += 1;
-        let writeback = self.valid[index] && self.dirty[index];
+        let writeback = entry & (Self::VALID | Self::DIRTY) == Self::VALID | Self::DIRTY;
         if writeback {
             self.writebacks += 1;
         }
-        self.valid[index] = true;
-        self.tags[index] = tag;
-        self.dirty[index] = write;
+        self.lines[index] = Self::VALID | tag | if write { Self::DIRTY } else { 0 };
         Access::Miss { writeback }
     }
 
@@ -131,11 +143,24 @@ impl Cache {
 
     /// Invalidate everything and clear statistics.
     pub fn reset(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
-        self.dirty.iter_mut().for_each(|v| *v = false);
+        self.lines.iter_mut().for_each(|l| *l = 0);
         self.hits = 0;
         self.misses = 0;
         self.writebacks = 0;
+    }
+
+    /// Read-probe by a precomputed (set, tag) pair. Equivalent to
+    /// `access(addr, false)` for the address that lowered to this pair.
+    #[inline]
+    pub fn probe_read(&mut self, set: usize, tag: u32) -> bool {
+        if self.lines[set] & !Self::DIRTY == Self::VALID | tag {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.lines[set] = Self::VALID | tag;
+            false
+        }
     }
 
     /// Snapshot (hits, misses) — used for ROI deltas.
@@ -149,13 +174,19 @@ mod tests {
     use super::*;
 
     fn small() -> Cache {
-        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 16 }) // 16 lines
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 16,
+        }) // 16 lines
     }
 
     #[test]
     fn cold_miss_then_hits_within_line() {
         let mut c = small();
-        assert!(matches!(c.access(0x100, false), Access::Miss { writeback: false }));
+        assert!(matches!(
+            c.access(0x100, false),
+            Access::Miss { writeback: false }
+        ));
         for off in [0, 4, 8, 12] {
             assert_eq!(c.access(0x100 + off, false), Access::Hit);
         }
@@ -218,6 +249,9 @@ mod tests {
         c.access(0, true);
         c.reset();
         assert_eq!(c.stats(), (0, 0));
-        assert!(matches!(c.access(0, false), Access::Miss { writeback: false }));
+        assert!(matches!(
+            c.access(0, false),
+            Access::Miss { writeback: false }
+        ));
     }
 }

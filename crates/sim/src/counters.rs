@@ -2,7 +2,7 @@
 
 /// Raw event counters accumulated by a core. All counts are cumulative;
 /// region-of-interest (ROI) measurement takes deltas between snapshots.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Core-local clock (cycles).
     pub cycles: u64,
@@ -81,7 +81,7 @@ impl PerfCounters {
 pub const N_IZH_OP: u64 = 19;
 
 /// The derived performance metrics reported in Tables V and VI.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// Cycles in the measured region.
     pub cycles: u64,

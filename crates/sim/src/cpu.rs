@@ -1,17 +1,24 @@
 //! One IzhiRISC-V core: functional RV32IM+Zicsr+custom-0 execution with the
 //! 3-stage-pipeline timing annotations described in the crate docs.
+//!
+//! The hot loop runs on the predecoded instruction stream
+//! ([`crate::predecode`]): fetch is a direct table index plus a
+//! precomputed-set/tag I-cache probe, the hazard test is a shift into the
+//! slot's source-register bitmask, and data accesses classify their region
+//! exactly once, with cache-miss / MMIO / trap handling kept out of line.
 
 use izhi_core::dcu::Dcu;
 use izhi_core::nmregs::NmRegs;
 use izhi_core::npu::NpUnit;
 use izhi_fixed::Q15_16;
-use izhi_isa::inst::{AluImmOp, AluOp, BranchOp, Inst, LoadOp, NmOp, StoreOp};
+use izhi_isa::inst::{LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
 
 use crate::cache::{Access, Cache};
 use crate::counters::PerfCounters;
-use crate::mem::layout::{self, Region};
+use crate::mem::layout;
 use crate::mmio::MmioEffect;
+use crate::predecode::{MicroOp, SlotState, NO_DEST};
 use crate::system::Shared;
 
 /// Why a core stopped abnormally.
@@ -66,6 +73,17 @@ impl core::fmt::Display for TrapCause {
     }
 }
 
+/// Why [`Core::run_while`] returned without a trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunStop {
+    /// The core halted (ebreak / MMIO halt / ecall exit).
+    Halted,
+    /// `time` passed the scheduler bound; another core must run first.
+    Bound,
+    /// `time` passed the caller's cycle budget (timeout).
+    Budget,
+}
+
 /// Hazard class of the previously retired instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PrevKind {
@@ -96,13 +114,23 @@ pub struct Core {
     roi_active: bool,
     roi_base: PerfCounters,
     roi_final: Option<PerfCounters>,
-    prev_kind: PrevKind,
-    prev_dest: Option<Reg>,
+    /// Destination index of the previous instruction when it can stall a
+    /// dependent consumer (load / nm writeback), otherwise [`NO_DEST`].
+    /// A shift into the current slot's source mask replaces the seed's
+    /// `sources()` array scan.
+    prev_stall_dest: u8,
+    /// log2 of the I-cache line size (cached off the geometry).
+    iline_shift: u32,
+    /// The line of the previous fetch: a same-line fetch is a guaranteed
+    /// hit (only this core's fetches mutate its I-cache), skipping the
+    /// tag probe entirely.
+    last_iline: u32,
 }
 
 impl Core {
     /// Create a core with the given caches.
     pub fn new(id: u32, icache: Cache, dcache: Cache) -> Self {
+        let iline_shift = icache.config().line_bytes.trailing_zeros();
         Core {
             id,
             regs: [0; 32],
@@ -116,8 +144,9 @@ impl Core {
             roi_active: false,
             roi_base: PerfCounters::default(),
             roi_final: None,
-            prev_kind: PrevKind::Bypassed,
-            prev_dest: None,
+            prev_stall_dest: NO_DEST,
+            iline_shift,
+            last_iline: u32::MAX,
         }
     }
 
@@ -126,11 +155,12 @@ impl Core {
         self.regs[r.idx()]
     }
 
-    /// Write an architectural register (x0 stays zero).
+    /// Write an architectural register (x0 stays zero). Branchless: the
+    /// write always lands, then x0 is re-zeroed.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u32) {
-        if r != Reg::ZERO {
-            self.regs[r.idx()] = v;
-        }
+        self.regs[r.idx()] = v;
+        self.regs[0] = 0;
     }
 
     /// Current program counter.
@@ -175,76 +205,59 @@ impl Core {
         &self.dcache
     }
 
-    #[inline]
-    fn sdram_size(&self, shared: &Shared) -> u32 {
-        shared.mem.sdram_size()
+    /// I-cache refill: arbitrate for the bus and return the stall cycles.
+    ///
+    /// The cold helpers take exactly the fields they touch (not `&mut
+    /// self`), so the inlined hot path keeps pc/clock/hazard state in
+    /// registers across the miss-branch join points.
+    #[cold]
+    fn icache_refill(time: u64, words: u64, shared: &mut Shared) -> u64 {
+        let done = shared.bus.acquire(time, shared.bus_timings.burst(words));
+        done - time
     }
 
-    /// Fetch timing + functional fetch. Returns (word, extra_cycles).
-    #[inline]
-    fn fetch(&mut self, shared: &mut Shared) -> Result<(u32, u64), TrapCause> {
-        let pc = self.pc;
-        if !pc.is_multiple_of(4) {
-            return Err(TrapCause::BadFetch { pc });
+    /// D-cache refill (+ optional dirty writeback): stall cycles.
+    #[cold]
+    fn dcache_refill(time: u64, words: u64, writeback: bool, shared: &mut Shared) -> u64 {
+        let mut dur = shared.bus_timings.burst(words);
+        if writeback {
+            dur += shared.bus_timings.burst(words);
         }
-        let mut extra = 0u64;
-        match layout::region_of(pc, self.sdram_size(shared), shared.mem.scratch_size()) {
-            Region::Sdram => {
-                match self.icache.access(pc, false) {
-                    Access::Hit => {
-                        self.counters.icache_hits += 1;
-                    }
-                    Access::Miss { .. } => {
-                        self.counters.icache_misses += 1;
-                        let words = self.icache.config().line_words() as u64;
-                        let done = shared.bus.acquire(self.time, shared.bus_timings.burst(words));
-                        extra += done - self.time;
-                    }
-                }
+        let done = shared.bus.acquire(time, dur);
+        done - time
+    }
+
+    /// MMIO access timing: every access arbitrates for the shared Avalon
+    /// bus, so a core spinning on the barrier or streaming the spike log
+    /// steals bandwidth from the other core's cache refills (a classic
+    /// shared-bus effect that bounds the paper's dual-core speedup below 2).
+    #[cold]
+    fn mmio_timing(time: u64, shared: &mut Shared) -> u64 {
+        let done = shared.bus.acquire(time, 4);
+        (done - time).max(2)
+    }
+
+    /// Cached-SDRAM data-access timing (hit: 0 extra cycles). Memory
+    /// stall cycles are accounted here (and on the MMIO paths), so the
+    /// common hit path never touches the counter.
+    #[inline]
+    fn sdram_timing(&mut self, shared: &mut Shared, addr: u32, write: bool) -> u64 {
+        match self.dcache.access(addr, write) {
+            Access::Hit => 0,
+            Access::Miss { writeback } => {
+                let stall = Self::dcache_refill(
+                    self.time,
+                    self.dcache.config().line_words() as u64,
+                    writeback,
+                    shared,
+                );
+                self.counters.mem_stall_cycles += stall;
+                stall
             }
-            Region::Scratch => { /* single-cycle fetch, no cache */ }
-            _ => return Err(TrapCause::BadFetch { pc }),
         }
-        let word = shared.mem.read_u32(pc).ok_or(TrapCause::BadFetch { pc })?;
-        Ok((word, extra))
     }
 
-    /// Data-access timing for `addr`. Returns extra cycles beyond the base
-    /// MEM-stage cycle. Functional access is done by the caller.
     #[inline]
-    fn data_timing(&mut self, shared: &mut Shared, addr: u32, write: bool) -> u64 {
-        self.counters.mem_accesses += 1;
-        match layout::region_of(addr, self.sdram_size(shared), shared.mem.scratch_size()) {
-            Region::Sdram => match self.dcache.access(addr, write) {
-                Access::Hit => {
-                    self.counters.dcache_hits += 1;
-                    0
-                }
-                Access::Miss { writeback } => {
-                    self.counters.dcache_misses += 1;
-                    let words = self.dcache.config().line_words() as u64;
-                    let mut dur = shared.bus_timings.burst(words);
-                    if writeback {
-                        dur += shared.bus_timings.burst(words);
-                    }
-                    let done = shared.bus.acquire(self.time, dur);
-                    done - self.time
-                }
-            },
-            Region::Scratch => 0,
-            // MMIO registers hang off the shared Avalon fabric: every
-            // access arbitrates for the bus, so a core spinning on the
-            // barrier or streaming the spike log steals bandwidth from the
-            // other core's cache refills (a classic shared-bus effect that
-            // bounds the paper's dual-core speedup below 2).
-            Region::Mmio => {
-                let done = shared.bus.acquire(self.time, 4);
-                (done - self.time).max(2)
-            }
-            Region::Unmapped => 0, // caller traps on the functional access
-        }
-    }
-
     fn load(
         &mut self,
         shared: &mut Shared,
@@ -260,22 +273,46 @@ impl Core {
         if !addr.is_multiple_of(size) {
             return Err(TrapCause::Misaligned { pc, addr });
         }
-        let region =
-            layout::region_of(addr, self.sdram_size(shared), shared.mem.scratch_size());
-        if region == Region::Unmapped {
-            return Err(TrapCause::BadAccess { pc, addr, store: false });
-        }
-        let extra = self.data_timing(shared, addr, false);
-        self.counters.loads += 1;
-        let value = if region == Region::Mmio {
-            shared.dev.read(self.id, addr - layout::MMIO_BASE, self.time)
+        // Classify the region exactly once; fall through to one of three
+        // disjoint paths (scratchpad / cached SDRAM / MMIO) ordered by
+        // access frequency, each indexing its backing slice directly.
+        let (value, extra) = if addr.wrapping_sub(layout::SCRATCH_BASE) < shared.mem.scratch_size()
+        {
+            self.counters.loads += 1;
+            let off = addr.wrapping_sub(layout::SCRATCH_BASE) as usize;
+            let value = Self::read_slice(shared.mem.scratch_bytes(), off, op).ok_or(
+                TrapCause::BadAccess {
+                    pc,
+                    addr,
+                    store: false,
+                },
+            )?;
+            (value, 0)
+        } else if addr < shared.mem.sdram_size() {
+            self.counters.loads += 1;
+            let extra = self.sdram_timing(shared, addr, false);
+            let value = Self::read_slice(shared.mem.sdram_bytes(), addr as usize, op).ok_or(
+                TrapCause::BadAccess {
+                    pc,
+                    addr,
+                    store: false,
+                },
+            )?;
+            (value, extra)
+        } else if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
+            self.counters.loads += 1;
+            let extra = Self::mmio_timing(self.time, shared);
+            self.counters.mem_stall_cycles += extra;
+            let value = shared
+                .dev
+                .read(self.id, addr - layout::MMIO_BASE, self.time);
+            (value, extra)
         } else {
-            match op {
-                LoadOp::Lw => shared.mem.read_u32(addr),
-                LoadOp::Lh | LoadOp::Lhu => shared.mem.read_u16(addr).map(u32::from),
-                LoadOp::Lb | LoadOp::Lbu => shared.mem.read_u8(addr).map(u32::from),
-            }
-            .ok_or(TrapCause::BadAccess { pc, addr, store: false })?
+            return Err(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: false,
+            });
         };
         let value = match op {
             LoadOp::Lb => value as u8 as i8 as i32 as u32,
@@ -285,6 +322,40 @@ impl Core {
         Ok((value, extra))
     }
 
+    /// Width-dispatched functional read from an already-classified
+    /// region's backing bytes.
+    #[inline]
+    fn read_slice(buf: &[u8], off: usize, op: LoadOp) -> Option<u32> {
+        match op {
+            LoadOp::Lw => buf
+                .get(off..off + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap())),
+            LoadOp::Lh | LoadOp::Lhu => buf
+                .get(off..off + 2)
+                .map(|b| u32::from(u16::from_le_bytes(b.try_into().unwrap()))),
+            LoadOp::Lb | LoadOp::Lbu => buf.get(off).map(|&b| u32::from(b)),
+        }
+    }
+
+    /// Width-dispatched functional write into an already-classified
+    /// region's backing bytes.
+    #[inline]
+    fn write_slice(buf: &mut [u8], off: usize, value: u32, op: StoreOp) -> bool {
+        match op {
+            StoreOp::Sw => buf.get_mut(off..off + 4).map(|b| {
+                b.copy_from_slice(&value.to_le_bytes());
+            }),
+            StoreOp::Sh => buf.get_mut(off..off + 2).map(|b| {
+                b.copy_from_slice(&(value as u16).to_le_bytes());
+            }),
+            StoreOp::Sb => buf.get_mut(off).map(|b| {
+                *b = value as u8;
+            }),
+        }
+        .is_some()
+    }
+
+    #[inline]
     fn store(
         &mut self,
         shared: &mut Shared,
@@ -301,294 +372,519 @@ impl Core {
         if !addr.is_multiple_of(size) {
             return Err(TrapCause::Misaligned { pc, addr });
         }
-        let region =
-            layout::region_of(addr, self.sdram_size(shared), shared.mem.scratch_size());
-        if region == Region::Unmapped {
-            return Err(TrapCause::BadAccess { pc, addr, store: true });
-        }
-        let extra = self.data_timing(shared, addr, true);
-        self.counters.stores += 1;
-        let mut effect = MmioEffect::None;
-        if region == Region::Mmio {
-            effect = shared.dev.write(self.id, addr - layout::MMIO_BASE, value);
-        } else {
-            let ok = match op {
-                StoreOp::Sw => shared.mem.write_u32(addr, value),
-                StoreOp::Sh => shared.mem.write_u16(addr, value as u16),
-                StoreOp::Sb => shared.mem.write_u8(addr, value as u8),
-            };
-            if !ok {
-                return Err(TrapCause::BadAccess { pc, addr, store: true });
+        // Same single classification as `load`, ordered by access
+        // frequency: scratch, then cached SDRAM, then MMIO, then the trap.
+        let in_scratch = addr.wrapping_sub(layout::SCRATCH_BASE) < shared.mem.scratch_size();
+        if !in_scratch && addr >= shared.mem.sdram_size() {
+            if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
+                self.counters.stores += 1;
+                let extra = Self::mmio_timing(self.time, shared);
+                self.counters.mem_stall_cycles += extra;
+                let effect = shared.dev.write(self.id, addr - layout::MMIO_BASE, value);
+                return Ok((extra, effect));
             }
+            return Err(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: true,
+            });
         }
-        Ok((extra, effect))
+        self.counters.stores += 1;
+        let (extra, ok) = if in_scratch {
+            let off = addr.wrapping_sub(layout::SCRATCH_BASE) as usize;
+            (
+                0,
+                Self::write_slice(shared.mem.scratch_bytes_mut(), off, value, op),
+            )
+        } else {
+            let extra = self.sdram_timing(shared, addr, true);
+            (
+                extra,
+                Self::write_slice(shared.mem.sdram_bytes_mut(), addr as usize, value, op),
+            )
+        };
+        if !ok {
+            return Err(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: true,
+            });
+        }
+        // Store-to-code guard: writing into a predecoded window forces a
+        // re-decode of the covered slot on its next fetch.
+        shared.code.invalidate_store(addr);
+        Ok((extra, MmioEffect::None))
+    }
+
+    /// Mirror the derivable counters (clock, cache stats, access totals)
+    /// into `PerfCounters`. Called once per batch / step / ROI event, so
+    /// the per-instruction path never touches them.
+    fn sync_counters(&mut self) {
+        self.counters.cycles = self.time;
+        (self.counters.icache_hits, self.counters.icache_misses) = self.icache.stats();
+        (self.counters.dcache_hits, self.counters.dcache_misses) = self.dcache.stats();
+        self.counters.mem_accesses = self.counters.loads + self.counters.stores;
+    }
+
+    /// Hazard class of an nm instruction's register-file writeback: the
+    /// paper's proposed CSR-writeback fix removes the stall entirely.
+    #[inline]
+    fn nm_kind(&self, shared: &Shared) -> PrevKind {
+        if shared.csr_writeback {
+            PrevKind::Bypassed
+        } else {
+            PrevKind::NmWriteback
+        }
     }
 
     fn csr_read(&self, csr: u16) -> u32 {
         match csr {
-            0xB00 => self.time as u32,          // mcycle
-            0xB80 => (self.time >> 32) as u32,  // mcycleh
+            0xB00 => self.time as u32,             // mcycle
+            0xB80 => (self.time >> 32) as u32,     // mcycleh
             0xB02 => self.counters.instret as u32, // minstret
             0xB82 => (self.counters.instret >> 32) as u32,
-            0xF14 => self.id,                   // mhartid
+            0xF14 => self.id, // mhartid
             _ => 0,
         }
     }
 
+    /// Trap for a failed fetch (illegal encoding or unmapped pc).
+    #[cold]
+    fn fetch_trap(state: SlotState, pc: u32, mem: &crate::mem::MainMemory) -> TrapCause {
+        if state == SlotState::Illegal {
+            TrapCause::IllegalInstruction {
+                pc,
+                word: mem.read_u32(pc).unwrap_or(0),
+            }
+        } else {
+            TrapCause::BadFetch { pc }
+        }
+    }
+
+    /// `ecall` host services (kept out of line: the string-formatting
+    /// machinery would otherwise bloat the interpreter's stack frame).
+    #[cold]
+    fn ecall(&mut self, shared: &mut Shared) {
+        // Minimal host services, newlib-free.
+        match self.reg(Reg::A7) {
+            0 | 93 => self.halted = true,
+            1 => {
+                let s = (self.reg(Reg::A0) as i32).to_string();
+                shared.dev.console.extend_from_slice(s.as_bytes());
+            }
+            2 => shared.dev.console.push(self.reg(Reg::A0) as u8),
+            3 => {
+                let s = format!("{:#010x}", self.reg(Reg::A0));
+                shared.dev.console.extend_from_slice(s.as_bytes());
+            }
+            _ => {}
+        }
+    }
+
     /// Execute one instruction; advances the local clock by its full cost.
-    #[allow(clippy::too_many_lines)]
     pub fn step(&mut self, shared: &mut Shared) -> Result<(), TrapCause> {
         if self.halted {
             return Ok(());
         }
-        let pc = self.pc;
-        let (word, fetch_extra) = self.fetch(shared)?;
-        let inst = shared
-            .decode_cached(pc, word)
-            .ok_or(TrapCause::IllegalInstruction { pc, word })?;
+        let out = self.exec_one(shared);
+        self.sync_counters();
+        out
+    }
 
-        let mut extra = fetch_extra;
-
-        // Hazard stall: previous load / nm instruction feeding this one.
-        let stall = match self.prev_kind {
-            PrevKind::Bypassed => 0,
-            PrevKind::Load | PrevKind::NmWriteback => {
-                if let Some(dest) = self.prev_dest {
-                    u64::from(inst.sources().contains(&Some(dest)))
+    /// The batched hot loop: execute instructions while `time <= bound`,
+    /// stopping on halt, trap or cycle budget. Keeping the loop inside one
+    /// call lets the compiler hold pc/clock/hazard state in registers
+    /// across instructions instead of spilling them at every `step`
+    /// boundary — `System::run` drives cores exclusively through this.
+    ///
+    /// All three conditions are checked *before* each instruction, in the
+    /// order halt, bound, budget, so a sequence of `run_while` batches is
+    /// instruction-for-instruction identical to single-stepping.
+    pub(crate) fn run_while(
+        &mut self,
+        shared: &mut Shared,
+        bound: u64,
+        max_cycles: u64,
+    ) -> Result<RunStop, TrapCause> {
+        let stop = bound.min(max_cycles);
+        let run = loop {
+            if self.halted {
+                break Ok(RunStop::Halted);
+            }
+            let t = self.time;
+            if t > stop {
+                // One fused comparison per instruction; the cause is only
+                // disambiguated here, on exit.
+                break Ok(if t > bound {
+                    RunStop::Bound
                 } else {
-                    0
-                }
+                    RunStop::Budget
+                });
+            }
+            if let Err(cause) = self.exec_one(shared) {
+                break Err(cause);
             }
         };
-        self.counters.hazard_stalls += stall;
-        extra += stall;
+        // The derivable counters are mirrored once per batch (and at the
+        // ROI markers), not once per instruction.
+        self.sync_counters();
+        run
+    }
+
+    /// Execute exactly one (non-halted) instruction.
+    #[inline(always)]
+    #[allow(clippy::too_many_lines)]
+    fn exec_one(&mut self, shared: &mut Shared) -> Result<(), TrapCause> {
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Err(TrapCause::BadFetch { pc });
+        }
+        // Predecoded fetch: direct table index; decode cost only on the
+        // first execution of a (possibly store-invalidated) slot. The
+        // slot state carries the predecoded region class; the flat
+        // MicroOp needs a single dispatch. Destructured straight into
+        // scalars so the 16-byte slot never round-trips through a stack
+        // temporary.
+        let crate::predecode::PreInst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+            src_mask,
+            dest,
+            state,
+        } = shared.code.fetch(pc, &shared.mem);
+        let mut extra = 0u64;
+        match state {
+            SlotState::Sdram => {
+                // Same line as the previous fetch => guaranteed hit (only
+                // this core's own fetches mutate its I-cache); otherwise a
+                // packed tag probe. Statistics live in the cache model and
+                // are mirrored into PerfCounters at sync points.
+                let line = pc >> self.iline_shift;
+                if line == self.last_iline {
+                    self.icache.hits += 1;
+                } else {
+                    self.last_iline = line;
+                    if self.icache.access(pc, false) != Access::Hit {
+                        extra += Self::icache_refill(
+                            self.time,
+                            self.icache.config().line_words() as u64,
+                            shared,
+                        );
+                    }
+                }
+            }
+            SlotState::Scratch => {}
+            _ => return Err(Self::fetch_trap(state, pc, &shared.mem)),
+        }
+
+        // Hazard stall: previous load / nm instruction feeding this one
+        // (one shift into the predecoded source-register mask; the u64
+        // widening makes the NO_DEST sentinel shift out to zero).
+        let stall = (u64::from(src_mask) >> self.prev_stall_dest) & 1;
+        if stall != 0 {
+            self.counters.hazard_stalls += stall;
+            extra += stall;
+        }
 
         let mut next_pc = pc.wrapping_add(4);
-        let mut taken = false;
         let mut effect = MmioEffect::None;
         let mut kind = PrevKind::Bypassed;
+        let (rd, rs1, rs2) = (Reg(rd), Reg(rs1), Reg(rs2));
+        // Branch resolved in EX: one wrong-path fetch squashed per taken
+        // branch/jump; accounted inside the taken arms.
+        let mut flushes = 0u64;
 
-        match inst {
-            Inst::Lui { rd, imm } => self.set_reg(rd, imm as u32),
-            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm as u32)),
-            Inst::Jal { rd, imm } => {
+        match op {
+            MicroOp::Lui => self.set_reg(rd, imm as u32),
+            // auipc's value was fully resolved at predecode (pc is static).
+            MicroOp::Auipc => self.set_reg(rd, imm as u32),
+            MicroOp::Jal => {
                 self.set_reg(rd, pc.wrapping_add(4));
-                next_pc = pc.wrapping_add(imm as u32);
-                taken = true;
+                next_pc = imm as u32; // absolute target, pre-resolved
+                flushes = 1;
             }
-            Inst::Jalr { rd, rs1, imm } => {
+            MicroOp::Jalr => {
                 let target = self.reg(rs1).wrapping_add(imm as u32) & !1;
                 self.set_reg(rd, pc.wrapping_add(4));
                 next_pc = target;
-                taken = true;
+                flushes = 1;
             }
-            Inst::Branch { op, rs1, rs2, imm } => {
-                let a = self.reg(rs1);
-                let b = self.reg(rs2);
-                let t = match op {
-                    BranchOp::Eq => a == b,
-                    BranchOp::Ne => a != b,
-                    BranchOp::Lt => (a as i32) < (b as i32),
-                    BranchOp::Ge => (a as i32) >= (b as i32),
-                    BranchOp::Ltu => a < b,
-                    BranchOp::Geu => a >= b,
-                };
-                if t {
-                    next_pc = pc.wrapping_add(imm as u32);
-                    taken = true;
+            MicroOp::Beq => {
+                if self.reg(rs1) == self.reg(rs2) {
+                    next_pc = imm as u32;
+                    flushes = 1;
                 }
             }
-            Inst::Load { op, rd, rs1, imm } => {
+            MicroOp::Bne => {
+                if self.reg(rs1) != self.reg(rs2) {
+                    next_pc = imm as u32;
+                    flushes = 1;
+                }
+            }
+            MicroOp::Blt => {
+                if (self.reg(rs1) as i32) < (self.reg(rs2) as i32) {
+                    next_pc = imm as u32;
+                    flushes = 1;
+                }
+            }
+            MicroOp::Bge => {
+                if (self.reg(rs1) as i32) >= (self.reg(rs2) as i32) {
+                    next_pc = imm as u32;
+                    flushes = 1;
+                }
+            }
+            MicroOp::Bltu => {
+                if self.reg(rs1) < self.reg(rs2) {
+                    next_pc = imm as u32;
+                    flushes = 1;
+                }
+            }
+            MicroOp::Bgeu => {
+                if self.reg(rs1) >= self.reg(rs2) {
+                    next_pc = imm as u32;
+                    flushes = 1;
+                }
+            }
+            MicroOp::Lb | MicroOp::Lh | MicroOp::Lw | MicroOp::Lbu | MicroOp::Lhu => {
+                // Linear discriminants: this mapping lowers to arithmetic,
+                // not a second jump. (Splitting into one arm per width
+                // measured slower — the duplicated bodies blow the I-cache.)
+                let lop = match op {
+                    MicroOp::Lb => LoadOp::Lb,
+                    MicroOp::Lh => LoadOp::Lh,
+                    MicroOp::Lw => LoadOp::Lw,
+                    MicroOp::Lbu => LoadOp::Lbu,
+                    _ => LoadOp::Lhu,
+                };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (value, mem_extra) = self.load(shared, addr, op, pc)?;
+                let (value, mem_extra) = self.load(shared, addr, lop, pc)?;
                 self.set_reg(rd, value);
                 extra += mem_extra;
-                self.counters.mem_stall_cycles += mem_extra;
                 kind = PrevKind::Load;
             }
-            Inst::Store { op, rs1, rs2, imm } => {
+            MicroOp::Sb | MicroOp::Sh | MicroOp::Sw => {
+                let sop = match op {
+                    MicroOp::Sb => StoreOp::Sb,
+                    MicroOp::Sh => StoreOp::Sh,
+                    _ => StoreOp::Sw,
+                };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (mem_extra, eff) = self.store(shared, addr, self.reg(rs2), op, pc)?;
+                let (mem_extra, eff) = self.store(shared, addr, self.reg(rs2), sop, pc)?;
                 extra += mem_extra;
-                self.counters.mem_stall_cycles += mem_extra;
                 effect = eff;
             }
-            Inst::OpImm { op, rd, rs1, imm } => {
-                let a = self.reg(rs1);
-                let v = match op {
-                    AluImmOp::Addi => a.wrapping_add(imm as u32),
-                    AluImmOp::Slti => u32::from((a as i32) < imm),
-                    AluImmOp::Sltiu => u32::from(a < imm as u32),
-                    AluImmOp::Xori => a ^ imm as u32,
-                    AluImmOp::Ori => a | imm as u32,
-                    AluImmOp::Andi => a & imm as u32,
-                    AluImmOp::Slli => a << (imm & 0x1F),
-                    AluImmOp::Srli => a >> (imm & 0x1F),
-                    AluImmOp::Srai => ((a as i32) >> (imm & 0x1F)) as u32,
+            MicroOp::Addi => {
+                let v = self.reg(rs1).wrapping_add(imm as u32);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Slti => {
+                let v = u32::from((self.reg(rs1) as i32) < imm);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Sltiu => {
+                let v = u32::from(self.reg(rs1) < imm as u32);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Xori => {
+                let v = self.reg(rs1) ^ imm as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Ori => {
+                let v = self.reg(rs1) | imm as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Andi => {
+                let v = self.reg(rs1) & imm as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Slli => {
+                let v = self.reg(rs1) << (imm & 0x1F);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Srli => {
+                let v = self.reg(rs1) >> (imm & 0x1F);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Srai => {
+                let v = ((self.reg(rs1) as i32) >> (imm & 0x1F)) as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Add => {
+                let v = self.reg(rs1).wrapping_add(self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            MicroOp::Sub => {
+                let v = self.reg(rs1).wrapping_sub(self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            MicroOp::Sll => {
+                let v = self.reg(rs1) << (self.reg(rs2) & 0x1F);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Slt => {
+                let v = u32::from((self.reg(rs1) as i32) < (self.reg(rs2) as i32));
+                self.set_reg(rd, v);
+            }
+            MicroOp::Sltu => {
+                let v = u32::from(self.reg(rs1) < self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            MicroOp::Xor => {
+                let v = self.reg(rs1) ^ self.reg(rs2);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Srl => {
+                let v = self.reg(rs1) >> (self.reg(rs2) & 0x1F);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Sra => {
+                let v = ((self.reg(rs1) as i32) >> (self.reg(rs2) & 0x1F)) as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Or => {
+                let v = self.reg(rs1) | self.reg(rs2);
+                self.set_reg(rd, v);
+            }
+            MicroOp::And => {
+                let v = self.reg(rs1) & self.reg(rs2);
+                self.set_reg(rd, v);
+            }
+            MicroOp::Mul => {
+                let v = self.reg(rs1).wrapping_mul(self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            MicroOp::Mulh => {
+                let v = ((self.reg(rs1) as i32 as i64).wrapping_mul(self.reg(rs2) as i32 as i64)
+                    >> 32) as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Mulhsu => {
+                let v =
+                    ((self.reg(rs1) as i32 as i64).wrapping_mul(self.reg(rs2) as i64) >> 32) as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Mulhu => {
+                let v = ((self.reg(rs1) as u64 * self.reg(rs2) as u64) >> 32) as u32;
+                self.set_reg(rd, v);
+            }
+            MicroOp::Div => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                extra += shared.div_latency;
+                self.counters.div_stall_cycles += shared.div_latency;
+                let v = if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a // overflow: -2^31 / -1
+                } else {
+                    ((a as i32) / (b as i32)) as u32
                 };
                 self.set_reg(rd, v);
             }
-            Inst::Op { op, rd, rs1, rs2 } => {
-                let a = self.reg(rs1);
-                let b = self.reg(rs2);
-                let v = match op {
-                    AluOp::Add => a.wrapping_add(b),
-                    AluOp::Sub => a.wrapping_sub(b),
-                    AluOp::Sll => a << (b & 0x1F),
-                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
-                    AluOp::Sltu => u32::from(a < b),
-                    AluOp::Xor => a ^ b,
-                    AluOp::Srl => a >> (b & 0x1F),
-                    AluOp::Sra => ((a as i32) >> (b & 0x1F)) as u32,
-                    AluOp::Or => a | b,
-                    AluOp::And => a & b,
-                    AluOp::Mul => a.wrapping_mul(b),
-                    AluOp::Mulh => {
-                        ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32
-                    }
-                    AluOp::Mulhsu => ((a as i32 as i64).wrapping_mul(b as i64) >> 32) as u32,
-                    AluOp::Mulhu => ((a as u64 * b as u64) >> 32) as u32,
-                    AluOp::Div => {
-                        extra += shared.div_latency;
-                        self.counters.div_stall_cycles += shared.div_latency;
-                        if b == 0 {
-                            u32::MAX
-                        } else if a == 0x8000_0000 && b == u32::MAX {
-                            a // overflow: -2^31 / -1
-                        } else {
-                            ((a as i32) / (b as i32)) as u32
-                        }
-                    }
-                    AluOp::Divu => {
-                        extra += shared.div_latency;
-                        self.counters.div_stall_cycles += shared.div_latency;
-                        a.checked_div(b).unwrap_or(u32::MAX)
-                    }
-                    AluOp::Rem => {
-                        extra += shared.div_latency;
-                        self.counters.div_stall_cycles += shared.div_latency;
-                        if b == 0 {
-                            a
-                        } else if a == 0x8000_0000 && b == u32::MAX {
-                            0
-                        } else {
-                            ((a as i32) % (b as i32)) as u32
-                        }
-                    }
-                    AluOp::Remu => {
-                        extra += shared.div_latency;
-                        self.counters.div_stall_cycles += shared.div_latency;
-                        if b == 0 {
-                            a
-                        } else {
-                            a % b
-                        }
-                    }
+            MicroOp::Divu => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                extra += shared.div_latency;
+                self.counters.div_stall_cycles += shared.div_latency;
+                self.set_reg(rd, a.checked_div(b).unwrap_or(u32::MAX));
+            }
+            MicroOp::Rem => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                extra += shared.div_latency;
+                self.counters.div_stall_cycles += shared.div_latency;
+                let v = if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32) % (b as i32)) as u32
                 };
                 self.set_reg(rd, v);
             }
-            Inst::Fence => {}
-            Inst::Ecall => {
-                // Minimal host services, newlib-free.
-                match self.reg(Reg::A7) {
-                    0 | 93 => self.halted = true,
-                    1 => {
-                        let s = (self.reg(Reg::A0) as i32).to_string();
-                        shared.dev.console.extend_from_slice(s.as_bytes());
-                    }
-                    2 => shared.dev.console.push(self.reg(Reg::A0) as u8),
-                    3 => {
-                        let s = format!("{:#010x}", self.reg(Reg::A0));
-                        shared.dev.console.extend_from_slice(s.as_bytes());
-                    }
-                    _ => {}
-                }
+            MicroOp::Remu => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                extra += shared.div_latency;
+                self.counters.div_stall_cycles += shared.div_latency;
+                self.set_reg(rd, if b == 0 { a } else { a % b });
             }
-            Inst::Ebreak => self.halted = true,
-            Inst::Csr { op, rd, rs1, csr } => {
-                let old = self.csr_read(csr);
+            MicroOp::Fence => {}
+            MicroOp::Ecall => self.ecall(shared),
+            MicroOp::Ebreak => self.halted = true,
+            MicroOp::Csr => {
+                let old = self.csr_read(imm as u16);
                 self.set_reg(rd, old);
-                // Counter CSRs are read-only here; set/clear/write dropped.
-                let _ = (op, rs1);
             }
-            Inst::CsrImm { op, rd, uimm, csr } => {
-                let old = self.csr_read(csr);
-                self.set_reg(rd, old);
-                let _ = (op, uimm);
+            MicroOp::Nmldl => {
+                let ok = self.nmregs.exec_nmldl(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, ok);
+                self.counters.nmldl += 1;
+                kind = self.nm_kind(shared);
             }
-            Inst::Nm { op, rd, rs1, rs2 } => {
-                match op {
-                    NmOp::Nmldl => {
-                        let ok = self.nmregs.exec_nmldl(self.reg(rs1), self.reg(rs2));
-                        self.set_reg(rd, ok);
-                        self.counters.nmldl += 1;
-                        kind = PrevKind::NmWriteback;
-                    }
-                    NmOp::Nmldh => {
-                        let ok = self.nmregs.exec_nmldh(self.reg(rs1));
-                        self.set_reg(rd, ok);
-                        self.counters.nmldh += 1;
-                        kind = PrevKind::NmWriteback;
-                    }
-                    NmOp::Nmpn => {
-                        let vu = self.reg(rs1);
-                        let isyn = Q15_16::from_raw(self.reg(rs2) as i32);
-                        let addr = self.reg(rd);
-                        let out = NpUnit::update(&self.nmregs, vu, isyn);
-                        let (mem_extra, eff) =
-                            self.store(shared, addr, out.vu, StoreOp::Sw, pc)?;
-                        extra += mem_extra;
-                        self.counters.mem_stall_cycles += mem_extra;
-                        effect = eff;
-                        self.set_reg(rd, u32::from(out.spike));
-                        self.counters.nmpn += 1;
-                        kind = PrevKind::NmWriteback;
-                    }
-                    NmOp::Nmdec => {
-                        let out =
-                            Dcu::exec_nmdec(&self.nmregs, self.reg(rs1), self.reg(rs2));
-                        self.set_reg(rd, out);
-                        self.counters.nmdec += 1;
-                        // Pure EX-stage result: forwarded like an ALU op.
-                    }
-                }
-                if shared.csr_writeback && kind == PrevKind::NmWriteback {
-                    // The paper's proposed fix: spike/done flags go to CSRs,
-                    // so no register-file writeback hazard remains.
-                    kind = PrevKind::Bypassed;
-                }
+            MicroOp::Nmldh => {
+                let ok = self.nmregs.exec_nmldh(self.reg(rs1));
+                self.set_reg(rd, ok);
+                self.counters.nmldh += 1;
+                kind = self.nm_kind(shared);
+            }
+            MicroOp::Nmpn => {
+                let vu = self.reg(rs1);
+                let isyn = Q15_16::from_raw(self.reg(rs2) as i32);
+                let addr = self.reg(rd);
+                let out = NpUnit::update(&self.nmregs, vu, isyn);
+                let (mem_extra, eff) = self.store(shared, addr, out.vu, StoreOp::Sw, pc)?;
+                extra += mem_extra;
+                effect = eff;
+                self.set_reg(rd, u32::from(out.spike));
+                self.counters.nmpn += 1;
+                kind = self.nm_kind(shared);
+            }
+            MicroOp::Nmdec => {
+                let out = Dcu::exec_nmdec(&self.nmregs, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, out);
+                self.counters.nmdec += 1;
+                // Pure EX-stage result: forwarded like an ALU op.
             }
         }
 
-        if taken {
-            // Branch resolved in EX: one wrong-path fetch squashed.
-            self.counters.flush_cycles += 1;
-            extra += 1;
-        }
+        self.counters.flush_cycles += flushes;
+        extra += flushes;
 
-        self.prev_kind = kind;
-        self.prev_dest = inst.dest();
+        self.prev_stall_dest = if kind == PrevKind::Bypassed {
+            NO_DEST
+        } else {
+            dest
+        };
 
         self.counters.instret += 1;
         self.time += 1 + extra;
-        self.counters.cycles = self.time;
         self.pc = next_pc;
 
+        if effect != MmioEffect::None {
+            self.apply_effect(effect);
+        }
+        Ok(())
+    }
+
+    /// Rare MMIO side effects (halt / ROI markers), out of the hot path.
+    #[cold]
+    fn apply_effect(&mut self, effect: MmioEffect) {
         match effect {
             MmioEffect::None => {}
             MmioEffect::Halt => self.halted = true,
             MmioEffect::RoiStart => {
+                self.sync_counters();
                 self.roi_base = self.counters;
                 self.roi_active = true;
                 self.roi_final = None;
             }
             MmioEffect::RoiStop => {
                 if self.roi_active {
+                    self.sync_counters();
                     self.roi_final = Some(self.counters.delta(&self.roi_base));
                     self.roi_active = false;
                 }
             }
         }
-        Ok(())
     }
 }

@@ -58,6 +58,7 @@ pub mod counters;
 pub mod cpu;
 pub mod mem;
 pub mod mmio;
+pub mod predecode;
 pub mod system;
 
 pub use bus::BusArbiter;
@@ -66,4 +67,5 @@ pub use counters::{Metrics, PerfCounters};
 pub use cpu::{Core, TrapCause};
 pub use mem::{layout, MainMemory};
 pub use mmio::SharedDevices;
+pub use predecode::{CodeTable, PreInst, SlotState};
 pub use system::{RunExit, SimError, System, SystemConfig};

@@ -100,6 +100,31 @@ impl MainMemory {
         self.scratch.len() as u32
     }
 
+    /// Raw SDRAM bytes — the cpu's predecoded fast path indexes these
+    /// directly after it has classified the address once.
+    #[inline]
+    pub fn sdram_bytes(&self) -> &[u8] {
+        &self.sdram
+    }
+
+    /// Raw SDRAM bytes, mutable.
+    #[inline]
+    pub fn sdram_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.sdram
+    }
+
+    /// Raw scratchpad bytes (offset-addressed from `SCRATCH_BASE`).
+    #[inline]
+    pub fn scratch_bytes(&self) -> &[u8] {
+        &self.scratch
+    }
+
+    /// Raw scratchpad bytes, mutable.
+    #[inline]
+    pub fn scratch_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.scratch
+    }
+
     #[inline]
     fn backing(&self, addr: u32) -> Option<(&Vec<u8>, usize)> {
         if (addr as usize) < self.sdram.len() {
@@ -128,20 +153,16 @@ impl MainMemory {
     #[inline]
     pub fn read_u32(&self, addr: u32) -> Option<u32> {
         let (mem, off) = self.backing(addr)?;
-        if off + 4 > mem.len() {
-            return None;
-        }
-        Some(u32::from_le_bytes([mem[off], mem[off + 1], mem[off + 2], mem[off + 3]]))
+        let bytes = mem.get(off..off + 4)?;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
     }
 
     /// Read a 16-bit half-word.
     #[inline]
     pub fn read_u16(&self, addr: u32) -> Option<u16> {
         let (mem, off) = self.backing(addr)?;
-        if off + 2 > mem.len() {
-            return None;
-        }
-        Some(u16::from_le_bytes([mem[off], mem[off + 1]]))
+        let bytes = mem.get(off..off + 2)?;
+        Some(u16::from_le_bytes(bytes.try_into().unwrap()))
     }
 
     /// Read a byte.
@@ -157,10 +178,10 @@ impl MainMemory {
         let Some((mem, off)) = self.backing_mut(addr) else {
             return false;
         };
-        if off + 4 > mem.len() {
+        let Some(slot) = mem.get_mut(off..off + 4) else {
             return false;
-        }
-        mem[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        };
+        slot.copy_from_slice(&value.to_le_bytes());
         true
     }
 
@@ -170,10 +191,10 @@ impl MainMemory {
         let Some((mem, off)) = self.backing_mut(addr) else {
             return false;
         };
-        if off + 2 > mem.len() {
+        let Some(slot) = mem.get_mut(off..off + 2) else {
             return false;
-        }
-        mem[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        };
+        slot.copy_from_slice(&value.to_le_bytes());
         true
     }
 
@@ -190,13 +211,20 @@ impl MainMemory {
         true
     }
 
-    /// Copy a byte slice into memory (used by the program loader).
+    /// Copy a byte slice into memory (used by the program loader and bulk
+    /// table uploads). One `memcpy` when the span lies within a single
+    /// region; `false` if any byte is unmapped.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> bool {
-        for (i, &b) in bytes.iter().enumerate() {
-            if !self.write_u8(addr + i as u32, b) {
-                return false;
-            }
+        if bytes.is_empty() {
+            return true;
         }
+        let Some((mem, off)) = self.backing_mut(addr) else {
+            return false;
+        };
+        let Some(slot) = mem.get_mut(off..off + bytes.len()) else {
+            return false;
+        };
+        slot.copy_from_slice(bytes);
         true
     }
 
@@ -213,9 +241,16 @@ mod tests {
 
     #[test]
     fn region_classification() {
-        assert_eq!(region_of(0, SDRAM_DEFAULT_SIZE, SCRATCH_DEFAULT_SIZE), Region::Sdram);
         assert_eq!(
-            region_of(SDRAM_DEFAULT_SIZE - 4, SDRAM_DEFAULT_SIZE, SCRATCH_DEFAULT_SIZE),
+            region_of(0, SDRAM_DEFAULT_SIZE, SCRATCH_DEFAULT_SIZE),
+            Region::Sdram
+        );
+        assert_eq!(
+            region_of(
+                SDRAM_DEFAULT_SIZE - 4,
+                SDRAM_DEFAULT_SIZE,
+                SCRATCH_DEFAULT_SIZE
+            ),
             Region::Sdram
         );
         assert_eq!(
@@ -227,7 +262,11 @@ mod tests {
             Region::Scratch
         );
         assert_eq!(
-            region_of(MMIO_BASE + MMIO_ROI, SDRAM_DEFAULT_SIZE, SCRATCH_DEFAULT_SIZE),
+            region_of(
+                MMIO_BASE + MMIO_ROI,
+                SDRAM_DEFAULT_SIZE,
+                SCRATCH_DEFAULT_SIZE
+            ),
             Region::Mmio
         );
         assert_eq!(

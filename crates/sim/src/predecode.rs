@@ -1,0 +1,441 @@
+//! Predecoded instruction stream.
+//!
+//! The seed interpreter paid, on **every** executed instruction, a
+//! `region_of` range classification, an `Option`-cache decode lookup and a
+//! hazard test that built and scanned a `[Option<Reg>; 3]` array. This
+//! module removes all three: every executable word in the SDRAM code
+//! window and the scratchpad lowers (eagerly at program load, lazily on
+//! first fetch) into a [`PreInst`] — the decoded [`Inst`] plus everything
+//! the hot loop would otherwise recompute per step:
+//!
+//! * a **source-register bitmask** and **destination index**, so the
+//!   load-use / nm-writeback hazard test is one shift-and-mask;
+//! * the slot's **region class** ([`SlotState::Sdram`] vs
+//!   [`SlotState::Scratch`]), so fetch needs no address classification —
+//!   the state byte tells the core directly whether the I-cache applies;
+//! * a **staleness bit**, which doubles as the self-modifying-code guard:
+//!   every guest store into a materialised code window flips the covered
+//!   slot back to [`SlotState::Stale`], forcing a re-decode on next fetch.
+//!
+//! Two layout decisions came out of measurement rather than first
+//! principles:
+//!
+//! * `PreInst` is exactly 16 bytes so `fetch` returns it in a register
+//!   pair. (A variant that also precomputed the I-cache set/tag made the
+//!   struct 20 bytes; it then travelled through a stack slot on every
+//!   fetch and measured *slower* than recomputing two shifts, so the
+//!   set/tag stay in the cache model.)
+//! * The tables are **flat** `Vec<PreInst>`s — a fetch is one length check
+//!   and one indexed load. (A demand-paged two-level variant added a
+//!   dependent pointer chase to the per-instruction critical path.) The
+//!   flat windows are instead materialised lazily: nothing is allocated
+//!   until code actually executes or is preloaded, and the SDRAM window
+//!   grows in [`GROW_BYTES`] steps up to [`CODE_WINDOW_MAX`].
+//!
+//! Executable SDRAM is therefore the low [`CODE_WINDOW_MAX`] bytes (the
+//! same window the seed's decode cache memoised) — but where the seed
+//! silently decoded-without-caching above it, a fetch beyond the window
+//! now traps as `BadFetch`, like any fetch outside SDRAM/scratch.
+//!
+//! Host-side writes through [`crate::mem::MainMemory`] are only observed
+//! until a slot is first fetched (lazy decode); rewriting code from the
+//! host after execution started was already unsupported in the seed.
+
+use izhi_isa::decode;
+use izhi_isa::inst::Inst;
+
+use crate::mem::{layout, MainMemory};
+
+/// Decode state of one 4-byte code slot — doubles as the region class of
+/// a successfully fetched slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SlotState {
+    /// Never decoded, or invalidated by a store into the slot.
+    Stale = 0,
+    /// Decoded, resident in SDRAM (the I-cache applies on fetch).
+    Sdram,
+    /// Decoded, resident in the single-cycle scratchpad (uncached).
+    Scratch,
+    /// The word does not decode; fetching it traps.
+    Illegal,
+    /// Never stored: returned by `fetch` for pcs outside every executable
+    /// window.
+    OutOfRange,
+}
+
+/// Sentinel destination meaning "no register writeback" (safe shift index).
+pub const NO_DEST: u8 = 63;
+
+/// Flattened opcode of a predecoded slot: one jump resolves the whole
+/// operation (the seed's `Inst` enum needed a second nested dispatch for
+/// ALU / branch / nm subclasses on every step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum MicroOp {
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    Sb,
+    Sh,
+    Sw,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Fence,
+    Ecall,
+    Ebreak,
+    /// Both Zicsr forms: this core's CSRs are read-only, so only the read
+    /// matters; `imm` carries the CSR number.
+    Csr,
+    Nmldl,
+    Nmldh,
+    Nmpn,
+    Nmdec,
+}
+
+/// One predecoded 4-byte slot (16 bytes, returned by value in registers).
+///
+/// `imm` is pre-resolved where the slot's pc allows it: branches and `jal`
+/// store their **absolute target**, `auipc` stores the final `pc + imm`
+/// value, and `Csr` stores the CSR number.
+#[derive(Debug, Clone, Copy)]
+pub struct PreInst {
+    /// Flat opcode.
+    pub op: MicroOp,
+    /// rd field (0–31; writes to x0 are discarded by the register file).
+    pub rd: u8,
+    /// rs1 field (0–31).
+    pub rs1: u8,
+    /// rs2 field (0–31).
+    pub rs2: u8,
+    /// Immediate / absolute target / CSR number (see struct docs).
+    pub imm: i32,
+    /// Bit `r` set iff architectural register `r != x0` is a source.
+    pub src_mask: u32,
+    /// Destination register index, or [`NO_DEST`].
+    pub dest: u8,
+    /// Decode state / region class.
+    pub state: SlotState,
+}
+
+impl PreInst {
+    const EMPTY: PreInst = PreInst {
+        op: MicroOp::Ebreak,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        imm: 0,
+        src_mask: 0,
+        dest: NO_DEST,
+        state: SlotState::Stale,
+    };
+
+    const OUT_OF_RANGE: PreInst = PreInst {
+        state: SlotState::OutOfRange,
+        ..PreInst::EMPTY
+    };
+}
+
+/// Executable SDRAM is the low 1 MiB (the seed's decode-cache window).
+pub const CODE_WINDOW_MAX: u32 = 1024 * 1024;
+/// Window growth increment when a fetch or preload lands beyond the
+/// currently materialised slots.
+const GROW_BYTES: u32 = 64 * 1024;
+
+/// The per-system predecode tables (shared by all cores).
+#[derive(Debug)]
+pub struct CodeTable {
+    /// Covers `[0, sdram.len() * 4)`; grown on demand up to `sdram_cap`.
+    sdram: Vec<PreInst>,
+    /// Empty until scratch-resident code first runs, then the full region.
+    scratch: Vec<PreInst>,
+    /// Exclusive upper bound of executable SDRAM.
+    sdram_cap: u32,
+    scratch_size: u32,
+}
+
+impl CodeTable {
+    /// Build empty tables for the given memory sizes. Nothing is
+    /// allocated until code is preloaded or fetched.
+    pub fn new(sdram_size: u32, scratch_size: u32) -> Self {
+        CodeTable {
+            sdram: Vec::new(),
+            scratch: Vec::new(),
+            sdram_cap: sdram_size.min(CODE_WINDOW_MAX) & !3,
+            scratch_size: scratch_size & !3,
+        }
+    }
+
+    /// Exclusive upper bound of executable SDRAM (test hook).
+    pub fn sdram_limit(&self) -> u32 {
+        self.sdram_cap
+    }
+
+    fn lower(pc: u32, word: u32, in_scratch: bool) -> PreInst {
+        use izhi_isa::inst::{AluImmOp, AluOp, BranchOp, LoadOp, NmOp, StoreOp};
+        let Ok(inst) = decode(word) else {
+            return PreInst {
+                state: SlotState::Illegal,
+                ..PreInst::EMPTY
+            };
+        };
+        let mut src_mask = 0u32;
+        for src in inst.sources().into_iter().flatten() {
+            src_mask |= 1u32 << src.idx();
+        }
+        let mut pre = PreInst {
+            src_mask,
+            dest: inst.dest().map_or(NO_DEST, |r| r.idx() as u8),
+            state: if in_scratch {
+                SlotState::Scratch
+            } else {
+                SlotState::Sdram
+            },
+            ..PreInst::EMPTY
+        };
+        let target = |imm: i32| pc.wrapping_add(imm as u32) as i32;
+        match inst {
+            Inst::Lui { rd, imm } => {
+                (pre.op, pre.rd, pre.imm) = (MicroOp::Lui, rd.idx() as u8, imm);
+            }
+            Inst::Auipc { rd, imm } => {
+                // Fully resolved: auipc is a constant load at a fixed pc.
+                (pre.op, pre.rd, pre.imm) = (MicroOp::Auipc, rd.idx() as u8, target(imm));
+            }
+            Inst::Jal { rd, imm } => {
+                (pre.op, pre.rd, pre.imm) = (MicroOp::Jal, rd.idx() as u8, target(imm));
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                (pre.op, pre.rd, pre.rs1, pre.imm) =
+                    (MicroOp::Jalr, rd.idx() as u8, rs1.idx() as u8, imm);
+            }
+            Inst::Branch { op, rs1, rs2, imm } => {
+                pre.op = match op {
+                    BranchOp::Eq => MicroOp::Beq,
+                    BranchOp::Ne => MicroOp::Bne,
+                    BranchOp::Lt => MicroOp::Blt,
+                    BranchOp::Ge => MicroOp::Bge,
+                    BranchOp::Ltu => MicroOp::Bltu,
+                    BranchOp::Geu => MicroOp::Bgeu,
+                };
+                (pre.rs1, pre.rs2, pre.imm) = (rs1.idx() as u8, rs2.idx() as u8, target(imm));
+            }
+            Inst::Load { op, rd, rs1, imm } => {
+                pre.op = match op {
+                    LoadOp::Lb => MicroOp::Lb,
+                    LoadOp::Lh => MicroOp::Lh,
+                    LoadOp::Lw => MicroOp::Lw,
+                    LoadOp::Lbu => MicroOp::Lbu,
+                    LoadOp::Lhu => MicroOp::Lhu,
+                };
+                (pre.rd, pre.rs1, pre.imm) = (rd.idx() as u8, rs1.idx() as u8, imm);
+            }
+            Inst::Store { op, rs1, rs2, imm } => {
+                pre.op = match op {
+                    StoreOp::Sb => MicroOp::Sb,
+                    StoreOp::Sh => MicroOp::Sh,
+                    StoreOp::Sw => MicroOp::Sw,
+                };
+                (pre.rs1, pre.rs2, pre.imm) = (rs1.idx() as u8, rs2.idx() as u8, imm);
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                pre.op = match op {
+                    AluImmOp::Addi => MicroOp::Addi,
+                    AluImmOp::Slti => MicroOp::Slti,
+                    AluImmOp::Sltiu => MicroOp::Sltiu,
+                    AluImmOp::Xori => MicroOp::Xori,
+                    AluImmOp::Ori => MicroOp::Ori,
+                    AluImmOp::Andi => MicroOp::Andi,
+                    AluImmOp::Slli => MicroOp::Slli,
+                    AluImmOp::Srli => MicroOp::Srli,
+                    AluImmOp::Srai => MicroOp::Srai,
+                };
+                (pre.rd, pre.rs1, pre.imm) = (rd.idx() as u8, rs1.idx() as u8, imm);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                pre.op = match op {
+                    AluOp::Add => MicroOp::Add,
+                    AluOp::Sub => MicroOp::Sub,
+                    AluOp::Sll => MicroOp::Sll,
+                    AluOp::Slt => MicroOp::Slt,
+                    AluOp::Sltu => MicroOp::Sltu,
+                    AluOp::Xor => MicroOp::Xor,
+                    AluOp::Srl => MicroOp::Srl,
+                    AluOp::Sra => MicroOp::Sra,
+                    AluOp::Or => MicroOp::Or,
+                    AluOp::And => MicroOp::And,
+                    AluOp::Mul => MicroOp::Mul,
+                    AluOp::Mulh => MicroOp::Mulh,
+                    AluOp::Mulhsu => MicroOp::Mulhsu,
+                    AluOp::Mulhu => MicroOp::Mulhu,
+                    AluOp::Div => MicroOp::Div,
+                    AluOp::Divu => MicroOp::Divu,
+                    AluOp::Rem => MicroOp::Rem,
+                    AluOp::Remu => MicroOp::Remu,
+                };
+                (pre.rd, pre.rs1, pre.rs2) = (rd.idx() as u8, rs1.idx() as u8, rs2.idx() as u8);
+            }
+            Inst::Fence => pre.op = MicroOp::Fence,
+            Inst::Ecall => pre.op = MicroOp::Ecall,
+            Inst::Ebreak => pre.op = MicroOp::Ebreak,
+            // The core's CSRs are read-only: both Zicsr forms reduce to
+            // "rd <- csr_read(csr)" (set/clear/write are dropped, as in
+            // the seed).
+            Inst::Csr { rd, csr, .. } | Inst::CsrImm { rd, csr, .. } => {
+                (pre.op, pre.rd, pre.imm) = (MicroOp::Csr, rd.idx() as u8, i32::from(csr));
+            }
+            Inst::Nm { op, rd, rs1, rs2 } => {
+                pre.op = match op {
+                    NmOp::Nmldl => MicroOp::Nmldl,
+                    NmOp::Nmldh => MicroOp::Nmldh,
+                    NmOp::Nmpn => MicroOp::Nmpn,
+                    NmOp::Nmdec => MicroOp::Nmdec,
+                };
+                (pre.rd, pre.rs1, pre.rs2) = (rd.idx() as u8, rs1.idx() as u8, rs2.idx() as u8);
+            }
+        }
+        pre
+    }
+
+    /// Fetch the slot covering the 4-aligned `pc`, decoding it on first
+    /// use. `mem` is only read on the stale/illegal/grow paths. The
+    /// returned slot's `state` is the region class (or `Illegal` /
+    /// `OutOfRange`).
+    #[inline]
+    pub fn fetch(&mut self, pc: u32, mem: &MainMemory) -> PreInst {
+        if let Some(slot) = self.sdram.get((pc >> 2) as usize) {
+            if slot.state != SlotState::Stale {
+                return *slot;
+            }
+            return self.fetch_slow(pc, mem);
+        }
+        let off = pc.wrapping_sub(layout::SCRATCH_BASE);
+        if let Some(slot) = self.scratch.get((off >> 2) as usize) {
+            if slot.state != SlotState::Stale {
+                return *slot;
+            }
+        }
+        self.fetch_slow(pc, mem)
+    }
+
+    /// Materialise/decode path: grows the owning window if needed, lowers
+    /// the word, and caches it.
+    #[cold]
+    fn fetch_slow(&mut self, pc: u32, mem: &MainMemory) -> PreInst {
+        let (in_scratch, idx) = if pc < self.sdram_cap {
+            let needed = (pc.saturating_add(GROW_BYTES)).min(self.sdram_cap);
+            if (needed / 4) as usize > self.sdram.len() {
+                self.sdram.resize((needed / 4) as usize, PreInst::EMPTY);
+            }
+            (false, (pc >> 2) as usize)
+        } else {
+            let off = pc.wrapping_sub(layout::SCRATCH_BASE);
+            if off < self.scratch_size {
+                if self.scratch.is_empty() {
+                    self.scratch = vec![PreInst::EMPTY; (self.scratch_size / 4) as usize];
+                }
+                (true, (off >> 2) as usize)
+            } else {
+                return PreInst::OUT_OF_RANGE;
+            }
+        };
+        let Some(word) = mem.read_u32(pc) else {
+            return PreInst::OUT_OF_RANGE;
+        };
+        let table = if in_scratch {
+            &mut self.scratch
+        } else {
+            &mut self.sdram
+        };
+        if table[idx].state == SlotState::Stale {
+            table[idx] = Self::lower(pc, word, in_scratch);
+        }
+        table[idx]
+    }
+
+    /// Store-to-code guard: a guest store to `addr` invalidates the slot
+    /// whose word it touches (alignment rules keep every store within one
+    /// word). Stores into windows never materialised are free.
+    #[inline]
+    pub fn invalidate_store(&mut self, addr: u32) {
+        if let Some(slot) = self.sdram.get_mut((addr >> 2) as usize) {
+            slot.state = SlotState::Stale;
+        } else {
+            let off = addr.wrapping_sub(layout::SCRATCH_BASE);
+            if let Some(slot) = self.scratch.get_mut((off >> 2) as usize) {
+                slot.state = SlotState::Stale;
+            }
+        }
+    }
+
+    /// Eagerly lower `[base, base + len)` (used right after program load
+    /// so the first pass through the code pays no decode cost at all).
+    /// Spans beyond the executable windows are skipped — they can hold
+    /// data, but fetching from them traps.
+    pub fn preload(&mut self, base: u32, len: u32, mem: &MainMemory) {
+        let end = base.saturating_add(len);
+        let mut pc = base & !3;
+        while pc < end {
+            let in_window =
+                pc < self.sdram_cap || pc.wrapping_sub(layout::SCRATCH_BASE) < self.scratch_size;
+            if !in_window {
+                pc += 4;
+                continue;
+            }
+            // Route through the slow path so windows materialise and the
+            // slot decodes exactly as a first fetch would.
+            if let Some(slot) = self.slot_mut(pc) {
+                slot.state = SlotState::Stale;
+            }
+            self.fetch_slow(pc, mem);
+            pc += 4;
+        }
+    }
+
+    fn slot_mut(&mut self, pc: u32) -> Option<&mut PreInst> {
+        if pc < self.sdram_cap {
+            self.sdram.get_mut((pc >> 2) as usize)
+        } else {
+            let off = pc.wrapping_sub(layout::SCRATCH_BASE);
+            self.scratch.get_mut((off >> 2) as usize)
+        }
+    }
+}

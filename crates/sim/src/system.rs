@@ -2,8 +2,6 @@
 //! event-driven run loop.
 
 use izhi_isa::asm::Program;
-use izhi_isa::decode;
-use izhi_isa::inst::Inst;
 
 use crate::bus::{BusArbiter, BusTimings};
 use crate::cache::{Cache, CacheConfig};
@@ -11,6 +9,7 @@ use crate::counters::Metrics;
 use crate::cpu::{Core, TrapCause};
 use crate::mem::{layout, MainMemory};
 use crate::mmio::SharedDevices;
+use crate::predecode::CodeTable;
 
 /// Full system configuration.
 #[derive(Debug, Clone)]
@@ -48,7 +47,10 @@ impl Default for SystemConfig {
             icache: CacheConfig::default(),
             // Longer D-cache lines amortise the streaming weight/noise
             // walks, landing hit rates in the paper's 96-100 % band.
-            dcache: CacheConfig { size_bytes: 4096, line_bytes: 32 },
+            dcache: CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 32,
+            },
             bus: BusTimings::default(),
             div_latency: 16,
             csr_writeback: false,
@@ -60,7 +62,10 @@ impl Default for SystemConfig {
 impl SystemConfig {
     /// The paper's MAX10 dual-core configuration (30 MHz).
     pub fn max10_dual_core() -> Self {
-        SystemConfig { n_cores: 2, ..Default::default() }
+        SystemConfig {
+            n_cores: 2,
+            ..Default::default()
+        }
     }
 
     /// The paper's §VI-A three-core experiment: fitting a third core on
@@ -70,19 +75,28 @@ impl SystemConfig {
         SystemConfig {
             n_cores: 3,
             clock_hz: 20e6,
-            icache: CacheConfig { size_bytes: 1024, line_bytes: 16 },
-            dcache: CacheConfig { size_bytes: 1024, line_bytes: 16 },
+            icache: CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 16,
+            },
+            dcache: CacheConfig {
+                size_bytes: 1024,
+                line_bytes: 16,
+            },
             ..Default::default()
         }
     }
 
     /// Convenience: n cores, everything else default.
     pub fn with_cores(n: u32) -> Self {
-        SystemConfig { n_cores: n, ..Default::default() }
+        SystemConfig {
+            n_cores: n,
+            ..Default::default()
+        }
     }
 }
 
-/// State shared between all cores (memory, bus, devices, decode cache).
+/// State shared between all cores (memory, bus, devices, predecoded code).
 #[derive(Debug)]
 pub struct Shared {
     /// Functional memory.
@@ -97,26 +111,9 @@ pub struct Shared {
     pub div_latency: u64,
     /// CSR-writeback hazard fix enabled.
     pub csr_writeback: bool,
-    decode_cache: Vec<Option<Inst>>,
-}
-
-impl Shared {
-    /// Decode `word` at `pc`, memoising SDRAM-resident code (the system
-    /// does not support self-modifying code).
-    #[inline]
-    pub fn decode_cached(&mut self, pc: u32, word: u32) -> Option<Inst> {
-        let idx = (pc / 4) as usize;
-        if idx < self.decode_cache.len() {
-            if let Some(inst) = self.decode_cache[idx] {
-                return Some(inst);
-            }
-            let inst = decode(word).ok()?;
-            self.decode_cache[idx] = Some(inst);
-            Some(inst)
-        } else {
-            decode(word).ok()
-        }
-    }
+    /// Predecoded instruction stream (replaces the seed's per-fetch
+    /// `region_of` + `Option`-cache decode lookup; see [`crate::predecode`]).
+    pub code: CodeTable,
 }
 
 /// Simulation failure.
@@ -187,9 +184,8 @@ impl System {
             bus_timings: cfg.bus,
             div_latency: cfg.div_latency,
             csr_writeback: cfg.csr_writeback,
-            // Code lives in the first MiB of SDRAM; the memoised decode
-            // table only needs to cover that window.
-            decode_cache: vec![None; (cfg.sdram_size.min(1024 * 1024) / 4) as usize],
+            // Demand-paged: costs nothing until code executes.
+            code: CodeTable::new(cfg.sdram_size, cfg.scratch_size),
         };
         System { cfg, cores, shared }
     }
@@ -199,13 +195,19 @@ impl System {
         &self.cfg
     }
 
-    /// Load an assembled program: copy all segments and point every core's
-    /// pc at the entry (guest code branches on the core-id MMIO register).
+    /// Load an assembled program: copy all segments, lower every loaded
+    /// word into the predecoded stream, and point every core's pc at the
+    /// entry (guest code branches on the core-id MMIO register).
     pub fn load_program(&mut self, prog: &Program) -> bool {
         for seg in &prog.segments {
             if !self.shared.mem.write_bytes(seg.base, &seg.data) {
                 return false;
             }
+        }
+        for seg in &prog.segments {
+            self.shared
+                .code
+                .preload(seg.base, seg.data.len() as u32, &self.shared.mem);
         }
         for core in &mut self.cores {
             core.set_pc(prog.entry);
@@ -244,34 +246,73 @@ impl System {
     }
 
     /// Run until every core halts or `max_cycles` elapse on any core.
+    ///
+    /// Scheduling is event-driven: the core that is furthest behind in
+    /// local time always executes next (ties go to the lowest hart id), so
+    /// shared-resource ordering approximates real concurrency. The loop is
+    /// **exactly** equivalent to single-stepping that schedule via
+    /// [`System::step_core`], instruction by instruction — batching only
+    /// ever continues a core while it would still be the scheduler's pick,
+    /// so rasters, counters and cycle counts are bit-identical to the
+    /// single-stepped reference (the predecode regression test pins this).
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
-        loop {
-            // Event-driven: always advance the core that is furthest behind,
-            // so shared-resource ordering approximates real concurrency.
-            let mut next: Option<usize> = None;
-            for (i, c) in self.cores.iter().enumerate() {
-                if !c.halted() {
-                    match next {
-                        Some(j) if self.cores[j].time <= c.time => {}
-                        _ => next = Some(i),
+        if self.cores.len() == 1 {
+            // Single core: no scheduler at all, one batched run to
+            // completion.
+            match self.cores[0]
+                .run_while(&mut self.shared, u64::MAX, max_cycles)
+                .map_err(|cause| SimError::Trap { core: 0, cause })?
+            {
+                crate::cpu::RunStop::Budget => {
+                    return Err(SimError::Timeout { max_cycles });
+                }
+                _ => debug_assert!(self.cores[0].halted()),
+            }
+        } else {
+            loop {
+                // One scan finds both the pick `i` (minimum time, lowest
+                // index) and the runner-up bound it may run up to.
+                let mut pick = usize::MAX;
+                let mut pick_time = u64::MAX;
+                let mut limit = u64::MAX;
+                let mut limit_idx = usize::MAX;
+                for (k, c) in self.cores.iter().enumerate() {
+                    if c.halted() {
+                        continue;
+                    }
+                    if c.time < pick_time {
+                        limit = pick_time;
+                        limit_idx = pick;
+                        pick = k;
+                        pick_time = c.time;
+                    } else if c.time < limit {
+                        limit = c.time;
+                        limit_idx = k;
                     }
                 }
-            }
-            let Some(i) = next else {
-                break; // all halted
-            };
-            if self.cores[i].time > max_cycles {
-                return Err(SimError::Timeout { max_cycles });
-            }
-            // Batch a few instructions per pick to cut scheduling overhead;
-            // cross-core timing skew stays bounded by the batch length.
-            for _ in 0..8 {
-                if self.cores[i].halted() {
-                    break;
+                if pick == usize::MAX {
+                    break; // all halted
                 }
-                self.cores[i]
-                    .step(&mut self.shared)
-                    .map_err(|cause| SimError::Trap { core: i as u32, cause })?;
+                let i = pick;
+                // Adaptive batch: core `i` may run exactly as long as the
+                // scheduler would keep picking it (time strictly below the
+                // runner-up, or equal with a lower hart id) — so the batch
+                // is instruction-for-instruction identical to rescanning
+                // after every step.
+                let bound = if i < limit_idx {
+                    limit
+                } else {
+                    limit.saturating_sub(1)
+                };
+                let stop = self.cores[i]
+                    .run_while(&mut self.shared, bound, max_cycles)
+                    .map_err(|cause| SimError::Trap {
+                        core: i as u32,
+                        cause,
+                    })?;
+                if stop == crate::cpu::RunStop::Budget {
+                    return Err(SimError::Timeout { max_cycles });
+                }
             }
         }
         Ok(RunExit {
@@ -423,11 +464,16 @@ mod tests {
 
     #[test]
     fn illegal_instruction_traps() {
-        let prog = Assembler::new().assemble("_start: .word 0xFFFFFFFF").unwrap();
+        let prog = Assembler::new()
+            .assemble("_start: .word 0xFFFFFFFF")
+            .unwrap();
         let mut sys = System::new(SystemConfig::default());
         sys.load_program(&prog);
         match sys.run(1000) {
-            Err(SimError::Trap { cause: TrapCause::IllegalInstruction { .. }, .. }) => {}
+            Err(SimError::Trap {
+                cause: TrapCause::IllegalInstruction { .. },
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -440,7 +486,10 @@ mod tests {
         let mut sys = System::new(SystemConfig::default());
         sys.load_program(&prog);
         match sys.run(1000) {
-            Err(SimError::Trap { cause: TrapCause::BadAccess { store: false, .. }, .. }) => {}
+            Err(SimError::Trap {
+                cause: TrapCause::BadAccess { store: false, .. },
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -453,7 +502,10 @@ mod tests {
         let mut sys = System::new(SystemConfig::default());
         sys.load_program(&prog);
         match sys.run(1000) {
-            Err(SimError::Trap { cause: TrapCause::Misaligned { .. }, .. }) => {}
+            Err(SimError::Trap {
+                cause: TrapCause::Misaligned { .. },
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -512,8 +564,10 @@ mod tests {
         sys.run(100_000).unwrap();
         assert!(sys.core(0).counters.hazard_stalls >= 1);
 
-        let mut cfg = SystemConfig::default();
-        cfg.csr_writeback = true;
+        let cfg = SystemConfig {
+            csr_writeback: true,
+            ..Default::default()
+        };
         let mut sys2 = System::new(cfg);
         sys2.load_program(&prog);
         sys2.run(100_000).unwrap();
@@ -537,7 +591,10 @@ mod tests {
         sys.load_program(&prog);
         sys.run(1_000_000).unwrap();
         assert_eq!(sys.shared().mem.read_u32(layout::SCRATCH_BASE), Some(100));
-        assert_eq!(sys.shared().mem.read_u32(layout::SCRATCH_BASE + 4), Some(101));
+        assert_eq!(
+            sys.shared().mem.read_u32(layout::SCRATCH_BASE + 4),
+            Some(101)
+        );
     }
 
     #[test]
@@ -618,7 +675,11 @@ mod tests {
         let roi = sys.core(0).roi_counters();
         let total = sys.core(0).counters;
         // ROI covers ~200 instructions of the 1200+ executed.
-        assert!(roi.instret >= 200 && roi.instret <= 215, "roi = {}", roi.instret);
+        assert!(
+            roi.instret >= 200 && roi.instret <= 215,
+            "roi = {}",
+            roi.instret
+        );
         assert!(total.instret > 2000, "total = {}", total.instret);
     }
 

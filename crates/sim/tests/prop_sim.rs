@@ -12,7 +12,7 @@ use proptest::prelude::*;
 fn model_exec(insts: &[Inst], regs: &mut [u32; 32]) {
     let mut pc = 0u32;
     for &inst in insts {
-        let mut set = |r: Reg, v: u32, regs: &mut [u32; 32]| {
+        let set = |r: Reg, v: u32, regs: &mut [u32; 32]| {
             if r.0 != 0 {
                 regs[r.idx()] = v;
             }
@@ -62,7 +62,7 @@ fn model_exec(insts: &[Inst], regs: &mut [u32; 32]) {
                             ((a as i32) / (b as i32)) as u32
                         }
                     }
-                    AluOp::Divu => if b == 0 { u32::MAX } else { a / b },
+                    AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
                     AluOp::Rem => {
                         if b == 0 {
                             a
@@ -72,7 +72,13 @@ fn model_exec(insts: &[Inst], regs: &mut [u32; 32]) {
                             ((a as i32) % (b as i32)) as u32
                         }
                     }
-                    AluOp::Remu => if b == 0 { a } else { a % b },
+                    AluOp::Remu => {
+                        if b == 0 {
+                            a
+                        } else {
+                            a % b
+                        }
+                    }
                 };
                 set(rd, v, regs);
             }
@@ -92,7 +98,11 @@ fn arb_alu_inst() -> impl Strategy<Value = Inst> {
         Just(AluImmOp::Ori),
         Just(AluImmOp::Andi),
     ];
-    let shift_op = prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)];
+    let shift_op = prop_oneof![
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai)
+    ];
     let alu_op = prop_oneof![
         Just(AluOp::Add),
         Just(AluOp::Sub),
@@ -120,10 +130,18 @@ fn arb_alu_inst() -> impl Strategy<Value = Inst> {
             .prop_map(|(rd, p)| Inst::Auipc { rd, imm: p << 12 }),
         (alu_imm_op, reg.clone(), reg.clone(), -2048i32..2048)
             .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (shift_op, reg.clone(), reg.clone(), 0i32..32)
-            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
-        (alu_op, reg.clone(), reg.clone(), reg)
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (shift_op, reg.clone(), reg.clone(), 0i32..32).prop_map(|(op, rd, rs1, imm)| Inst::OpImm {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
+        (alu_op, reg.clone(), reg.clone(), reg).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
     ]
 }
 
@@ -135,7 +153,8 @@ fn run_on_system(insts: &[Inst]) -> System {
         addr += 4;
     }
     sys.shared_mut().mem.write_u32(addr, encode(Inst::Ebreak));
-    sys.run(10_000_000).expect("straight-line program must not trap");
+    sys.run(10_000_000)
+        .expect("straight-line program must not trap");
     sys
 }
 

@@ -9,7 +9,11 @@ fn main() {
     let net = Net8020::with_size(160, 40, 11);
     let configure = |noise: &mut [f64]| {
         for (i, n) in noise.iter_mut().enumerate() {
-            *n = if net.is_excitatory(i) { net.exc_noise } else { net.inh_noise };
+            *n = if net.is_excitatory(i) {
+                net.exc_noise
+            } else {
+                net.inh_noise
+            };
         }
     };
     let mut f = F64Simulator::new(&net.network, 2, 3);
@@ -19,11 +23,19 @@ fn main() {
     configure(&mut q.noise_std);
     let rq = q.run(600);
 
-    println!("double precision: {} spikes, {:.2} Hz, ISI CV {:.2}",
-        rf.spikes.len(), rf.mean_rate_hz(), isi_cv(&rf));
+    println!(
+        "double precision: {} spikes, {:.2} Hz, ISI CV {:.2}",
+        rf.spikes.len(),
+        rf.mean_rate_hz(),
+        isi_cv(&rf)
+    );
     println!("{}", rf.to_ascii(16, 80));
-    println!("fixed point (NPU datapath): {} spikes, {:.2} Hz, ISI CV {:.2}",
-        rq.spikes.len(), rq.mean_rate_hz(), isi_cv(&rq));
+    println!(
+        "fixed point (NPU datapath): {} spikes, {:.2} Hz, ISI CV {:.2}",
+        rq.spikes.len(),
+        rq.mean_rate_hz(),
+        isi_cv(&rq)
+    );
     println!("{}", rq.to_ascii(16, 80));
     let hf = IsiHistogram::from_raster(&rf, 10, 300);
     let hq = IsiHistogram::from_raster(&rq, 10, 300);

@@ -15,7 +15,11 @@ pub struct SpikeRaster {
 impl SpikeRaster {
     /// Empty raster.
     pub fn new(n_neurons: u32, n_steps: u32) -> Self {
-        SpikeRaster { n_neurons, n_steps, spikes: Vec::new() }
+        SpikeRaster {
+            n_neurons,
+            n_steps,
+            spikes: Vec::new(),
+        }
     }
 
     /// Append an event.
@@ -28,7 +32,11 @@ impl SpikeRaster {
     /// workloads write to the MMIO spike log).
     pub fn from_packed(n_neurons: u32, n_steps: u32, words: &[u32]) -> Self {
         let spikes = words.iter().map(|&w| (w >> 16, w & 0xFFFF)).collect();
-        SpikeRaster { n_neurons, n_steps, spikes }
+        SpikeRaster {
+            n_neurons,
+            n_steps,
+            spikes,
+        }
     }
 
     /// Pack an event the way the guest does.
@@ -38,7 +46,11 @@ impl SpikeRaster {
 
     /// Spike times of one neuron.
     pub fn neuron_times(&self, neuron: u32) -> Vec<u32> {
-        self.spikes.iter().filter(|&&(_, n)| n == neuron).map(|&(t, _)| t).collect()
+        self.spikes
+            .iter()
+            .filter(|&&(_, n)| n == neuron)
+            .map(|&(t, _)| t)
+            .collect()
     }
 
     /// Spikes per timestep (population rate, 1 ms bins).
@@ -172,7 +184,11 @@ impl SpikeRaster {
             .filter(|&&(_, n)| range.contains(&n))
             .map(|&(t, n)| (t, n - range.start))
             .collect();
-        SpikeRaster { n_neurons: range.end - range.start, n_steps: self.n_steps, spikes }
+        SpikeRaster {
+            n_neurons: range.end - range.start,
+            n_steps: self.n_steps,
+            spikes,
+        }
     }
 }
 
@@ -214,8 +230,7 @@ pub fn fano_factor(raster: &SpikeRaster, win: u32) -> f64 {
         return 0.0;
     }
     let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-    let var =
-        counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / counts.len() as f64;
+    let var = counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / counts.len() as f64;
     if mean == 0.0 {
         0.0
     } else {
@@ -245,7 +260,9 @@ pub fn goertzel_power(signal: &[f64], freq_hz: f64) -> f64 {
 pub fn rate_spectrum(rate: &[u32], lo: u32, hi: u32) -> Vec<(u32, f64)> {
     let mean = rate.iter().map(|&r| r as f64).sum::<f64>() / rate.len().max(1) as f64;
     let centered: Vec<f64> = rate.iter().map(|&r| r as f64 - mean).collect();
-    (lo..=hi).map(|f| (f, goertzel_power(&centered, f as f64))).collect()
+    (lo..=hi)
+        .map(|f| (f, goertzel_power(&centered, f as f64)))
+        .collect()
 }
 
 /// Mean band power (inclusive bounds, Hz).

@@ -77,7 +77,11 @@ impl Net8020 {
     pub fn thalamic(&self, rng: &mut XorShift32) -> Vec<f64> {
         (0..self.len())
             .map(|i| {
-                let s = if i < self.n_exc { self.exc_noise } else { self.inh_noise };
+                let s = if i < self.n_exc {
+                    self.exc_noise
+                } else {
+                    self.inh_noise
+                };
                 s * rng.next_gaussian()
             })
             .collect()

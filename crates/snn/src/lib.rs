@@ -29,5 +29,5 @@ pub mod sudoku;
 pub use analysis::{IsiHistogram, SpikeRaster};
 pub use gen8020::Net8020;
 pub use network::Network;
-pub use simulate::{FixedSimulator, F64Simulator};
+pub use simulate::{F64Simulator, FixedSimulator};
 pub use sudoku::{SudokuGrid, WtaNetwork};

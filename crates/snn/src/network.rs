@@ -34,7 +34,12 @@ impl Network {
         }
         let targets = edges.iter().map(|&(_, post, _)| post).collect();
         let weights = edges.iter().map(|&(_, _, w)| w).collect();
-        Network { params, row_ptr, targets, weights }
+        Network {
+            params,
+            row_ptr,
+            targets,
+            weights,
+        }
     }
 
     /// Build a fully connected network from a dense row-major weight matrix
@@ -73,7 +78,10 @@ impl Network {
     pub fn out_edges(&self, j: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let lo = self.row_ptr[j] as usize;
         let hi = self.row_ptr[j + 1] as usize;
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Out-degree of neuron `j`.
@@ -98,10 +106,7 @@ mod tests {
 
     fn tiny() -> Network {
         let p = vec![IzhParams::regular_spiking(); 3];
-        Network::from_edges(
-            p,
-            vec![(0, 1, 0.5), (0, 2, -0.25), (2, 0, 1.0)],
-        )
+        Network::from_edges(p, vec![(0, 1, 0.5), (0, 2, -0.25), (2, 0, 1.0)])
     }
 
     #[test]

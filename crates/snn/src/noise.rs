@@ -15,7 +15,9 @@ pub struct XorShift32 {
 impl XorShift32 {
     /// Create from a seed (0 is remapped to a fixed non-zero value).
     pub fn new(seed: u32) -> Self {
-        XorShift32 { state: if seed == 0 { 0x1234_5678 } else { seed } }
+        XorShift32 {
+            state: if seed == 0 { 0x1234_5678 } else { seed },
+        }
     }
 
     /// Next raw 32-bit value.

@@ -18,7 +18,7 @@ use izhi_core::dcu::Dcu;
 use izhi_core::nmregs::{HStep, NmRegs};
 use izhi_core::npu::NpUnit;
 use izhi_core::reference::decay_exact;
-use izhi_fixed::{Q15_16, Q7_8, ResizeMode};
+use izhi_fixed::{ResizeMode, Q15_16, Q7_8};
 
 use crate::analysis::SpikeRaster;
 use crate::network::Network;
@@ -80,16 +80,30 @@ impl<'a> F64Simulator<'a> {
         }
     }
 
-    /// Advance one 1 ms tick; returns the indices that fired.
+    /// Advance one 1 ms tick; returns the indices that fired. Allocates a
+    /// fresh spike list per call — hot loops should prefer
+    /// [`F64Simulator::step_into`] with a reused buffer.
     pub fn step(&mut self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.step_into(&mut out);
+        out
+    }
+
+    /// Advance one 1 ms tick, appending the fired indices to the cleared
+    /// `out` buffer (no per-tick allocation).
+    pub fn step_into(&mut self, out: &mut Vec<u32>) {
+        out.clear();
         let n = self.net.len();
         let gain = self.noise_gain();
         self.tick = self.tick.wrapping_add(1);
-        // 1. deposit last tick's spikes (guest phase A).
+        // 1. deposit last tick's spikes (guest phase A) — raw CSR slices,
+        // no per-row iterator adapters.
         for j in 0..n {
             if self.fired[j] {
-                for (t, w) in self.net.out_edges(j) {
-                    self.isyn[t as usize] += w;
+                let lo = self.net.row_ptr[j] as usize;
+                let hi = self.net.row_ptr[j + 1] as usize;
+                for k in lo..hi {
+                    self.isyn[self.net.targets[k] as usize] += self.net.weights[k];
                 }
             }
         }
@@ -98,11 +112,9 @@ impl<'a> F64Simulator<'a> {
             self.isyn[i] = decay_exact(self.isyn[i], self.tau, 0.5);
         }
         // 3+4. noise and two half-steps.
-        let mut out = Vec::new();
         for i in 0..n {
-            let drive = self.isyn[i]
-                + self.bias[i]
-                + gain * self.noise_std[i] * self.rng.next_gaussian();
+            let drive =
+                self.isyn[i] + self.bias[i] + gain * self.noise_std[i] * self.rng.next_gaussian();
             let p = self.net.params[i];
             let mut spike = false;
             for _ in 0..2 {
@@ -112,8 +124,7 @@ impl<'a> F64Simulator<'a> {
                     self.u[i] += p.d;
                 }
                 spike |= s;
-                let dv = 0.04 * self.v[i] * self.v[i] + 5.0 * self.v[i] + 140.0 - self.u[i]
-                    + drive;
+                let dv = 0.04 * self.v[i] * self.v[i] + 5.0 * self.v[i] + 140.0 - self.u[i] + drive;
                 let du = p.a * (p.b * self.v[i] - self.u[i]);
                 self.v[i] += 0.5 * dv;
                 self.u[i] += 0.5 * du;
@@ -123,14 +134,16 @@ impl<'a> F64Simulator<'a> {
                 out.push(i as u32);
             }
         }
-        out
     }
 
-    /// Run `ms` ticks, collecting a raster.
+    /// Run `ms` ticks, collecting a raster (one spike buffer reused across
+    /// all ticks).
     pub fn run(&mut self, ms: u32) -> SpikeRaster {
         let mut raster = SpikeRaster::new(self.net.len() as u32, ms);
+        let mut fired = Vec::new();
         for t in 0..ms {
-            for i in self.step() {
+            self.step_into(&mut fired);
+            for &i in &fired {
                 raster.push(t, i);
             }
         }
@@ -177,8 +190,11 @@ impl<'a> FixedSimulator<'a> {
             regs.push(r);
         }
         let v: Vec<Q7_8> = net.params.iter().map(|p| Q7_8::from_f64(p.c)).collect();
-        let u: Vec<Q7_8> =
-            net.params.iter().map(|p| Q7_8::from_f64(p.b * p.c)).collect();
+        let u: Vec<Q7_8> = net
+            .params
+            .iter()
+            .map(|p| Q7_8::from_f64(p.b * p.c))
+            .collect();
         FixedSimulator {
             net,
             regs,
@@ -206,8 +222,19 @@ impl<'a> FixedSimulator<'a> {
         }
     }
 
-    /// Advance one 1 ms tick; returns the indices that fired.
+    /// Advance one 1 ms tick; returns the indices that fired. Allocates a
+    /// fresh spike list per call — hot loops should prefer
+    /// [`FixedSimulator::step_into`] with a reused buffer.
     pub fn step(&mut self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.step_into(&mut out);
+        out
+    }
+
+    /// Advance one 1 ms tick, appending the fired indices to the cleared
+    /// `out` buffer (no per-tick allocation).
+    pub fn step_into(&mut self, out: &mut Vec<u32>) {
+        out.clear();
         let n = self.net.len();
         let gain = self.noise_gain();
         self.tick = self.tick.wrapping_add(1);
@@ -224,10 +251,8 @@ impl<'a> FixedSimulator<'a> {
         for i in 0..n {
             self.isyn[i] = Dcu::decay(&self.regs[i], self.isyn[i], self.tau);
         }
-        let mut out = Vec::new();
         for i in 0..n {
-            let noise =
-                self.bias[i] + gain * self.noise_std[i] * self.rng.next_gaussian();
+            let noise = self.bias[i] + gain * self.noise_std[i] * self.rng.next_gaussian();
             let drive = self.isyn[i]
                 .widen()
                 .add(izhi_fixed::Wide::from_f64(noise, 16))
@@ -246,14 +271,16 @@ impl<'a> FixedSimulator<'a> {
                 out.push(i as u32);
             }
         }
-        out
     }
 
-    /// Run `ms` ticks, collecting a raster.
+    /// Run `ms` ticks, collecting a raster (one spike buffer reused across
+    /// all ticks).
     pub fn run(&mut self, ms: u32) -> SpikeRaster {
         let mut raster = SpikeRaster::new(self.net.len() as u32, ms);
+        let mut fired = Vec::new();
         for t in 0..ms {
-            for i in self.step() {
+            self.step_into(&mut fired);
+            for &i in &fired {
                 raster.push(t, i);
             }
         }
@@ -325,7 +352,10 @@ mod tests {
         let net8020 = Net8020::with_size(40, 10, 3);
         let mut sim = F64Simulator::new(&net8020.network, DEFAULT_TAU, 1);
         let raster = sim.run(300);
-        assert!(raster.spikes.is_empty(), "network with no drive must stay silent");
+        assert!(
+            raster.spikes.is_empty(),
+            "network with no drive must stay silent"
+        );
     }
 
     #[test]
@@ -333,12 +363,19 @@ mod tests {
         let net8020 = Net8020::with_size(80, 20, 3);
         let mut sim = F64Simulator::new(&net8020.network, DEFAULT_TAU, 1);
         for i in 0..net8020.len() {
-            sim.noise_std[i] =
-                if net8020.is_excitatory(i) { net8020.exc_noise } else { net8020.inh_noise };
+            sim.noise_std[i] = if net8020.is_excitatory(i) {
+                net8020.exc_noise
+            } else {
+                net8020.inh_noise
+            };
         }
         let raster = sim.run(500);
         // Noisy drive makes a visible fraction of the population fire.
-        assert!(raster.spikes.len() > 100, "only {} spikes", raster.spikes.len());
+        assert!(
+            raster.spikes.len() > 100,
+            "only {} spikes",
+            raster.spikes.len()
+        );
         let mean_rate = raster.spikes.len() as f64 / 0.5 / 100.0; // Hz/neuron
         assert!(mean_rate < 100.0, "implausibly fast: {mean_rate} Hz");
     }

@@ -262,7 +262,9 @@ impl core::fmt::Display for SudokuGrid {
 /// stand-in for the magictour Top-100 list, which is not redistributable
 /// here; see DESIGN.md).
 pub fn hard_corpus(n: usize) -> Vec<SudokuGrid> {
-    (0..n).map(|i| SudokuGrid::generate(1000 + i as u32, 24)).collect()
+    (0..n)
+        .map(|i| SudokuGrid::generate(1000 + i as u32, 24))
+        .collect()
 }
 
 /// The 729-neuron Winner-Takes-All Sudoku network.
@@ -366,7 +368,10 @@ impl WtaNetwork {
 
     /// The other eight digits of the same cell.
     pub fn cell_rivals(r: usize, c: usize, d: u8) -> Vec<usize> {
-        (1..=9u8).filter(|&dd| dd != d).map(|dd| Self::neuron(r, c, dd)).collect()
+        (1..=9u8)
+            .filter(|&dd| dd != d)
+            .map(|dd| Self::neuron(r, c, dd))
+            .collect()
     }
 
     /// Same digit in the same row, column or 3x3 box (20 peers).
@@ -434,7 +439,11 @@ impl WtaNetwork {
                 }
             }
         }
-        WtaNetwork { network: Network::from_edges(params, edges), bias, noise_std }
+        WtaNetwork {
+            network: Network::from_edges(params, edges),
+            bias,
+            noise_std,
+        }
     }
 
     /// Decode a grid from per-neuron spike counts over a window: for each
@@ -502,13 +511,21 @@ pub fn solve_wta(
             let decoded = WtaNetwork::decode(&counts);
             if decoded.is_solved() && decoded.extends(puzzle) {
                 raster.n_steps = t + 1;
-                return WtaSolveResult { solution: Some(decoded), steps: t + 1, raster };
+                return WtaSolveResult {
+                    solution: Some(decoded),
+                    steps: t + 1,
+                    raster,
+                };
             }
             counts.iter_mut().for_each(|c| *c = 0);
             window_start = t + 1;
         }
     }
-    WtaSolveResult { solution: None, steps: max_ms, raster }
+    WtaSolveResult {
+        solution: None,
+        steps: max_ms,
+        raster,
+    }
 }
 
 #[cfg(test)]
@@ -668,7 +685,9 @@ mod tests {
             puzzle.0[i] = 0;
         }
         let res = solve_wta(&puzzle, WtaParams::default(), 42, 4000, 50);
-        let got = res.solution.expect("WTA failed to converge on an easy puzzle");
+        let got = res
+            .solution
+            .expect("WTA failed to converge on an easy puzzle");
         assert!(got.is_solved());
         assert!(got.extends(&puzzle));
     }

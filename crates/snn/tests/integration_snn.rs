@@ -20,10 +20,7 @@ fn inhibition_lowers_rate() {
         raster.neuron_times(1).len()
     };
     let inhibited = {
-        let net = Network::from_edges(
-            vec![IzhParams::regular_spiking(); 2],
-            vec![(0, 1, -20.0)],
-        );
+        let net = Network::from_edges(vec![IzhParams::regular_spiking(); 2], vec![(0, 1, -20.0)]);
         let mut sim = F64Simulator::new(&net, 2, 5);
         sim.bias = vec![12.0, 12.0];
         let raster = sim.run(2000);
@@ -49,7 +46,10 @@ fn analysis_pipeline_coherent() {
 
     let rate = raster.population_rate();
     assert_eq!(rate.len(), 800);
-    assert_eq!(rate.iter().map(|&r| r as usize).sum::<usize>(), raster.spikes.len());
+    assert_eq!(
+        rate.iter().map(|&r| r as usize).sum::<usize>(),
+        raster.spikes.len()
+    );
 
     let hist = IsiHistogram::from_raster(&raster, 5, 200);
     assert!(hist.total() > 0);

@@ -50,7 +50,9 @@ const DEMO: &str = "
 
 fn main() {
     println!("== assembling the paper's Listing 1 ==");
-    let prog = Assembler::new().assemble(LISTING_1).expect("listing 1 must assemble");
+    let prog = Assembler::new()
+        .assemble(LISTING_1)
+        .expect("listing 1 must assemble");
     for (i, word) in prog.words().iter().enumerate() {
         let inst = decode(*word).expect("decode");
         println!("  {:#06x}: {:#010x}  {}", i * 4, word, disassemble(inst));
@@ -63,7 +65,10 @@ fn main() {
     let exit = sys.run(10_000_000).expect("run");
     let spikes = sys.core(0).reg(izhirisc::isa::Reg::S0);
     let decayed = sys.core(0).reg(izhirisc::isa::Reg::S3);
-    println!("  guest retired {} instructions in {} cycles", exit.instret, exit.cycles);
+    println!(
+        "  guest retired {} instructions in {} cycles",
+        exit.instret, exit.cycles
+    );
     println!("  spikes in 1 s at Isyn = 10: {spikes}");
     println!(
         "  nmdec(16.0, tau=4) = {:.4} (one 0.5 ms decay step)",

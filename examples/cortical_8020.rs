@@ -18,15 +18,23 @@ fn main() {
     let n_exc = n * 4 / 5;
     let n_inh = n - n_exc;
 
-    println!("80-20 network: {n} neurons ({n_exc} exc / {n_inh} inh), {ticks} ms, {cores} core(s)\n");
+    println!(
+        "80-20 network: {n} neurons ({n_exc} exc / {n_inh} inh), {ticks} ms, {cores} core(s)\n"
+    );
     let wl = Net8020Workload::sized(n_exc, n_inh, ticks, cores, 5, Variant::Npu);
     let res = wl.run().expect("simulation failed");
 
     println!("spikes: {}", res.raster.spikes.len());
     println!("mean rate: {:.2} Hz/neuron", res.raster.mean_rate_hz());
     let rate = res.raster.population_rate();
-    println!("alpha-band power (8-13 Hz): {:.1}", band_power(&rate, 8, 13));
-    println!("gamma-band power (30-80 Hz): {:.1}", band_power(&rate, 30, 80));
+    println!(
+        "alpha-band power (8-13 Hz): {:.1}",
+        band_power(&rate, 8, 13)
+    );
+    println!(
+        "gamma-band power (30-80 Hz): {:.1}",
+        band_power(&rate, 30, 80)
+    );
     let isi = IsiHistogram::from_raster(&res.raster, 10, 300);
     println!("ISI histogram peak: {} ms", isi.peak_isi_ms());
 
@@ -39,7 +47,10 @@ fn main() {
         println!("  IPC         {:.4}", m.ipc);
         println!("  IPC_eff     {:.4}", m.ipc_eff);
         println!("  hazard      {:.3} %", m.hazard_stall_pct);
-        println!("  I$ / D$     {:.2} % / {:.2} %", m.icache_hit_pct, m.dcache_hit_pct);
+        println!(
+            "  I$ / D$     {:.2} % / {:.2} %",
+            m.icache_hit_pct, m.dcache_hit_pct
+        );
         println!("  mem intens. {:.2}", m.mem_intensity);
     }
 }

@@ -41,11 +41,26 @@ fn run_preset(name: &str, params: IzhParams, input: f64, ms: u32) {
 fn main() {
     println!("IzhiRISC-V NPU quickstart — one neuron per firing-pattern preset\n");
     run_preset("regular spiking", IzhParams::regular_spiking(), 10.0, 1000);
-    run_preset("intrinsically bursting", IzhParams::intrinsically_bursting(), 10.0, 1000);
+    run_preset(
+        "intrinsically bursting",
+        IzhParams::intrinsically_bursting(),
+        10.0,
+        1000,
+    );
     run_preset("chattering", IzhParams::chattering(), 10.0, 1000);
     run_preset("fast spiking", IzhParams::fast_spiking(), 10.0, 1000);
-    run_preset("low-threshold spiking", IzhParams::low_threshold_spiking(), 10.0, 1000);
-    run_preset("thalamo-cortical", IzhParams::thalamo_cortical(), 10.0, 1000);
+    run_preset(
+        "low-threshold spiking",
+        IzhParams::low_threshold_spiking(),
+        10.0,
+        1000,
+    );
+    run_preset(
+        "thalamo-cortical",
+        IzhParams::thalamo_cortical(),
+        10.0,
+        1000,
+    );
     run_preset("resonator", IzhParams::resonator(), 10.0, 1000);
     println!("\nAll updates ran through the bit-exact fixed-point NPU datapath");
     println!("(Q7.8 state, Q4.11 parameters, Q15.16 current — paper Table I).");

@@ -31,7 +31,10 @@ fn main() {
     };
 
     println!("puzzle ({} givens):\n{puzzle}", puzzle.n_givens());
-    println!("classical backtracking solution:\n{}", puzzle.solve().expect("unsolvable"));
+    println!(
+        "classical backtracking solution:\n{}",
+        puzzle.solve().expect("unsolvable")
+    );
 
     println!("running the WTA network on 2 IzhiRISC-V cores...");
     let wl = SudokuWorkload::new(puzzle, 4000, 2, 42);
@@ -39,7 +42,10 @@ fn main() {
 
     match res.solution {
         Some(sol) => {
-            println!("WTA network converged after {} ms of network time:", res.solved_at.unwrap());
+            println!(
+                "WTA network converged after {} ms of network time:",
+                res.solved_at.unwrap()
+            );
             println!("{sol}");
             assert!(sol.is_solved() && sol.extends(&puzzle));
         }
@@ -50,7 +56,9 @@ fn main() {
         "per-timestep cost: {:.3} ms at 30 MHz (paper: ~1.2 ms dual-core)",
         res.workload.time_per_tick_ms(4000)
     );
-    println!("core 0: IPC {:.3}, IPC_eff {:.3}, hazard {:.2} %, D$ {:.2} %",
-        m.ipc, m.ipc_eff, m.hazard_stall_pct, m.dcache_hit_pct);
+    println!(
+        "core 0: IPC {:.3}, IPC_eff {:.3}, hazard {:.2} %, D$ {:.2} %",
+        m.ipc, m.ipc_eff, m.hazard_stall_pct, m.dcache_hit_pct
+    );
     println!("spikes observed: {}", res.workload.raster.spikes.len());
 }

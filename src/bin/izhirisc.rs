@@ -26,7 +26,9 @@ fn usage() -> ! {
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn cmd_asm(args: &[String]) {
@@ -115,8 +117,12 @@ fn cmd_run(args: &[String]) {
         eprintln!("{path}: {e}");
         exit(1);
     });
-    let cores = arg_value(args, "--cores").map(|s| parse_u32(&s)).unwrap_or(1);
-    let budget = arg_value(args, "--cycles").map(|s| parse_u32(&s) as u64).unwrap_or(100_000_000);
+    let cores = arg_value(args, "--cores")
+        .map(|s| parse_u32(&s))
+        .unwrap_or(1);
+    let budget = arg_value(args, "--cycles")
+        .map(|s| parse_u32(&s) as u64)
+        .unwrap_or(100_000_000);
     let trace = args.iter().any(|a| a == "--trace");
     let dump_regs = args.iter().any(|a| a == "--regs");
 
@@ -175,9 +181,12 @@ fn run_traced(sys: &mut System, budget: u64) -> Result<(u64, u64), izhirisc::sim
         }
         let pc = sys.core(0).pc();
         let word = sys.shared().mem.read_u32(pc).unwrap_or(0);
-        let text = decode(word).map(disassemble).unwrap_or_else(|_| "??".into());
+        let text = decode(word)
+            .map(disassemble)
+            .unwrap_or_else(|_| "??".into());
         eprintln!("[{:>10}] {pc:#010x}: {text}", sys.core(0).time);
-        sys.step_core(0).map_err(|cause| izhirisc::sim::SimError::Trap { core: 0, cause })?;
+        sys.step_core(0)
+            .map_err(|cause| izhirisc::sim::SimError::Trap { core: 0, cause })?;
     }
     Ok((sys.core(0).time, sys.core(0).counters.instret))
 }

@@ -58,7 +58,11 @@ fn host_and_guest_npu_bit_identical() {
     sys.load_program(&prog);
     sys.run(10_000_000).unwrap();
 
-    assert_eq!(sys.core(0).reg(Reg::S0), host_spikes, "spike counts diverge");
+    assert_eq!(
+        sys.core(0).reg(Reg::S0),
+        host_spikes,
+        "spike counts diverge"
+    );
     let vu_guest = sys.shared().mem.read_u32(0x1000_0000).unwrap();
     assert_eq!(vu_guest, vu_host, "final VU words diverge");
     let (v, u) = unpack_vu(vu_guest);
