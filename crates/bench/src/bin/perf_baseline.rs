@@ -1,35 +1,53 @@
 //! `perf_baseline` — the repo's reproducible simulator-throughput
-//! measurement.
+//! measurement and CI perf-regression gate.
 //!
-//! Two kinds of rows:
+//! Three kinds of rows:
 //!
-//! * **Workload battery** (self-test, 80-20 at quick/paper scale on 1 and
-//!   2 cores, an eased Sudoku instance on 1 and 2 cores): host wall time
-//!   plus simulated cycles/s and instructions/s on the live `izhi_sim`.
-//! * **Seed-vs-live comparison**: the single-core 80-20 rows run again on
-//!   the frozen seed interpreter (`izhi_bench::seedsim`), *interleaved*
-//!   with the live one in the same process and repeated `REPS` times
-//!   (best run kept), so the reported speedup is immune to host-speed
-//!   drift between measurement sessions. Both interpreters must agree on
-//!   simulated cycles / instructions / spike count — asserted, which
-//!   doubles as an end-to-end regression check of the predecode rework.
+//! * **Workload battery** (self-test, 80-20 at quick/paper scale, the
+//!   barrier-light 80-20 sweep, an eased Sudoku instance — on 1 and 2
+//!   cores): host wall time plus simulated cycles/s and instructions/s on
+//!   the live `izhi_sim`.
+//! * **Seed-vs-live comparison**: selected rows run again on the frozen
+//!   seed interpreter (`izhi_bench::seedsim`), *interleaved* with the live
+//!   ones in the same process and repeated `REPS` times per session (best
+//!   run kept), so the reported speedups are immune to host-speed drift
+//!   between measurement sessions. Single-core rows must agree with the
+//!   seed bit- and cycle-exactly (cycles, instret, full packed spike log).
+//!   Dual-core rows must agree on the *spike raster as a set*: the seed's
+//!   multi-core scheduler batches eight steps per pick, so its interleaving
+//!   (and therefore cycle/spin counts and log order) differs from both the
+//!   live exact schedule and the relaxed one — the physics may not.
+//! * **Scheduling-mode rows**: dual-core workloads are measured under the
+//!   exact scheduler (`*_exact`, cycle-faithful, fused two-core loop) *and*
+//!   under `SchedMode::Relaxed` (the headline `*_2core` rows — the
+//!   configuration multi-core sweeps actually use). Relaxed rows report
+//!   the relaxed clock (one cycle per instruction); their rasters are
+//!   asserted identical to the exact rows'.
 //!
 //! ```text
-//! cargo run --release --bin perf_baseline [-- <out.json>]
+//! cargo run --release --bin perf_baseline -- [out.json]
+//!     [--check baseline.json] [--min-ratio 0.85]
 //! ```
 //!
-//! Writes `BENCH_1.json` (or the given path).
+//! Writes `BENCH_2.json` (or the given path). With `--check`, the
+//! single-core `speedup_vs_seed` entries of the fresh measurement are
+//! compared against the committed baseline file and the process exits
+//! non-zero if any entry fell below `min-ratio` × its baseline value —
+//! the CI perf-regression gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use izhi_bench::seedsim;
 use izhi_isa::Assembler;
-use izhi_programs::engine::{build_asm, GuestImage, Variant};
+use izhi_programs::engine::{
+    build_asm, run_workload, EngineConfig, GuestImage, Variant, WorkloadResult,
+};
 use izhi_programs::net8020::Net8020Workload;
 use izhi_programs::sudoku_prog::SudokuWorkload;
+use izhi_programs::sweep::Net8020SweepWorkload;
 use izhi_programs::{layout, selftest};
-use izhi_sim::{System, SystemConfig};
+use izhi_sim::{SchedMode, System, SystemConfig};
 use izhi_snn::sudoku::hard_corpus;
 
 /// Interleaved repetitions per comparison session.
@@ -37,10 +55,14 @@ const REPS: usize = 5;
 /// Comparison sessions per workload (the best session's rows are kept;
 /// host-speed drift on this shared VM makes single sessions undershoot).
 const SESSIONS: usize = 5;
+/// Interleaved repetitions for the (expensive) Sudoku rows.
+const SUDOKU_REPS: usize = 3;
 
 /// One measured workload.
 struct Row {
     name: String,
+    /// Scheduling mode annotation: "exact", "relaxed" or "seed".
+    sched: &'static str,
     wall_s: f64,
     sim_cycles: u64,
     sim_instret: u64,
@@ -58,12 +80,45 @@ impl Row {
     fn instr_per_s(&self) -> f64 {
         self.sim_instret as f64 / self.wall_s
     }
+
+    fn keep_best(self, best: &mut Option<Row>) {
+        if best.as_ref().is_none_or(|b| self.wall_s < b.wall_s) {
+            *best = Some(self);
+        }
+    }
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let start = Instant::now();
     let out = f();
     (start.elapsed().as_secs_f64(), out)
+}
+
+fn sorted(log: &[u32]) -> Vec<u32> {
+    let mut s = log.to_vec();
+    s.sort_unstable();
+    s
+}
+
+fn packed_log(res: &WorkloadResult) -> Vec<u32> {
+    res.raster
+        .spikes
+        .iter()
+        .map(|&(t, n)| izhi_snn::analysis::SpikeRaster::pack(t, n))
+        .collect()
+}
+
+/// Build a measurement row from a timed live-interpreter run.
+fn row_from(name: &str, sched: &'static str, wall_s: f64, res: &WorkloadResult) -> Row {
+    Row {
+        name: name.into(),
+        sched,
+        wall_s,
+        sim_cycles: res.cycles,
+        sim_instret: res.instret,
+        spikes: res.raster.spikes.len() as u64,
+        spike_log: packed_log(res),
+    }
 }
 
 fn selftest_row() -> Row {
@@ -85,6 +140,7 @@ fn selftest_row() -> Row {
     assert_eq!(failures, 0, "guest self-test battery failed");
     Row {
         name: "selftest_battery".into(),
+        sched: "exact",
         wall_s,
         sim_cycles: exit.cycles,
         sim_instret: exit.instret,
@@ -93,44 +149,9 @@ fn selftest_row() -> Row {
     }
 }
 
-fn net8020_row(name: &str, n_exc: usize, n_inh: usize, ticks: u32, cores: u32) -> Row {
-    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, cores, 5, Variant::Npu);
-    let (wall_s, res) = time(|| wl.run().expect("net8020 run"));
-    Row {
-        name: name.into(),
-        wall_s,
-        sim_cycles: res.cycles,
-        sim_instret: res.instret,
-        spikes: res.raster.spikes.len() as u64,
-        spike_log: Vec::new(),
-    }
-}
-
-fn sudoku_row(name: &str, cores: u32) -> Row {
-    // The quick-scale instance of the paper's Table VI flow: one hard
-    // puzzle eased by restoring half the blanks, 2500-tick budget.
-    let mut puzzle = hard_corpus(1)[0];
-    let sol = puzzle.solve().expect("classical solver");
-    for i in (0..81).step_by(2) {
-        if puzzle.0[i] == 0 {
-            puzzle.0[i] = sol.0[i];
-        }
-    }
-    let wl = SudokuWorkload::new(puzzle, 2500, cores, 100);
-    let (wall_s, res) = time(|| wl.run(50).expect("sudoku run"));
-    Row {
-        name: name.into(),
-        wall_s,
-        sim_cycles: res.workload.cycles,
-        sim_instret: res.workload.instret,
-        spikes: res.workload.raster.spikes.len() as u64,
-        spike_log: Vec::new(),
-    }
-}
-
 /// Mirror of `GuestImage::load_into` against the frozen seed system
 /// (dense NPU variant only — the configuration the comparison rows use).
-fn load_image_seed(sys: &mut seedsim::System, image: &GuestImage, n: usize) {
+fn load_image_seed(sys: &mut seedsim::System, image: &GuestImage) {
     let mem = &mut sys.shared_mut().mem;
     for (i, p) in image.params.iter().enumerate() {
         let (rs1, rs2) = p.pack();
@@ -147,7 +168,6 @@ fn load_image_seed(sys: &mut seedsim::System, image: &GuestImage, n: usize) {
     for (i, &x) in image.noise_q.iter().enumerate() {
         mem.write_u16(layout::NOISE + 2 * i as u32, x as u16);
     }
-    let _ = n;
 }
 
 fn seed_config(cfg: &SystemConfig) -> seedsim::SystemConfig {
@@ -174,86 +194,197 @@ fn seed_config(cfg: &SystemConfig) -> seedsim::SystemConfig {
     }
 }
 
-/// Interleaved seed-vs-live measurement of one single-core 80-20 setup.
-/// Returns `(seed_row, live_row)`, each the best of [`REPS`] runs.
-fn compare_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row) {
-    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, 1, 5, Variant::Npu);
-    let decay = (1.0 - 0.5 / wl.cfg.tau as f64) as f32;
-    let asm = format!(
-        ".equ DECAY_F32, {:#x}\n{}",
-        decay.to_bits(),
-        build_asm(&wl.cfg)
-    );
+/// One timed run of a workload on the frozen seed interpreter (assembly,
+/// system construction and image load are inside the timed region, exactly
+/// like the live side's `wl.run()`).
+fn seed_run(name: &str, asm: &str, cfg: &EngineConfig, image: &GuestImage) -> Row {
+    let (wall_s, (exit, spike_log)) = time(|| {
+        let prog = Assembler::new().assemble(asm).expect("engine assembles");
+        let mut sys = seedsim::System::new(seed_config(&cfg.system));
+        assert!(sys.load_program(&prog));
+        load_image_seed(&mut sys, image);
+        let exit = sys.run(8_000_000_000).expect("seed run");
+        let spike_log = sys.shared().dev.spike_log.clone();
+        (exit, spike_log)
+    });
+    Row {
+        name: format!("{name}_seed"),
+        sched: "seed",
+        wall_s,
+        sim_cycles: exit.cycles,
+        sim_instret: exit.instret,
+        spikes: spike_log.len() as u64,
+        spike_log,
+    }
+}
 
+/// One timed run on the live interpreter under the workload's configured
+/// scheduling mode.
+fn live_run(name: &str, sched: &'static str, wl: &Net8020Workload) -> Row {
+    let (wall_s, res) = time(|| wl.run().expect("live run"));
+    row_from(name, sched, wall_s, &res)
+}
+
+fn engine_asm(cfg: &EngineConfig) -> String {
+    let decay = (1.0 - 0.5 / cfg.tau as f64) as f32;
+    format!(".equ DECAY_F32, {:#x}\n{}", decay.to_bits(), build_asm(cfg))
+}
+
+/// Interleaved seed-vs-live measurement of one single-core 80-20 setup.
+/// Returns `(seed_row, live_row)`, each the best of [`REPS`] runs. Bit-
+/// and cycle-exactness vs the seed is asserted on every rep.
+fn compare_rows_1core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row) {
+    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, 1, 5, Variant::Npu);
+    let asm = engine_asm(&wl.cfg);
     let mut seed_best: Option<Row> = None;
     let mut live_best: Option<Row> = None;
     for _ in 0..REPS {
-        // Seed interpreter. Symmetric with the live side's `wl.run()`:
-        // assembling the program and building/loading the system are part
-        // of the timed region on both sides.
-        let (wall_s, (exit, spike_log)) = time(|| {
-            let prog = Assembler::new().assemble(&asm).expect("engine assembles");
-            let mut sys = seedsim::System::new(seed_config(&wl.cfg.system));
-            assert!(sys.load_program(&prog));
-            load_image_seed(&mut sys, &wl.image, wl.cfg.n);
-            let exit = sys.run(1_000_000_000).expect("seed run");
-            let spike_log = sys.shared().dev.spike_log.clone();
-            (exit, spike_log)
-        });
-        let row = Row {
-            name: format!("{name}_seed"),
-            wall_s,
-            sim_cycles: exit.cycles,
-            sim_instret: exit.instret,
-            spikes: spike_log.len() as u64,
-            spike_log,
-        };
-        if seed_best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
-            seed_best = Some(row);
-        }
-        // Live interpreter, same program/image, immediately after.
-        let (wall_s, res) = time(|| wl.run().expect("live run"));
-        let row = Row {
-            name: name.into(),
-            wall_s,
-            sim_cycles: res.cycles,
-            sim_instret: res.instret,
-            spikes: res.raster.spikes.len() as u64,
-            spike_log: res
-                .raster
-                .spikes
-                .iter()
-                .map(|&(t, n)| izhi_snn::analysis::SpikeRaster::pack(t, n))
-                .collect(),
-        };
-        if live_best.as_ref().is_none_or(|b| row.wall_s < b.wall_s) {
-            live_best = Some(row);
+        let seed = seed_run(name, &asm, &wl.cfg, &wl.image);
+        let live = live_run(name, "exact", &wl);
+        // The rework must be bit- and cycle-exact vs the seed interpreter:
+        // same cycles, same retired instructions, and the *full* packed
+        // spike log word for word.
+        assert_eq!(seed.sim_cycles, live.sim_cycles, "{name}: cycle drift");
+        assert_eq!(seed.sim_instret, live.sim_instret, "{name}: instret drift");
+        assert_eq!(seed.spike_log, live.spike_log, "{name}: raster drift");
+        seed.keep_best(&mut seed_best);
+        live.keep_best(&mut live_best);
+    }
+    (seed_best.unwrap(), live_best.unwrap())
+}
+
+/// Interleaved seed-vs-live measurement of the dual-core 80-20 setup:
+/// seed (its own 8-step-batch scheduler), live exact (fused two-core
+/// loop) and live relaxed (the headline multi-core configuration) run
+/// back-to-back each rep. All three must produce the identical spike
+/// raster *as a set*; cycle counts legitimately differ between the three
+/// schedules and are reported per row.
+fn compare_rows_2core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row, Row) {
+    let exact_wl = Net8020Workload::sized(n_exc, n_inh, ticks, 2, 5, Variant::Npu);
+    let mut relaxed_wl = exact_wl.clone();
+    relaxed_wl.cfg.system.sched = SchedMode::relaxed();
+    let asm = engine_asm(&exact_wl.cfg);
+    let mut seed_best: Option<Row> = None;
+    let mut relaxed_best: Option<Row> = None;
+    let mut exact_best: Option<Row> = None;
+    for _ in 0..REPS {
+        let seed = seed_run(name, &asm, &exact_wl.cfg, &exact_wl.image);
+        let relaxed = live_run(name, "relaxed", &relaxed_wl);
+        let exact = live_run(&format!("{name}_exact"), "exact", &exact_wl);
+        let reference = sorted(&seed.spike_log);
+        assert_eq!(
+            reference,
+            sorted(&relaxed.spike_log),
+            "{name}: relaxed raster drift"
+        );
+        assert_eq!(
+            reference,
+            sorted(&exact.spike_log),
+            "{name}: exact raster drift"
+        );
+        seed.keep_best(&mut seed_best);
+        relaxed.keep_best(&mut relaxed_best);
+        exact.keep_best(&mut exact_best);
+    }
+    (
+        seed_best.unwrap(),
+        relaxed_best.unwrap(),
+        exact_best.unwrap(),
+    )
+}
+
+/// Barrier-light 80-20 sweep: one independent population per core, no
+/// per-tick barriers. The dual-core relaxed row is the showcase
+/// configuration; the single-core exact row (same block-diagonal image in
+/// one chunk) is its reference. Rasters must match.
+fn sweep_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row) {
+    let wl = Net8020SweepWorkload::sized(n_exc, n_inh, ticks, 2, 5);
+    let mut relaxed = wl.clone();
+    relaxed.cfg.system.sched = SchedMode::relaxed();
+    let mut one_cfg = wl.cfg.clone();
+    one_cfg.n_cores = 1;
+    one_cfg.system.n_cores = 1;
+    let mut one_best: Option<Row> = None;
+    let mut two_best: Option<Row> = None;
+    for _ in 0..REPS {
+        let (wall_s, res1) =
+            time(|| run_workload(&one_cfg, &wl.image, 8_000_000_000).expect("sweep 1-core run"));
+        let one = row_from(&format!("{name}_1core"), "exact", wall_s, &res1);
+        let (wall_s, res2) = time(|| relaxed.run().expect("sweep 2-core run"));
+        let two = row_from(&format!("{name}_2core"), "relaxed", wall_s, &res2);
+        assert_eq!(
+            sorted(&one.spike_log),
+            sorted(&two.spike_log),
+            "{name}: partitioning changed the sweep raster"
+        );
+        one.keep_best(&mut one_best);
+        two.keep_best(&mut two_best);
+    }
+    (one_best.unwrap(), two_best.unwrap())
+}
+
+/// The quick-scale instance of the paper's Table VI flow: one hard puzzle
+/// eased by restoring half the blanks, 2500-tick budget. Returns the
+/// single-core exact row, the dual-core relaxed row and the dual-core
+/// exact row, interleaved best-of-[`SUDOKU_REPS`]; all rasters must match.
+fn sudoku_rows() -> (Row, Row, Row) {
+    let mut puzzle = hard_corpus(1)[0];
+    let sol = puzzle.solve().expect("classical solver");
+    for i in (0..81).step_by(2) {
+        if puzzle.0[i] == 0 {
+            puzzle.0[i] = sol.0[i];
         }
     }
-    let (seed, live) = (seed_best.unwrap(), live_best.unwrap());
-    // The rework must be bit- and cycle-exact vs the seed interpreter:
-    // same cycles, same retired instructions, and the *full* packed spike
-    // log word for word.
-    assert_eq!(seed.sim_cycles, live.sim_cycles, "{name}: cycle drift");
-    assert_eq!(seed.sim_instret, live.sim_instret, "{name}: instret drift");
-    assert_eq!(seed.spike_log, live.spike_log, "{name}: raster drift");
-    (seed, live)
+    let run_one = |name: &str, sched: &'static str, cores: u32, mode: SchedMode| -> Row {
+        let mut wl = SudokuWorkload::new(puzzle, 2500, cores, 100);
+        wl.cfg.system.sched = mode;
+        let (wall_s, res) = time(|| wl.run(50).expect("sudoku run"));
+        row_from(name, sched, wall_s, &res.workload)
+    };
+    let mut one_best: Option<Row> = None;
+    let mut relaxed_best: Option<Row> = None;
+    let mut exact_best: Option<Row> = None;
+    for _ in 0..SUDOKU_REPS {
+        let one = run_one("sudoku_quick_1core", "exact", 1, SchedMode::Exact);
+        let relaxed = run_one("sudoku_quick_2core", "relaxed", 2, SchedMode::relaxed());
+        let exact = run_one("sudoku_quick_2core_exact", "exact", 2, SchedMode::Exact);
+        let reference = sorted(&one.spike_log);
+        assert_eq!(
+            reference,
+            sorted(&relaxed.spike_log),
+            "sudoku relaxed raster drift"
+        );
+        assert_eq!(
+            reference,
+            sorted(&exact.spike_log),
+            "sudoku exact raster drift"
+        );
+        one.keep_best(&mut one_best);
+        relaxed.keep_best(&mut relaxed_best);
+        exact.keep_best(&mut exact_best);
+    }
+    (
+        one_best.unwrap(),
+        relaxed_best.unwrap(),
+        exact_best.unwrap(),
+    )
 }
 
 fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v3\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; sim cycles/instret and full packed spike logs asserted identical\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \
+            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \
              \"sim_instret\": {}, \"spikes\": {}, \"sim_cycles_per_s\": {:.0}, \
              \"sim_instr_per_s\": {:.0}}}",
             r.name,
+            r.sched,
             r.wall_s,
             r.sim_cycles,
             r.sim_instret,
@@ -273,10 +404,100 @@ fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
     out
 }
 
+/// Extract the `"speedup_vs_seed"` object of a baseline JSON written by
+/// this tool (hand-rolled: the workspace builds offline, without serde).
+fn parse_speedups(text: &str) -> Vec<(String, f64)> {
+    let Some(idx) = text.find("\"speedup_vs_seed\"") else {
+        return Vec::new();
+    };
+    let rest = &text[idx..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|entry| {
+            let (k, v) = entry.split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            let v: f64 = v.trim().parse().ok()?;
+            (!k.is_empty()).then(|| (k.to_string(), v))
+        })
+        .collect()
+}
+
+/// The CI regression gate: every single-core `speedup_vs_seed` entry of
+/// the committed baseline must be reproduced at `min_ratio` × its value or
+/// better. Multi-core and relaxed entries are informational only — they
+/// depend on host parallel/throughput behaviour CI runners don't promise.
+fn check_gate(fresh: &[(String, f64)], baseline_path: &str, min_ratio: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_speedups(&text);
+    let gated: Vec<_> = baseline
+        .iter()
+        .filter(|(name, _)| name.contains("_1core"))
+        .collect();
+    if gated.is_empty() {
+        eprintln!("baseline {baseline_path} has no single-core speedup entries");
+        return false;
+    }
+    println!("\nperf gate vs {baseline_path} (min ratio {min_ratio:.2}):");
+    let mut ok = true;
+    for (name, base) in gated {
+        match fresh.iter().find(|(n, _)| n == name) {
+            None => {
+                println!("  {name}: MISSING from fresh measurement");
+                ok = false;
+            }
+            Some((_, v)) => {
+                let ratio = v / base;
+                let verdict = if ratio >= min_ratio {
+                    "ok"
+                } else {
+                    ok = false;
+                    "REGRESSED"
+                };
+                println!("  {name}: {v:.3}x vs baseline {base:.3}x (ratio {ratio:.3}) {verdict}");
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".into());
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut min_ratio = 0.85f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_path = args.next(),
+            "--min-ratio" => {
+                min_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-ratio needs a number");
+            }
+            // Reject unknown flags loudly: a typoed `--check` silently
+            // consumed as the output path would disable the CI gate while
+            // staying green.
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`; usage: perf_baseline [out.json] [--check baseline.json] [--min-ratio R]");
+                std::process::exit(2);
+            }
+            _ => out_path = Some(arg),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_2.json".into());
+
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
     let cmp_only = std::env::var_os("BENCH_CMP_ONLY").is_some();
@@ -286,31 +507,52 @@ fn main() {
         vec![selftest_row()]
     };
     let mut speedups = Vec::new();
+
     for (name, n_exc, n_inh, ticks) in [
         ("net8020_quick_1core", 160, 40, 300u32),
         ("net8020_paper_1core_100ms", 800, 200, 100),
     ] {
         let (seed, live) = (0..SESSIONS)
-            .map(|_| compare_rows(name, n_exc, n_inh, ticks))
+            .map(|_| compare_rows_1core(name, n_exc, n_inh, ticks))
             .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
             .expect("at least one session");
         speedups.push((name.to_string(), seed.wall_s / live.wall_s));
         rows.push(seed);
         rows.push(live);
     }
-    if !cmp_only {
-        rows.push(net8020_row("net8020_quick_2core", 160, 40, 300, 2));
-        rows.push(sudoku_row("sudoku_quick_1core", 1));
-        rows.push(sudoku_row("sudoku_quick_2core", 2));
+
+    {
+        let name = "net8020_quick_2core";
+        let (seed, relaxed, exact) = (0..SESSIONS)
+            .map(|_| compare_rows_2core(name, 160, 40, 300))
+            .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
+            .expect("at least one session");
+        speedups.push((name.to_string(), seed.wall_s / relaxed.wall_s));
+        speedups.push((format!("{name}_exact"), seed.wall_s / exact.wall_s));
+        rows.push(seed);
+        rows.push(relaxed);
+        rows.push(exact);
     }
+
+    if !cmp_only {
+        let (one, two) = sweep_rows("net8020_sweep_quick", 160, 40, 300);
+        rows.push(one);
+        rows.push(two);
+        let (one, relaxed, exact) = sudoku_rows();
+        rows.push(one);
+        rows.push(relaxed);
+        rows.push(exact);
+    }
+
     println!(
-        "{:<30} {:>9} {:>14} {:>14} {:>12} {:>12}",
-        "workload", "wall [s]", "sim cycles", "sim instret", "Mcycles/s", "Minstr/s"
+        "{:<30} {:>8} {:>9} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "sched", "wall [s]", "sim cycles", "sim instret", "Mcycles/s", "Minstr/s"
     );
     for r in &rows {
         println!(
-            "{:<30} {:>9.3} {:>14} {:>14} {:>12.2} {:>12.2}",
+            "{:<30} {:>8} {:>9.3} {:>14} {:>14} {:>12.2} {:>12.2}",
             r.name,
+            r.sched,
             r.wall_s,
             r.sim_cycles,
             r.sim_instret,
@@ -323,4 +565,12 @@ fn main() {
     }
     std::fs::write(&out_path, json(&rows, &speedups)).expect("write json");
     println!("\nwrote {out_path}");
+
+    if let Some(baseline) = check_path {
+        if !check_gate(&speedups, &baseline, min_ratio) {
+            eprintln!("perf gate FAILED");
+            std::process::exit(1);
+        }
+        println!("perf gate passed");
+    }
 }

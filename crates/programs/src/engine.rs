@@ -64,6 +64,13 @@ pub struct EngineConfig {
     /// reports 0.7-9 % hazard stalls and proposes CSR writeback to cut
     /// them).
     pub scheduled: bool,
+    /// Couple the cores each tick (default). When false, every core's
+    /// chunk is treated as an independent sub-population: phase A reads
+    /// only the core's *own* previous-tick spike list and the per-tick
+    /// barriers are dropped (only the start-up barrier remains). Only
+    /// correct for block-diagonal weight matrices partitioned on the chunk
+    /// boundaries — the sweep workloads are built exactly that way.
+    pub coupled: bool,
     /// System configuration template (clock, caches, bus).
     pub system: SystemConfig,
 }
@@ -82,6 +89,7 @@ impl EngineConfig {
             variant,
             sparse: false,
             scheduled: true,
+            coupled: true,
             system,
         }
     }
@@ -332,6 +340,12 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
         s.push_str("    li   a6, HBITS\n    nmldh x0, a6, x0\n");
     }
     s.push_str(SKELETON_LOOP_TOP);
+    s.push_str(if cfg.coupled {
+        PHASE_A_ALL_PRODUCERS
+    } else {
+        PHASE_A_OWN_PRODUCER
+    });
+    s.push_str(PHASE_A_HEAD);
     match cfg.variant {
         Variant::Npu => {
             s.push_str(if cfg.sparse {
@@ -339,6 +353,7 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
             } else {
                 PHASE_A_FIXED
             });
+            s.push_str(phase_a_tail(cfg.coupled));
             s.push_str(PHASE_B_HEAD);
             s.push_str(if cfg.scheduled {
                 PHASE_B_NPU
@@ -352,6 +367,7 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
             } else {
                 PHASE_A_FIXED
             });
+            s.push_str(phase_a_tail(cfg.coupled));
             s.push_str(PHASE_B_HEAD);
             s.push_str(&phase_b_base_fixed(cfg.tau));
         }
@@ -361,11 +377,12 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
             } else {
                 PHASE_A_SOFTFLOAT
             });
+            s.push_str(phase_a_tail(cfg.coupled));
             s.push_str(PHASE_B_HEAD_F32);
             s.push_str(PHASE_B_SOFTFLOAT_LOOP);
         }
     }
-    s.push_str(SKELETON_TAIL);
+    s.push_str(&skeleton_tail(cfg.coupled));
     if cfg.variant == Variant::SoftFloat {
         s.push_str(SF_HALF_STEP);
         s.push_str(FADD_FMUL_ASM);
@@ -412,7 +429,19 @@ tick_loop:
     bge  s0, s1, tick_publish # surplus core: nothing to do
     li   t0, 1
     sub  t6, t0, s3          # previous parity
-    li   a4, 0               # producer core k
+";
+
+/// Phase A producer initialisation, coupled engine: walk every core's
+/// previous-tick spike list.
+const PHASE_A_ALL_PRODUCERS: &str = "    li   a4, 0               # producer core k\n";
+
+/// Phase A producer initialisation, uncoupled (sweep) engine: only this
+/// core's own list feeds its block-diagonal sub-population.
+const PHASE_A_OWN_PRODUCER: &str = "    add  a4, s4, x0          # sole producer: own spike list\n";
+
+/// Phase A per-producer header: load the producer's spike count and point
+/// `t0` at its list segment.
+const PHASE_A_HEAD: &str = "
 phaseA_core:
     li   t0, SPIKE_COUNTS
     slli t1, t6, 5
@@ -428,6 +457,23 @@ phaseA_core:
     slli t1, a4, 11
     add  t0, t0, t1          # t0 = spike-list cursor
 ";
+
+/// Phase A producer-loop tail: the coupled engine advances to the next
+/// producer core; the uncoupled engine falls through after its own list.
+fn phase_a_tail(coupled: bool) -> &'static str {
+    if coupled {
+        "
+phaseA_next_core:
+    addi a4, a4, 1
+    li   t0, NCORES
+    bne  a4, t0, phaseA_core
+"
+    } else {
+        "
+phaseA_next_core:
+"
+    }
+}
 
 /// Phase A for the fixed-point variants: scatter w (Q7.8 -> Q15.16) rows.
 const PHASE_A_FIXED: &str = "
@@ -456,10 +502,6 @@ phaseA_inner:
     bnez t3, phaseA_inner
     addi a5, a5, -1
     bnez a5, phaseA_spike
-phaseA_next_core:
-    addi a4, a4, 1
-    li   t0, NCORES
-    bne  a4, t0, phaseA_core
 ";
 
 /// Phase A, sparse CSR walk (fixed-point variants): for each spike, only
@@ -497,10 +539,6 @@ phaseA_inner:
 phaseA_row_done:
     addi a5, a5, -1
     bnez a5, phaseA_spike
-phaseA_next_core:
-    addi a4, a4, 1
-    li   t0, NCORES
-    bne  a4, t0, phaseA_core
 ";
 
 /// Phase A, sparse CSR walk for the soft-float variant.
@@ -540,10 +578,6 @@ phaseA_row_done:
     add  a5, s6, x0
     addi a5, a5, -1
     bnez a5, phaseA_spike
-phaseA_next_core:
-    addi a4, a4, 1
-    li   t0, NCORES
-    bne  a4, t0, phaseA_core
 ";
 
 /// Phase A for the soft-float variant: every deposit is an fadd call.
@@ -576,10 +610,6 @@ phaseA_inner:
     add  a5, s6, x0
     addi a5, a5, -1
     bnez a5, phaseA_spike
-phaseA_next_core:
-    addi a4, a4, 1
-    li   t0, NCORES
-    bne  a4, t0, phaseA_core
 ";
 
 /// Phase B prologue shared by the fixed-point variants: pointer setup.
@@ -927,8 +957,13 @@ sf_nospike:
     ret
 ";
 
-/// Tail: publish spike count, barrier, parity flip, loop, ROI stop, halt.
-const SKELETON_TAIL: &str = "
+/// Tail: publish spike count, barrier (coupled only), parity flip, loop,
+/// ROI stop, halt. The barrier routine stays in both variants — the
+/// skeleton head always synchronises once before the tick loop.
+fn skeleton_tail(coupled: bool) -> String {
+    let sync = if coupled { "    call barrier\n" } else { "" };
+    format!(
+        "
 tick_publish:
     li   t0, SPIKE_COUNTS
     slli t1, s3, 5
@@ -936,8 +971,7 @@ tick_publish:
     slli t1, s4, 2
     add  t0, t0, t1
     sw   s7, (t0)            # publish my spike count
-    call barrier
-    xori s3, s3, 1
+{sync}    xori s3, s3, 1
     addi s2, s2, 1
     li   t0, TICKS
     bne  s2, t0, tick_loop
@@ -955,7 +989,9 @@ barrier_spin:
     lw   t2, (t0)
     beq  t2, t1, barrier_spin
     ret
-";
+"
+    )
+}
 
 /// Assemble, load and run a workload end to end.
 pub fn run_workload(

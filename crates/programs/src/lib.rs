@@ -14,6 +14,9 @@
 //! * [`net8020`] — the 1000-neuron 80-20 cortical workload (Table V,
 //!   Figs. 2–3);
 //! * [`sudoku_prog`] — the 729-neuron WTA Sudoku workload (Table VI);
+//! * [`sweep`] — a barrier-light multi-population 80-20 sweep (one
+//!   independent population per core; the showcase for the simulator's
+//!   relaxed scheduling mode);
 //! * [`layout`] — guest memory-map constants shared between the assembly
 //!   generator and the host-side image builder.
 
@@ -23,7 +26,9 @@ pub mod net8020;
 pub mod selftest;
 pub mod softfloat;
 pub mod sudoku_prog;
+pub mod sweep;
 
 pub use engine::{EngineConfig, Variant, WorkloadResult};
 pub use net8020::Net8020Workload;
 pub use sudoku_prog::SudokuWorkload;
+pub use sweep::Net8020SweepWorkload;

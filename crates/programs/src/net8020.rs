@@ -135,6 +135,24 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_scheduling_preserves_the_raster() {
+        // Barrier-coupled phases: the relaxed scheduler's blocking barrier
+        // keeps the tick phases ordered, so the spike raster must be the
+        // exact run's raster (order within a tick may differ).
+        let exact = Net8020Workload::sized(80, 20, 200, 2, 5, Variant::Npu)
+            .run()
+            .unwrap();
+        let mut wl = Net8020Workload::sized(80, 20, 200, 2, 5, Variant::Npu);
+        wl.cfg.system.sched = izhi_sim::SchedMode::relaxed();
+        let relaxed = wl.run().unwrap();
+        let mut a = exact.raster.spikes.clone();
+        let mut b = relaxed.raster.spikes.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn dual_core_speedup_in_expected_band() {
         let one = Net8020Workload::sized(80, 20, 150, 1, 5, Variant::Npu)
             .run()

@@ -1,0 +1,178 @@
+//! Barrier-light multi-population 80-20 sweep workload.
+//!
+//! The coupled 80-20 workload synchronises its cores twice per tick, which
+//! is exactly the regime where cycle-exact multi-core interleaving is
+//! expensive to simulate. Parameter sweeps have the opposite shape: each
+//! core runs an *independent* 80-20 population (here: the same geometry
+//! with per-core seeds, as a repetition/seed sweep), so cross-core
+//! communication disappears entirely and the engine can drop the per-tick
+//! barriers ([`EngineConfig::coupled`]` = false`). That makes the workload
+//! the showcase for [`izhi_sim::SchedMode::Relaxed`]: long uninterrupted
+//! per-core quanta with nothing to wait on but the single start-up barrier.
+//!
+//! Construction places population `k` in core `k`'s chunk and keeps the
+//! combined weight matrix block-diagonal on the chunk boundaries, so the
+//! uncoupled phase A (which only walks the core's own spike list) computes
+//! the same dynamics a coupled run would: the cross-block weights it skips
+//! are all zero. Tests pin that equivalence.
+
+use izhi_sim::SimError;
+use izhi_snn::gen8020::Net8020;
+use izhi_snn::network::Network;
+
+use crate::engine::{run_workload, EngineConfig, GuestImage, Variant, WorkloadResult};
+
+/// A prepared multi-population sweep workload (one 80-20 net per core).
+#[derive(Debug, Clone)]
+pub struct Net8020SweepWorkload {
+    /// The per-core populations (host view), in core order.
+    pub subnets: Vec<Net8020>,
+    /// The combined block-diagonal guest image.
+    pub image: GuestImage,
+    /// Engine configuration (`coupled = false`).
+    pub cfg: EngineConfig,
+}
+
+impl Net8020SweepWorkload {
+    /// Build `n_cores` independent populations of `n_exc + n_inh` neurons
+    /// each, seeded `seed, seed+1, …` (a repetition sweep), `ticks` 1 ms
+    /// steps.
+    pub fn sized(n_exc: usize, n_inh: usize, ticks: u32, n_cores: u32, seed: u32) -> Self {
+        let sub_n = n_exc + n_inh;
+        let mut subnets = Vec::with_capacity(n_cores as usize);
+        let mut params = Vec::with_capacity(sub_n * n_cores as usize);
+        let mut edges = Vec::new();
+        let mut noise_std = Vec::with_capacity(sub_n * n_cores as usize);
+        for k in 0..n_cores {
+            let mut net = Net8020::with_size(n_exc, n_inh, seed.wrapping_add(k));
+            // Same charge normalisation as the coupled workload (see
+            // `Net8020Workload::sized`): weights deliver persistent current
+            // with DCU decay, so scale by (1 - r) at τ = 2.
+            for w in &mut net.network.weights {
+                *w *= 0.25;
+            }
+            let base = k as usize * sub_n;
+            params.extend(net.network.params.iter().copied());
+            for pre in 0..sub_n {
+                for (post, w) in net.network.out_edges(pre) {
+                    edges.push(((base + pre) as u32, (base + post as usize) as u32, w));
+                }
+            }
+            noise_std.extend((0..sub_n).map(|i| {
+                if net.is_excitatory(i) {
+                    net.exc_noise
+                } else {
+                    net.inh_noise
+                }
+            }));
+            subnets.push(net);
+        }
+        let network = Network::from_edges(params, edges);
+        let n = network.len();
+        let bias = vec![0.0; n];
+        let image = GuestImage::from_network(&network, &bias, &noise_std, ticks, seed ^ 0x5EED);
+        let mut cfg = EngineConfig::new(n, ticks, n_cores, Variant::Npu);
+        cfg.coupled = false;
+        // The block-diagonal construction is only valid when the chunk
+        // boundaries coincide with the population boundaries.
+        assert_eq!(cfg.chunk(), sub_n, "population does not fill its chunk");
+        Net8020SweepWorkload {
+            subnets,
+            image,
+            cfg,
+        }
+    }
+
+    /// Run on the simulator (scheduling mode comes from
+    /// `self.cfg.system.sched`).
+    pub fn run(&self) -> Result<WorkloadResult, SimError> {
+        run_workload(&self.cfg, &self.image, 8_000_000_000)
+    }
+
+    /// Spikes of population `k` only, with neuron ids rebased to the
+    /// population (for per-sweep-point analysis).
+    pub fn population_spikes(&self, res: &WorkloadResult, k: usize) -> Vec<(u32, u32)> {
+        let sub_n = self.cfg.chunk() as u32;
+        let lo = k as u32 * sub_n;
+        res.raster
+            .spikes
+            .iter()
+            .filter(|&&(_, n)| (lo..lo + sub_n).contains(&n))
+            .map(|&(t, n)| (t, n - lo))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use izhi_sim::SchedMode;
+
+    fn sorted(res: &WorkloadResult) -> Vec<(u32, u32)> {
+        let mut s = res.raster.spikes.clone();
+        s.sort_unstable();
+        s
+    }
+
+    #[test]
+    fn sweep_populations_are_active_and_disjoint() {
+        let wl = Net8020SweepWorkload::sized(40, 10, 200, 2, 9);
+        let res = wl.run().unwrap();
+        let a = wl.population_spikes(&res, 0);
+        let b = wl.population_spikes(&res, 1);
+        assert!(!a.is_empty() && !b.is_empty(), "{} / {}", a.len(), b.len());
+        assert_eq!(a.len() + b.len(), res.raster.spikes.len());
+        // Different seeds ⇒ different rasters.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn relaxed_matches_exact_raster() {
+        let base = Net8020SweepWorkload::sized(40, 10, 200, 2, 9);
+        let exact = base.run().unwrap();
+        for quantum in [1u64, 4096, SchedMode::DEFAULT_QUANTUM] {
+            let mut wl = base.clone();
+            wl.cfg.system.sched = SchedMode::Relaxed { quantum };
+            let relaxed = wl.run().unwrap();
+            assert_eq!(
+                sorted(&exact),
+                sorted(&relaxed),
+                "quantum {quantum} changed the raster"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioning_does_not_change_the_dynamics() {
+        // The same block-diagonal image run on one core (whole network in
+        // one chunk, dense rows include the zero cross-blocks) must produce
+        // the identical raster the partitioned 2-core run does.
+        let wl = Net8020SweepWorkload::sized(40, 10, 150, 2, 11);
+        let two = wl.run().unwrap();
+        let mut cfg1 = wl.cfg.clone();
+        cfg1.n_cores = 1;
+        cfg1.system.n_cores = 1;
+        let one = run_workload(&cfg1, &wl.image, 8_000_000_000).unwrap();
+        assert_eq!(sorted(&one), sorted(&two));
+    }
+
+    #[test]
+    fn uncoupled_engine_barriers_once() {
+        // Only the start-up barrier remains: generation 1 after the run.
+        let wl = Net8020SweepWorkload::sized(40, 10, 50, 2, 3);
+        let mut sys_cfg = wl.cfg.system.clone();
+        sys_cfg.n_cores = 2;
+        let prog = izhi_isa::Assembler::new()
+            .assemble(&format!(
+                ".equ DECAY_F32, {:#x}\n{}",
+                ((1.0 - 0.5 / wl.cfg.tau as f64) as f32).to_bits(),
+                crate::engine::build_asm(&wl.cfg)
+            ))
+            .unwrap();
+        let mut sys = izhi_sim::System::new(sys_cfg);
+        assert!(sys.load_program(&prog));
+        wl.image.load_into(&mut sys, &wl.cfg);
+        sys.run(8_000_000_000).unwrap();
+        assert_eq!(sys.shared().dev.barrier_generation(), 1);
+    }
+}

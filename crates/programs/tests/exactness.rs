@@ -69,6 +69,68 @@ fn selftest_battery_run_matches_single_stepping() {
     assert_identical(&fast, &slow);
 }
 
+/// The fused two-core loop hands off to a batched tail once one core
+/// halts; an asymmetric program pins that transition (core 1 halts almost
+/// immediately, core 0 keeps running through MMIO and SDRAM traffic).
+#[test]
+fn dual_core_asymmetric_halt_matches_single_stepping() {
+    let src = "
+        _start: li   t0, 0xF0000004
+                lw   t1, (t0)          # core id
+                bnez t1, done
+                li   s0, 5000
+                li   s1, 0x10000000
+        loop:   lw   t2, (s1)
+                addi t2, t2, 3
+                sw   t2, (s1)
+                li   t3, 0xF000001C
+                andi t4, s0, 0xFF
+                bnez t4, nospike
+                sw   s0, (t3)          # occasional spike-log write
+        nospike:
+                addi s0, s0, -1
+                bnez s0, loop
+        done:   ebreak
+    ";
+    let prog = Assembler::new().assemble(src).expect("assembles");
+    let mut fast = System::new(SystemConfig::max10_dual_core());
+    assert!(fast.load_program(&prog));
+    fast.run(10_000_000).expect("batched run");
+
+    let mut slow = System::new(SystemConfig::max10_dual_core());
+    assert!(slow.load_program(&prog));
+    run_by_single_stepping(&mut slow, 10_000_000);
+    assert_identical(&fast, &slow);
+}
+
+/// Three cores exercise the general scan scheduler (the fused loop only
+/// covers the two-core case) on a real barrier-coupled engine image.
+#[test]
+fn triple_core_engine_run_matches_single_stepping() {
+    let wl = Net8020Workload::sized(24, 6, 40, 3, 5, Variant::Npu);
+    let decay = (1.0 - 0.5 / wl.cfg.tau as f64) as f32;
+    let asm = format!(
+        ".equ DECAY_F32, {:#x}\n{}",
+        decay.to_bits(),
+        build_asm(&wl.cfg)
+    );
+    let prog = Assembler::new().assemble(&asm).expect("engine assembles");
+
+    let mut cfg = wl.cfg.clone();
+    cfg.system.n_cores = cfg.n_cores;
+    let build = || {
+        let mut sys = System::new(cfg.system.clone());
+        assert!(sys.load_program(&prog));
+        wl.image.load_into(&mut sys, &cfg);
+        sys
+    };
+    let mut fast = build();
+    fast.run(1_000_000_000).expect("batched run");
+    let mut slow = build();
+    run_by_single_stepping(&mut slow, 1_000_000_000);
+    assert_identical(&fast, &slow);
+}
+
 #[test]
 fn dual_core_engine_run_matches_single_stepping() {
     // A real (small) 80-20 engine image on two cores: barrier-coupled

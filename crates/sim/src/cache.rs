@@ -53,7 +53,7 @@ pub enum Access {
 /// A direct-mapped, write-back, write-allocate cache (tags only).
 ///
 /// Each line packs valid bit, dirty bit and tag into one `u32`
-/// ([`Cache::VALID`] | [`Cache::DIRTY`] | tag), so a probe touches one
+/// (`VALID` | `DIRTY` | tag), so a probe touches one
 /// array slot instead of three parallel ones — this is on the simulator's
 /// per-instruction fast path. Tags fit below bit 30 because
 /// `offset_bits + index_bits >= 2` for every legal geometry.

@@ -82,6 +82,9 @@ pub(crate) enum RunStop {
     Bound,
     /// `time` passed the caller's cycle budget (timeout).
     Budget,
+    /// The core arrived at an incomplete barrier round (relaxed scheduling
+    /// only): it must be descheduled until the barrier releases.
+    Parked,
 }
 
 /// Hazard class of the previously retired instruction.
@@ -106,6 +109,9 @@ pub struct Core {
     /// Local clock in cycles.
     pub time: u64,
     halted: bool,
+    /// Set when the core arrived at an incomplete barrier round under
+    /// relaxed scheduling; the scheduler deschedules it until release.
+    parked: bool,
     nmregs: NmRegs,
     icache: Cache,
     dcache: Cache,
@@ -137,6 +143,7 @@ impl Core {
             pc: 0,
             time: 0,
             halted: false,
+            parked: false,
             nmregs: NmRegs::default(),
             icache,
             dcache,
@@ -176,6 +183,18 @@ impl Core {
     /// Whether this core has halted (ebreak / MMIO halt / ecall exit).
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// Whether this core is parked at an incomplete barrier round (relaxed
+    /// scheduling only; always `false` under the exact scheduler).
+    pub fn parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Clear the parked flag (the relaxed scheduler calls this when the
+    /// barrier round the core was waiting on has completed).
+    pub(crate) fn clear_parked(&mut self) {
+        self.parked = false;
     }
 
     /// The NM_REGS configuration block (inspection hook).
@@ -258,7 +277,7 @@ impl Core {
     }
 
     #[inline]
-    fn load(
+    fn load<const TIMING: bool>(
         &mut self,
         shared: &mut Shared,
         addr: u32,
@@ -290,7 +309,11 @@ impl Core {
             (value, 0)
         } else if addr < shared.mem.sdram_size() {
             self.counters.loads += 1;
-            let extra = self.sdram_timing(shared, addr, false);
+            let extra = if TIMING {
+                self.sdram_timing(shared, addr, false)
+            } else {
+                0
+            };
             let value = Self::read_slice(shared.mem.sdram_bytes(), addr as usize, op).ok_or(
                 TrapCause::BadAccess {
                     pc,
@@ -301,8 +324,13 @@ impl Core {
             (value, extra)
         } else if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
             self.counters.loads += 1;
-            let extra = Self::mmio_timing(self.time, shared);
-            self.counters.mem_stall_cycles += extra;
+            let extra = if TIMING {
+                let extra = Self::mmio_timing(self.time, shared);
+                self.counters.mem_stall_cycles += extra;
+                extra
+            } else {
+                0
+            };
             let value = shared
                 .dev
                 .read(self.id, addr - layout::MMIO_BASE, self.time);
@@ -356,7 +384,7 @@ impl Core {
     }
 
     #[inline]
-    fn store(
+    fn store<const TIMING: bool>(
         &mut self,
         shared: &mut Shared,
         addr: u32,
@@ -378,8 +406,13 @@ impl Core {
         if !in_scratch && addr >= shared.mem.sdram_size() {
             if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
                 self.counters.stores += 1;
-                let extra = Self::mmio_timing(self.time, shared);
-                self.counters.mem_stall_cycles += extra;
+                let extra = if TIMING {
+                    let extra = Self::mmio_timing(self.time, shared);
+                    self.counters.mem_stall_cycles += extra;
+                    extra
+                } else {
+                    0
+                };
                 let effect = shared.dev.write(self.id, addr - layout::MMIO_BASE, value);
                 return Ok((extra, effect));
             }
@@ -397,7 +430,11 @@ impl Core {
                 Self::write_slice(shared.mem.scratch_bytes_mut(), off, value, op),
             )
         } else {
-            let extra = self.sdram_timing(shared, addr, true);
+            let extra = if TIMING {
+                self.sdram_timing(shared, addr, true)
+            } else {
+                0
+            };
             (
                 extra,
                 Self::write_slice(shared.mem.sdram_bytes_mut(), addr as usize, value, op),
@@ -419,7 +456,7 @@ impl Core {
     /// Mirror the derivable counters (clock, cache stats, access totals)
     /// into `PerfCounters`. Called once per batch / step / ROI event, so
     /// the per-instruction path never touches them.
-    fn sync_counters(&mut self) {
+    pub(crate) fn sync_counters(&mut self) {
         self.counters.cycles = self.time;
         (self.counters.icache_hits, self.counters.icache_misses) = self.icache.stats();
         (self.counters.dcache_hits, self.counters.dcache_misses) = self.dcache.stats();
@@ -486,7 +523,7 @@ impl Core {
         if self.halted {
             return Ok(());
         }
-        let out = self.exec_one(shared);
+        let out = self.exec_one::<true>(shared);
         self.sync_counters();
         out
     }
@@ -500,7 +537,11 @@ impl Core {
     /// All three conditions are checked *before* each instruction, in the
     /// order halt, bound, budget, so a sequence of `run_while` batches is
     /// instruction-for-instruction identical to single-stepping.
-    pub(crate) fn run_while(
+    ///
+    /// With `TIMING = false` the loop runs the relaxed-clock variant of
+    /// [`Core::exec_one`] and additionally stops with [`RunStop::Parked`]
+    /// when the core arrives at an incomplete barrier round.
+    pub(crate) fn run_while<const TIMING: bool>(
         &mut self,
         shared: &mut Shared,
         bound: u64,
@@ -510,6 +551,9 @@ impl Core {
         let run = loop {
             if self.halted {
                 break Ok(RunStop::Halted);
+            }
+            if !TIMING && self.parked {
+                break Ok(RunStop::Parked);
             }
             let t = self.time;
             if t > stop {
@@ -521,7 +565,7 @@ impl Core {
                     RunStop::Budget
                 });
             }
-            if let Err(cause) = self.exec_one(shared) {
+            if let Err(cause) = self.exec_one::<TIMING>(shared) {
                 break Err(cause);
             }
         };
@@ -532,9 +576,22 @@ impl Core {
     }
 
     /// Execute exactly one (non-halted) instruction.
+    ///
+    /// `TIMING` selects between the two monomorphised hot loops:
+    ///
+    /// * `true` — the cycle-exact interpreter: cache models, bus
+    ///   arbitration, hazard/flush/divider stalls all charged as usual.
+    /// * `false` — the relaxed-clock interpreter used by
+    ///   [`crate::system::SchedMode::Relaxed`]: functionally identical
+    ///   execution, but the local clock advances exactly one cycle per
+    ///   retired instruction and no cache/bus/hazard state is touched.
+    ///   Barrier arrivals that leave the round incomplete park the core.
     #[inline(always)]
     #[allow(clippy::too_many_lines)]
-    fn exec_one(&mut self, shared: &mut Shared) -> Result<(), TrapCause> {
+    pub(crate) fn exec_one<const TIMING: bool>(
+        &mut self,
+        shared: &mut Shared,
+    ) -> Result<(), TrapCause> {
         let pc = self.pc;
         if !pc.is_multiple_of(4) {
             return Err(TrapCause::BadFetch { pc });
@@ -558,21 +615,24 @@ impl Core {
         let mut extra = 0u64;
         match state {
             SlotState::Sdram => {
-                // Same line as the previous fetch => guaranteed hit (only
-                // this core's own fetches mutate its I-cache); otherwise a
-                // packed tag probe. Statistics live in the cache model and
-                // are mirrored into PerfCounters at sync points.
-                let line = pc >> self.iline_shift;
-                if line == self.last_iline {
-                    self.icache.hits += 1;
-                } else {
-                    self.last_iline = line;
-                    if self.icache.access(pc, false) != Access::Hit {
-                        extra += Self::icache_refill(
-                            self.time,
-                            self.icache.config().line_words() as u64,
-                            shared,
-                        );
+                if TIMING {
+                    // Same line as the previous fetch => guaranteed hit
+                    // (only this core's own fetches mutate its I-cache);
+                    // otherwise a packed tag probe. Statistics live in the
+                    // cache model and are mirrored into PerfCounters at
+                    // sync points.
+                    let line = pc >> self.iline_shift;
+                    if line == self.last_iline {
+                        self.icache.hits += 1;
+                    } else {
+                        self.last_iline = line;
+                        if self.icache.access(pc, false) != Access::Hit {
+                            extra += Self::icache_refill(
+                                self.time,
+                                self.icache.config().line_words() as u64,
+                                shared,
+                            );
+                        }
                     }
                 }
             }
@@ -583,10 +643,12 @@ impl Core {
         // Hazard stall: previous load / nm instruction feeding this one
         // (one shift into the predecoded source-register mask; the u64
         // widening makes the NO_DEST sentinel shift out to zero).
-        let stall = (u64::from(src_mask) >> self.prev_stall_dest) & 1;
-        if stall != 0 {
-            self.counters.hazard_stalls += stall;
-            extra += stall;
+        if TIMING {
+            let stall = (u64::from(src_mask) >> self.prev_stall_dest) & 1;
+            if stall != 0 {
+                self.counters.hazard_stalls += stall;
+                extra += stall;
+            }
         }
 
         let mut next_pc = pc.wrapping_add(4);
@@ -660,7 +722,7 @@ impl Core {
                     _ => LoadOp::Lhu,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (value, mem_extra) = self.load(shared, addr, lop, pc)?;
+                let (value, mem_extra) = self.load::<TIMING>(shared, addr, lop, pc)?;
                 self.set_reg(rd, value);
                 extra += mem_extra;
                 kind = PrevKind::Load;
@@ -672,7 +734,8 @@ impl Core {
                     _ => StoreOp::Sw,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (mem_extra, eff) = self.store(shared, addr, self.reg(rs2), sop, pc)?;
+                let (mem_extra, eff) =
+                    self.store::<TIMING>(shared, addr, self.reg(rs2), sop, pc)?;
                 extra += mem_extra;
                 effect = eff;
             }
@@ -772,8 +835,10 @@ impl Core {
             }
             MicroOp::Div => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                extra += shared.div_latency;
-                self.counters.div_stall_cycles += shared.div_latency;
+                if TIMING {
+                    extra += shared.div_latency;
+                    self.counters.div_stall_cycles += shared.div_latency;
+                }
                 let v = if b == 0 {
                     u32::MAX
                 } else if a == 0x8000_0000 && b == u32::MAX {
@@ -785,14 +850,18 @@ impl Core {
             }
             MicroOp::Divu => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                extra += shared.div_latency;
-                self.counters.div_stall_cycles += shared.div_latency;
+                if TIMING {
+                    extra += shared.div_latency;
+                    self.counters.div_stall_cycles += shared.div_latency;
+                }
                 self.set_reg(rd, a.checked_div(b).unwrap_or(u32::MAX));
             }
             MicroOp::Rem => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                extra += shared.div_latency;
-                self.counters.div_stall_cycles += shared.div_latency;
+                if TIMING {
+                    extra += shared.div_latency;
+                    self.counters.div_stall_cycles += shared.div_latency;
+                }
                 let v = if b == 0 {
                     a
                 } else if a == 0x8000_0000 && b == u32::MAX {
@@ -804,8 +873,10 @@ impl Core {
             }
             MicroOp::Remu => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                extra += shared.div_latency;
-                self.counters.div_stall_cycles += shared.div_latency;
+                if TIMING {
+                    extra += shared.div_latency;
+                    self.counters.div_stall_cycles += shared.div_latency;
+                }
                 self.set_reg(rd, if b == 0 { a } else { a % b });
             }
             MicroOp::Fence => {}
@@ -832,7 +903,8 @@ impl Core {
                 let isyn = Q15_16::from_raw(self.reg(rs2) as i32);
                 let addr = self.reg(rd);
                 let out = NpUnit::update(&self.nmregs, vu, isyn);
-                let (mem_extra, eff) = self.store(shared, addr, out.vu, StoreOp::Sw, pc)?;
+                let (mem_extra, eff) =
+                    self.store::<TIMING>(shared, addr, out.vu, StoreOp::Sw, pc)?;
                 extra += mem_extra;
                 effect = eff;
                 self.set_reg(rd, u32::from(out.spike));
@@ -847,31 +919,46 @@ impl Core {
             }
         }
 
-        self.counters.flush_cycles += flushes;
-        extra += flushes;
-
-        self.prev_stall_dest = if kind == PrevKind::Bypassed {
-            NO_DEST
+        if TIMING {
+            self.counters.flush_cycles += flushes;
+            extra += flushes;
+            self.prev_stall_dest = if kind == PrevKind::Bypassed {
+                NO_DEST
+            } else {
+                dest
+            };
         } else {
-            dest
-        };
+            // The relaxed clock charges no flush/hazard cycles; keep the
+            // hazard tracker neutral so a later exact run on the same core
+            // cannot inherit a stale dependence.
+            let _ = (kind, dest, flushes);
+            self.prev_stall_dest = NO_DEST;
+        }
 
         self.counters.instret += 1;
         self.time += 1 + extra;
         self.pc = next_pc;
 
         if effect != MmioEffect::None {
-            self.apply_effect(effect);
+            self.apply_effect::<TIMING>(effect);
         }
         Ok(())
     }
 
-    /// Rare MMIO side effects (halt / ROI markers), out of the hot path.
+    /// Rare MMIO side effects (halt / ROI markers / barrier parking), out
+    /// of the hot path.
     #[cold]
-    fn apply_effect(&mut self, effect: MmioEffect) {
+    fn apply_effect<const TIMING: bool>(&mut self, effect: MmioEffect) {
         match effect {
             MmioEffect::None => {}
             MmioEffect::Halt => self.halted = true,
+            MmioEffect::BarrierWait => {
+                // Exact scheduling simulates the guest's spin loop; the
+                // relaxed scheduler deschedules the core instead.
+                if !TIMING {
+                    self.parked = true;
+                }
+            }
             MmioEffect::RoiStart => {
                 self.sync_counters();
                 self.roi_base = self.counters;

@@ -25,9 +25,15 @@
 //!   burst latency);
 //! * a multi-cycle latency for `div`/`rem` (iterative divider).
 //!
-//! Multi-core execution is event-driven: the system always steps the core
-//! with the smallest local clock, and bus transactions reserve global bus
-//! time, so contention between cores emerges naturally.
+//! Multi-core execution is event-driven by default ([`SchedMode::Exact`]):
+//! the system always steps the core with the smallest local clock (a fused
+//! two-core inner loop re-picks per instruction without scheduler
+//! overhead), and bus transactions reserve global bus time, so contention
+//! between cores emerges naturally. An opt-in relaxed mode
+//! ([`SchedMode::Relaxed`]) trades all of that timing fidelity for
+//! throughput: round-robin quanta, a one-cycle-per-instruction clock and a
+//! blocking barrier device, with architectural results unchanged for
+//! guests that synchronise through the barrier/mutex devices.
 //!
 //! ## Example
 //!
@@ -68,4 +74,4 @@ pub use cpu::{Core, TrapCause};
 pub use mem::{layout, MainMemory};
 pub use mmio::SharedDevices;
 pub use predecode::{CodeTable, PreInst, SlotState};
-pub use system::{RunExit, SimError, System, SystemConfig};
+pub use system::{RunExit, SchedMode, SimError, System, SystemConfig};

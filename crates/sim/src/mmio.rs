@@ -19,6 +19,10 @@ pub enum MmioEffect {
     RoiStart,
     /// Stop this core's region-of-interest counters.
     RoiStop,
+    /// The core arrived at the barrier but the round is still incomplete.
+    /// The exact scheduler ignores this (the guest's spin loop is simulated
+    /// as-is); the relaxed scheduler parks the core until release.
+    BarrierWait,
 }
 
 /// Shared device state.
@@ -104,8 +108,10 @@ impl SharedDevices {
                 if self.barrier_count == self.n_cores {
                     self.barrier_count = 0;
                     self.barrier_generation = self.barrier_generation.wrapping_add(1);
+                    MmioEffect::None
+                } else {
+                    MmioEffect::BarrierWait
                 }
-                MmioEffect::None
             }
             layout::MMIO_HALT => MmioEffect::Halt,
             layout::MMIO_SPIKE_LOG => {
@@ -201,6 +207,16 @@ mod tests {
         assert_eq!(d.write(0, MMIO_ROI, 0), MmioEffect::RoiStop);
         assert_eq!(d.write(0, MMIO_SPIKE_LOG, 0xABCD), MmioEffect::None);
         assert_eq!(d.spike_log, vec![0xABCD]);
+    }
+
+    #[test]
+    fn barrier_arrival_reports_incomplete_rounds() {
+        let mut d = SharedDevices::new(2, 1);
+        assert_eq!(d.write(0, MMIO_BARRIER, 0), MmioEffect::BarrierWait);
+        assert_eq!(d.write(1, MMIO_BARRIER, 0), MmioEffect::None);
+        // A single-core barrier releases on every arrival.
+        let mut solo = SharedDevices::new(1, 1);
+        assert_eq!(solo.write(0, MMIO_BARRIER, 0), MmioEffect::None);
     }
 
     #[test]

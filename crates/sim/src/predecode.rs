@@ -30,7 +30,7 @@
 //!   dependent pointer chase to the per-instruction critical path.) The
 //!   flat windows are instead materialised lazily: nothing is allocated
 //!   until code actually executes or is preloaded, and the SDRAM window
-//!   grows in [`GROW_BYTES`] steps up to [`CODE_WINDOW_MAX`].
+//!   grows in `GROW_BYTES` steps up to [`CODE_WINDOW_MAX`].
 //!
 //! Executable SDRAM is therefore the low [`CODE_WINDOW_MAX`] bytes (the
 //! same window the seed's decode cache memoised) — but where the seed

@@ -6,16 +6,61 @@ use izhi_isa::asm::Program;
 use crate::bus::{BusArbiter, BusTimings};
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Metrics;
-use crate::cpu::{Core, TrapCause};
+use crate::cpu::{Core, RunStop, TrapCause};
 use crate::mem::{layout, MainMemory};
 use crate::mmio::SharedDevices;
 use crate::predecode::CodeTable;
+
+/// How the multi-core run loop interleaves cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Cycle-exact event-driven interleaving (the default): the core that
+    /// is furthest behind in local time always executes next, ties go to
+    /// the lowest hart id, and every timing model (caches, shared bus,
+    /// hazards, divider) is charged per instruction. Bit-identical to
+    /// single-stepping that schedule via [`System::step_core`].
+    #[default]
+    Exact,
+    /// Opt-in relaxed interleaving for throughput: cores execute
+    /// round-robin in quanta of `quantum` clock cycles on the relaxed
+    /// clock, which advances exactly **one cycle per retired instruction**
+    /// (no cache, bus, hazard or divider modelling). The barrier device
+    /// becomes a blocking rendezvous — a core arriving at an incomplete
+    /// round is descheduled until release instead of simulating its spin
+    /// loop. Architectural results (registers, memory, spike rasters,
+    /// console) are identical to [`SchedMode::Exact`] for guests whose
+    /// cross-core sharing is confined to barrier/mutex synchronisation;
+    /// cycle counts, per-core interleaving and the MMIO RNG/spike-log
+    /// *order* are not preserved. Runs are fully deterministic.
+    Relaxed {
+        /// Scheduling quantum in relaxed-clock cycles (= instructions).
+        /// Clamped to at least 1; `quantum = 1` interleaves instruction by
+        /// instruction.
+        quantum: u64,
+    },
+}
+
+impl SchedMode {
+    /// Default quantum for relaxed scheduling: long enough to amortise all
+    /// per-pick overhead, short enough to keep barrier-free cores loosely
+    /// interleaved.
+    pub const DEFAULT_QUANTUM: u64 = 50_000;
+
+    /// Relaxed scheduling with the default quantum.
+    pub fn relaxed() -> Self {
+        SchedMode::Relaxed {
+            quantum: Self::DEFAULT_QUANTUM,
+        }
+    }
+}
 
 /// Full system configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Number of IzhiRISC-V cores.
     pub n_cores: u32,
+    /// Multi-core scheduling mode (exact by default).
+    pub sched: SchedMode,
     /// Core clock in Hz (30 MHz on the MAX10 build, 100 MHz on Agilex-7).
     pub clock_hz: f64,
     /// SDRAM size in bytes.
@@ -41,6 +86,7 @@ impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
             n_cores: 1,
+            sched: SchedMode::Exact,
             clock_hz: 30e6,
             sdram_size: 8 * 1024 * 1024,
             scratch_size: layout::SCRATCH_DEFAULT_SIZE,
@@ -247,78 +293,206 @@ impl System {
 
     /// Run until every core halts or `max_cycles` elapse on any core.
     ///
-    /// Scheduling is event-driven: the core that is furthest behind in
-    /// local time always executes next (ties go to the lowest hart id), so
-    /// shared-resource ordering approximates real concurrency. The loop is
-    /// **exactly** equivalent to single-stepping that schedule via
-    /// [`System::step_core`], instruction by instruction — batching only
-    /// ever continues a core while it would still be the scheduler's pick,
-    /// so rasters, counters and cycle counts are bit-identical to the
-    /// single-stepped reference (the predecode regression test pins this).
+    /// Under [`SchedMode::Exact`] (the default) scheduling is event-driven:
+    /// the core that is furthest behind in local time always executes next
+    /// (ties go to the lowest hart id), so shared-resource ordering
+    /// approximates real concurrency. The loop is **exactly** equivalent to
+    /// single-stepping that schedule via [`System::step_core`], instruction
+    /// by instruction — the two-core case runs a fused inner loop and the
+    /// general case batches each pick, but both only ever continue a core
+    /// while it would still be the scheduler's pick, so rasters, counters
+    /// and cycle counts are bit-identical to the single-stepped reference
+    /// (the predecode regression and exactness suites pin this).
+    ///
+    /// Under [`SchedMode::Relaxed`] cores run round-robin in long quanta on
+    /// the relaxed clock; see the enum docs for the semantics contract.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
-        if self.cores.len() == 1 {
-            // Single core: no scheduler at all, one batched run to
-            // completion.
-            match self.cores[0]
-                .run_while(&mut self.shared, u64::MAX, max_cycles)
-                .map_err(|cause| SimError::Trap { core: 0, cause })?
-            {
-                crate::cpu::RunStop::Budget => {
-                    return Err(SimError::Timeout { max_cycles });
-                }
-                _ => debug_assert!(self.cores[0].halted()),
-            }
-        } else {
-            loop {
-                // One scan finds both the pick `i` (minimum time, lowest
-                // index) and the runner-up bound it may run up to.
-                let mut pick = usize::MAX;
-                let mut pick_time = u64::MAX;
-                let mut limit = u64::MAX;
-                let mut limit_idx = usize::MAX;
-                for (k, c) in self.cores.iter().enumerate() {
-                    if c.halted() {
-                        continue;
-                    }
-                    if c.time < pick_time {
-                        limit = pick_time;
-                        limit_idx = pick;
-                        pick = k;
-                        pick_time = c.time;
-                    } else if c.time < limit {
-                        limit = c.time;
-                        limit_idx = k;
-                    }
-                }
-                if pick == usize::MAX {
-                    break; // all halted
-                }
-                let i = pick;
-                // Adaptive batch: core `i` may run exactly as long as the
-                // scheduler would keep picking it (time strictly below the
-                // runner-up, or equal with a lower hart id) — so the batch
-                // is instruction-for-instruction identical to rescanning
-                // after every step.
-                let bound = if i < limit_idx {
-                    limit
-                } else {
-                    limit.saturating_sub(1)
-                };
-                let stop = self.cores[i]
-                    .run_while(&mut self.shared, bound, max_cycles)
-                    .map_err(|cause| SimError::Trap {
-                        core: i as u32,
-                        cause,
-                    })?;
-                if stop == crate::cpu::RunStop::Budget {
-                    return Err(SimError::Timeout { max_cycles });
-                }
-            }
+        match self.cfg.sched {
+            SchedMode::Relaxed { quantum } => self.run_relaxed(quantum, max_cycles)?,
+            SchedMode::Exact => match self.cores.len() {
+                1 => self.run_single(max_cycles)?,
+                2 => self.run_exact_fused(max_cycles)?,
+                _ => self.run_exact_scan(max_cycles)?,
+            },
         }
         Ok(RunExit {
             cycles: self.cores.iter().map(|c| c.time).max().unwrap_or(0),
             instret: self.cores.iter().map(|c| c.counters.instret).sum(),
         })
+    }
+
+    /// Single core: no scheduler at all, one batched run to completion.
+    fn run_single(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        match self.cores[0]
+            .run_while::<true>(&mut self.shared, u64::MAX, max_cycles)
+            .map_err(|cause| SimError::Trap { core: 0, cause })?
+        {
+            RunStop::Budget => Err(SimError::Timeout { max_cycles }),
+            _ => {
+                debug_assert!(self.cores[0].halted());
+                Ok(())
+            }
+        }
+    }
+
+    /// Fused two-core inner loop: both cores stay register-resident in one
+    /// loop that re-picks per instruction (min time, tie to core 0), so no
+    /// per-pick scan, batch-bound computation or counter mirroring happens
+    /// while both cores are live. The pick rule is the event-driven
+    /// schedule verbatim, which keeps the loop instruction-for-instruction
+    /// identical to [`System::step_core`] single-stepping (the exactness
+    /// suite pins this). Once one core halts, the survivor finishes in a
+    /// single batched run.
+    fn run_exact_fused(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        let (head, tail) = self.cores.split_at_mut(1);
+        let (c0, c1) = (&mut head[0], &mut tail[0]);
+        let shared = &mut self.shared;
+        if !c0.halted() && !c1.halted() {
+            let fused = loop {
+                // Event-driven pick: minimum local time, tie to hart 0.
+                let pick0 = c0.time <= c1.time;
+                let (c, id) = if pick0 {
+                    (&mut *c0, 0u32)
+                } else {
+                    (&mut *c1, 1u32)
+                };
+                // Same halt → budget check order as `run_while`, so the
+                // interleaving matches the single-stepped schedule even at
+                // the timeout boundary.
+                if c.time > max_cycles {
+                    break Err(SimError::Timeout { max_cycles });
+                }
+                if let Err(cause) = c.exec_one::<true>(shared) {
+                    break Err(SimError::Trap { core: id, cause });
+                }
+                if c.halted() {
+                    break Ok(());
+                }
+            };
+            c0.sync_counters();
+            c1.sync_counters();
+            fused?;
+        }
+        // At most one survivor left: run it to completion in one batch.
+        for (id, c) in [c0, c1].into_iter().enumerate() {
+            if c.halted() {
+                continue;
+            }
+            match c
+                .run_while::<true>(shared, u64::MAX, max_cycles)
+                .map_err(|cause| SimError::Trap {
+                    core: id as u32,
+                    cause,
+                })? {
+                RunStop::Budget => return Err(SimError::Timeout { max_cycles }),
+                _ => debug_assert!(c.halted()),
+            }
+        }
+        Ok(())
+    }
+
+    /// General exact scheduler (3+ cores): scan for the pick and its
+    /// runner-up bound, then batch the pick up to that bound.
+    fn run_exact_scan(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        loop {
+            // One scan finds both the pick `i` (minimum time, lowest
+            // index) and the runner-up bound it may run up to.
+            let mut pick = usize::MAX;
+            let mut pick_time = u64::MAX;
+            let mut limit = u64::MAX;
+            let mut limit_idx = usize::MAX;
+            for (k, c) in self.cores.iter().enumerate() {
+                if c.halted() {
+                    continue;
+                }
+                if c.time < pick_time {
+                    limit = pick_time;
+                    limit_idx = pick;
+                    pick = k;
+                    pick_time = c.time;
+                } else if c.time < limit {
+                    limit = c.time;
+                    limit_idx = k;
+                }
+            }
+            if pick == usize::MAX {
+                return Ok(()); // all halted
+            }
+            let i = pick;
+            // Adaptive batch: core `i` may run exactly as long as the
+            // scheduler would keep picking it (time strictly below the
+            // runner-up, or equal with a lower hart id) — so the batch
+            // is instruction-for-instruction identical to rescanning
+            // after every step.
+            let bound = if i < limit_idx {
+                limit
+            } else {
+                limit.saturating_sub(1)
+            };
+            let stop = self.cores[i]
+                .run_while::<true>(&mut self.shared, bound, max_cycles)
+                .map_err(|cause| SimError::Trap {
+                    core: i as u32,
+                    cause,
+                })?;
+            if stop == RunStop::Budget {
+                return Err(SimError::Timeout { max_cycles });
+            }
+        }
+    }
+
+    /// Relaxed round-robin scheduler: each live core runs a quantum on the
+    /// relaxed clock (one cycle per instruction), cores arriving at an
+    /// incomplete barrier round park until release, and rotation order is
+    /// always ascending hart id — runs are fully deterministic.
+    fn run_relaxed(&mut self, quantum: u64, max_cycles: u64) -> Result<(), SimError> {
+        let quantum = quantum.max(1);
+        let n = self.cores.len();
+        // Generation at which each parked core arrived; it becomes runnable
+        // again as soon as the device's generation moves past it.
+        let mut parked_gen: Vec<Option<u32>> = vec![None; n];
+        loop {
+            let mut any_ran = false;
+            let mut all_halted = true;
+            let shared = &mut self.shared;
+            for (i, (core, parked)) in self.cores.iter_mut().zip(&mut parked_gen).enumerate() {
+                if core.halted() {
+                    continue;
+                }
+                all_halted = false;
+                if let Some(gen) = *parked {
+                    if shared.dev.barrier_generation() == gen {
+                        continue; // still waiting for the round to complete
+                    }
+                    *parked = None;
+                    core.clear_parked();
+                }
+                any_ran = true;
+                let bound = core.time.saturating_add(quantum - 1);
+                match core
+                    .run_while::<false>(shared, bound, max_cycles)
+                    .map_err(|cause| SimError::Trap {
+                        core: i as u32,
+                        cause,
+                    })? {
+                    RunStop::Halted | RunStop::Bound => {}
+                    RunStop::Parked => {
+                        *parked = Some(shared.dev.barrier_generation());
+                    }
+                    RunStop::Budget => return Err(SimError::Timeout { max_cycles }),
+                }
+            }
+            if all_halted {
+                return Ok(());
+            }
+            if !any_ran {
+                // Every live core is parked at a barrier round that can no
+                // longer complete (some expected arrival halted first).
+                // The exact scheduler would spin those cores into the cycle
+                // budget; surface the same condition directly.
+                return Err(SimError::Timeout { max_cycles });
+            }
+        }
     }
 
     /// Per-core metrics for the measured region (ROI delta when the guest
@@ -519,6 +693,29 @@ mod tests {
     }
 
     #[test]
+    fn timeout_on_dual_core_infinite_loop() {
+        // Exercises the fused two-core loop's budget check, and the fused
+        // tail's when one core halts first.
+        let both = Assembler::new().assemble("_start: j _start").unwrap();
+        let mut sys = System::new(SystemConfig::max10_dual_core());
+        sys.load_program(&both);
+        assert!(matches!(sys.run(1000), Err(SimError::Timeout { .. })));
+
+        let one = Assembler::new()
+            .assemble(
+                "_start: li  t0, 0xF0000004
+                         lw  t1, (t0)
+                         beqz t1, spin
+                         ebreak
+                 spin:   j   spin",
+            )
+            .unwrap();
+        let mut sys = System::new(SystemConfig::max10_dual_core());
+        sys.load_program(&one);
+        assert!(matches!(sys.run(1000), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
     fn load_use_hazard_costs_one_cycle() {
         // Two variants of the same code: consumer immediately after a load
         // vs one independent instruction in between.
@@ -698,6 +895,184 @@ mod tests {
         sys.load_program(&prog);
         sys.run(10_000).unwrap();
         assert_eq!(sys.shared().dev.spike_log, vec![0x00010005, 0x00020007]);
+    }
+
+    /// The barrier test program, shared by the exact and relaxed variants.
+    const BARRIER_SRC: &str = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)          # core id
+                    li   t2, 0x10000000
+                    bnez t1, wait
+                    li   t3, 7777
+                    sw   t3, (t2)          # core 0 publishes
+            wait:   li   t4, 0xF0000010    # barrier reg
+                    lw   t5, (t4)          # generation
+                    sw   x0, (t4)          # arrive
+            spin:   lw   t6, (t4)
+                    beq  t6, t5, spin
+                    lw   a0, (t2)          # both read after release
+                    ebreak
+        ";
+
+    fn relaxed_cfg(n_cores: u32, quantum: u64) -> SystemConfig {
+        SystemConfig {
+            n_cores,
+            sched: SchedMode::Relaxed { quantum },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn relaxed_single_core_uses_one_cycle_per_instruction() {
+        let prog = Assembler::new()
+            .assemble(
+                "
+            _start: li t0, 0
+                    li t1, 0
+            loop:   addi t1, t1, 1
+                    add  t0, t0, t1
+                    li   t2, 10
+                    bne  t1, t2, loop
+                    ebreak
+            ",
+            )
+            .unwrap();
+        let mut sys = System::new(relaxed_cfg(1, 1000));
+        assert!(sys.load_program(&prog));
+        let exit = sys.run(10_000_000).unwrap();
+        assert_eq!(sys.core(0).reg(Reg::T0), 55);
+        assert_eq!(exit.cycles, exit.instret, "relaxed clock is 1 IPC");
+    }
+
+    #[test]
+    fn relaxed_barrier_parks_instead_of_spinning() {
+        for quantum in [1u64, 7, SchedMode::DEFAULT_QUANTUM] {
+            let prog = Assembler::new().assemble(BARRIER_SRC).unwrap();
+            let mut sys = System::new(relaxed_cfg(2, quantum));
+            sys.load_program(&prog);
+            sys.run(1_000_000).unwrap();
+            assert_eq!(sys.core(0).reg(Reg::A0), 7777, "quantum {quantum}");
+            assert_eq!(sys.core(1).reg(Reg::A0), 7777, "quantum {quantum}");
+            // The parked core re-checks the generation exactly once after
+            // release, so neither core retires more than a handful of spin
+            // iterations.
+            let total: u64 = (0..2).map(|i| sys.core(i).counters.instret).sum();
+            assert!(total < 60, "spin loops were simulated: {total} instret");
+        }
+    }
+
+    #[test]
+    fn relaxed_matches_exact_architectural_state() {
+        // Barrier-synchronised cross-core communication: both modes must
+        // agree on every register and the shared scratch word; cycle
+        // counts may differ (that is the documented trade).
+        let prog = Assembler::new().assemble(BARRIER_SRC).unwrap();
+        let mut exact = System::new(SystemConfig::max10_dual_core());
+        exact.load_program(&prog);
+        exact.run(1_000_000).unwrap();
+        let mut relaxed = System::new(relaxed_cfg(2, 3));
+        relaxed.load_program(&prog);
+        relaxed.run(1_000_000).unwrap();
+        for core in 0..2 {
+            for r in 0..32u8 {
+                assert_eq!(
+                    exact.core(core).reg(Reg(r)),
+                    relaxed.core(core).reg(Reg(r)),
+                    "core {core} x{r}"
+                );
+            }
+        }
+        assert_eq!(
+            exact.shared().mem.read_u32(layout::SCRATCH_BASE),
+            relaxed.shared().mem.read_u32(layout::SCRATCH_BASE)
+        );
+    }
+
+    #[test]
+    fn relaxed_mutex_still_provides_mutual_exclusion() {
+        let src = "
+            .equ MUTEX, 0xF000000C
+            .equ COUNTER, 0x10000000
+            _start: li   s0, 1000
+                    li   s1, MUTEX
+                    li   s2, COUNTER
+            loop:   lw   t0, (s1)       # try acquire
+                    beqz t0, loop
+                    lw   t1, (s2)
+                    addi t1, t1, 1
+                    sw   t1, (s2)
+                    sw   x0, (s1)       # release
+                    addi s0, s0, -1
+                    bnez s0, loop
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(relaxed_cfg(2, 64));
+        sys.load_program(&prog);
+        sys.run(50_000_000).unwrap();
+        assert_eq!(sys.shared().mem.read_u32(layout::SCRATCH_BASE), Some(2000));
+    }
+
+    #[test]
+    fn relaxed_runs_are_deterministic() {
+        let run = || {
+            let prog = Assembler::new().assemble(BARRIER_SRC).unwrap();
+            let mut sys = System::new(relaxed_cfg(2, 5));
+            sys.load_program(&prog);
+            let exit = sys.run(1_000_000).unwrap();
+            (
+                exit.cycles,
+                exit.instret,
+                sys.core(0).time,
+                sys.core(1).time,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn relaxed_unreleasable_barrier_times_out() {
+        // Core 1 halts without arriving; core 0 parks at a round that can
+        // never complete — the scheduler must surface a timeout, not hang.
+        let src = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)
+                    bnez t1, done
+                    li   t4, 0xF0000010
+                    lw   t5, (t4)
+                    sw   x0, (t4)          # core 0 arrives
+            spin:   lw   t6, (t4)
+                    beq  t6, t5, spin
+            done:   ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(relaxed_cfg(2, 16));
+        sys.load_program(&prog);
+        assert!(matches!(sys.run(100_000), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn relaxed_trap_reports_the_faulting_core() {
+        // Core 1 jumps into an unmapped region; core 0 loops forever. The
+        // trap must carry hart 1 regardless of rotation order.
+        let src = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)
+                    bnez t1, bad
+            loop:   j    loop
+            bad:    li   t2, 0x80000000
+                    lw   t3, (t2)
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(relaxed_cfg(2, 32));
+        sys.load_program(&prog);
+        match sys.run(10_000_000) {
+            Err(SimError::Trap { core: 1, cause }) => {
+                assert!(matches!(cause, TrapCause::BadAccess { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

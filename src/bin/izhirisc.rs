@@ -6,6 +6,11 @@
 //! izhirisc run    <file.s> [options]         assemble + run on the simulator
 //!     --cores N        number of cores (default 1)
 //!     --cycles N       cycle budget (default 100000000)
+//!     --relaxed        relaxed scheduling: round-robin quanta, 1 cycle
+//!                      per instruction, blocking barriers (throughput
+//!                      mode; timing is approximate, results exact for
+//!                      barrier/mutex-synchronised guests)
+//!     --quantum N      relaxed scheduling quantum (default 50000)
 //!     --trace          print every retired instruction (core 0)
 //!     --regs           dump the register file at exit
 //! izhirisc selftest                          run the guest ISA battery
@@ -16,11 +21,11 @@ use std::io::Write as _;
 use std::process::exit;
 
 use izhirisc::isa::{decode, disassemble, Assembler, Reg};
-use izhirisc::sim::{System, SystemConfig};
+use izhirisc::sim::{SchedMode, System, SystemConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--trace] [--regs]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--relaxed] [--quantum N] [--trace] [--regs]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -125,8 +130,24 @@ fn cmd_run(args: &[String]) {
         .unwrap_or(100_000_000);
     let trace = args.iter().any(|a| a == "--trace");
     let dump_regs = args.iter().any(|a| a == "--regs");
+    let relaxed = args.iter().any(|a| a == "--relaxed");
+    let quantum = arg_value(args, "--quantum")
+        .map(|s| u64::from(parse_u32(&s)))
+        .unwrap_or(SchedMode::DEFAULT_QUANTUM);
+    if trace && relaxed {
+        eprintln!("--trace single-steps the exact schedule; drop --relaxed");
+        exit(2);
+    }
+    if !relaxed && args.iter().any(|a| a == "--quantum") {
+        eprintln!("--quantum only applies to relaxed scheduling; add --relaxed");
+        exit(2);
+    }
 
-    let mut sys = System::new(SystemConfig::with_cores(cores));
+    let mut cfg = SystemConfig::with_cores(cores);
+    if relaxed {
+        cfg.sched = SchedMode::Relaxed { quantum };
+    }
+    let mut sys = System::new(cfg);
     if !sys.load_program(&prog) {
         eprintln!("program does not fit in simulated memory");
         exit(1);
