@@ -61,8 +61,13 @@ const SUDOKU_REPS: usize = 3;
 /// One measured workload.
 struct Row {
     name: String,
-    /// Scheduling mode annotation: "exact", "relaxed" or "seed".
+    /// Scheduling mode annotation: "exact", "relaxed", "relaxed-par" or
+    /// "seed".
     sched: &'static str,
+    /// Host threads driving the simulation (1 for every sequential
+    /// scheduler; the forced worker count for `relaxed-par` rows, so the
+    /// row stays interpretable on single-CPU CI runners).
+    host_threads: u32,
     wall_s: f64,
     sim_cycles: u64,
     sim_instret: u64,
@@ -109,10 +114,17 @@ fn packed_log(res: &WorkloadResult) -> Vec<u32> {
 }
 
 /// Build a measurement row from a timed live-interpreter run.
-fn row_from(name: &str, sched: &'static str, wall_s: f64, res: &WorkloadResult) -> Row {
+fn row_from(
+    name: &str,
+    sched: &'static str,
+    host_threads: u32,
+    wall_s: f64,
+    res: &WorkloadResult,
+) -> Row {
     Row {
         name: name.into(),
         sched,
+        host_threads,
         wall_s,
         sim_cycles: res.cycles,
         sim_instret: res.instret,
@@ -141,6 +153,7 @@ fn selftest_row() -> Row {
     Row {
         name: "selftest_battery".into(),
         sched: "exact",
+        host_threads: 1,
         wall_s,
         sim_cycles: exit.cycles,
         sim_instret: exit.instret,
@@ -210,6 +223,7 @@ fn seed_run(name: &str, asm: &str, cfg: &EngineConfig, image: &GuestImage) -> Ro
     Row {
         name: format!("{name}_seed"),
         sched: "seed",
+        host_threads: 1,
         wall_s,
         sim_cycles: exit.cycles,
         sim_instret: exit.instret,
@@ -222,7 +236,7 @@ fn seed_run(name: &str, asm: &str, cfg: &EngineConfig, image: &GuestImage) -> Ro
 /// scheduling mode.
 fn live_run(name: &str, sched: &'static str, wl: &Net8020Workload) -> Row {
     let (wall_s, res) = time(|| wl.run().expect("live run"));
-    row_from(name, sched, wall_s, &res)
+    row_from(name, sched, 1, wall_s, &res)
 }
 
 fn engine_asm(cfg: &EngineConfig) -> String {
@@ -296,31 +310,68 @@ fn compare_rows_2core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Ro
 /// Barrier-light 80-20 sweep: one independent population per core, no
 /// per-tick barriers. The dual-core relaxed row is the showcase
 /// configuration; the single-core exact row (same block-diagonal image in
-/// one chunk) is its reference. Rasters must match.
-fn sweep_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row) {
+/// one chunk) is its reference; the `relaxed-par` row runs the identical
+/// workload under `SchedMode::RelaxedParallel` with **2 host threads
+/// forced** (recorded in the row), so the threaded path is measured — and
+/// its results pinned — even on single-CPU CI runners. Rasters must match
+/// across all three; the parallel row must additionally reproduce the
+/// relaxed row's spike log, cycles and instret *exactly* (the scheduler's
+/// bit-identity contract).
+fn sweep_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row, Row) {
+    const SWEEP_HOST_THREADS: u32 = 2;
     let wl = Net8020SweepWorkload::sized(n_exc, n_inh, ticks, 2, 5);
     let mut relaxed = wl.clone();
     relaxed.cfg.system.sched = SchedMode::relaxed();
+    let mut parallel = wl.clone();
+    parallel.cfg.system.sched = SchedMode::RelaxedParallel {
+        quantum: SchedMode::DEFAULT_QUANTUM,
+        host_threads: SWEEP_HOST_THREADS,
+    };
     let mut one_cfg = wl.cfg.clone();
     one_cfg.n_cores = 1;
     one_cfg.system.n_cores = 1;
     let mut one_best: Option<Row> = None;
     let mut two_best: Option<Row> = None;
+    let mut par_best: Option<Row> = None;
     for _ in 0..REPS {
         let (wall_s, res1) =
             time(|| run_workload(&one_cfg, &wl.image, 8_000_000_000).expect("sweep 1-core run"));
-        let one = row_from(&format!("{name}_1core"), "exact", wall_s, &res1);
+        let one = row_from(&format!("{name}_1core"), "exact", 1, wall_s, &res1);
         let (wall_s, res2) = time(|| relaxed.run().expect("sweep 2-core run"));
-        let two = row_from(&format!("{name}_2core"), "relaxed", wall_s, &res2);
+        let two = row_from(&format!("{name}_2core"), "relaxed", 1, wall_s, &res2);
+        let (wall_s, res3) = time(|| parallel.run().expect("sweep 2-core parallel run"));
+        let par = row_from(
+            &format!("{name}_2core_par"),
+            "relaxed-par",
+            SWEEP_HOST_THREADS,
+            wall_s,
+            &res3,
+        );
         assert_eq!(
             sorted(&one.spike_log),
             sorted(&two.spike_log),
             "{name}: partitioning changed the sweep raster"
         );
+        // Bit-identity of the threaded scheduler vs the sequential relaxed
+        // one: same spike log (order included), same relaxed clock, same
+        // retired instructions.
+        assert_eq!(
+            two.spike_log, par.spike_log,
+            "{name}: parallel scheduling changed the spike log"
+        );
+        assert_eq!(
+            two.sim_cycles, par.sim_cycles,
+            "{name}: parallel scheduling changed the cycle count"
+        );
+        assert_eq!(
+            two.sim_instret, par.sim_instret,
+            "{name}: parallel scheduling changed instret"
+        );
         one.keep_best(&mut one_best);
         two.keep_best(&mut two_best);
+        par.keep_best(&mut par_best);
     }
-    (one_best.unwrap(), two_best.unwrap())
+    (one_best.unwrap(), two_best.unwrap(), par_best.unwrap())
 }
 
 /// The quick-scale instance of the paper's Table VI flow: one hard puzzle
@@ -339,7 +390,7 @@ fn sudoku_rows() -> (Row, Row, Row) {
         let mut wl = SudokuWorkload::new(puzzle, 2500, cores, 100);
         wl.cfg.system.sched = mode;
         let (wall_s, res) = time(|| wl.run(50).expect("sudoku run"));
-        row_from(name, sched, wall_s, &res.workload)
+        row_from(name, sched, 1, wall_s, &res.workload)
     };
     let mut one_best: Option<Row> = None;
     let mut relaxed_best: Option<Row> = None;
@@ -371,20 +422,22 @@ fn sudoku_rows() -> (Row, Row, Row) {
 }
 
 fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v4\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1)\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \
+            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"host_threads\": {}, \
+             \"wall_s\": {:.6}, \"sim_cycles\": {}, \
              \"sim_instret\": {}, \"spikes\": {}, \"sim_cycles_per_s\": {:.0}, \
              \"sim_instr_per_s\": {:.0}}}",
             r.name,
             r.sched,
+            r.host_threads,
             r.wall_s,
             r.sim_cycles,
             r.sim_instret,
@@ -404,34 +457,13 @@ fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
     out
 }
 
-/// Extract the `"speedup_vs_seed"` object of a baseline JSON written by
-/// this tool (hand-rolled: the workspace builds offline, without serde).
-fn parse_speedups(text: &str) -> Vec<(String, f64)> {
-    let Some(idx) = text.find("\"speedup_vs_seed\"") else {
-        return Vec::new();
-    };
-    let rest = &text[idx..];
-    let Some(open) = rest.find('{') else {
-        return Vec::new();
-    };
-    let Some(close) = rest[open..].find('}') else {
-        return Vec::new();
-    };
-    rest[open + 1..open + close]
-        .split(',')
-        .filter_map(|entry| {
-            let (k, v) = entry.split_once(':')?;
-            let k = k.trim().trim_matches('"');
-            let v: f64 = v.trim().parse().ok()?;
-            (!k.is_empty()).then(|| (k.to_string(), v))
-        })
-        .collect()
-}
-
-/// The CI regression gate: every single-core `speedup_vs_seed` entry of
-/// the committed baseline must be reproduced at `min_ratio` × its value or
-/// better. Multi-core and relaxed entries are informational only — they
-/// depend on host parallel/throughput behaviour CI runners don't promise.
+/// The CI regression gate (see [`izhi_bench::gate`] for the testable
+/// core): every single-core `speedup_vs_seed` entry of the committed
+/// baseline must be reproduced at `min_ratio` × its value or better, and
+/// a baseline entry missing from the fresh measurement is an error, not a
+/// silent pass. Multi-core / relaxed entries are informational only —
+/// they depend on host parallel/throughput behaviour CI runners don't
+/// promise.
 fn check_gate(fresh: &[(String, f64)], baseline_path: &str, min_ratio: f64) -> bool {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -440,36 +472,21 @@ fn check_gate(fresh: &[(String, f64)], baseline_path: &str, min_ratio: f64) -> b
             return false;
         }
     };
-    let baseline = parse_speedups(&text);
-    let gated: Vec<_> = baseline
-        .iter()
-        .filter(|(name, _)| name.contains("_1core"))
-        .collect();
-    if gated.is_empty() {
-        eprintln!("baseline {baseline_path} has no single-core speedup entries");
-        return false;
-    }
     println!("\nperf gate vs {baseline_path} (min ratio {min_ratio:.2}):");
-    let mut ok = true;
-    for (name, base) in gated {
-        match fresh.iter().find(|(n, _)| n == name) {
-            None => {
-                println!("  {name}: MISSING from fresh measurement");
-                ok = false;
-            }
-            Some((_, v)) => {
-                let ratio = v / base;
-                let verdict = if ratio >= min_ratio {
-                    "ok"
-                } else {
-                    ok = false;
-                    "REGRESSED"
-                };
-                println!("  {name}: {v:.3}x vs baseline {base:.3}x (ratio {ratio:.3}) {verdict}");
-            }
-        }
+    let report = izhi_bench::gate::check_gate(fresh, &text, min_ratio);
+    for e in &report.checked {
+        println!(
+            "  {}: {:.3}x vs baseline {:.3}x (ratio {:.3})",
+            e.name,
+            e.fresh,
+            e.baseline,
+            e.ratio()
+        );
     }
-    ok
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
 }
 
 fn main() {
@@ -535,9 +552,10 @@ fn main() {
     }
 
     if !cmp_only {
-        let (one, two) = sweep_rows("net8020_sweep_quick", 160, 40, 300);
+        let (one, two, par) = sweep_rows("net8020_sweep_quick", 160, 40, 300);
         rows.push(one);
         rows.push(two);
+        rows.push(par);
         let (one, relaxed, exact) = sudoku_rows();
         rows.push(one);
         rows.push(relaxed);
@@ -545,14 +563,15 @@ fn main() {
     }
 
     println!(
-        "{:<30} {:>8} {:>9} {:>14} {:>14} {:>12} {:>12}",
-        "workload", "sched", "wall [s]", "sim cycles", "sim instret", "Mcycles/s", "Minstr/s"
+        "{:<32} {:>11} {:>3} {:>9} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "sched", "ht", "wall [s]", "sim cycles", "sim instret", "Mcycles/s", "Minstr/s"
     );
     for r in &rows {
         println!(
-            "{:<30} {:>8} {:>9.3} {:>14} {:>14} {:>12.2} {:>12.2}",
+            "{:<32} {:>11} {:>3} {:>9.3} {:>14} {:>14} {:>12.2} {:>12.2}",
             r.name,
             r.sched,
+            r.host_threads,
             r.wall_s,
             r.sim_cycles,
             r.sim_instret,

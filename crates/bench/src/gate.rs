@@ -1,0 +1,248 @@
+//! The CI perf-regression gate behind `perf_baseline --check`.
+//!
+//! Lives in the library (rather than the binary) so the failure modes are
+//! unit-testable — in particular the one that must never pass silently:
+//! a baseline entry that is **missing** from the fresh measurement. A
+//! renamed or dropped row would otherwise disable its own gate while CI
+//! stayed green.
+
+/// Extract the `"speedup_vs_seed"` object of a baseline JSON written by
+/// `perf_baseline` (hand-rolled: the workspace builds offline, without
+/// serde). Unparseable text yields an empty list, which the gate treats
+/// as a failing baseline.
+pub fn parse_speedups(text: &str) -> Vec<(String, f64)> {
+    let Some(idx) = text.find("\"speedup_vs_seed\"") else {
+        return Vec::new();
+    };
+    let rest = &text[idx..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|entry| {
+            let (k, v) = entry.split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            let v: f64 = v.trim().parse().ok()?;
+            (!k.is_empty()).then(|| (k.to_string(), v))
+        })
+        .collect()
+}
+
+/// Why the gate failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateFailure {
+    /// The baseline text has no gated (single-core) speedup entries at
+    /// all — an empty gate must fail, not vacuously pass.
+    NoGatedEntries,
+    /// A baseline entry does not exist in the fresh measurement (renamed
+    /// or dropped row). This must error: silently skipping it would
+    /// disable the entry's own regression gate.
+    MissingEntry(String),
+    /// The fresh speedup fell below `min_ratio` × its baseline value.
+    Regressed {
+        /// Gated entry name.
+        name: String,
+        /// Fresh measurement.
+        fresh: f64,
+        /// Committed baseline value.
+        baseline: f64,
+    },
+}
+
+impl core::fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GateFailure::NoGatedEntries => {
+                write!(f, "baseline has no single-core speedup entries")
+            }
+            GateFailure::MissingEntry(name) => {
+                write!(f, "{name}: MISSING from fresh measurement")
+            }
+            GateFailure::Regressed {
+                name,
+                fresh,
+                baseline,
+            } => write!(
+                f,
+                "{name}: {fresh:.3}x REGRESSED vs baseline {baseline:.3}x"
+            ),
+        }
+    }
+}
+
+/// One baseline entry that was found in the fresh measurement (reporting
+/// data for the caller — the gate itself never prints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedEntry {
+    /// Gated entry name.
+    pub name: String,
+    /// Fresh measurement.
+    pub fresh: f64,
+    /// Committed baseline value.
+    pub baseline: f64,
+}
+
+impl CheckedEntry {
+    /// Fresh / baseline.
+    pub fn ratio(&self) -> f64 {
+        self.fresh / self.baseline
+    }
+}
+
+/// Everything the gate determined; presentation is the caller's job.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GateReport {
+    /// Entries present in both baseline and fresh run (pass or fail).
+    pub checked: Vec<CheckedEntry>,
+    /// All failures; empty means the gate passed.
+    pub failures: Vec<GateFailure>,
+}
+
+impl GateReport {
+    /// Whether the gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gate the fresh `speedup_vs_seed` entries against a committed baseline
+/// text. Every **single-core** baseline entry must be present in `fresh`
+/// at `min_ratio` × its value or better; multi-core / relaxed entries are
+/// informational only (they depend on host parallel behaviour CI runners
+/// do not promise).
+pub fn check_gate(fresh: &[(String, f64)], baseline_text: &str, min_ratio: f64) -> GateReport {
+    let baseline = parse_speedups(baseline_text);
+    let gated: Vec<_> = baseline
+        .iter()
+        .filter(|(name, _)| name.contains("_1core"))
+        .collect();
+    if gated.is_empty() {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::NoGatedEntries],
+        };
+    }
+    let mut report = GateReport::default();
+    for (name, base) in gated {
+        match fresh.iter().find(|(n, _)| n == name) {
+            None => report
+                .failures
+                .push(GateFailure::MissingEntry(name.clone())),
+            Some((_, v)) => {
+                let entry = CheckedEntry {
+                    name: name.clone(),
+                    fresh: *v,
+                    baseline: *base,
+                };
+                if entry.ratio() < min_ratio {
+                    report.failures.push(GateFailure::Regressed {
+                        name: name.clone(),
+                        fresh: *v,
+                        baseline: *base,
+                    });
+                }
+                report.checked.push(entry);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "schema": "izhirisc-perf-baseline-v4",
+  "workloads": [],
+  "speedup_vs_seed": {
+    "net8020_quick_1core": 2.000,
+    "net8020_paper_1core_100ms": 1.900,
+    "net8020_quick_2core": 2.790
+  }
+}"#;
+
+    fn fresh(entries: &[(&str, f64)]) -> Vec<(String, f64)> {
+        entries.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn parses_speedup_entries() {
+        let entries = parse_speedups(BASELINE);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0], ("net8020_quick_1core".to_string(), 2.0));
+    }
+
+    #[test]
+    fn passes_when_all_entries_hold() {
+        let f = fresh(&[
+            ("net8020_quick_1core", 1.95),
+            ("net8020_paper_1core_100ms", 1.88),
+            // 2-core entries are informational: absent or regressed is fine.
+        ]);
+        let report = check_gate(&f, BASELINE, 0.85);
+        assert!(report.passed());
+        assert_eq!(report.checked.len(), 2);
+    }
+
+    #[test]
+    fn missing_baseline_key_errors_instead_of_passing() {
+        // A fresh run that lost (e.g. renamed) a gated row must fail the
+        // gate even though every entry it *does* have looks healthy.
+        let f = fresh(&[("net8020_quick_1core", 2.5)]);
+        let report = check_gate(&f, BASELINE, 0.85);
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::MissingEntry(
+                "net8020_paper_1core_100ms".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn regression_below_min_ratio_errors() {
+        let f = fresh(&[
+            ("net8020_quick_1core", 1.0), // 0.5x of baseline
+            ("net8020_paper_1core_100ms", 1.9),
+        ]);
+        let report = check_gate(&f, BASELINE, 0.85);
+        assert_eq!(report.failures.len(), 1);
+        assert!(matches!(
+            &report.failures[0],
+            GateFailure::Regressed { name, .. } if name == "net8020_quick_1core"
+        ));
+    }
+
+    #[test]
+    fn empty_or_garbled_baseline_errors() {
+        let f = fresh(&[("net8020_quick_1core", 2.0)]);
+        assert_eq!(
+            check_gate(&f, "not json at all", 0.85).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+        // A baseline with only multi-core entries gates nothing — that is
+        // an error too, not a vacuous pass.
+        let multi_only = r#"{"speedup_vs_seed": {"net8020_quick_2core": 2.79}}"#;
+        assert_eq!(
+            check_gate(&f, multi_only, 0.85).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+    }
+
+    #[test]
+    fn multi_core_entries_are_informational() {
+        // The 2-core baseline entry exists but the fresh run reports it
+        // far lower: must still pass (host-dependent row).
+        let f = fresh(&[
+            ("net8020_quick_1core", 2.0),
+            ("net8020_paper_1core_100ms", 1.9),
+            ("net8020_quick_2core", 0.1),
+        ]);
+        assert!(check_gate(&f, BASELINE, 0.85).passed());
+    }
+}

@@ -22,6 +22,7 @@
 //! | §VI-A     | [`ablation_cache_sweep`] | cache geometry / 3-core fallback |
 //! | §VII      | [`scaling_study`] | bus vs NoC scaling projection |
 
+pub mod gate;
 pub mod seedsim;
 
 use std::fmt::Write as _;

@@ -1203,6 +1203,38 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_parallel_matches_relaxed_on_coupled_engine() {
+        // The coupled engine barriers twice per tick, so under
+        // host-parallel scheduling nearly every quantum defers at a
+        // barrier arrival and finishes in the sequential commit phase —
+        // the worst case for the parallel scheduler, which must still be
+        // bit-identical to the sequential relaxed schedule (spike-log
+        // order, relaxed clock, instret), on even and odd core splits.
+        use izhi_sim::SchedMode;
+        let net = tiny_net(20);
+        let bias = vec![6.0; 20];
+        let noise = vec![2.0; 20];
+        let image = GuestImage::from_network(&net, &bias, &noise, 120, 11);
+        for (cores, quantum) in [(2u32, 64u64), (3, 4096)] {
+            let mut cfg = EngineConfig::new(20, 120, cores, Variant::Npu);
+            cfg.system.sched = SchedMode::Relaxed { quantum };
+            let relaxed = run_workload(&cfg, &image, 4_000_000_000).unwrap();
+            assert!(!relaxed.raster.spikes.is_empty());
+            for host_threads in [1u32, 2, 4] {
+                cfg.system.sched = SchedMode::RelaxedParallel {
+                    quantum,
+                    host_threads,
+                };
+                let par = run_workload(&cfg, &image, 4_000_000_000).unwrap();
+                let tag = format!("cores {cores} quantum {quantum} ht {host_threads}");
+                assert_eq!(relaxed.raster.spikes, par.raster.spikes, "{tag}: spikes");
+                assert_eq!(relaxed.cycles, par.cycles, "{tag}: cycles");
+                assert_eq!(relaxed.instret, par.instret, "{tag}: instret");
+            }
+        }
+    }
+
+    #[test]
     fn three_core_odd_split_works() {
         // 20 neurons over 3 cores: chunks 7/7/6.
         let res = run_tiny(Variant::Npu, 3, 100);

@@ -18,8 +18,59 @@ use crate::cache::{Access, Cache};
 use crate::counters::PerfCounters;
 use crate::mem::layout;
 use crate::mmio::MmioEffect;
-use crate::predecode::{MicroOp, SlotState, NO_DEST};
+use crate::predecode::{MicroOp, PreInst, SlotState, NO_DEST};
 use crate::system::Shared;
+
+/// Everything one instruction needs from the world outside the core.
+///
+/// The interpreter ([`Core::exec_one`]) is generic over this trait so the
+/// same hot loop monomorphises against two very different backings:
+///
+/// * [`Shared`] — the whole-system state used by the exact and
+///   single-threaded relaxed schedulers (the historical code path; every
+///   method inlines to exactly the field accesses the loop made before the
+///   trait existed);
+/// * the per-core shard contexts of the host-parallel relaxed scheduler
+///   ([`crate::parallel`]), which route RAM through a raw sharded view,
+///   buffer append-only device traffic per core, and never touch the
+///   timing model (they only ever instantiate `TIMING = false`).
+///
+/// The timing hooks (`bus_acquire`, `burst`, `div_latency`) are only
+/// reached from `TIMING = true` instantiations.
+pub(crate) trait ExecCtx {
+    /// Fetch the predecoded slot covering `pc` (decoding on first use).
+    fn fetch(&mut self, pc: u32) -> PreInst;
+    /// The raw instruction word at `pc` (trap reporting only).
+    fn code_word(&self, pc: u32) -> Option<u32>;
+    /// Scratchpad size in bytes.
+    fn scratch_size(&self) -> u32;
+    /// SDRAM size in bytes.
+    fn sdram_size(&self) -> u32;
+    /// Functional read from the scratchpad at byte offset `off`.
+    fn read_scratch(&self, off: usize, op: LoadOp) -> Option<u32>;
+    /// Functional read from SDRAM at byte offset `off`.
+    fn read_sdram(&self, off: usize, op: LoadOp) -> Option<u32>;
+    /// Functional write into the scratchpad.
+    fn write_scratch(&mut self, off: usize, value: u32, op: StoreOp) -> bool;
+    /// Functional write into SDRAM.
+    fn write_sdram(&mut self, off: usize, value: u32, op: StoreOp) -> bool;
+    /// Store-to-code guard for a store to `addr`.
+    fn invalidate_store(&mut self, addr: u32);
+    /// 32-bit MMIO read at `offset` from `core_id` at local time `now`.
+    fn mmio_read(&mut self, core_id: u32, offset: u32, now: u64) -> u32;
+    /// 32-bit MMIO write; returns the effect the core must apply.
+    fn mmio_write(&mut self, core_id: u32, offset: u32, value: u32) -> MmioEffect;
+    /// Append bytes to the console (`ecall` host services).
+    fn console_extend(&mut self, bytes: &[u8]);
+    /// Arbitrate for the shared bus (timing model only).
+    fn bus_acquire(&mut self, now: u64, duration: u64) -> u64;
+    /// Burst duration for `words` transfers (timing model only).
+    fn burst(&self, words: u64) -> u64;
+    /// Iterative-divider latency (timing model only).
+    fn div_latency(&self) -> u64;
+    /// Whether the CSR-writeback hazard fix is modelled.
+    fn csr_writeback(&self) -> bool;
+}
 
 /// Why a core stopped abnormally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +136,12 @@ pub(crate) enum RunStop {
     /// The core arrived at an incomplete barrier round (relaxed scheduling
     /// only): it must be descheduled until the barrier releases.
     Parked,
+    /// The next instruction targets a shared-interactive MMIO register
+    /// (mutex / barrier / RNG). Only produced by the host-parallel
+    /// scheduler's pre-checked quantum loop — never by [`Core::run_while`]
+    /// itself — and it stops the core *before* the access executes, so
+    /// the sequential commit phase can replay it against the real devices.
+    SharedOp,
 }
 
 /// Hazard class of the previously retired instruction.
@@ -230,19 +287,20 @@ impl Core {
     /// self`), so the inlined hot path keeps pc/clock/hazard state in
     /// registers across the miss-branch join points.
     #[cold]
-    fn icache_refill(time: u64, words: u64, shared: &mut Shared) -> u64 {
-        let done = shared.bus.acquire(time, shared.bus_timings.burst(words));
+    fn icache_refill<C: ExecCtx>(time: u64, words: u64, ctx: &mut C) -> u64 {
+        let dur = ctx.burst(words);
+        let done = ctx.bus_acquire(time, dur);
         done - time
     }
 
     /// D-cache refill (+ optional dirty writeback): stall cycles.
     #[cold]
-    fn dcache_refill(time: u64, words: u64, writeback: bool, shared: &mut Shared) -> u64 {
-        let mut dur = shared.bus_timings.burst(words);
+    fn dcache_refill<C: ExecCtx>(time: u64, words: u64, writeback: bool, ctx: &mut C) -> u64 {
+        let mut dur = ctx.burst(words);
         if writeback {
-            dur += shared.bus_timings.burst(words);
+            dur += ctx.burst(words);
         }
-        let done = shared.bus.acquire(time, dur);
+        let done = ctx.bus_acquire(time, dur);
         done - time
     }
 
@@ -251,8 +309,8 @@ impl Core {
     /// steals bandwidth from the other core's cache refills (a classic
     /// shared-bus effect that bounds the paper's dual-core speedup below 2).
     #[cold]
-    fn mmio_timing(time: u64, shared: &mut Shared) -> u64 {
-        let done = shared.bus.acquire(time, 4);
+    fn mmio_timing<C: ExecCtx>(time: u64, ctx: &mut C) -> u64 {
+        let done = ctx.bus_acquire(time, 4);
         (done - time).max(2)
     }
 
@@ -260,7 +318,7 @@ impl Core {
     /// stall cycles are accounted here (and on the MMIO paths), so the
     /// common hit path never touches the counter.
     #[inline]
-    fn sdram_timing(&mut self, shared: &mut Shared, addr: u32, write: bool) -> u64 {
+    fn sdram_timing<C: ExecCtx>(&mut self, ctx: &mut C, addr: u32, write: bool) -> u64 {
         match self.dcache.access(addr, write) {
             Access::Hit => 0,
             Access::Miss { writeback } => {
@@ -268,7 +326,7 @@ impl Core {
                     self.time,
                     self.dcache.config().line_words() as u64,
                     writeback,
-                    shared,
+                    ctx,
                 );
                 self.counters.mem_stall_cycles += stall;
                 stall
@@ -277,9 +335,9 @@ impl Core {
     }
 
     #[inline]
-    fn load<const TIMING: bool>(
+    fn load<const TIMING: bool, C: ExecCtx>(
         &mut self,
-        shared: &mut Shared,
+        ctx: &mut C,
         addr: u32,
         op: LoadOp,
         pc: u32,
@@ -295,45 +353,40 @@ impl Core {
         // Classify the region exactly once; fall through to one of three
         // disjoint paths (scratchpad / cached SDRAM / MMIO) ordered by
         // access frequency, each indexing its backing slice directly.
-        let (value, extra) = if addr.wrapping_sub(layout::SCRATCH_BASE) < shared.mem.scratch_size()
-        {
+        let (value, extra) = if addr.wrapping_sub(layout::SCRATCH_BASE) < ctx.scratch_size() {
             self.counters.loads += 1;
             let off = addr.wrapping_sub(layout::SCRATCH_BASE) as usize;
-            let value = Self::read_slice(shared.mem.scratch_bytes(), off, op).ok_or(
-                TrapCause::BadAccess {
-                    pc,
-                    addr,
-                    store: false,
-                },
-            )?;
+            let value = ctx.read_scratch(off, op).ok_or(TrapCause::BadAccess {
+                pc,
+                addr,
+                store: false,
+            })?;
             (value, 0)
-        } else if addr < shared.mem.sdram_size() {
+        } else if addr < ctx.sdram_size() {
             self.counters.loads += 1;
             let extra = if TIMING {
-                self.sdram_timing(shared, addr, false)
+                self.sdram_timing(ctx, addr, false)
             } else {
                 0
             };
-            let value = Self::read_slice(shared.mem.sdram_bytes(), addr as usize, op).ok_or(
-                TrapCause::BadAccess {
+            let value = ctx
+                .read_sdram(addr as usize, op)
+                .ok_or(TrapCause::BadAccess {
                     pc,
                     addr,
                     store: false,
-                },
-            )?;
+                })?;
             (value, extra)
         } else if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
             self.counters.loads += 1;
             let extra = if TIMING {
-                let extra = Self::mmio_timing(self.time, shared);
+                let extra = Self::mmio_timing(self.time, ctx);
                 self.counters.mem_stall_cycles += extra;
                 extra
             } else {
                 0
             };
-            let value = shared
-                .dev
-                .read(self.id, addr - layout::MMIO_BASE, self.time);
+            let value = ctx.mmio_read(self.id, addr - layout::MMIO_BASE, self.time);
             (value, extra)
         } else {
             return Err(TrapCause::BadAccess {
@@ -350,43 +403,10 @@ impl Core {
         Ok((value, extra))
     }
 
-    /// Width-dispatched functional read from an already-classified
-    /// region's backing bytes.
     #[inline]
-    fn read_slice(buf: &[u8], off: usize, op: LoadOp) -> Option<u32> {
-        match op {
-            LoadOp::Lw => buf
-                .get(off..off + 4)
-                .map(|b| u32::from_le_bytes(b.try_into().unwrap())),
-            LoadOp::Lh | LoadOp::Lhu => buf
-                .get(off..off + 2)
-                .map(|b| u32::from(u16::from_le_bytes(b.try_into().unwrap()))),
-            LoadOp::Lb | LoadOp::Lbu => buf.get(off).map(|&b| u32::from(b)),
-        }
-    }
-
-    /// Width-dispatched functional write into an already-classified
-    /// region's backing bytes.
-    #[inline]
-    fn write_slice(buf: &mut [u8], off: usize, value: u32, op: StoreOp) -> bool {
-        match op {
-            StoreOp::Sw => buf.get_mut(off..off + 4).map(|b| {
-                b.copy_from_slice(&value.to_le_bytes());
-            }),
-            StoreOp::Sh => buf.get_mut(off..off + 2).map(|b| {
-                b.copy_from_slice(&(value as u16).to_le_bytes());
-            }),
-            StoreOp::Sb => buf.get_mut(off).map(|b| {
-                *b = value as u8;
-            }),
-        }
-        .is_some()
-    }
-
-    #[inline]
-    fn store<const TIMING: bool>(
+    fn store<const TIMING: bool, C: ExecCtx>(
         &mut self,
-        shared: &mut Shared,
+        ctx: &mut C,
         addr: u32,
         value: u32,
         op: StoreOp,
@@ -402,18 +422,18 @@ impl Core {
         }
         // Same single classification as `load`, ordered by access
         // frequency: scratch, then cached SDRAM, then MMIO, then the trap.
-        let in_scratch = addr.wrapping_sub(layout::SCRATCH_BASE) < shared.mem.scratch_size();
-        if !in_scratch && addr >= shared.mem.sdram_size() {
+        let in_scratch = addr.wrapping_sub(layout::SCRATCH_BASE) < ctx.scratch_size();
+        if !in_scratch && addr >= ctx.sdram_size() {
             if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
                 self.counters.stores += 1;
                 let extra = if TIMING {
-                    let extra = Self::mmio_timing(self.time, shared);
+                    let extra = Self::mmio_timing(self.time, ctx);
                     self.counters.mem_stall_cycles += extra;
                     extra
                 } else {
                     0
                 };
-                let effect = shared.dev.write(self.id, addr - layout::MMIO_BASE, value);
+                let effect = ctx.mmio_write(self.id, addr - layout::MMIO_BASE, value);
                 return Ok((extra, effect));
             }
             return Err(TrapCause::BadAccess {
@@ -425,20 +445,14 @@ impl Core {
         self.counters.stores += 1;
         let (extra, ok) = if in_scratch {
             let off = addr.wrapping_sub(layout::SCRATCH_BASE) as usize;
-            (
-                0,
-                Self::write_slice(shared.mem.scratch_bytes_mut(), off, value, op),
-            )
+            (0, ctx.write_scratch(off, value, op))
         } else {
             let extra = if TIMING {
-                self.sdram_timing(shared, addr, true)
+                self.sdram_timing(ctx, addr, true)
             } else {
                 0
             };
-            (
-                extra,
-                Self::write_slice(shared.mem.sdram_bytes_mut(), addr as usize, value, op),
-            )
+            (extra, ctx.write_sdram(addr as usize, value, op))
         };
         if !ok {
             return Err(TrapCause::BadAccess {
@@ -449,7 +463,7 @@ impl Core {
         }
         // Store-to-code guard: writing into a predecoded window forces a
         // re-decode of the covered slot on its next fetch.
-        shared.code.invalidate_store(addr);
+        ctx.invalidate_store(addr);
         Ok((extra, MmioEffect::None))
     }
 
@@ -466,8 +480,8 @@ impl Core {
     /// Hazard class of an nm instruction's register-file writeback: the
     /// paper's proposed CSR-writeback fix removes the stall entirely.
     #[inline]
-    fn nm_kind(&self, shared: &Shared) -> PrevKind {
-        if shared.csr_writeback {
+    fn nm_kind<C: ExecCtx>(&self, ctx: &C) -> PrevKind {
+        if ctx.csr_writeback() {
             PrevKind::Bypassed
         } else {
             PrevKind::NmWriteback
@@ -487,11 +501,11 @@ impl Core {
 
     /// Trap for a failed fetch (illegal encoding or unmapped pc).
     #[cold]
-    fn fetch_trap(state: SlotState, pc: u32, mem: &crate::mem::MainMemory) -> TrapCause {
+    fn fetch_trap<C: ExecCtx>(state: SlotState, pc: u32, ctx: &C) -> TrapCause {
         if state == SlotState::Illegal {
             TrapCause::IllegalInstruction {
                 pc,
-                word: mem.read_u32(pc).unwrap_or(0),
+                word: ctx.code_word(pc).unwrap_or(0),
             }
         } else {
             TrapCause::BadFetch { pc }
@@ -501,18 +515,18 @@ impl Core {
     /// `ecall` host services (kept out of line: the string-formatting
     /// machinery would otherwise bloat the interpreter's stack frame).
     #[cold]
-    fn ecall(&mut self, shared: &mut Shared) {
+    fn ecall<C: ExecCtx>(&mut self, ctx: &mut C) {
         // Minimal host services, newlib-free.
         match self.reg(Reg::A7) {
             0 | 93 => self.halted = true,
             1 => {
                 let s = (self.reg(Reg::A0) as i32).to_string();
-                shared.dev.console.extend_from_slice(s.as_bytes());
+                ctx.console_extend(s.as_bytes());
             }
-            2 => shared.dev.console.push(self.reg(Reg::A0) as u8),
+            2 => ctx.console_extend(&[self.reg(Reg::A0) as u8]),
             3 => {
                 let s = format!("{:#010x}", self.reg(Reg::A0));
-                shared.dev.console.extend_from_slice(s.as_bytes());
+                ctx.console_extend(s.as_bytes());
             }
             _ => {}
         }
@@ -523,7 +537,7 @@ impl Core {
         if self.halted {
             return Ok(());
         }
-        let out = self.exec_one::<true>(shared);
+        let out = self.exec_one::<true, _>(shared);
         self.sync_counters();
         out
     }
@@ -541,9 +555,9 @@ impl Core {
     /// With `TIMING = false` the loop runs the relaxed-clock variant of
     /// [`Core::exec_one`] and additionally stops with [`RunStop::Parked`]
     /// when the core arrives at an incomplete barrier round.
-    pub(crate) fn run_while<const TIMING: bool>(
+    pub(crate) fn run_while<const TIMING: bool, C: ExecCtx>(
         &mut self,
-        shared: &mut Shared,
+        ctx: &mut C,
         bound: u64,
         max_cycles: u64,
     ) -> Result<RunStop, TrapCause> {
@@ -565,7 +579,7 @@ impl Core {
                     RunStop::Budget
                 });
             }
-            if let Err(cause) = self.exec_one::<TIMING>(shared) {
+            if let Err(cause) = self.exec_one::<TIMING, _>(ctx) {
                 break Err(cause);
             }
         };
@@ -588,9 +602,9 @@ impl Core {
     ///   Barrier arrivals that leave the round incomplete park the core.
     #[inline(always)]
     #[allow(clippy::too_many_lines)]
-    pub(crate) fn exec_one<const TIMING: bool>(
+    pub(crate) fn exec_one<const TIMING: bool, C: ExecCtx>(
         &mut self,
-        shared: &mut Shared,
+        ctx: &mut C,
     ) -> Result<(), TrapCause> {
         let pc = self.pc;
         if !pc.is_multiple_of(4) {
@@ -602,7 +616,7 @@ impl Core {
         // MicroOp needs a single dispatch. Destructured straight into
         // scalars so the 16-byte slot never round-trips through a stack
         // temporary.
-        let crate::predecode::PreInst {
+        let PreInst {
             op,
             rd,
             rs1,
@@ -611,7 +625,7 @@ impl Core {
             src_mask,
             dest,
             state,
-        } = shared.code.fetch(pc, &shared.mem);
+        } = ctx.fetch(pc);
         let mut extra = 0u64;
         match state {
             SlotState::Sdram => {
@@ -630,14 +644,14 @@ impl Core {
                             extra += Self::icache_refill(
                                 self.time,
                                 self.icache.config().line_words() as u64,
-                                shared,
+                                ctx,
                             );
                         }
                     }
                 }
             }
             SlotState::Scratch => {}
-            _ => return Err(Self::fetch_trap(state, pc, &shared.mem)),
+            _ => return Err(Self::fetch_trap(state, pc, ctx)),
         }
 
         // Hazard stall: previous load / nm instruction feeding this one
@@ -722,7 +736,7 @@ impl Core {
                     _ => LoadOp::Lhu,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (value, mem_extra) = self.load::<TIMING>(shared, addr, lop, pc)?;
+                let (value, mem_extra) = self.load::<TIMING, _>(ctx, addr, lop, pc)?;
                 self.set_reg(rd, value);
                 extra += mem_extra;
                 kind = PrevKind::Load;
@@ -735,7 +749,7 @@ impl Core {
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
                 let (mem_extra, eff) =
-                    self.store::<TIMING>(shared, addr, self.reg(rs2), sop, pc)?;
+                    self.store::<TIMING, _>(ctx, addr, self.reg(rs2), sop, pc)?;
                 extra += mem_extra;
                 effect = eff;
             }
@@ -836,8 +850,9 @@ impl Core {
             MicroOp::Div => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 if TIMING {
-                    extra += shared.div_latency;
-                    self.counters.div_stall_cycles += shared.div_latency;
+                    let lat = ctx.div_latency();
+                    extra += lat;
+                    self.counters.div_stall_cycles += lat;
                 }
                 let v = if b == 0 {
                     u32::MAX
@@ -851,16 +866,18 @@ impl Core {
             MicroOp::Divu => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 if TIMING {
-                    extra += shared.div_latency;
-                    self.counters.div_stall_cycles += shared.div_latency;
+                    let lat = ctx.div_latency();
+                    extra += lat;
+                    self.counters.div_stall_cycles += lat;
                 }
                 self.set_reg(rd, a.checked_div(b).unwrap_or(u32::MAX));
             }
             MicroOp::Rem => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 if TIMING {
-                    extra += shared.div_latency;
-                    self.counters.div_stall_cycles += shared.div_latency;
+                    let lat = ctx.div_latency();
+                    extra += lat;
+                    self.counters.div_stall_cycles += lat;
                 }
                 let v = if b == 0 {
                     a
@@ -874,13 +891,14 @@ impl Core {
             MicroOp::Remu => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
                 if TIMING {
-                    extra += shared.div_latency;
-                    self.counters.div_stall_cycles += shared.div_latency;
+                    let lat = ctx.div_latency();
+                    extra += lat;
+                    self.counters.div_stall_cycles += lat;
                 }
                 self.set_reg(rd, if b == 0 { a } else { a % b });
             }
             MicroOp::Fence => {}
-            MicroOp::Ecall => self.ecall(shared),
+            MicroOp::Ecall => self.ecall(ctx),
             MicroOp::Ebreak => self.halted = true,
             MicroOp::Csr => {
                 let old = self.csr_read(imm as u16);
@@ -890,13 +908,13 @@ impl Core {
                 let ok = self.nmregs.exec_nmldl(self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, ok);
                 self.counters.nmldl += 1;
-                kind = self.nm_kind(shared);
+                kind = self.nm_kind(ctx);
             }
             MicroOp::Nmldh => {
                 let ok = self.nmregs.exec_nmldh(self.reg(rs1));
                 self.set_reg(rd, ok);
                 self.counters.nmldh += 1;
-                kind = self.nm_kind(shared);
+                kind = self.nm_kind(ctx);
             }
             MicroOp::Nmpn => {
                 let vu = self.reg(rs1);
@@ -904,12 +922,12 @@ impl Core {
                 let addr = self.reg(rd);
                 let out = NpUnit::update(&self.nmregs, vu, isyn);
                 let (mem_extra, eff) =
-                    self.store::<TIMING>(shared, addr, out.vu, StoreOp::Sw, pc)?;
+                    self.store::<TIMING, _>(ctx, addr, out.vu, StoreOp::Sw, pc)?;
                 extra += mem_extra;
                 effect = eff;
                 self.set_reg(rd, u32::from(out.spike));
                 self.counters.nmpn += 1;
-                kind = self.nm_kind(shared);
+                kind = self.nm_kind(ctx);
             }
             MicroOp::Nmdec => {
                 let out = Dcu::exec_nmdec(&self.nmregs, self.reg(rs1), self.reg(rs2));

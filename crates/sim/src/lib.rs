@@ -33,7 +33,11 @@
 //! ([`SchedMode::Relaxed`]) trades all of that timing fidelity for
 //! throughput: round-robin quanta, a one-cycle-per-instruction clock and a
 //! blocking barrier device, with architectural results unchanged for
-//! guests that synchronise through the barrier/mutex devices.
+//! guests that synchronise through the barrier/mutex devices. The
+//! host-parallel variant ([`SchedMode::RelaxedParallel`], [`parallel`])
+//! runs those quanta on host worker threads against a sharded memory view
+//! while staying bit-identical to the single-threaded relaxed schedule at
+//! every host-thread count.
 //!
 //! ## Example
 //!
@@ -64,6 +68,7 @@ pub mod counters;
 pub mod cpu;
 pub mod mem;
 pub mod mmio;
+pub mod parallel;
 pub mod predecode;
 pub mod system;
 
@@ -73,5 +78,6 @@ pub use counters::{Metrics, PerfCounters};
 pub use cpu::{Core, TrapCause};
 pub use mem::{layout, MainMemory};
 pub use mmio::SharedDevices;
-pub use predecode::{CodeTable, PreInst, SlotState};
+pub use parallel::resolve_host_threads;
+pub use predecode::{CodeMem, CodeTable, PreInst, SlotState};
 pub use system::{RunExit, SchedMode, SimError, System, SystemConfig};

@@ -5,6 +5,8 @@
 //! hot network state lives in on-chip memory (single-cycle scratchpad), and
 //! a small MMIO block provides platform services.
 
+use izhi_isa::inst::{LoadOp, StoreOp};
+
 /// Address-space layout constants.
 pub mod layout {
     /// SDRAM base (instructions + bulk data; cached).
@@ -72,6 +74,39 @@ pub mod layout {
             Region::Unmapped
         }
     }
+}
+
+/// Width-dispatched functional read from an already-classified region's
+/// backing bytes (zero-extended; the cpu sign-extends `lb`/`lh` itself).
+#[inline]
+pub(crate) fn read_slice(buf: &[u8], off: usize, op: LoadOp) -> Option<u32> {
+    match op {
+        LoadOp::Lw => buf
+            .get(off..off + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap())),
+        LoadOp::Lh | LoadOp::Lhu => buf
+            .get(off..off + 2)
+            .map(|b| u32::from(u16::from_le_bytes(b.try_into().unwrap()))),
+        LoadOp::Lb | LoadOp::Lbu => buf.get(off).map(|&b| u32::from(b)),
+    }
+}
+
+/// Width-dispatched functional write into an already-classified region's
+/// backing bytes; `false` when the span falls outside the region.
+#[inline]
+pub(crate) fn write_slice(buf: &mut [u8], off: usize, value: u32, op: StoreOp) -> bool {
+    match op {
+        StoreOp::Sw => buf.get_mut(off..off + 4).map(|b| {
+            b.copy_from_slice(&value.to_le_bytes());
+        }),
+        StoreOp::Sh => buf.get_mut(off..off + 2).map(|b| {
+            b.copy_from_slice(&(value as u16).to_le_bytes());
+        }),
+        StoreOp::Sb => buf.get_mut(off).map(|b| {
+            *b = value as u8;
+        }),
+    }
+    .is_some()
 }
 
 /// Byte-addressable backing storage for SDRAM and the scratchpad.

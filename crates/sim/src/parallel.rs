@@ -1,0 +1,1096 @@
+//! Host-parallel relaxed scheduling ([`SchedMode::RelaxedParallel`]).
+//!
+//! [`SchedMode::RelaxedParallel`]: crate::system::SchedMode::RelaxedParallel
+//! [`SchedMode::Relaxed`]: crate::system::SchedMode::Relaxed
+//! [`SchedMode::Exact`]: crate::system::SchedMode::Exact
+//!
+//! The single-threaded relaxed scheduler runs cores round-robin in quanta:
+//! within a round, core 0 executes its whole quantum, then core 1, and so
+//! on. This module runs those quanta on host worker threads instead,
+//! while keeping the run **bit-identical** to the sequential schedule at
+//! every host-thread count. Three mechanisms make that possible:
+//!
+//! 1. **Sharded RAM** (`RamView`). Worker threads access guest SDRAM and
+//!    scratchpad through bounds-checked raw pointers into the one backing
+//!    allocation. The *race-free-guest contract* (the same contract
+//!    `SchedMode::Relaxed` already imposes, sharpened): cores may only
+//!    communicate through the barrier/mutex devices, so within one
+//!    scheduling round every core touches a disjoint set of addresses and
+//!    the concurrent raw accesses never alias. A guest that breaks the
+//!    contract races on the host — exactly the class of program the
+//!    relaxed modes already exclude (use [`SchedMode::Exact`] for it).
+//!
+//! 2. **Deferred interactive devices.** MMIO traffic whose result depends
+//!    on other cores — mutex try-acquire/release, barrier reads and
+//!    arrivals, the shared RNG — is *detected before it executes* (every
+//!    instruction that can touch MMIO computes its address from registers,
+//!    so a one-shot pre-check per instruction suffices) and ends the
+//!    core's parallel portion of the quantum. After the workers
+//!    rendezvous, the coordinator finishes each such quantum **in
+//!    ascending hart order against the real devices** — the exact order
+//!    the sequential scheduler would have produced. Per-core MMIO traffic
+//!    (core id, cycle counter, halt, ROI) executes in place.
+//!
+//! 3. **Buffered append-only devices.** Spike-log, console and progress
+//!    writes land in a per-core `DeviceBuffer` during the parallel
+//!    portion and are merged into the shared devices in ascending hart
+//!    order at commit time. Since the sequential schedule runs the
+//!    round's quanta in exactly that order, the merged logs match it word
+//!    for word.
+//!
+//! Worker threads are spawned once per `run()` (a `std::thread::scope`)
+//! and park on a condvar between rounds; a guest core arriving at an
+//! incomplete barrier round parks its host thread the same way — nobody
+//! spins. On the error paths (trap / cycle budget) the reported error and
+//! core are identical to the sequential schedule, but cores *later* in
+//! hart order may have advanced further than it would have run them.
+//!
+//! Scheduling cost intuition: only the portion of a quantum *before* its
+//! first interactive device access parallelises. Barrier-light workloads
+//! (the `Net8020SweepWorkload` parameter sweeps: zero cross-core traffic
+//! after the start-up barrier) parallelise almost perfectly; barrier-per-
+//! tick workloads degrade gracefully toward the sequential schedule. On a
+//! host with fewer CPUs than worker threads (CI runners, 1-CPU dev boxes)
+//! wall clock does not improve at all — the value there is that results,
+//! counters and logs are *guaranteed unchanged*, which is what the
+//! differential suites exercise.
+
+use std::sync::{Condvar, Mutex};
+
+use izhi_isa::inst::{LoadOp, StoreOp};
+use izhi_isa::reg::Reg;
+
+use crate::cpu::{Core, ExecCtx, RunStop, TrapCause};
+use crate::mem::{layout, MainMemory};
+use crate::mmio::{is_interactive, MmioEffect, SharedDevices};
+use crate::predecode::{CodeMem, CodeTable, MicroOp, PreInst};
+use crate::system::{SimError, System};
+
+/// Resolve a requested host-thread count: `0` means "auto" — the
+/// `IZHI_HOST_THREADS` environment variable if set (CI forces `2` there so
+/// single-CPU runners still exercise the threaded path), otherwise the
+/// host's available parallelism.
+pub fn resolve_host_threads(requested: u32) -> u32 {
+    if requested != 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("IZHI_HOST_THREADS") {
+        if let Ok(n) = v.parse::<u32>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u32)
+}
+
+/// Bounds-checked raw view of guest RAM, shareable across worker threads.
+///
+/// # Safety contract
+///
+/// Dereferencing relies on the race-free-guest contract: during the
+/// parallel portion of a round no two cores access the same guest address
+/// (one of them writing). The pointers stay valid for the whole `run()`
+/// call — [`MainMemory`] is not resized or otherwise touched through
+/// references while a `RamView` of it is live.
+#[derive(Clone, Copy)]
+pub(crate) struct RamView {
+    sdram: *mut u8,
+    sdram_len: usize,
+    scratch: *mut u8,
+    scratch_len: usize,
+}
+
+// SAFETY: the raw pointers are only dereferenced under the race-free-guest
+// contract documented on the type; the view itself is plain data.
+unsafe impl Send for RamView {}
+unsafe impl Sync for RamView {}
+
+impl RamView {
+    pub(crate) fn new(mem: &mut MainMemory) -> Self {
+        let sdram = mem.sdram_bytes_mut();
+        let (sdram, sdram_len) = (sdram.as_mut_ptr(), sdram.len());
+        let scratch = mem.scratch_bytes_mut();
+        let (scratch, scratch_len) = (scratch.as_mut_ptr(), scratch.len());
+        RamView {
+            sdram,
+            sdram_len,
+            scratch,
+            scratch_len,
+        }
+    }
+
+    /// Width-dispatched read at `off` into the region behind `ptr`.
+    #[inline]
+    fn read_at(ptr: *const u8, len: usize, off: usize, op: LoadOp) -> Option<u32> {
+        let width = match op {
+            LoadOp::Lw => 4,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lb | LoadOp::Lbu => 1,
+        };
+        if off.checked_add(width)? > len {
+            return None;
+        }
+        // SAFETY: bounds just checked; aliasing per the type's contract.
+        unsafe {
+            Some(match op {
+                LoadOp::Lw => {
+                    let mut b = [0u8; 4];
+                    core::ptr::copy_nonoverlapping(ptr.add(off), b.as_mut_ptr(), 4);
+                    u32::from_le_bytes(b)
+                }
+                LoadOp::Lh | LoadOp::Lhu => {
+                    let mut b = [0u8; 2];
+                    core::ptr::copy_nonoverlapping(ptr.add(off), b.as_mut_ptr(), 2);
+                    u32::from(u16::from_le_bytes(b))
+                }
+                LoadOp::Lb | LoadOp::Lbu => u32::from(ptr.add(off).read()),
+            })
+        }
+    }
+
+    /// Width-dispatched write at `off` into the region behind `ptr`.
+    #[inline]
+    fn write_at(ptr: *mut u8, len: usize, off: usize, value: u32, op: StoreOp) -> bool {
+        let width = match op {
+            StoreOp::Sw => 4,
+            StoreOp::Sh => 2,
+            StoreOp::Sb => 1,
+        };
+        match off.checked_add(width) {
+            Some(end) if end <= len => {}
+            _ => return false,
+        }
+        // SAFETY: bounds just checked; aliasing per the type's contract.
+        unsafe {
+            match op {
+                StoreOp::Sw => {
+                    let b = value.to_le_bytes();
+                    core::ptr::copy_nonoverlapping(b.as_ptr(), ptr.add(off), 4);
+                }
+                StoreOp::Sh => {
+                    let b = (value as u16).to_le_bytes();
+                    core::ptr::copy_nonoverlapping(b.as_ptr(), ptr.add(off), 2);
+                }
+                StoreOp::Sb => ptr.add(off).write(value as u8),
+            }
+        }
+        true
+    }
+}
+
+impl CodeMem for RamView {
+    #[inline]
+    fn code_word(&self, addr: u32) -> Option<u32> {
+        if (addr as usize) < self.sdram_len {
+            Self::read_at(self.sdram, self.sdram_len, addr as usize, LoadOp::Lw)
+        } else {
+            let off = addr.wrapping_sub(layout::SCRATCH_BASE) as usize;
+            Self::read_at(self.scratch, self.scratch_len, off, LoadOp::Lw)
+        }
+    }
+}
+
+/// Per-core buffer for append-only device traffic produced during the
+/// parallel portion of a quantum; merged in hart order at commit time.
+#[derive(Debug, Default)]
+pub(crate) struct DeviceBuffer {
+    console: Vec<u8>,
+    spike_log: Vec<u32>,
+    progress: Vec<u32>,
+}
+
+impl DeviceBuffer {
+    fn flush_into(&mut self, dev: &mut SharedDevices) {
+        dev.console.append(&mut self.console);
+        dev.spike_log.append(&mut self.spike_log);
+        dev.progress.append(&mut self.progress);
+    }
+}
+
+/// Pre-execution check: does the next instruction touch an interactive
+/// MMIO register? Only loads, stores and `nmpn` (whose store address is
+/// `rd`) can access MMIO at all, and all three compute their address from
+/// registers already visible here — so this check is *complete*: the
+/// shard context can never see an interactive access.
+#[inline]
+fn targets_interactive_mmio(core: &Core, pre: &PreInst) -> bool {
+    let (addr, write) = match pre.op {
+        MicroOp::Lb | MicroOp::Lh | MicroOp::Lw | MicroOp::Lbu | MicroOp::Lhu => {
+            (core.reg(Reg(pre.rs1)).wrapping_add(pre.imm as u32), false)
+        }
+        MicroOp::Sb | MicroOp::Sh | MicroOp::Sw => {
+            (core.reg(Reg(pre.rs1)).wrapping_add(pre.imm as u32), true)
+        }
+        MicroOp::Nmpn => (core.reg(Reg(pre.rd)), true),
+        _ => return false,
+    };
+    let offset = addr.wrapping_sub(layout::MMIO_BASE);
+    offset < layout::MMIO_SIZE && is_interactive(offset, write)
+}
+
+/// Where a shard context's device traffic goes — the only thing that
+/// differs between the two phases of a quantum. RAM, predecode-shard and
+/// timing behaviour are shared via the single [`ShardCtx`] below, so a
+/// fix to the memory path cannot land in one phase and miss the other.
+trait DevSink {
+    fn mmio_read(&mut self, core_id: u32, offset: u32, now: u64) -> u32;
+    fn mmio_write(&mut self, core_id: u32, offset: u32, value: u32) -> MmioEffect;
+    fn console_extend(&mut self, bytes: &[u8]);
+}
+
+/// Parallel-phase policy: append-only traffic buffers per core, pure
+/// reads (core id, core count, own cycle counter) answer from snapshots,
+/// and interactive offsets are unreachable — the scheduler's pre-check
+/// stops the core first.
+struct BufferedDev<'a> {
+    buf: &'a mut DeviceBuffer,
+    n_cores: u32,
+}
+
+impl DevSink for BufferedDev<'_> {
+    #[inline]
+    fn mmio_read(&mut self, core_id: u32, offset: u32, now: u64) -> u32 {
+        match offset {
+            layout::MMIO_COREID => core_id,
+            layout::MMIO_NCORES => self.n_cores,
+            layout::MMIO_CYCLE => now as u32,
+            layout::MMIO_MUTEX | layout::MMIO_BARRIER | layout::MMIO_RAND => {
+                debug_assert!(false, "interactive MMIO read escaped the pre-check");
+                0
+            }
+            _ => 0,
+        }
+    }
+
+    #[inline]
+    fn mmio_write(&mut self, _core_id: u32, offset: u32, value: u32) -> MmioEffect {
+        match offset {
+            layout::MMIO_CONSOLE => {
+                self.buf.console.push(value as u8);
+                MmioEffect::None
+            }
+            layout::MMIO_SPIKE_LOG => {
+                self.buf.spike_log.push(value);
+                MmioEffect::None
+            }
+            layout::MMIO_PROGRESS => {
+                self.buf.progress.push(value);
+                MmioEffect::None
+            }
+            layout::MMIO_HALT => MmioEffect::Halt,
+            layout::MMIO_ROI => {
+                if value != 0 {
+                    MmioEffect::RoiStart
+                } else {
+                    MmioEffect::RoiStop
+                }
+            }
+            layout::MMIO_MUTEX | layout::MMIO_BARRIER => {
+                debug_assert!(false, "interactive MMIO write escaped the pre-check");
+                MmioEffect::None
+            }
+            _ => MmioEffect::None,
+        }
+    }
+
+    #[inline]
+    fn console_extend(&mut self, bytes: &[u8]) {
+        self.buf.console.extend_from_slice(bytes);
+    }
+}
+
+/// Commit-phase policy: the real shared device block — interactive
+/// traffic executes in place, in hart order.
+struct RealDev<'a>(&'a mut SharedDevices);
+
+impl DevSink for RealDev<'_> {
+    #[inline]
+    fn mmio_read(&mut self, core_id: u32, offset: u32, now: u64) -> u32 {
+        self.0.read(core_id, offset, now)
+    }
+
+    #[inline]
+    fn mmio_write(&mut self, core_id: u32, offset: u32, value: u32) -> MmioEffect {
+        self.0.write(core_id, offset, value)
+    }
+
+    #[inline]
+    fn console_extend(&mut self, bytes: &[u8]) {
+        self.0.console.extend_from_slice(bytes);
+    }
+}
+
+/// Execution context for both phases of a quantum: sharded RAM and the
+/// core's own predecode shard, with device traffic routed through the
+/// phase's [`DevSink`] policy.
+struct ShardCtx<'a, D> {
+    ram: RamView,
+    code: &'a mut CodeTable,
+    dev: D,
+    csr_writeback: bool,
+}
+
+impl<D: DevSink> ExecCtx for ShardCtx<'_, D> {
+    #[inline]
+    fn fetch(&mut self, pc: u32) -> PreInst {
+        self.code.fetch(pc, &self.ram)
+    }
+
+    #[inline]
+    fn code_word(&self, pc: u32) -> Option<u32> {
+        self.ram.code_word(pc)
+    }
+
+    #[inline]
+    fn scratch_size(&self) -> u32 {
+        self.ram.scratch_len as u32
+    }
+
+    #[inline]
+    fn sdram_size(&self) -> u32 {
+        self.ram.sdram_len as u32
+    }
+
+    #[inline]
+    fn read_scratch(&self, off: usize, op: LoadOp) -> Option<u32> {
+        RamView::read_at(self.ram.scratch, self.ram.scratch_len, off, op)
+    }
+
+    #[inline]
+    fn read_sdram(&self, off: usize, op: LoadOp) -> Option<u32> {
+        RamView::read_at(self.ram.sdram, self.ram.sdram_len, off, op)
+    }
+
+    #[inline]
+    fn write_scratch(&mut self, off: usize, value: u32, op: StoreOp) -> bool {
+        RamView::write_at(self.ram.scratch, self.ram.scratch_len, off, value, op)
+    }
+
+    #[inline]
+    fn write_sdram(&mut self, off: usize, value: u32, op: StoreOp) -> bool {
+        RamView::write_at(self.ram.sdram, self.ram.sdram_len, off, value, op)
+    }
+
+    #[inline]
+    fn invalidate_store(&mut self, addr: u32) {
+        // Invalidates this core's own shard: self-modifying code within a
+        // core stays correct; cross-core code patching is cross-core
+        // traffic and excluded by the contract.
+        self.code.invalidate_store(addr);
+    }
+
+    #[inline]
+    fn mmio_read(&mut self, core_id: u32, offset: u32, now: u64) -> u32 {
+        self.dev.mmio_read(core_id, offset, now)
+    }
+
+    #[inline]
+    fn mmio_write(&mut self, core_id: u32, offset: u32, value: u32) -> MmioEffect {
+        self.dev.mmio_write(core_id, offset, value)
+    }
+
+    #[inline]
+    fn console_extend(&mut self, bytes: &[u8]) {
+        self.dev.console_extend(bytes);
+    }
+
+    fn bus_acquire(&mut self, _now: u64, _duration: u64) -> u64 {
+        unreachable!("relaxed contexts never instantiate the timing model")
+    }
+
+    fn burst(&self, _words: u64) -> u64 {
+        unreachable!("relaxed contexts never instantiate the timing model")
+    }
+
+    fn div_latency(&self) -> u64 {
+        unreachable!("relaxed contexts never instantiate the timing model")
+    }
+
+    #[inline]
+    fn csr_writeback(&self) -> bool {
+        self.csr_writeback
+    }
+}
+
+/// Run one core's quantum on a worker thread: the relaxed-clock loop of
+/// `Core::run_while::<false>` plus the interactive-MMIO pre-check. The
+/// slot fetch is repeated by `exec_one`, but a warm fetch is one bounds
+/// check and a 16-byte copy — the price of never having to roll an
+/// instruction back.
+fn run_quantum_parallel(
+    core: &mut Core,
+    ctx: &mut ShardCtx<'_, BufferedDev<'_>>,
+    bound: u64,
+    max_cycles: u64,
+) -> Result<RunStop, TrapCause> {
+    debug_assert!(
+        !core.parked(),
+        "parked cores never enter the parallel phase"
+    );
+    let stop = bound.min(max_cycles);
+    let run = loop {
+        if core.halted() {
+            break Ok(RunStop::Halted);
+        }
+        let t = core.time;
+        if t > stop {
+            break Ok(if t > bound {
+                RunStop::Bound
+            } else {
+                RunStop::Budget
+            });
+        }
+        let pc = core.pc();
+        if pc.is_multiple_of(4) {
+            let pre = ctx.fetch(pc);
+            if targets_interactive_mmio(core, &pre) {
+                break Ok(RunStop::SharedOp);
+            }
+        }
+        if let Err(cause) = core.exec_one::<false, _>(ctx) {
+            break Err(cause);
+        }
+    };
+    core.sync_counters();
+    run
+}
+
+/// What a worker left behind for the commit phase.
+enum Pending {
+    /// No quantum was posted this round (halted or parked core).
+    Idle,
+    /// A quantum is posted and not yet executed.
+    Job,
+    /// The parallel portion finished with this result.
+    Done(Result<RunStop, TrapCause>),
+}
+
+/// One core's state while the run is threaded. The mutex is uncontended
+/// by construction (each core belongs to exactly one worker, and the
+/// coordinator only locks between rounds); it exists to move the state
+/// across threads safely and cheaply.
+struct CoreSlot {
+    core: Core,
+    /// This core's private predecode shard (diverging copies of a pure
+    /// cache — see [`CodeTable`]).
+    code: CodeTable,
+    buf: DeviceBuffer,
+    /// Quantum bound posted by the coordinator, consumed by worker and
+    /// commit phases alike.
+    bound: u64,
+    pending: Pending,
+}
+
+/// The host-side round rendezvous: workers park on `start` between
+/// rounds, the coordinator parks on `done` while a round is in flight.
+struct RoundSync {
+    state: Mutex<RoundState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+struct RoundState {
+    epoch: u64,
+    running: usize,
+    shutdown: bool,
+}
+
+impl RoundSync {
+    fn new() -> Self {
+        RoundSync {
+            state: Mutex::new(RoundState {
+                epoch: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Coordinator: release all `workers` for one round and park until
+    /// every one of them has drained its cores.
+    fn run_round(&self, workers: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.epoch += 1;
+        st.running = workers;
+        self.start.notify_all();
+        while st.running > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+    }
+
+    /// Worker: park until a round newer than `seen` starts; `None` on
+    /// shutdown.
+    fn wait_start(&self, seen: u64) -> Option<u64> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if st.epoch > seen {
+                return Some(st.epoch);
+            }
+            st = self.start.wait(st).unwrap();
+        }
+    }
+
+    /// Worker: signal that this worker's share of the round is done.
+    fn finish_round(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.running -= 1;
+        if st.running == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        self.start.notify_all();
+    }
+}
+
+/// Per-run constants shared by the coordinator and every worker.
+#[derive(Clone, Copy)]
+struct RunEnv {
+    ram: RamView,
+    n_cores: u32,
+    csr_writeback: bool,
+    quantum: u64,
+    max_cycles: u64,
+}
+
+/// Worker `w` of `stride`: owns cores `w, w + stride, …` and runs their
+/// posted quanta each round. The core-to-worker map is static, but since
+/// parallel portions are independent (that is the whole construction) the
+/// partition cannot affect results — only load balance.
+fn worker_loop(w: usize, stride: usize, slots: &[Mutex<CoreSlot>], sync: &RoundSync, env: RunEnv) {
+    let mut seen = 0u64;
+    while let Some(epoch) = sync.wait_start(seen) {
+        seen = epoch;
+        let mut i = w;
+        while i < slots.len() {
+            let mut slot = slots[i].lock().unwrap();
+            let CoreSlot {
+                core,
+                code,
+                buf,
+                bound,
+                pending,
+            } = &mut *slot;
+            if matches!(pending, Pending::Job) {
+                let mut ctx = ShardCtx {
+                    ram: env.ram,
+                    code,
+                    dev: BufferedDev {
+                        buf,
+                        n_cores: env.n_cores,
+                    },
+                    csr_writeback: env.csr_writeback,
+                };
+                *pending =
+                    Pending::Done(run_quantum_parallel(core, &mut ctx, *bound, env.max_cycles));
+            }
+            drop(slot);
+            i += stride;
+        }
+        sync.finish_round();
+    }
+}
+
+/// Finish a quantum (or run a whole one, for a freshly unparked core)
+/// against the real devices.
+fn run_direct(
+    core: &mut Core,
+    code: &mut CodeTable,
+    dev: &mut SharedDevices,
+    env: RunEnv,
+    bound: u64,
+) -> Result<RunStop, TrapCause> {
+    let mut ctx = ShardCtx {
+        ram: env.ram,
+        code,
+        dev: RealDev(dev),
+        csr_writeback: env.csr_writeback,
+    };
+    core.run_while::<false, _>(&mut ctx, bound, env.max_cycles)
+}
+
+/// The coordinator loop: plan a round, fan the quanta out to the workers,
+/// then commit in ascending hart order. Mirrors `System::run_relaxed`
+/// decision for decision — the property suites assert bit-identity.
+fn coordinate(
+    dev: &mut SharedDevices,
+    slots: &[Mutex<CoreSlot>],
+    sync: &RoundSync,
+    workers: usize,
+    env: RunEnv,
+) -> Result<(), SimError> {
+    let n = slots.len();
+    // Generation at which each parked core arrived (same bookkeeping as
+    // the sequential relaxed scheduler).
+    let mut parked_gen: Vec<Option<u32>> = vec![None; n];
+    loop {
+        // Plan: post one quantum per runnable core. Parked cores are
+        // excluded — whether they wake this round depends on barrier
+        // writes that earlier harts commit *during* the round.
+        let mut all_halted = true;
+        let mut posted = 0usize;
+        for (i, slot) in slots.iter().enumerate() {
+            let mut s = slot.lock().unwrap();
+            if s.core.halted() {
+                continue;
+            }
+            all_halted = false;
+            if parked_gen[i].is_some() {
+                continue;
+            }
+            s.bound = s.core.time.saturating_add(env.quantum - 1);
+            s.pending = Pending::Job;
+            posted += 1;
+        }
+        if all_halted {
+            return Ok(());
+        }
+        // Parallel phase.
+        if posted > 0 {
+            sync.run_round(workers);
+        }
+        // Commit phase, ascending hart order.
+        let mut any_ran = false;
+        for (i, slot) in slots.iter().enumerate() {
+            let mut s = slot.lock().unwrap();
+            let CoreSlot {
+                core,
+                code,
+                buf,
+                bound,
+                pending,
+            } = &mut *s;
+            if let Some(gen) = parked_gen[i] {
+                // The release check happens here — after harts `< i`
+                // committed — exactly where the sequential scheduler
+                // performs it within the round.
+                if dev.barrier_generation() == gen {
+                    continue;
+                }
+                parked_gen[i] = None;
+                core.clear_parked();
+                any_ran = true;
+                let bound = core.time.saturating_add(env.quantum - 1);
+                let stop =
+                    run_direct(core, code, dev, env, bound).map_err(|cause| SimError::Trap {
+                        core: i as u32,
+                        cause,
+                    })?;
+                match stop {
+                    RunStop::Halted | RunStop::Bound => {}
+                    RunStop::Parked => parked_gen[i] = Some(dev.barrier_generation()),
+                    RunStop::Budget => {
+                        return Err(SimError::Timeout {
+                            max_cycles: env.max_cycles,
+                        })
+                    }
+                    RunStop::SharedOp => unreachable!("run_while never defers"),
+                }
+                continue;
+            }
+            let outcome = match std::mem::replace(pending, Pending::Idle) {
+                Pending::Idle => continue, // halted before the round
+                Pending::Job => unreachable!("round barrier guarantees completion"),
+                Pending::Done(outcome) => outcome,
+            };
+            any_ran = true;
+            buf.flush_into(dev);
+            match outcome.map_err(|cause| SimError::Trap {
+                core: i as u32,
+                cause,
+            })? {
+                RunStop::Halted | RunStop::Bound => {}
+                RunStop::Budget => {
+                    return Err(SimError::Timeout {
+                        max_cycles: env.max_cycles,
+                    })
+                }
+                RunStop::Parked => unreachable!("shard contexts never park"),
+                RunStop::SharedOp => {
+                    // Finish the quantum against the real devices; the
+                    // deferred operation is its first instruction.
+                    let stop = run_direct(core, code, dev, env, *bound).map_err(|cause| {
+                        SimError::Trap {
+                            core: i as u32,
+                            cause,
+                        }
+                    })?;
+                    match stop {
+                        RunStop::Halted | RunStop::Bound => {}
+                        RunStop::Parked => parked_gen[i] = Some(dev.barrier_generation()),
+                        RunStop::Budget => {
+                            return Err(SimError::Timeout {
+                                max_cycles: env.max_cycles,
+                            })
+                        }
+                        RunStop::SharedOp => unreachable!("run_while never defers"),
+                    }
+                }
+            }
+        }
+        if !any_ran {
+            // Every live core is parked at a barrier round that can no
+            // longer complete — same timeout the sequential scheduler
+            // surfaces.
+            return Err(SimError::Timeout {
+                max_cycles: env.max_cycles,
+            });
+        }
+    }
+}
+
+impl System {
+    /// Host-parallel relaxed scheduling (see the module docs for the
+    /// design and the equivalence argument).
+    pub(crate) fn run_relaxed_parallel(
+        &mut self,
+        quantum: u64,
+        host_threads: u32,
+        max_cycles: u64,
+    ) -> Result<(), SimError> {
+        let quantum = quantum.max(1);
+        let n = self.cores.len();
+        if n <= 1 {
+            // One core has no rounds to parallelise; the sequential
+            // scheduler is the same schedule without the thread pool.
+            return self.run_relaxed(quantum, max_cycles);
+        }
+        let workers = (resolve_host_threads(host_threads) as usize).clamp(1, n);
+        let env = RunEnv {
+            ram: RamView::new(&mut self.shared.mem),
+            n_cores: n as u32,
+            csr_writeback: self.shared.csr_writeback,
+            quantum,
+            max_cycles,
+        };
+        let slots: Vec<Mutex<CoreSlot>> = std::mem::take(&mut self.cores)
+            .into_iter()
+            .map(|core| {
+                Mutex::new(CoreSlot {
+                    core,
+                    code: self.shared.code.clone(),
+                    buf: DeviceBuffer::default(),
+                    bound: 0,
+                    pending: Pending::Idle,
+                })
+            })
+            .collect();
+        let sync = RoundSync::new();
+        let dev = &mut self.shared.dev;
+        let result = std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (slots, sync) = (&slots, &sync);
+                scope.spawn(move || worker_loop(w, workers, slots, sync, env));
+            }
+            let out = coordinate(dev, &slots, &sync, workers, env);
+            sync.shutdown();
+            out
+        });
+        self.cores = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().core)
+            .collect();
+        // Guest stores during the run invalidated the per-core shards,
+        // not the system's predecode table; drop the latter so any later
+        // run of this system re-decodes lazily instead of trusting a
+        // possibly stale cache.
+        self.shared.code = CodeTable::new(self.cfg.sdram_size, self.cfg.scratch_size);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{SchedMode, SystemConfig};
+    use izhi_isa::asm::Assembler;
+
+    fn run_mode(src: &str, n_cores: u32, sched: SchedMode, max_cycles: u64) -> System {
+        let prog = Assembler::new().assemble(src).expect("asm");
+        let mut sys = System::new(SystemConfig {
+            n_cores,
+            sched,
+            ..Default::default()
+        });
+        assert!(sys.load_program(&prog));
+        sys.run(max_cycles).expect("run");
+        sys
+    }
+
+    /// Full observable-state comparison: registers, clocks, counters,
+    /// scratch memory, and every device log in exact order.
+    fn assert_identical(a: &System, b: &System, what: &str) {
+        for core in 0..a.n_cores() {
+            for r in 0..32u8 {
+                assert_eq!(
+                    a.core(core).reg(Reg(r)),
+                    b.core(core).reg(Reg(r)),
+                    "{what}: core {core} x{r}"
+                );
+            }
+            assert_eq!(
+                a.core(core).time,
+                b.core(core).time,
+                "{what}: core {core} time"
+            );
+            assert_eq!(
+                a.core(core).counters.instret,
+                b.core(core).counters.instret,
+                "{what}: core {core} instret"
+            );
+            assert_eq!(
+                a.core(core).pc(),
+                b.core(core).pc(),
+                "{what}: core {core} pc"
+            );
+        }
+        for word in 0..1024u32 {
+            let addr = layout::SCRATCH_BASE + 4 * word;
+            assert_eq!(
+                a.shared().mem.read_u32(addr),
+                b.shared().mem.read_u32(addr),
+                "{what}: scratch {addr:#x}"
+            );
+        }
+        assert_eq!(
+            a.shared().dev.console,
+            b.shared().dev.console,
+            "{what}: console"
+        );
+        assert_eq!(
+            a.shared().dev.spike_log,
+            b.shared().dev.spike_log,
+            "{what}: spike log order"
+        );
+        assert_eq!(
+            a.shared().dev.progress,
+            b.shared().dev.progress,
+            "{what}: progress"
+        );
+        assert_eq!(
+            a.shared().dev.mutex_contention,
+            b.shared().dev.mutex_contention,
+            "{what}: mutex contention"
+        );
+        assert_eq!(
+            a.shared().dev.barrier_generation(),
+            b.shared().dev.barrier_generation(),
+            "{what}: barrier generation"
+        );
+    }
+
+    /// Run `src` under `Relaxed {quantum}` and `RelaxedParallel` at several
+    /// host-thread counts, asserting bit-identical observable state.
+    fn assert_parallel_matches_relaxed(src: &str, n_cores: u32, quantum: u64) {
+        let reference = run_mode(src, n_cores, SchedMode::Relaxed { quantum }, 50_000_000);
+        for host_threads in [1u32, 2, 4] {
+            let par = run_mode(
+                src,
+                n_cores,
+                SchedMode::RelaxedParallel {
+                    quantum,
+                    host_threads,
+                },
+                50_000_000,
+            );
+            assert_identical(
+                &reference,
+                &par,
+                &format!("q={quantum} ht={host_threads} cores={n_cores}"),
+            );
+        }
+    }
+
+    /// Barrier-synchronised publish/consume plus spike-log exports on both
+    /// sides of the rendezvous.
+    const BARRIER_SPIKES_SRC: &str = "
+        _start: li   t0, 0xF0000004
+                lw   t1, (t0)          # core id
+                li   t2, 0x10000000
+                li   s2, 0xF000001C    # spike log
+                slli t3, t1, 8
+                ori  t3, t3, 1
+                sw   t3, (s2)          # pre-barrier export
+                bnez t1, wait
+                li   t3, 7777
+                sw   t3, (t2)          # core 0 publishes
+        wait:   li   t4, 0xF0000010    # barrier reg
+                lw   t5, (t4)          # generation
+                sw   x0, (t4)          # arrive
+        spin:   lw   t6, (t4)
+                beq  t6, t5, spin
+                lw   a0, (t2)          # both read after release
+                slli t3, t1, 8
+                ori  t3, t3, 2
+                sw   t3, (s2)          # post-barrier export
+                ebreak
+    ";
+
+    #[test]
+    fn parallel_matches_relaxed_on_barrier_program() {
+        for quantum in [1u64, 7, 64, SchedMode::DEFAULT_QUANTUM] {
+            assert_parallel_matches_relaxed(BARRIER_SPIKES_SRC, 2, quantum);
+        }
+        let par = run_mode(
+            BARRIER_SPIKES_SRC,
+            2,
+            SchedMode::RelaxedParallel {
+                quantum: 7,
+                host_threads: 2,
+            },
+            1_000_000,
+        );
+        assert_eq!(par.core(0).reg(Reg::A0), 7777);
+        assert_eq!(par.core(1).reg(Reg::A0), 7777);
+    }
+
+    #[test]
+    fn parallel_mutex_increments_match_relaxed() {
+        let src = "
+            .equ MUTEX, 0xF000000C
+            .equ COUNTER, 0x10000000
+            _start: li   s0, 300
+                    li   s1, MUTEX
+                    li   s2, COUNTER
+            loop:   lw   t0, (s1)       # try acquire
+                    beqz t0, loop
+                    lw   t1, (s2)
+                    addi t1, t1, 1
+                    sw   t1, (s2)
+                    sw   x0, (s1)       # release
+                    addi s0, s0, -1
+                    bnez s0, loop
+                    ebreak
+        ";
+        for quantum in [3u64, 64] {
+            assert_parallel_matches_relaxed(src, 2, quantum);
+        }
+        let par = run_mode(
+            src,
+            2,
+            SchedMode::RelaxedParallel {
+                quantum: 64,
+                host_threads: 4,
+            },
+            50_000_000,
+        );
+        assert_eq!(par.shared().mem.read_u32(layout::SCRATCH_BASE), Some(600));
+    }
+
+    #[test]
+    fn parallel_rng_stream_matches_relaxed() {
+        // Both cores drain the shared xorshift32 stream into their own
+        // scratch page: the draws are interactive and must interleave in
+        // exactly the order the sequential schedule produces.
+        let src = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)          # core id
+                    li   t2, 0x10000000
+                    slli t3, t1, 12
+                    add  t2, t2, t3        # own page
+                    li   t4, 0xF0000020    # RNG
+                    li   s0, 20
+            draw:   lw   t5, (t4)
+                    sw   t5, (t2)
+                    addi t2, t2, 4
+                    addi s0, s0, -1
+                    bnez s0, draw
+                    ebreak
+        ";
+        for quantum in [1u64, 7, 1000] {
+            assert_parallel_matches_relaxed(src, 2, quantum);
+        }
+    }
+
+    #[test]
+    fn parallel_three_cores_matches_relaxed() {
+        assert_parallel_matches_relaxed(BARRIER_SPIKES_SRC, 3, 7);
+    }
+
+    #[test]
+    fn parallel_trap_reports_the_faulting_core() {
+        let src = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)
+                    bnez t1, bad
+            loop:   j    loop
+            bad:    li   t2, 0x80000000
+                    lw   t3, (t2)
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig {
+            n_cores: 2,
+            sched: SchedMode::RelaxedParallel {
+                quantum: 32,
+                host_threads: 2,
+            },
+            ..Default::default()
+        });
+        sys.load_program(&prog);
+        match sys.run(10_000_000) {
+            Err(SimError::Trap { core: 1, cause }) => {
+                assert!(matches!(cause, TrapCause::BadAccess { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_unreleasable_barrier_times_out() {
+        let src = "
+            _start: li   t0, 0xF0000004
+                    lw   t1, (t0)
+                    bnez t1, done
+                    li   t4, 0xF0000010
+                    lw   t5, (t4)
+                    sw   x0, (t4)          # core 0 arrives
+            spin:   lw   t6, (t4)
+                    beq  t6, t5, spin
+            done:   ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let mut sys = System::new(SystemConfig {
+            n_cores: 2,
+            sched: SchedMode::RelaxedParallel {
+                quantum: 16,
+                host_threads: 2,
+            },
+            ..Default::default()
+        });
+        sys.load_program(&prog);
+        assert!(matches!(sys.run(100_000), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let run = || {
+            let sys = run_mode(
+                BARRIER_SPIKES_SRC,
+                3,
+                SchedMode::RelaxedParallel {
+                    quantum: 5,
+                    host_threads: 4,
+                },
+                1_000_000,
+            );
+            (
+                (0..3).map(|i| sys.core(i).time).collect::<Vec<_>>(),
+                sys.shared().dev.spike_log.clone(),
+            )
+        };
+        let first = run();
+        for _ in 0..7 {
+            assert_eq!(first, run());
+        }
+    }
+}

@@ -46,6 +46,26 @@ use izhi_isa::inst::Inst;
 
 use crate::mem::{layout, MainMemory};
 
+/// Word-granular read access to guest memory, as the decode paths need it.
+///
+/// [`CodeTable`] is a pure cache over the bytes actually resident in RAM;
+/// abstracting the word read lets the same table logic run against
+/// [`MainMemory`] (the exact and relaxed schedulers) *and* against the
+/// raw sharded RAM view the host-parallel scheduler hands each worker
+/// thread (which cannot hold a `&MainMemory` while other threads write
+/// disjoint guest addresses).
+pub trait CodeMem {
+    /// Read the aligned 32-bit word at `addr`; `None` if unmapped.
+    fn code_word(&self, addr: u32) -> Option<u32>;
+}
+
+impl CodeMem for MainMemory {
+    #[inline]
+    fn code_word(&self, addr: u32) -> Option<u32> {
+        self.read_u32(addr)
+    }
+}
+
 /// Decode state of one 4-byte code slot — doubles as the region class of
 /// a successfully fetched slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,8 +200,10 @@ pub const CODE_WINDOW_MAX: u32 = 1024 * 1024;
 /// currently materialised slots.
 const GROW_BYTES: u32 = 64 * 1024;
 
-/// The per-system predecode tables (shared by all cores).
-#[derive(Debug)]
+/// The per-system predecode tables (shared by all cores under the exact
+/// and relaxed schedulers; the host-parallel scheduler clones one shard
+/// per core — the table is a pure cache, so divergent shards stay correct).
+#[derive(Debug, Clone)]
 pub struct CodeTable {
     /// Covers `[0, sdram.len() * 4)`; grown on demand up to `sdram_cap`.
     sdram: Vec<PreInst>,
@@ -340,7 +362,7 @@ impl CodeTable {
     /// returned slot's `state` is the region class (or `Illegal` /
     /// `OutOfRange`).
     #[inline]
-    pub fn fetch(&mut self, pc: u32, mem: &MainMemory) -> PreInst {
+    pub fn fetch<M: CodeMem>(&mut self, pc: u32, mem: &M) -> PreInst {
         if let Some(slot) = self.sdram.get((pc >> 2) as usize) {
             if slot.state != SlotState::Stale {
                 return *slot;
@@ -359,7 +381,7 @@ impl CodeTable {
     /// Materialise/decode path: grows the owning window if needed, lowers
     /// the word, and caches it.
     #[cold]
-    fn fetch_slow(&mut self, pc: u32, mem: &MainMemory) -> PreInst {
+    fn fetch_slow<M: CodeMem>(&mut self, pc: u32, mem: &M) -> PreInst {
         let (in_scratch, idx) = if pc < self.sdram_cap {
             let needed = (pc.saturating_add(GROW_BYTES)).min(self.sdram_cap);
             if (needed / 4) as usize > self.sdram.len() {
@@ -377,7 +399,7 @@ impl CodeTable {
                 return PreInst::OUT_OF_RANGE;
             }
         };
-        let Some(word) = mem.read_u32(pc) else {
+        let Some(word) = mem.code_word(pc) else {
             return PreInst::OUT_OF_RANGE;
         };
         let table = if in_scratch {

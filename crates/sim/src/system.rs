@@ -2,14 +2,15 @@
 //! event-driven run loop.
 
 use izhi_isa::asm::Program;
+use izhi_isa::inst::{LoadOp, StoreOp};
 
 use crate::bus::{BusArbiter, BusTimings};
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Metrics;
-use crate::cpu::{Core, RunStop, TrapCause};
-use crate::mem::{layout, MainMemory};
-use crate::mmio::SharedDevices;
-use crate::predecode::CodeTable;
+use crate::cpu::{Core, ExecCtx, RunStop, TrapCause};
+use crate::mem::{layout, read_slice, write_slice, MainMemory};
+use crate::mmio::{MmioEffect, SharedDevices};
+use crate::predecode::{CodeTable, PreInst};
 
 /// How the multi-core run loop interleaves cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +38,30 @@ pub enum SchedMode {
         /// Clamped to at least 1; `quantum = 1` interleaves instruction by
         /// instruction.
         quantum: u64,
+    },
+    /// Host-parallel relaxed scheduling: the same round-robin quantum
+    /// structure as [`SchedMode::Relaxed`], but each core's quantum
+    /// executes on a host worker thread against a sharded memory view
+    /// (see [`crate::parallel`]). Shared-interactive device traffic
+    /// (mutex, barrier, RNG) is detected before it executes and committed
+    /// in ascending hart order after the threads rendezvous, and each
+    /// core's append-only device output (spike log, console, progress) is
+    /// buffered per core and merged in the same hart order — so a
+    /// `RelaxedParallel` run is **bit-identical to `Relaxed` at the same
+    /// quantum, at every host-thread count**: registers, memory, cycles,
+    /// instret, spike-log order, everything (the `prop_sched_parallel`
+    /// suite pins this). The guest contract is the relaxed one, sharpened:
+    /// cores must confine cross-core memory traffic to barrier/mutex
+    /// synchronisation — within a scheduling round, plain loads/stores of
+    /// other cores' data race on the host.
+    RelaxedParallel {
+        /// Scheduling quantum in relaxed-clock cycles (= instructions).
+        quantum: u64,
+        /// Number of host worker threads; `0` resolves via the
+        /// `IZHI_HOST_THREADS` environment variable, then host
+        /// parallelism ([`crate::parallel::resolve_host_threads`]).
+        /// Results never depend on this value — only wall time does.
+        host_threads: u32,
     },
 }
 
@@ -162,6 +187,92 @@ pub struct Shared {
     pub code: CodeTable,
 }
 
+/// The historical execution context: every method inlines to exactly the
+/// field accesses the interpreter made before [`ExecCtx`] existed, so the
+/// exact and single-threaded relaxed schedulers compile to the same hot
+/// loops as before the host-parallel refactor.
+impl ExecCtx for Shared {
+    #[inline(always)]
+    fn fetch(&mut self, pc: u32) -> PreInst {
+        self.code.fetch(pc, &self.mem)
+    }
+
+    #[inline(always)]
+    fn code_word(&self, pc: u32) -> Option<u32> {
+        self.mem.read_u32(pc)
+    }
+
+    #[inline(always)]
+    fn scratch_size(&self) -> u32 {
+        self.mem.scratch_size()
+    }
+
+    #[inline(always)]
+    fn sdram_size(&self) -> u32 {
+        self.mem.sdram_size()
+    }
+
+    #[inline(always)]
+    fn read_scratch(&self, off: usize, op: LoadOp) -> Option<u32> {
+        read_slice(self.mem.scratch_bytes(), off, op)
+    }
+
+    #[inline(always)]
+    fn read_sdram(&self, off: usize, op: LoadOp) -> Option<u32> {
+        read_slice(self.mem.sdram_bytes(), off, op)
+    }
+
+    #[inline(always)]
+    fn write_scratch(&mut self, off: usize, value: u32, op: StoreOp) -> bool {
+        write_slice(self.mem.scratch_bytes_mut(), off, value, op)
+    }
+
+    #[inline(always)]
+    fn write_sdram(&mut self, off: usize, value: u32, op: StoreOp) -> bool {
+        write_slice(self.mem.sdram_bytes_mut(), off, value, op)
+    }
+
+    #[inline(always)]
+    fn invalidate_store(&mut self, addr: u32) {
+        self.code.invalidate_store(addr);
+    }
+
+    #[inline(always)]
+    fn mmio_read(&mut self, core_id: u32, offset: u32, now: u64) -> u32 {
+        self.dev.read(core_id, offset, now)
+    }
+
+    #[inline(always)]
+    fn mmio_write(&mut self, core_id: u32, offset: u32, value: u32) -> MmioEffect {
+        self.dev.write(core_id, offset, value)
+    }
+
+    #[inline(always)]
+    fn console_extend(&mut self, bytes: &[u8]) {
+        self.dev.console.extend_from_slice(bytes);
+    }
+
+    #[inline(always)]
+    fn bus_acquire(&mut self, now: u64, duration: u64) -> u64 {
+        self.bus.acquire(now, duration)
+    }
+
+    #[inline(always)]
+    fn burst(&self, words: u64) -> u64 {
+        self.bus_timings.burst(words)
+    }
+
+    #[inline(always)]
+    fn div_latency(&self) -> u64 {
+        self.div_latency
+    }
+
+    #[inline(always)]
+    fn csr_writeback(&self) -> bool {
+        self.csr_writeback
+    }
+}
+
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -212,9 +323,9 @@ pub struct RunExit {
 /// A complete simulated IzhiRISC-V system.
 #[derive(Debug)]
 pub struct System {
-    cfg: SystemConfig,
-    cores: Vec<Core>,
-    shared: Shared,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) shared: Shared,
 }
 
 impl System {
@@ -309,6 +420,10 @@ impl System {
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
         match self.cfg.sched {
             SchedMode::Relaxed { quantum } => self.run_relaxed(quantum, max_cycles)?,
+            SchedMode::RelaxedParallel {
+                quantum,
+                host_threads,
+            } => self.run_relaxed_parallel(quantum, host_threads, max_cycles)?,
             SchedMode::Exact => match self.cores.len() {
                 1 => self.run_single(max_cycles)?,
                 2 => self.run_exact_fused(max_cycles)?,
@@ -324,7 +439,7 @@ impl System {
     /// Single core: no scheduler at all, one batched run to completion.
     fn run_single(&mut self, max_cycles: u64) -> Result<(), SimError> {
         match self.cores[0]
-            .run_while::<true>(&mut self.shared, u64::MAX, max_cycles)
+            .run_while::<true, _>(&mut self.shared, u64::MAX, max_cycles)
             .map_err(|cause| SimError::Trap { core: 0, cause })?
         {
             RunStop::Budget => Err(SimError::Timeout { max_cycles }),
@@ -362,7 +477,7 @@ impl System {
                 if c.time > max_cycles {
                     break Err(SimError::Timeout { max_cycles });
                 }
-                if let Err(cause) = c.exec_one::<true>(shared) {
+                if let Err(cause) = c.exec_one::<true, _>(shared) {
                     break Err(SimError::Trap { core: id, cause });
                 }
                 if c.halted() {
@@ -379,7 +494,7 @@ impl System {
                 continue;
             }
             match c
-                .run_while::<true>(shared, u64::MAX, max_cycles)
+                .run_while::<true, _>(shared, u64::MAX, max_cycles)
                 .map_err(|cause| SimError::Trap {
                     core: id as u32,
                     cause,
@@ -430,7 +545,7 @@ impl System {
                 limit.saturating_sub(1)
             };
             let stop = self.cores[i]
-                .run_while::<true>(&mut self.shared, bound, max_cycles)
+                .run_while::<true, _>(&mut self.shared, bound, max_cycles)
                 .map_err(|cause| SimError::Trap {
                     core: i as u32,
                     cause,
@@ -445,7 +560,11 @@ impl System {
     /// relaxed clock (one cycle per instruction), cores arriving at an
     /// incomplete barrier round park until release, and rotation order is
     /// always ascending hart id — runs are fully deterministic.
-    fn run_relaxed(&mut self, quantum: u64, max_cycles: u64) -> Result<(), SimError> {
+    ///
+    /// This loop is the reference schedule the host-parallel scheduler
+    /// ([`crate::parallel`]) reproduces bit for bit; change the two in
+    /// lockstep (the `prop_sched_parallel` suite pins the equivalence).
+    pub(crate) fn run_relaxed(&mut self, quantum: u64, max_cycles: u64) -> Result<(), SimError> {
         let quantum = quantum.max(1);
         let n = self.cores.len();
         // Generation at which each parked core arrived; it becomes runnable
@@ -470,7 +589,7 @@ impl System {
                 any_ran = true;
                 let bound = core.time.saturating_add(quantum - 1);
                 match core
-                    .run_while::<false>(shared, bound, max_cycles)
+                    .run_while::<false, _>(shared, bound, max_cycles)
                     .map_err(|cause| SimError::Trap {
                         core: i as u32,
                         cause,
@@ -480,6 +599,7 @@ impl System {
                         *parked = Some(shared.dev.barrier_generation());
                     }
                     RunStop::Budget => return Err(SimError::Timeout { max_cycles }),
+                    RunStop::SharedOp => unreachable!("run_while never defers"),
                 }
             }
             if all_halted {

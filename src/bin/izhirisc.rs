@@ -11,6 +11,10 @@
 //!                      mode; timing is approximate, results exact for
 //!                      barrier/mutex-synchronised guests)
 //!     --quantum N      relaxed scheduling quantum (default 50000)
+//!     --host-threads N run relaxed quanta on N host worker threads
+//!                      (implies relaxed scheduling; results are
+//!                      bit-identical to --relaxed at any thread count;
+//!                      0 = auto via IZHI_HOST_THREADS / host CPUs)
 //!     --trace          print every retired instruction (core 0)
 //!     --regs           dump the register file at exit
 //! izhirisc selftest                          run the guest ISA battery
@@ -25,7 +29,7 @@ use izhirisc::sim::{SchedMode, System, SystemConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--relaxed] [--quantum N] [--trace] [--regs]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--relaxed] [--quantum N] [--host-threads N] [--trace] [--regs]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -130,12 +134,15 @@ fn cmd_run(args: &[String]) {
         .unwrap_or(100_000_000);
     let trace = args.iter().any(|a| a == "--trace");
     let dump_regs = args.iter().any(|a| a == "--regs");
-    let relaxed = args.iter().any(|a| a == "--relaxed");
+    let host_threads = arg_value(args, "--host-threads").map(|s| parse_u32(&s));
+    // --host-threads implies relaxed scheduling (it parallelises the
+    // relaxed quantum structure; there is nothing to thread in exact mode).
+    let relaxed = args.iter().any(|a| a == "--relaxed") || host_threads.is_some();
     let quantum = arg_value(args, "--quantum")
         .map(|s| u64::from(parse_u32(&s)))
         .unwrap_or(SchedMode::DEFAULT_QUANTUM);
     if trace && relaxed {
-        eprintln!("--trace single-steps the exact schedule; drop --relaxed");
+        eprintln!("--trace single-steps the exact schedule; drop --relaxed/--host-threads");
         exit(2);
     }
     if !relaxed && args.iter().any(|a| a == "--quantum") {
@@ -144,8 +151,15 @@ fn cmd_run(args: &[String]) {
     }
 
     let mut cfg = SystemConfig::with_cores(cores);
-    if relaxed {
-        cfg.sched = SchedMode::Relaxed { quantum };
+    match host_threads {
+        Some(host_threads) => {
+            cfg.sched = SchedMode::RelaxedParallel {
+                quantum,
+                host_threads,
+            };
+        }
+        None if relaxed => cfg.sched = SchedMode::Relaxed { quantum },
+        None => {}
     }
     let mut sys = System::new(cfg);
     if !sys.load_program(&prog) {
