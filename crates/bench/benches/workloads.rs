@@ -13,18 +13,24 @@ use izhi_hw::asic::{AsicLibrary, AsicReport};
 use izhi_hw::fpga::{FpgaReport, FpgaTarget};
 use izhi_programs::engine::Variant;
 use izhi_programs::net8020::Net8020Workload;
-use izhi_programs::sudoku_prog::SudokuWorkload;
+use izhi_programs::scenario::{self, ScenarioParams, Workload as _};
 use izhi_snn::gen8020::Net8020;
 use izhi_snn::simulate::{F64Simulator, FixedSimulator};
-use izhi_snn::sudoku::hard_corpus;
 
 fn bench_8020(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_8020");
     group.sample_size(10);
+    let sc = scenario::find("net8020").expect("registered");
     for cores in [1u32, 2] {
         group.bench_function(format!("{cores}core_100n_100ms"), |b| {
             b.iter(|| {
-                let wl = Net8020Workload::sized(80, 20, 100, cores, 5, Variant::Npu);
+                let wl = sc.build(
+                    &ScenarioParams::default()
+                        .with_n(100)
+                        .with_ticks(100)
+                        .with_cores(cores)
+                        .with_seed(5),
+                );
                 black_box(wl.run().expect("run"))
             })
         });
@@ -33,14 +39,19 @@ fn bench_8020(c: &mut Criterion) {
 }
 
 fn bench_sudoku(c: &mut Criterion) {
-    let puzzle = hard_corpus(1)[0];
     let mut group = c.benchmark_group("table6_sudoku");
     group.sample_size(10);
+    let sc = scenario::find("sudoku").expect("registered");
     for cores in [1u32, 2] {
         group.bench_function(format!("{cores}core_100ms"), |b| {
             b.iter(|| {
-                let wl = SudokuWorkload::new(puzzle, 100, cores, 42);
-                black_box(wl.run(50).expect("run"))
+                let wl = sc.build(
+                    &ScenarioParams::default()
+                        .with_ticks(100)
+                        .with_cores(cores)
+                        .with_seed(42),
+                );
+                black_box(wl.run().expect("run"))
             })
         });
     }

@@ -1,7 +1,8 @@
-//! Side-by-side demo of the two multi-core scheduling modes: the same
-//! dual-core 80-20 workload under cycle-exact event-driven interleaving
-//! and under relaxed round-robin quanta, with identical spike rasters
-//! asserted and host wall time printed for each.
+//! Side-by-side demo of the multi-core scheduling modes on registry
+//! scenarios: the same dual-core workload under cycle-exact event-driven
+//! interleaving, relaxed round-robin quanta and host-parallel relaxed
+//! scheduling, with identical spike rasters asserted and host wall time
+//! printed for each.
 //!
 //! ```text
 //! cargo run --release --example sched_modes
@@ -9,11 +10,8 @@
 
 use std::time::Instant;
 
-use izhi_programs::engine::Variant;
-use izhi_programs::net8020::Net8020Workload;
-use izhi_programs::sudoku_prog::SudokuWorkload;
+use izhi_programs::scenario::{self, ScenarioParams};
 use izhi_sim::SchedMode;
-use izhi_snn::sudoku::hard_corpus;
 
 fn main() {
     println!(
@@ -21,70 +19,62 @@ fn main() {
         "run", "wall [s]", "sim instret", "Minstr/s"
     );
 
-    let mut sorted_rasters: Vec<Vec<(u32, u32)>> = Vec::new();
-    for (label, sched) in [
-        ("net8020_2core_exact", SchedMode::Exact),
-        ("net8020_2core_relaxed", SchedMode::relaxed()),
+    for (scenario_name, params) in [
+        (
+            "net8020",
+            ScenarioParams::default()
+                .with_n(200)
+                .with_ticks(300)
+                .with_cores(2)
+                .with_seed(5),
+        ),
+        (
+            "sudoku",
+            ScenarioParams::default()
+                .with_ticks(2500)
+                .with_cores(2)
+                .with_seed(100),
+        ),
     ] {
-        let mut wl = Net8020Workload::sized(160, 40, 300, 2, 5, Variant::Npu);
-        wl.cfg.system.sched = sched;
-        let start = Instant::now();
-        let res = wl.run().expect("net8020 run");
-        let wall = start.elapsed().as_secs_f64();
-        println!(
-            "{:<28} {:>10.3} {:>14} {:>12.1}",
-            label,
-            wall,
-            res.instret,
-            res.instret as f64 / wall / 1e6
-        );
-        let mut spikes = res.raster.spikes.clone();
-        spikes.sort_unstable();
-        sorted_rasters.push(spikes);
-    }
-    assert_eq!(
-        sorted_rasters[0], sorted_rasters[1],
-        "relaxed scheduling changed the spike raster"
-    );
-    println!(
-        "net8020 rasters identical across modes ({} spikes)",
-        sorted_rasters[0].len()
-    );
-
-    let mut puzzle = hard_corpus(1)[0];
-    let sol = puzzle.solve().expect("classical solver");
-    for i in (0..81).step_by(2) {
-        if puzzle.0[i] == 0 {
-            puzzle.0[i] = sol.0[i];
+        let sc = scenario::find(scenario_name).expect("registered scenario");
+        let mut sorted_rasters: Vec<Vec<(u32, u32)>> = Vec::new();
+        for (label, sched) in [
+            ("exact", SchedMode::Exact),
+            ("relaxed", SchedMode::relaxed()),
+            (
+                "relaxed-par2",
+                SchedMode::RelaxedParallel {
+                    quantum: SchedMode::DEFAULT_QUANTUM,
+                    host_threads: 2,
+                },
+            ),
+        ] {
+            let mut wl = sc.build(&params);
+            wl.cfg_mut().system.sched = sched;
+            let start = Instant::now();
+            let res = wl.run().expect("scenario run");
+            let wall = start.elapsed().as_secs_f64();
+            wl.verify(&res).expect("scenario verification");
+            println!(
+                "{:<28} {:>10.3} {:>14} {:>12.1}",
+                format!("{scenario_name}_2core_{label}"),
+                wall,
+                res.instret,
+                res.instret as f64 / wall / 1e6
+            );
+            let mut spikes = res.raster.spikes.clone();
+            spikes.sort_unstable();
+            sorted_rasters.push(spikes);
         }
-    }
-    let mut sorted_rasters: Vec<Vec<(u32, u32)>> = Vec::new();
-    for (label, sched) in [
-        ("sudoku_2core_exact", SchedMode::Exact),
-        ("sudoku_2core_relaxed", SchedMode::relaxed()),
-    ] {
-        let mut wl = SudokuWorkload::new(puzzle, 2500, 2, 100);
-        wl.cfg.system.sched = sched;
-        let start = Instant::now();
-        let res = wl.run(50).expect("sudoku run");
-        let wall = start.elapsed().as_secs_f64();
+        for later in &sorted_rasters[1..] {
+            assert_eq!(
+                &sorted_rasters[0], later,
+                "scheduling changed the {scenario_name} raster"
+            );
+        }
         println!(
-            "{:<28} {:>10.3} {:>14} {:>12.1}",
-            label,
-            wall,
-            res.workload.instret,
-            res.workload.instret as f64 / wall / 1e6
+            "{scenario_name} rasters identical across modes ({} spikes)",
+            sorted_rasters[0].len()
         );
-        let mut spikes = res.workload.raster.spikes.clone();
-        spikes.sort_unstable();
-        sorted_rasters.push(spikes);
     }
-    assert_eq!(
-        sorted_rasters[0], sorted_rasters[1],
-        "relaxed scheduling changed the sudoku raster"
-    );
-    println!(
-        "sudoku rasters identical across modes ({} spikes)",
-        sorted_rasters[0].len()
-    );
 }

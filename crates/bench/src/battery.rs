@@ -1,0 +1,442 @@
+//! The scenario battery runner: shard a battery of registered scenarios
+//! (seeds × scheduling modes) across host threads and collect one
+//! [`BatteryRow`] per run.
+//!
+//! The runner is the scale path the ROADMAP asks for — Table VI already
+//! fans puzzles out via `std::thread::scope`; this generalises that to
+//! *any* registered scenario. Every simulated system is fully
+//! independent, so the work list `(scenario, seed, sched)` is claimed
+//! from an atomic cursor by `host_threads` scoped workers.
+//!
+//! Two checks ride on the rows:
+//!
+//! * the scenario's own [`izhi_programs::scenario::Workload::verify`]
+//!   hook (raster sanity, per-population activity, the solved-grid
+//!   check), recorded per row;
+//! * the **bit-identity battery check** ([`check_rows`]): all rows of one
+//!   `(spec, scenario, seed)` cell must agree on the order-independent raster
+//!   hash across `Exact`/`Relaxed`/`RelaxedParallel` — the cross-mode
+//!   correctness contract the sequential test suites pin, enforced here
+//!   for every battery cell.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use izhi_programs::scenario::{self, ScenarioParams};
+use izhi_sim::SchedMode;
+
+/// A scheduling mode under a battery label.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedSpec {
+    /// Row label ("exact", "relaxed", "relaxed-par").
+    pub label: &'static str,
+    /// The mode a row's workload runs under.
+    pub mode: SchedMode,
+}
+
+impl SchedSpec {
+    /// The default battery mode set: exact, relaxed at the default
+    /// quantum, and host-parallel relaxed with `host_threads` forced.
+    pub fn default_set(host_threads: u32) -> Vec<SchedSpec> {
+        vec![
+            SchedSpec {
+                label: "exact",
+                mode: SchedMode::Exact,
+            },
+            SchedSpec {
+                label: "relaxed",
+                mode: SchedMode::relaxed(),
+            },
+            SchedSpec {
+                label: "relaxed-par",
+                mode: SchedMode::RelaxedParallel {
+                    quantum: SchedMode::DEFAULT_QUANTUM,
+                    host_threads,
+                },
+            },
+        ]
+    }
+}
+
+/// One battery cell: a scenario at fixed parameters, fanned over seeds
+/// and scheduling modes.
+#[derive(Debug, Clone)]
+pub struct BatterySpec {
+    /// Registered scenario name.
+    pub scenario: &'static str,
+    /// Base parameters (the seed field is overridden per row).
+    pub params: ScenarioParams,
+    /// Seeds to fan out.
+    pub seeds: Vec<u32>,
+    /// Scheduling modes to fan out.
+    pub scheds: Vec<SchedSpec>,
+    /// Use the scenario's CI-sized quick parameters as the base layer.
+    pub quick: bool,
+}
+
+impl BatterySpec {
+    /// A quick-scale spec over the scenario's default battery seeds and
+    /// the default mode set.
+    pub fn quick(scenario: &'static scenario::Scenario, host_threads: u32) -> Self {
+        BatterySpec {
+            scenario: scenario.name,
+            params: ScenarioParams::default(),
+            seeds: scenario.battery_seeds.to_vec(),
+            scheds: SchedSpec::default_set(host_threads),
+            quick: true,
+        }
+    }
+}
+
+/// One measured battery run.
+#[derive(Debug, Clone)]
+pub struct BatteryRow {
+    /// Index of the [`BatterySpec`] that produced this row. Identity
+    /// cells group per spec: two specs may legitimately run the same
+    /// scenario+seed at different parameters (e.g. a scale comparison)
+    /// and must not be hash-compared against each other.
+    pub spec: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed of this row.
+    pub seed: u32,
+    /// Scheduling-mode label.
+    pub sched: &'static str,
+    /// Relaxed quantum (0 for exact rows).
+    pub quantum: u64,
+    /// Forced host threads (1 for sequential schedulers).
+    pub host_threads: u32,
+    /// Host wall time of the run.
+    pub wall_s: f64,
+    /// Simulated cycles (scheduling-mode clock).
+    pub sim_cycles: u64,
+    /// Retired instructions.
+    pub sim_instret: u64,
+    /// Total spikes.
+    pub spikes: u64,
+    /// Order-independent raster hash (bit-identity check across modes).
+    pub raster_hash: u64,
+    /// Outcome of the scenario's self-verification hook.
+    pub verified: bool,
+    /// Verification failure message, if any.
+    pub error: Option<String>,
+}
+
+impl BatteryRow {
+    /// Stable gate key of this row (bracket-free so the hand-rolled
+    /// baseline parser can terminate the battery array on `]`).
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.scenario, self.seed, self.sched)
+    }
+}
+
+/// Shards battery runs across host worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct BatteryRunner {
+    /// Worker thread count (each worker runs whole simulations).
+    pub host_threads: usize,
+}
+
+impl BatteryRunner {
+    /// Resolve the worker count: `IZHI_HOST_THREADS` if set, else the
+    /// host's available parallelism.
+    pub fn auto() -> Self {
+        let host_threads = std::env::var("IZHI_HOST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        BatteryRunner { host_threads }
+    }
+
+    /// Run every `(scenario, seed, sched)` row of `specs`, sharded across
+    /// [`BatteryRunner::host_threads`] scoped workers. Row order is
+    /// deterministic (the work list's order) regardless of thread count.
+    /// Returns an error for unknown scenario names or failed runs.
+    pub fn run(&self, specs: &[BatterySpec]) -> Result<Vec<BatteryRow>, String> {
+        struct Job<'a> {
+            spec_idx: usize,
+            spec: &'a BatterySpec,
+            seed: u32,
+            sched: SchedSpec,
+        }
+        let mut jobs = Vec::new();
+        for (spec_idx, spec) in specs.iter().enumerate() {
+            scenario::find(spec.scenario)
+                .ok_or_else(|| format!("unknown scenario `{}`", spec.scenario))?;
+            for &seed in &spec.seeds {
+                for &sched in &spec.scheds {
+                    jobs.push(Job {
+                        spec_idx,
+                        spec,
+                        seed,
+                        sched,
+                    });
+                }
+            }
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<BatteryRow, String>>>> =
+            Mutex::new(vec![None; jobs.len()]);
+        let workers = self.host_threads.clamp(1, jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let row = run_one(job.spec_idx, job.spec, job.seed, job.sched);
+                    slots.lock().unwrap()[i] = Some(row);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("every job ran"))
+            .collect()
+    }
+}
+
+/// Build and run one battery row.
+fn run_one(
+    spec_idx: usize,
+    spec: &BatterySpec,
+    seed: u32,
+    sched: SchedSpec,
+) -> Result<BatteryRow, String> {
+    let sc = scenario::find(spec.scenario).expect("checked by the runner");
+    let params = ScenarioParams {
+        seed: Some(seed),
+        ..spec.params
+    };
+    let mut wl = if spec.quick {
+        sc.build_quick(&params)
+    } else {
+        sc.build(&params)
+    };
+    wl.cfg_mut().system.sched = sched.mode;
+    let (quantum, host_threads) = match sched.mode {
+        SchedMode::Exact => (0, 1),
+        SchedMode::Relaxed { quantum } => (quantum, 1),
+        SchedMode::RelaxedParallel {
+            quantum,
+            host_threads,
+        } => (quantum, host_threads),
+    };
+    let start = Instant::now();
+    let res = wl
+        .run()
+        .map_err(|e| format!("{}[seed={seed}]/{}: {e}", spec.scenario, sched.label))?;
+    let wall_s = start.elapsed().as_secs_f64();
+    let (verified, error) = match wl.verify(&res) {
+        Ok(()) => (true, None),
+        Err(e) => (false, Some(e)),
+    };
+    Ok(BatteryRow {
+        spec: spec_idx,
+        scenario: spec.scenario.to_string(),
+        seed,
+        sched: sched.label,
+        quantum,
+        host_threads,
+        wall_s,
+        sim_cycles: res.cycles,
+        sim_instret: res.instret,
+        spikes: res.raster.spikes.len() as u64,
+        raster_hash: res.raster_hash(),
+        verified,
+        error,
+    })
+}
+
+/// The battery acceptance check: every row verified, and all rows of one
+/// `(spec, scenario, seed)` cell bit-identical on the raster hash across
+/// scheduling modes (per spec: different specs may run the same
+/// scenario+seed at different parameters).
+pub fn check_rows(rows: &[BatteryRow]) -> Result<(), String> {
+    for row in rows {
+        if !row.verified {
+            return Err(format!(
+                "{}: verification failed: {}",
+                row.key(),
+                row.error.as_deref().unwrap_or("unknown")
+            ));
+        }
+    }
+    for row in rows {
+        if let Some(reference) = rows
+            .iter()
+            .find(|r| r.spec == row.spec && r.scenario == row.scenario && r.seed == row.seed)
+        {
+            if reference.raster_hash != row.raster_hash {
+                return Err(format!(
+                    "{}: raster hash {:#018x} != {}'s {:#018x} — scheduling changed the physics",
+                    row.key(),
+                    row.raster_hash,
+                    reference.key(),
+                    reference.raster_hash,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Render rows as the `"battery"` JSON array of a BENCH file. Each entry
+/// carries a stable `key` the CI gate matches committed baselines against.
+pub fn rows_json(rows: &[BatteryRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"scenario\": \"{}\", \"seed\": {}, \"sched\": \"{}\", \
+             \"quantum\": {}, \"host_threads\": {}, \"wall_s\": {:.6}, \"sim_cycles\": {}, \
+             \"sim_instret\": {}, \"spikes\": {}, \"raster_hash\": \"{:#018x}\", \
+             \"verified\": {}}}",
+            r.key(),
+            r.scenario,
+            r.seed,
+            r.sched,
+            r.quantum,
+            r.host_threads,
+            r.wall_s,
+            r.sim_cycles,
+            r.sim_instret,
+            r.spikes,
+            r.raster_hash,
+            r.verified,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Render a human-readable battery table.
+pub fn rows_table(rows: &[BatteryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>11} {:>3} {:>9} {:>13} {:>13} {:>8} {:>18} {:>5}",
+        "battery row",
+        "sched",
+        "ht",
+        "wall [s]",
+        "sim cycles",
+        "sim instret",
+        "spikes",
+        "raster hash",
+        "ok"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>11} {:>3} {:>9.3} {:>13} {:>13} {:>8} {:#018x} {:>5}",
+            format!("{}[seed={}]", r.scenario, r.seed),
+            r.sched,
+            r.host_threads,
+            r.wall_s,
+            r.sim_cycles,
+            r.sim_instret,
+            r.spikes,
+            r.raster_hash,
+            if r.verified { "yes" } else { "NO" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(
+        scenario: &str,
+        seed: u32,
+        sched: &'static str,
+        hash: u64,
+        verified: bool,
+    ) -> BatteryRow {
+        BatteryRow {
+            spec: 0,
+            scenario: scenario.into(),
+            seed,
+            sched,
+            quantum: 0,
+            host_threads: 1,
+            wall_s: 0.1,
+            sim_cycles: 10,
+            sim_instret: 10,
+            spikes: 3,
+            raster_hash: hash,
+            verified,
+            error: (!verified).then(|| "boom".into()),
+        }
+    }
+
+    #[test]
+    fn check_rows_accepts_identical_cells() {
+        let rows = vec![
+            row("a", 1, "exact", 0xAA, true),
+            row("a", 1, "relaxed", 0xAA, true),
+            row("a", 2, "exact", 0xBB, true),
+        ];
+        assert!(check_rows(&rows).is_ok());
+    }
+
+    #[test]
+    fn check_rows_rejects_cross_mode_divergence() {
+        let rows = vec![
+            row("a", 1, "exact", 0xAA, true),
+            row("a", 1, "relaxed", 0xAB, true),
+        ];
+        let err = check_rows(&rows).unwrap_err();
+        assert!(err.contains("scheduling changed the physics"), "{err}");
+    }
+
+    #[test]
+    fn check_rows_compares_cells_per_spec_only() {
+        // Two specs running the same scenario+seed at different
+        // parameters legitimately differ in raster hash.
+        let mut a = row("a", 1, "exact", 0xAA, true);
+        let mut b = row("a", 1, "exact", 0xBB, true);
+        a.spec = 0;
+        b.spec = 1;
+        assert!(check_rows(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn check_rows_rejects_unverified() {
+        let rows = vec![row("a", 1, "exact", 0xAA, false)];
+        let err = check_rows(&rows).unwrap_err();
+        assert!(err.contains("verification failed"), "{err}");
+    }
+
+    #[test]
+    fn json_rows_carry_stable_keys() {
+        let rows = vec![row("net8020", 5, "relaxed-par", 0x1234, true)];
+        let json = rows_json(&rows);
+        assert!(json.contains("\"key\": \"net8020:5:relaxed-par\""));
+        assert!(json.contains("\"verified\": true"));
+    }
+
+    #[test]
+    fn runner_rejects_unknown_scenarios() {
+        let spec = BatterySpec {
+            scenario: "no_such_scenario",
+            params: ScenarioParams::default(),
+            seeds: vec![1],
+            scheds: SchedSpec::default_set(2),
+            quick: true,
+        };
+        let err = BatteryRunner { host_threads: 1 }.run(&[spec]).unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+}

@@ -1,7 +1,9 @@
 //! `perf_baseline` — the repo's reproducible simulator-throughput
 //! measurement and CI perf-regression gate.
 //!
-//! Three kinds of rows:
+//! Every workload is built through the scenario registry
+//! (`izhi_programs::scenario`), so these rows and the CLI/tests/benches
+//! all measure the same definitions. Four kinds of rows:
 //!
 //! * **Workload battery** (self-test, 80-20 at quick/paper scale, the
 //!   barrier-light 80-20 sweep, an eased Sudoku instance — on 1 and 2
@@ -24,31 +26,37 @@
 //!   the relaxed clock (one cycle per instruction); their rasters are
 //!   asserted identical to the exact rows'.
 //!
+//! * **Scenario battery**: every scenario in the
+//!   `izhi_programs::scenario` registry at its quick parameters, fanned
+//!   over its battery seeds × {exact, relaxed, relaxed-par} via
+//!   [`izhi_bench::battery::BatteryRunner`]. Each row records the
+//!   order-independent raster hash and its self-verification outcome;
+//!   cross-mode hash identity is asserted before the rows are written.
+//!
 //! ```text
 //! cargo run --release --bin perf_baseline -- [out.json]
-//!     [--check baseline.json] [--min-ratio 0.85]
+//!     [--check baseline.json] [--min-ratio 0.85] [--battery-only]
 //! ```
 //!
-//! Writes `BENCH_2.json` (or the given path). With `--check`, the
+//! Writes `BENCH_3.json` (or the given path). With `--check`, the
 //! single-core `speedup_vs_seed` entries of the fresh measurement are
-//! compared against the committed baseline file and the process exits
-//! non-zero if any entry fell below `min-ratio` × its baseline value —
-//! the CI perf-regression gate.
+//! compared against the committed baseline file (exit non-zero if any
+//! entry fell below `min-ratio` × its baseline value), and every battery
+//! key of the baseline must be present and verified in the fresh run —
+//! the CI perf-regression gate. `--battery-only` runs and gates just the
+//! battery rows (the CI smoke job).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use izhi_bench::battery::{self, BatteryRow, BatteryRunner, BatterySpec};
 use izhi_bench::seedsim;
 use izhi_isa::Assembler;
-use izhi_programs::engine::{
-    build_asm, run_workload, EngineConfig, GuestImage, Variant, WorkloadResult,
-};
-use izhi_programs::net8020::Net8020Workload;
+use izhi_programs::engine::{build_asm, run_workload, EngineConfig, GuestImage, WorkloadResult};
+use izhi_programs::scenario::{self, ScenarioParams, Workload};
 use izhi_programs::sudoku_prog::SudokuWorkload;
-use izhi_programs::sweep::Net8020SweepWorkload;
 use izhi_programs::{layout, selftest};
 use izhi_sim::{SchedMode, System, SystemConfig};
-use izhi_snn::sudoku::hard_corpus;
 
 /// Interleaved repetitions per comparison session.
 const REPS: usize = 5;
@@ -234,9 +242,17 @@ fn seed_run(name: &str, asm: &str, cfg: &EngineConfig, image: &GuestImage) -> Ro
 
 /// One timed run on the live interpreter under the workload's configured
 /// scheduling mode.
-fn live_run(name: &str, sched: &'static str, wl: &Net8020Workload) -> Row {
+fn live_run(name: &str, sched: &'static str, wl: &dyn Workload) -> Row {
     let (wall_s, res) = time(|| wl.run().expect("live run"));
     row_from(name, sched, 1, wall_s, &res)
+}
+
+/// Build a registered scenario (the only workload-construction path this
+/// binary uses).
+fn build_scenario(name: &str, params: ScenarioParams) -> Box<dyn Workload> {
+    scenario::find(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` is not registered"))
+        .build(&params)
 }
 
 fn engine_asm(cfg: &EngineConfig) -> String {
@@ -247,14 +263,21 @@ fn engine_asm(cfg: &EngineConfig) -> String {
 /// Interleaved seed-vs-live measurement of one single-core 80-20 setup.
 /// Returns `(seed_row, live_row)`, each the best of [`REPS`] runs. Bit-
 /// and cycle-exactness vs the seed is asserted on every rep.
-fn compare_rows_1core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row) {
-    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, 1, 5, Variant::Npu);
-    let asm = engine_asm(&wl.cfg);
+fn compare_rows_1core(name: &str, n: usize, ticks: u32) -> (Row, Row) {
+    let wl = build_scenario(
+        "net8020",
+        ScenarioParams::default()
+            .with_n(n)
+            .with_ticks(ticks)
+            .with_cores(1)
+            .with_seed(5),
+    );
+    let asm = engine_asm(wl.cfg());
     let mut seed_best: Option<Row> = None;
     let mut live_best: Option<Row> = None;
     for _ in 0..REPS {
-        let seed = seed_run(name, &asm, &wl.cfg, &wl.image);
-        let live = live_run(name, "exact", &wl);
+        let seed = seed_run(name, &asm, wl.cfg(), wl.image());
+        let live = live_run(name, "exact", &*wl);
         // The rework must be bit- and cycle-exact vs the seed interpreter:
         // same cycles, same retired instructions, and the *full* packed
         // spike log word for word.
@@ -273,18 +296,23 @@ fn compare_rows_1core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Ro
 /// back-to-back each rep. All three must produce the identical spike
 /// raster *as a set*; cycle counts legitimately differ between the three
 /// schedules and are reported per row.
-fn compare_rows_2core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row, Row) {
-    let exact_wl = Net8020Workload::sized(n_exc, n_inh, ticks, 2, 5, Variant::Npu);
-    let mut relaxed_wl = exact_wl.clone();
-    relaxed_wl.cfg.system.sched = SchedMode::relaxed();
-    let asm = engine_asm(&exact_wl.cfg);
+fn compare_rows_2core(name: &str, n: usize, ticks: u32) -> (Row, Row, Row) {
+    let params = ScenarioParams::default()
+        .with_n(n)
+        .with_ticks(ticks)
+        .with_cores(2)
+        .with_seed(5);
+    let exact_wl = build_scenario("net8020", params);
+    let mut relaxed_wl = build_scenario("net8020", params);
+    relaxed_wl.cfg_mut().system.sched = SchedMode::relaxed();
+    let asm = engine_asm(exact_wl.cfg());
     let mut seed_best: Option<Row> = None;
     let mut relaxed_best: Option<Row> = None;
     let mut exact_best: Option<Row> = None;
     for _ in 0..REPS {
-        let seed = seed_run(name, &asm, &exact_wl.cfg, &exact_wl.image);
-        let relaxed = live_run(name, "relaxed", &relaxed_wl);
-        let exact = live_run(&format!("{name}_exact"), "exact", &exact_wl);
+        let seed = seed_run(name, &asm, exact_wl.cfg(), exact_wl.image());
+        let relaxed = live_run(name, "relaxed", &*relaxed_wl);
+        let exact = live_run(&format!("{name}_exact"), "exact", &*exact_wl);
         let reference = sorted(&seed.spike_log);
         assert_eq!(
             reference,
@@ -317,17 +345,22 @@ fn compare_rows_2core(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Ro
 /// across all three; the parallel row must additionally reproduce the
 /// relaxed row's spike log, cycles and instret *exactly* (the scheduler's
 /// bit-identity contract).
-fn sweep_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row, Row) {
+fn sweep_rows(name: &str, n_per_core: usize, ticks: u32) -> (Row, Row, Row) {
     const SWEEP_HOST_THREADS: u32 = 2;
-    let wl = Net8020SweepWorkload::sized(n_exc, n_inh, ticks, 2, 5);
-    let mut relaxed = wl.clone();
-    relaxed.cfg.system.sched = SchedMode::relaxed();
-    let mut parallel = wl.clone();
-    parallel.cfg.system.sched = SchedMode::RelaxedParallel {
+    let params = ScenarioParams::default()
+        .with_n(n_per_core)
+        .with_ticks(ticks)
+        .with_cores(2)
+        .with_seed(5);
+    let wl = build_scenario("net8020_sweep", params);
+    let mut relaxed = build_scenario("net8020_sweep", params);
+    relaxed.cfg_mut().system.sched = SchedMode::relaxed();
+    let mut parallel = build_scenario("net8020_sweep", params);
+    parallel.cfg_mut().system.sched = SchedMode::RelaxedParallel {
         quantum: SchedMode::DEFAULT_QUANTUM,
         host_threads: SWEEP_HOST_THREADS,
     };
-    let mut one_cfg = wl.cfg.clone();
+    let mut one_cfg = wl.cfg().clone();
     one_cfg.n_cores = 1;
     one_cfg.system.n_cores = 1;
     let mut one_best: Option<Row> = None;
@@ -335,7 +368,7 @@ fn sweep_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row, 
     let mut par_best: Option<Row> = None;
     for _ in 0..REPS {
         let (wall_s, res1) =
-            time(|| run_workload(&one_cfg, &wl.image, 8_000_000_000).expect("sweep 1-core run"));
+            time(|| run_workload(&one_cfg, wl.image(), 8_000_000_000).expect("sweep 1-core run"));
         let one = row_from(&format!("{name}_1core"), "exact", 1, wall_s, &res1);
         let (wall_s, res2) = time(|| relaxed.run().expect("sweep 2-core run"));
         let two = row_from(&format!("{name}_2core"), "relaxed", 1, wall_s, &res2);
@@ -379,17 +412,20 @@ fn sweep_rows(name: &str, n_exc: usize, n_inh: usize, ticks: u32) -> (Row, Row, 
 /// single-core exact row, the dual-core relaxed row and the dual-core
 /// exact row, interleaved best-of-[`SUDOKU_REPS`]; all rasters must match.
 fn sudoku_rows() -> (Row, Row, Row) {
-    let mut puzzle = hard_corpus(1)[0];
-    let sol = puzzle.solve().expect("classical solver");
-    for i in (0..81).step_by(2) {
-        if puzzle.0[i] == 0 {
-            puzzle.0[i] = sol.0[i];
-        }
-    }
     let run_one = |name: &str, sched: &'static str, cores: u32, mode: SchedMode| -> Row {
-        let mut wl = SudokuWorkload::new(puzzle, 2500, cores, 100);
-        wl.cfg.system.sched = mode;
-        let (wall_s, res) = time(|| wl.run(50).expect("sudoku run"));
+        let mut wl = build_scenario(
+            "sudoku",
+            ScenarioParams::default()
+                .with_ticks(2500)
+                .with_cores(cores)
+                .with_seed(100),
+        );
+        wl.cfg_mut().system.sched = mode;
+        let sudoku = wl
+            .as_any()
+            .downcast_ref::<SudokuWorkload>()
+            .expect("sudoku wraps SudokuWorkload");
+        let (wall_s, res) = time(|| sudoku.solve(50).expect("sudoku run"));
         row_from(name, sched, 1, wall_s, &res.workload)
     };
     let mut one_best: Option<Row> = None;
@@ -421,11 +457,11 @@ fn sudoku_rows() -> (Row, Row, Row) {
     )
 }
 
-fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v4\",\n");
+fn json(rows: &[Row], speedups: &[(String, f64)], battery: &[BatteryRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v5\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1)\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x sched modes sharded across host threads, raster-hash identity asserted across modes and each scenario's verification hook recorded\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -448,6 +484,7 @@ fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"battery\": {},", battery::rows_json(battery));
     let _ = writeln!(out, "  \"speedup_vs_seed\": {{");
     for (i, (name, s)) in speedups.iter().enumerate() {
         let _ = write!(out, "    \"{name}\": {s:.3}");
@@ -455,6 +492,26 @@ fn json(rows: &[Row], speedups: &[(String, f64)]) -> String {
     }
     out.push_str("  }\n}\n");
     out
+}
+
+/// Run the quick scenario battery: every registered scenario, its battery
+/// seeds × {exact, relaxed, relaxed-par(2 host threads)}, sharded across
+/// host worker threads. Cross-mode raster-hash identity and per-row
+/// verification are asserted before the rows are reported.
+fn battery_rows() -> Vec<BatteryRow> {
+    const BATTERY_HOST_THREADS: u32 = 2;
+    let specs: Vec<BatterySpec> = scenario::registry()
+        .iter()
+        .map(|s| BatterySpec::quick(s, BATTERY_HOST_THREADS))
+        .collect();
+    let rows = BatteryRunner::auto()
+        .run(&specs)
+        .expect("battery run failed");
+    if let Err(e) = battery::check_rows(&rows) {
+        eprintln!("{}", battery::rows_table(&rows));
+        panic!("scenario battery failed: {e}");
+    }
+    rows
 }
 
 /// The CI regression gate (see [`izhi_bench::gate`] for the testable
@@ -489,10 +546,34 @@ fn check_gate(fresh: &[(String, f64)], baseline_path: &str, min_ratio: f64) -> b
     report.passed()
 }
 
+/// The battery side of the CI gate (core in [`izhi_bench::gate`]): every
+/// battery key of the committed baseline must be present *and* verified in
+/// the fresh run.
+fn check_battery_gate(battery: &[BatteryRow], baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let fresh: Vec<(String, bool)> = battery.iter().map(|r| (r.key(), r.verified)).collect();
+    let report = izhi_bench::gate::check_battery_gate(&fresh, &text);
+    println!(
+        "battery gate vs {baseline_path}: {} keys checked",
+        report.checked.len()
+    );
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut min_ratio = 0.85f64;
+    let mut battery_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -503,45 +584,52 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--min-ratio needs a number");
             }
+            "--battery-only" => battery_only = true,
             // Reject unknown flags loudly: a typoed `--check` silently
             // consumed as the output path would disable the CI gate while
             // staying green.
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag `{flag}`; usage: perf_baseline [out.json] [--check baseline.json] [--min-ratio R]");
+                eprintln!("unknown flag `{flag}`; usage: perf_baseline [out.json] [--check baseline.json] [--min-ratio R] [--battery-only]");
                 std::process::exit(2);
             }
             _ => out_path = Some(arg),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_2.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_3.json".into());
 
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
     let cmp_only = std::env::var_os("BENCH_CMP_ONLY").is_some();
-    let mut rows = if cmp_only {
+    if cmp_only && battery_only {
+        // Together they would skip both halves of the gate — a green run
+        // that checked nothing.
+        eprintln!("BENCH_CMP_ONLY and --battery-only are mutually exclusive");
+        std::process::exit(2);
+    }
+    let mut rows = if cmp_only || battery_only {
         Vec::new()
     } else {
         vec![selftest_row()]
     };
     let mut speedups = Vec::new();
 
-    for (name, n_exc, n_inh, ticks) in [
-        ("net8020_quick_1core", 160, 40, 300u32),
-        ("net8020_paper_1core_100ms", 800, 200, 100),
-    ] {
-        let (seed, live) = (0..SESSIONS)
-            .map(|_| compare_rows_1core(name, n_exc, n_inh, ticks))
-            .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
-            .expect("at least one session");
-        speedups.push((name.to_string(), seed.wall_s / live.wall_s));
-        rows.push(seed);
-        rows.push(live);
-    }
+    if !battery_only {
+        for (name, n, ticks) in [
+            ("net8020_quick_1core", 200, 300u32),
+            ("net8020_paper_1core_100ms", 1000, 100),
+        ] {
+            let (seed, live) = (0..SESSIONS)
+                .map(|_| compare_rows_1core(name, n, ticks))
+                .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
+                .expect("at least one session");
+            speedups.push((name.to_string(), seed.wall_s / live.wall_s));
+            rows.push(seed);
+            rows.push(live);
+        }
 
-    {
         let name = "net8020_quick_2core";
         let (seed, relaxed, exact) = (0..SESSIONS)
-            .map(|_| compare_rows_2core(name, 160, 40, 300))
+            .map(|_| compare_rows_2core(name, 200, 300))
             .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
             .expect("at least one session");
         speedups.push((name.to_string(), seed.wall_s / relaxed.wall_s));
@@ -551,8 +639,8 @@ fn main() {
         rows.push(exact);
     }
 
-    if !cmp_only {
-        let (one, two, par) = sweep_rows("net8020_sweep_quick", 160, 40, 300);
+    if !cmp_only && !battery_only {
+        let (one, two, par) = sweep_rows("net8020_sweep_quick", 200, 300);
         rows.push(one);
         rows.push(two);
         rows.push(par);
@@ -561,6 +649,8 @@ fn main() {
         rows.push(relaxed);
         rows.push(exact);
     }
+
+    let battery = if cmp_only { Vec::new() } else { battery_rows() };
 
     println!(
         "{:<32} {:>11} {:>3} {:>9} {:>14} {:>14} {:>12} {:>12}",
@@ -582,11 +672,22 @@ fn main() {
     for (name, s) in &speedups {
         println!("speedup vs seed interpreter on {name}: {s:.3}x");
     }
-    std::fs::write(&out_path, json(&rows, &speedups)).expect("write json");
+    if !battery.is_empty() {
+        println!("\nscenario battery (registry-driven, cross-mode raster identity verified):");
+        print!("{}", battery::rows_table(&battery));
+    }
+    std::fs::write(&out_path, json(&rows, &speedups, &battery)).expect("write json");
     println!("\nwrote {out_path}");
 
     if let Some(baseline) = check_path {
-        if !check_gate(&speedups, &baseline, min_ratio) {
+        let mut ok = true;
+        if !battery_only {
+            ok &= check_gate(&speedups, &baseline, min_ratio);
+        }
+        if !cmp_only {
+            ok &= check_battery_gate(&battery, &baseline);
+        }
+        if !ok {
             eprintln!("perf gate FAILED");
             std::process::exit(1);
         }

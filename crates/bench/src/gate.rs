@@ -51,6 +51,9 @@ pub enum GateFailure {
         /// Committed baseline value.
         baseline: f64,
     },
+    /// A battery row present in the committed baseline failed its
+    /// scenario verification hook in the fresh run.
+    Unverified(String),
 }
 
 impl core::fmt::Display for GateFailure {
@@ -70,6 +73,9 @@ impl core::fmt::Display for GateFailure {
                 f,
                 "{name}: {fresh:.3}x REGRESSED vs baseline {baseline:.3}x"
             ),
+            GateFailure::Unverified(key) => {
+                write!(f, "{key}: battery row UNVERIFIED in fresh run")
+            }
         }
     }
 }
@@ -147,6 +153,63 @@ pub fn check_gate(fresh: &[(String, f64)], baseline_text: &str, min_ratio: f64) 
                 }
                 report.checked.push(entry);
             }
+        }
+    }
+    report
+}
+
+/// Extract the battery-row gate keys of a baseline JSON: the `"key"`
+/// fields of the `"battery"` array. Unparseable or battery-less text
+/// yields an empty list.
+pub fn parse_battery_keys(text: &str) -> Vec<String> {
+    let Some(idx) = text.find("\"battery\"") else {
+        return Vec::new();
+    };
+    let rest = &text[idx..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return Vec::new();
+    };
+    let mut keys = Vec::new();
+    let mut body = &rest[open + 1..open + close];
+    while let Some(k) = body.find("\"key\"") {
+        let tail = &body[k + 5..];
+        let Some(q0) = tail.find('"') else { break };
+        let Some(q1) = tail[q0 + 1..].find('"') else {
+            break;
+        };
+        keys.push(tail[q0 + 1..q0 + 1 + q1].to_string());
+        body = &tail[q0 + 1 + q1..];
+    }
+    keys
+}
+
+/// Gate the fresh battery rows — `(key, verified)` pairs — against a
+/// committed baseline: every baseline battery key must be present in the
+/// fresh run (a renamed or dropped row errors rather than silently
+/// disabling its own gate) *and* verified. A baseline without battery
+/// keys gates nothing and fails, mirroring the speedup gate's
+/// empty-baseline rule.
+pub fn check_battery_gate(fresh: &[(String, bool)], baseline_text: &str) -> GateReport {
+    let keys = parse_battery_keys(baseline_text);
+    if keys.is_empty() {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::NoGatedEntries],
+        };
+    }
+    let mut report = GateReport::default();
+    for key in keys {
+        match fresh.iter().find(|(k, _)| *k == key) {
+            None => report.failures.push(GateFailure::MissingEntry(key)),
+            Some((_, false)) => report.failures.push(GateFailure::Unverified(key)),
+            Some((_, true)) => report.checked.push(CheckedEntry {
+                name: key,
+                fresh: 1.0,
+                baseline: 1.0,
+            }),
         }
     }
     report
@@ -230,6 +293,60 @@ mod tests {
         let multi_only = r#"{"speedup_vs_seed": {"net8020_quick_2core": 2.79}}"#;
         assert_eq!(
             check_gate(&f, multi_only, 0.85).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+    }
+
+    const BATTERY_BASELINE: &str = r#"{
+  "battery": [
+    {"key": "net8020:5:exact", "verified": true},
+    {"key": "net8020:5:relaxed-par", "verified": true}
+  ]
+}"#;
+
+    fn fresh_battery(entries: &[(&str, bool)]) -> Vec<(String, bool)> {
+        entries.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn battery_gate_passes_when_keys_hold() {
+        let f = fresh_battery(&[
+            ("net8020:5:exact", true),
+            ("net8020:5:relaxed-par", true),
+            ("extra:1:exact", true), // extra fresh rows are fine
+        ]);
+        let report = check_battery_gate(&f, BATTERY_BASELINE);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked.len(), 2);
+    }
+
+    #[test]
+    fn battery_gate_errors_on_missing_key() {
+        let f = fresh_battery(&[("net8020:5:exact", true)]);
+        let report = check_battery_gate(&f, BATTERY_BASELINE);
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::MissingEntry(
+                "net8020:5:relaxed-par".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn battery_gate_errors_on_unverified_row() {
+        let f = fresh_battery(&[("net8020:5:exact", true), ("net8020:5:relaxed-par", false)]);
+        let report = check_battery_gate(&f, BATTERY_BASELINE);
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::Unverified("net8020:5:relaxed-par".to_string())]
+        );
+    }
+
+    #[test]
+    fn battery_gate_errors_on_batteryless_baseline() {
+        let f = fresh_battery(&[("net8020:5:exact", true)]);
+        assert_eq!(
+            check_battery_gate(&f, BASELINE).failures,
             vec![GateFailure::NoGatedEntries]
         );
     }

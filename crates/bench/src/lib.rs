@@ -22,6 +22,7 @@
 //! | §VI-A     | [`ablation_cache_sweep`] | cache geometry / 3-core fallback |
 //! | §VII      | [`scaling_study`] | bus vs NoC scaling projection |
 
+pub mod battery;
 pub mod gate;
 pub mod seedsim;
 
@@ -37,6 +38,7 @@ use izhi_isa::{disassemble, encode};
 use izhi_programs::engine::GuestImage;
 use izhi_programs::engine::{run_workload, EngineConfig, Variant};
 use izhi_programs::net8020::Net8020Workload;
+use izhi_programs::scenario::{self, ScenarioParams, Workload};
 use izhi_programs::sudoku_prog::SudokuWorkload;
 use izhi_sim::Metrics;
 use izhi_snn::analysis::{band_power, IsiHistogram};
@@ -75,6 +77,23 @@ impl Scale {
             Scale::Quick => (1, 2500),
         }
     }
+
+    /// Registry parameters for the `net8020` scenario at this scale.
+    fn net8020_params(self, n_cores: u32) -> ScenarioParams {
+        let (n_exc, n_inh, ticks) = self.net8020();
+        ScenarioParams::default()
+            .with_n(n_exc + n_inh)
+            .with_ticks(ticks)
+            .with_cores(n_cores)
+            .with_seed(5)
+    }
+}
+
+/// Build a `net8020` instance through the scenario registry.
+fn net8020_scenario(scale: Scale, n_cores: u32) -> Box<dyn Workload> {
+    scenario::find("net8020")
+        .expect("net8020 is registered")
+        .build(&scale.net8020_params(n_cores))
 }
 
 /// Table I: the custom-instruction encodings.
@@ -272,10 +291,10 @@ pub fn table5(scale: Scale) -> String {
         n_exc + n_inh
     );
     let _ = writeln!(out, "{:-<66}", "");
-    let single = Net8020Workload::sized(n_exc, n_inh, ticks, 1, 5, Variant::Npu)
+    let single = net8020_scenario(scale, 1)
         .run()
         .expect("single-core run failed");
-    let dual = Net8020Workload::sized(n_exc, n_inh, ticks, 2, 5, Variant::Npu)
+    let dual = net8020_scenario(scale, 2)
         .run()
         .expect("dual-core run failed");
     let speedup = single.exec_time_s() / dual.exec_time_s();
@@ -300,40 +319,54 @@ pub fn table5(scale: Scale) -> String {
 /// Table VI: Sudoku WTA metrics for one and two cores.
 pub fn table6(scale: Scale) -> String {
     let (n_puzzles, ticks) = scale.sudoku();
-    let mut puzzles = hard_corpus(n_puzzles);
-    if scale == Scale::Quick {
-        // The quick run keeps the tick budget small, so ease the instances
-        // by restoring some givens from the classical solution.
-        for p in &mut puzzles {
-            let sol = p.solve().unwrap();
-            for i in (0..81).step_by(2) {
-                if p.0[i] == 0 {
-                    p.0[i] = sol.0[i];
-                }
-            }
-        }
-    }
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Table VI — Sudoku solver (729 neurons, 1 ms step, 30 MHz), {n_puzzles} hard puzzles"
     );
     let _ = writeln!(out, "{:-<66}", "");
+    // The quick run keeps the tick budget small, so the registry eases the
+    // instances (restores half the blanks from the classical solution).
+    let base = ScenarioParams {
+        ticks: Some(ticks),
+        ease: Some(scale == Scale::Quick),
+        ..Default::default()
+    };
+    let batch = scenario::find("sudoku_batch").expect("sudoku_batch is registered");
+    /// The registry hands out `dyn Workload`; Table VI decodes solutions,
+    /// so it needs the concrete Sudoku workload back.
+    fn as_sudoku(wl: &dyn Workload) -> &SudokuWorkload {
+        wl.as_any()
+            .downcast_ref::<SudokuWorkload>()
+            .expect("sudoku_batch wraps SudokuWorkload")
+    }
     // Each simulated system is fully independent: fan the per-puzzle
     // single-core and dual-core runs out across host threads.
-    let runs: Vec<(usize, crate::SudokuPair)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = puzzles
-            .iter()
-            .enumerate()
-            .map(|(k, p)| {
+    let runs: Vec<(usize, SudokuPair, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_puzzles)
+            .map(|k| {
+                let base = &base;
                 scope.spawn(move || {
-                    let one = SudokuWorkload::new(*p, ticks, 1, 100 + k as u32)
-                        .run(50)
+                    let params = ScenarioParams {
+                        seed: Some(k as u32),
+                        ..*base
+                    };
+                    let one_wl = batch.build(&ScenarioParams {
+                        n_cores: Some(1),
+                        ..params
+                    });
+                    let one = as_sudoku(&*one_wl)
+                        .solve(50)
                         .expect("single-core sudoku failed");
-                    let two = SudokuWorkload::new(*p, ticks, 2, 100 + k as u32)
-                        .run(50)
+                    let two_wl = batch.build(&ScenarioParams {
+                        n_cores: Some(2),
+                        ..params
+                    });
+                    let two = as_sudoku(&*two_wl)
+                        .solve(50)
                         .expect("dual-core sudoku failed");
-                    (k, SudokuPair { one, two })
+                    let givens = as_sudoku(&*one_wl).puzzle.n_givens();
+                    (k, SudokuPair { one, two }, givens)
                 })
             })
             .collect();
@@ -345,7 +378,7 @@ pub fn table6(scale: Scale) -> String {
     let mut t_dual = Vec::new();
     let mut m_single: Vec<Metrics> = Vec::new();
     let mut m_dual: Vec<Metrics> = Vec::new();
-    for (k, pair) in &runs {
+    for (k, pair, givens) in &runs {
         let (one, two) = (&pair.one, &pair.two);
         if one.solution.is_some() {
             solved += 1;
@@ -353,8 +386,8 @@ pub fn table6(scale: Scale) -> String {
         let steps = one.solved_at.unwrap_or(ticks);
         // The guest always executes the full tick budget; per-step cost is
         // therefore exec_time / ticks (steps-to-solve is reported per line).
-        t_single.push(one.workload.exec_time_s() * 1000.0 / ticks as f64);
-        t_dual.push(two.workload.exec_time_s() * 1000.0 / ticks as f64);
+        t_single.push(one.workload.time_per_tick_ms());
+        t_dual.push(two.workload.time_per_tick_ms());
         m_single.push(one.workload.metrics[0]);
         m_dual.push(two.workload.metrics[0]);
         let _ = writeln!(
@@ -366,7 +399,7 @@ pub fn table6(scale: Scale) -> String {
                 "NOT solved"
             },
             steps,
-            puzzles[*k].n_givens()
+            givens
         );
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -512,8 +545,8 @@ pub fn table7() -> String {
 /// Fig. 2: raster plot of the 80-20 network simulated on the guest cores.
 /// Returns `(report, raster_csv)`.
 pub fn fig2(scale: Scale) -> (String, String) {
-    let (n_exc, n_inh, ticks) = scale.net8020();
-    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, 2, 5, Variant::Npu);
+    let (_, _, ticks) = scale.net8020();
+    let wl = net8020_scenario(scale, 2);
     let res = wl.run().expect("fig2 run failed");
     let rate = res.raster.population_rate();
     let alpha = band_power(&rate, 8, 13);
@@ -523,7 +556,7 @@ pub fn fig2(scale: Scale) -> (String, String) {
     let _ = writeln!(
         out,
         "Fig. 2 — 80-20 raster ({} neurons x {ticks} ms)",
-        wl.net.len()
+        wl.cfg().n
     );
     let _ = writeln!(out, "{:-<66}", "");
     let _ = writeln!(out, "total spikes: {}", res.raster.spikes.len());
@@ -543,9 +576,14 @@ pub fn fig2(scale: Scale) -> (String, String) {
 
 /// Fig. 3: ISI histograms of the three arithmetic arms.
 pub fn fig3(scale: Scale) -> String {
-    let (n_exc, n_inh, ticks) = scale.net8020();
-    let wl = Net8020Workload::sized(n_exc, n_inh, ticks, 1, 5, Variant::Npu);
-    let guest = wl.run().expect("fig3 guest run failed").raster;
+    let (_, _, ticks) = scale.net8020();
+    let built = net8020_scenario(scale, 1);
+    let guest = built.run().expect("fig3 guest run failed").raster;
+    // The host reference arms (double / fixed) need the generated network.
+    let wl = built
+        .as_any()
+        .downcast_ref::<Net8020Workload>()
+        .expect("net8020 wraps Net8020Workload");
 
     let set_noise = |sim_noise: &mut [f64]| {
         for (i, ns) in sim_noise.iter_mut().enumerate() {
@@ -689,10 +727,10 @@ pub fn ablation_softfloat() -> String {
             42,
             variant,
         );
-        let res = wl.run(50).expect("ablation run failed");
+        let res = wl.solve(50).expect("ablation run failed");
         rows.push((
             variant,
-            res.workload.time_per_tick_ms(ticks),
+            res.workload.time_per_tick_ms(),
             res.workload.instret,
         ));
     }

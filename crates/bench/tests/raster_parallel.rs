@@ -1,21 +1,19 @@
 //! Workload-level raster identity for the host-parallel relaxed
 //! scheduler — the acceptance gate of the `RelaxedParallel` feature:
-//! on the 80-20, sweep and Sudoku workloads, `RelaxedParallel {quantum}`
-//! must produce **bit-identical spike logs, cycles and instret** to
-//! `Relaxed {quantum}` at every tested host-thread count, and therefore
-//! the same spike raster *as a set* as the exact scheduler.
+//! on the 80-20, sweep and Sudoku scenarios (built through the scenario
+//! registry), `RelaxedParallel {quantum}` must produce **bit-identical
+//! spike logs, cycles and instret** to `Relaxed {quantum}` at every
+//! tested host-thread count, and therefore the same spike raster *as a
+//! set* as the exact scheduler.
 //!
 //! These run in CI's test job (additionally with `IZHI_HOST_THREADS=2`
 //! forced so `host_threads: 0` rows exercise the threaded path even on
 //! single-CPU runners).
 
-use izhi_programs::net8020::Net8020Workload;
-use izhi_programs::sudoku_prog::SudokuWorkload;
-use izhi_programs::sweep::Net8020SweepWorkload;
-use izhi_programs::Variant;
+use izhi_programs::engine::WorkloadResult;
+use izhi_programs::scenario::{self, ScenarioParams};
 use izhi_sim::SchedMode;
 use izhi_snn::analysis::SpikeRaster;
-use izhi_snn::sudoku::hard_corpus;
 
 fn sorted(raster: &SpikeRaster) -> Vec<(u32, u32)> {
     let mut s = raster.spikes.clone();
@@ -23,12 +21,20 @@ fn sorted(raster: &SpikeRaster) -> Vec<(u32, u32)> {
     s
 }
 
+fn run_mode(sc: &scenario::Scenario, params: &ScenarioParams, sched: SchedMode) -> WorkloadResult {
+    let mut wl = sc.build(params);
+    wl.cfg_mut().system.sched = sched;
+    let res = wl.run().expect("scenario run");
+    wl.verify(&res).expect("scenario verification");
+    res
+}
+
 /// Assert the bit-identity contract between a relaxed reference run and a
 /// parallel run, plus set identity against the exact raster.
 fn assert_contract(
     exact: &SpikeRaster,
-    relaxed: &izhi_programs::engine::WorkloadResult,
-    parallel: &izhi_programs::engine::WorkloadResult,
+    relaxed: &WorkloadResult,
+    parallel: &WorkloadResult,
     tag: &str,
 ) {
     assert_eq!(
@@ -40,89 +46,67 @@ fn assert_contract(
     assert_eq!(sorted(exact), sorted(&parallel.raster), "{tag}: raster set");
 }
 
-#[test]
-fn net8020_parallel_raster_identity() {
-    let exact_wl = Net8020Workload::sized(40, 10, 150, 2, 5, Variant::Npu);
-    let exact = exact_wl.run().expect("exact run");
-    for quantum in [7u64, SchedMode::DEFAULT_QUANTUM] {
-        let mut rel_wl = exact_wl.clone();
-        rel_wl.cfg.system.sched = SchedMode::Relaxed { quantum };
-        let relaxed = rel_wl.run().expect("relaxed run");
+/// Exercise one scenario across quanta × host threads.
+fn scenario_contract(name: &str, params: ScenarioParams, quanta: &[u64]) {
+    let sc = scenario::find(name).expect("registered scenario");
+    let exact = run_mode(sc, &params, SchedMode::Exact);
+    for &quantum in quanta {
+        let relaxed = run_mode(sc, &params, SchedMode::Relaxed { quantum });
         for host_threads in [1u32, 2, 4] {
-            let mut par_wl = exact_wl.clone();
-            par_wl.cfg.system.sched = SchedMode::RelaxedParallel {
-                quantum,
-                host_threads,
-            };
-            let parallel = par_wl.run().expect("parallel run");
+            let parallel = run_mode(
+                sc,
+                &params,
+                SchedMode::RelaxedParallel {
+                    quantum,
+                    host_threads,
+                },
+            );
             assert_contract(
                 &exact.raster,
                 &relaxed,
                 &parallel,
-                &format!("80-20 q={quantum} ht={host_threads}"),
+                &format!("{name} q={quantum} ht={host_threads}"),
             );
         }
     }
+}
+
+#[test]
+fn net8020_parallel_raster_identity() {
+    scenario_contract(
+        "net8020",
+        ScenarioParams::default()
+            .with_n(50)
+            .with_ticks(150)
+            .with_cores(2)
+            .with_seed(5),
+        &[7, SchedMode::DEFAULT_QUANTUM],
+    );
 }
 
 #[test]
 fn sweep_parallel_raster_identity() {
-    let wl = Net8020SweepWorkload::sized(40, 10, 150, 2, 5);
-    let exact = wl.run().expect("exact run");
-    for quantum in [64u64, SchedMode::DEFAULT_QUANTUM] {
-        let mut rel_wl = wl.clone();
-        rel_wl.cfg.system.sched = SchedMode::Relaxed { quantum };
-        let relaxed = rel_wl.run().expect("relaxed run");
-        for host_threads in [1u32, 2, 4] {
-            let mut par_wl = wl.clone();
-            par_wl.cfg.system.sched = SchedMode::RelaxedParallel {
-                quantum,
-                host_threads,
-            };
-            let parallel = par_wl.run().expect("parallel run");
-            assert_contract(
-                &exact.raster,
-                &relaxed,
-                &parallel,
-                &format!("sweep q={quantum} ht={host_threads}"),
-            );
-        }
-    }
+    scenario_contract(
+        "net8020_sweep",
+        ScenarioParams::default()
+            .with_n(50)
+            .with_ticks(150)
+            .with_cores(2)
+            .with_seed(5),
+        &[64, SchedMode::DEFAULT_QUANTUM],
+    );
 }
 
 #[test]
 fn sudoku_parallel_raster_identity() {
-    // One eased hard puzzle (half the blanks restored), short budget:
-    // enough ticks for a busy raster without making the test slow.
-    let mut puzzle = hard_corpus(1)[0];
-    let sol = puzzle.solve().expect("classical solver");
-    for i in (0..81).step_by(2) {
-        if puzzle.0[i] == 0 {
-            puzzle.0[i] = sol.0[i];
-        }
-    }
-    let run = |sched: SchedMode| {
-        let mut wl = SudokuWorkload::new(puzzle, 300, 2, 100);
-        wl.cfg.system.sched = sched;
-        wl.run(50).expect("sudoku run").workload
-    };
-    let exact = run(SchedMode::Exact);
-    let relaxed = run(SchedMode::relaxed());
-    assert_eq!(
-        sorted(&exact.raster),
-        sorted(&relaxed.raster),
-        "sudoku: relaxed vs exact raster set"
+    // One eased hard puzzle, short budget: enough ticks for a busy raster
+    // without making the test slow.
+    scenario_contract(
+        "sudoku",
+        ScenarioParams::default()
+            .with_ticks(300)
+            .with_cores(2)
+            .with_seed(100),
+        &[SchedMode::DEFAULT_QUANTUM],
     );
-    for host_threads in [1u32, 2, 4] {
-        let parallel = run(SchedMode::RelaxedParallel {
-            quantum: SchedMode::DEFAULT_QUANTUM,
-            host_threads,
-        });
-        assert_contract(
-            &exact.raster,
-            &relaxed,
-            &parallel,
-            &format!("sudoku ht={host_threads}"),
-        );
-    }
 }

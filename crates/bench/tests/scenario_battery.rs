@@ -1,0 +1,101 @@
+//! The scenario-battery acceptance suite: **every** scenario in the
+//! registry — present and future — must be deterministic and
+//! raster-identical across `Exact`, `Relaxed` and `RelaxedParallel` at
+//! host_threads {1, 2}. A scenario added to the registry is picked up
+//! here automatically; one that breaks the cross-mode contract cannot
+//! land.
+
+use izhi_bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
+use izhi_programs::scenario::{self, ScenarioParams};
+use izhi_sim::SchedMode;
+
+fn run_quick(sc: &scenario::Scenario, sched: SchedMode) -> izhi_programs::WorkloadResult {
+    let mut wl = sc.build_quick(&ScenarioParams::default());
+    wl.cfg_mut().system.sched = sched;
+    let res = wl
+        .run()
+        .unwrap_or_else(|e| panic!("{}: run failed: {e}", sc.name));
+    wl.verify(&res)
+        .unwrap_or_else(|e| panic!("{}: verification failed: {e}", sc.name));
+    res
+}
+
+#[test]
+fn every_scenario_is_deterministic_and_sched_identical() {
+    for sc in scenario::registry() {
+        // Determinism across independent builds of the same scenario.
+        let exact = run_quick(sc, SchedMode::Exact);
+        let again = run_quick(sc, SchedMode::Exact);
+        assert_eq!(
+            exact.raster.spikes, again.raster.spikes,
+            "{}: exact rebuild changed the spike log",
+            sc.name
+        );
+        assert_eq!(exact.cycles, again.cycles, "{}: cycles drift", sc.name);
+
+        // Relaxed must reproduce the exact physics (raster as a set).
+        let relaxed = run_quick(sc, SchedMode::relaxed());
+        assert_eq!(
+            exact.raster_hash(),
+            relaxed.raster_hash(),
+            "{}: relaxed scheduling changed the raster",
+            sc.name
+        );
+
+        // Host-parallel relaxed must be bit-identical to sequential
+        // relaxed at every host-thread count.
+        for host_threads in [1u32, 2] {
+            let parallel = run_quick(
+                sc,
+                SchedMode::RelaxedParallel {
+                    quantum: SchedMode::DEFAULT_QUANTUM,
+                    host_threads,
+                },
+            );
+            assert_eq!(
+                relaxed.raster.spikes, parallel.raster.spikes,
+                "{}: ht={host_threads} spike-log order",
+                sc.name
+            );
+            assert_eq!(
+                relaxed.cycles, parallel.cycles,
+                "{}: ht={host_threads} cycles",
+                sc.name
+            );
+            assert_eq!(
+                relaxed.instret, parallel.instret,
+                "{}: ht={host_threads} instret",
+                sc.name
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_runner_shards_the_registry_and_checks_identity() {
+    // One seed per scenario keeps the suite quick; the runner itself
+    // fans (scenario, seed, sched) rows across 2 host worker threads.
+    let specs: Vec<BatterySpec> = scenario::registry()
+        .iter()
+        .map(|s| BatterySpec {
+            scenario: s.name,
+            params: ScenarioParams::default(),
+            seeds: vec![s.battery_seeds[0]],
+            scheds: SchedSpec::default_set(2),
+            quick: true,
+        })
+        .collect();
+    let rows = BatteryRunner { host_threads: 2 }
+        .run(&specs)
+        .expect("battery run");
+    assert_eq!(
+        rows.len(),
+        scenario::registry().len() * 3,
+        "one row per scenario x sched mode"
+    );
+    battery::check_rows(&rows).expect("battery identity/verification");
+    // Row order is the deterministic work-list order, not completion
+    // order: scenario-major, then seed, then sched.
+    let labels: Vec<_> = rows.iter().take(3).map(|r| r.sched).collect();
+    assert_eq!(labels, ["exact", "relaxed", "relaxed-par"]);
+}

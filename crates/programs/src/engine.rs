@@ -291,6 +291,9 @@ pub struct WorkloadResult {
     pub cycles: u64,
     /// Total instructions retired.
     pub instret: u64,
+    /// Simulated 1 ms ticks of the run (from the configuration, so
+    /// per-tick rates can never be computed against a mismatched count).
+    pub ticks: u32,
 }
 
 impl WorkloadResult {
@@ -303,8 +306,25 @@ impl WorkloadResult {
     }
 
     /// Per-timestep execution time in milliseconds of wall clock.
-    pub fn time_per_tick_ms(&self, ticks: u32) -> f64 {
-        self.exec_time_s() * 1000.0 / ticks as f64
+    pub fn time_per_tick_ms(&self) -> f64 {
+        self.exec_time_s() * 1000.0 / self.ticks as f64
+    }
+
+    /// Order-independent FNV-1a hash of the spike raster (the raster *as a
+    /// set*): identical across scheduling modes whenever the physics are,
+    /// regardless of within-tick commit order. The battery runner compares
+    /// this across `Exact`/`Relaxed`/`RelaxedParallel` rows.
+    pub fn raster_hash(&self) -> u64 {
+        let mut spikes = self.raster.spikes.clone();
+        spikes.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &(t, n) in &spikes {
+            for b in t.to_le_bytes().into_iter().chain(n.to_le_bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 }
 
@@ -1039,6 +1059,7 @@ pub fn run_workload(
         counters,
         cycles: exit.cycles,
         instret: exit.instret,
+        ticks: cfg.ticks,
     })
 }
 

@@ -18,11 +18,16 @@
 //!   independent population per core; the showcase for the simulator's
 //!   relaxed scheduling mode);
 //! * [`layout`] — guest memory-map constants shared between the assembly
-//!   generator and the host-side image builder.
+//!   generator and the host-side image builder;
+//! * [`scenario`] — the scenario registry: every workload above (plus the
+//!   beyond-paper scenarios) behind one [`scenario::Workload`] trait with
+//!   a name, parameter schema and self-verification hook, so the CLI,
+//!   benches, perf baseline and test batteries drive them uniformly.
 
 pub mod engine;
 pub mod layout;
 pub mod net8020;
+pub mod scenario;
 pub mod selftest;
 pub mod softfloat;
 pub mod sudoku_prog;
@@ -30,5 +35,6 @@ pub mod sweep;
 
 pub use engine::{EngineConfig, Variant, WorkloadResult};
 pub use net8020::Net8020Workload;
+pub use scenario::{ParamSpec, Scenario, ScenarioParams, Workload};
 pub use sudoku_prog::SudokuWorkload;
-pub use sweep::Net8020SweepWorkload;
+pub use sweep::{Net8020SweepWorkload, SweepPoint};

@@ -78,10 +78,12 @@ impl SudokuWorkload {
         }
     }
 
-    /// Run the guest and decode the raster window by window.
-    pub fn run(&self, window: u32) -> Result<SudokuRunResult, SimError> {
+    /// Run the guest and decode the raster window by window. (Named
+    /// `solve` rather than `run` so the registry's parameterless
+    /// [`crate::scenario::Workload::run`] stays unambiguous.)
+    pub fn solve(&self, window: u32) -> Result<SudokuRunResult, SimError> {
         let workload = run_workload(&self.cfg, &self.image, 2_000_000_000_000)?;
-        let (solution, solved_at) = self.decode_windows(&workload, window);
+        let (solution, solved_at) = self.decode(&workload, window);
         Ok(SudokuRunResult {
             solution,
             solved_at,
@@ -89,8 +91,9 @@ impl SudokuWorkload {
         })
     }
 
-    /// Scan consecutive windows of the raster for a valid decoded grid.
-    fn decode_windows(
+    /// Scan consecutive windows of the raster for a valid decoded grid;
+    /// returns the solution and the tick its window ended at, if any.
+    pub fn decode(
         &self,
         workload: &WorkloadResult,
         window: u32,
@@ -133,7 +136,7 @@ mod tests {
     #[test]
     fn guest_wta_solves_easy_puzzle() {
         let wl = SudokuWorkload::new(easy_puzzle(), 3000, 1, 21);
-        let res = wl.run(50).unwrap();
+        let res = wl.solve(50).unwrap();
         let sol = res.solution.expect("guest WTA did not converge");
         assert!(sol.is_solved());
         assert!(sol.extends(&wl.puzzle));
@@ -144,12 +147,12 @@ mod tests {
     #[test]
     fn guest_wta_dual_core_solves_and_is_faster_per_tick() {
         let p = easy_puzzle();
-        let one = SudokuWorkload::new(p, 1500, 1, 21).run(50).unwrap();
-        let two = SudokuWorkload::new(p, 1500, 2, 21).run(50).unwrap();
+        let one = SudokuWorkload::new(p, 1500, 1, 21).solve(50).unwrap();
+        let two = SudokuWorkload::new(p, 1500, 2, 21).solve(50).unwrap();
         // Identical image and noise: same raster, so same convergence.
         assert_eq!(one.solution.is_some(), two.solution.is_some());
-        let t1 = one.workload.time_per_tick_ms(1500);
-        let t2 = two.workload.time_per_tick_ms(1500);
+        let t1 = one.workload.time_per_tick_ms();
+        let t2 = two.workload.time_per_tick_ms();
         let speedup = t1 / t2;
         assert!((1.2..=2.0).contains(&speedup), "speedup {speedup:.3}");
     }
@@ -166,7 +169,7 @@ mod tests {
         let params = WtaParams::default();
         let ticks = 400;
         let wl = SudokuWorkload::with_params(puzzle, params, ticks, 1, 5, Variant::Npu);
-        let guest = wl.run(100).unwrap();
+        let guest = wl.solve(100).unwrap();
         let wta = WtaNetwork::build(&puzzle, params);
         let mut host = FixedSimulator::new(&wta.network, params.tau, 99);
         host.pin = true;
@@ -186,8 +189,8 @@ mod tests {
     fn per_timestep_cost_matches_papers_order_of_magnitude() {
         // Paper Table VI: ~2.06 ms per timestep single-core at 30 MHz.
         let wl = SudokuWorkload::new(easy_puzzle(), 200, 1, 3);
-        let res = wl.run(50).unwrap();
-        let per_tick = res.workload.time_per_tick_ms(200);
+        let res = wl.solve(50).unwrap();
+        let per_tick = res.workload.time_per_tick_ms();
         assert!(
             (0.2..=10.0).contains(&per_tick),
             "per-timestep {per_tick:.3} ms implausible"

@@ -16,17 +16,45 @@
 //! the same dynamics a coupled run would: the cross-block weights it skips
 //! are all zero. Tests pin that equivalence.
 
-use izhi_sim::SimError;
 use izhi_snn::gen8020::Net8020;
 use izhi_snn::network::Network;
 
-use crate::engine::{run_workload, EngineConfig, GuestImage, Variant, WorkloadResult};
+use crate::engine::{EngineConfig, GuestImage, Variant, WorkloadResult};
+
+/// One parameter point of a sweep: the population a core simulates.
+///
+/// A *seed* sweep varies only `seed` per core (the paper-style repetition
+/// run); a *parameter-point* sweep holds the seed fixed and walks a grid
+/// through the gain knobs, so every core simulates a different point of
+/// parameter space in the same guest run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Network/noise generation seed of this population.
+    pub seed: u32,
+    /// Multiplier on both thalamic noise amplitudes (exc and inh).
+    pub noise_gain: f64,
+    /// Multiplier on the excitatory weights (inhibitory stay unscaled).
+    pub weight_gain: f64,
+}
+
+impl SweepPoint {
+    /// The neutral point: the paper's population at the given seed.
+    pub fn seeded(seed: u32) -> Self {
+        SweepPoint {
+            seed,
+            noise_gain: 1.0,
+            weight_gain: 1.0,
+        }
+    }
+}
 
 /// A prepared multi-population sweep workload (one 80-20 net per core).
 #[derive(Debug, Clone)]
 pub struct Net8020SweepWorkload {
     /// The per-core populations (host view), in core order.
     pub subnets: Vec<Net8020>,
+    /// The parameter point each core simulates, in core order.
+    pub points: Vec<SweepPoint>,
     /// The combined block-diagonal guest image.
     pub image: GuestImage,
     /// Engine configuration (`coupled = false`).
@@ -38,20 +66,42 @@ impl Net8020SweepWorkload {
     /// each, seeded `seed, seed+1, …` (a repetition sweep), `ticks` 1 ms
     /// steps.
     pub fn sized(n_exc: usize, n_inh: usize, ticks: u32, n_cores: u32, seed: u32) -> Self {
+        let points: Vec<SweepPoint> = (0..n_cores)
+            .map(|k| SweepPoint::seeded(seed.wrapping_add(k)))
+            .collect();
+        Self::with_points(n_exc, n_inh, ticks, &points)
+    }
+
+    /// Build one population per entry of `points` (population `k` lands in
+    /// core `k`'s chunk). This is the general constructor behind both the
+    /// seed sweep and the per-core parameter-point sweep.
+    pub fn with_points(n_exc: usize, n_inh: usize, ticks: u32, points: &[SweepPoint]) -> Self {
+        let n_cores = points.len() as u32;
+        assert!(n_cores >= 1, "a sweep needs at least one point");
         let sub_n = n_exc + n_inh;
-        let mut subnets = Vec::with_capacity(n_cores as usize);
-        let mut params = Vec::with_capacity(sub_n * n_cores as usize);
+        let mut subnets = Vec::with_capacity(points.len());
+        let mut params = Vec::with_capacity(sub_n * points.len());
         let mut edges = Vec::new();
-        let mut noise_std = Vec::with_capacity(sub_n * n_cores as usize);
-        for k in 0..n_cores {
-            let mut net = Net8020::with_size(n_exc, n_inh, seed.wrapping_add(k));
-            // Same charge normalisation as the coupled workload (see
+        let mut noise_std = Vec::with_capacity(sub_n * points.len());
+        for (k, point) in points.iter().enumerate() {
+            let mut net = Net8020::with_size(n_exc, n_inh, point.seed);
+            // Charge normalisation as in the coupled workload (see
             // `Net8020Workload::sized`): weights deliver persistent current
-            // with DCU decay, so scale by (1 - r) at τ = 2.
-            for w in &mut net.network.weights {
-                *w *= 0.25;
+            // with DCU decay, so scale by (1 - r) at τ = 2 — then apply
+            // the point's excitatory gain.
+            for pre in 0..sub_n {
+                let gain = if net.is_excitatory(pre) {
+                    0.25 * point.weight_gain
+                } else {
+                    0.25
+                };
+                let lo = net.network.row_ptr[pre] as usize;
+                let hi = net.network.row_ptr[pre + 1] as usize;
+                for w in &mut net.network.weights[lo..hi] {
+                    *w *= gain;
+                }
             }
-            let base = k as usize * sub_n;
+            let base = k * sub_n;
             params.extend(net.network.params.iter().copied());
             for pre in 0..sub_n {
                 for (post, w) in net.network.out_edges(pre) {
@@ -59,17 +109,19 @@ impl Net8020SweepWorkload {
                 }
             }
             noise_std.extend((0..sub_n).map(|i| {
-                if net.is_excitatory(i) {
-                    net.exc_noise
-                } else {
-                    net.inh_noise
-                }
+                point.noise_gain
+                    * if net.is_excitatory(i) {
+                        net.exc_noise
+                    } else {
+                        net.inh_noise
+                    }
             }));
             subnets.push(net);
         }
         let network = Network::from_edges(params, edges);
         let n = network.len();
         let bias = vec![0.0; n];
+        let seed = points[0].seed;
         let image = GuestImage::from_network(&network, &bias, &noise_std, ticks, seed ^ 0x5EED);
         let mut cfg = EngineConfig::new(n, ticks, n_cores, Variant::Npu);
         cfg.coupled = false;
@@ -78,16 +130,14 @@ impl Net8020SweepWorkload {
         assert_eq!(cfg.chunk(), sub_n, "population does not fill its chunk");
         Net8020SweepWorkload {
             subnets,
+            points: points.to_vec(),
             image,
             cfg,
         }
     }
 
-    /// Run on the simulator (scheduling mode comes from
-    /// `self.cfg.system.sched`).
-    pub fn run(&self) -> Result<WorkloadResult, SimError> {
-        run_workload(&self.cfg, &self.image, 8_000_000_000)
-    }
+    // Running lives on the `crate::scenario::Workload` trait impl; the
+    // scheduling mode comes from `self.cfg.system.sched`.
 
     /// Spikes of population `k` only, with neuron ids rebased to the
     /// population (for per-sweep-point analysis).
@@ -106,6 +156,8 @@ impl Net8020SweepWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_workload;
+    use crate::scenario::Workload as _;
     use izhi_sim::SchedMode;
 
     fn sorted(res: &WorkloadResult) -> Vec<(u32, u32)> {

@@ -8,6 +8,7 @@
 
 use izhirisc::programs::engine::Variant;
 use izhirisc::programs::net8020::Net8020Workload;
+use izhirisc::programs::scenario::Workload as _;
 use izhirisc::snn::analysis::{band_power, IsiHistogram};
 
 fn main() {

@@ -38,7 +38,7 @@ fn main() {
 
     println!("running the WTA network on 2 IzhiRISC-V cores...");
     let wl = SudokuWorkload::new(puzzle, 4000, 2, 42);
-    let res = wl.run(50).expect("simulation failed");
+    let res = wl.solve(50).expect("simulation failed");
 
     match res.solution {
         Some(sol) => {
@@ -54,7 +54,7 @@ fn main() {
     let m = &res.workload.metrics[0];
     println!(
         "per-timestep cost: {:.3} ms at 30 MHz (paper: ~1.2 ms dual-core)",
-        res.workload.time_per_tick_ms(4000)
+        res.workload.time_per_tick_ms()
     );
     println!(
         "core 0: IPC {:.3}, IPC_eff {:.3}, hazard {:.2} %, D$ {:.2} %",

@@ -6,42 +6,167 @@
 //! izhirisc run    <file.s> [options]         assemble + run on the simulator
 //!     --cores N        number of cores (default 1)
 //!     --cycles N       cycle budget (default 100000000)
-//!     --relaxed        relaxed scheduling: round-robin quanta, 1 cycle
-//!                      per instruction, blocking barriers (throughput
-//!                      mode; timing is approximate, results exact for
-//!                      barrier/mutex-synchronised guests)
-//!     --quantum N      relaxed scheduling quantum (default 50000)
-//!     --host-threads N run relaxed quanta on N host worker threads
-//!                      (implies relaxed scheduling; results are
-//!                      bit-identical to --relaxed at any thread count;
+//!     --sched MODE     scheduling mode: exact | relaxed | parallel
+//!                      (default exact; relaxed = round-robin quanta,
+//!                      1 cycle per instruction, blocking barriers;
+//!                      parallel = relaxed quanta on host worker threads,
+//!                      bit-identical to relaxed at any thread count)
+//!     --relaxed        alias for --sched relaxed
+//!     --quantum N      relaxed/parallel scheduling quantum (default 50000)
+//!     --host-threads N worker threads for --sched parallel (implies it;
 //!                      0 = auto via IZHI_HOST_THREADS / host CPUs)
 //!     --trace          print every retired instruction (core 0)
 //!     --regs           dump the register file at exit
+//! izhirisc scenario list                     list registered scenarios
+//! izhirisc scenario run <name> [options]     build + run a scenario
+//!     --sched MODE --quantum N --host-threads N    as above
+//!     --n N --ticks N --cores N --seed N           scenario parameters
+//!     --quick          use the scenario's CI-sized quick parameters
+//!     --battery        fan the scenario's battery (seeds x sched modes)
+//!                      across host threads, verify cross-mode identity
+//!     --json PATH      write battery rows as JSON (with --battery)
+//! izhirisc scenario battery [--json PATH]    quick battery of EVERY scenario
 //! izhirisc selftest                          run the guest ISA battery
 //! ```
+//!
+//! Flag parsing is strict: unknown flags are rejected, and a flag that
+//! needs a value refuses to swallow the next flag (`--quantum --trace`
+//! is an error, not quantum = "--trace").
 
 use std::fs;
 use std::io::Write as _;
 use std::process::exit;
 
+use izhirisc::bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
 use izhirisc::isa::{decode, disassemble, Assembler, Reg};
+use izhirisc::programs::scenario::{self, ScenarioParams};
 use izhirisc::sim::{SchedMode, System, SystemConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--relaxed] [--quantum N] [--host-threads N] [--trace] [--regs]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--n N] [--ticks N] [--cores N] [--seed N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--json PATH]\n  izhirisc selftest"
     );
     exit(2);
 }
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Strict flag extractor over a subcommand's argument list. Known flags
+/// are *taken* (removed); whatever remains must be positional — any
+/// leftover token starting with `-` is an unknown flag and an error.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(args: &[String]) -> Self {
+        Args {
+            rest: args.to_vec(),
+        }
+    }
+
+    /// Take a boolean switch.
+    fn switch(&mut self, flag: &str) -> bool {
+        match self.rest.iter().position(|a| a == flag) {
+            Some(i) => {
+                self.rest.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Take a `--flag value` pair. The value must exist and must not look
+    /// like another flag — `--quantum --trace` is rejected instead of
+    /// silently parsing `--trace` as the quantum.
+    fn value(&mut self, flag: &str) -> Option<String> {
+        let i = self.rest.iter().position(|a| a == flag)?;
+        self.rest.remove(i);
+        if i >= self.rest.len() || self.rest[i].starts_with('-') {
+            eprintln!(
+                "flag `{flag}` needs a value{}",
+                match self.rest.get(i) {
+                    Some(next) => format!(" (got flag `{next}`)"),
+                    None => String::new(),
+                }
+            );
+            exit(2);
+        }
+        Some(self.rest.remove(i))
+    }
+
+    /// Finish parsing: reject unknown flags, return the positionals.
+    fn positionals(self) -> Vec<String> {
+        for a in &self.rest {
+            if a.starts_with('-') {
+                eprintln!("unknown flag `{a}`");
+                usage();
+            }
+        }
+        self.rest
+    }
+}
+
+fn parse_u32(s: &str) -> u32 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    }
+    .unwrap_or_else(|_| {
+        eprintln!("bad number `{s}`");
+        exit(2);
+    })
+}
+
+/// Scheduling-mode selection shared by `run` and `scenario run`:
+/// `--sched exact|relaxed|parallel` is canonical; `--relaxed` and
+/// `--host-threads N` are kept as aliases of the modes they imply.
+fn parse_sched(args: &mut Args) -> SchedMode {
+    let sched = args.value("--sched");
+    let relaxed_alias = args.switch("--relaxed");
+    let host_threads = args.value("--host-threads").map(|s| parse_u32(&s));
+    let quantum = args.value("--quantum").map(|s| u64::from(parse_u32(&s)));
+    let mode = match sched.as_deref() {
+        Some("exact") => "exact",
+        Some("relaxed") => "relaxed",
+        Some("parallel") => "parallel",
+        Some(other) => {
+            eprintln!("unknown --sched mode `{other}` (use exact, relaxed or parallel)");
+            exit(2);
+        }
+        // Aliases: --host-threads implies the parallel scheduler (it
+        // parallelises the relaxed quantum structure), --relaxed the
+        // sequential relaxed one.
+        None if host_threads.is_some() => "parallel",
+        None if relaxed_alias => "relaxed",
+        None => "exact",
+    };
+    if mode == "exact" && quantum.is_some() {
+        eprintln!("--quantum only applies to relaxed/parallel scheduling");
+        exit(2);
+    }
+    if mode != "parallel" && host_threads.is_some() {
+        eprintln!("--host-threads only applies to --sched parallel");
+        exit(2);
+    }
+    let quantum = quantum.unwrap_or(SchedMode::DEFAULT_QUANTUM);
+    match mode {
+        "relaxed" => SchedMode::Relaxed { quantum },
+        "parallel" => SchedMode::RelaxedParallel {
+            quantum,
+            host_threads: host_threads.unwrap_or(0),
+        },
+        _ => SchedMode::Exact,
+    }
 }
 
 fn cmd_asm(args: &[String]) {
-    let Some(path) = args.first() else { usage() };
+    let mut args = Args::new(args);
+    let out_flag = args.value("-o");
+    let positionals = args.positionals();
+    let Some(path) = positionals.first() else {
+        usage()
+    };
     let src = fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
@@ -50,7 +175,7 @@ fn cmd_asm(args: &[String]) {
         eprintln!("{path}: {e}");
         exit(1);
     });
-    let out = arg_value(args, "-o").unwrap_or_else(|| format!("{path}.bin"));
+    let out = out_flag.unwrap_or_else(|| format!("{path}.bin"));
     // Flat image: from the lowest segment base to the highest end.
     let lo = prog.segments.iter().map(|s| s.base).min().unwrap_or(0);
     let hi = prog
@@ -77,10 +202,12 @@ fn cmd_asm(args: &[String]) {
 }
 
 fn cmd_disasm(args: &[String]) {
-    let Some(path) = args.first() else { usage() };
-    let base = arg_value(args, "--base")
-        .map(|s| parse_u32(&s))
-        .unwrap_or(0);
+    let mut args = Args::new(args);
+    let base = args.value("--base").map(|s| parse_u32(&s)).unwrap_or(0);
+    let positionals = args.positionals();
+    let Some(path) = positionals.first() else {
+        usage()
+    };
     let bytes = fs::read(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
@@ -103,21 +230,24 @@ fn cmd_disasm(args: &[String]) {
     }
 }
 
-fn parse_u32(s: &str) -> u32 {
-    let s = s.trim();
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u32::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    }
-    .unwrap_or_else(|_| {
-        eprintln!("bad number `{s}`");
-        exit(2);
-    })
-}
-
 fn cmd_run(args: &[String]) {
-    let Some(path) = args.first() else { usage() };
+    let mut args = Args::new(args);
+    let cores = args.value("--cores").map(|s| parse_u32(&s)).unwrap_or(1);
+    let budget = args
+        .value("--cycles")
+        .map(|s| parse_u32(&s) as u64)
+        .unwrap_or(100_000_000);
+    let trace = args.switch("--trace");
+    let dump_regs = args.switch("--regs");
+    let sched = parse_sched(&mut args);
+    let positionals = args.positionals();
+    let Some(path) = positionals.first() else {
+        usage()
+    };
+    if trace && sched != SchedMode::Exact {
+        eprintln!("--trace single-steps the exact schedule; drop --sched/--relaxed/--host-threads");
+        exit(2);
+    }
     let src = fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1);
@@ -126,41 +256,9 @@ fn cmd_run(args: &[String]) {
         eprintln!("{path}: {e}");
         exit(1);
     });
-    let cores = arg_value(args, "--cores")
-        .map(|s| parse_u32(&s))
-        .unwrap_or(1);
-    let budget = arg_value(args, "--cycles")
-        .map(|s| parse_u32(&s) as u64)
-        .unwrap_or(100_000_000);
-    let trace = args.iter().any(|a| a == "--trace");
-    let dump_regs = args.iter().any(|a| a == "--regs");
-    let host_threads = arg_value(args, "--host-threads").map(|s| parse_u32(&s));
-    // --host-threads implies relaxed scheduling (it parallelises the
-    // relaxed quantum structure; there is nothing to thread in exact mode).
-    let relaxed = args.iter().any(|a| a == "--relaxed") || host_threads.is_some();
-    let quantum = arg_value(args, "--quantum")
-        .map(|s| u64::from(parse_u32(&s)))
-        .unwrap_or(SchedMode::DEFAULT_QUANTUM);
-    if trace && relaxed {
-        eprintln!("--trace single-steps the exact schedule; drop --relaxed/--host-threads");
-        exit(2);
-    }
-    if !relaxed && args.iter().any(|a| a == "--quantum") {
-        eprintln!("--quantum only applies to relaxed scheduling; add --relaxed");
-        exit(2);
-    }
 
     let mut cfg = SystemConfig::with_cores(cores);
-    match host_threads {
-        Some(host_threads) => {
-            cfg.sched = SchedMode::RelaxedParallel {
-                quantum,
-                host_threads,
-            };
-        }
-        None if relaxed => cfg.sched = SchedMode::Relaxed { quantum },
-        None => {}
-    }
+    cfg.sched = sched;
     let mut sys = System::new(cfg);
     if !sys.load_program(&prog) {
         eprintln!("program does not fit in simulated memory");
@@ -226,6 +324,207 @@ fn run_traced(sys: &mut System, budget: u64) -> Result<(u64, u64), izhirisc::sim
     Ok((sys.core(0).time, sys.core(0).counters.instret))
 }
 
+fn cmd_scenario_list() {
+    println!("{:<16} summary", "scenario");
+    println!("{:-<78}", "");
+    for s in scenario::registry() {
+        println!("{:<16} {}", s.name, s.summary);
+        for p in s.schema {
+            println!(
+                "    --{:<12} (default {:<10}) {}",
+                p.name, p.default, p.help
+            );
+        }
+    }
+    println!(
+        "\nrun one:   izhirisc scenario run <name> [--sched exact|relaxed|parallel] [--battery]\nbattery:   izhirisc scenario battery   (every scenario, quick scale)"
+    );
+}
+
+/// Write battery rows as a standalone JSON document (the CI smoke-job
+/// artifact; same `"battery"` array shape as `perf_baseline`'s output).
+fn write_battery_json(path: &str, rows: &[battery::BatteryRow]) {
+    let json = format!(
+        "{{\n  \"schema\": \"izhirisc-scenario-battery-v1\",\n  \"battery\": {}\n}}\n",
+        battery::rows_json(rows)
+    );
+    fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("wrote {path}");
+}
+
+/// Run battery specs, print the table, enforce verification + cross-mode
+/// raster identity, and optionally write the JSON artifact.
+fn run_battery(specs: &[BatterySpec], json: Option<String>) {
+    let runner = BatteryRunner::auto();
+    println!(
+        "battery: {} spec(s) on {} host thread(s)",
+        specs.len(),
+        runner.host_threads
+    );
+    let rows = runner.run(specs).unwrap_or_else(|e| {
+        eprintln!("battery failed: {e}");
+        exit(1);
+    });
+    print!("{}", battery::rows_table(&rows));
+    if let Err(e) = battery::check_rows(&rows) {
+        eprintln!("battery check FAILED: {e}");
+        exit(1);
+    }
+    println!(
+        "battery passed: {} rows, cross-mode raster identity and per-scenario verification hold",
+        rows.len()
+    );
+    if let Some(path) = json {
+        write_battery_json(&path, &rows);
+    }
+}
+
+fn cmd_scenario_run(args: &[String]) {
+    let mut args = Args::new(args);
+    let params = ScenarioParams {
+        n: args.value("--n").map(|s| parse_u32(&s) as usize),
+        ticks: args.value("--ticks").map(|s| parse_u32(&s)),
+        n_cores: args.value("--cores").map(|s| parse_u32(&s)),
+        seed: args.value("--seed").map(|s| parse_u32(&s)),
+        ease: args.value("--ease").map(|s| match s.as_str() {
+            "true" | "1" | "yes" => true,
+            "false" | "0" | "no" => false,
+            other => {
+                eprintln!("bad --ease value `{other}` (use true or false)");
+                exit(2);
+            }
+        }),
+    };
+    let quick = args.switch("--quick");
+    let battery_mode = args.switch("--battery");
+    let json = args.value("--json");
+    // Remember whether the user restricted the schedule before parse_sched
+    // consumes the flags: a --battery run honours an explicit mode instead
+    // of silently fanning over all three.
+    let sched_given = ["--sched", "--relaxed", "--host-threads", "--quantum"]
+        .iter()
+        .any(|f| args.rest.iter().any(|a| a == f));
+    let sched = parse_sched(&mut args);
+    let positionals = args.positionals();
+    let Some(name) = positionals.first() else {
+        eprintln!("scenario run needs a scenario name (see `izhirisc scenario list`)");
+        exit(2);
+    };
+    let Some(sc) = scenario::find(name) else {
+        eprintln!(
+            "unknown scenario `{name}`; registered: {}",
+            scenario::registry()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        exit(2);
+    };
+    if json.is_some() && !battery_mode {
+        eprintln!("--json only applies to --battery runs");
+        exit(2);
+    }
+
+    if battery_mode {
+        let seeds = match params.seed {
+            Some(seed) => vec![seed],
+            None => sc.battery_seeds.to_vec(),
+        };
+        // An explicit --sched/--quantum/--host-threads restricts the
+        // battery to that one mode; otherwise fan over all three.
+        let scheds = if sched_given {
+            let label = match sched {
+                SchedMode::Exact => "exact",
+                SchedMode::Relaxed { .. } => "relaxed",
+                SchedMode::RelaxedParallel { .. } => "relaxed-par",
+            };
+            vec![SchedSpec { label, mode: sched }]
+        } else {
+            SchedSpec::default_set(2)
+        };
+        let spec = BatterySpec {
+            scenario: sc.name,
+            params: ScenarioParams {
+                seed: None,
+                ..params
+            },
+            seeds,
+            scheds,
+            quick,
+        };
+        run_battery(&[spec], json);
+        return;
+    }
+
+    let mut wl = if quick {
+        sc.build_quick(&params)
+    } else {
+        sc.build(&params)
+    };
+    wl.cfg_mut().system.sched = sched;
+    let start = std::time::Instant::now();
+    let res = wl.run().unwrap_or_else(|e| {
+        eprintln!("{name}: simulation failed: {e}");
+        exit(1);
+    });
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{name}: n={} ticks={} cores={} sched={:?}",
+        wl.cfg().n,
+        wl.cfg().ticks,
+        wl.cfg().n_cores,
+        wl.cfg().system.sched
+    );
+    println!(
+        "  wall {wall:.3} s | sim {} cycles, {} instret | {} spikes | raster hash {:#018x}",
+        res.cycles,
+        res.instret,
+        res.raster.spikes.len(),
+        res.raster_hash()
+    );
+    println!(
+        "  guest exec time {:.4} s ({:.4} ms/tick at {:.0} MHz)",
+        res.exec_time_s(),
+        res.time_per_tick_ms(),
+        wl.cfg().system.clock_hz / 1e6
+    );
+    match wl.verify(&res) {
+        Ok(()) => println!("  verification: OK"),
+        Err(e) => {
+            eprintln!("  verification FAILED: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_scenario_battery(args: &[String]) {
+    let mut args = Args::new(args);
+    let json = args.value("--json");
+    let positionals = args.positionals();
+    if !positionals.is_empty() {
+        eprintln!("scenario battery takes no scenario names (it runs every registered scenario); use `scenario run <name> --battery` for one");
+        exit(2);
+    }
+    let specs: Vec<BatterySpec> = scenario::registry()
+        .iter()
+        .map(|s| BatterySpec::quick(s, 2))
+        .collect();
+    run_battery(&specs, json);
+}
+
+fn cmd_scenario(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_scenario_list(),
+        Some("run") => cmd_scenario_run(&args[1..]),
+        Some("battery") => cmd_scenario_battery(&args[1..]),
+        _ => usage(),
+    }
+}
+
 fn cmd_selftest() {
     let (failures, console) = izhirisc::programs::selftest::run_battery();
     print!("{console}");
@@ -240,6 +539,7 @@ fn main() {
         Some("asm") => cmd_asm(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("selftest") => cmd_selftest(),
         _ => usage(),
     }

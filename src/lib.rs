@@ -13,7 +13,10 @@
 //!   reference simulators, spike-train analysis);
 //! * [`hw`] — FPGA/ASIC resource, power and timing models;
 //! * [`programs`] — the guest workloads (80-20, Sudoku, soft-float
-//!   baseline) and the engine that runs them on the simulator.
+//!   baseline), the engine that runs them on the simulator, and the
+//!   scenario registry that names and verifies them;
+//! * [`bench`][mod@bench] — the experiment harness: paper tables/figures,
+//!   the scenario battery runner and the CI perf gate.
 //!
 //! ## Quickstart
 //!
@@ -69,4 +72,9 @@ pub mod hw {
 /// Guest workloads.
 pub mod programs {
     pub use izhi_programs::*;
+}
+
+/// Experiment harness (paper tables, scenario battery runner, perf gate).
+pub mod bench {
+    pub use izhi_bench::*;
 }
