@@ -41,11 +41,13 @@ fn main() {
         for (label, sched) in [
             ("exact", SchedMode::Exact),
             ("relaxed", SchedMode::relaxed()),
+            ("relaxed-est", SchedMode::relaxed_estimated()),
             (
                 "relaxed-par2",
                 SchedMode::RelaxedParallel {
                     quantum: SchedMode::DEFAULT_QUANTUM,
                     host_threads: 2,
+                    timing: izhi_sim::TimingModel::Unit,
                 },
             ),
         ] {

@@ -25,38 +25,81 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use izhi_programs::scenario::{self, ScenarioParams};
-use izhi_sim::SchedMode;
+use izhi_sim::{SchedMode, TimingModel};
 
 /// A scheduling mode under a battery label.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedSpec {
-    /// Row label ("exact", "relaxed", "relaxed-par").
+    /// Row label ("exact", "relaxed", "relaxed-par", "relaxed-est",
+    /// "relaxed-par-est").
     pub label: &'static str,
     /// The mode a row's workload runs under.
     pub mode: SchedMode,
 }
 
 impl SchedSpec {
-    /// The default battery mode set: exact, relaxed at the default
-    /// quantum, and host-parallel relaxed with `host_threads` forced.
+    /// The stable battery label of a scheduling mode: the scheduler name
+    /// with an `-est` suffix for Estimated timing. Unit-timing labels are
+    /// the historical ones, so committed baseline keys stay valid.
+    pub fn label_of(mode: SchedMode) -> &'static str {
+        match mode {
+            SchedMode::Exact => "exact",
+            SchedMode::Relaxed {
+                timing: TimingModel::Unit,
+                ..
+            } => "relaxed",
+            SchedMode::Relaxed {
+                timing: TimingModel::Estimated,
+                ..
+            } => "relaxed-est",
+            SchedMode::RelaxedParallel {
+                timing: TimingModel::Unit,
+                ..
+            } => "relaxed-par",
+            SchedMode::RelaxedParallel {
+                timing: TimingModel::Estimated,
+                ..
+            } => "relaxed-par-est",
+        }
+    }
+
+    /// A spec for `mode` under its canonical label.
+    pub fn of(mode: SchedMode) -> SchedSpec {
+        SchedSpec {
+            label: Self::label_of(mode),
+            mode,
+        }
+    }
+
+    /// The default battery mode set — every sched × timing combination:
+    /// exact (cycle-accurate clock), relaxed and host-parallel relaxed at
+    /// the default quantum under Unit timing, and the same two relaxed
+    /// schedulers under Estimated timing. `host_threads` is forced on the
+    /// parallel rows so they stay interpretable on single-CPU CI runners.
     pub fn default_set(host_threads: u32) -> Vec<SchedSpec> {
-        vec![
-            SchedSpec {
-                label: "exact",
-                mode: SchedMode::Exact,
-            },
-            SchedSpec {
-                label: "relaxed",
-                mode: SchedMode::relaxed(),
-            },
-            SchedSpec {
-                label: "relaxed-par",
-                mode: SchedMode::RelaxedParallel {
-                    quantum: SchedMode::DEFAULT_QUANTUM,
-                    host_threads,
-                },
-            },
-        ]
+        let mut set = vec![SchedSpec::of(SchedMode::Exact)];
+        for timing in [TimingModel::Unit, TimingModel::Estimated] {
+            set.push(SchedSpec::of(SchedMode::Relaxed {
+                quantum: SchedMode::DEFAULT_QUANTUM,
+                timing,
+            }));
+            set.push(SchedSpec::of(SchedMode::RelaxedParallel {
+                quantum: SchedMode::DEFAULT_QUANTUM,
+                host_threads,
+                timing,
+            }));
+        }
+        set
+    }
+
+    /// The subset of [`SchedSpec::default_set`] whose rows report the
+    /// given clock ("exact", "unit" or "estimated") — the CLI's
+    /// `--timing` battery filter.
+    pub fn timing_set(host_threads: u32, timing_label: &str) -> Vec<SchedSpec> {
+        Self::default_set(host_threads)
+            .into_iter()
+            .filter(|s| s.mode.timing_label() == timing_label)
+            .collect()
     }
 }
 
@@ -104,6 +147,11 @@ pub struct BatteryRow {
     pub seed: u32,
     /// Scheduling-mode label.
     pub sched: &'static str,
+    /// The clock the row's `sim_cycles` are measured on: "exact" (the
+    /// cycle-accurate model), "unit" (1 cycle per instruction) or
+    /// "estimated" (static per-op-class costs). Only estimated rows are
+    /// comparable to exact rows on simulated time.
+    pub timing: &'static str,
     /// Relaxed quantum (0 for exact rows).
     pub quantum: u64,
     /// Forced host threads (1 for sequential schedulers).
@@ -224,10 +272,11 @@ fn run_one(
     wl.cfg_mut().system.sched = sched.mode;
     let (quantum, host_threads) = match sched.mode {
         SchedMode::Exact => (0, 1),
-        SchedMode::Relaxed { quantum } => (quantum, 1),
+        SchedMode::Relaxed { quantum, .. } => (quantum, 1),
         SchedMode::RelaxedParallel {
             quantum,
             host_threads,
+            ..
         } => (quantum, host_threads),
     };
     let start = Instant::now();
@@ -244,6 +293,7 @@ fn run_one(
         scenario: spec.scenario.to_string(),
         seed,
         sched: sched.label,
+        timing: sched.mode.timing_label(),
         quantum,
         host_threads,
         wall_s,
@@ -297,13 +347,14 @@ pub fn rows_json(rows: &[BatteryRow]) -> String {
         let _ = write!(
             out,
             "    {{\"key\": \"{}\", \"scenario\": \"{}\", \"seed\": {}, \"sched\": \"{}\", \
-             \"quantum\": {}, \"host_threads\": {}, \"wall_s\": {:.6}, \"sim_cycles\": {}, \
-             \"sim_instret\": {}, \"spikes\": {}, \"raster_hash\": \"{:#018x}\", \
-             \"verified\": {}}}",
+             \"timing\": \"{}\", \"quantum\": {}, \"host_threads\": {}, \"wall_s\": {:.6}, \
+             \"sim_cycles\": {}, \"sim_instret\": {}, \"spikes\": {}, \
+             \"raster_hash\": \"{:#018x}\", \"verified\": {}}}",
             r.key(),
             r.scenario,
             r.seed,
             r.sched,
+            r.timing,
             r.quantum,
             r.host_threads,
             r.wall_s,
@@ -324,9 +375,10 @@ pub fn rows_table(rows: &[BatteryRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<34} {:>11} {:>3} {:>9} {:>13} {:>13} {:>8} {:>18} {:>5}",
+        "{:<34} {:>15} {:>9} {:>3} {:>9} {:>13} {:>13} {:>8} {:>18} {:>5}",
         "battery row",
         "sched",
+        "timing",
         "ht",
         "wall [s]",
         "sim cycles",
@@ -338,9 +390,10 @@ pub fn rows_table(rows: &[BatteryRow]) -> String {
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<34} {:>11} {:>3} {:>9.3} {:>13} {:>13} {:>8} {:#018x} {:>5}",
+            "{:<34} {:>15} {:>9} {:>3} {:>9.3} {:>13} {:>13} {:>8} {:#018x} {:>5}",
             format!("{}[seed={}]", r.scenario, r.seed),
             r.sched,
+            r.timing,
             r.host_threads,
             r.wall_s,
             r.sim_cycles,
@@ -369,6 +422,7 @@ mod tests {
             scenario: scenario.into(),
             seed,
             sched,
+            timing: "unit",
             quantum: 0,
             host_threads: 1,
             wall_s: 0.1,
@@ -420,11 +474,47 @@ mod tests {
     }
 
     #[test]
-    fn json_rows_carry_stable_keys() {
+    fn json_rows_carry_stable_keys_and_timing() {
         let rows = vec![row("net8020", 5, "relaxed-par", 0x1234, true)];
         let json = rows_json(&rows);
         assert!(json.contains("\"key\": \"net8020:5:relaxed-par\""));
+        assert!(json.contains("\"timing\": \"unit\""));
         assert!(json.contains("\"verified\": true"));
+    }
+
+    #[test]
+    fn default_set_covers_every_sched_timing_combination() {
+        let set = SchedSpec::default_set(2);
+        let labels: Vec<_> = set.iter().map(|s| s.label).collect();
+        // Unit-timing labels keep their historical names so committed
+        // baseline keys stay valid; estimated rows get the -est suffix.
+        assert_eq!(
+            labels,
+            [
+                "exact",
+                "relaxed",
+                "relaxed-par",
+                "relaxed-est",
+                "relaxed-par-est"
+            ]
+        );
+        for spec in &set {
+            assert_eq!(spec.label, SchedSpec::label_of(spec.mode));
+        }
+    }
+
+    #[test]
+    fn timing_set_filters_by_clock() {
+        let labels = |t: &str| -> Vec<&'static str> {
+            SchedSpec::timing_set(2, t)
+                .iter()
+                .map(|s| s.label)
+                .collect()
+        };
+        assert_eq!(labels("exact"), ["exact"]);
+        assert_eq!(labels("unit"), ["relaxed", "relaxed-par"]);
+        assert_eq!(labels("estimated"), ["relaxed-est", "relaxed-par-est"]);
+        assert!(labels("bogus").is_empty());
     }
 
     #[test]

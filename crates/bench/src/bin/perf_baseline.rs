@@ -28,23 +28,33 @@
 //!
 //! * **Scenario battery**: every scenario in the
 //!   `izhi_programs::scenario` registry at its quick parameters, fanned
-//!   over its battery seeds × {exact, relaxed, relaxed-par} via
+//!   over its battery seeds × every sched × timing combination ({exact,
+//!   relaxed, relaxed-par} under Unit timing plus {relaxed-est,
+//!   relaxed-par-est} under Estimated timing) via
 //!   [`izhi_bench::battery::BatteryRunner`]. Each row records the
-//!   order-independent raster hash and its self-verification outcome;
-//!   cross-mode hash identity is asserted before the rows are written.
+//!   order-independent raster hash, the clock it was measured on and its
+//!   self-verification outcome; cross-mode hash identity is asserted
+//!   before the rows are written. From the battery, an
+//!   `estimated_accuracy` section reports each scenario's estimated-vs-
+//!   exact simulated-cycle ratio (summed over battery seeds) — the
+//!   figure that makes relaxed rows comparable to exact rows on
+//!   simulated time, bounded by the CI gate.
 //!
 //! ```text
 //! cargo run --release --bin perf_baseline -- [out.json]
 //!     [--check baseline.json] [--min-ratio 0.85] [--battery-only]
 //! ```
 //!
-//! Writes `BENCH_3.json` (or the given path). With `--check`, the
+//! Writes `BENCH_4.json` (or the given path). With `--check`, the
 //! single-core `speedup_vs_seed` entries of the fresh measurement are
 //! compared against the committed baseline file (exit non-zero if any
-//! entry fell below `min-ratio` × its baseline value), and every battery
-//! key of the baseline must be present and verified in the fresh run —
-//! the CI perf-regression gate. `--battery-only` runs and gates just the
-//! battery rows (the CI smoke job).
+//! entry fell below `min-ratio` × its baseline value), every battery
+//! key of the baseline must be present and verified in the fresh run,
+//! and — when the baseline carries an `estimated_accuracy` section —
+//! every one of its scenarios must reproduce a ratio inside the
+//! `ACCURACY_LO..=ACCURACY_HI` band of [`izhi_bench::gate`]. That
+//! triple is the CI perf-regression gate. `--battery-only` runs and
+//! gates just the battery rows (the CI smoke job).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -359,6 +369,7 @@ fn sweep_rows(name: &str, n_per_core: usize, ticks: u32) -> (Row, Row, Row) {
     parallel.cfg_mut().system.sched = SchedMode::RelaxedParallel {
         quantum: SchedMode::DEFAULT_QUANTUM,
         host_threads: SWEEP_HOST_THREADS,
+        timing: izhi_sim::TimingModel::Unit,
     };
     let mut one_cfg = wl.cfg().clone();
     one_cfg.n_cores = 1;
@@ -457,11 +468,16 @@ fn sudoku_rows() -> (Row, Row, Row) {
     )
 }
 
-fn json(rows: &[Row], speedups: &[(String, f64)], battery: &[BatteryRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v5\",\n");
+fn json(
+    rows: &[Row],
+    speedups: &[(String, f64)],
+    battery: &[BatteryRow],
+    accuracy: &[(String, f64)],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v6\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x sched modes sharded across host threads, raster-hash identity asserted across modes and each scenario's verification hook recorded\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it)\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -485,6 +501,12 @@ fn json(rows: &[Row], speedups: &[(String, f64)], battery: &[BatteryRow]) -> Str
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"battery\": {},", battery::rows_json(battery));
+    let _ = writeln!(out, "  \"estimated_accuracy\": {{");
+    for (i, (name, r)) in accuracy.iter().enumerate() {
+        let _ = write!(out, "    \"{name}\": {r:.3}");
+        out.push_str(if i + 1 < accuracy.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"speedup_vs_seed\": {{");
     for (i, (name, s)) in speedups.iter().enumerate() {
         let _ = write!(out, "    \"{name}\": {s:.3}");
@@ -546,6 +568,66 @@ fn check_gate(fresh: &[(String, f64)], baseline_path: &str, min_ratio: f64) -> b
     report.passed()
 }
 
+/// Per-scenario estimated-vs-exact simulated-cycle ratio, from the
+/// battery rows: `sum(relaxed-est cycles) / sum(exact cycles)` over each
+/// scenario's battery seeds (summing makes the ratio seed-stable). The
+/// sequential estimated rows are used — `relaxed-par-est` is bit-identical
+/// to them by the scheduler contract, so it would add nothing.
+fn estimated_accuracy(battery: &[BatteryRow]) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for row in battery {
+        if row.sched != "exact" || out.iter().any(|(n, _)| *n == row.scenario) {
+            continue;
+        }
+        let sum = |sched: &str| -> u64 {
+            battery
+                .iter()
+                .filter(|r| r.scenario == row.scenario && r.sched == sched)
+                .map(|r| r.sim_cycles)
+                .sum()
+        };
+        let (exact, est) = (sum("exact"), sum("relaxed-est"));
+        if exact > 0 && est > 0 {
+            out.push((row.scenario.clone(), est as f64 / exact as f64));
+        }
+    }
+    out
+}
+
+/// The estimated-accuracy side of the CI gate (core in
+/// [`izhi_bench::gate`]): every scenario of the baseline's
+/// `estimated_accuracy` section must reproduce a ratio inside the allowed
+/// band. Baselines predating the section (schema <= v5) skip this gate.
+fn check_accuracy_gate(accuracy: &[(String, f64)], baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    if !izhi_bench::gate::has_estimated_accuracy(&text) {
+        println!("accuracy gate: baseline {baseline_path} predates estimated timing — skipped");
+        return true;
+    }
+    let (lo, hi) = (izhi_bench::gate::ACCURACY_LO, izhi_bench::gate::ACCURACY_HI);
+    let report = izhi_bench::gate::check_accuracy_gate(accuracy, &text, lo, hi);
+    println!(
+        "accuracy gate vs {baseline_path} (band [{lo:.2}, {hi:.2}]): {} scenarios checked",
+        report.checked.len()
+    );
+    for e in &report.checked {
+        println!(
+            "  {}: estimated/exact cycle ratio {:.3} (baseline {:.3})",
+            e.name, e.fresh, e.baseline
+        );
+    }
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
 /// The battery side of the CI gate (core in [`izhi_bench::gate`]): every
 /// battery key of the committed baseline must be present *and* verified in
 /// the fresh run.
@@ -595,7 +677,7 @@ fn main() {
             _ => out_path = Some(arg),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_3.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_4.json".into());
 
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
@@ -651,6 +733,7 @@ fn main() {
     }
 
     let battery = if cmp_only { Vec::new() } else { battery_rows() };
+    let accuracy = estimated_accuracy(&battery);
 
     println!(
         "{:<32} {:>11} {:>3} {:>9} {:>14} {:>14} {:>12} {:>12}",
@@ -676,7 +759,13 @@ fn main() {
         println!("\nscenario battery (registry-driven, cross-mode raster identity verified):");
         print!("{}", battery::rows_table(&battery));
     }
-    std::fs::write(&out_path, json(&rows, &speedups, &battery)).expect("write json");
+    if !accuracy.is_empty() {
+        println!("\nestimated-vs-exact cycle accuracy (battery, per scenario):");
+        for (name, r) in &accuracy {
+            println!("  {name}: {r:.3}");
+        }
+    }
+    std::fs::write(&out_path, json(&rows, &speedups, &battery, &accuracy)).expect("write json");
     println!("\nwrote {out_path}");
 
     if let Some(baseline) = check_path {
@@ -686,6 +775,7 @@ fn main() {
         }
         if !cmp_only {
             ok &= check_battery_gate(&battery, &baseline);
+            ok &= check_accuracy_gate(&accuracy, &baseline);
         }
         if !ok {
             eprintln!("perf gate FAILED");

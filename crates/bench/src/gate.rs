@@ -54,6 +54,17 @@ pub enum GateFailure {
     /// A battery row present in the committed baseline failed its
     /// scenario verification hook in the fresh run.
     Unverified(String),
+    /// A scenario's estimated-vs-exact cycle ratio left the allowed band.
+    AccuracyOutOfBand {
+        /// Scenario name.
+        name: String,
+        /// Fresh estimated/exact cycle ratio.
+        ratio: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
 }
 
 impl core::fmt::Display for GateFailure {
@@ -76,6 +87,15 @@ impl core::fmt::Display for GateFailure {
             GateFailure::Unverified(key) => {
                 write!(f, "{key}: battery row UNVERIFIED in fresh run")
             }
+            GateFailure::AccuracyOutOfBand {
+                name,
+                ratio,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "{name}: estimated/exact cycle ratio {ratio:.3} outside [{lo:.2}, {hi:.2}]"
+            ),
         }
     }
 }
@@ -215,6 +235,93 @@ pub fn check_battery_gate(fresh: &[(String, bool)], baseline_text: &str) -> Gate
     report
 }
 
+/// Allowed band for the estimated-vs-exact cycle ratio: deliberately
+/// generous for now (the cost table is a first-order static collapse of a
+/// dynamic model); tighten as the table is calibrated. The band is
+/// absolute — centred on 1.0 — because the ratio is a *model-accuracy*
+/// statement, not a host-speed measurement.
+pub const ACCURACY_LO: f64 = 0.5;
+/// Upper bound of the estimated-accuracy band (see [`ACCURACY_LO`]).
+pub const ACCURACY_HI: f64 = 2.0;
+
+/// Whether a baseline file carries an `"estimated_accuracy"` section at
+/// all. Old baselines (schema <= v5) legitimately predate the estimated
+/// timing model; the caller skips the accuracy gate for them instead of
+/// failing on a section that could not exist.
+pub fn has_estimated_accuracy(text: &str) -> bool {
+    text.contains("\"estimated_accuracy\"")
+}
+
+/// Extract the `"estimated_accuracy"` object of a baseline JSON: per
+/// scenario, the estimated-vs-exact simulated-cycle ratio. Unparseable or
+/// sectionless text yields an empty list.
+pub fn parse_estimated_accuracy(text: &str) -> Vec<(String, f64)> {
+    let Some(idx) = text.find("\"estimated_accuracy\"") else {
+        return Vec::new();
+    };
+    let rest = &text[idx + "\"estimated_accuracy\"".len()..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|entry| {
+            let (k, v) = entry.split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            let v: f64 = v.trim().parse().ok()?;
+            (!k.is_empty()).then(|| (k.to_string(), v))
+        })
+        .collect()
+}
+
+/// Gate the fresh estimated-accuracy ratios against a committed baseline:
+/// every scenario of the baseline's `estimated_accuracy` section must be
+/// present in the fresh run (a dropped scenario errors rather than
+/// silently disabling its own gate) with its ratio inside `[lo, hi]`. A
+/// baseline whose section is present but empty/garbled gates nothing and
+/// fails, mirroring the other gates' empty-baseline rule (callers skip
+/// this gate entirely for baselines without the section — see
+/// [`has_estimated_accuracy`]).
+pub fn check_accuracy_gate(
+    fresh: &[(String, f64)],
+    baseline_text: &str,
+    lo: f64,
+    hi: f64,
+) -> GateReport {
+    let baseline = parse_estimated_accuracy(baseline_text);
+    if baseline.is_empty() {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::NoGatedEntries],
+        };
+    }
+    let mut report = GateReport::default();
+    for (name, base) in baseline {
+        match fresh.iter().find(|(n, _)| *n == name) {
+            None => report.failures.push(GateFailure::MissingEntry(name)),
+            Some((_, ratio)) => {
+                if !(lo..=hi).contains(ratio) {
+                    report.failures.push(GateFailure::AccuracyOutOfBand {
+                        name: name.clone(),
+                        ratio: *ratio,
+                        lo,
+                        hi,
+                    });
+                }
+                report.checked.push(CheckedEntry {
+                    name,
+                    fresh: *ratio,
+                    baseline: base,
+                });
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +454,59 @@ mod tests {
         let f = fresh_battery(&[("net8020:5:exact", true)]);
         assert_eq!(
             check_battery_gate(&f, BASELINE).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+    }
+
+    const ACCURACY_BASELINE: &str = r#"{
+  "estimated_accuracy": {
+    "net8020": 0.912,
+    "sudoku": 1.104
+  }
+}"#;
+
+    #[test]
+    fn accuracy_gate_passes_inside_the_band() {
+        let f = fresh(&[("net8020", 1.2), ("sudoku", 0.8), ("extra", 9.0)]);
+        let report = check_accuracy_gate(&f, ACCURACY_BASELINE, 0.5, 2.0);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked.len(), 2);
+    }
+
+    #[test]
+    fn accuracy_gate_errors_outside_the_band() {
+        let f = fresh(&[("net8020", 2.5), ("sudoku", 1.0)]);
+        let report = check_accuracy_gate(&f, ACCURACY_BASELINE, 0.5, 2.0);
+        assert_eq!(report.failures.len(), 1);
+        assert!(matches!(
+            &report.failures[0],
+            GateFailure::AccuracyOutOfBand { name, ratio, .. }
+                if name == "net8020" && (*ratio - 2.5).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn accuracy_gate_errors_on_missing_scenario() {
+        let f = fresh(&[("net8020", 1.0)]);
+        let report = check_accuracy_gate(&f, ACCURACY_BASELINE, 0.5, 2.0);
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::MissingEntry("sudoku".to_string())]
+        );
+    }
+
+    #[test]
+    fn accuracy_gate_detects_the_section() {
+        assert!(has_estimated_accuracy(ACCURACY_BASELINE));
+        assert!(!has_estimated_accuracy(BASELINE));
+        // Old baselines without the section are the caller's skip case; a
+        // present-but-garbled section must fail, not pass.
+        assert_eq!(
+            check_accuracy_gate(&fresh(&[]), r#"{"estimated_accuracy": "zap"}"#, 0.5, 2.0).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+        assert_eq!(
+            check_accuracy_gate(&fresh(&[("a", 1.0)]), BASELINE, 0.5, 2.0).failures,
             vec![GateFailure::NoGatedEntries]
         );
     }

@@ -12,7 +12,7 @@
 
 use izhi_programs::engine::WorkloadResult;
 use izhi_programs::scenario::{self, ScenarioParams};
-use izhi_sim::SchedMode;
+use izhi_sim::{SchedMode, TimingModel};
 use izhi_snn::analysis::SpikeRaster;
 
 fn sorted(raster: &SpikeRaster) -> Vec<(u32, u32)> {
@@ -46,27 +46,31 @@ fn assert_contract(
     assert_eq!(sorted(exact), sorted(&parallel.raster), "{tag}: raster set");
 }
 
-/// Exercise one scenario across quanta × host threads.
+/// Exercise one scenario across timing models × quanta × host threads
+/// (the parallel bit-identity contract holds per timing model).
 fn scenario_contract(name: &str, params: ScenarioParams, quanta: &[u64]) {
     let sc = scenario::find(name).expect("registered scenario");
     let exact = run_mode(sc, &params, SchedMode::Exact);
-    for &quantum in quanta {
-        let relaxed = run_mode(sc, &params, SchedMode::Relaxed { quantum });
-        for host_threads in [1u32, 2, 4] {
-            let parallel = run_mode(
-                sc,
-                &params,
-                SchedMode::RelaxedParallel {
-                    quantum,
-                    host_threads,
-                },
-            );
-            assert_contract(
-                &exact.raster,
-                &relaxed,
-                &parallel,
-                &format!("{name} q={quantum} ht={host_threads}"),
-            );
+    for timing in [TimingModel::Unit, TimingModel::Estimated] {
+        for &quantum in quanta {
+            let relaxed = run_mode(sc, &params, SchedMode::Relaxed { quantum, timing });
+            for host_threads in [1u32, 2, 4] {
+                let parallel = run_mode(
+                    sc,
+                    &params,
+                    SchedMode::RelaxedParallel {
+                        quantum,
+                        host_threads,
+                        timing,
+                    },
+                );
+                assert_contract(
+                    &exact.raster,
+                    &relaxed,
+                    &parallel,
+                    &format!("{name} {timing:?} q={quantum} ht={host_threads}"),
+                );
+            }
         }
     }
 }

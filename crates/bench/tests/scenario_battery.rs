@@ -1,13 +1,14 @@
 //! The scenario-battery acceptance suite: **every** scenario in the
 //! registry — present and future — must be deterministic and
-//! raster-identical across `Exact`, `Relaxed` and `RelaxedParallel` at
+//! raster-identical across `Exact`, `Relaxed` and `RelaxedParallel`,
+//! under both relaxed clocks (`Unit` and `Estimated` timing), at
 //! host_threads {1, 2}. A scenario added to the registry is picked up
 //! here automatically; one that breaks the cross-mode contract cannot
 //! land.
 
 use izhi_bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
 use izhi_programs::scenario::{self, ScenarioParams};
-use izhi_sim::SchedMode;
+use izhi_sim::{SchedMode, TimingModel};
 
 fn run_quick(sc: &scenario::Scenario, sched: SchedMode) -> izhi_programs::WorkloadResult {
     let mut wl = sc.build_quick(&ScenarioParams::default());
@@ -42,31 +43,73 @@ fn every_scenario_is_deterministic_and_sched_identical() {
             sc.name
         );
 
+        // Estimated timing must reproduce the same physics (it only
+        // changes the clock), be deterministic, and actually charge more
+        // than one cycle per instruction on these load/branch-heavy
+        // guests — otherwise it silently degenerated to Unit.
+        let est = run_quick(sc, SchedMode::relaxed_estimated());
+        assert_eq!(
+            exact.raster_hash(),
+            est.raster_hash(),
+            "{}: estimated timing changed the raster",
+            sc.name
+        );
+        let est_again = run_quick(sc, SchedMode::relaxed_estimated());
+        assert_eq!(
+            est.raster.spikes, est_again.raster.spikes,
+            "{}: estimated rebuild changed the spike log",
+            sc.name
+        );
+        assert_eq!(
+            est.cycles, est_again.cycles,
+            "{}: est cycles drift",
+            sc.name
+        );
+        assert_eq!(est.instret, relaxed.instret, "{}: instret drift", sc.name);
+        // Each core retires the same instructions under both relaxed
+        // clocks, and the estimated table charges loads/branches/NPU ops
+        // more than one cycle — so the estimated clock must run ahead of
+        // the unit clock (`cycles` is the slowest core, so > survives the
+        // per-core comparison).
+        assert!(
+            est.cycles > relaxed.cycles,
+            "{}: estimated clock degenerated to unit ({} <= {})",
+            sc.name,
+            est.cycles,
+            relaxed.cycles
+        );
+
         // Host-parallel relaxed must be bit-identical to sequential
-        // relaxed at every host-thread count.
-        for host_threads in [1u32, 2] {
-            let parallel = run_quick(
-                sc,
-                SchedMode::RelaxedParallel {
-                    quantum: SchedMode::DEFAULT_QUANTUM,
-                    host_threads,
-                },
-            );
-            assert_eq!(
-                relaxed.raster.spikes, parallel.raster.spikes,
-                "{}: ht={host_threads} spike-log order",
-                sc.name
-            );
-            assert_eq!(
-                relaxed.cycles, parallel.cycles,
-                "{}: ht={host_threads} cycles",
-                sc.name
-            );
-            assert_eq!(
-                relaxed.instret, parallel.instret,
-                "{}: ht={host_threads} instret",
-                sc.name
-            );
+        // relaxed at every host-thread count — per timing model.
+        for (timing, reference) in [
+            (TimingModel::Unit, &relaxed),
+            (TimingModel::Estimated, &est),
+        ] {
+            for host_threads in [1u32, 2] {
+                let parallel = run_quick(
+                    sc,
+                    SchedMode::RelaxedParallel {
+                        quantum: SchedMode::DEFAULT_QUANTUM,
+                        host_threads,
+                        timing,
+                    },
+                );
+                assert_eq!(
+                    reference.raster.spikes, parallel.raster.spikes,
+                    "{}: {timing:?} ht={host_threads} spike-log order",
+                    sc.name
+                );
+                assert_eq!(
+                    reference.cycles, parallel.cycles,
+                    "{}: {timing:?} ht={host_threads} cycles",
+                    sc.name
+                );
+                assert_eq!(
+                    reference.instret, parallel.instret,
+                    "{}: {timing:?} ht={host_threads} instret",
+                    sc.name
+                );
+            }
         }
     }
 }
@@ -90,12 +133,23 @@ fn battery_runner_shards_the_registry_and_checks_identity() {
         .expect("battery run");
     assert_eq!(
         rows.len(),
-        scenario::registry().len() * 3,
-        "one row per scenario x sched mode"
+        scenario::registry().len() * 5,
+        "one row per scenario x (sched x timing) combination"
     );
     battery::check_rows(&rows).expect("battery identity/verification");
     // Row order is the deterministic work-list order, not completion
-    // order: scenario-major, then seed, then sched.
-    let labels: Vec<_> = rows.iter().take(3).map(|r| r.sched).collect();
-    assert_eq!(labels, ["exact", "relaxed", "relaxed-par"]);
+    // order: scenario-major, then seed, then sched x timing.
+    let labels: Vec<_> = rows.iter().take(5).map(|r| r.sched).collect();
+    assert_eq!(
+        labels,
+        [
+            "exact",
+            "relaxed",
+            "relaxed-par",
+            "relaxed-est",
+            "relaxed-par-est"
+        ]
+    );
+    let timings: Vec<_> = rows.iter().take(5).map(|r| r.timing).collect();
+    assert_eq!(timings, ["exact", "unit", "unit", "estimated", "estimated"]);
 }

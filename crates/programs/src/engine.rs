@@ -561,13 +561,21 @@ phaseA_row_done:
     bnez a5, phaseA_spike
 ";
 
-/// Phase A, sparse CSR walk for the soft-float variant.
+/// Phase A, sparse CSR walk for the soft-float variant. The soft-float
+/// library clobbers `t0`-`t6`, and `t6` holds the previous-tick parity
+/// that [`PHASE_A_HEAD`] re-reads for the *next* producer core — so the
+/// parity is parked in `s8` (free until phase B) across the deposit
+/// calls. Without this, every producer after the first spiking one reads
+/// its spike count at a garbage parity offset: an interleaving-dependent
+/// value that silently broke cross-scheduler raster identity for
+/// multi-core soft-float runs.
 const PHASE_A_SPARSE_SOFTFLOAT: &str = "
 phaseA_spike:
     lhu  a2, (t0)
     addi t0, t0, 2
     add  s5, t0, x0          # save cursor across calls
     add  s6, a5, x0          # save remaining spike count
+    add  s8, t6, x0          # save prev parity (calls clobber t0-t6)
     li   t1, ROWPTR
     li   t2, ROWPTR_STRIDE
     mul  t2, t2, s4
@@ -596,17 +604,20 @@ phaseA_inner:
 phaseA_row_done:
     add  t0, s5, x0
     add  a5, s6, x0
+    add  t6, s8, x0          # restore prev parity for the next producer
     addi a5, a5, -1
     bnez a5, phaseA_spike
 ";
 
 /// Phase A for the soft-float variant: every deposit is an fadd call.
+/// Parity preservation as in [`PHASE_A_SPARSE_SOFTFLOAT`].
 const PHASE_A_SOFTFLOAT: &str = "
 phaseA_spike:
     lhu  a2, (t0)
     addi t0, t0, 2
     add  s5, t0, x0          # save cursor across calls
     add  s6, a5, x0          # save remaining spike count
+    add  s8, t6, x0          # save prev parity (calls clobber t0-t6)
     li   t1, N
     mul  a2, a2, t1
     add  a2, a2, s0
@@ -628,6 +639,7 @@ phaseA_inner:
     bnez s11, phaseA_inner
     add  t0, s5, x0
     add  a5, s6, x0
+    add  t6, s8, x0          # restore prev parity for the next producer
     addi a5, a5, -1
     bnez a5, phaseA_spike
 ";
@@ -1147,6 +1159,23 @@ mod tests {
     }
 
     #[test]
+    fn softfloat_dual_core_matches_single_core_spikes() {
+        // Regression: the soft-float library clobbers t0-t6, and the
+        // coupled phase-A producer loop used to re-read spike counts with
+        // a clobbered parity register (t6) after the first spiking
+        // producer — wrong-parity counts made multi-core soft-float runs
+        // interleaving-dependent. The partitioned run must reproduce the
+        // single-core raster exactly, like every other variant.
+        let r1 = run_tiny(Variant::SoftFloat, 1, 120);
+        let r2 = run_tiny(Variant::SoftFloat, 2, 120);
+        let mut s1 = r1.raster.spikes.clone();
+        let mut s2 = r2.raster.spikes.clone();
+        s1.sort_unstable();
+        s2.sort_unstable();
+        assert_eq!(s1, s2, "multi-core changed the soft-float computation");
+    }
+
+    #[test]
     fn dual_core_matches_single_core_spikes() {
         // Same image, same noise stream: spike rasters must be identical
         // regardless of core count (deterministic partitioned execution).
@@ -1231,20 +1260,24 @@ mod tests {
         // the worst case for the parallel scheduler, which must still be
         // bit-identical to the sequential relaxed schedule (spike-log
         // order, relaxed clock, instret), on even and odd core splits.
-        use izhi_sim::SchedMode;
+        use izhi_sim::{SchedMode, TimingModel};
         let net = tiny_net(20);
         let bias = vec![6.0; 20];
         let noise = vec![2.0; 20];
         let image = GuestImage::from_network(&net, &bias, &noise, 120, 11);
         for (cores, quantum) in [(2u32, 64u64), (3, 4096)] {
             let mut cfg = EngineConfig::new(20, 120, cores, Variant::Npu);
-            cfg.system.sched = SchedMode::Relaxed { quantum };
+            cfg.system.sched = SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Unit,
+            };
             let relaxed = run_workload(&cfg, &image, 4_000_000_000).unwrap();
             assert!(!relaxed.raster.spikes.is_empty());
             for host_threads in [1u32, 2, 4] {
                 cfg.system.sched = SchedMode::RelaxedParallel {
                     quantum,
                     host_threads,
+                    timing: TimingModel::Unit,
                 };
                 let par = run_workload(&cfg, &image, 4_000_000_000).unwrap();
                 let tag = format!("cores {cores} quantum {quantum} ht {host_threads}");

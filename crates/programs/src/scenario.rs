@@ -11,12 +11,15 @@
 //! it up automatically.
 //!
 //! Three paper scenarios ship ([`net8020`, `net8020_sweep`, `sudoku`]) and
-//! three go beyond the paper: a larger pruned 80-20 population on the
+//! five go beyond the paper: a larger pruned 80-20 population on the
 //! sparse phase-A walk (`net8020_large`), a per-core *parameter-point*
 //! sweep (`net8020_points` — each core simulates a different point of a
-//! noise/weight-gain grid, not just a different seed), and the seed-indexed
+//! noise/weight-gain grid, not just a different seed), the seed-indexed
 //! Table-VI Sudoku batch (`sudoku_batch`) whose battery fan-out reproduces
-//! the paper's multi-puzzle run.
+//! the paper's multi-puzzle run, and the §VI-C arithmetic ablations as
+//! first-class battery rows (`net8020_basefixed`, `net8020_softfloat` —
+//! the same 80-20 network on the base-ISA fixed-point and soft-float
+//! kernels, so the quick battery exercises all three `Variant`s).
 
 use std::any::Any;
 
@@ -168,7 +171,7 @@ fn split_8020(n: usize) -> (usize, usize) {
     (n_exc, n - n_exc)
 }
 
-static REGISTRY: [Scenario; 6] = [
+static REGISTRY: [Scenario; 8] = [
     Scenario {
         name: "net8020",
         summary: "coupled 80-20 cortical network (paper Table V / Figs. 2-3)",
@@ -351,6 +354,77 @@ static REGISTRY: [Scenario; 6] = [
         build_fn: build_net8020_points,
     },
     Scenario {
+        name: "net8020_basefixed",
+        summary: "80-20 network on the base-ISA fixed-point kernel (§VI-C ablation, no custom ops)",
+        schema: &[
+            ParamSpec {
+                name: "n",
+                default: "1000",
+                help: "total neurons (80 % excitatory)",
+            },
+            ParamSpec {
+                name: "ticks",
+                default: "300",
+                help: "simulated 1 ms steps",
+            },
+            ParamSpec {
+                name: "cores",
+                default: "2",
+                help: "guest cores (contiguous chunks)",
+            },
+            ParamSpec {
+                name: "seed",
+                default: "5",
+                help: "network + noise seed",
+            },
+        ],
+        quick: ScenarioParams {
+            n: Some(50),
+            ticks: Some(150),
+            n_cores: Some(2),
+            seed: Some(5),
+            ease: None,
+        },
+        battery_seeds: &[5],
+        build_fn: build_net8020_basefixed,
+    },
+    Scenario {
+        name: "net8020_softfloat",
+        summary:
+            "80-20 network on the soft-float kernel (§VI-C baseline, IEEE-754 via library calls)",
+        schema: &[
+            ParamSpec {
+                name: "n",
+                default: "200",
+                help: "total neurons (80 % excitatory)",
+            },
+            ParamSpec {
+                name: "ticks",
+                default: "300",
+                help: "simulated 1 ms steps (f32 noise mirror bounds n*ticks)",
+            },
+            ParamSpec {
+                name: "cores",
+                default: "2",
+                help: "guest cores (contiguous chunks)",
+            },
+            ParamSpec {
+                name: "seed",
+                default: "5",
+                help: "network + noise seed",
+            },
+        ],
+        quick: ScenarioParams {
+            n: Some(50),
+            ticks: Some(120),
+            n_cores: Some(2),
+            seed: Some(5),
+            ease: None,
+        },
+        battery_seeds: &[5],
+        build_fn: build_net8020_softfloat,
+    },
+    Scenario {
         name: "sudoku_batch",
         summary: "beyond-paper: seed-indexed Table-VI Sudoku batch (battery fans puzzles out)",
         schema: &[
@@ -412,6 +486,33 @@ fn build_net8020_sweep(p: &ScenarioParams) -> Box<dyn Workload> {
         p.ticks.unwrap_or(300),
         p.n_cores.unwrap_or(2),
         p.seed.unwrap_or(5),
+    ))
+}
+
+fn build_net8020_basefixed(p: &ScenarioParams) -> Box<dyn Workload> {
+    let (n_exc, n_inh) = split_8020(p.n.unwrap_or(1000));
+    Box::new(Net8020Workload::sized(
+        n_exc,
+        n_inh,
+        p.ticks.unwrap_or(300),
+        p.n_cores.unwrap_or(2),
+        p.seed.unwrap_or(5),
+        Variant::BaseFixed,
+    ))
+}
+
+fn build_net8020_softfloat(p: &ScenarioParams) -> Box<dyn Workload> {
+    // The f32 noise mirror lives in a fixed SDRAM window, so the default
+    // scale is kept modest (see the schema); `run_workload` asserts the
+    // window bound for custom parameters.
+    let (n_exc, n_inh) = split_8020(p.n.unwrap_or(200));
+    Box::new(Net8020Workload::sized(
+        n_exc,
+        n_inh,
+        p.ticks.unwrap_or(300),
+        p.n_cores.unwrap_or(2),
+        p.seed.unwrap_or(5),
+        Variant::SoftFloat,
     ))
 }
 
@@ -642,6 +743,23 @@ mod tests {
         for name in ["net8020", "net8020_sweep", "net8020_points"] {
             let s = find(name).unwrap();
             let wl = s.build_quick(&ScenarioParams::default());
+            let res = wl.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+            wl.verify(&res).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn registry_covers_every_arithmetic_variant() {
+        // The mixed-variant battery rows: the same 80-20 network under
+        // each kernel arithmetic, one registry entry per variant.
+        for (name, variant) in [
+            ("net8020", Variant::Npu),
+            ("net8020_basefixed", Variant::BaseFixed),
+            ("net8020_softfloat", Variant::SoftFloat),
+        ] {
+            let s = find(name).unwrap_or_else(|| panic!("{name} missing"));
+            let wl = s.build_quick(&ScenarioParams::default());
+            assert_eq!(wl.cfg().variant, variant, "{name}");
             let res = wl.run().unwrap_or_else(|e| panic!("{name}: {e}"));
             wl.verify(&res).unwrap_or_else(|e| panic!("{name}: {e}"));
         }

@@ -158,7 +158,7 @@ mod tests {
     use super::*;
     use crate::engine::run_workload;
     use crate::scenario::Workload as _;
-    use izhi_sim::SchedMode;
+    use izhi_sim::{SchedMode, TimingModel};
 
     fn sorted(res: &WorkloadResult) -> Vec<(u32, u32)> {
         let mut s = res.raster.spikes.clone();
@@ -184,7 +184,10 @@ mod tests {
         let exact = base.run().unwrap();
         for quantum in [1u64, 4096, SchedMode::DEFAULT_QUANTUM] {
             let mut wl = base.clone();
-            wl.cfg.system.sched = SchedMode::Relaxed { quantum };
+            wl.cfg.system.sched = SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Unit,
+            };
             let relaxed = wl.run().unwrap();
             assert_eq!(
                 sorted(&exact),
@@ -206,13 +209,17 @@ mod tests {
         let exact = base.run().unwrap();
         for quantum in [7u64, SchedMode::DEFAULT_QUANTUM] {
             let mut rel = base.clone();
-            rel.cfg.system.sched = SchedMode::Relaxed { quantum };
+            rel.cfg.system.sched = SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Unit,
+            };
             let relaxed = rel.run().unwrap();
             for host_threads in [1u32, 2, 4] {
                 let mut par = base.clone();
                 par.cfg.system.sched = SchedMode::RelaxedParallel {
                     quantum,
                     host_threads,
+                    timing: TimingModel::Unit,
                 };
                 let parallel = par.run().unwrap();
                 let tag = format!("quantum {quantum} host_threads {host_threads}");

@@ -15,11 +15,75 @@ use izhi_isa::inst::{LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
 
 use crate::cache::{Access, Cache};
-use crate::counters::PerfCounters;
+use crate::counters::{CostTable, PerfCounters};
 use crate::mem::layout;
 use crate::mmio::MmioEffect;
 use crate::predecode::{MicroOp, PreInst, SlotState, NO_DEST};
 use crate::system::Shared;
+
+/// A timing policy: how the local clock advances per retired instruction.
+///
+/// The interpreter ([`Core::exec_one`]) is monomorphised per policy, so
+/// selecting one costs nothing per instruction:
+///
+/// * [`ExactTiming`] — the cycle-accurate model: cache/bus/hazard/flush/
+///   divider state is consulted and charged per instruction (the
+///   historical `TIMING = true` hot loop, bit for bit).
+/// * [`UnitTiming`] — the relaxed determinism baseline: exactly one cycle
+///   per retired instruction, no timing state touched (the historical
+///   `TIMING = false` loop).
+/// * [`EstimatedTiming`] — static per-op-class costs from
+///   [`CostTable::DEFAULT`]: still no shared mutable state (safe under the
+///   host-parallel scheduler, bit-identical at every host-thread count),
+///   but the clock now approximates the exact model instead of counting
+///   instructions.
+pub(crate) trait Timing {
+    /// Whether the full cycle-exact machinery (caches, shared bus,
+    /// hazard/flush stalls, iterative divider) runs. Non-exact policies
+    /// park cores at incomplete barrier rounds instead of simulating the
+    /// spin loop.
+    const EXACT: bool;
+    /// Cycles charged for one retired `op` under a non-exact policy;
+    /// never called when [`Timing::EXACT`] (the exact clock is advanced
+    /// from the pipeline/memory models instead).
+    fn op_cost(op: MicroOp) -> u64;
+}
+
+/// Cycle-accurate timing (see [`Timing`]).
+pub(crate) struct ExactTiming;
+
+impl Timing for ExactTiming {
+    const EXACT: bool = true;
+
+    #[inline(always)]
+    fn op_cost(_op: MicroOp) -> u64 {
+        1
+    }
+}
+
+/// One cycle per retired instruction (see [`Timing`]).
+pub(crate) struct UnitTiming;
+
+impl Timing for UnitTiming {
+    const EXACT: bool = false;
+
+    #[inline(always)]
+    fn op_cost(_op: MicroOp) -> u64 {
+        1
+    }
+}
+
+/// Static per-op-class costs from [`CostTable::DEFAULT`] (see [`Timing`]).
+pub(crate) struct EstimatedTiming;
+
+impl Timing for EstimatedTiming {
+    const EXACT: bool = false;
+
+    #[inline(always)]
+    fn op_cost(op: MicroOp) -> u64 {
+        CostTable::DEFAULT.op_cost(op)
+    }
+}
 
 /// Everything one instruction needs from the world outside the core.
 ///
@@ -33,10 +97,11 @@ use crate::system::Shared;
 /// * the per-core shard contexts of the host-parallel relaxed scheduler
 ///   ([`crate::parallel`]), which route RAM through a raw sharded view,
 ///   buffer append-only device traffic per core, and never touch the
-///   timing model (they only ever instantiate `TIMING = false`).
+///   exact timing machinery (they only ever instantiate non-exact
+///   [`Timing`] policies).
 ///
 /// The timing hooks (`bus_acquire`, `burst`, `div_latency`) are only
-/// reached from `TIMING = true` instantiations.
+/// reached from [`ExactTiming`] instantiations.
 pub(crate) trait ExecCtx {
     /// Fetch the predecoded slot covering `pc` (decoding on first use).
     fn fetch(&mut self, pc: u32) -> PreInst;
@@ -335,7 +400,7 @@ impl Core {
     }
 
     #[inline]
-    fn load<const TIMING: bool, C: ExecCtx>(
+    fn load<T: Timing, C: ExecCtx>(
         &mut self,
         ctx: &mut C,
         addr: u32,
@@ -364,7 +429,7 @@ impl Core {
             (value, 0)
         } else if addr < ctx.sdram_size() {
             self.counters.loads += 1;
-            let extra = if TIMING {
+            let extra = if T::EXACT {
                 self.sdram_timing(ctx, addr, false)
             } else {
                 0
@@ -379,7 +444,7 @@ impl Core {
             (value, extra)
         } else if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
             self.counters.loads += 1;
-            let extra = if TIMING {
+            let extra = if T::EXACT {
                 let extra = Self::mmio_timing(self.time, ctx);
                 self.counters.mem_stall_cycles += extra;
                 extra
@@ -404,7 +469,7 @@ impl Core {
     }
 
     #[inline]
-    fn store<const TIMING: bool, C: ExecCtx>(
+    fn store<T: Timing, C: ExecCtx>(
         &mut self,
         ctx: &mut C,
         addr: u32,
@@ -426,7 +491,7 @@ impl Core {
         if !in_scratch && addr >= ctx.sdram_size() {
             if addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
                 self.counters.stores += 1;
-                let extra = if TIMING {
+                let extra = if T::EXACT {
                     let extra = Self::mmio_timing(self.time, ctx);
                     self.counters.mem_stall_cycles += extra;
                     extra
@@ -447,7 +512,7 @@ impl Core {
             let off = addr.wrapping_sub(layout::SCRATCH_BASE) as usize;
             (0, ctx.write_scratch(off, value, op))
         } else {
-            let extra = if TIMING {
+            let extra = if T::EXACT {
                 self.sdram_timing(ctx, addr, true)
             } else {
                 0
@@ -537,7 +602,7 @@ impl Core {
         if self.halted {
             return Ok(());
         }
-        let out = self.exec_one::<true, _>(shared);
+        let out = self.exec_one::<ExactTiming, _>(shared);
         self.sync_counters();
         out
     }
@@ -552,10 +617,11 @@ impl Core {
     /// order halt, bound, budget, so a sequence of `run_while` batches is
     /// instruction-for-instruction identical to single-stepping.
     ///
-    /// With `TIMING = false` the loop runs the relaxed-clock variant of
-    /// [`Core::exec_one`] and additionally stops with [`RunStop::Parked`]
-    /// when the core arrives at an incomplete barrier round.
-    pub(crate) fn run_while<const TIMING: bool, C: ExecCtx>(
+    /// With a non-exact [`Timing`] policy the loop runs the relaxed-clock
+    /// variant of [`Core::exec_one`] and additionally stops with
+    /// [`RunStop::Parked`] when the core arrives at an incomplete barrier
+    /// round.
+    pub(crate) fn run_while<T: Timing, C: ExecCtx>(
         &mut self,
         ctx: &mut C,
         bound: u64,
@@ -566,7 +632,7 @@ impl Core {
             if self.halted {
                 break Ok(RunStop::Halted);
             }
-            if !TIMING && self.parked {
+            if !T::EXACT && self.parked {
                 break Ok(RunStop::Parked);
             }
             let t = self.time;
@@ -579,7 +645,7 @@ impl Core {
                     RunStop::Budget
                 });
             }
-            if let Err(cause) = self.exec_one::<TIMING, _>(ctx) {
+            if let Err(cause) = self.exec_one::<T, _>(ctx) {
                 break Err(cause);
             }
         };
@@ -591,21 +657,20 @@ impl Core {
 
     /// Execute exactly one (non-halted) instruction.
     ///
-    /// `TIMING` selects between the two monomorphised hot loops:
+    /// `T` selects the monomorphised hot loop (see [`Timing`]):
     ///
-    /// * `true` — the cycle-exact interpreter: cache models, bus
+    /// * [`ExactTiming`] — the cycle-exact interpreter: cache models, bus
     ///   arbitration, hazard/flush/divider stalls all charged as usual.
-    /// * `false` — the relaxed-clock interpreter used by
-    ///   [`crate::system::SchedMode::Relaxed`]: functionally identical
-    ///   execution, but the local clock advances exactly one cycle per
-    ///   retired instruction and no cache/bus/hazard state is touched.
-    ///   Barrier arrivals that leave the round incomplete park the core.
+    /// * [`UnitTiming`] / [`EstimatedTiming`] — the relaxed-clock
+    ///   interpreters used by [`crate::system::SchedMode::Relaxed`]:
+    ///   functionally identical execution, but the local clock advances by
+    ///   the policy's static per-op cost (exactly 1 for `Unit`, the
+    ///   [`CostTable`] class cost for `Estimated`) and no cache/bus/hazard
+    ///   state is touched. Barrier arrivals that leave the round
+    ///   incomplete park the core.
     #[inline(always)]
     #[allow(clippy::too_many_lines)]
-    pub(crate) fn exec_one<const TIMING: bool, C: ExecCtx>(
-        &mut self,
-        ctx: &mut C,
-    ) -> Result<(), TrapCause> {
+    pub(crate) fn exec_one<T: Timing, C: ExecCtx>(&mut self, ctx: &mut C) -> Result<(), TrapCause> {
         let pc = self.pc;
         if !pc.is_multiple_of(4) {
             return Err(TrapCause::BadFetch { pc });
@@ -629,7 +694,7 @@ impl Core {
         let mut extra = 0u64;
         match state {
             SlotState::Sdram => {
-                if TIMING {
+                if T::EXACT {
                     // Same line as the previous fetch => guaranteed hit
                     // (only this core's own fetches mutate its I-cache);
                     // otherwise a packed tag probe. Statistics live in the
@@ -657,7 +722,7 @@ impl Core {
         // Hazard stall: previous load / nm instruction feeding this one
         // (one shift into the predecoded source-register mask; the u64
         // widening makes the NO_DEST sentinel shift out to zero).
-        if TIMING {
+        if T::EXACT {
             let stall = (u64::from(src_mask) >> self.prev_stall_dest) & 1;
             if stall != 0 {
                 self.counters.hazard_stalls += stall;
@@ -736,7 +801,7 @@ impl Core {
                     _ => LoadOp::Lhu,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (value, mem_extra) = self.load::<TIMING, _>(ctx, addr, lop, pc)?;
+                let (value, mem_extra) = self.load::<T, _>(ctx, addr, lop, pc)?;
                 self.set_reg(rd, value);
                 extra += mem_extra;
                 kind = PrevKind::Load;
@@ -748,8 +813,7 @@ impl Core {
                     _ => StoreOp::Sw,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
-                let (mem_extra, eff) =
-                    self.store::<TIMING, _>(ctx, addr, self.reg(rs2), sop, pc)?;
+                let (mem_extra, eff) = self.store::<T, _>(ctx, addr, self.reg(rs2), sop, pc)?;
                 extra += mem_extra;
                 effect = eff;
             }
@@ -849,7 +913,7 @@ impl Core {
             }
             MicroOp::Div => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                if TIMING {
+                if T::EXACT {
                     let lat = ctx.div_latency();
                     extra += lat;
                     self.counters.div_stall_cycles += lat;
@@ -865,7 +929,7 @@ impl Core {
             }
             MicroOp::Divu => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                if TIMING {
+                if T::EXACT {
                     let lat = ctx.div_latency();
                     extra += lat;
                     self.counters.div_stall_cycles += lat;
@@ -874,7 +938,7 @@ impl Core {
             }
             MicroOp::Rem => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                if TIMING {
+                if T::EXACT {
                     let lat = ctx.div_latency();
                     extra += lat;
                     self.counters.div_stall_cycles += lat;
@@ -890,7 +954,7 @@ impl Core {
             }
             MicroOp::Remu => {
                 let (a, b) = (self.reg(rs1), self.reg(rs2));
-                if TIMING {
+                if T::EXACT {
                     let lat = ctx.div_latency();
                     extra += lat;
                     self.counters.div_stall_cycles += lat;
@@ -921,8 +985,7 @@ impl Core {
                 let isyn = Q15_16::from_raw(self.reg(rs2) as i32);
                 let addr = self.reg(rd);
                 let out = NpUnit::update(&self.nmregs, vu, isyn);
-                let (mem_extra, eff) =
-                    self.store::<TIMING, _>(ctx, addr, out.vu, StoreOp::Sw, pc)?;
+                let (mem_extra, eff) = self.store::<T, _>(ctx, addr, out.vu, StoreOp::Sw, pc)?;
                 extra += mem_extra;
                 effect = eff;
                 self.set_reg(rd, u32::from(out.spike));
@@ -937,7 +1000,7 @@ impl Core {
             }
         }
 
-        if TIMING {
+        if T::EXACT {
             self.counters.flush_cycles += flushes;
             extra += flushes;
             self.prev_stall_dest = if kind == PrevKind::Bypassed {
@@ -946,7 +1009,7 @@ impl Core {
                 dest
             };
         } else {
-            // The relaxed clock charges no flush/hazard cycles; keep the
+            // The relaxed clocks charge no flush/hazard cycles; keep the
             // hazard tracker neutral so a later exact run on the same core
             // cannot inherit a stale dependence.
             let _ = (kind, dest, flushes);
@@ -954,11 +1017,14 @@ impl Core {
         }
 
         self.counters.instret += 1;
-        self.time += 1 + extra;
+        // Exact: base cycle plus the dynamically accumulated stalls.
+        // Non-exact: the policy's static per-op cost (1 for Unit, the
+        // CostTable class cost for Estimated), with `extra` always 0.
+        self.time += if T::EXACT { 1 + extra } else { T::op_cost(op) };
         self.pc = next_pc;
 
         if effect != MmioEffect::None {
-            self.apply_effect::<TIMING>(effect);
+            self.apply_effect::<T>(effect);
         }
         Ok(())
     }
@@ -966,14 +1032,14 @@ impl Core {
     /// Rare MMIO side effects (halt / ROI markers / barrier parking), out
     /// of the hot path.
     #[cold]
-    fn apply_effect<const TIMING: bool>(&mut self, effect: MmioEffect) {
+    fn apply_effect<T: Timing>(&mut self, effect: MmioEffect) {
         match effect {
             MmioEffect::None => {}
             MmioEffect::Halt => self.halted = true,
             MmioEffect::BarrierWait => {
                 // Exact scheduling simulates the guest's spin loop; the
-                // relaxed scheduler deschedules the core instead.
-                if !TIMING {
+                // relaxed schedulers deschedule the core instead.
+                if !T::EXACT {
                     self.parked = true;
                 }
             }

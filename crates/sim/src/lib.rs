@@ -31,9 +31,13 @@
 //! overhead), and bus transactions reserve global bus time, so contention
 //! between cores emerges naturally. An opt-in relaxed mode
 //! ([`SchedMode::Relaxed`]) trades all of that timing fidelity for
-//! throughput: round-robin quanta, a one-cycle-per-instruction clock and a
-//! blocking barrier device, with architectural results unchanged for
-//! guests that synchronise through the barrier/mutex devices. The
+//! throughput: round-robin quanta, a blocking barrier device, and a
+//! pluggable relaxed clock ([`TimingModel`]) — one cycle per retired
+//! instruction (`Unit`, the determinism baseline) or static per-op-class
+//! costs (`Estimated`, [`counters::CostTable`]) so relaxed rows carry a
+//! defensible simulated-time figure — with architectural results
+//! unchanged for guests that synchronise through the barrier/mutex
+//! devices. The
 //! host-parallel variant ([`SchedMode::RelaxedParallel`], [`parallel`])
 //! runs those quanta on host worker threads against a sharded memory view
 //! while staying bit-identical to the single-threaded relaxed schedule at
@@ -74,10 +78,10 @@ pub mod system;
 
 pub use bus::BusArbiter;
 pub use cache::{Cache, CacheConfig};
-pub use counters::{Metrics, PerfCounters};
+pub use counters::{CostTable, Metrics, OpClass, PerfCounters};
 pub use cpu::{Core, TrapCause};
 pub use mem::{layout, MainMemory};
 pub use mmio::SharedDevices;
 pub use parallel::resolve_host_threads;
 pub use predecode::{CodeMem, CodeTable, PreInst, SlotState};
-pub use system::{RunExit, SchedMode, SimError, System, SystemConfig};
+pub use system::{RunExit, SchedMode, SimError, System, SystemConfig, TimingModel};

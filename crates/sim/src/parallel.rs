@@ -60,7 +60,7 @@ use std::sync::{Condvar, Mutex};
 use izhi_isa::inst::{LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
 
-use crate::cpu::{Core, ExecCtx, RunStop, TrapCause};
+use crate::cpu::{Core, ExecCtx, RunStop, Timing, TrapCause};
 use crate::mem::{layout, MainMemory};
 use crate::mmio::{is_interactive, MmioEffect, SharedDevices};
 use crate::predecode::{CodeMem, CodeTable, MicroOp, PreInst};
@@ -414,11 +414,12 @@ impl<D: DevSink> ExecCtx for ShardCtx<'_, D> {
 }
 
 /// Run one core's quantum on a worker thread: the relaxed-clock loop of
-/// `Core::run_while::<false>` plus the interactive-MMIO pre-check. The
+/// `Core::run_while` under the non-exact timing policy `T` plus the
+/// interactive-MMIO pre-check. The
 /// slot fetch is repeated by `exec_one`, but a warm fetch is one bounds
 /// check and a 16-byte copy — the price of never having to roll an
 /// instruction back.
-fn run_quantum_parallel(
+fn run_quantum_parallel<T: Timing>(
     core: &mut Core,
     ctx: &mut ShardCtx<'_, BufferedDev<'_>>,
     bound: u64,
@@ -448,7 +449,7 @@ fn run_quantum_parallel(
                 break Ok(RunStop::SharedOp);
             }
         }
-        if let Err(cause) = core.exec_one::<false, _>(ctx) {
+        if let Err(cause) = core.exec_one::<T, _>(ctx) {
             break Err(cause);
         }
     };
@@ -566,7 +567,13 @@ struct RunEnv {
 /// posted quanta each round. The core-to-worker map is static, but since
 /// parallel portions are independent (that is the whole construction) the
 /// partition cannot affect results — only load balance.
-fn worker_loop(w: usize, stride: usize, slots: &[Mutex<CoreSlot>], sync: &RoundSync, env: RunEnv) {
+fn worker_loop<T: Timing>(
+    w: usize,
+    stride: usize,
+    slots: &[Mutex<CoreSlot>],
+    sync: &RoundSync,
+    env: RunEnv,
+) {
     let mut seen = 0u64;
     while let Some(epoch) = sync.wait_start(seen) {
         seen = epoch;
@@ -590,8 +597,12 @@ fn worker_loop(w: usize, stride: usize, slots: &[Mutex<CoreSlot>], sync: &RoundS
                     },
                     csr_writeback: env.csr_writeback,
                 };
-                *pending =
-                    Pending::Done(run_quantum_parallel(core, &mut ctx, *bound, env.max_cycles));
+                *pending = Pending::Done(run_quantum_parallel::<T>(
+                    core,
+                    &mut ctx,
+                    *bound,
+                    env.max_cycles,
+                ));
             }
             drop(slot);
             i += stride;
@@ -602,7 +613,7 @@ fn worker_loop(w: usize, stride: usize, slots: &[Mutex<CoreSlot>], sync: &RoundS
 
 /// Finish a quantum (or run a whole one, for a freshly unparked core)
 /// against the real devices.
-fn run_direct(
+fn run_direct<T: Timing>(
     core: &mut Core,
     code: &mut CodeTable,
     dev: &mut SharedDevices,
@@ -615,13 +626,13 @@ fn run_direct(
         dev: RealDev(dev),
         csr_writeback: env.csr_writeback,
     };
-    core.run_while::<false, _>(&mut ctx, bound, env.max_cycles)
+    core.run_while::<T, _>(&mut ctx, bound, env.max_cycles)
 }
 
 /// The coordinator loop: plan a round, fan the quanta out to the workers,
 /// then commit in ascending hart order. Mirrors `System::run_relaxed`
 /// decision for decision — the property suites assert bit-identity.
-fn coordinate(
+fn coordinate<T: Timing>(
     dev: &mut SharedDevices,
     slots: &[Mutex<CoreSlot>],
     sync: &RoundSync,
@@ -680,11 +691,12 @@ fn coordinate(
                 core.clear_parked();
                 any_ran = true;
                 let bound = core.time.saturating_add(env.quantum - 1);
-                let stop =
-                    run_direct(core, code, dev, env, bound).map_err(|cause| SimError::Trap {
+                let stop = run_direct::<T>(core, code, dev, env, bound).map_err(|cause| {
+                    SimError::Trap {
                         core: i as u32,
                         cause,
-                    })?;
+                    }
+                })?;
                 match stop {
                     RunStop::Halted | RunStop::Bound => {}
                     RunStop::Parked => parked_gen[i] = Some(dev.barrier_generation()),
@@ -718,7 +730,7 @@ fn coordinate(
                 RunStop::SharedOp => {
                     // Finish the quantum against the real devices; the
                     // deferred operation is its first instruction.
-                    let stop = run_direct(core, code, dev, env, *bound).map_err(|cause| {
+                    let stop = run_direct::<T>(core, code, dev, env, *bound).map_err(|cause| {
                         SimError::Trap {
                             core: i as u32,
                             cause,
@@ -751,7 +763,7 @@ fn coordinate(
 impl System {
     /// Host-parallel relaxed scheduling (see the module docs for the
     /// design and the equivalence argument).
-    pub(crate) fn run_relaxed_parallel(
+    pub(crate) fn run_relaxed_parallel<T: Timing>(
         &mut self,
         quantum: u64,
         host_threads: u32,
@@ -762,7 +774,7 @@ impl System {
         if n <= 1 {
             // One core has no rounds to parallelise; the sequential
             // scheduler is the same schedule without the thread pool.
-            return self.run_relaxed(quantum, max_cycles);
+            return self.run_relaxed::<T>(quantum, max_cycles);
         }
         let workers = (resolve_host_threads(host_threads) as usize).clamp(1, n);
         let env = RunEnv {
@@ -789,9 +801,9 @@ impl System {
         let result = std::thread::scope(|scope| {
             for w in 0..workers {
                 let (slots, sync) = (&slots, &sync);
-                scope.spawn(move || worker_loop(w, workers, slots, sync, env));
+                scope.spawn(move || worker_loop::<T>(w, workers, slots, sync, env));
             }
-            let out = coordinate(dev, &slots, &sync, workers, env);
+            let out = coordinate::<T>(dev, &slots, &sync, workers, env);
             sync.shutdown();
             out
         });
@@ -811,7 +823,7 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::{SchedMode, SystemConfig};
+    use crate::system::{SchedMode, SystemConfig, TimingModel};
     use izhi_isa::asm::Assembler;
 
     fn run_mode(src: &str, n_cores: u32, sched: SchedMode, max_cycles: u64) -> System {
@@ -891,7 +903,15 @@ mod tests {
     /// Run `src` under `Relaxed {quantum}` and `RelaxedParallel` at several
     /// host-thread counts, asserting bit-identical observable state.
     fn assert_parallel_matches_relaxed(src: &str, n_cores: u32, quantum: u64) {
-        let reference = run_mode(src, n_cores, SchedMode::Relaxed { quantum }, 50_000_000);
+        let reference = run_mode(
+            src,
+            n_cores,
+            SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Unit,
+            },
+            50_000_000,
+        );
         for host_threads in [1u32, 2, 4] {
             let par = run_mode(
                 src,
@@ -899,6 +919,7 @@ mod tests {
                 SchedMode::RelaxedParallel {
                     quantum,
                     host_threads,
+                    timing: TimingModel::Unit,
                 },
                 50_000_000,
             );
@@ -946,6 +967,7 @@ mod tests {
             SchedMode::RelaxedParallel {
                 quantum: 7,
                 host_threads: 2,
+                timing: TimingModel::Unit,
             },
             1_000_000,
         );
@@ -980,6 +1002,7 @@ mod tests {
             SchedMode::RelaxedParallel {
                 quantum: 64,
                 host_threads: 4,
+                timing: TimingModel::Unit,
             },
             50_000_000,
         );
@@ -1033,6 +1056,7 @@ mod tests {
             sched: SchedMode::RelaxedParallel {
                 quantum: 32,
                 host_threads: 2,
+                timing: TimingModel::Unit,
             },
             ..Default::default()
         });
@@ -1064,6 +1088,7 @@ mod tests {
             sched: SchedMode::RelaxedParallel {
                 quantum: 16,
                 host_threads: 2,
+                timing: TimingModel::Unit,
             },
             ..Default::default()
         });
@@ -1080,6 +1105,7 @@ mod tests {
                 SchedMode::RelaxedParallel {
                     quantum: 5,
                     host_threads: 4,
+                    timing: TimingModel::Unit,
                 },
                 1_000_000,
             );

@@ -151,6 +151,70 @@ pub enum MicroOp {
     Nmdec,
 }
 
+impl MicroOp {
+    /// Every decodable micro-op, in declaration order, for exhaustive
+    /// sweeps (the cost-model tests assert that each one is charged at
+    /// least one cycle, and that this list stays gap-free against the
+    /// `repr(u8)` discriminants). When adding a variant, append it here
+    /// too — `OpClass::of`'s exhaustive match will force the cost
+    /// assignment in the same change.
+    pub const ALL: &'static [MicroOp] = &[
+        MicroOp::Lui,
+        MicroOp::Auipc,
+        MicroOp::Jal,
+        MicroOp::Jalr,
+        MicroOp::Beq,
+        MicroOp::Bne,
+        MicroOp::Blt,
+        MicroOp::Bge,
+        MicroOp::Bltu,
+        MicroOp::Bgeu,
+        MicroOp::Lb,
+        MicroOp::Lh,
+        MicroOp::Lw,
+        MicroOp::Lbu,
+        MicroOp::Lhu,
+        MicroOp::Sb,
+        MicroOp::Sh,
+        MicroOp::Sw,
+        MicroOp::Addi,
+        MicroOp::Slti,
+        MicroOp::Sltiu,
+        MicroOp::Xori,
+        MicroOp::Ori,
+        MicroOp::Andi,
+        MicroOp::Slli,
+        MicroOp::Srli,
+        MicroOp::Srai,
+        MicroOp::Add,
+        MicroOp::Sub,
+        MicroOp::Sll,
+        MicroOp::Slt,
+        MicroOp::Sltu,
+        MicroOp::Xor,
+        MicroOp::Srl,
+        MicroOp::Sra,
+        MicroOp::Or,
+        MicroOp::And,
+        MicroOp::Mul,
+        MicroOp::Mulh,
+        MicroOp::Mulhsu,
+        MicroOp::Mulhu,
+        MicroOp::Div,
+        MicroOp::Divu,
+        MicroOp::Rem,
+        MicroOp::Remu,
+        MicroOp::Fence,
+        MicroOp::Ecall,
+        MicroOp::Ebreak,
+        MicroOp::Csr,
+        MicroOp::Nmldl,
+        MicroOp::Nmldh,
+        MicroOp::Nmpn,
+        MicroOp::Nmdec,
+    ];
+}
+
 /// One predecoded 4-byte slot (16 bytes, returned by value in registers).
 ///
 /// `imm` is pre-resolved where the slot's pc allows it: branches and `jal`

@@ -7,10 +7,46 @@ use izhi_isa::inst::{LoadOp, StoreOp};
 use crate::bus::{BusArbiter, BusTimings};
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Metrics;
-use crate::cpu::{Core, ExecCtx, RunStop, TrapCause};
+use crate::cpu::{
+    Core, EstimatedTiming, ExactTiming, ExecCtx, RunStop, Timing, TrapCause, UnitTiming,
+};
 use crate::mem::{layout, read_slice, write_slice, MainMemory};
 use crate::mmio::{MmioEffect, SharedDevices};
 use crate::predecode::{CodeTable, PreInst};
+
+/// The clock model of a relaxed scheduler (exact scheduling always runs
+/// the cycle-accurate model). Semantics are identical across models —
+/// only the per-instruction cost charged to the local clock differs, so
+/// architectural results never depend on the choice; interleaving (and
+/// therefore shared-device ordering) may.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingModel {
+    /// Exactly one cycle per retired instruction — the determinism
+    /// baseline the relaxed schedulers have always used. Cycle counts
+    /// equal retired-instruction counts by construction and are **not**
+    /// comparable to exact-mode cycles.
+    #[default]
+    Unit,
+    /// Static per-op-class costs from
+    /// [`CostTable::DEFAULT`](crate::counters::CostTable::DEFAULT): a
+    /// first-order collapse of the exact model (ALU/branch/load/store/
+    /// mul/div/CSR/NPU classes) with no shared mutable state, so
+    /// [`SchedMode::RelaxedParallel`] stays race-free and bit-identical
+    /// across host-thread counts. Cycle counts approximate exact-mode
+    /// cycles (the perf baseline reports the per-scenario accuracy ratio
+    /// and CI bounds it).
+    Estimated,
+}
+
+impl TimingModel {
+    /// Stable lowercase label ("unit" / "estimated") for rows and CLIs.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingModel::Unit => "unit",
+            TimingModel::Estimated => "estimated",
+        }
+    }
+}
 
 /// How the multi-core run loop interleaves cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,20 +60,25 @@ pub enum SchedMode {
     Exact,
     /// Opt-in relaxed interleaving for throughput: cores execute
     /// round-robin in quanta of `quantum` clock cycles on the relaxed
-    /// clock, which advances exactly **one cycle per retired instruction**
-    /// (no cache, bus, hazard or divider modelling). The barrier device
-    /// becomes a blocking rendezvous — a core arriving at an incomplete
-    /// round is descheduled until release instead of simulating its spin
-    /// loop. Architectural results (registers, memory, spike rasters,
-    /// console) are identical to [`SchedMode::Exact`] for guests whose
-    /// cross-core sharing is confined to barrier/mutex synchronisation;
-    /// cycle counts, per-core interleaving and the MMIO RNG/spike-log
-    /// *order* are not preserved. Runs are fully deterministic.
+    /// clock, whose per-instruction cost is set by `timing` (one cycle
+    /// under [`TimingModel::Unit`], a static per-op-class cost under
+    /// [`TimingModel::Estimated`]; no cache, bus, hazard or divider
+    /// modelling either way). The barrier device becomes a blocking
+    /// rendezvous — a core arriving at an incomplete round is descheduled
+    /// until release instead of simulating its spin loop. Architectural
+    /// results (registers, memory, spike rasters, console) are identical
+    /// to [`SchedMode::Exact`] for guests whose cross-core sharing is
+    /// confined to barrier/mutex synchronisation; cycle counts, per-core
+    /// interleaving and the MMIO RNG/spike-log *order* are not preserved.
+    /// Runs are fully deterministic.
     Relaxed {
-        /// Scheduling quantum in relaxed-clock cycles (= instructions).
+        /// Scheduling quantum in relaxed-clock cycles (= instructions
+        /// under `Unit` timing).
         /// Clamped to at least 1; `quantum = 1` interleaves instruction by
         /// instruction.
         quantum: u64,
+        /// Relaxed-clock cost model.
+        timing: TimingModel,
     },
     /// Host-parallel relaxed scheduling: the same round-robin quantum
     /// structure as [`SchedMode::Relaxed`], but each core's quantum
@@ -55,13 +96,17 @@ pub enum SchedMode {
     /// synchronisation — within a scheduling round, plain loads/stores of
     /// other cores' data race on the host.
     RelaxedParallel {
-        /// Scheduling quantum in relaxed-clock cycles (= instructions).
+        /// Scheduling quantum in relaxed-clock cycles (= instructions
+        /// under `Unit` timing).
         quantum: u64,
         /// Number of host worker threads; `0` resolves via the
         /// `IZHI_HOST_THREADS` environment variable, then host
         /// parallelism ([`crate::parallel::resolve_host_threads`]).
         /// Results never depend on this value — only wall time does.
         host_threads: u32,
+        /// Relaxed-clock cost model (shared with [`SchedMode::Relaxed`]:
+        /// the bit-identity contract holds per timing model).
+        timing: TimingModel,
     },
 }
 
@@ -71,11 +116,37 @@ impl SchedMode {
     /// interleaved.
     pub const DEFAULT_QUANTUM: u64 = 50_000;
 
-    /// Relaxed scheduling with the default quantum.
+    /// Relaxed scheduling with the default quantum and Unit timing.
     pub fn relaxed() -> Self {
         SchedMode::Relaxed {
             quantum: Self::DEFAULT_QUANTUM,
+            timing: TimingModel::Unit,
         }
+    }
+
+    /// Relaxed scheduling with the default quantum and Estimated timing.
+    pub fn relaxed_estimated() -> Self {
+        SchedMode::Relaxed {
+            quantum: Self::DEFAULT_QUANTUM,
+            timing: TimingModel::Estimated,
+        }
+    }
+
+    /// The timing model this mode's clock runs on; `None` for exact
+    /// scheduling (whose clock is the cycle-accurate model itself).
+    pub fn timing(&self) -> Option<TimingModel> {
+        match *self {
+            SchedMode::Exact => None,
+            SchedMode::Relaxed { timing, .. } | SchedMode::RelaxedParallel { timing, .. } => {
+                Some(timing)
+            }
+        }
+    }
+
+    /// Stable label of the clock this mode reports: "exact", "unit" or
+    /// "estimated" (battery rows and BENCH files record it).
+    pub fn timing_label(&self) -> &'static str {
+        self.timing().map_or("exact", TimingModel::label)
     }
 }
 
@@ -419,11 +490,24 @@ impl System {
     /// the relaxed clock; see the enum docs for the semantics contract.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
         match self.cfg.sched {
-            SchedMode::Relaxed { quantum } => self.run_relaxed(quantum, max_cycles)?,
+            SchedMode::Relaxed { quantum, timing } => match timing {
+                TimingModel::Unit => self.run_relaxed::<UnitTiming>(quantum, max_cycles)?,
+                TimingModel::Estimated => {
+                    self.run_relaxed::<EstimatedTiming>(quantum, max_cycles)?
+                }
+            },
             SchedMode::RelaxedParallel {
                 quantum,
                 host_threads,
-            } => self.run_relaxed_parallel(quantum, host_threads, max_cycles)?,
+                timing,
+            } => match timing {
+                TimingModel::Unit => {
+                    self.run_relaxed_parallel::<UnitTiming>(quantum, host_threads, max_cycles)?
+                }
+                TimingModel::Estimated => {
+                    self.run_relaxed_parallel::<EstimatedTiming>(quantum, host_threads, max_cycles)?
+                }
+            },
             SchedMode::Exact => match self.cores.len() {
                 1 => self.run_single(max_cycles)?,
                 2 => self.run_exact_fused(max_cycles)?,
@@ -439,7 +523,7 @@ impl System {
     /// Single core: no scheduler at all, one batched run to completion.
     fn run_single(&mut self, max_cycles: u64) -> Result<(), SimError> {
         match self.cores[0]
-            .run_while::<true, _>(&mut self.shared, u64::MAX, max_cycles)
+            .run_while::<ExactTiming, _>(&mut self.shared, u64::MAX, max_cycles)
             .map_err(|cause| SimError::Trap { core: 0, cause })?
         {
             RunStop::Budget => Err(SimError::Timeout { max_cycles }),
@@ -477,7 +561,7 @@ impl System {
                 if c.time > max_cycles {
                     break Err(SimError::Timeout { max_cycles });
                 }
-                if let Err(cause) = c.exec_one::<true, _>(shared) {
+                if let Err(cause) = c.exec_one::<ExactTiming, _>(shared) {
                     break Err(SimError::Trap { core: id, cause });
                 }
                 if c.halted() {
@@ -494,7 +578,7 @@ impl System {
                 continue;
             }
             match c
-                .run_while::<true, _>(shared, u64::MAX, max_cycles)
+                .run_while::<ExactTiming, _>(shared, u64::MAX, max_cycles)
                 .map_err(|cause| SimError::Trap {
                     core: id as u32,
                     cause,
@@ -545,7 +629,7 @@ impl System {
                 limit.saturating_sub(1)
             };
             let stop = self.cores[i]
-                .run_while::<true, _>(&mut self.shared, bound, max_cycles)
+                .run_while::<ExactTiming, _>(&mut self.shared, bound, max_cycles)
                 .map_err(|cause| SimError::Trap {
                     core: i as u32,
                     cause,
@@ -564,7 +648,11 @@ impl System {
     /// This loop is the reference schedule the host-parallel scheduler
     /// ([`crate::parallel`]) reproduces bit for bit; change the two in
     /// lockstep (the `prop_sched_parallel` suite pins the equivalence).
-    pub(crate) fn run_relaxed(&mut self, quantum: u64, max_cycles: u64) -> Result<(), SimError> {
+    pub(crate) fn run_relaxed<T: Timing>(
+        &mut self,
+        quantum: u64,
+        max_cycles: u64,
+    ) -> Result<(), SimError> {
         let quantum = quantum.max(1);
         let n = self.cores.len();
         // Generation at which each parked core arrived; it becomes runnable
@@ -589,7 +677,7 @@ impl System {
                 any_ran = true;
                 let bound = core.time.saturating_add(quantum - 1);
                 match core
-                    .run_while::<false, _>(shared, bound, max_cycles)
+                    .run_while::<T, _>(shared, bound, max_cycles)
                     .map_err(|cause| SimError::Trap {
                         core: i as u32,
                         cause,
@@ -1037,7 +1125,21 @@ mod tests {
     fn relaxed_cfg(n_cores: u32, quantum: u64) -> SystemConfig {
         SystemConfig {
             n_cores,
-            sched: SchedMode::Relaxed { quantum },
+            sched: SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Unit,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn estimated_cfg(n_cores: u32, quantum: u64) -> SystemConfig {
+        SystemConfig {
+            n_cores,
+            sched: SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Estimated,
+            },
             ..Default::default()
         }
     }
@@ -1061,7 +1163,72 @@ mod tests {
         assert!(sys.load_program(&prog));
         let exit = sys.run(10_000_000).unwrap();
         assert_eq!(sys.core(0).reg(Reg::T0), 55);
-        assert_eq!(exit.cycles, exit.instret, "relaxed clock is 1 IPC");
+        // cycles == instret holds for *Unit timing only* — it is the
+        // definition of that model, not a property of relaxed scheduling.
+        // Estimated timing deliberately breaks it (see the test below);
+        // no production code may rely on it.
+        assert_eq!(exit.cycles, exit.instret, "unit-timing clock is 1 IPC");
+    }
+
+    #[test]
+    fn estimated_timing_charges_more_than_unit_and_is_deterministic() {
+        let src = "
+            _start: li t0, 0
+                    li t1, 0
+            loop:   addi t1, t1, 1
+                    add  t0, t0, t1
+                    li   t2, 10
+                    bne  t1, t2, loop
+                    ebreak
+            ";
+        let run_cfg = |cfg: SystemConfig| {
+            let prog = Assembler::new().assemble(src).unwrap();
+            let mut sys = System::new(cfg);
+            assert!(sys.load_program(&prog));
+            let exit = sys.run(10_000_000).unwrap();
+            assert_eq!(sys.core(0).reg(Reg::T0), 55);
+            exit
+        };
+        let est = run_cfg(estimated_cfg(1, 1000));
+        let unit = run_cfg(relaxed_cfg(1, 1000));
+        // Same instructions retire under both relaxed clocks...
+        assert_eq!(est.instret, unit.instret);
+        // ...but the estimated clock charges the branch class extra, so
+        // cycles must exceed instret — the old 1-IPC identity is gone.
+        assert!(
+            est.cycles > est.instret,
+            "estimated clock degenerated to 1 IPC: {} cycles / {} instret",
+            est.cycles,
+            est.instret
+        );
+        // And it stays fully deterministic.
+        assert_eq!(est, run_cfg(estimated_cfg(1, 1000)));
+    }
+
+    #[test]
+    fn estimated_timing_preserves_architectural_state() {
+        // The barrier-coupled program must end in the same architectural
+        // state under exact scheduling and relaxed-estimated scheduling.
+        let prog = Assembler::new().assemble(BARRIER_SRC).unwrap();
+        let mut exact = System::new(SystemConfig::max10_dual_core());
+        exact.load_program(&prog);
+        exact.run(1_000_000).unwrap();
+        let mut est = System::new(estimated_cfg(2, 7));
+        est.load_program(&prog);
+        est.run(1_000_000).unwrap();
+        for core in 0..2 {
+            for r in 0..32u8 {
+                assert_eq!(
+                    exact.core(core).reg(Reg(r)),
+                    est.core(core).reg(Reg(r)),
+                    "core {core} x{r}"
+                );
+            }
+        }
+        assert_eq!(
+            exact.shared().mem.read_u32(layout::SCRATCH_BASE),
+            est.shared().mem.read_u32(layout::SCRATCH_BASE)
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use izhi_isa::encode;
 use izhi_isa::inst::{AluImmOp, AluOp, Inst, LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
-use izhi_sim::{layout, SchedMode, System, SystemConfig};
+use izhi_sim::{layout, SchedMode, System, SystemConfig, TimingModel};
 use proptest::prelude::*;
 
 /// Per-core scratch page (core id shifted into bits 12+ by the prelude).
@@ -174,7 +174,13 @@ proptest! {
         insts in prop::collection::vec(arb_inst(), 1..80),
     ) {
         let exact = run(&insts, SchedMode::Exact);
-        let relaxed = run(&insts, SchedMode::Relaxed { quantum: 1 });
+        let relaxed = run(
+            &insts,
+            SchedMode::Relaxed {
+                quantum: 1,
+                timing: TimingModel::Unit,
+            },
+        );
         assert_observably_identical(&exact, &relaxed, 1);
     }
 
@@ -186,7 +192,54 @@ proptest! {
         quantum in 1u64..200,
     ) {
         let exact = run(&insts, SchedMode::Exact);
-        let relaxed = run(&insts, SchedMode::Relaxed { quantum });
+        let relaxed = run(
+            &insts,
+            SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Unit,
+            },
+        );
         assert_observably_identical(&exact, &relaxed, quantum);
+    }
+
+    /// Estimated timing changes only the clock: architectural results
+    /// match the exact scheduler (and therefore Unit timing) for any
+    /// quantum, runs are deterministic, and the estimated clock never
+    /// undercounts the retired instructions (every op costs >= 1 cycle).
+    #[test]
+    fn estimated_timing_matches_exact_architecturally(
+        insts in prop::collection::vec(arb_inst(), 1..80),
+        quantum in 1u64..200,
+    ) {
+        let exact = run(&insts, SchedMode::Exact);
+        let est = run(
+            &insts,
+            SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Estimated,
+            },
+        );
+        assert_observably_identical(&exact, &est, quantum);
+        let again = run(
+            &insts,
+            SchedMode::Relaxed {
+                quantum,
+                timing: TimingModel::Estimated,
+            },
+        );
+        for core in 0..2 {
+            prop_assert_eq!(
+                est.core(core).time,
+                again.core(core).time,
+                "estimated clock is not deterministic at quantum {}",
+                quantum
+            );
+            prop_assert!(
+                est.core(core).time >= est.core(core).counters.instret,
+                "estimated clock undercounts: {} cycles < {} instret",
+                est.core(core).time,
+                est.core(core).counters.instret
+            );
+        }
     }
 }

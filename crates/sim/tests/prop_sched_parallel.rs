@@ -20,7 +20,7 @@
 use izhi_isa::encode;
 use izhi_isa::inst::{AluImmOp, AluOp, Inst, LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
-use izhi_sim::{layout, SchedMode, System, SystemConfig};
+use izhi_sim::{layout, SchedMode, System, SystemConfig, TimingModel};
 use proptest::prelude::*;
 
 /// Per-core scratch page (core id shifted into bits 12+ by the prelude).
@@ -251,19 +251,26 @@ fn assert_bit_identical(reference: &System, par: &System, quantum: u64, host_thr
     );
 }
 
+/// The parallel bit-identity contract holds **per timing model**: the
+/// Estimated clock changes the interleaving (quanta are cycle-bounded)
+/// but the parallel scheduler must still reproduce the sequential
+/// schedule of the same timing model bit for bit.
 fn check_all_host_thread_counts(insts: &[Inst], n_cores: u32) {
-    for quantum in [1u64, 7, 64] {
-        let reference = run(insts, n_cores, SchedMode::Relaxed { quantum });
-        for host_threads in [1u32, 2, 4] {
-            let par = run(
-                insts,
-                n_cores,
-                SchedMode::RelaxedParallel {
-                    quantum,
-                    host_threads,
-                },
-            );
-            assert_bit_identical(&reference, &par, quantum, host_threads);
+    for timing in [TimingModel::Unit, TimingModel::Estimated] {
+        for quantum in [1u64, 7, 64] {
+            let reference = run(insts, n_cores, SchedMode::Relaxed { quantum, timing });
+            for host_threads in [1u32, 2, 4] {
+                let par = run(
+                    insts,
+                    n_cores,
+                    SchedMode::RelaxedParallel {
+                        quantum,
+                        host_threads,
+                        timing,
+                    },
+                );
+                assert_bit_identical(&reference, &par, quantum, host_threads);
+            }
         }
     }
 }
@@ -343,6 +350,7 @@ fn repeated_parallel_runs_serialize_identically() {
             sched: SchedMode::RelaxedParallel {
                 quantum: 5,
                 host_threads,
+                timing: TimingModel::Unit,
             },
             ..Default::default()
         });
@@ -379,26 +387,29 @@ fn barrier_mix_matches_relaxed_and_counts() {
         sys.run(10_000_000).expect("run");
         sys
     };
-    for quantum in [1u64, 7, 64] {
-        let reference = run_mode(SchedMode::Relaxed { quantum });
-        // The mutex-guarded counter proves mutual exclusion survived.
-        assert_eq!(
-            reference
-                .shared()
-                .mem
-                .read_u32(layout::SCRATCH_BASE + 0x3000),
-            Some(120)
-        );
-        for host_threads in [1u32, 2, 4] {
-            let par = run_mode(SchedMode::RelaxedParallel {
-                quantum,
-                host_threads,
-            });
+    for timing in [TimingModel::Unit, TimingModel::Estimated] {
+        for quantum in [1u64, 7, 64] {
+            let reference = run_mode(SchedMode::Relaxed { quantum, timing });
+            // The mutex-guarded counter proves mutual exclusion survived.
             assert_eq!(
-                serialize_state(&reference),
-                serialize_state(&par),
-                "quantum {quantum} host_threads {host_threads}"
+                reference
+                    .shared()
+                    .mem
+                    .read_u32(layout::SCRATCH_BASE + 0x3000),
+                Some(120)
             );
+            for host_threads in [1u32, 2, 4] {
+                let par = run_mode(SchedMode::RelaxedParallel {
+                    quantum,
+                    host_threads,
+                    timing,
+                });
+                assert_eq!(
+                    serialize_state(&reference),
+                    serialize_state(&par),
+                    "{timing:?} quantum {quantum} host_threads {host_threads}"
+                );
+            }
         }
     }
 }

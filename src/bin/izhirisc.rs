@@ -15,17 +15,23 @@
 //!     --quantum N      relaxed/parallel scheduling quantum (default 50000)
 //!     --host-threads N worker threads for --sched parallel (implies it;
 //!                      0 = auto via IZHI_HOST_THREADS / host CPUs)
+//!     --timing T       clock: exact (the exact scheduler's cycle-accurate
+//!                      model), unit (1 cycle/instruction) or estimated
+//!                      (static per-op-class costs); unit/estimated imply
+//!                      --sched relaxed when no scheduler flag is given
 //!     --trace          print every retired instruction (core 0)
 //!     --regs           dump the register file at exit
 //! izhirisc scenario list                     list registered scenarios
 //! izhirisc scenario run <name> [options]     build + run a scenario
-//!     --sched MODE --quantum N --host-threads N    as above
+//!     --sched MODE --quantum N --host-threads N --timing T    as above
 //!     --n N --ticks N --cores N --seed N           scenario parameters
 //!     --quick          use the scenario's CI-sized quick parameters
-//!     --battery        fan the scenario's battery (seeds x sched modes)
+//!     --battery        fan the scenario's battery (seeds x sched x timing)
 //!                      across host threads, verify cross-mode identity
 //!     --json PATH      write battery rows as JSON (with --battery)
-//! izhirisc scenario battery [--json PATH]    quick battery of EVERY scenario
+//! izhirisc scenario battery [--timing T] [--json PATH]
+//!                                            quick battery of EVERY scenario
+//!                                            (--timing: only that clock's rows)
 //! izhirisc selftest                          run the guest ISA battery
 //! ```
 //!
@@ -40,11 +46,11 @@ use std::process::exit;
 use izhirisc::bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
 use izhirisc::isa::{decode, disassemble, Assembler, Reg};
 use izhirisc::programs::scenario::{self, ScenarioParams};
-use izhirisc::sim::{SchedMode, System, SystemConfig};
+use izhirisc::sim::{SchedMode, System, SystemConfig, TimingModel};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--n N] [--ticks N] [--cores N] [--seed N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--json PATH]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--timing T] [--json PATH]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -121,11 +127,22 @@ fn parse_u32(s: &str) -> u32 {
 /// Scheduling-mode selection shared by `run` and `scenario run`:
 /// `--sched exact|relaxed|parallel` is canonical; `--relaxed` and
 /// `--host-threads N` are kept as aliases of the modes they imply.
+/// `--timing exact|unit|estimated` picks the clock: `exact` is the exact
+/// scheduler's cycle-accurate model, `unit`/`estimated` are the relaxed
+/// clocks (and imply the sequential relaxed scheduler when no scheduler
+/// flag is given).
 fn parse_sched(args: &mut Args) -> SchedMode {
     let sched = args.value("--sched");
     let relaxed_alias = args.switch("--relaxed");
     let host_threads = args.value("--host-threads").map(|s| parse_u32(&s));
     let quantum = args.value("--quantum").map(|s| u64::from(parse_u32(&s)));
+    let timing_arg = args.value("--timing");
+    if let Some(t) = timing_arg.as_deref() {
+        if !matches!(t, "exact" | "unit" | "estimated") {
+            eprintln!("unknown --timing `{t}` (use exact, unit or estimated)");
+            exit(2);
+        }
+    }
     let mode = match sched.as_deref() {
         Some("exact") => "exact",
         Some("relaxed") => "relaxed",
@@ -136,9 +153,11 @@ fn parse_sched(args: &mut Args) -> SchedMode {
         }
         // Aliases: --host-threads implies the parallel scheduler (it
         // parallelises the relaxed quantum structure), --relaxed the
-        // sequential relaxed one.
+        // sequential relaxed one, and a relaxed clock (--timing
+        // unit|estimated) the sequential relaxed one too.
         None if host_threads.is_some() => "parallel",
         None if relaxed_alias => "relaxed",
+        None if matches!(timing_arg.as_deref(), Some("unit" | "estimated")) => "relaxed",
         None => "exact",
     };
     if mode == "exact" && quantum.is_some() {
@@ -149,12 +168,27 @@ fn parse_sched(args: &mut Args) -> SchedMode {
         eprintln!("--host-threads only applies to --sched parallel");
         exit(2);
     }
+    let timing = match (mode, timing_arg.as_deref()) {
+        // The exact scheduler *is* the cycle-accurate clock.
+        ("exact", None | Some("exact")) => TimingModel::Unit, // unused
+        ("exact", Some(t)) => {
+            eprintln!("--timing {t} needs a relaxed scheduler (--sched relaxed|parallel)");
+            exit(2);
+        }
+        (_, Some("exact")) => {
+            eprintln!("--timing exact is the exact scheduler's clock; drop --sched/--relaxed/--host-threads");
+            exit(2);
+        }
+        (_, None | Some("unit")) => TimingModel::Unit,
+        (_, Some(_)) => TimingModel::Estimated,
+    };
     let quantum = quantum.unwrap_or(SchedMode::DEFAULT_QUANTUM);
     match mode {
-        "relaxed" => SchedMode::Relaxed { quantum },
+        "relaxed" => SchedMode::Relaxed { quantum, timing },
         "parallel" => SchedMode::RelaxedParallel {
             quantum,
             host_threads: host_threads.unwrap_or(0),
+            timing,
         },
         _ => SchedMode::Exact,
     }
@@ -401,12 +435,14 @@ fn cmd_scenario_run(args: &[String]) {
     let quick = args.switch("--quick");
     let battery_mode = args.switch("--battery");
     let json = args.value("--json");
-    // Remember whether the user restricted the schedule before parse_sched
-    // consumes the flags: a --battery run honours an explicit mode instead
-    // of silently fanning over all three.
+    // Remember whether the user restricted the schedule or the clock
+    // before parse_sched consumes the flags: a --battery run honours an
+    // explicit mode (one row set) or an explicit --timing (that clock's
+    // row subset) instead of silently fanning over every combination.
     let sched_given = ["--sched", "--relaxed", "--host-threads", "--quantum"]
         .iter()
         .any(|f| args.rest.iter().any(|a| a == f));
+    let timing_given = args.rest.iter().any(|a| a == "--timing");
     let sched = parse_sched(&mut args);
     let positionals = args.positionals();
     let Some(name) = positionals.first() else {
@@ -435,14 +471,13 @@ fn cmd_scenario_run(args: &[String]) {
             None => sc.battery_seeds.to_vec(),
         };
         // An explicit --sched/--quantum/--host-threads restricts the
-        // battery to that one mode; otherwise fan over all three.
+        // battery to that one mode; a bare --timing restricts it to that
+        // clock's row subset; otherwise fan over every sched × timing
+        // combination.
         let scheds = if sched_given {
-            let label = match sched {
-                SchedMode::Exact => "exact",
-                SchedMode::Relaxed { .. } => "relaxed",
-                SchedMode::RelaxedParallel { .. } => "relaxed-par",
-            };
-            vec![SchedSpec { label, mode: sched }]
+            vec![SchedSpec::of(sched)]
+        } else if timing_given {
+            SchedSpec::timing_set(2, sched.timing_label())
         } else {
             SchedSpec::default_set(2)
         };
@@ -504,14 +539,26 @@ fn cmd_scenario_run(args: &[String]) {
 fn cmd_scenario_battery(args: &[String]) {
     let mut args = Args::new(args);
     let json = args.value("--json");
+    let timing = args.value("--timing");
     let positionals = args.positionals();
     if !positionals.is_empty() {
         eprintln!("scenario battery takes no scenario names (it runs every registered scenario); use `scenario run <name> --battery` for one");
         exit(2);
     }
+    let scheds = match timing.as_deref() {
+        None => SchedSpec::default_set(2),
+        Some(t @ ("exact" | "unit" | "estimated")) => SchedSpec::timing_set(2, t),
+        Some(other) => {
+            eprintln!("unknown --timing `{other}` (use exact, unit or estimated)");
+            exit(2);
+        }
+    };
     let specs: Vec<BatterySpec> = scenario::registry()
         .iter()
-        .map(|s| BatterySpec::quick(s, 2))
+        .map(|s| BatterySpec {
+            scheds: scheds.clone(),
+            ..BatterySpec::quick(s, 2)
+        })
         .collect();
     run_battery(&specs, json);
 }
