@@ -20,12 +20,15 @@
 //!   for every battery cell.
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use izhi_programs::scenario::{self, ScenarioParams};
-use izhi_sim::{SchedMode, TimingModel};
+use izhi_sim::{FaultPlan, SchedMode, TimingModel};
+
+use crate::supervise::{self, panic_message, RunErrorKind, SuperviseConfig};
 
 /// A scheduling mode under a battery label.
 #[derive(Debug, Clone, Copy)]
@@ -117,6 +120,13 @@ pub struct BatterySpec {
     pub scheds: Vec<SchedSpec>,
     /// Use the scenario's CI-sized quick parameters as the base layer.
     pub quick: bool,
+    /// Fault-injection schedule installed into every row's system
+    /// (empty — the default — injects nothing and leaves rows
+    /// bit-identical to an unplanned run).
+    pub faults: FaultPlan,
+    /// Supervision knobs for every row: wall-clock limit, guest-cycle
+    /// budget override and retry policy.
+    pub supervise: SuperviseConfig,
 }
 
 impl BatterySpec {
@@ -129,6 +139,8 @@ impl BatterySpec {
             seeds: scenario.battery_seeds.to_vec(),
             scheds: SchedSpec::default_set(host_threads),
             quick: true,
+            faults: FaultPlan::default(),
+            supervise: SuperviseConfig::default(),
         }
     }
 }
@@ -166,10 +178,17 @@ pub struct BatteryRow {
     pub spikes: u64,
     /// Order-independent raster hash (bit-identity check across modes).
     pub raster_hash: u64,
-    /// Outcome of the scenario's self-verification hook.
+    /// Whether the run completed and passed the scenario's
+    /// self-verification hook.
     pub verified: bool,
-    /// Verification failure message, if any.
+    /// Failure message, if any.
     pub error: Option<String>,
+    /// Structured failure class of an unverified row ([`RunErrorKind`]),
+    /// replacing stringly error matching.
+    pub error_kind: Option<RunErrorKind>,
+    /// Supervised attempts the row took (> 1 only after retried
+    /// transients).
+    pub attempts: u32,
 }
 
 impl BatteryRow {
@@ -206,14 +225,14 @@ impl BatteryRunner {
     /// Run every `(scenario, seed, sched)` row of `specs`, sharded across
     /// [`BatteryRunner::host_threads`] scoped workers. Row order is
     /// deterministic (the work list's order) regardless of thread count.
-    /// Returns an error for unknown scenario names or failed runs.
+    ///
+    /// Every row runs under supervision ([`crate::supervise`]): a row
+    /// that panics, traps, stalls past its wall-clock deadline or fails
+    /// verification becomes a *failed row* (`verified = false` with a
+    /// structured [`RunErrorKind`]) while the remaining jobs keep
+    /// sharding — one bad job can never abort or deadlock the battery.
+    /// Only unknown scenario names error the whole call.
     pub fn run(&self, specs: &[BatterySpec]) -> Result<Vec<BatteryRow>, String> {
-        struct Job<'a> {
-            spec_idx: usize,
-            spec: &'a BatterySpec,
-            seed: u32,
-            sched: SchedSpec,
-        }
         let mut jobs = Vec::new();
         for (spec_idx, spec) in specs.iter().enumerate() {
             scenario::find(spec.scenario)
@@ -230,38 +249,113 @@ impl BatteryRunner {
             }
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<BatteryRow, String>>>> =
-            Mutex::new(vec![None; jobs.len()]);
+        // One mutex *per slot*: a commit locks only its own row, so no
+        // shared lock spans a run and a worker dying on one job cannot
+        // poison any other job's slot (the historical single-Vec mutex
+        // aborted the whole battery on the first panicking worker).
+        let slots: Vec<Mutex<Option<BatteryRow>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         let workers = self.host_threads.clamp(1, jobs.len().max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let row = run_one(job.spec_idx, job.spec, job.seed, job.sched);
-                    slots.lock().unwrap()[i] = Some(row);
+                    // `run_one` supervises the simulation itself; this
+                    // outer guard catches panics in scenario *build* and
+                    // row assembly, so the worker's claim loop (and the
+                    // scope join) always survives.
+                    let row =
+                        catch_unwind(AssertUnwindSafe(|| run_one(job))).unwrap_or_else(|payload| {
+                            failed_row(job, RunErrorKind::Panic, panic_message(&*payload), 1, 0.0)
+                        });
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(row);
+                    }
                 });
             }
         });
-        slots
-            .into_inner()
-            .unwrap()
+        Ok(slots
             .into_iter()
-            .map(|slot| slot.expect("every job ran"))
-            .collect()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // Unreachable with the guards above; synthesise a
+                        // failed row rather than abort the battery.
+                        failed_row(
+                            &jobs[i],
+                            RunErrorKind::Panic,
+                            "worker died before committing a row".to_string(),
+                            1,
+                            0.0,
+                        )
+                    })
+            })
+            .collect())
     }
 }
 
-/// Build and run one battery row.
-fn run_one(
+/// One work item of a battery run.
+struct Job<'a> {
     spec_idx: usize,
-    spec: &BatterySpec,
+    spec: &'a BatterySpec,
     seed: u32,
     sched: SchedSpec,
-) -> Result<BatteryRow, String> {
+}
+
+impl Job<'_> {
+    /// `(quantum, host_threads)` the row reports for its mode.
+    fn mode_fields(&self) -> (u64, u32) {
+        match self.sched.mode {
+            SchedMode::Exact => (0, 1),
+            SchedMode::Relaxed { quantum, .. } => (quantum, 1),
+            SchedMode::RelaxedParallel {
+                quantum,
+                host_threads,
+                ..
+            } => (quantum, host_threads),
+        }
+    }
+}
+
+/// A row for a job whose run failed: zeroed measurements, the structured
+/// failure class, and a message prefixed with the row's identity.
+fn failed_row(
+    job: &Job<'_>,
+    kind: RunErrorKind,
+    message: String,
+    attempts: u32,
+    wall_s: f64,
+) -> BatteryRow {
+    let (quantum, host_threads) = job.mode_fields();
+    BatteryRow {
+        spec: job.spec_idx,
+        scenario: job.spec.scenario.to_string(),
+        seed: job.seed,
+        sched: job.sched.label,
+        timing: job.sched.mode.timing_label(),
+        quantum,
+        host_threads,
+        wall_s,
+        sim_cycles: 0,
+        sim_instret: 0,
+        spikes: 0,
+        raster_hash: 0,
+        verified: false,
+        error: Some(message),
+        error_kind: Some(kind),
+        attempts,
+    }
+}
+
+/// Build and run one battery row under supervision.
+fn run_one(job: &Job<'_>) -> BatteryRow {
+    let spec = job.spec;
     let sc = scenario::find(spec.scenario).expect("checked by the runner");
     let params = ScenarioParams {
-        seed: Some(seed),
+        seed: Some(job.seed),
         ..spec.params
     };
     let mut wl = if spec.quick {
@@ -269,41 +363,42 @@ fn run_one(
     } else {
         sc.build(&params)
     };
-    wl.cfg_mut().system.sched = sched.mode;
-    let (quantum, host_threads) = match sched.mode {
-        SchedMode::Exact => (0, 1),
-        SchedMode::Relaxed { quantum, .. } => (quantum, 1),
-        SchedMode::RelaxedParallel {
+    wl.cfg_mut().system.sched = job.sched.mode;
+    wl.cfg_mut().system.faults = spec.faults.clone();
+    let (quantum, host_threads) = job.mode_fields();
+    let start = Instant::now();
+    let outcome = supervise::run_supervised(wl.as_mut(), &spec.supervise);
+    let wall_s = start.elapsed().as_secs_f64();
+    match outcome {
+        Ok(sup) => BatteryRow {
+            spec: job.spec_idx,
+            scenario: spec.scenario.to_string(),
+            seed: job.seed,
+            sched: job.sched.label,
+            timing: job.sched.mode.timing_label(),
             quantum,
             host_threads,
-            ..
-        } => (quantum, host_threads),
-    };
-    let start = Instant::now();
-    let res = wl
-        .run()
-        .map_err(|e| format!("{}[seed={seed}]/{}: {e}", spec.scenario, sched.label))?;
-    let wall_s = start.elapsed().as_secs_f64();
-    let (verified, error) = match wl.verify(&res) {
-        Ok(()) => (true, None),
-        Err(e) => (false, Some(e)),
-    };
-    Ok(BatteryRow {
-        spec: spec_idx,
-        scenario: spec.scenario.to_string(),
-        seed,
-        sched: sched.label,
-        timing: sched.mode.timing_label(),
-        quantum,
-        host_threads,
-        wall_s,
-        sim_cycles: res.cycles,
-        sim_instret: res.instret,
-        spikes: res.raster.spikes.len() as u64,
-        raster_hash: res.raster_hash(),
-        verified,
-        error,
-    })
+            wall_s,
+            sim_cycles: sup.result.cycles,
+            sim_instret: sup.result.instret,
+            spikes: sup.result.raster.spikes.len() as u64,
+            raster_hash: sup.result.raster_hash(),
+            verified: true,
+            error: None,
+            error_kind: None,
+            attempts: sup.attempts,
+        },
+        Err(e) => failed_row(
+            job,
+            e.kind,
+            format!(
+                "{}[seed={}]/{}: {}",
+                spec.scenario, job.seed, job.sched.label, e.message
+            ),
+            e.attempts,
+            wall_s,
+        ),
+    }
 }
 
 /// The battery acceptance check: every row verified, and all rows of one
@@ -313,8 +408,11 @@ fn run_one(
 pub fn check_rows(rows: &[BatteryRow]) -> Result<(), String> {
     for row in rows {
         if !row.verified {
+            let kind = row
+                .error_kind
+                .map_or("verification failed", RunErrorKind::label);
             return Err(format!(
-                "{}: verification failed: {}",
+                "{}: {kind}: {}",
                 row.key(),
                 row.error.as_deref().unwrap_or("unknown")
             ));
@@ -349,7 +447,7 @@ pub fn rows_json(rows: &[BatteryRow]) -> String {
             "    {{\"key\": \"{}\", \"scenario\": \"{}\", \"seed\": {}, \"sched\": \"{}\", \
              \"timing\": \"{}\", \"quantum\": {}, \"host_threads\": {}, \"wall_s\": {:.6}, \
              \"sim_cycles\": {}, \"sim_instret\": {}, \"spikes\": {}, \
-             \"raster_hash\": \"{:#018x}\", \"verified\": {}}}",
+             \"raster_hash\": \"{:#018x}\", \"verified\": {}",
             r.key(),
             r.scenario,
             r.seed,
@@ -364,6 +462,10 @@ pub fn rows_json(rows: &[BatteryRow]) -> String {
             r.raster_hash,
             r.verified,
         );
+        if let Some(kind) = r.error_kind {
+            let _ = write!(out, ", \"error_kind\": \"{}\"", kind.label());
+        }
+        out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]");
@@ -432,6 +534,8 @@ mod tests {
             raster_hash: hash,
             verified,
             error: (!verified).then(|| "boom".into()),
+            error_kind: None,
+            attempts: 1,
         }
     }
 
@@ -525,6 +629,8 @@ mod tests {
             seeds: vec![1],
             scheds: SchedSpec::default_set(2),
             quick: true,
+            faults: FaultPlan::default(),
+            supervise: SuperviseConfig::default(),
         };
         let err = BatteryRunner { host_threads: 1 }.run(&[spec]).unwrap_err();
         assert!(err.contains("unknown scenario"), "{err}");

@@ -40,12 +40,20 @@
 //!   figure that makes relaxed rows comparable to exact rows on
 //!   simulated time, bounded by the CI gate.
 //!
+//! * **Service burst**: an in-process scenario service
+//!   (`izhi_bench::serve`) takes a burst of tiny jobs — two of them
+//!   deliberately faulty (host panic, guest trap) — through a small
+//!   bounded queue. The `service` section records the observed
+//!   throughput plus the guarantee booleans (health availability,
+//!   hinted backpressure, failure isolation); the gate requires the
+//!   booleans and forward progress, never an absolute jobs/s.
+//!
 //! ```text
 //! cargo run --release --bin perf_baseline -- [out.json]
 //!     [--check baseline.json] [--min-ratio 0.85] [--battery-only]
 //! ```
 //!
-//! Writes `BENCH_4.json` (or the given path). With `--check`, the
+//! Writes `BENCH_5.json` (or the given path). With `--check`, the
 //! single-core `speedup_vs_seed` entries of the fresh measurement are
 //! compared against the committed baseline file (exit non-zero if any
 //! entry fell below `min-ratio` × its baseline value), every battery
@@ -61,6 +69,7 @@ use std::time::Instant;
 
 use izhi_bench::battery::{self, BatteryRow, BatteryRunner, BatterySpec};
 use izhi_bench::seedsim;
+use izhi_bench::serve::{self, LoadReport};
 use izhi_isa::Assembler;
 use izhi_programs::engine::{build_asm, run_workload, EngineConfig, GuestImage, WorkloadResult};
 use izhi_programs::scenario::{self, ScenarioParams, Workload};
@@ -473,11 +482,12 @@ fn json(
     speedups: &[(String, f64)],
     battery: &[BatteryRow],
     accuracy: &[(String, f64)],
+    service: Option<&LoadReport>,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v6\",\n");
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v7\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it)\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -501,6 +511,23 @@ fn json(
     }
     let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"battery\": {},", battery::rows_json(battery));
+    if let Some(s) = service {
+        let _ = writeln!(
+            out,
+            "  \"service\": {{\"jobs\": {}, \"accepted\": {}, \"rejected\": {}, \
+             \"completed\": {}, \"failed\": {}, \"throughput_jobs_per_s\": {:.2}, \
+             \"health_ok\": {}, \"backpressure_hinted\": {}, \"failure_isolated\": {}}},",
+            s.submitted,
+            s.accepted,
+            s.rejected,
+            s.completed,
+            s.failed,
+            s.throughput_jobs_per_s,
+            s.health_ok == s.health_checks,
+            s.backpressure_hinted,
+            serve::failure_isolated(s),
+        );
+    }
     let _ = writeln!(out, "  \"estimated_accuracy\": {{");
     for (i, (name, r)) in accuracy.iter().enumerate() {
         let _ = write!(out, "    \"{name}\": {r:.3}");
@@ -651,6 +678,55 @@ fn check_battery_gate(battery: &[BatteryRow], baseline_path: &str) -> bool {
     report.passed()
 }
 
+/// Number of jobs in the service burst (queue cap 8, 2 workers — far
+/// past capacity, so backpressure must fire).
+const SERVICE_BURST_JOBS: usize = 40;
+
+/// Run the in-process service burst (see [`serve::service_benchmark`]).
+fn service_burst() -> LoadReport {
+    serve::service_benchmark(SERVICE_BURST_JOBS).expect("service burst failed")
+}
+
+fn service_summary(r: &LoadReport) -> izhi_bench::gate::ServiceSummary {
+    izhi_bench::gate::ServiceSummary {
+        completed: r.completed,
+        throughput_jobs_per_s: r.throughput_jobs_per_s,
+        health_ok: r.health_ok == r.health_checks,
+        backpressure_hinted: r.backpressure_hinted,
+        failure_isolated: serve::failure_isolated(r),
+    }
+}
+
+/// The service side of the CI gate (core in [`izhi_bench::gate`]): when
+/// the baseline carries a `service` section, the fresh burst must exist
+/// and every service guarantee must hold. Baselines predating the
+/// service (schema <= v6) skip this gate.
+fn check_service_gate(service: Option<&LoadReport>, baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    if !izhi_bench::gate::has_service(&text) {
+        println!("service gate: baseline {baseline_path} predates the scenario service — skipped");
+        return true;
+    }
+    let summary = service.map(service_summary);
+    let report = izhi_bench::gate::check_service_gate(summary.as_ref(), &text);
+    for e in &report.checked {
+        println!(
+            "service gate vs {baseline_path}: {} {:.2} jobs/s (baseline {:.2}, informational)",
+            e.name, e.fresh, e.baseline
+        );
+    }
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -677,7 +753,7 @@ fn main() {
             _ => out_path = Some(arg),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_4.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_5.json".into());
 
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
@@ -734,6 +810,7 @@ fn main() {
 
     let battery = if cmp_only { Vec::new() } else { battery_rows() };
     let accuracy = estimated_accuracy(&battery);
+    let service = (!cmp_only && !battery_only).then(service_burst);
 
     println!(
         "{:<32} {:>11} {:>3} {:>9} {:>14} {:>14} {:>12} {:>12}",
@@ -765,7 +842,26 @@ fn main() {
             println!("  {name}: {r:.3}");
         }
     }
-    std::fs::write(&out_path, json(&rows, &speedups, &battery, &accuracy)).expect("write json");
+    if let Some(s) = &service {
+        println!(
+            "\nservice burst: {} jobs -> {} accepted / {} backpressured, \
+             {} completed + {} structured failures, {:.1} jobs/s, health {}/{}, isolation {}",
+            s.submitted,
+            s.accepted,
+            s.rejected,
+            s.completed,
+            s.failed,
+            s.throughput_jobs_per_s,
+            s.health_ok,
+            s.health_checks,
+            serve::failure_isolated(s),
+        );
+    }
+    std::fs::write(
+        &out_path,
+        json(&rows, &speedups, &battery, &accuracy, service.as_ref()),
+    )
+    .expect("write json");
     println!("\nwrote {out_path}");
 
     if let Some(baseline) = check_path {
@@ -776,6 +872,9 @@ fn main() {
         if !cmp_only {
             ok &= check_battery_gate(&battery, &baseline);
             ok &= check_accuracy_gate(&accuracy, &baseline);
+        }
+        if !cmp_only && !battery_only {
+            ok &= check_service_gate(service.as_ref(), &baseline);
         }
         if !ok {
             eprintln!("perf gate FAILED");

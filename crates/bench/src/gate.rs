@@ -65,6 +65,9 @@ pub enum GateFailure {
         /// Inclusive upper bound.
         hi: f64,
     },
+    /// A service guarantee (health, backpressure hinting, failure
+    /// isolation, forward progress) did not hold in the fresh burst.
+    ServiceGuarantee(String),
 }
 
 impl core::fmt::Display for GateFailure {
@@ -96,6 +99,9 @@ impl core::fmt::Display for GateFailure {
                 f,
                 "{name}: estimated/exact cycle ratio {ratio:.3} outside [{lo:.2}, {hi:.2}]"
             ),
+            GateFailure::ServiceGuarantee(what) => {
+                write!(f, "service: {what}")
+            }
         }
     }
 }
@@ -322,6 +328,95 @@ pub fn check_accuracy_gate(
     report
 }
 
+/// Summary of the fresh run's in-process service burst, as gated: the
+/// booleans are hard guarantees; the throughput is recorded but only
+/// required to be *positive* (absolute jobs/s would make the gate a host
+/// speed lottery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Accepted jobs that completed successfully.
+    pub completed: usize,
+    /// Completed jobs per second of burst wall time.
+    pub throughput_jobs_per_s: f64,
+    /// Every health check during the burst was answered `200`.
+    pub health_ok: bool,
+    /// Every backpressure rejection carried a `retry_after_ms` hint.
+    pub backpressure_hinted: bool,
+    /// Injected faults became structured per-job failures while the rest
+    /// of the burst completed (see `serve::failure_isolated`).
+    pub failure_isolated: bool,
+}
+
+/// Whether a baseline file carries a `"service"` section at all. Old
+/// baselines (schema <= v6) legitimately predate the scenario service;
+/// the caller skips the service gate for them instead of failing on a
+/// section that could not exist.
+pub fn has_service(text: &str) -> bool {
+    text.contains("\"service\"")
+}
+
+/// Extract the baseline's `"service"` throughput (informational — shown
+/// next to the fresh value, never gated on).
+pub fn parse_service_throughput(text: &str) -> Option<f64> {
+    let idx = text.find("\"service\"")?;
+    let rest = &text[idx..];
+    let open = rest.find('{')?;
+    let close = rest[open..].find('}')?;
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|entry| entry.split_once(':'))
+        .find(|(k, _)| k.trim().trim_matches('"') == "throughput_jobs_per_s")
+        .and_then(|(_, v)| v.trim().parse().ok())
+}
+
+/// Gate the fresh service burst against a committed baseline that carries
+/// a `"service"` section: the fresh run must have produced a burst at all
+/// (a missing section would silently disable this gate), the burst must
+/// have made forward progress, and every service guarantee — health
+/// availability, hinted backpressure, failure isolation — must hold.
+/// Throughput is reported (`checked`) but not thresholded.
+pub fn check_service_gate(fresh: Option<&ServiceSummary>, baseline_text: &str) -> GateReport {
+    let Some(fresh) = fresh else {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::MissingEntry("service section".to_string())],
+        };
+    };
+    let mut report = GateReport::default();
+    if fresh.completed == 0 {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "no job of the burst completed".to_string(),
+        ));
+    }
+    // `partial_cmp` so a NaN throughput fails the gate too.
+    if fresh.throughput_jobs_per_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "throughput is not positive".to_string(),
+        ));
+    }
+    if !fresh.health_ok {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "health checks went unanswered during the burst".to_string(),
+        ));
+    }
+    if !fresh.backpressure_hinted {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "a 429 rejection lacked the retry_after_ms hint".to_string(),
+        ));
+    }
+    if !fresh.failure_isolated {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "injected faults were not isolated as structured failures".to_string(),
+        ));
+    }
+    report.checked.push(CheckedEntry {
+        name: "service_throughput".to_string(),
+        fresh: fresh.throughput_jobs_per_s,
+        baseline: parse_service_throughput(baseline_text).unwrap_or(0.0),
+    });
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +604,73 @@ mod tests {
             check_accuracy_gate(&fresh(&[("a", 1.0)]), BASELINE, 0.5, 2.0).failures,
             vec![GateFailure::NoGatedEntries]
         );
+    }
+
+    const SERVICE_BASELINE: &str = r#"{
+  "service": {"jobs": 40, "completed": 38, "throughput_jobs_per_s": 410.5, "health_ok": true}
+}"#;
+
+    fn healthy_summary() -> ServiceSummary {
+        ServiceSummary {
+            completed: 38,
+            throughput_jobs_per_s: 350.0,
+            health_ok: true,
+            backpressure_hinted: true,
+            failure_isolated: true,
+        }
+    }
+
+    #[test]
+    fn service_gate_passes_when_guarantees_hold() {
+        let report = check_service_gate(Some(&healthy_summary()), SERVICE_BASELINE);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked.len(), 1);
+        assert_eq!(
+            report.checked[0].baseline, 410.5,
+            "baseline throughput parsed"
+        );
+    }
+
+    #[test]
+    fn service_gate_errors_on_each_broken_guarantee() {
+        for (mutate, what) in [
+            (
+                (|s: &mut ServiceSummary| s.completed = 0) as fn(&mut ServiceSummary),
+                "no job",
+            ),
+            (|s| s.throughput_jobs_per_s = 0.0, "not positive"),
+            (|s| s.health_ok = false, "health"),
+            (|s| s.backpressure_hinted = false, "retry_after_ms"),
+            (|s| s.failure_isolated = false, "not isolated"),
+        ] {
+            let mut s = healthy_summary();
+            mutate(&mut s);
+            let report = check_service_gate(Some(&s), SERVICE_BASELINE);
+            assert!(
+                report.failures.iter().any(|f| f.to_string().contains(what)),
+                "expected a failure mentioning `{what}`, got {:?}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn service_gate_errors_when_fresh_run_has_no_burst() {
+        // The baseline promises a service section; a fresh run without
+        // one must fail rather than silently skipping its own gate.
+        let report = check_service_gate(None, SERVICE_BASELINE);
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::MissingEntry("service section".to_string())]
+        );
+    }
+
+    #[test]
+    fn service_section_detection_and_skip_case() {
+        assert!(has_service(SERVICE_BASELINE));
+        assert!(!has_service(BASELINE), "old baselines skip the gate");
+        assert_eq!(parse_service_throughput(SERVICE_BASELINE), Some(410.5));
+        assert_eq!(parse_service_throughput(BASELINE), None);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 pub mod battery;
 pub mod gate;
 pub mod seedsim;
+pub mod serve;
+pub mod supervise;
 
 use std::fmt::Write as _;
 

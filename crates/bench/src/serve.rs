@@ -1,0 +1,1006 @@
+//! The scenario service: a long-running batch server over the scenario
+//! registry (`izhirisc serve`).
+//!
+//! The ROADMAP's north star is serving heavy traffic, so the service is
+//! built around *graceful overload behaviour* rather than raw features:
+//!
+//! * **Bounded queue + explicit backpressure.** Submissions beyond
+//!   [`ServeConfig::queue_cap`] are rejected with `429` and a
+//!   `retry_after_ms` hint instead of queueing unboundedly — the client
+//!   is told to come back, the server never falls over.
+//! * **Supervised workers.** Every job runs through
+//!   [`crate::supervise::run_supervised`]: panics, guest traps, cycle
+//!   budgets and wall-clock stalls become structured per-job failures
+//!   ([`RunErrorKind`]) while the worker (and every other job) survives.
+//! * **Graceful shutdown.** `POST /shutdown` stops admissions, lets the
+//!   workers drain queued and in-flight jobs, and keeps status/health
+//!   queries answered throughout the drain.
+//!
+//! The whole stack is `std`-only: HTTP/1.1 on [`std::net::TcpListener`],
+//! a hand-rolled flat-JSON reader for the tiny job documents, and a
+//! `Mutex<VecDeque> + Condvar` queue. The workspace is offline, so no
+//! dependency was an option — and none is needed at this size.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Purpose |
+//! |---|---|
+//! | `GET /health` | queue/worker counters; always answered, even while draining |
+//! | `POST /jobs` | submit a job (flat JSON); `202` + id, or `429` when full |
+//! | `GET /jobs/<id>` | status/result of one job |
+//! | `POST /shutdown` | stop admissions, drain, exit |
+//!
+//! A job document is a flat JSON object:
+//! `{"scenario": "net8020", "seed": 5, "sched": "relaxed", "ticks": 20}`
+//! with optional `n`, `n_cores`, `quick` (default `true`) and fault-
+//! injection knobs `fault` (`"panic" | "trap" | "stall" | "corrupt"`),
+//! `fault_core`, `fault_at`, `fault_arg` for chaos drills.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use izhi_programs::scenario::{self, ScenarioParams};
+use izhi_sim::{FaultKind, FaultPlan, FaultSpec, SchedMode};
+
+use crate::battery::SchedSpec;
+use crate::supervise::{run_supervised, RunErrorKind, SuperviseConfig};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (tests).
+    pub addr: String,
+    /// Bounded queue capacity — the backpressure threshold.
+    pub queue_cap: usize,
+    /// Worker threads running supervised jobs.
+    pub workers: usize,
+    /// Supervision knobs applied to every job (wall limit, retry).
+    pub supervise: SuperviseConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            queue_cap: 16,
+            workers: 2,
+            supervise: SuperviseConfig {
+                wall_limit: Some(Duration::from_secs(30)),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A validated job: everything a worker needs to build and run it.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Registered scenario name (validated at submit time).
+    pub scenario: String,
+    /// Parameter overrides (seed, n, ticks, n_cores).
+    pub params: ScenarioParams,
+    /// Scheduling mode (from its battery label).
+    pub sched: SchedMode,
+    /// The battery label the mode was requested under.
+    pub sched_label: &'static str,
+    /// Build at the scenario's quick (CI-sized) scale.
+    pub quick: bool,
+    /// Optional injected fault (chaos drills).
+    pub fault: Option<FaultSpec>,
+}
+
+/// Where a job is in its life cycle.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Completed and verified.
+    Done {
+        /// Simulated cycles (the job's scheduling-mode clock).
+        cycles: u64,
+        /// Retired instructions.
+        instret: u64,
+        /// Total spikes.
+        spikes: u64,
+        /// Order-independent raster hash.
+        raster_hash: u64,
+        /// Host wall time of the run.
+        wall_s: f64,
+        /// Supervised attempts it took.
+        attempts: u32,
+    },
+    /// Failed with a structured error.
+    Failed {
+        /// Failure class.
+        kind: RunErrorKind,
+        /// Detail message.
+        message: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+/// Shared server state.
+struct ServerState {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<(u64, JobSpec)>>,
+    not_empty: Condvar,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    next_id: AtomicU64,
+    /// Set by `POST /shutdown` (or [`ServerHandle::shutdown`]): no new
+    /// admissions; workers exit once the queue is empty.
+    draining: AtomicBool,
+    /// Set once the workers have drained; the accept loop exits after
+    /// its next wake-up.
+    accept_done: AtomicBool,
+    running: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Lock helper: a poisoned mutex yields its data anyway — the service
+/// must keep answering even if some thread died mid-update.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ServerState {
+    fn counters(&self) -> (usize, u64, u64, u64) {
+        (
+            lock(&self.queue).len(),
+            self.running.load(Ordering::SeqCst),
+            self.done.load(Ordering::SeqCst),
+            self.failed.load(Ordering::SeqCst),
+        )
+    }
+}
+
+/// A started service: handles for address, shutdown and join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The scenario service.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, return a handle.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let state = Arc::new(ServerState {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            accept_done: AtomicBool::new(false),
+            running: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let worker_threads = (0..workers)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request a drain exactly as `POST /shutdown` would.
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.not_empty.notify_all();
+    }
+
+    /// Wait for the service to finish: workers drain the queue (after a
+    /// shutdown request), then the accept loop is released. Status and
+    /// health queries are answered throughout the drain.
+    pub fn join(mut self) {
+        for w in self.worker_threads.drain(..) {
+            let _ = w.join();
+        }
+        self.state.accept_done.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a no-op connection releases
+        // it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Convenience for tests and in-process benchmarks: drain and join.
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Worker: claim jobs from the bounded queue until a drain empties it.
+fn worker_loop(state: &ServerState) {
+    loop {
+        let (id, spec) = {
+            let mut q = lock(&state.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = state
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        lock(&state.jobs).insert(id, JobState::Running);
+        state.running.fetch_add(1, Ordering::SeqCst);
+        let outcome = run_job(&spec, &state.cfg.supervise);
+        state.running.fetch_sub(1, Ordering::SeqCst);
+        match &outcome {
+            JobState::Done { .. } => {
+                state.done.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {
+                state.failed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        lock(&state.jobs).insert(id, outcome);
+    }
+}
+
+/// Build and run one job under supervision. Never panics outward: the
+/// supervised runner isolates run panics, and build panics are caught
+/// here.
+fn run_job(spec: &JobSpec, sup: &SuperviseConfig) -> JobState {
+    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let sc = scenario::find(&spec.scenario)?;
+        let mut wl = if spec.quick {
+            sc.build_quick(&spec.params)
+        } else {
+            sc.build(&spec.params)
+        };
+        wl.cfg_mut().system.sched = spec.sched;
+        if let Some(fault) = spec.fault {
+            wl.cfg_mut().system.faults = FaultPlan {
+                faults: vec![fault],
+            };
+        }
+        Some(wl)
+    }));
+    let mut wl = match built {
+        Ok(Some(wl)) => wl,
+        Ok(None) => {
+            return JobState::Failed {
+                kind: RunErrorKind::GuestTrap,
+                message: format!("unknown scenario `{}`", spec.scenario),
+                attempts: 1,
+            }
+        }
+        Err(payload) => {
+            return JobState::Failed {
+                kind: RunErrorKind::Panic,
+                message: crate::supervise::panic_message(&*payload),
+                attempts: 1,
+            }
+        }
+    };
+    let start = Instant::now();
+    match run_supervised(wl.as_mut(), sup) {
+        Ok(sup) => JobState::Done {
+            cycles: sup.result.cycles,
+            instret: sup.result.instret,
+            spikes: sup.result.raster.spikes.len() as u64,
+            raster_hash: sup.result.raster_hash(),
+            wall_s: start.elapsed().as_secs_f64(),
+            attempts: sup.attempts,
+        },
+        Err(e) => JobState::Failed {
+            kind: e.kind,
+            message: e.message,
+            attempts: e.attempts,
+        },
+    }
+}
+
+/// Accept loop: handle each connection inline (requests are tiny and the
+/// heavy work happens on the worker pool), exit once released after the
+/// drain.
+fn accept_loop(listener: &TcpListener, state: &ServerState) {
+    for stream in listener.incoming() {
+        if state.accept_done.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // A stalled client must not wedge the accept loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        if let Ok(req) = read_request(&mut stream) {
+            let (status, body, retry_after) = handle_request(state, &req);
+            let _ = write_response(&mut stream, status, &body, retry_after);
+        }
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Read one HTTP/1.1 request (headers + `Content-Length` body).
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err("headers too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("no method")?.to_string();
+    let path = parts.next().ok_or("no path")?.to_string();
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > 1024 * 1024 {
+        return Err("body too large".into());
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Write a JSON response; `retry_after` adds the backpressure hint
+/// header.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    retry_after: Option<Duration>,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    if let Some(d) = retry_after {
+        head.push_str(&format!("Retry-After: {}\r\n", d.as_secs().max(1)));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Route one request. Returns `(status, body, retry_after)`.
+fn handle_request(state: &ServerState, req: &Request) -> (u16, String, Option<Duration>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            let (queued, running, done, failed) = state.counters();
+            let draining = state.draining.load(Ordering::SeqCst);
+            (
+                200,
+                format!(
+                    "{{\"status\": \"ok\", \"queued\": {queued}, \"running\": {running}, \
+                     \"done\": {done}, \"failed\": {failed}, \"draining\": {draining}}}"
+                ),
+                None,
+            )
+        }
+        ("POST", "/jobs") => submit_job(state, &req.body),
+        ("POST", "/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            state.not_empty.notify_all();
+            (202, "{\"status\": \"draining\"}".to_string(), None)
+        }
+        ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
+        (_, "/health" | "/jobs" | "/shutdown") => {
+            (405, "{\"error\": \"method not allowed\"}".to_string(), None)
+        }
+        _ => (404, "{\"error\": \"no such endpoint\"}".to_string(), None),
+    }
+}
+
+/// `POST /jobs`: validate, admit or push back.
+fn submit_job(state: &ServerState, body: &str) -> (u16, String, Option<Duration>) {
+    if state.draining.load(Ordering::SeqCst) {
+        return (503, "{\"error\": \"shutting down\"}".to_string(), None);
+    }
+    let spec = match parse_job(body) {
+        Ok(spec) => spec,
+        Err(e) => return (400, format!("{{\"error\": \"{e}\"}}"), None),
+    };
+    let mut q = lock(&state.queue);
+    if q.len() >= state.cfg.queue_cap {
+        // Explicit backpressure: the client is told when to come back
+        // instead of the queue growing without bound. The hint scales
+        // with the backlog a full queue represents.
+        let hint = Duration::from_millis(
+            100 * state.cfg.queue_cap as u64 / state.cfg.workers.max(1) as u64,
+        );
+        return (
+            429,
+            format!(
+                "{{\"error\": \"queue full\", \"retry_after_ms\": {}}}",
+                hint.as_millis()
+            ),
+            Some(hint),
+        );
+    }
+    let id = state.next_id.fetch_add(1, Ordering::SeqCst);
+    lock(&state.jobs).insert(id, JobState::Queued);
+    q.push_back((id, spec));
+    let queued = q.len();
+    drop(q);
+    state.not_empty.notify_one();
+    (202, format!("{{\"id\": {id}, \"queued\": {queued}}}"), None)
+}
+
+/// `GET /jobs/<id>`.
+fn job_status(state: &ServerState, id_str: &str) -> (u16, String, Option<Duration>) {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return (400, "{\"error\": \"bad job id\"}".to_string(), None);
+    };
+    let jobs = lock(&state.jobs);
+    match jobs.get(&id) {
+        None => (404, "{\"error\": \"no such job\"}".to_string(), None),
+        Some(JobState::Queued) => (
+            200,
+            format!("{{\"id\": {id}, \"status\": \"queued\"}}"),
+            None,
+        ),
+        Some(JobState::Running) => (
+            200,
+            format!("{{\"id\": {id}, \"status\": \"running\"}}"),
+            None,
+        ),
+        Some(JobState::Done {
+            cycles,
+            instret,
+            spikes,
+            raster_hash,
+            wall_s,
+            attempts,
+        }) => (
+            200,
+            format!(
+                "{{\"id\": {id}, \"status\": \"done\", \"sim_cycles\": {cycles}, \
+                 \"sim_instret\": {instret}, \"spikes\": {spikes}, \
+                 \"raster_hash\": \"{raster_hash:#018x}\", \"wall_s\": {wall_s:.6}, \
+                 \"attempts\": {attempts}}}"
+            ),
+            None,
+        ),
+        Some(JobState::Failed {
+            kind,
+            message,
+            attempts,
+        }) => (
+            200,
+            format!(
+                "{{\"id\": {id}, \"status\": \"failed\", \"error_kind\": \"{}\", \
+                 \"error\": \"{}\", \"attempts\": {attempts}}}",
+                kind.label(),
+                escape_json(message),
+            ),
+            None,
+        ),
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            '\r' => vec!['\\', 'r'],
+            '\t' => vec!['\\', 't'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A value of the flat job document.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+/// Parse a flat JSON object (string/number/bool values, no nesting) into
+/// key/value pairs. Small by design: job documents are flat, and the
+/// workspace is offline (no serde).
+fn parse_flat_json(s: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let mut out = Vec::new();
+    let mut it = s.chars().peekable();
+    let skip_ws = |it: &mut std::iter::Peekable<std::str::Chars<'_>>| {
+        while matches!(it.peek(), Some(c) if c.is_whitespace()) {
+            it.next();
+        }
+    };
+    skip_ws(&mut it);
+    if it.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        skip_ws(&mut it);
+        match it.peek() {
+            Some('}') => {
+                it.next();
+                return Ok(out);
+            }
+            Some('"') => {}
+            _ => return Err("expected key or '}'".into()),
+        }
+        it.next(); // opening quote
+        let mut key = String::new();
+        loop {
+            match it.next() {
+                Some('"') => break,
+                Some(c) => key.push(c),
+                None => return Err("unterminated key".into()),
+            }
+        }
+        skip_ws(&mut it);
+        if it.next() != Some(':') {
+            return Err(format!("expected ':' after key `{key}`"));
+        }
+        skip_ws(&mut it);
+        let val = match it.peek() {
+            Some('"') => {
+                it.next();
+                let mut v = String::new();
+                loop {
+                    match it.next() {
+                        Some('\\') => match it.next() {
+                            Some('n') => v.push('\n'),
+                            Some('t') => v.push('\t'),
+                            Some(c) => v.push(c),
+                            None => return Err("unterminated string".into()),
+                        },
+                        Some('"') => break,
+                        Some(c) => v.push(c),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                JsonVal::Str(v)
+            }
+            Some('t' | 'f') => {
+                let mut word = String::new();
+                while matches!(it.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(it.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => JsonVal::Bool(true),
+                    "false" => JsonVal::Bool(false),
+                    w => return Err(format!("bad literal `{w}`")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut num = String::new();
+                while matches!(it.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    num.push(it.next().unwrap());
+                }
+                JsonVal::Num(num.parse().map_err(|_| format!("bad number `{num}`"))?)
+            }
+            _ => return Err(format!("unsupported value for key `{key}`")),
+        };
+        out.push((key, val));
+        skip_ws(&mut it);
+        match it.next() {
+            Some(',') => {}
+            Some('}') => return Ok(out),
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+}
+
+/// Validate a job document into a [`JobSpec`].
+pub fn parse_job(body: &str) -> Result<JobSpec, String> {
+    let pairs = parse_flat_json(body)?;
+    let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let get_num = |key: &str| -> Result<Option<f64>, String> {
+        match get(key) {
+            None => Ok(None),
+            Some(JsonVal::Num(n)) => Ok(Some(*n)),
+            Some(_) => Err(format!("`{key}` must be a number")),
+        }
+    };
+    let Some(JsonVal::Str(scenario)) = get("scenario") else {
+        return Err("`scenario` (string) is required".into());
+    };
+    if scenario::find(scenario).is_none() {
+        return Err(format!("unknown scenario `{scenario}`"));
+    }
+    let sched_label = match get("sched") {
+        None => "relaxed",
+        Some(JsonVal::Str(s)) => s.as_str(),
+        Some(_) => return Err("`sched` must be a string".into()),
+    };
+    let Some(spec) = SchedSpec::default_set(0)
+        .into_iter()
+        .find(|s| s.label == sched_label)
+    else {
+        return Err(format!("unknown sched label `{sched_label}`"));
+    };
+    let quick = match get("quick") {
+        None => true,
+        Some(JsonVal::Bool(b)) => *b,
+        Some(_) => return Err("`quick` must be a bool".into()),
+    };
+    let params = ScenarioParams {
+        seed: get_num("seed")?.map(|n| n as u32),
+        n: get_num("n")?.map(|n| n as usize),
+        ticks: get_num("ticks")?.map(|n| n as u32),
+        n_cores: get_num("n_cores")?.map(|n| n as u32),
+        ..Default::default()
+    };
+    let fault = match get("fault") {
+        None => None,
+        Some(JsonVal::Str(kind)) => {
+            let arg = get_num("fault_arg")?;
+            let kind = match kind.as_str() {
+                "panic" => FaultKind::HostPanic,
+                "trap" => FaultKind::GuestTrap,
+                "stall" => FaultKind::StallMs(arg.map_or(200, |n| n as u64)),
+                "corrupt" => FaultKind::CorruptSpike(arg.map_or(0xDEAD_BEEF, |n| n as u32)),
+                k => return Err(format!("unknown fault kind `{k}`")),
+            };
+            Some(FaultSpec {
+                core: get_num("fault_core")?.map_or(0, |n| n as u32),
+                at_instret: get_num("fault_at")?.map_or(0, |n| n as u64),
+                kind,
+            })
+        }
+        Some(_) => return Err("`fault` must be a string".into()),
+    };
+    Ok(JobSpec {
+        scenario: scenario.clone(),
+        params,
+        sched: spec.mode,
+        sched_label: spec.label,
+        quick,
+        fault,
+    })
+}
+
+/// Minimal HTTP client for the load generator, tests and CI smoke:
+/// one request, `Connection: close`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut resp = Vec::new();
+    stream.read_to_end(&mut resp)?;
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// Extract a numeric field from a flat JSON response.
+pub fn json_field_u64(body: &str, key: &str) -> Option<u64> {
+    let pairs = parse_flat_json(body).ok()?;
+    pairs.iter().find_map(|(k, v)| match v {
+        JsonVal::Num(n) if k == key => Some(*n as u64),
+        _ => None,
+    })
+}
+
+/// Extract a string field from a flat JSON response.
+pub fn json_field_str(body: &str, key: &str) -> Option<String> {
+    let pairs = parse_flat_json(body).ok()?;
+    pairs.iter().find_map(|(k, v)| match v {
+        JsonVal::Str(s) if k == key => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// What a load-generation burst observed (the `service` section of a
+/// BENCH file, and the CI smoke assertions, come from this).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Accepted (`202`).
+    pub accepted: usize,
+    /// Rejected with backpressure (`429` + retry hint).
+    pub rejected: usize,
+    /// Accepted jobs that finished `done`.
+    pub completed: usize,
+    /// Accepted jobs that finished `failed` (with a structured kind).
+    pub failed: usize,
+    /// Structured failure kinds observed, in job order.
+    pub failure_kinds: Vec<String>,
+    /// Health checks answered `200` during the burst and drain.
+    pub health_ok: usize,
+    /// Health checks attempted.
+    pub health_checks: usize,
+    /// Whether every `429` carried a `retry_after_ms` hint.
+    pub backpressure_hinted: bool,
+    /// Wall time from first submission to last completion.
+    pub wall_s: f64,
+    /// Completed jobs per second of burst wall time.
+    pub throughput_jobs_per_s: f64,
+}
+
+/// Submit a burst of job documents against a running service, poll every
+/// accepted job to completion, and health-check throughout. Backpressured
+/// submissions are *not* retried — the rejection count is the point.
+pub fn generate_load(
+    addr: &str,
+    bodies: &[String],
+    timeout: Duration,
+) -> Result<LoadReport, String> {
+    let start = Instant::now();
+    let mut accepted_ids = Vec::new();
+    let mut rejected = 0usize;
+    let mut backpressure_hinted = true;
+    let mut health_ok = 0usize;
+    let mut health_checks = 0usize;
+    let health = |ok: &mut usize, n: &mut usize| {
+        *n += 1;
+        if let Ok((200, _)) = http_request(addr, "GET", "/health", None) {
+            *ok += 1;
+        }
+    };
+    for body in bodies {
+        let (status, resp) =
+            http_request(addr, "POST", "/jobs", Some(body)).map_err(|e| e.to_string())?;
+        match status {
+            202 => {
+                let id = json_field_u64(&resp, "id").ok_or("202 without an id")?;
+                accepted_ids.push(id);
+            }
+            429 => {
+                rejected += 1;
+                if json_field_u64(&resp, "retry_after_ms").is_none() {
+                    backpressure_hinted = false;
+                }
+            }
+            other => return Err(format!("unexpected submit status {other}: {resp}")),
+        }
+        health(&mut health_ok, &mut health_checks);
+    }
+    // Poll accepted jobs to completion, health-checking as we go.
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    let mut failure_kinds = Vec::new();
+    let mut pending: VecDeque<u64> = accepted_ids.iter().copied().collect();
+    while let Some(id) = pending.pop_front() {
+        if start.elapsed() > timeout {
+            return Err(format!(
+                "burst timed out with {} jobs unfinished",
+                pending.len() + 1
+            ));
+        }
+        let (status, resp) =
+            http_request(addr, "GET", &format!("/jobs/{id}"), None).map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("status {status} for job {id}: {resp}"));
+        }
+        match json_field_str(&resp, "status").as_deref() {
+            Some("done") => completed += 1,
+            Some("failed") => {
+                failed += 1;
+                failure_kinds
+                    .push(json_field_str(&resp, "error_kind").unwrap_or_else(|| "?".into()));
+            }
+            _ => {
+                pending.push_back(id);
+                health(&mut health_ok, &mut health_checks);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok(LoadReport {
+        submitted: bodies.len(),
+        accepted: accepted_ids.len(),
+        rejected,
+        completed,
+        failed,
+        failure_kinds,
+        health_ok,
+        health_checks,
+        backpressure_hinted,
+        wall_s,
+        throughput_jobs_per_s: if wall_s > 0.0 {
+            completed as f64 / wall_s
+        } else {
+            0.0
+        },
+    })
+}
+
+/// A small, fast job document for bursts (quick net8020 at few ticks).
+pub fn tiny_job_body(seed: u32) -> String {
+    format!("{{\"scenario\": \"net8020\", \"seed\": {seed}, \"sched\": \"relaxed\", \"ticks\": 10, \"n\": 60}}")
+}
+
+/// In-process service benchmark: burst `n_jobs` tiny jobs (two of them
+/// deliberately faulty — a host panic and a guest trap) through a small
+/// queue, and report throughput plus failure isolation. This is what the
+/// perf baseline records into the BENCH `service` section.
+pub fn service_benchmark(n_jobs: usize) -> Result<LoadReport, String> {
+    let handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_cap: 8,
+        workers: 2,
+        supervise: SuperviseConfig {
+            wall_limit: Some(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = handle.addr().to_string();
+    let mut bodies: Vec<String> = (0..n_jobs as u32).map(tiny_job_body).collect();
+    if bodies.len() >= 2 {
+        bodies[0] = "{\"scenario\": \"net8020\", \"seed\": 5, \"sched\": \"relaxed\", \
+                     \"ticks\": 10, \"n\": 60, \"fault\": \"panic\"}"
+            .to_string();
+        bodies[1] = "{\"scenario\": \"net8020\", \"seed\": 6, \"sched\": \"relaxed\", \
+                     \"ticks\": 10, \"n\": 60, \"fault\": \"trap\"}"
+            .to_string();
+    }
+    let report = generate_load(&addr, &bodies, Duration::from_secs(180));
+    handle.shutdown_and_join();
+    report
+}
+
+/// Whether a load report demonstrates failure isolation: the injected
+/// faults failed *structurally* (panic / guest-trap kinds), everything
+/// else completed, and the server answered every health check.
+pub fn failure_isolated(report: &LoadReport) -> bool {
+    report.failed >= 2
+        && report.failure_kinds.iter().any(|k| k == "panic")
+        && report.failure_kinds.iter().any(|k| k == "guest-trap")
+        && report.completed + report.failed == report.accepted
+        && report.health_ok == report.health_checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_parses_the_job_shapes() {
+        let pairs = parse_flat_json(
+            "{\"scenario\": \"net8020\", \"seed\": 5, \"quick\": true, \"wall\": 1.5}",
+        )
+        .unwrap();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0].1, JsonVal::Str("net8020".into()));
+        assert_eq!(pairs[1].1, JsonVal::Num(5.0));
+        assert_eq!(pairs[2].1, JsonVal::Bool(true));
+        assert_eq!(pairs[3].1, JsonVal::Num(1.5));
+        assert!(parse_flat_json("{\"k\": }").is_err());
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn job_documents_validate() {
+        let job = parse_job("{\"scenario\": \"net8020\", \"seed\": 7}").unwrap();
+        assert_eq!(job.scenario, "net8020");
+        assert_eq!(job.params.seed, Some(7));
+        assert_eq!(job.sched_label, "relaxed");
+        assert!(job.quick);
+        assert!(job.fault.is_none());
+
+        let err = parse_job("{\"seed\": 7}").unwrap_err();
+        assert!(err.contains("scenario"), "{err}");
+        let err = parse_job("{\"scenario\": \"nope\"}").unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+        let err = parse_job("{\"scenario\": \"net8020\", \"sched\": \"bogus\"}").unwrap_err();
+        assert!(err.contains("unknown sched label"), "{err}");
+    }
+
+    #[test]
+    fn job_documents_carry_fault_plans() {
+        let job = parse_job(
+            "{\"scenario\": \"net8020\", \"fault\": \"stall\", \"fault_core\": 1, \
+             \"fault_at\": 500, \"fault_arg\": 80}",
+        )
+        .unwrap();
+        let fault = job.fault.expect("fault parsed");
+        assert_eq!(fault.core, 1);
+        assert_eq!(fault.at_instret, 500);
+        assert_eq!(fault.kind, FaultKind::StallMs(80));
+        let err = parse_job("{\"scenario\": \"net8020\", \"fault\": \"meteor\"}").unwrap_err();
+        assert!(err.contains("unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn json_escaping_is_safe_for_messages() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,309 @@
+//! Supervised scenario execution: panic isolation, wall-clock deadlines,
+//! a structured failure taxonomy and a retry policy.
+//!
+//! Everything above the simulator that runs workloads in bulk — the
+//! battery runner, the scenario service — funnels each run through
+//! [`run_supervised`] so a misbehaving run degrades into a *structured,
+//! attributable failure* instead of taking its host thread (and every
+//! sibling job) down with it:
+//!
+//! * the attempt executes under `catch_unwind`, so a host panic becomes
+//!   [`RunErrorKind::Panic`] instead of poisoning shared state;
+//! * the wall-clock budget is installed as the system's cooperative
+//!   watchdog ([`izhi_sim::SystemConfig::wall_limit`]), so a stalled run
+//!   surfaces as [`RunErrorKind::WallClockTimeout`] even when the guest
+//!   clock is not advancing;
+//! * simulator errors and verification rejections are classified into
+//!   [`RunErrorKind`], replacing the stringly error plumbing;
+//! * host-side transients are retried with capped exponential backoff
+//!   ([`RetryPolicy`]); deterministic guest failures are not (they would
+//!   reproduce bit-identically).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use izhi_programs::engine::{run_workload, WorkloadResult};
+use izhi_programs::scenario::Workload;
+use izhi_sim::SimError;
+
+/// Classification of a failed supervised run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// The run panicked on the host; the panic was caught and isolated.
+    Panic,
+    /// The guest trapped (or its image failed to load).
+    GuestTrap,
+    /// The guest-cycle budget ran out before the workload halted.
+    CycleBudget,
+    /// The wall-clock deadline fired: a host-side condition (loaded
+    /// machine, stalled host thread) that says nothing about the guest.
+    WallClockTimeout,
+    /// The run completed but the scenario's verification hook rejected
+    /// the result.
+    VerifyFailed,
+}
+
+impl RunErrorKind {
+    /// Stable lowercase label for rows, JSON and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunErrorKind::Panic => "panic",
+            RunErrorKind::GuestTrap => "guest-trap",
+            RunErrorKind::CycleBudget => "cycle-budget",
+            RunErrorKind::WallClockTimeout => "wall-clock-timeout",
+            RunErrorKind::VerifyFailed => "verify-failed",
+        }
+    }
+
+    /// Classify a simulator error.
+    pub fn of_sim_error(e: &SimError) -> RunErrorKind {
+        match e {
+            // A segment that does not fit is a broken guest image — the
+            // guest's fault, like a trap, and just as deterministic.
+            SimError::Trap { .. } | SimError::LoadError { .. } => RunErrorKind::GuestTrap,
+            SimError::Timeout { .. } => RunErrorKind::CycleBudget,
+            SimError::WallClock { .. } => RunErrorKind::WallClockTimeout,
+        }
+    }
+}
+
+impl core::fmt::Display for RunErrorKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A failed supervised run: the structured replacement for the stringly
+/// `row.error`. Composes with `?` and `Box<dyn Error>` call sites;
+/// [`std::error::Error::source`] exposes the underlying [`SimError`]
+/// when there is one.
+#[derive(Debug, Clone)]
+pub struct RunError {
+    /// Failure class.
+    pub kind: RunErrorKind,
+    /// Human-readable detail (panic payload, trap description,
+    /// verification message).
+    pub message: String,
+    /// Attempts made, including the final failing one (>= 1).
+    pub attempts: u32,
+    /// The simulator error underneath, for error-chain consumers.
+    pub source: Option<SimError>,
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} after {} attempt(s): {}",
+            self.kind, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+/// Retry policy with capped exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (>= 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Whether a failure class is worth retrying. Guest-deterministic
+    /// failures (trap, cycle budget, rejected verification) reproduce
+    /// bit-identically, so retrying them only burns time; panics are
+    /// treated the same way (the simulator is deterministic — a panic
+    /// will recur). Only the wall clock depends on host conditions.
+    pub fn retryable(&self, kind: RunErrorKind) -> bool {
+        matches!(kind, RunErrorKind::WallClockTimeout)
+    }
+
+    /// Backoff before retry number `retry` (1-based): capped exponential.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Supervision knobs for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuperviseConfig {
+    /// Wall-clock budget installed into the workload's system config
+    /// before each attempt (`None` leaves the workload's own setting).
+    pub wall_limit: Option<Duration>,
+    /// Guest-cycle budget override (`None` uses the workload's own
+    /// [`Workload::max_cycles`]).
+    pub max_cycles: Option<u64>,
+    /// Retry policy for retryable failure classes.
+    pub retry: RetryPolicy,
+}
+
+/// A successful supervised run.
+#[derive(Debug, Clone)]
+pub struct Supervised {
+    /// The workload result (verification already passed).
+    pub result: WorkloadResult,
+    /// Attempts it took (> 1 only after retried transients).
+    pub attempts: u32,
+}
+
+/// Best-effort text of a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// Run a workload under full supervision: panic isolation, the wall-clock
+/// watchdog, result verification and the retry policy. Returns the first
+/// attempt that runs *and verifies*, or the structured error of the last
+/// attempt.
+pub fn run_supervised(
+    wl: &mut dyn Workload,
+    sup: &SuperviseConfig,
+) -> Result<Supervised, RunError> {
+    if let Some(limit) = sup.wall_limit {
+        wl.cfg_mut().system.wall_limit = Some(limit);
+    }
+    let max_cycles = sup.max_cycles.unwrap_or_else(|| wl.max_cycles());
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match attempt(&*wl, max_cycles) {
+            Ok(result) => return Ok(Supervised { result, attempts }),
+            Err((kind, message, source)) => {
+                let budget = sup.retry.max_attempts.max(1);
+                if attempts < budget && sup.retry.retryable(kind) {
+                    std::thread::sleep(sup.retry.backoff(attempts));
+                    continue;
+                }
+                return Err(RunError {
+                    kind,
+                    message,
+                    attempts,
+                    source,
+                });
+            }
+        }
+    }
+}
+
+/// One supervised attempt: run under `catch_unwind`, classify the
+/// outcome, verify on success.
+#[allow(clippy::type_complexity)]
+fn attempt(
+    wl: &dyn Workload,
+    max_cycles: u64,
+) -> Result<WorkloadResult, (RunErrorKind, String, Option<SimError>)> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        run_workload(wl.cfg(), wl.image(), max_cycles)
+    }));
+    match caught {
+        Err(payload) => Err((RunErrorKind::Panic, panic_message(&*payload), None)),
+        Ok(Err(e)) => Err((RunErrorKind::of_sim_error(&e), e.to_string(), Some(e))),
+        Ok(Ok(res)) => match wl.verify(&res) {
+            Ok(()) => Ok(res),
+            Err(msg) => Err((RunErrorKind::VerifyFailed, msg, None)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(300),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(50));
+        assert_eq!(p.backoff(2), Duration::from_millis(100));
+        assert_eq!(p.backoff(3), Duration::from_millis(200));
+        assert_eq!(p.backoff(4), Duration::from_millis(300), "capped");
+        assert_eq!(p.backoff(60), Duration::from_millis(300), "no overflow");
+    }
+
+    #[test]
+    fn only_wall_clock_failures_are_retryable() {
+        let p = RetryPolicy::default();
+        assert!(p.retryable(RunErrorKind::WallClockTimeout));
+        for kind in [
+            RunErrorKind::Panic,
+            RunErrorKind::GuestTrap,
+            RunErrorKind::CycleBudget,
+            RunErrorKind::VerifyFailed,
+        ] {
+            assert!(!p.retryable(kind), "{kind} must not be retried");
+        }
+    }
+
+    #[test]
+    fn sim_errors_classify_into_the_taxonomy() {
+        use izhi_sim::SimError;
+        assert_eq!(
+            RunErrorKind::of_sim_error(&SimError::Timeout { max_cycles: 1 }),
+            RunErrorKind::CycleBudget
+        );
+        assert_eq!(
+            RunErrorKind::of_sim_error(&SimError::WallClock {
+                limit: Duration::from_secs(1)
+            }),
+            RunErrorKind::WallClockTimeout
+        );
+        assert_eq!(
+            RunErrorKind::of_sim_error(&SimError::LoadError { base: 0 }),
+            RunErrorKind::GuestTrap
+        );
+    }
+
+    #[test]
+    fn run_error_chains_to_the_sim_error() {
+        let err = RunError {
+            kind: RunErrorKind::CycleBudget,
+            message: "budget".into(),
+            attempts: 1,
+            source: Some(SimError::Timeout { max_cycles: 7 }),
+        };
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        let src = boxed.source().expect("chained source");
+        assert!(src.to_string().contains("7 cycles"), "{src}");
+    }
+}

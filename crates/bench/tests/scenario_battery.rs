@@ -6,7 +6,7 @@
 //! here automatically; one that breaks the cross-mode contract cannot
 //! land.
 
-use izhi_bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
+use izhi_bench::battery::{self, BatteryRunner, BatterySpec};
 use izhi_programs::scenario::{self, ScenarioParams};
 use izhi_sim::{SchedMode, TimingModel};
 
@@ -121,11 +121,8 @@ fn battery_runner_shards_the_registry_and_checks_identity() {
     let specs: Vec<BatterySpec> = scenario::registry()
         .iter()
         .map(|s| BatterySpec {
-            scenario: s.name,
-            params: ScenarioParams::default(),
             seeds: vec![s.battery_seeds[0]],
-            scheds: SchedSpec::default_set(2),
-            quick: true,
+            ..BatterySpec::quick(s, 2)
         })
         .collect();
     let rows = BatteryRunner { host_threads: 2 }

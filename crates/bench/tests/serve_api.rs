@@ -1,0 +1,202 @@
+//! Scenario-service acceptance suite: the HTTP API contract, bounded-
+//! queue backpressure, per-job supervision (a poisoned job must never
+//! take the server down), and graceful shutdown that drains accepted
+//! work while still answering health and status queries.
+
+use std::time::{Duration, Instant};
+
+use izhi_bench::serve::{
+    failure_isolated, generate_load, http_request, json_field_str, json_field_u64, tiny_job_body,
+    ServeConfig, Server, ServerHandle,
+};
+use izhi_bench::supervise::SuperviseConfig;
+
+fn start(queue_cap: usize, workers: usize) -> ServerHandle {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_cap,
+        workers,
+        supervise: SuperviseConfig {
+            wall_limit: Some(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+/// Poll one job until it leaves the queue/running states.
+fn wait_for_job(addr: &str, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) =
+            http_request(addr, "GET", &format!("/jobs/{id}"), None).expect("status query");
+        assert_eq!(status, 200, "job {id}: {body}");
+        match json_field_str(&body, "status").as_deref() {
+            Some("done") | Some("failed") => return body,
+            _ if Instant::now() > deadline => panic!("job {id} never finished: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[test]
+fn health_and_submit_and_result_round_trip() {
+    let handle = start(8, 2);
+    let addr = handle.addr().to_string();
+
+    let (status, body) = http_request(&addr, "GET", "/health", None).expect("health");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_field_str(&body, "status").as_deref(), Some("ok"));
+
+    let (status, body) =
+        http_request(&addr, "POST", "/jobs", Some(&tiny_job_body(5))).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    let id = json_field_u64(&body, "id").expect("id in the 202");
+
+    let body = wait_for_job(&addr, id);
+    assert_eq!(
+        json_field_str(&body, "status").as_deref(),
+        Some("done"),
+        "{body}"
+    );
+    assert!(json_field_u64(&body, "spikes").unwrap_or(0) > 0, "{body}");
+    assert!(json_field_str(&body, "raster_hash").is_some(), "{body}");
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn bad_requests_are_rejected_not_crashed() {
+    let handle = start(8, 1);
+    let addr = handle.addr().to_string();
+
+    for (body, what) in [
+        ("not json", "garbage body"),
+        ("{\"scenario\": \"does-not-exist\"}", "unknown scenario"),
+        ("{\"seed\": 1}", "missing scenario"),
+        (
+            "{\"scenario\": \"net8020\", \"sched\": \"warp-speed\"}",
+            "unknown sched",
+        ),
+    ] {
+        let (status, resp) = http_request(&addr, "POST", "/jobs", Some(body)).expect(what);
+        assert_eq!(status, 400, "{what}: {resp}");
+    }
+    let (status, _) = http_request(&addr, "GET", "/jobs/999", None).expect("unknown id");
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "GET", "/nope", None).expect("unknown path");
+    assert_eq!(status, 404);
+    let (status, _) = http_request(&addr, "DELETE", "/health", None).expect("bad method");
+    assert_eq!(status, 405);
+
+    // The server still works after all of that.
+    let (status, _) = http_request(&addr, "GET", "/health", None).expect("health");
+    assert_eq!(status, 200);
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn a_burst_beyond_capacity_is_backpressured_and_accepted_jobs_complete() {
+    // 50 jobs into a queue of 4 with 2 workers: rejections are certain,
+    // and every accepted job must still complete while health stays up.
+    let handle = start(4, 2);
+    let addr = handle.addr().to_string();
+    let mut bodies: Vec<String> = (0..50u32).map(tiny_job_body).collect();
+    // Two poisoned jobs ride along: a host panic and a guest trap.
+    bodies[0] = "{\"scenario\": \"net8020\", \"seed\": 5, \"ticks\": 10, \"n\": 60, \
+                 \"fault\": \"panic\"}"
+        .to_string();
+    bodies[1] = "{\"scenario\": \"net8020\", \"seed\": 6, \"ticks\": 10, \"n\": 60, \
+                 \"fault\": \"trap\"}"
+        .to_string();
+
+    let report = generate_load(&addr, &bodies, Duration::from_secs(120)).expect("burst");
+    assert_eq!(report.submitted, 50);
+    assert!(report.rejected > 0, "burst past capacity must see 429s");
+    assert!(report.backpressure_hinted, "429s carry retry_after_ms");
+    assert_eq!(
+        report.completed + report.failed,
+        report.accepted,
+        "every accepted job finished"
+    );
+    assert_eq!(
+        report.health_ok, report.health_checks,
+        "health stayed answered throughout"
+    );
+    assert!(
+        failure_isolated(&report),
+        "poisoned jobs must fail structurally without downing the server: {report:?}"
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn a_panicking_job_reports_its_kind_and_spares_its_neighbours() {
+    let handle = start(8, 1); // single worker: the panic and the clean job share it
+    let addr = handle.addr().to_string();
+
+    let poison = "{\"scenario\": \"net8020\", \"seed\": 5, \"ticks\": 10, \"n\": 60, \
+                  \"fault\": \"panic\", \"fault_at\": 1000}";
+    let (status, body) = http_request(&addr, "POST", "/jobs", Some(poison)).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    let poison_id = json_field_u64(&body, "id").unwrap();
+    let (status, body) =
+        http_request(&addr, "POST", "/jobs", Some(&tiny_job_body(7))).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    let clean_id = json_field_u64(&body, "id").unwrap();
+
+    let body = wait_for_job(&addr, poison_id);
+    assert_eq!(
+        json_field_str(&body, "status").as_deref(),
+        Some("failed"),
+        "{body}"
+    );
+    assert_eq!(
+        json_field_str(&body, "error_kind").as_deref(),
+        Some("panic"),
+        "{body}"
+    );
+    let body = wait_for_job(&addr, clean_id);
+    assert_eq!(
+        json_field_str(&body, "status").as_deref(),
+        Some("done"),
+        "the worker survived the panic: {body}"
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_and_refuses_new_ones() {
+    let handle = start(16, 2);
+    let addr = handle.addr().to_string();
+    let ids: Vec<u64> = (0..6u32)
+        .map(|seed| {
+            let (status, body) =
+                http_request(&addr, "POST", "/jobs", Some(&tiny_job_body(seed))).expect("submit");
+            assert_eq!(status, 202, "{body}");
+            json_field_u64(&body, "id").unwrap()
+        })
+        .collect();
+
+    let (status, body) = http_request(&addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(status, 202, "{body}");
+
+    // While draining: no new admissions, but health and status answer.
+    let (status, _) =
+        http_request(&addr, "POST", "/jobs", Some(&tiny_job_body(99))).expect("late submit");
+    assert_eq!(status, 503, "admissions closed during the drain");
+    let (status, body) = http_request(&addr, "GET", "/health", None).expect("health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\": true"), "{body}");
+
+    // Every job accepted before the shutdown still completes.
+    for id in ids {
+        let body = wait_for_job(&addr, id);
+        assert_eq!(
+            json_field_str(&body, "status").as_deref(),
+            Some("done"),
+            "accepted job {id} drained: {body}"
+        );
+    }
+    handle.join();
+}

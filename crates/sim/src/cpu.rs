@@ -17,7 +17,7 @@ use izhi_isa::reg::Reg;
 use crate::cache::{Access, Cache};
 use crate::counters::{CostTable, PerfCounters};
 use crate::mem::layout;
-use crate::mmio::MmioEffect;
+use crate::mmio::{FaultKind, MmioEffect};
 use crate::predecode::{MicroOp, PreInst, SlotState, NO_DEST};
 use crate::system::Shared;
 
@@ -168,6 +168,14 @@ pub enum TrapCause {
         /// Offending data address.
         addr: u32,
     },
+    /// A scheduled fault from the system's
+    /// [`FaultPlan`](crate::mmio::FaultPlan) fired as a guest trap.
+    InjectedFault {
+        /// pc at the trigger point.
+        pc: u32,
+        /// Retired-instruction count at the trigger point.
+        instret: u64,
+    },
 }
 
 impl core::fmt::Display for TrapCause {
@@ -184,6 +192,9 @@ impl core::fmt::Display for TrapCause {
             ),
             TrapCause::Misaligned { pc, addr } => {
                 write!(f, "misaligned access to {addr:#010x} (pc {pc:#010x})")
+            }
+            TrapCause::InjectedFault { pc, instret } => {
+                write!(f, "injected fault at pc {pc:#010x} (instret {instret})")
             }
         }
     }
@@ -253,6 +264,14 @@ pub struct Core {
     /// hit (only this core's fetches mutate its I-cache), skipping the
     /// tag probe entirely.
     last_iline: u32,
+    /// Armed fault from the system's [`FaultPlan`](crate::mmio::FaultPlan):
+    /// `(at_instret, kind)`, cleared once fired. `None` (the default)
+    /// keeps the trigger check to one never-taken branch per instruction.
+    fault: Option<(u64, FaultKind)>,
+    /// Pending spike-log corruption: XORed into the next spike-log store's
+    /// value, then cleared. Only a fired [`FaultKind::CorruptSpike`] sets
+    /// this.
+    spike_corrupt: u32,
 }
 
 impl Core {
@@ -276,7 +295,15 @@ impl Core {
             prev_stall_dest: NO_DEST,
             iline_shift,
             last_iline: u32::MAX,
+            fault: None,
+            spike_corrupt: 0,
         }
+    }
+
+    /// Arm a scheduled fault (the system does this at construction from
+    /// its [`FaultPlan`](crate::mmio::FaultPlan)).
+    pub(crate) fn arm_fault(&mut self, at_instret: u64, kind: FaultKind) {
+        self.fault = Some((at_instret, kind));
     }
 
     /// Read an architectural register.
@@ -498,7 +525,17 @@ impl Core {
                 } else {
                     0
                 };
-                let effect = ctx.mmio_write(self.id, addr - layout::MMIO_BASE, value);
+                let offset = addr - layout::MMIO_BASE;
+                // Pending injected corruption lands on the next spike-log
+                // word; architectural state is never touched.
+                let value = if self.spike_corrupt != 0 && offset == layout::MMIO_SPIKE_LOG {
+                    let v = value ^ self.spike_corrupt;
+                    self.spike_corrupt = 0;
+                    v
+                } else {
+                    value
+                };
+                let effect = ctx.mmio_write(self.id, offset, value);
                 return Ok((extra, effect));
             }
             return Err(TrapCause::BadAccess {
@@ -672,6 +709,15 @@ impl Core {
     #[allow(clippy::too_many_lines)]
     pub(crate) fn exec_one<T: Timing, C: ExecCtx>(&mut self, ctx: &mut C) -> Result<(), TrapCause> {
         let pc = self.pc;
+        // Fault-injection trigger: instret is schedule-invariant per core,
+        // so a plan fires at the same architectural point under every
+        // scheduling mode. Unarmed (the default) this is one never-taken
+        // branch.
+        if let Some((at, _)) = self.fault {
+            if self.counters.instret >= at {
+                self.fire_fault(pc)?;
+            }
+        }
         if !pc.is_multiple_of(4) {
             return Err(TrapCause::BadFetch { pc });
         }
@@ -1027,6 +1073,32 @@ impl Core {
             self.apply_effect::<T>(effect);
         }
         Ok(())
+    }
+
+    /// Fire the armed fault (out of line; at most once per run). Returns
+    /// `Err` only for [`FaultKind::GuestTrap`]; the other kinds perturb
+    /// host or output state and let execution continue.
+    #[cold]
+    fn fire_fault(&mut self, pc: u32) -> Result<(), TrapCause> {
+        let (_, kind) = self.fault.take().expect("trigger check saw an armed fault");
+        match kind {
+            FaultKind::GuestTrap => Err(TrapCause::InjectedFault {
+                pc,
+                instret: self.counters.instret,
+            }),
+            FaultKind::StallMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            FaultKind::CorruptSpike(mask) => {
+                self.spike_corrupt = mask;
+                Ok(())
+            }
+            FaultKind::HostPanic => panic!(
+                "injected host panic on core {} (pc {pc:#010x}, instret {})",
+                self.id, self.counters.instret
+            ),
+        }
     }
 
     /// Rare MMIO side effects (halt / ROI markers / barrier parking), out

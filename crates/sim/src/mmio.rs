@@ -8,6 +8,77 @@
 
 use crate::mem::layout;
 
+/// What an injected fault does when it fires (see [`FaultPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Raise a guest trap on the victim core
+    /// ([`TrapCause::InjectedFault`](crate::cpu::TrapCause::InjectedFault)).
+    GuestTrap,
+    /// Stall the victim core's host thread for this many milliseconds —
+    /// the guest-visible state is untouched, so only a wall-clock
+    /// watchdog can notice.
+    StallMs(u64),
+    /// XOR this mask into the next spike-log word the victim core writes:
+    /// a silent corruption of non-architectural output that only
+    /// downstream verification (raster hashing) can catch.
+    CorruptSpike(u32),
+    /// Panic on the host thread driving the victim core — exercises
+    /// `catch_unwind` supervision in the harness above the simulator.
+    HostPanic,
+}
+
+/// One scheduled fault: fires on `core` at the first instruction executed
+/// with at least `at_instret` instructions already retired, then disarms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Victim hart id.
+    pub core: u32,
+    /// Retired-instruction trigger point (0 fires on the first
+    /// instruction). Instret is schedule-invariant per core, so a plan
+    /// replays identically under every scheduling mode.
+    pub at_instret: u64,
+    /// What happens at the trigger point.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, replayable fault schedule carried on
+/// [`SystemConfig`](crate::system::SystemConfig). The default (empty)
+/// plan injects nothing and leaves every run bit-identical to an
+/// unplanned one — the fault-injection property suite pins this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults. At most one fault is armed per core (the
+    /// first spec listed for that core wins).
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (same as `Default`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: add one scheduled fault.
+    pub fn with(mut self, core: u32, at_instret: u64, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec {
+            core,
+            at_instret,
+            kind,
+        });
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault armed for `core`, if any (first spec wins).
+    pub(crate) fn for_core(&self, core: u32) -> Option<FaultSpec> {
+        self.faults.iter().copied().find(|f| f.core == core)
+    }
+}
+
 /// Side effects an MMIO write asks the core to apply to itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MmioEffect {

@@ -55,7 +55,9 @@
 //! counters and logs are *guaranteed unchanged*, which is what the
 //! differential suites exercise.
 
-use std::sync::{Condvar, Mutex};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 use izhi_isa::inst::{LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
@@ -64,7 +66,7 @@ use crate::cpu::{Core, ExecCtx, RunStop, Timing, TrapCause};
 use crate::mem::{layout, MainMemory};
 use crate::mmio::{is_interactive, MmioEffect, SharedDevices};
 use crate::predecode::{CodeMem, CodeTable, MicroOp, PreInst};
-use crate::system::{SimError, System};
+use crate::system::{SimError, System, Watchdog};
 
 /// Resolve a requested host-thread count: `0` means "auto" — the
 /// `IZHI_HOST_THREADS` environment variable if set (CI forces `2` there so
@@ -465,6 +467,25 @@ enum Pending {
     Job,
     /// The parallel portion finished with this result.
     Done(Result<RunStop, TrapCause>),
+    /// The parallel portion panicked (host bug or an injected
+    /// `FaultKind::HostPanic`). The worker caught the payload so the
+    /// round rendezvous still completes; the coordinator re-raises it on
+    /// the calling thread once the pool is shut down.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// Why `coordinate` abandoned the run: a simulator error (reported
+/// exactly as the sequential scheduler would), or a worker panic to
+/// re-raise on the calling thread after the thread scope has joined.
+enum RoundError {
+    Sim(SimError),
+    Panic(Box<dyn Any + Send>),
+}
+
+impl From<SimError> for RoundError {
+    fn from(e: SimError) -> Self {
+        RoundError::Sim(e)
+    }
 }
 
 /// One core's state while the run is threaded. The mutex is uncontended
@@ -597,12 +618,20 @@ fn worker_loop<T: Timing>(
                     },
                     csr_writeback: env.csr_writeback,
                 };
-                *pending = Pending::Done(run_quantum_parallel::<T>(
-                    core,
-                    &mut ctx,
-                    *bound,
-                    env.max_cycles,
-                ));
+                // A panicking quantum must not strand the rendezvous:
+                // catch it here (before it can poison the slot mutex or
+                // skip `finish_round`), park the payload in the slot, and
+                // let the coordinator re-raise it after the round. The
+                // `AssertUnwindSafe` is sound because a `Panicked` slot
+                // aborts the whole run — its possibly-inconsistent core
+                // state is never used again.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    run_quantum_parallel::<T>(core, &mut ctx, *bound, env.max_cycles)
+                }));
+                *pending = match run {
+                    Ok(outcome) => Pending::Done(outcome),
+                    Err(payload) => Pending::Panicked(payload),
+                };
             }
             drop(slot);
             i += stride;
@@ -638,12 +667,18 @@ fn coordinate<T: Timing>(
     sync: &RoundSync,
     workers: usize,
     env: RunEnv,
-) -> Result<(), SimError> {
+    wd: &mut Watchdog,
+) -> Result<(), RoundError> {
     let n = slots.len();
     // Generation at which each parked core arrived (same bookkeeping as
     // the sequential relaxed scheduler).
     let mut parked_gen: Vec<Option<u32>> = vec![None; n];
     loop {
+        // One wall-clock check per round, mirroring the sequential
+        // scheduler's per-rotation cadence. A worker stalled mid-round
+        // (e.g. an injected stall fault) delays the check until the
+        // round's rendezvous completes — enforcement stays cooperative.
+        wd.check()?;
         // Plan: post one quantum per runnable core. Parked cores are
         // excluded — whether they wake this round depends on barrier
         // writes that earlier harts commit *during* the round.
@@ -703,7 +738,8 @@ fn coordinate<T: Timing>(
                     RunStop::Budget => {
                         return Err(SimError::Timeout {
                             max_cycles: env.max_cycles,
-                        })
+                        }
+                        .into())
                     }
                     RunStop::SharedOp => unreachable!("run_while never defers"),
                 }
@@ -713,6 +749,9 @@ fn coordinate<T: Timing>(
                 Pending::Idle => continue, // halted before the round
                 Pending::Job => unreachable!("round barrier guarantees completion"),
                 Pending::Done(outcome) => outcome,
+                // Abandon the run; the caller re-raises the panic on its
+                // own thread once the worker pool has joined.
+                Pending::Panicked(payload) => return Err(RoundError::Panic(payload)),
             };
             any_ran = true;
             buf.flush_into(dev);
@@ -724,7 +763,8 @@ fn coordinate<T: Timing>(
                 RunStop::Budget => {
                     return Err(SimError::Timeout {
                         max_cycles: env.max_cycles,
-                    })
+                    }
+                    .into())
                 }
                 RunStop::Parked => unreachable!("shard contexts never park"),
                 RunStop::SharedOp => {
@@ -742,7 +782,8 @@ fn coordinate<T: Timing>(
                         RunStop::Budget => {
                             return Err(SimError::Timeout {
                                 max_cycles: env.max_cycles,
-                            })
+                            }
+                            .into())
                         }
                         RunStop::SharedOp => unreachable!("run_while never defers"),
                     }
@@ -755,7 +796,8 @@ fn coordinate<T: Timing>(
             // surfaces.
             return Err(SimError::Timeout {
                 max_cycles: env.max_cycles,
-            });
+            }
+            .into());
         }
     }
 }
@@ -768,13 +810,14 @@ impl System {
         quantum: u64,
         host_threads: u32,
         max_cycles: u64,
+        wd: &mut Watchdog,
     ) -> Result<(), SimError> {
         let quantum = quantum.max(1);
         let n = self.cores.len();
         if n <= 1 {
             // One core has no rounds to parallelise; the sequential
             // scheduler is the same schedule without the thread pool.
-            return self.run_relaxed::<T>(quantum, max_cycles);
+            return self.run_relaxed::<T>(quantum, max_cycles, wd);
         }
         let workers = (resolve_host_threads(host_threads) as usize).clamp(1, n);
         let env = RunEnv {
@@ -803,20 +846,38 @@ impl System {
                 let (slots, sync) = (&slots, &sync);
                 scope.spawn(move || worker_loop::<T>(w, workers, slots, sync, env));
             }
-            let out = coordinate::<T>(dev, &slots, &sync, workers, env);
+            // The commit phase runs guest code too (`run_direct` finishes
+            // deferred quanta against the real devices), so a panic —
+            // host bug or injected fault — can fire on *this* thread as
+            // well as on a worker. Catch it before it can unwind out of
+            // the scope closure: `thread::scope` would otherwise join the
+            // pool before propagating, and the workers are parked on the
+            // round condvar waiting for a shutdown that never comes.
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                coordinate::<T>(dev, &slots, &sync, workers, env, wd)
+            }))
+            .unwrap_or_else(|payload| Err(RoundError::Panic(payload)));
             sync.shutdown();
             out
         });
         self.cores = slots
             .into_iter()
-            .map(|s| s.into_inner().unwrap().core)
+            .map(|s| s.into_inner().unwrap_or_else(PoisonError::into_inner).core)
             .collect();
         // Guest stores during the run invalidated the per-core shards,
         // not the system's predecode table; drop the latter so any later
         // run of this system re-decodes lazily instead of trusting a
         // possibly stale cache.
         self.shared.code = CodeTable::new(self.cfg.sdram_size, self.cfg.scratch_size);
-        result
+        match result {
+            Ok(()) => Ok(()),
+            Err(RoundError::Sim(e)) => Err(e),
+            // Re-raise the worker's panic here, on the calling thread,
+            // now that the scope has joined the pool — a supervisor's
+            // `catch_unwind` around `run()` sees exactly the panic a
+            // sequential schedule would have raised, never a deadlock.
+            Err(RoundError::Panic(payload)) => resume_unwind(payload),
+        }
     }
 }
 
@@ -1094,6 +1155,72 @@ mod tests {
         });
         sys.load_program(&prog);
         assert!(matches!(sys.run(100_000), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn parallel_worker_panic_unwinds_to_the_caller_instead_of_deadlocking() {
+        // An injected host panic fires on a worker thread mid-quantum.
+        // The round rendezvous must still complete (siblings and the
+        // coordinator may be parked waiting on it) and the panic must
+        // re-raise on the calling thread, where a supervisor's
+        // `catch_unwind` can classify it. A regression here hangs the
+        // test rather than failing it, so keep the run small.
+        use crate::mmio::{FaultKind, FaultPlan};
+        let prog = Assembler::new().assemble(BARRIER_SPIKES_SRC).expect("asm");
+        let mut sys = System::new(SystemConfig {
+            n_cores: 2,
+            sched: SchedMode::RelaxedParallel {
+                quantum: 16,
+                host_threads: 2,
+                timing: TimingModel::Unit,
+            },
+            faults: FaultPlan::none().with(1, 5, FaultKind::HostPanic),
+            ..Default::default()
+        });
+        assert!(sys.load_program(&prog));
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| sys.run(1_000_000)));
+        let payload = run.expect_err("the injected panic surfaces as a panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(msg.contains("injected host panic"), "{msg}");
+    }
+
+    #[test]
+    fn coordinator_panic_during_commit_shuts_the_pool_down_instead_of_deadlocking() {
+        // Mutex traffic is interactive, so nearly all of this guest runs
+        // in the commit phase (`run_direct`) on the *coordinator* thread.
+        // A panic there must still release the parked workers — it
+        // unwinds through the scope closure otherwise, and the scope
+        // joins a pool that is waiting for a round that never starts.
+        use crate::mmio::{FaultKind, FaultPlan};
+        let src = "
+            .equ MUTEX, 0xF000000C
+            _start: li   s0, 2000
+                    li   s1, MUTEX
+            loop:   lw   t0, (s1)
+                    beqz t0, loop
+                    sw   x0, (s1)
+                    addi s0, s0, -1
+                    bnez s0, loop
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).expect("asm");
+        let mut sys = System::new(SystemConfig {
+            n_cores: 2,
+            sched: SchedMode::RelaxedParallel {
+                quantum: 64,
+                host_threads: 2,
+                timing: TimingModel::Unit,
+            },
+            faults: FaultPlan::none().with(0, 1_000, FaultKind::HostPanic),
+            ..Default::default()
+        });
+        assert!(sys.load_program(&prog));
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| sys.run(10_000_000)));
+        assert!(run.is_err(), "the injected panic surfaces as a panic");
     }
 
     #[test]

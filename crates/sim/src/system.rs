@@ -11,8 +11,10 @@ use crate::cpu::{
     Core, EstimatedTiming, ExactTiming, ExecCtx, RunStop, Timing, TrapCause, UnitTiming,
 };
 use crate::mem::{layout, read_slice, write_slice, MainMemory};
-use crate::mmio::{MmioEffect, SharedDevices};
+use crate::mmio::{FaultPlan, MmioEffect, SharedDevices};
 use crate::predecode::{CodeTable, PreInst};
+
+use std::time::{Duration, Instant};
 
 /// The clock model of a relaxed scheduler (exact scheduling always runs
 /// the cycle-accurate model). Semantics are identical across models —
@@ -176,6 +178,15 @@ pub struct SystemConfig {
     pub csr_writeback: bool,
     /// Seed for the MMIO xorshift32 RNG.
     pub rng_seed: u32,
+    /// Wall-clock budget for a run: `None` (the default) runs unwatched;
+    /// `Some(d)` makes [`System::run`] return [`SimError::WallClock`]
+    /// once `d` of host time has elapsed. Checks are cooperative and
+    /// amortised, so enforcement is approximate (a batch granule late)
+    /// but costs nothing on the hot path when unset.
+    pub wall_limit: Option<Duration>,
+    /// Deterministic fault-injection schedule (empty by default; an empty
+    /// plan leaves every run bit-identical to an unplanned one).
+    pub faults: FaultPlan,
 }
 
 impl Default for SystemConfig {
@@ -197,6 +208,8 @@ impl Default for SystemConfig {
             div_latency: 16,
             csr_writeback: false,
             rng_seed: 0xC0FFEE,
+            wall_limit: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -359,6 +372,14 @@ pub enum SimError {
         /// The budget that was exceeded.
         max_cycles: u64,
     },
+    /// The wall-clock budget ([`SystemConfig::wall_limit`]) ran out
+    /// before all cores halted. Unlike [`SimError::Timeout`] this is a
+    /// *host*-side condition: the guest may be perfectly healthy on a
+    /// loaded machine, so supervisors treat it as retryable.
+    WallClock {
+        /// The wall-clock limit that was exceeded.
+        limit: Duration,
+    },
     /// A program segment does not fit in mapped memory.
     LoadError {
         /// Base address of the offending segment.
@@ -373,6 +394,13 @@ impl core::fmt::Display for SimError {
             SimError::Timeout { max_cycles } => {
                 write!(f, "simulation exceeded {max_cycles} cycles")
             }
+            SimError::WallClock { limit } => {
+                write!(
+                    f,
+                    "simulation exceeded the wall-clock limit of {:.3}s",
+                    limit.as_secs_f64()
+                )
+            }
             SimError::LoadError { base } => {
                 write!(f, "program segment at {base:#010x} does not fit in memory")
             }
@@ -381,6 +409,65 @@ impl core::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Cooperative wall-clock watchdog ([`SystemConfig::wall_limit`]).
+///
+/// The schedulers call [`Watchdog::tick`] at fine-grained sites (per
+/// instruction in the fused loop, per pick in the scan loop) — it
+/// amortises the actual clock read over [`Watchdog::STRIDE`] calls — and
+/// [`Watchdog::check`] at coarse batch boundaries (per slice, rotation or
+/// round). Unarmed (the default), both short-circuit on one never-taken
+/// branch and the clock is never read.
+pub(crate) struct Watchdog {
+    deadline: Option<Instant>,
+    limit: Duration,
+    countdown: u32,
+}
+
+impl Watchdog {
+    /// `tick` calls per actual clock read: at interpreter speeds this
+    /// bounds the check granularity well under a millisecond while
+    /// keeping the amortised cost to a decrement and compare.
+    const STRIDE: u32 = 16_384;
+
+    pub(crate) fn new(limit: Option<Duration>) -> Self {
+        Watchdog {
+            deadline: limit.map(|d| Instant::now() + d),
+            limit: limit.unwrap_or_default(),
+            countdown: Self::STRIDE,
+        }
+    }
+
+    /// Whether a deadline is armed at all (schedulers use this to keep
+    /// their unwatched paths structurally identical to the historical
+    /// ones).
+    pub(crate) fn armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Amortised check for per-instruction / per-pick call sites.
+    #[inline(always)]
+    pub(crate) fn tick(&mut self) -> Result<(), SimError> {
+        if self.deadline.is_none() {
+            return Ok(());
+        }
+        self.countdown -= 1;
+        if self.countdown != 0 {
+            return Ok(());
+        }
+        self.countdown = Self::STRIDE;
+        self.check()
+    }
+
+    /// Full check for batch-boundary call sites.
+    #[inline]
+    pub(crate) fn check(&self) -> Result<(), SimError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(SimError::WallClock { limit: self.limit }),
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Summary of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -403,7 +490,13 @@ impl System {
     /// Build a system from a configuration.
     pub fn new(cfg: SystemConfig) -> Self {
         let cores = (0..cfg.n_cores)
-            .map(|id| Core::new(id, Cache::new(cfg.icache), Cache::new(cfg.dcache)))
+            .map(|id| {
+                let mut core = Core::new(id, Cache::new(cfg.icache), Cache::new(cfg.dcache));
+                if let Some(spec) = cfg.faults.for_core(id) {
+                    core.arm_fault(spec.at_instret, spec.kind);
+                }
+                core
+            })
             .collect();
         let shared = Shared {
             mem: MainMemory::new(cfg.sdram_size, cfg.scratch_size),
@@ -489,11 +582,13 @@ impl System {
     /// Under [`SchedMode::Relaxed`] cores run round-robin in long quanta on
     /// the relaxed clock; see the enum docs for the semantics contract.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
+        let mut wd = Watchdog::new(self.cfg.wall_limit);
+        let wd = &mut wd;
         match self.cfg.sched {
             SchedMode::Relaxed { quantum, timing } => match timing {
-                TimingModel::Unit => self.run_relaxed::<UnitTiming>(quantum, max_cycles)?,
+                TimingModel::Unit => self.run_relaxed::<UnitTiming>(quantum, max_cycles, wd)?,
                 TimingModel::Estimated => {
-                    self.run_relaxed::<EstimatedTiming>(quantum, max_cycles)?
+                    self.run_relaxed::<EstimatedTiming>(quantum, max_cycles, wd)?
                 }
             },
             SchedMode::RelaxedParallel {
@@ -502,16 +597,19 @@ impl System {
                 timing,
             } => match timing {
                 TimingModel::Unit => {
-                    self.run_relaxed_parallel::<UnitTiming>(quantum, host_threads, max_cycles)?
+                    self.run_relaxed_parallel::<UnitTiming>(quantum, host_threads, max_cycles, wd)?
                 }
-                TimingModel::Estimated => {
-                    self.run_relaxed_parallel::<EstimatedTiming>(quantum, host_threads, max_cycles)?
-                }
+                TimingModel::Estimated => self.run_relaxed_parallel::<EstimatedTiming>(
+                    quantum,
+                    host_threads,
+                    max_cycles,
+                    wd,
+                )?,
             },
             SchedMode::Exact => match self.cores.len() {
-                1 => self.run_single(max_cycles)?,
-                2 => self.run_exact_fused(max_cycles)?,
-                _ => self.run_exact_scan(max_cycles)?,
+                1 => self.run_single(max_cycles, wd)?,
+                2 => self.run_exact_fused(max_cycles, wd)?,
+                _ => self.run_exact_scan(max_cycles, wd)?,
             },
         }
         Ok(RunExit {
@@ -520,18 +618,44 @@ impl System {
         })
     }
 
-    /// Single core: no scheduler at all, one batched run to completion.
-    fn run_single(&mut self, max_cycles: u64) -> Result<(), SimError> {
-        match self.cores[0]
-            .run_while::<ExactTiming, _>(&mut self.shared, u64::MAX, max_cycles)
-            .map_err(|cause| SimError::Trap { core: 0, cause })?
-        {
-            RunStop::Budget => Err(SimError::Timeout { max_cycles }),
-            _ => {
-                debug_assert!(self.cores[0].halted());
-                Ok(())
+    /// Run one core until it halts, traps or exhausts a budget. With no
+    /// wall-clock deadline armed this is the historical single batched
+    /// `run_while` (the `u64::MAX` bound never returns
+    /// [`RunStop::Bound`]); with one, the run is sliced into bounded
+    /// batches with a clock check between — bound resumption is
+    /// exactness-preserving, so the schedule is unchanged either way.
+    fn run_core_to_halt(
+        core: &mut Core,
+        shared: &mut Shared,
+        id: u32,
+        max_cycles: u64,
+        wd: &mut Watchdog,
+    ) -> Result<(), SimError> {
+        const SLICE: u64 = 8_000_000;
+        loop {
+            wd.check()?;
+            let bound = if wd.armed() {
+                core.time.saturating_add(SLICE)
+            } else {
+                u64::MAX
+            };
+            match core
+                .run_while::<ExactTiming, _>(shared, bound, max_cycles)
+                .map_err(|cause| SimError::Trap { core: id, cause })?
+            {
+                RunStop::Budget => return Err(SimError::Timeout { max_cycles }),
+                RunStop::Bound => {}
+                _ => {
+                    debug_assert!(core.halted());
+                    return Ok(());
+                }
             }
         }
+    }
+
+    /// Single core: no scheduler at all, one batched run to completion.
+    fn run_single(&mut self, max_cycles: u64, wd: &mut Watchdog) -> Result<(), SimError> {
+        Self::run_core_to_halt(&mut self.cores[0], &mut self.shared, 0, max_cycles, wd)
     }
 
     /// Fused two-core inner loop: both cores stay register-resident in one
@@ -542,12 +666,17 @@ impl System {
     /// identical to [`System::step_core`] single-stepping (the exactness
     /// suite pins this). Once one core halts, the survivor finishes in a
     /// single batched run.
-    fn run_exact_fused(&mut self, max_cycles: u64) -> Result<(), SimError> {
+    fn run_exact_fused(&mut self, max_cycles: u64, wd: &mut Watchdog) -> Result<(), SimError> {
         let (head, tail) = self.cores.split_at_mut(1);
         let (c0, c1) = (&mut head[0], &mut tail[0]);
         let shared = &mut self.shared;
         if !c0.halted() && !c1.halted() {
             let fused = loop {
+                // Amortised wall-clock check (a no-op branch when no
+                // deadline is armed; never perturbs the schedule).
+                if let Err(e) = wd.tick() {
+                    break Err(e);
+                }
                 // Event-driven pick: minimum local time, tie to hart 0.
                 let pick0 = c0.time <= c1.time;
                 let (c, id) = if pick0 {
@@ -572,27 +701,33 @@ impl System {
             c1.sync_counters();
             fused?;
         }
-        // At most one survivor left: run it to completion in one batch.
+        // At most one survivor left: run it to completion batched.
         for (id, c) in [c0, c1].into_iter().enumerate() {
             if c.halted() {
                 continue;
             }
-            match c
-                .run_while::<ExactTiming, _>(shared, u64::MAX, max_cycles)
-                .map_err(|cause| SimError::Trap {
-                    core: id as u32,
-                    cause,
-                })? {
-                RunStop::Budget => return Err(SimError::Timeout { max_cycles }),
-                _ => debug_assert!(c.halted()),
-            }
+            Self::run_core_to_halt(c, shared, id as u32, max_cycles, wd)?;
         }
         Ok(())
     }
 
     /// General exact scheduler (3+ cores): scan for the pick and its
     /// runner-up bound, then batch the pick up to that bound.
-    fn run_exact_scan(&mut self, max_cycles: u64) -> Result<(), SimError> {
+    fn run_exact_scan(&mut self, max_cycles: u64, wd: &mut Watchdog) -> Result<(), SimError> {
+        // Wall-clock checks are paced by *simulated* time: picks can batch
+        // millions of cycles or a single instruction, so neither per-pick
+        // clock reads nor per-pick counters bound the check interval. The
+        // pick's time is the global minimum and only ever advances, so
+        // reading the clock each time it crosses a `SLICE` boundary (and
+        // clamping each batch to a slice) bounds the unchecked span.
+        const SLICE: u64 = 8_000_000;
+        let mut next_check = self
+            .cores
+            .iter()
+            .map(|c| c.time)
+            .min()
+            .unwrap_or(0)
+            .saturating_add(SLICE);
         loop {
             // One scan finds both the pick `i` (minimum time, lowest
             // index) and the runner-up bound it may run up to.
@@ -617,6 +752,10 @@ impl System {
             if pick == usize::MAX {
                 return Ok(()); // all halted
             }
+            if wd.armed() && pick_time >= next_check {
+                wd.check()?;
+                next_check = pick_time.saturating_add(SLICE);
+            }
             let i = pick;
             // Adaptive batch: core `i` may run exactly as long as the
             // scheduler would keep picking it (time strictly below the
@@ -627,6 +766,14 @@ impl System {
                 limit
             } else {
                 limit.saturating_sub(1)
+            };
+            // Bound resumption is exactness-preserving: a slice-clamped
+            // batch just re-picks the same core, so the schedule is
+            // unchanged — only the check cadence is.
+            let bound = if wd.armed() {
+                bound.min(pick_time.saturating_add(SLICE))
+            } else {
+                bound
             };
             let stop = self.cores[i]
                 .run_while::<ExactTiming, _>(&mut self.shared, bound, max_cycles)
@@ -652,6 +799,7 @@ impl System {
         &mut self,
         quantum: u64,
         max_cycles: u64,
+        wd: &mut Watchdog,
     ) -> Result<(), SimError> {
         let quantum = quantum.max(1);
         let n = self.cores.len();
@@ -659,6 +807,9 @@ impl System {
         // again as soon as the device's generation moves past it.
         let mut parked_gen: Vec<Option<u32>> = vec![None; n];
         loop {
+            // One wall-clock check per rotation: a rotation is at most
+            // n × quantum relaxed cycles, so the cadence is bounded.
+            wd.check()?;
             let mut any_ran = false;
             let mut all_halted = true;
             let shared = &mut self.shared;
@@ -1394,5 +1545,143 @@ mod tests {
         let spikes = sys.core(0).reg(Reg::S0);
         assert!((2..=100).contains(&spikes), "spikes = {spikes}");
         assert_eq!(sys.core(0).counters.nmpn, 2000);
+    }
+
+    #[test]
+    fn wall_clock_limit_stops_an_infinite_loop() {
+        // The guest never halts and the cycle budget is effectively
+        // unlimited; only the wall-clock watchdog can end the run. Every
+        // scheduling mode must surface the same error.
+        let prog = Assembler::new().assemble("_start: j _start").unwrap();
+        for sched in [
+            SchedMode::Exact,
+            SchedMode::relaxed(),
+            SchedMode::RelaxedParallel {
+                quantum: SchedMode::DEFAULT_QUANTUM,
+                host_threads: 2,
+                timing: TimingModel::Unit,
+            },
+        ] {
+            for n_cores in [1u32, 2, 3] {
+                let mut sys = System::new(SystemConfig {
+                    n_cores,
+                    sched,
+                    wall_limit: Some(Duration::from_millis(20)),
+                    ..Default::default()
+                });
+                sys.load_program(&prog);
+                let start = Instant::now();
+                match sys.run(u64::MAX) {
+                    Err(SimError::WallClock { limit }) => {
+                        assert_eq!(limit, Duration::from_millis(20));
+                    }
+                    other => panic!("{sched:?}/{n_cores}: {other:?}"),
+                }
+                assert!(
+                    start.elapsed() < Duration::from_secs(30),
+                    "watchdog fired far too late under {sched:?}/{n_cores}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_limit_leaves_finishing_runs_alone() {
+        let prog = Assembler::new()
+            .assemble(
+                "_start: li t0, 100
+                 loop:   addi t0, t0, -1
+                         bnez t0, loop
+                         ebreak",
+            )
+            .unwrap();
+        let mut sys = System::new(SystemConfig {
+            wall_limit: Some(Duration::from_secs(60)),
+            ..Default::default()
+        });
+        sys.load_program(&prog);
+        sys.run(1_000_000).expect("finishes well inside the limit");
+    }
+
+    #[test]
+    fn injected_guest_trap_fires_at_the_same_instret_everywhere() {
+        use crate::mmio::{FaultKind, FaultPlan};
+        let prog = Assembler::new().assemble("_start: j _start").unwrap();
+        for sched in [SchedMode::Exact, SchedMode::relaxed()] {
+            let mut sys = System::new(SystemConfig {
+                sched,
+                faults: FaultPlan::none().with(0, 37, FaultKind::GuestTrap),
+                ..Default::default()
+            });
+            sys.load_program(&prog);
+            match sys.run(u64::MAX) {
+                Err(SimError::Trap {
+                    core: 0,
+                    cause: TrapCause::InjectedFault { instret, .. },
+                }) => assert_eq!(instret, 37, "under {sched:?}"),
+                other => panic!("{sched:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_spike_corruption_flips_exactly_one_word() {
+        use crate::mmio::{FaultKind, FaultPlan};
+        // Log 0..8 to the spike FIFO; corrupt the word logged by the 20th
+        // instruction or later.
+        let src = "
+            _start: li   t0, 0xF000001C
+                    li   t1, 0
+            loop:   sw   t1, (t0)
+                    addi t1, t1, 1
+                    li   t2, 8
+                    bne  t1, t2, loop
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let clean = {
+            let mut sys = System::new(SystemConfig::default());
+            sys.load_program(&prog);
+            sys.run(1_000_000).unwrap();
+            sys.shared().dev.spike_log.clone()
+        };
+        let mut sys = System::new(SystemConfig {
+            faults: FaultPlan::none().with(0, 20, FaultKind::CorruptSpike(0xDEAD_0000)),
+            ..Default::default()
+        });
+        sys.load_program(&prog);
+        sys.run(1_000_000).unwrap();
+        let dirty = &sys.shared().dev.spike_log;
+        assert_eq!(clean.len(), dirty.len());
+        let flipped: Vec<usize> = (0..clean.len()).filter(|&i| clean[i] != dirty[i]).collect();
+        assert_eq!(flipped.len(), 1, "clean={clean:?} dirty={dirty:?}");
+        assert_eq!(dirty[flipped[0]], clean[flipped[0]] ^ 0xDEAD_0000);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let src = "
+            _start: li   t0, 0xF000001C
+                    li   t1, 0
+            loop:   sw   t1, (t0)
+                    addi t1, t1, 17
+                    li   t2, 170
+                    bne  t1, t2, loop
+                    ebreak
+        ";
+        let prog = Assembler::new().assemble(src).unwrap();
+        let run = |cfg: SystemConfig| {
+            let mut sys = System::new(cfg);
+            sys.load_program(&prog);
+            let exit = sys.run(1_000_000).unwrap();
+            (exit, sys.shared().dev.spike_log.clone())
+        };
+        let base = run(SystemConfig::default());
+        let planned = run(SystemConfig {
+            faults: crate::mmio::FaultPlan::none(),
+            wall_limit: Some(Duration::from_secs(600)),
+            ..Default::default()
+        });
+        assert_eq!(base, planned);
     }
 }

@@ -32,6 +32,13 @@
 //! izhirisc scenario battery [--timing T] [--json PATH]
 //!                                            quick battery of EVERY scenario
 //!                                            (--timing: only that clock's rows)
+//! izhirisc serve [options]                   scenario service (HTTP/1.1 JSON)
+//!     --addr HOST:PORT bind address (default 127.0.0.1:7171)
+//!     --workers N      supervised worker threads (default 2)
+//!     --queue-cap N    bounded queue capacity — submissions beyond it
+//!                      get 429 + a retry_after_ms hint (default 16)
+//!     --wall-limit S   per-job wall-clock budget in seconds (default 30)
+//!     --no-retry       disable the retry policy for transient failures
 //! izhirisc selftest                          run the guest ISA battery
 //! ```
 //!
@@ -44,13 +51,15 @@ use std::io::Write as _;
 use std::process::exit;
 
 use izhirisc::bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
+use izhirisc::bench::serve::{ServeConfig, Server};
+use izhirisc::bench::supervise::{RetryPolicy, SuperviseConfig};
 use izhirisc::isa::{decode, disassemble, Assembler, Reg};
 use izhirisc::programs::scenario::{self, ScenarioParams};
 use izhirisc::sim::{SchedMode, System, SystemConfig, TimingModel};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--timing T] [--json PATH]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--timing T] [--json PATH]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -490,6 +499,7 @@ fn cmd_scenario_run(args: &[String]) {
             seeds,
             scheds,
             quick,
+            ..BatterySpec::quick(sc, 2)
         };
         run_battery(&[spec], json);
         return;
@@ -572,6 +582,58 @@ fn cmd_scenario(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    let mut args = Args::new(args);
+    let addr = args
+        .value("--addr")
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let workers = args
+        .value("--workers")
+        .map(|s| parse_u32(&s) as usize)
+        .unwrap_or(2);
+    let queue_cap = args
+        .value("--queue-cap")
+        .map(|s| parse_u32(&s) as usize)
+        .unwrap_or(16);
+    let wall_limit = args
+        .value("--wall-limit")
+        .map(|s| u64::from(parse_u32(&s)))
+        .unwrap_or(30);
+    let no_retry = args.switch("--no-retry");
+    if !args.positionals().is_empty() {
+        eprintln!("serve takes no positional arguments");
+        usage();
+    }
+    let supervise = SuperviseConfig {
+        wall_limit: Some(std::time::Duration::from_secs(wall_limit)),
+        retry: if no_retry {
+            RetryPolicy::no_retry()
+        } else {
+            RetryPolicy::default()
+        },
+        ..Default::default()
+    };
+    let handle = Server::start(ServeConfig {
+        addr,
+        queue_cap,
+        workers,
+        supervise,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start the scenario service: {e}");
+        exit(1);
+    });
+    println!(
+        "scenario service on http://{} ({} workers, queue cap {queue_cap}, wall limit {wall_limit}s)",
+        handle.addr(),
+        workers
+    );
+    println!("endpoints: GET /health | POST /jobs | GET /jobs/<id> | POST /shutdown");
+    // Blocks until a POST /shutdown drains the queue and in-flight jobs.
+    handle.join();
+    println!("scenario service drained and stopped");
+}
+
 fn cmd_selftest() {
     let (failures, console) = izhirisc::programs::selftest::run_battery();
     print!("{console}");
@@ -587,6 +649,7 @@ fn main() {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("selftest") => cmd_selftest(),
         _ => usage(),
     }
