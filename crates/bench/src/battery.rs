@@ -25,7 +25,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use izhi_programs::scenario::{self, ScenarioParams};
+use izhi_programs::scenario::{self, ScenarioParams, Workload};
+use izhi_programs::template;
 use izhi_sim::{FaultPlan, SchedMode, TimingModel};
 
 use crate::supervise::{self, panic_message, RunErrorKind, SuperviseConfig};
@@ -358,7 +359,19 @@ fn run_one(job: &Job<'_>) -> BatteryRow {
         seed: Some(job.seed),
         ..spec.params
     };
-    let mut wl = if spec.quick {
+    // Instantiate from the shared template cache when it is enabled:
+    // every row of a (scenario, shape) fan-out then reuses one build
+    // (assembly, memory snapshot, predecode) and only re-patches the
+    // seed-dependent tables. `IZHI_TEMPLATE_CACHE=0` forces the historic
+    // cold build per row.
+    let mut wl: Box<dyn Workload> = if template::cache_enabled() {
+        let tpl = if spec.quick {
+            sc.template_quick(&params)
+        } else {
+            sc.template(&params)
+        };
+        Box::new(tpl.instantiate(job.seed, job.sched.mode))
+    } else if spec.quick {
         sc.build_quick(&params)
     } else {
         sc.build(&params)

@@ -48,21 +48,33 @@
 //!   hinted backpressure, failure isolation); the gate requires the
 //!   booleans and forward progress, never an absolute jobs/s.
 //!
+//! * **Template throughput**: the repeat-seed quick battery — every
+//!   scenario at its first battery seed, short service-shaped jobs —
+//!   timed twice in-process: cold-building every run vs instantiating
+//!   from the (initially cleared) template cache
+//!   (`izhi_programs::template`). Per-run raster-hash/cycle/instret
+//!   identity between the arms is asserted before timing is reported;
+//!   the `battery_throughput` section records both arms' runs/s and
+//!   their ratio, which the gate requires to be at least
+//!   `THROUGHPUT_FLOOR` × (a same-host ratio, so it is not a runner
+//!   speed lottery).
+//!
 //! ```text
 //! cargo run --release --bin perf_baseline -- [out.json]
 //!     [--check baseline.json] [--min-ratio 0.85] [--battery-only]
 //! ```
 //!
-//! Writes `BENCH_5.json` (or the given path). With `--check`, the
+//! Writes `BENCH_6.json` (or the given path). With `--check`, the
 //! single-core `speedup_vs_seed` entries of the fresh measurement are
 //! compared against the committed baseline file (exit non-zero if any
 //! entry fell below `min-ratio` × its baseline value), every battery
 //! key of the baseline must be present and verified in the fresh run,
-//! and — when the baseline carries an `estimated_accuracy` section —
-//! every one of its scenarios must reproduce a ratio inside the
-//! `ACCURACY_LO..=ACCURACY_HI` band of [`izhi_bench::gate`]. That
-//! triple is the CI perf-regression gate. `--battery-only` runs and
-//! gates just the battery rows (the CI smoke job).
+//! and — when the baseline carries the sections — every
+//! `estimated_accuracy` scenario must reproduce a ratio inside the
+//! `ACCURACY_LO..=ACCURACY_HI` band of [`izhi_bench::gate`] and the
+//! `battery_throughput` experiment must clear its floor. That set is
+//! the CI perf-regression gate. `--battery-only` runs and gates just
+//! the battery rows (the CI smoke job).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -74,6 +86,7 @@ use izhi_isa::Assembler;
 use izhi_programs::engine::{build_asm, run_workload, EngineConfig, GuestImage, WorkloadResult};
 use izhi_programs::scenario::{self, ScenarioParams, Workload};
 use izhi_programs::sudoku_prog::SudokuWorkload;
+use izhi_programs::template;
 use izhi_programs::{layout, selftest};
 use izhi_sim::{SchedMode, System, SystemConfig};
 
@@ -483,11 +496,12 @@ fn json(
     battery: &[BatteryRow],
     accuracy: &[(String, f64)],
     service: Option<&LoadReport>,
+    throughput: Option<&izhi_bench::gate::ThroughputSummary>,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v7\",\n");
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v8\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s; battery_throughput: the repeat-seed quick battery (every scenario, first battery seed, {THROUGHPUT_TICKS}-tick service-shaped jobs, {THROUGHPUT_REPEATS} repeats) timed twice in-process — cold-building every run vs instantiating from the initially cleared template cache — with per-run hash/cycle/instret identity asserted between the arms; the gate requires cached/cold >= the floor (a same-host ratio, not an absolute runs/s)\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -526,6 +540,18 @@ fn json(
             s.health_ok == s.health_checks,
             s.backpressure_hinted,
             serve::failure_isolated(s),
+        );
+    }
+    if let Some(t) = throughput {
+        let _ = writeln!(
+            out,
+            "  \"battery_throughput\": {{\"runs\": {}, \"ticks\": {THROUGHPUT_TICKS}, \
+             \"repeats\": {THROUGHPUT_REPEATS}, \"cold_runs_per_s\": {:.2}, \
+             \"cached_runs_per_s\": {:.2}, \"speedup\": {:.3}}},",
+            t.runs,
+            t.cold_runs_per_s,
+            t.cached_runs_per_s,
+            t.speedup(),
         );
     }
     let _ = writeln!(out, "  \"estimated_accuracy\": {{");
@@ -727,6 +753,101 @@ fn check_service_gate(service: Option<&LoadReport>, baseline_path: &str) -> bool
     report.passed()
 }
 
+/// Repeats per scenario and arm of the template-throughput experiment.
+/// The cached arm pays one template build (the cache is cleared first)
+/// plus `THROUGHPUT_REPEATS` instantiations; more repeats amortise the
+/// build further, fewer keep the experiment honest about it.
+const THROUGHPUT_REPEATS: usize = 6;
+/// Tick budget of the experiment's service-shaped jobs. Short runs are
+/// the regime run templates exist for — a service stamping out many
+/// small jobs of one shape — and they keep guest execution time from
+/// drowning the build cost under measurement. The quick battery itself
+/// (longer runs, build cost amortised anyway) is gated elsewhere.
+const THROUGHPUT_TICKS: u32 = 25;
+
+/// Repeat-seed job shape for one scenario: quick parameters with the
+/// throughput tick budget and the scenario's first battery seed pinned.
+fn throughput_params(sc: &scenario::Scenario) -> ScenarioParams {
+    ScenarioParams::default()
+        .with_ticks(THROUGHPUT_TICKS)
+        .with_seed(sc.battery_seeds[0])
+}
+
+/// Measure the repeat-seed quick battery twice — cold-building every run
+/// vs instantiating from the (initially cleared) template cache — and
+/// assert the two arms bit-identical per run before reporting runs/s.
+fn battery_throughput() -> izhi_bench::gate::ThroughputSummary {
+    let registry = scenario::registry();
+    let mut cold_results: Vec<(&str, u64, u64, u64)> = Vec::new();
+    let (cold_s, ()) = time(|| {
+        for sc in registry {
+            let over = throughput_params(sc);
+            for _ in 0..THROUGHPUT_REPEATS {
+                let wl = sc.build_quick(&over);
+                let res = wl.run_cold().expect("cold throughput run");
+                cold_results.push((sc.name, res.raster_hash(), res.cycles, res.instret));
+            }
+        }
+    });
+    template::clear_cache();
+    let mut cached_results: Vec<(&str, u64, u64, u64)> = Vec::new();
+    let (cached_s, ()) = time(|| {
+        for sc in registry {
+            let over = throughput_params(sc);
+            let seed = over.seed.expect("throughput params pin a seed");
+            for _ in 0..THROUGHPUT_REPEATS {
+                let inst = sc.template_quick(&over).instantiate(seed, SchedMode::Exact);
+                let res = inst.run().expect("cached throughput run");
+                cached_results.push((sc.name, res.raster_hash(), res.cycles, res.instret));
+            }
+        }
+    });
+    assert_eq!(
+        cold_results, cached_results,
+        "template instantiation drifted from the cold build"
+    );
+    let runs = cold_results.len();
+    izhi_bench::gate::ThroughputSummary {
+        runs,
+        cold_runs_per_s: runs as f64 / cold_s,
+        cached_runs_per_s: runs as f64 / cached_s,
+    }
+}
+
+/// The throughput side of the CI gate (core in [`izhi_bench::gate`]):
+/// when the baseline carries a `battery_throughput` section, the fresh
+/// run must reproduce the experiment with the cached arm at least
+/// `THROUGHPUT_FLOOR` × the cold arm. Baselines predating run templates
+/// (schema <= v7) skip this gate.
+fn check_throughput_gate(
+    fresh: Option<&izhi_bench::gate::ThroughputSummary>,
+    baseline_path: &str,
+) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    if !izhi_bench::gate::has_battery_throughput(&text) {
+        println!("throughput gate: baseline {baseline_path} predates run templates — skipped");
+        return true;
+    }
+    let floor = izhi_bench::gate::THROUGHPUT_FLOOR;
+    let report = izhi_bench::gate::check_throughput_gate(fresh, &text, floor);
+    for e in &report.checked {
+        println!(
+            "throughput gate vs {baseline_path}: cached/cold {:.3}x (floor {floor:.1}x, baseline {:.3}x informational)",
+            e.fresh, e.baseline
+        );
+    }
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -753,7 +874,7 @@ fn main() {
             _ => out_path = Some(arg),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_5.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_6.json".into());
 
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
@@ -811,6 +932,7 @@ fn main() {
     let battery = if cmp_only { Vec::new() } else { battery_rows() };
     let accuracy = estimated_accuracy(&battery);
     let service = (!cmp_only && !battery_only).then(service_burst);
+    let throughput = (!cmp_only && !battery_only).then(battery_throughput);
 
     println!(
         "{:<32} {:>11} {:>3} {:>9} {:>14} {:>14} {:>12} {:>12}",
@@ -857,9 +979,26 @@ fn main() {
             serve::failure_isolated(s),
         );
     }
+    if let Some(t) = &throughput {
+        println!(
+            "\nbattery throughput ({} runs of {THROUGHPUT_TICKS}-tick repeat-seed jobs per arm): \
+             cold {:.1} runs/s, template-cached {:.1} runs/s, speedup {:.2}x",
+            t.runs,
+            t.cold_runs_per_s,
+            t.cached_runs_per_s,
+            t.speedup(),
+        );
+    }
     std::fs::write(
         &out_path,
-        json(&rows, &speedups, &battery, &accuracy, service.as_ref()),
+        json(
+            &rows,
+            &speedups,
+            &battery,
+            &accuracy,
+            service.as_ref(),
+            throughput.as_ref(),
+        ),
     )
     .expect("write json");
     println!("\nwrote {out_path}");
@@ -875,6 +1014,7 @@ fn main() {
         }
         if !cmp_only && !battery_only {
             ok &= check_service_gate(service.as_ref(), &baseline);
+            ok &= check_throughput_gate(throughput.as_ref(), &baseline);
         }
         if !ok {
             eprintln!("perf gate FAILED");

@@ -68,6 +68,14 @@ pub enum GateFailure {
     /// A service guarantee (health, backpressure hinting, failure
     /// isolation, forward progress) did not hold in the fresh burst.
     ServiceGuarantee(String),
+    /// The template-cached battery throughput fell below the required
+    /// multiple of the cold-build throughput (or was not measurable).
+    TemplateSpeedupBelowFloor {
+        /// Fresh cached/cold runs-per-second ratio.
+        speedup: f64,
+        /// Required minimum ratio.
+        floor: f64,
+    },
 }
 
 impl core::fmt::Display for GateFailure {
@@ -102,6 +110,10 @@ impl core::fmt::Display for GateFailure {
             GateFailure::ServiceGuarantee(what) => {
                 write!(f, "service: {what}")
             }
+            GateFailure::TemplateSpeedupBelowFloor { speedup, floor } => write!(
+                f,
+                "battery_throughput: cached/cold {speedup:.3}x BELOW the {floor:.1}x floor"
+            ),
         }
     }
 }
@@ -417,6 +429,103 @@ pub fn check_service_gate(fresh: Option<&ServiceSummary>, baseline_text: &str) -
     report
 }
 
+/// Summary of the fresh run's template-throughput experiment: the same
+/// repeat-seed quick battery timed twice, once cold-building every run
+/// and once instantiating from the template cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSummary {
+    /// Runs timed per arm (cold and cached each execute this many).
+    pub runs: usize,
+    /// Cold arm: build + run, no template cache.
+    pub cold_runs_per_s: f64,
+    /// Cached arm: template instantiation + run.
+    pub cached_runs_per_s: f64,
+}
+
+impl ThroughputSummary {
+    /// Cached / cold runs-per-second ratio (NaN when cold is zero —
+    /// which the gate then fails on).
+    pub fn speedup(&self) -> f64 {
+        self.cached_runs_per_s / self.cold_runs_per_s
+    }
+}
+
+/// Required multiple of cold-build throughput the template cache must
+/// deliver on the repeat-seed quick battery. A ratio of two arms timed
+/// on the same host in the same process, so — unlike absolute jobs/s —
+/// it is *not* a host-speed lottery and can be gated hard.
+pub const THROUGHPUT_FLOOR: f64 = 2.0;
+
+/// Whether a baseline file carries a `"battery_throughput"` section at
+/// all. Old baselines (schema <= v7) legitimately predate run templates;
+/// the caller skips the throughput gate for them instead of failing on a
+/// section that could not exist.
+pub fn has_battery_throughput(text: &str) -> bool {
+    text.contains("\"battery_throughput\"")
+}
+
+/// Extract the baseline's `"battery_throughput"` speedup (informational —
+/// shown next to the fresh value, never gated on).
+pub fn parse_battery_throughput_speedup(text: &str) -> Option<f64> {
+    let idx = text.find("\"battery_throughput\"")?;
+    let rest = &text[idx..];
+    let open = rest.find('{')?;
+    let close = rest[open..].find('}')?;
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|entry| entry.split_once(':'))
+        .find(|(k, _)| k.trim().trim_matches('"') == "speedup")
+        .and_then(|(_, v)| v.trim().parse().ok())
+}
+
+/// Gate the fresh template-throughput experiment against a committed
+/// baseline that carries a `"battery_throughput"` section: the fresh run
+/// must have produced the section at all (a missing experiment would
+/// silently disable this gate), both arms must have made forward
+/// progress, and the cached arm must be at least `floor` × the cold arm.
+/// The absolute runs/s numbers are reported (`checked`) but only their
+/// ratio is thresholded.
+pub fn check_throughput_gate(
+    fresh: Option<&ThroughputSummary>,
+    baseline_text: &str,
+    floor: f64,
+) -> GateReport {
+    let Some(fresh) = fresh else {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::MissingEntry(
+                "battery_throughput section".to_string(),
+            )],
+        };
+    };
+    let mut report = GateReport::default();
+    if fresh.runs == 0 {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "battery_throughput timed zero runs".to_string(),
+        ));
+    }
+    // `partial_cmp` so NaN (e.g. a zero-duration cold arm) fails too.
+    let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !positive(fresh.cold_runs_per_s) || !positive(fresh.cached_runs_per_s) {
+        report.failures.push(GateFailure::ServiceGuarantee(
+            "battery_throughput arm is not positive".to_string(),
+        ));
+    } else if fresh.speedup() < floor {
+        report
+            .failures
+            .push(GateFailure::TemplateSpeedupBelowFloor {
+                speedup: fresh.speedup(),
+                floor,
+            });
+    }
+    report.checked.push(CheckedEntry {
+        name: "template_speedup".to_string(),
+        fresh: fresh.speedup(),
+        baseline: parse_battery_throughput_speedup(baseline_text).unwrap_or(0.0),
+    });
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,6 +780,83 @@ mod tests {
         assert!(!has_service(BASELINE), "old baselines skip the gate");
         assert_eq!(parse_service_throughput(SERVICE_BASELINE), Some(410.5));
         assert_eq!(parse_service_throughput(BASELINE), None);
+    }
+
+    const THROUGHPUT_BASELINE: &str = r#"{
+  "battery_throughput": {"runs": 24, "cold_runs_per_s": 10.0, "cached_runs_per_s": 55.0, "speedup": 5.500}
+}"#;
+
+    fn healthy_throughput() -> ThroughputSummary {
+        ThroughputSummary {
+            runs: 24,
+            cold_runs_per_s: 10.0,
+            cached_runs_per_s: 30.0,
+        }
+    }
+
+    #[test]
+    fn throughput_gate_passes_above_the_floor() {
+        let report = check_throughput_gate(Some(&healthy_throughput()), THROUGHPUT_BASELINE, 2.0);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked.len(), 1);
+        assert!((report.checked[0].fresh - 3.0).abs() < 1e-12, "speedup 3x");
+        assert_eq!(
+            report.checked[0].baseline, 5.5,
+            "baseline speedup parsed for display"
+        );
+    }
+
+    #[test]
+    fn throughput_gate_errors_below_the_floor() {
+        let mut s = healthy_throughput();
+        s.cached_runs_per_s = 15.0; // 1.5x < 2x floor
+        let report = check_throughput_gate(Some(&s), THROUGHPUT_BASELINE, 2.0);
+        assert_eq!(report.failures.len(), 1);
+        assert!(matches!(
+            &report.failures[0],
+            GateFailure::TemplateSpeedupBelowFloor { speedup, floor }
+                if (*speedup - 1.5).abs() < 1e-12 && *floor == 2.0
+        ));
+    }
+
+    #[test]
+    fn throughput_gate_errors_on_degenerate_arms() {
+        for mutate in [
+            (|s: &mut ThroughputSummary| s.runs = 0) as fn(&mut ThroughputSummary),
+            |s| s.cold_runs_per_s = 0.0,
+            |s| s.cached_runs_per_s = f64::NAN,
+        ] {
+            let mut s = healthy_throughput();
+            mutate(&mut s);
+            assert!(
+                !check_throughput_gate(Some(&s), THROUGHPUT_BASELINE, 2.0).passed(),
+                "degenerate summary {s:?} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_gate_errors_when_fresh_run_has_no_section() {
+        // The baseline promises the section; a fresh run without one must
+        // fail rather than silently skipping its own gate.
+        let report = check_throughput_gate(None, THROUGHPUT_BASELINE, THROUGHPUT_FLOOR);
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::MissingEntry(
+                "battery_throughput section".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn throughput_section_detection_and_skip_case() {
+        assert!(has_battery_throughput(THROUGHPUT_BASELINE));
+        assert!(!has_battery_throughput(BASELINE), "old baselines skip");
+        assert_eq!(
+            parse_battery_throughput_speedup(THROUGHPUT_BASELINE),
+            Some(5.5)
+        );
+        assert_eq!(parse_battery_throughput_speedup(BASELINE), None);
     }
 
     #[test]

@@ -44,7 +44,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use izhi_programs::scenario::{self, ScenarioParams};
+use izhi_programs::scenario::{self, ScenarioParams, Workload};
+use izhi_programs::template;
 use izhi_sim::{FaultKind, FaultPlan, FaultSpec, SchedMode};
 
 use crate::battery::SchedSpec;
@@ -115,6 +116,9 @@ pub enum JobState {
         wall_s: f64,
         /// Supervised attempts it took.
         attempts: u32,
+        /// Whether the worker reused a cached run template for the
+        /// build (false on a cache miss or with the cache disabled).
+        template_hit: bool,
     },
     /// Failed with a structured error.
     Failed {
@@ -283,10 +287,27 @@ fn worker_loop(state: &ServerState) {
 fn run_job(spec: &JobSpec, sup: &SuperviseConfig) -> JobState {
     let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let sc = scenario::find(&spec.scenario)?;
-        let mut wl = if spec.quick {
-            sc.build_quick(&spec.params)
+        // Identical (scenario, shape) submissions share one cached build
+        // through the process-wide template cache; only the
+        // seed-dependent tables are patched per job. With the cache
+        // disabled (`IZHI_TEMPLATE_CACHE=0`) every job builds cold, as
+        // the workers did historically.
+        let (mut wl, template_hit): (Box<dyn Workload>, bool) = if template::cache_enabled() {
+            let merged = if spec.quick {
+                spec.params.merged(sc.quick)
+            } else {
+                spec.params
+            };
+            let (tpl, hit) = template::lookup(sc, merged);
+            let inst = match merged.seed {
+                Some(seed) => tpl.instantiate(seed, spec.sched),
+                None => tpl.instantiate_as_built(spec.sched),
+            };
+            (Box::new(inst), hit)
+        } else if spec.quick {
+            (sc.build_quick(&spec.params), false)
         } else {
-            sc.build(&spec.params)
+            (sc.build(&spec.params), false)
         };
         wl.cfg_mut().system.sched = spec.sched;
         if let Some(fault) = spec.fault {
@@ -294,9 +315,9 @@ fn run_job(spec: &JobSpec, sup: &SuperviseConfig) -> JobState {
                 faults: vec![fault],
             };
         }
-        Some(wl)
+        Some((wl, template_hit))
     }));
-    let mut wl = match built {
+    let (mut wl, template_hit) = match built {
         Ok(Some(wl)) => wl,
         Ok(None) => {
             return JobState::Failed {
@@ -322,6 +343,7 @@ fn run_job(spec: &JobSpec, sup: &SuperviseConfig) -> JobState {
             raster_hash: sup.result.raster_hash(),
             wall_s: start.elapsed().as_secs_f64(),
             attempts: sup.attempts,
+            template_hit,
         },
         Err(e) => JobState::Failed {
             kind: e.kind,
@@ -528,13 +550,14 @@ fn job_status(state: &ServerState, id_str: &str) -> (u16, String, Option<Duratio
             raster_hash,
             wall_s,
             attempts,
+            template_hit,
         }) => (
             200,
             format!(
                 "{{\"id\": {id}, \"status\": \"done\", \"sim_cycles\": {cycles}, \
                  \"sim_instret\": {instret}, \"spikes\": {spikes}, \
                  \"raster_hash\": \"{raster_hash:#018x}\", \"wall_s\": {wall_s:.6}, \
-                 \"attempts\": {attempts}}}"
+                 \"attempts\": {attempts}, \"template_hit\": {template_hit}}}"
             ),
             None,
         ),

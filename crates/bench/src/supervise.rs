@@ -22,7 +22,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use izhi_programs::engine::{run_workload, WorkloadResult};
+use izhi_programs::engine::WorkloadResult;
 use izhi_programs::scenario::Workload;
 use izhi_sim::SimError;
 
@@ -224,15 +224,15 @@ pub fn run_supervised(
 }
 
 /// One supervised attempt: run under `catch_unwind`, classify the
-/// outcome, verify on success.
+/// outcome, verify on success. Runs go through
+/// [`Workload::run_budgeted`], so template-backed workloads take the
+/// cached-snapshot path under exactly the same supervision as cold ones.
 #[allow(clippy::type_complexity)]
 fn attempt(
     wl: &dyn Workload,
     max_cycles: u64,
 ) -> Result<WorkloadResult, (RunErrorKind, String, Option<SimError>)> {
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        run_workload(wl.cfg(), wl.image(), max_cycles)
-    }));
+    let caught = catch_unwind(AssertUnwindSafe(|| wl.run_budgeted(max_cycles)));
     match caught {
         Err(payload) => Err((RunErrorKind::Panic, panic_message(&*payload), None)),
         Ok(Err(e)) => Err((RunErrorKind::of_sim_error(&e), e.to_string(), Some(e))),

@@ -20,7 +20,7 @@ use izhi_core::dcu::SHIFT_TABLES;
 use izhi_core::params::FixedIzhParams;
 use izhi_fixed::Q7_8;
 use izhi_isa::asm::Assembler;
-use izhi_sim::{Metrics, PerfCounters, SimError, System, SystemConfig};
+use izhi_sim::{CodeTable, MainMemory, Metrics, PerfCounters, SimError, System, SystemConfig};
 use izhi_snn::analysis::SpikeRaster;
 use izhi_snn::network::Network;
 use izhi_snn::noise::XorShift32;
@@ -97,6 +97,53 @@ impl EngineConfig {
     /// Neurons per core (the last core may get fewer).
     pub fn chunk(&self) -> usize {
         self.n.div_ceil(self.n_cores as usize)
+    }
+}
+
+/// The guest-memory spans a load wrote: `(address, length)` pairs in
+/// write order.
+///
+/// [`GuestImage::load_into_mem`] records one for the program's data
+/// tables; [`prepare_run`] records one for the program segments. Together
+/// they name every byte a run touches before execution, which is what
+/// lets a [run template](crate::template) replay a build into a fresh
+/// memory as a handful of bulk copies — the seed-invariant spans come
+/// from the snapshot, the seed-dependent ones are re-patched from a
+/// rebuilt image — instead of re-assembling and re-serialising anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatchMap {
+    spans: Vec<(u32, u32)>,
+}
+
+impl PatchMap {
+    /// Record one written span.
+    pub fn record(&mut self, addr: u32, len: usize) {
+        if len > 0 {
+            self.spans.push((addr, len as u32));
+        }
+    }
+
+    /// The recorded `(address, length)` spans, in write order.
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.spans.iter().map(|&(_, l)| l as u64).sum()
+    }
+
+    /// Copy every recorded span from `src` into `dst` (bulk copies).
+    pub fn replay(&self, src: &MainMemory, dst: &mut MainMemory) {
+        for &(addr, len) in &self.spans {
+            let bytes = src
+                .read_bytes(addr, len as usize)
+                .expect("patch span outside source memory");
+            assert!(
+                dst.write_bytes(addr, &bytes),
+                "patch span outside destination memory"
+            );
+        }
     }
 }
 
@@ -188,39 +235,52 @@ impl GuestImage {
     /// each — at paper scale the seed's per-element `write_u16` loop was a
     /// visible slice of total workload wall time.
     pub fn load_into(&self, sys: &mut System, cfg: &EngineConfig) {
+        let mut patches = PatchMap::default();
+        self.load_into_mem(&mut sys.shared_mut().mem, cfg, &mut patches);
+    }
+
+    /// [`GuestImage::load_into`] against bare main memory, recording every
+    /// written span into `patches`. This is the form the template cache
+    /// uses: it needs the loaded bytes *and* the patch map (the spans a
+    /// different-seed instantiation must re-patch) without a full
+    /// [`System`] in hand.
+    pub fn load_into_mem(&self, mem: &mut MainMemory, cfg: &EngineConfig, patches: &mut PatchMap) {
         fn le_bytes_u16(values: impl Iterator<Item = u16>) -> Vec<u8> {
             values.flat_map(u16::to_le_bytes).collect()
         }
         let variant = cfg.variant;
-        let mem = &mut sys.shared_mut().mem;
         for (i, p) in self.params.iter().enumerate() {
             let (rs1, rs2) = p.pack();
             mem.write_u32(layout::PARAMS + 8 * i as u32, rs1);
             mem.write_u32(layout::PARAMS + 8 * i as u32 + 4, rs2);
         }
+        patches.record(layout::PARAMS, 8 * self.params.len());
         for (i, &vu) in self.init_vu.iter().enumerate() {
             mem.write_u32(layout::VU + 4 * i as u32, vu);
             mem.write_u32(layout::ISYN + 4 * i as u32, 0);
         }
+        patches.record(layout::VU, 4 * self.init_vu.len());
+        patches.record(layout::ISYN, 4 * self.init_vu.len());
         let weights = le_bytes_u16(self.weights_q.iter().map(|&w| w as u16));
         assert!(mem.write_bytes(layout::WEIGHTS, &weights));
+        patches.record(layout::WEIGHTS, weights.len());
         let noise = le_bytes_u16(self.noise_q.iter().map(|&x| x as u16));
         assert!(mem.write_bytes(layout::NOISE, &noise));
+        patches.record(layout::NOISE, noise.len());
         if variant == Variant::SoftFloat {
-            self.load_f32_mirrors(sys);
+            self.load_f32_mirrors(mem, patches);
         }
         if cfg.sparse {
-            self.load_csr_tables(sys, cfg);
+            self.load_csr_tables(mem, cfg, patches);
         }
     }
 
     /// Build and load the per-core CSR spike-propagation tables: for every
     /// (owner core, presynaptic neuron) the row of `(target, weight)` pairs
     /// whose targets the core owns.
-    fn load_csr_tables(&self, sys: &mut System, cfg: &EngineConfig) {
+    fn load_csr_tables(&self, mem: &mut MainMemory, cfg: &EngineConfig, patches: &mut PatchMap) {
         let n = self.n;
         let chunk = cfg.chunk();
-        let mem = &mut sys.shared_mut().mem;
         let mut edge_idx: u32 = 0;
         for core in 0..cfg.n_cores as usize {
             let lo = (core * chunk).min(n);
@@ -247,12 +307,17 @@ impl GuestImage {
             layout::EDGES + 4 * edge_idx <= layout::EDGES_F32,
             "sparse edge table overflow ({edge_idx} edges)"
         );
+        // The row-pointer tables are contiguous across cores.
+        patches.record(layout::ROWPTR, cfg.n_cores as usize * (n + 1) * 4);
+        patches.record(layout::EDGES, 4 * edge_idx as usize);
+        if cfg.variant == Variant::SoftFloat {
+            patches.record(layout::EDGES_F32, 4 * edge_idx as usize);
+        }
     }
 
     /// f32 mirrors of every table for the soft-float variant.
-    fn load_f32_mirrors(&self, sys: &mut System) {
+    fn load_f32_mirrors(&self, mem: &mut MainMemory, patches: &mut PatchMap) {
         let n = self.n;
-        let mem = &mut sys.shared_mut().mem;
         for (i, p) in self.params.iter().enumerate() {
             let base = layout::F32_PARAMS + 16 * i as u32;
             mem.write_u32(base, (p.a.to_f64() as f32).to_bits());
@@ -260,21 +325,28 @@ impl GuestImage {
             mem.write_u32(base + 8, (p.c.to_f64() as f32).to_bits());
             mem.write_u32(base + 12, (p.d.to_f64() as f32).to_bits());
         }
+        patches.record(layout::F32_PARAMS, 16 * self.params.len());
         for i in 0..n {
             let (v, u) = izhi_fixed::qformat::unpack_vu(self.init_vu[i]);
             mem.write_u32(layout::F32_V + 4 * i as u32, (v.to_f64() as f32).to_bits());
             mem.write_u32(layout::F32_U + 4 * i as u32, (u.to_f64() as f32).to_bits());
             mem.write_u32(layout::F32_ISYN + 4 * i as u32, 0.0f32.to_bits());
         }
+        patches.record(layout::F32_V, 4 * n);
+        patches.record(layout::F32_U, 4 * n);
+        patches.record(layout::F32_ISYN, 4 * n);
         for (i, &w) in self.weights_q.iter().enumerate() {
             let f = (Q7_8::from_raw(w).to_f64() as f32).to_bits();
             mem.write_u32(layout::WEIGHTS_F32 + 4 * i as u32, f);
         }
+        patches.record(layout::WEIGHTS_F32, 4 * self.weights_q.len());
         let f32_rows = layout::noise_period_f32(n, self.ticks) as usize;
-        for (i, &x) in self.noise_q.iter().take(f32_rows * n).enumerate() {
+        let mirrored = self.noise_q.len().min(f32_rows * n);
+        for (i, &x) in self.noise_q.iter().take(mirrored).enumerate() {
             let f = (Q7_8::from_raw(x).to_f64() as f32).to_bits();
             mem.write_u32(layout::NOISE_F32 + 4 * i as u32, f);
         }
+        patches.record(layout::NOISE_F32, 4 * mirrored);
     }
 }
 
@@ -1025,12 +1097,29 @@ barrier_spin:
     )
 }
 
-/// Assemble, load and run a workload end to end.
-pub fn run_workload(
-    cfg: &EngineConfig,
-    image: &GuestImage,
-    max_cycles: u64,
-) -> Result<WorkloadResult, SimError> {
+/// Everything a run needs that is built *before* the first cycle: the
+/// loaded main memory (program segments + data tables), the predecoded
+/// code table, the entry point, and the patch maps naming which spans of
+/// that memory came from the program (seed-invariant) versus the guest
+/// image (seed-dependent). The cold path feeds this straight into
+/// [`System::from_snapshot`]; the template cache snapshots it and replays
+/// it per instantiation.
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    /// Loaded guest memory: program + data tables, never yet executed.
+    pub mem: MainMemory,
+    /// Predecoded micro-op stream covering the program segments.
+    pub code: CodeTable,
+    /// Program entry point (every core starts here).
+    pub entry: u32,
+    /// Spans holding the assembled program segments.
+    pub prog_spans: PatchMap,
+    /// Spans holding the guest image's data tables.
+    pub image_spans: PatchMap,
+}
+
+/// Shape/bounds assertions shared by the cold and template paths.
+pub(crate) fn assert_run_shape(cfg: &EngineConfig, image: &GuestImage) {
     assert_eq!(image.n, cfg.n, "image/config neuron-count mismatch");
     assert!(
         image.ticks >= cfg.ticks,
@@ -1042,6 +1131,14 @@ pub fn run_workload(
             "f32 noise mirror overflows its window — use fewer ticks for soft-float runs"
         );
     }
+}
+
+/// Assemble the engine, lay the program and image out in a fresh memory
+/// and predecode the code — the build phase of [`run_workload`], shared
+/// verbatim with the template cache so a snapshot-instantiated run starts
+/// from bit-identical state by construction.
+pub fn prepare_run(cfg: &EngineConfig, image: &GuestImage) -> PreparedRun {
+    assert_run_shape(cfg, image);
     let mut asm = build_asm(cfg);
     // The decay constant is config-dependent; bind it here.
     let decay = (1.0 - 0.5 / cfg.tau as f64) as f32;
@@ -1049,11 +1146,35 @@ pub fn run_workload(
     let prog = Assembler::new()
         .assemble(&asm)
         .unwrap_or_else(|e| panic!("engine assembly failed: {e}"));
-    let mut system_cfg = cfg.system.clone();
-    system_cfg.n_cores = cfg.n_cores;
-    let mut sys = System::new(system_cfg);
-    assert!(sys.load_program(&prog), "program load failed");
-    image.load_into(&mut sys, cfg);
+    let mut mem = MainMemory::new(cfg.system.sdram_size, cfg.system.scratch_size);
+    let mut prog_spans = PatchMap::default();
+    for seg in &prog.segments {
+        assert!(mem.write_bytes(seg.base, &seg.data), "program load failed");
+        prog_spans.record(seg.base, seg.data.len());
+    }
+    let mut code = CodeTable::new(cfg.system.sdram_size, cfg.system.scratch_size);
+    for seg in &prog.segments {
+        code.preload(seg.base, seg.data.len() as u32, &mem);
+    }
+    let mut image_spans = PatchMap::default();
+    image.load_into_mem(&mut mem, cfg, &mut image_spans);
+    PreparedRun {
+        mem,
+        code,
+        entry: prog.entry,
+        prog_spans,
+        image_spans,
+    }
+}
+
+/// Run a fully prepared system and collect the workload result — the
+/// execute/collect phase of [`run_workload`], shared with the template
+/// path.
+pub fn run_prepared_system(
+    sys: &mut System,
+    cfg: &EngineConfig,
+    max_cycles: u64,
+) -> Result<WorkloadResult, SimError> {
     let exit = sys.run(max_cycles)?;
     let raster = SpikeRaster::from_packed(cfg.n as u32, cfg.ticks, &sys.shared().dev.spike_log);
     let counters: Vec<PerfCounters> = (0..cfg.n_cores as usize)
@@ -1073,6 +1194,21 @@ pub fn run_workload(
         instret: exit.instret,
         ticks: cfg.ticks,
     })
+}
+
+/// Assemble, load and run a workload end to end (the cold path: every
+/// run pays the full build; see [`crate::template`] for the amortised
+/// one).
+pub fn run_workload(
+    cfg: &EngineConfig,
+    image: &GuestImage,
+    max_cycles: u64,
+) -> Result<WorkloadResult, SimError> {
+    let prep = prepare_run(cfg, image);
+    let mut system_cfg = cfg.system.clone();
+    system_cfg.n_cores = cfg.n_cores;
+    let mut sys = System::from_snapshot(system_cfg, prep.mem, prep.code, prep.entry);
+    run_prepared_system(&mut sys, cfg, max_cycles)
 }
 
 #[cfg(test)]

@@ -22,7 +22,11 @@
 //! * [`scenario`] — the scenario registry: every workload above (plus the
 //!   beyond-paper scenarios) behind one [`scenario::Workload`] trait with
 //!   a name, parameter schema and self-verification hook, so the CLI,
-//!   benches, perf baseline and test batteries drive them uniformly.
+//!   benches, perf baseline and test batteries drive them uniformly;
+//! * [`template`] — build-once run templates: each (scenario, shape) is
+//!   assembled, loaded and predecoded once into an immutable cached
+//!   snapshot, and runs are stamped out copy-on-write with only the
+//!   seed-dependent tables patched in.
 
 pub mod engine;
 pub mod layout;
@@ -32,9 +36,11 @@ pub mod selftest;
 pub mod softfloat;
 pub mod sudoku_prog;
 pub mod sweep;
+pub mod template;
 
 pub use engine::{EngineConfig, Variant, WorkloadResult};
 pub use net8020::Net8020Workload;
 pub use scenario::{ParamSpec, Scenario, ScenarioParams, Workload};
 pub use sudoku_prog::SudokuWorkload;
 pub use sweep::{Net8020SweepWorkload, SweepPoint};
+pub use template::{RunInstance, RunTemplate};

@@ -36,19 +36,48 @@ use crate::sweep::{Net8020SweepWorkload, SweepPoint};
 /// The scheduling mode lives in the engine configuration
 /// (`cfg_mut().system.sched`), so one built instance can be run under
 /// `Exact`, `Relaxed` or `RelaxedParallel` without rebuilding the image.
-pub trait Workload: Send {
+///
+/// Since the run-template redesign a workload may be backed by a cached,
+/// copy-on-write build snapshot ([`crate::template::RunInstance`]): the
+/// default [`Workload::run`]/[`Workload::run_budgeted`] then skip the
+/// assembly/upload/predecode work, and [`Workload::run_cold`] remains the
+/// from-scratch reference path for differential tests.
+pub trait Workload: Send + Sync {
     /// Engine configuration of the instance.
     fn cfg(&self) -> &EngineConfig;
     /// Mutable configuration access (scheduling mode, cache geometry, …).
     fn cfg_mut(&mut self) -> &mut EngineConfig;
     /// The prepared guest memory image.
+    ///
+    /// Treat the image as **read-only** once the workload is built:
+    /// template-backed runs start from a snapshot taken at build time, so
+    /// mutating the image in place is not guaranteed to affect the next
+    /// [`Workload::run`] (it only reliably feeds [`Workload::run_cold`]).
+    /// Build a new workload (or a new [`crate::template::RunInstance`] at
+    /// a different seed) instead.
     fn image(&self) -> &GuestImage;
+    /// Clone into a fresh boxed workload (all registry workloads are
+    /// plain data; the template cache clones its prototype per
+    /// instantiation).
+    fn clone_box(&self) -> Box<dyn Workload>;
     /// Cycle budget before the run is declared hung.
     fn max_cycles(&self) -> u64 {
         8_000_000_000
     }
-    /// Assemble, load and run under the configured scheduling mode.
+    /// Run under an explicit guest-cycle budget (the supervisor's entry
+    /// point). The default is the cold build-and-run path;
+    /// template-backed workloads override it with the snapshot path.
+    fn run_budgeted(&self, max_cycles: u64) -> Result<WorkloadResult, SimError> {
+        run_workload(self.cfg(), self.image(), max_cycles)
+    }
+    /// Run under the configured scheduling mode (template-backed when the
+    /// workload carries a snapshot, cold otherwise).
     fn run(&self) -> Result<WorkloadResult, SimError> {
+        self.run_budgeted(self.max_cycles())
+    }
+    /// Assemble, load and run from scratch, bypassing any template
+    /// snapshot — the reference path differential tests compare against.
+    fn run_cold(&self) -> Result<WorkloadResult, SimError> {
         run_workload(self.cfg(), self.image(), self.max_cycles())
     }
     /// Self-verification hook: scenario-specific invariants of a result
@@ -66,7 +95,7 @@ pub trait Workload: Send {
 /// meaning of `n` is scenario-specific and documented in the scenario's
 /// [`Scenario::schema`] (population size for the 80-20 family, per-core
 /// population for sweeps, puzzle index for the Sudoku batch).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct ScenarioParams {
     /// Size/selector hint (see the scenario's schema).
     pub n: Option<usize>,
@@ -104,6 +133,25 @@ impl ScenarioParams {
     pub fn with_seed(mut self, seed: u32) -> Self {
         self.seed = Some(seed);
         self
+    }
+
+    /// Builder-style override of `ease`.
+    pub fn with_ease(mut self, ease: bool) -> Self {
+        self.ease = Some(ease);
+        self
+    }
+
+    /// Layer `self` over `defaults` field by field: any `Some` in `self`
+    /// wins, `None` falls through. This is the one merge rule shared by
+    /// [`Scenario::build_quick`] and the template path.
+    pub fn merged(self, defaults: ScenarioParams) -> ScenarioParams {
+        ScenarioParams {
+            n: self.n.or(defaults.n),
+            ticks: self.ticks.or(defaults.ticks),
+            n_cores: self.n_cores.or(defaults.n_cores),
+            seed: self.seed.or(defaults.seed),
+            ease: self.ease.or(defaults.ease),
+        }
     }
 }
 
@@ -143,15 +191,12 @@ impl Scenario {
     /// Build at the CI-sized quick parameters, with `over` layered on top
     /// (any `Some` field in `over` wins).
     pub fn build_quick(&self, over: &ScenarioParams) -> Box<dyn Workload> {
-        let q = self.quick;
-        let merged = ScenarioParams {
-            n: over.n.or(q.n),
-            ticks: over.ticks.or(q.ticks),
-            n_cores: over.n_cores.or(q.n_cores),
-            seed: over.seed.or(q.seed),
-            ease: over.ease.or(q.ease),
-        };
-        (self.build_fn)(&merged)
+        (self.build_fn)(&over.merged(self.quick))
+    }
+
+    /// The raw builder, for the template module (same crate).
+    pub(crate) fn build_raw(&self, params: &ScenarioParams) -> Box<dyn Workload> {
+        (self.build_fn)(params)
     }
 }
 
@@ -627,6 +672,10 @@ impl Workload for Net8020Workload {
         &self.image
     }
 
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn verify(&self, res: &WorkloadResult) -> Result<(), String> {
         verify_raster(&self.cfg, res)
     }
@@ -647,6 +696,10 @@ impl Workload for Net8020SweepWorkload {
 
     fn image(&self) -> &GuestImage {
         &self.image
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn verify(&self, res: &WorkloadResult) -> Result<(), String> {
@@ -676,6 +729,10 @@ impl Workload for SudokuWorkload {
 
     fn image(&self) -> &GuestImage {
         &self.image
+    }
+
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
     }
 
     fn max_cycles(&self) -> u64 {
@@ -721,6 +778,25 @@ mod tests {
             assert!(!s.schema.is_empty(), "{}: empty schema", s.name);
             assert!(!s.battery_seeds.is_empty(), "{}: no battery seeds", s.name);
         }
+    }
+
+    #[test]
+    fn merged_layers_overrides_over_defaults() {
+        let defaults = ScenarioParams::default()
+            .with_n(100)
+            .with_ticks(200)
+            .with_cores(2)
+            .with_seed(5)
+            .with_ease(true);
+        let over = ScenarioParams::default().with_ticks(50).with_ease(false);
+        let m = over.merged(defaults);
+        assert_eq!(m.n, Some(100), "None falls through to the default");
+        assert_eq!(m.ticks, Some(50), "Some overrides");
+        assert_eq!(m.n_cores, Some(2));
+        assert_eq!(m.seed, Some(5));
+        assert_eq!(m.ease, Some(false), "with_ease(false) is a real override");
+        // Merging with empty defaults is the identity.
+        assert_eq!(m.merged(ScenarioParams::default()), m);
     }
 
     #[test]

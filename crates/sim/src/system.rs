@@ -487,9 +487,10 @@ pub struct System {
 }
 
 impl System {
-    /// Build a system from a configuration.
-    pub fn new(cfg: SystemConfig) -> Self {
-        let cores = (0..cfg.n_cores)
+    /// Build the core array for a configuration (fresh architectural
+    /// state, faults armed per the fault plan).
+    fn build_cores(cfg: &SystemConfig) -> Vec<Core> {
+        (0..cfg.n_cores)
             .map(|id| {
                 let mut core = Core::new(id, Cache::new(cfg.icache), Cache::new(cfg.dcache));
                 if let Some(spec) = cfg.faults.for_core(id) {
@@ -497,7 +498,12 @@ impl System {
                 }
                 core
             })
-            .collect();
+            .collect()
+    }
+
+    /// Build a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let cores = Self::build_cores(&cfg);
         let shared = Shared {
             mem: MainMemory::new(cfg.sdram_size, cfg.scratch_size),
             bus: BusArbiter::new(),
@@ -507,6 +513,31 @@ impl System {
             csr_writeback: cfg.csr_writeback,
             // Demand-paged: costs nothing until code executes.
             code: CodeTable::new(cfg.sdram_size, cfg.scratch_size),
+        };
+        System { cfg, cores, shared }
+    }
+
+    /// Build a system from a prebuilt memory image and predecode table —
+    /// the run-template fast path. The resulting system is bit-identical
+    /// to [`System::new`] followed by [`System::load_program`] and the
+    /// same data uploads: cores start fresh at `entry`, devices are
+    /// re-seeded deterministically from the configuration, and the
+    /// caller-supplied memory/predecode state stands in for the assembly,
+    /// copy and predecode work that was already paid when the snapshot
+    /// was built.
+    pub fn from_snapshot(cfg: SystemConfig, mem: MainMemory, code: CodeTable, entry: u32) -> Self {
+        let mut cores = Self::build_cores(&cfg);
+        for core in &mut cores {
+            core.set_pc(entry);
+        }
+        let shared = Shared {
+            mem,
+            bus: BusArbiter::new(),
+            dev: SharedDevices::new(cfg.n_cores, cfg.rng_seed),
+            bus_timings: cfg.bus,
+            div_latency: cfg.div_latency,
+            csr_writeback: cfg.csr_writeback,
+            code,
         };
         System { cfg, cores, shared }
     }

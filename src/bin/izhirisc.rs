@@ -54,7 +54,8 @@ use izhirisc::bench::battery::{self, BatteryRunner, BatterySpec, SchedSpec};
 use izhirisc::bench::serve::{ServeConfig, Server};
 use izhirisc::bench::supervise::{RetryPolicy, SuperviseConfig};
 use izhirisc::isa::{decode, disassemble, Assembler, Reg};
-use izhirisc::programs::scenario::{self, ScenarioParams};
+use izhirisc::programs::scenario::{self, ScenarioParams, Workload};
+use izhirisc::programs::template;
 use izhirisc::sim::{SchedMode, System, SystemConfig, TimingModel};
 
 fn usage() -> ! {
@@ -505,7 +506,20 @@ fn cmd_scenario_run(args: &[String]) {
         return;
     }
 
-    let mut wl = if quick {
+    // Single runs go through the template cache too: a repeated
+    // `scenario run` of the same shape reuses the assembled snapshot, and
+    // `IZHI_TEMPLATE_CACHE=0` restores the cold build for A/B checks.
+    let mut wl: Box<dyn Workload> = if template::cache_enabled() {
+        let tpl = if quick {
+            sc.template_quick(&params)
+        } else {
+            sc.template(&params)
+        };
+        match params.seed {
+            Some(seed) => Box::new(tpl.instantiate(seed, sched)),
+            None => Box::new(tpl.instantiate_as_built(sched)),
+        }
+    } else if quick {
         sc.build_quick(&params)
     } else {
         sc.build(&params)
