@@ -179,6 +179,11 @@ pub struct BatteryRow {
     pub spikes: u64,
     /// Order-independent raster hash (bit-identity check across modes).
     pub raster_hash: u64,
+    /// Order-independent hash of the final synaptic weight table —
+    /// `Some` only for plastic (STDP) scenarios, where it joins the
+    /// cross-mode bit-identity check: scheduling must not change how the
+    /// weights evolved.
+    pub weight_hash: Option<u64>,
     /// Whether the run completed and passed the scenario's
     /// self-verification hook.
     pub verified: bool,
@@ -344,6 +349,7 @@ fn failed_row(
         sim_instret: 0,
         spikes: 0,
         raster_hash: 0,
+        weight_hash: None,
         verified: false,
         error: Some(message),
         error_kind: Some(kind),
@@ -396,6 +402,7 @@ fn run_one(job: &Job<'_>) -> BatteryRow {
             sim_instret: sup.result.instret,
             spikes: sup.result.raster.spikes.len() as u64,
             raster_hash: sup.result.raster_hash(),
+            weight_hash: sup.result.weight_hash,
             verified: true,
             error: None,
             error_kind: None,
@@ -445,6 +452,15 @@ pub fn check_rows(rows: &[BatteryRow]) -> Result<(), String> {
                     reference.raster_hash,
                 ));
             }
+            if reference.weight_hash != row.weight_hash {
+                return Err(format!(
+                    "{}: weight hash {:?} != {}'s {:?} — scheduling changed the plasticity",
+                    row.key(),
+                    row.weight_hash,
+                    reference.key(),
+                    reference.weight_hash,
+                ));
+            }
         }
     }
     Ok(())
@@ -475,6 +491,9 @@ pub fn rows_json(rows: &[BatteryRow]) -> String {
             r.raster_hash,
             r.verified,
         );
+        if let Some(w) = r.weight_hash {
+            let _ = write!(out, ", \"weight_hash\": \"{w:#018x}\"");
+        }
         if let Some(kind) = r.error_kind {
             let _ = write!(out, ", \"error_kind\": \"{}\"", kind.label());
         }
@@ -490,7 +509,7 @@ pub fn rows_table(rows: &[BatteryRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<34} {:>15} {:>9} {:>3} {:>9} {:>13} {:>13} {:>8} {:>18} {:>5}",
+        "{:<34} {:>15} {:>9} {:>3} {:>9} {:>13} {:>13} {:>8} {:>18} {:>18} {:>5}",
         "battery row",
         "sched",
         "timing",
@@ -500,12 +519,13 @@ pub fn rows_table(rows: &[BatteryRow]) -> String {
         "sim instret",
         "spikes",
         "raster hash",
+        "weight hash",
         "ok"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<34} {:>15} {:>9} {:>3} {:>9.3} {:>13} {:>13} {:>8} {:#018x} {:>5}",
+            "{:<34} {:>15} {:>9} {:>3} {:>9.3} {:>13} {:>13} {:>8} {:#018x} {:>18} {:>5}",
             format!("{}[seed={}]", r.scenario, r.seed),
             r.sched,
             r.timing,
@@ -515,6 +535,8 @@ pub fn rows_table(rows: &[BatteryRow]) -> String {
             r.sim_instret,
             r.spikes,
             r.raster_hash,
+            r.weight_hash
+                .map_or_else(|| "-".to_string(), |w| format!("{w:#018x}")),
             if r.verified { "yes" } else { "NO" },
         );
     }
@@ -545,6 +567,7 @@ mod tests {
             sim_instret: 10,
             spikes: 3,
             raster_hash: hash,
+            weight_hash: None,
             verified,
             error: (!verified).then(|| "boom".into()),
             error_kind: None,
@@ -570,6 +593,29 @@ mod tests {
         ];
         let err = check_rows(&rows).unwrap_err();
         assert!(err.contains("scheduling changed the physics"), "{err}");
+    }
+
+    #[test]
+    fn check_rows_rejects_cross_mode_weight_divergence() {
+        let mut a = row("stdp", 1, "exact", 0xAA, true);
+        let mut b = row("stdp", 1, "relaxed", 0xAA, true);
+        a.weight_hash = Some(0x11);
+        b.weight_hash = Some(0x12);
+        let err = check_rows(&[a, b]).unwrap_err();
+        assert!(err.contains("scheduling changed the plasticity"), "{err}");
+    }
+
+    #[test]
+    fn json_rows_carry_the_weight_hash_when_present() {
+        let mut r = row("net8020_stdp", 21, "exact", 0x1234, true);
+        r.weight_hash = Some(0xBEEF);
+        let json = rows_json(&[r]);
+        assert!(
+            json.contains("\"weight_hash\": \"0x000000000000beef\""),
+            "{json}"
+        );
+        let plain = rows_json(&[row("net8020", 5, "exact", 0x1, true)]);
+        assert!(!plain.contains("weight_hash"), "non-plastic rows omit it");
     }
 
     #[test]

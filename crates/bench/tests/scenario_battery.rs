@@ -115,6 +115,62 @@ fn every_scenario_is_deterministic_and_sched_identical() {
 }
 
 #[test]
+fn stdp_battery_pins_the_golden_weight_hashes() {
+    let sc = scenario::find("net8020_stdp").expect("registered");
+    let rows = BatteryRunner { host_threads: 2 }
+        .run(&[BatterySpec::quick(sc, 2)])
+        .expect("battery run");
+    battery::check_rows(&rows).expect("battery identity/verification");
+    // Golden final-weight-state hashes at the quick shape (n=160,
+    // ticks=150, cores=2, density 0.1). Every scheduling mode must land
+    // on these exact values; an engine change that alters how STDP
+    // evolves the weights must be deliberate enough to re-pin them.
+    let golden = [(21u32, 0x281401fe0c8b5c8b_u64), (22, 0x6dc8e5ac94680514)];
+    assert_eq!(rows.len(), golden.len() * 5, "seeds x sched modes");
+    for row in &rows {
+        let expect = golden
+            .iter()
+            .find(|(s, _)| *s == row.seed)
+            .expect("battery seed")
+            .1;
+        assert_eq!(
+            row.weight_hash,
+            Some(expect),
+            "{}: final weight state drifted from the pinned hash",
+            row.key()
+        );
+    }
+}
+
+#[test]
+fn sharded_battery_crosses_the_standard_map() {
+    // The scale-out acceptance shape: the sharded quick battery runs at
+    // >= 8 guest cores (16, on the scaled memory map) and still holds
+    // cross-mode raster identity.
+    let sc = scenario::find("net8020_sharded").expect("registered");
+    let wl = sc.build_quick(&ScenarioParams::default());
+    assert!(
+        wl.cfg().n_cores >= 8,
+        "sharded quick shape must use >= 8 guest cores, got {}",
+        wl.cfg().n_cores
+    );
+    let rows = BatteryRunner { host_threads: 2 }
+        .run(&[BatterySpec {
+            seeds: vec![sc.battery_seeds[0]],
+            ..BatterySpec::quick(sc, 2)
+        }])
+        .expect("battery run");
+    battery::check_rows(&rows).expect("battery identity/verification");
+    for row in &rows {
+        assert!(
+            row.weight_hash.is_none(),
+            "{}: not a plastic run",
+            row.key()
+        );
+    }
+}
+
+#[test]
 fn battery_runner_shards_the_registry_and_checks_identity() {
     // One seed per scenario keeps the suite quick; the runner itself
     // fans (scenario, seed, sched) rows across 2 host worker threads.

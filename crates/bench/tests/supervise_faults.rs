@@ -221,6 +221,50 @@ fn an_empty_fault_plan_leaves_the_battery_bit_identical() {
 }
 
 #[test]
+fn a_faulted_sharded_run_fails_classified_not_hung() {
+    // The scale-out rendezvous drill: on a 16-guest-core sharded run,
+    // trap one core mid-run on every sched x timing combination. The
+    // other 15 cores are parked at (or heading for) the tick barrier —
+    // the scheduler must tear the rendezvous down and surface the trap
+    // as a classified failed row, never a hang. The wall-clock limit is
+    // the tripwire: a hung barrier would exhaust it and flip the row's
+    // kind to WallClockTimeout.
+    let sc = scenario::find("net8020_sharded").expect("registered");
+    let wl = sc.build_quick(&ScenarioParams::default());
+    assert!(wl.cfg().n_cores >= 8, "the drill needs a scale-out shape");
+    let spec = BatterySpec {
+        seeds: vec![sc.battery_seeds[0]],
+        faults: FaultPlan::none().with(3, 50_000, FaultKind::GuestTrap),
+        supervise: SuperviseConfig {
+            wall_limit: Some(Duration::from_secs(60)),
+            retry: RetryPolicy::no_retry(),
+            ..Default::default()
+        },
+        ..BatterySpec::quick(sc, 2)
+    };
+    let rows = BatteryRunner { host_threads: 2 }
+        .run(&[spec])
+        .expect("the runner survives faulty scale-out jobs");
+    assert_eq!(rows.len(), 5, "every sched x timing combination got a row");
+    for row in &rows {
+        assert!(
+            !row.verified,
+            "{}: a trapped shard must not verify",
+            row.key()
+        );
+        assert_eq!(
+            row.error_kind,
+            Some(RunErrorKind::GuestTrap),
+            "{}: expected a classified guest trap, got {:?} ({:?})",
+            row.key(),
+            row.error_kind,
+            row.error
+        );
+        assert_eq!(row.attempts, 1, "{}: traps reproduce — no retry", row.key());
+    }
+}
+
+#[test]
 fn a_quick_battery_under_injected_faults_completes_with_structured_rows() {
     // The acceptance drill: a multi-row battery where every job is
     // poisoned still completes end to end — rows for every combination,

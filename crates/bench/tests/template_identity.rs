@@ -72,6 +72,11 @@ fn template_instances_match_cold_runs_for_every_scenario_and_mode() {
                 "{}/{label}: template instret drifted from cold build",
                 sc.name
             );
+            assert_eq!(
+                cold.weight_hash, res.weight_hash,
+                "{}/{label}: template weight state drifted from cold build",
+                sc.name
+            );
             inst.verify(&res)
                 .unwrap_or_else(|e| panic!("{}/{label}: verification failed: {e}", sc.name));
         }
@@ -102,8 +107,13 @@ fn reseeded_instances_match_cold_runs_at_the_new_seed() {
             .run()
             .unwrap_or_else(|e| panic!("{}: re-seeded template run failed: {e}", sc.name));
         assert_eq!(
-            (cold.raster_hash(), cold.cycles, cold.instret),
-            (res.raster_hash(), res.cycles, res.instret),
+            (
+                cold.raster_hash(),
+                cold.cycles,
+                cold.instret,
+                cold.weight_hash
+            ),
+            (res.raster_hash(), res.cycles, res.instret, res.weight_hash),
             "{}: re-seeded template drifted from the cold build at seed {other}",
             sc.name
         );

@@ -71,6 +71,19 @@ pub struct EngineConfig {
     /// correct for block-diagonal weight matrices partitioned on the chunk
     /// boundaries — the sweep workloads are built exactly that way.
     pub coupled: bool,
+    /// STDP plasticity: synaptic weights evolve during the run via a
+    /// delivery-time nearest-neighbour rule in the sparse phase-A walk
+    /// (requires `sparse` and [`Variant::Npu`]). Plastic runs read the
+    /// final weight table back and report it as
+    /// [`WorkloadResult::weight_hash`].
+    pub plastic: bool,
+    /// Emit the per-tick stimulus drain: each core queries the MMIO
+    /// stimulus port between phases A and B and adds a fixed current to
+    /// every injected neuron it owns. The *schedule* itself travels on
+    /// [`SystemConfig::stim`] (seed data, not shape data) — the drain
+    /// code is emitted whenever this flag is set, so one template serves
+    /// every seed's plan, including empty ones.
+    pub stim: bool,
     /// System configuration template (clock, caches, bus).
     pub system: SystemConfig,
 }
@@ -90,6 +103,8 @@ impl EngineConfig {
             sparse: false,
             scheduled: true,
             coupled: true,
+            plastic: false,
+            stim: false,
             system,
         }
     }
@@ -98,7 +113,45 @@ impl EngineConfig {
     pub fn chunk(&self) -> usize {
         self.n.div_ceil(self.n_cores as usize)
     }
+
+    /// The guest memory map this shape resolves to (standard or scaled).
+    pub fn layout(&self) -> layout::Layout {
+        layout::Layout::for_shape(self.n, self.ticks, self.n_cores, self.chunk())
+    }
+
+    /// Grow the system's memory sizes to what the resolved layout needs
+    /// (plus `extra_edge_words` CSR edge words past the edge-region base).
+    /// Call after changing the shape; a no-op for standard shapes that
+    /// already fit the defaults.
+    pub fn fit_memory(&mut self, extra_edge_words: usize) {
+        let lay = self.layout();
+        self.system.scratch_size = self.system.scratch_size.max(lay.scratch_size);
+        let edges_end = lay
+            .edges
+            .saturating_add(4 * extra_edge_words as u32)
+            .max(lay.sdram_size);
+        // Round up to a MiB so template cache keys stay tidy.
+        let need = (edges_end + 0xF_FFFF) & !0xF_FFFF;
+        self.system.sdram_size = self.system.sdram_size.max(need);
+    }
 }
+
+/// Stimulus current added per injected event, Q15.16 (64.0 — enough to
+/// drive a resting RS neuron to threshold within a couple of ticks).
+pub const STIM_CURRENT_Q15_16: u32 = 64 << 16;
+
+/// STDP potentiation per delivery, Q7.8 (~+0.004 per pre→post event).
+pub const STDP_A_PLUS: i32 = 1;
+/// STDP depression per post-before-pre delivery, Q7.8.
+pub const STDP_A_MINUS: i32 = 3;
+/// Nearest-neighbour LTD window: a delivery within this many ticks after
+/// the target's last spike depresses instead of potentiating.
+pub const STDP_WINDOW: u32 = 8;
+/// Upper weight clamp, Q7.8 (32.0 — far above any generated initial
+/// weight, so the clamp bounds drift without crushing the network).
+pub const STDP_WMAX: i32 = 8192;
+/// Lower weight clamp, Q7.8 (−32.0).
+pub const STDP_WMIN: i32 = -8192;
 
 /// The guest-memory spans a load wrote: `(address, length)` pairs in
 /// write order.
@@ -147,13 +200,29 @@ impl PatchMap {
     }
 }
 
+/// Quantised CSR connectivity for images too big for a dense matrix:
+/// row-major by presynaptic neuron, zero-quantized edges dropped. The
+/// canonical source for the per-core CSR tables when present.
+#[derive(Debug, Clone)]
+pub struct CsrWeights {
+    /// Row pointers (len n+1) over `targets`/`weights_q`.
+    pub row_ptr: Vec<u32>,
+    /// Postsynaptic indices, sorted within each row.
+    pub targets: Vec<u32>,
+    /// Q7.8 weights parallel to `targets`.
+    pub weights_q: Vec<i16>,
+}
+
 /// Host-built memory image for a workload.
 #[derive(Debug, Clone)]
 pub struct GuestImage {
     /// Quantised per-neuron parameters.
     pub params: Vec<FixedIzhParams>,
-    /// Row-major Q7.8 weights (N×N).
+    /// Row-major Q7.8 weights (N×N); empty for CSR-native images.
     pub weights_q: Vec<i16>,
+    /// Quantised CSR connectivity (large sparse images; replaces the
+    /// dense matrix as the CSR-table source and skips the dense upload).
+    pub csr: Option<CsrWeights>,
     /// Premixed thalamic drive `[tick][neuron]`, Q7.8 (bias + noise).
     pub noise_q: Vec<i16>,
     /// Initial VU words.
@@ -223,6 +292,71 @@ impl GuestImage {
         GuestImage {
             params,
             weights_q,
+            csr: None,
+            noise_q,
+            init_vu,
+            n,
+            ticks,
+        }
+    }
+
+    /// Build a CSR-native image: no dense weight matrix is materialised
+    /// (a 10k-neuron dense table would dwarf both host memory and the
+    /// guest SDRAM map), the network's CSR rows are quantised directly.
+    /// `lay` must be the layout the run resolves to — the noise window is
+    /// sized from it.
+    pub fn from_network_csr(
+        net: &Network,
+        bias: &[f64],
+        noise_std: &[f64],
+        ticks: u32,
+        seed: u32,
+        lay: &layout::Layout,
+    ) -> Self {
+        let n = net.len();
+        assert_eq!(bias.len(), n);
+        assert_eq!(noise_std.len(), n);
+        let params = net.quantized_params();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(net.n_synapses());
+        let mut weights_q = Vec::with_capacity(net.n_synapses());
+        row_ptr.push(0u32);
+        for pre in 0..n {
+            for (post, w) in net.out_edges(pre) {
+                let q = Q7_8::from_f64(w).raw();
+                if q != 0 {
+                    targets.push(post);
+                    weights_q.push(q);
+                }
+            }
+            row_ptr.push(targets.len() as u32);
+        }
+        let mut rng = XorShift32::new(seed);
+        let noise_rows = lay.noise_rows(n, ticks);
+        let mut noise_q = Vec::with_capacity(noise_rows as usize * n);
+        for _ in 0..noise_rows {
+            for i in 0..n {
+                let v = bias[i] + noise_std[i] * rng.next_gaussian();
+                noise_q.push(Q7_8::from_f64(v).raw());
+            }
+        }
+        let init_vu = net
+            .params
+            .iter()
+            .map(|p| {
+                let v = Q7_8::from_f64(p.c);
+                let u = Q7_8::from_f64(p.b * p.c);
+                izhi_fixed::qformat::pack_vu(v, u)
+            })
+            .collect();
+        GuestImage {
+            params,
+            weights_q: Vec::new(),
+            csr: Some(CsrWeights {
+                row_ptr,
+                targets,
+                weights_q,
+            }),
             noise_q,
             init_vu,
             n,
@@ -248,70 +382,114 @@ impl GuestImage {
         fn le_bytes_u16(values: impl Iterator<Item = u16>) -> Vec<u8> {
             values.flat_map(u16::to_le_bytes).collect()
         }
+        let lay = cfg.layout();
         let variant = cfg.variant;
         for (i, p) in self.params.iter().enumerate() {
             let (rs1, rs2) = p.pack();
-            mem.write_u32(layout::PARAMS + 8 * i as u32, rs1);
-            mem.write_u32(layout::PARAMS + 8 * i as u32 + 4, rs2);
+            mem.write_u32(lay.params + 8 * i as u32, rs1);
+            mem.write_u32(lay.params + 8 * i as u32 + 4, rs2);
         }
-        patches.record(layout::PARAMS, 8 * self.params.len());
+        patches.record(lay.params, 8 * self.params.len());
         for (i, &vu) in self.init_vu.iter().enumerate() {
-            mem.write_u32(layout::VU + 4 * i as u32, vu);
-            mem.write_u32(layout::ISYN + 4 * i as u32, 0);
+            mem.write_u32(lay.vu + 4 * i as u32, vu);
+            mem.write_u32(lay.isyn + 4 * i as u32, 0);
         }
-        patches.record(layout::VU, 4 * self.init_vu.len());
-        patches.record(layout::ISYN, 4 * self.init_vu.len());
-        let weights = le_bytes_u16(self.weights_q.iter().map(|&w| w as u16));
-        assert!(mem.write_bytes(layout::WEIGHTS, &weights));
-        patches.record(layout::WEIGHTS, weights.len());
+        patches.record(lay.vu, 4 * self.init_vu.len());
+        patches.record(lay.isyn, 4 * self.init_vu.len());
+        if !self.weights_q.is_empty() {
+            assert!(
+                !lay.is_scaled(),
+                "scaled layouts have no dense weight region — build a CSR-native image"
+            );
+            let weights = le_bytes_u16(self.weights_q.iter().map(|&w| w as u16));
+            assert!(mem.write_bytes(lay.weights, &weights));
+            patches.record(lay.weights, weights.len());
+        }
         let noise = le_bytes_u16(self.noise_q.iter().map(|&x| x as u16));
-        assert!(mem.write_bytes(layout::NOISE, &noise));
-        patches.record(layout::NOISE, noise.len());
+        // An image built for more ticks than this run's layout window holds
+        // is truncated to the window — the guest indexes rows modulo
+        // NOISE_TICKS, which never reaches past it.
+        let take = noise.len().min((lay.noise_f32 - lay.noise) as usize);
+        assert!(mem.write_bytes(lay.noise, &noise[..take]));
+        patches.record(lay.noise, take);
+        if cfg.plastic {
+            // Last-spike ticks start "half a range ago": far outside any
+            // plausible STDP window (so the first delivery to a silent
+            // neuron potentiates), yet never wrapping into it.
+            for i in 0..self.n {
+                mem.write_u32(lay.last_spike + 4 * i as u32, 0x8000_0000);
+            }
+            patches.record(lay.last_spike, 4 * self.n);
+        }
         if variant == Variant::SoftFloat {
             self.load_f32_mirrors(mem, patches);
         }
         if cfg.sparse {
-            self.load_csr_tables(mem, cfg, patches);
+            self.load_csr_tables(mem, cfg, &lay, patches);
         }
     }
 
     /// Build and load the per-core CSR spike-propagation tables: for every
     /// (owner core, presynaptic neuron) the row of `(target, weight)` pairs
-    /// whose targets the core owns.
-    fn load_csr_tables(&self, mem: &mut MainMemory, cfg: &EngineConfig, patches: &mut PatchMap) {
+    /// whose targets the core owns. The rows come from [`GuestImage::csr`]
+    /// when present (large sparse images) and from a scan of the dense
+    /// matrix otherwise — byte-identical tables either way.
+    fn load_csr_tables(
+        &self,
+        mem: &mut MainMemory,
+        cfg: &EngineConfig,
+        lay: &layout::Layout,
+        patches: &mut PatchMap,
+    ) {
         let n = self.n;
         let chunk = cfg.chunk();
+        assert!(
+            self.csr.is_none() || cfg.variant != Variant::SoftFloat,
+            "CSR-native images carry no f32 edge mirror"
+        );
         let mut edge_idx: u32 = 0;
         for core in 0..cfg.n_cores as usize {
             let lo = (core * chunk).min(n);
             let hi = ((core + 1) * chunk).min(n);
-            let rowptr_base = layout::ROWPTR + (core * (n + 1) * 4) as u32;
+            let rowptr_base = lay.rowptr + (core * (n + 1) * 4) as u32;
             for pre in 0..n {
                 mem.write_u32(rowptr_base + 4 * pre as u32, edge_idx);
-                for post in lo..hi {
-                    let w = self.weights_q[pre * n + post];
-                    if w != 0 {
-                        let word = ((w as u16 as u32) << 16) | post as u32;
-                        mem.write_u32(layout::EDGES + 4 * edge_idx, word);
-                        if cfg.variant == Variant::SoftFloat {
-                            let f = (Q7_8::from_raw(w).to_f64() as f32).to_bits();
-                            mem.write_u32(layout::EDGES_F32 + 4 * edge_idx, f);
-                        }
+                if let Some(csr) = &self.csr {
+                    let rlo = csr.row_ptr[pre] as usize;
+                    let row = &csr.targets[rlo..csr.row_ptr[pre + 1] as usize];
+                    let a = row.partition_point(|&t| (t as usize) < lo);
+                    let b = row.partition_point(|&t| (t as usize) < hi);
+                    for (&t, &w) in row[a..b].iter().zip(&csr.weights_q[rlo + a..rlo + b]) {
+                        let word = ((w as u16 as u32) << 16) | t;
+                        mem.write_u32(lay.edges + 4 * edge_idx, word);
                         edge_idx += 1;
+                    }
+                } else {
+                    for post in lo..hi {
+                        let w = self.weights_q[pre * n + post];
+                        if w != 0 {
+                            let word = ((w as u16 as u32) << 16) | post as u32;
+                            mem.write_u32(lay.edges + 4 * edge_idx, word);
+                            if cfg.variant == Variant::SoftFloat {
+                                let f = (Q7_8::from_raw(w).to_f64() as f32).to_bits();
+                                mem.write_u32(lay.edges_f32 + 4 * edge_idx, f);
+                            }
+                            edge_idx += 1;
+                        }
                     }
                 }
             }
             mem.write_u32(rowptr_base + 4 * n as u32, edge_idx);
         }
         assert!(
-            layout::EDGES + 4 * edge_idx <= layout::EDGES_F32,
-            "sparse edge table overflow ({edge_idx} edges)"
+            lay.edges + 4 * edge_idx <= lay.edge_cap(cfg.system.sdram_size),
+            "sparse edge table overflow ({edge_idx} edges) — call EngineConfig::fit_memory"
         );
         // The row-pointer tables are contiguous across cores.
-        patches.record(layout::ROWPTR, cfg.n_cores as usize * (n + 1) * 4);
-        patches.record(layout::EDGES, 4 * edge_idx as usize);
-        if cfg.variant == Variant::SoftFloat {
-            patches.record(layout::EDGES_F32, 4 * edge_idx as usize);
+        patches.record(lay.rowptr, cfg.n_cores as usize * (n + 1) * 4);
+        patches.record(lay.edges, 4 * edge_idx as usize);
+        if cfg.variant == Variant::SoftFloat && self.csr.is_none() {
+            patches.record(lay.edges_f32, 4 * edge_idx as usize);
         }
     }
 
@@ -348,6 +526,43 @@ impl GuestImage {
         }
         patches.record(layout::NOISE_F32, 4 * mirrored);
     }
+
+    /// The commutative weight hash of the image *as loaded*: the same
+    /// per-core edge-word multiset [`load_csr_tables`](Self::load_into_mem)
+    /// writes, hashed the way a plastic run hashes its final table. A
+    /// plastic run whose [`WorkloadResult::weight_hash`] still equals this
+    /// never updated a weight.
+    pub fn initial_weight_hash(&self, cfg: &EngineConfig) -> u64 {
+        let n = self.n;
+        let chunk = cfg.chunk();
+        let mut h: u64 = 0;
+        for core in 0..cfg.n_cores as usize {
+            let lo = (core * chunk).min(n);
+            let hi = ((core + 1) * chunk).min(n);
+            if let Some(csr) = &self.csr {
+                for pre in 0..n {
+                    let rlo = csr.row_ptr[pre] as usize;
+                    let row = &csr.targets[rlo..csr.row_ptr[pre + 1] as usize];
+                    let a = row.partition_point(|&t| (t as usize) < lo);
+                    let b = row.partition_point(|&t| (t as usize) < hi);
+                    for (&t, &w) in row[a..b].iter().zip(&csr.weights_q[rlo + a..rlo + b]) {
+                        h = h.wrapping_add(edge_word_fnv(((w as u16 as u32) << 16) | t));
+                    }
+                }
+            } else {
+                for pre in 0..n {
+                    for post in lo..hi {
+                        let w = self.weights_q[pre * n + post];
+                        if w != 0 {
+                            let word = ((w as u16 as u32) << 16) | post as u32;
+                            h = h.wrapping_add(edge_word_fnv(word));
+                        }
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 /// Result of running a workload on the simulator.
@@ -366,6 +581,25 @@ pub struct WorkloadResult {
     /// Simulated 1 ms ticks of the run (from the configuration, so
     /// per-tick rates can never be computed against a mismatched count).
     pub ticks: u32,
+    /// Commutative hash of the final guest weight table — `Some` only for
+    /// plastic (STDP) runs, which read the evolved edge words back. Built
+    /// as a wrapping *sum* of per-edge FNV-1a terms, so it is independent
+    /// of edge enumeration order, exactly like [`WorkloadResult::raster_hash`]
+    /// is of spike commit order; compare across scheduling modes and
+    /// against [`GuestImage::initial_weight_hash`] to prove the weights
+    /// both evolved and evolved identically everywhere.
+    pub weight_hash: Option<u64>,
+}
+
+/// FNV-1a of one little-endian edge word: the per-edge term of the
+/// commutative weight hash.
+fn edge_word_fnv(word: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl WorkloadResult {
@@ -402,32 +636,55 @@ impl WorkloadResult {
 
 /// Generate the full engine assembly for a configuration.
 pub fn build_asm(cfg: &EngineConfig) -> String {
+    let lay = cfg.layout();
     assert!(
-        cfg.chunk() <= 1024,
-        "spike-list segments hold at most 1024 entries"
+        2 * cfg.chunk() as u32 <= lay.spike_seg,
+        "core chunk overflows its spike-list segment"
     );
     assert!(
-        cfg.n_cores >= 1 && cfg.n_cores <= 8,
-        "spike-count table sized for 8 cores"
+        cfg.n_cores >= 1 && cfg.n_cores <= lay.core_slots,
+        "spike-count table sized for {} cores",
+        lay.core_slots
     );
     assert!(
         cfg.ticks >= 1 && cfg.ticks < 65536,
         "spike-log packing uses 16-bit timestamps"
     );
     assert!((1..=9).contains(&cfg.tau), "DCU τ selector is 1..9");
-    let mut s = layout::equ_prelude(cfg.n, cfg.ticks, cfg.n_cores, cfg.tau);
+    if lay.is_scaled() {
+        assert!(
+            cfg.sparse && cfg.variant != Variant::SoftFloat,
+            "scaled shapes are sparse-only and fixed-point-only"
+        );
+    }
+    if cfg.plastic {
+        assert!(
+            cfg.sparse && cfg.variant == Variant::Npu,
+            "STDP lives in the sparse NPU phase-A walk"
+        );
+    }
+    if cfg.stim {
+        assert!(
+            cfg.variant != Variant::SoftFloat,
+            "the stimulus drain adds fixed-point current"
+        );
+    }
+    let mut s = layout::equ_prelude_for(&lay, cfg.n, cfg.ticks, cfg.n_cores, cfg.tau);
     s.push_str(&format!(".equ CHUNK, {}\n", cfg.chunk()));
     s.push_str(&format!(
         ".equ NOISE_TICKS, {}\n",
-        layout::noise_period(cfg.n, cfg.ticks)
+        lay.noise_rows(cfg.n, cfg.ticks)
     ));
     s.push_str(&format!(
         ".equ NOISE_TICKS_F32, {}\n",
-        layout::noise_period_f32(cfg.n, cfg.ticks)
+        lay.noise_rows_f32(cfg.n, cfg.ticks)
     ));
     s.push_str(&format!(".equ ROWPTR_STRIDE, {}\n", (cfg.n + 1) * 4));
     s.push_str(&format!(".equ HBITS, {}\n", u32::from(cfg.pin) << 1)); // h = 0.5 ms
-    s.push_str(SKELETON_HEAD);
+    if cfg.stim {
+        s.push_str(&format!(".equ STIM_CURRENT, {STIM_CURRENT_Q15_16:#x}\n"));
+    }
+    s.push_str(&skeleton_head(&lay));
     if cfg.variant == Variant::Npu {
         s.push_str("    li   a6, HBITS\n    nmldh x0, a6, x0\n");
     }
@@ -437,21 +694,45 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
     } else {
         PHASE_A_OWN_PRODUCER
     });
-    s.push_str(PHASE_A_HEAD);
+    s.push_str(&phase_a_head(&lay));
+    let stdp_store = |body: &str| {
+        // STDP: the spike branch also records the neuron's spike tick for
+        // the next tick's phase-A window test (t0/t5 are dead there).
+        body.replacen(
+            "\nphaseB_no_spike:",
+            "\
+\n    li   t0, LAST_SPIKE
+    slli t5, a3, 2
+    add  t0, t0, t5
+    sw   s2, (t0)            # record my last spike tick (STDP)
+phaseB_no_spike:",
+            1,
+        )
+    };
     match cfg.variant {
         Variant::Npu => {
-            s.push_str(if cfg.sparse {
-                PHASE_A_SPARSE
+            if cfg.plastic {
+                s.push_str(&phase_a_sparse_stdp());
+            } else if cfg.sparse {
+                s.push_str(PHASE_A_SPARSE);
             } else {
-                PHASE_A_FIXED
-            });
+                s.push_str(PHASE_A_FIXED);
+            }
             s.push_str(phase_a_tail(cfg.coupled));
-            s.push_str(PHASE_B_HEAD);
-            s.push_str(if cfg.scheduled {
+            if cfg.stim {
+                s.push_str(STIM_DRAIN);
+            }
+            s.push_str(&phase_b_head(&lay));
+            let body = if cfg.scheduled {
                 PHASE_B_NPU
             } else {
                 PHASE_B_NPU_NAIVE
-            });
+            };
+            if cfg.plastic {
+                s.push_str(&stdp_store(body));
+            } else {
+                s.push_str(body);
+            }
         }
         Variant::BaseFixed => {
             s.push_str(if cfg.sparse {
@@ -460,7 +741,10 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
                 PHASE_A_FIXED
             });
             s.push_str(phase_a_tail(cfg.coupled));
-            s.push_str(PHASE_B_HEAD);
+            if cfg.stim {
+                s.push_str(STIM_DRAIN);
+            }
+            s.push_str(&phase_b_head(&lay));
             s.push_str(&phase_b_base_fixed(cfg.tau));
         }
         Variant::SoftFloat => {
@@ -474,7 +758,7 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
             s.push_str(PHASE_B_SOFTFLOAT_LOOP);
         }
     }
-    s.push_str(&skeleton_tail(cfg.coupled));
+    s.push_str(&skeleton_tail(cfg.coupled, &lay));
     if cfg.variant == Variant::SoftFloat {
         s.push_str(SF_HALF_STEP);
         s.push_str(FADD_FMUL_ASM);
@@ -483,13 +767,15 @@ pub fn build_asm(cfg: &EngineConfig) -> String {
 }
 
 /// Entry: core id, neuron range, per-core stack, spike-count reset.
-const SKELETON_HEAD: &str = "
+fn skeleton_head(lay: &layout::Layout) -> String {
+    format!(
+        "
 _start:
     li   t0, MMIO_COREID
     lw   s4, (t0)            # hart id
     # per-core stack at the top of the scratchpad
-    li   sp, 0x10040000
-    slli t1, s4, 13
+    li   sp, {stack_top:#x}
+    slli t1, s4, {stack_shift}
     sub  sp, sp, t1
     li   t1, CHUNK
     mul  s0, s4, t1          # start neuron
@@ -505,8 +791,13 @@ range_ok:
     slli t1, s4, 2
     add  t0, t0, t1
     sw   x0, (t0)            # zero parity-0 count
-    sw   x0, 32(t0)          # zero parity-1 count
-";
+    sw   x0, {parity_bytes}(t0)          # zero parity-1 count
+",
+        stack_top = lay.stack_top,
+        stack_shift = lay.stack_shift,
+        parity_bytes = lay.core_slots * 4,
+    )
+}
 
 /// After optional variant-specific config: barrier, ROI start, loop top.
 const SKELETON_LOOP_TOP: &str = "
@@ -533,10 +824,12 @@ const PHASE_A_OWN_PRODUCER: &str = "    add  a4, s4, x0          # sole producer
 
 /// Phase A per-producer header: load the producer's spike count and point
 /// `t0` at its list segment.
-const PHASE_A_HEAD: &str = "
+fn phase_a_head(lay: &layout::Layout) -> String {
+    format!(
+        "
 phaseA_core:
     li   t0, SPIKE_COUNTS
-    slli t1, t6, 5
+    slli t1, t6, {count_parity_shift}
     add  t0, t0, t1
     slli t1, a4, 2
     add  t0, t0, t1
@@ -546,9 +839,13 @@ phaseA_core:
     li   t1, SPIKE_PARITY_STRIDE
     mul  t1, t1, t6
     add  t0, t0, t1
-    slli t1, a4, 11
+    slli t1, a4, {seg_shift}
     add  t0, t0, t1          # t0 = spike-list cursor
-";
+",
+        count_parity_shift = lay.count_parity_shift,
+        seg_shift = lay.spike_seg_shift,
+    )
+}
 
 /// Phase A producer-loop tail: the coupled engine advances to the next
 /// producer core; the uncoupled engine falls through after its own list.
@@ -631,6 +928,104 @@ phaseA_inner:
 phaseA_row_done:
     addi a5, a5, -1
     bnez a5, phaseA_spike
+";
+
+/// Phase A, sparse CSR walk with delivery-time nearest-neighbour STDP
+/// (NPU variant only). Per delivered edge: if the *target* spiked within
+/// [`STDP_WINDOW`] ticks before this delivery, the weight is depressed by
+/// [`STDP_A_MINUS`], otherwise potentiated by [`STDP_A_PLUS`]; the result
+/// is clamped to [[`STDP_WMIN`], [`STDP_WMAX`]], written back into the
+/// edge word and *that updated weight* is delivered. Every edge word and
+/// every `LAST_SPIKE` entry it reads belong to this core (targets are
+/// owned, `LAST_SPIKE` is written by the owner's phase B on the far side
+/// of a barrier), so the rule is race-free and bit-identical across all
+/// scheduling modes.
+fn phase_a_sparse_stdp() -> String {
+    format!(
+        "
+phaseA_spike:
+    lhu  a2, (t0)            # presynaptic neuron j
+    addi t0, t0, 2
+    li   t1, ROWPTR
+    li   t2, ROWPTR_STRIDE
+    mul  t2, t2, s4
+    add  t1, t1, t2          # my rowptr table
+    slli a2, a2, 2
+    add  t1, t1, a2
+    lw   t2, (t1)            # edge range lo
+    lw   t3, 4(t1)           # edge range hi
+    beq  t2, t3, phaseA_row_done
+    slli t2, t2, 2
+    li   t1, EDGES
+    add  t2, t2, t1          # edge cursor
+    slli t3, t3, 2
+    add  t3, t3, t1          # edge end
+    li   t1, ISYN
+    li   a6, LAST_SPIKE
+phaseA_inner:
+    lh   t4, 2(t2)           # weight (Q7.8, high half)
+    lhu  t5, (t2)            # target (low half)
+    slli a7, t5, 2
+    add  a7, a7, a6
+    lw   a7, (a7)            # target's last spike tick
+    sub  a7, s2, a7          # ticks since it (unsigned; init is huge)
+    li   a3, {window}
+    bltu a7, a3, stdp_dep
+    addi t4, t4, {a_plus}    # potentiate
+    li   a3, {wmax}
+    ble  t4, a3, stdp_apply
+    add  t4, a3, x0          # clamp high
+    j    stdp_apply
+stdp_dep:
+    addi t4, t4, -{a_minus}  # depress
+    li   a3, {wmin}
+    bge  t4, a3, stdp_apply
+    add  t4, a3, x0          # clamp low
+stdp_apply:
+    slli a7, t4, 16          # updated weight into the high half
+    or   a7, a7, t5
+    sw   a7, (t2)            # persist the plastic weight
+    slli a3, t4, 8           # deliver the updated weight (-> Q15.16)
+    slli t5, t5, 2
+    add  t5, t5, t1
+    lw   a7, (t5)
+    addi t2, t2, 4           # fills the load-use slot
+    add  a7, a7, a3
+    sw   a7, (t5)
+    bne  t2, t3, phaseA_inner
+phaseA_row_done:
+    addi a5, a5, -1
+    bnez a5, phaseA_spike
+",
+        window = STDP_WINDOW,
+        a_plus = STDP_A_PLUS,
+        a_minus = STDP_A_MINUS,
+        wmax = STDP_WMAX,
+        wmin = STDP_WMIN,
+    )
+}
+
+/// Per-tick stimulus drain (between phases A and B): select this tick's
+/// queue on the MMIO stimulus port, then add [`STIM_CURRENT_Q15_16`] to
+/// the synaptic current of every neuron the port returns until the `-1`
+/// sentinel. The device queues are per-core, so each core only ever sees
+/// (and owns) its own injected neurons.
+const STIM_DRAIN: &str = "
+    li   t0, MMIO_STIM
+    sw   s2, (t0)            # select this tick's stimulus queue
+    li   t3, ISYN
+    li   t2, -1
+    li   t5, STIM_CURRENT
+stim_drain:
+    lw   t1, (t0)            # next injected neuron, or -1 when drained
+    beq  t1, t2, stim_done
+    slli t1, t1, 2
+    add  t1, t1, t3
+    lw   t4, (t1)
+    add  t4, t4, t5
+    sw   t4, (t1)            # Isyn[neuron] += stimulus current
+    j    stim_drain
+stim_done:
 ";
 
 /// Phase A, sparse CSR walk for the soft-float variant. The soft-float
@@ -717,12 +1112,14 @@ phaseA_inner:
 ";
 
 /// Phase B prologue shared by the fixed-point variants: pointer setup.
-const PHASE_B_HEAD: &str = "
+fn phase_b_head(lay: &layout::Layout) -> String {
+    format!(
+        "
     li   s8, SPIKE_LISTS
     li   t1, SPIKE_PARITY_STRIDE
     mul  t1, t1, s3
     add  s8, s8, t1
-    slli t1, s4, 11
+    slli t1, s4, {seg_shift}
     add  s8, s8, t1          # my current spike-list cursor
     add  a3, s0, x0          # i = start
     li   s5, ISYN
@@ -748,7 +1145,10 @@ const PHASE_B_HEAD: &str = "
     slli s10, s10, 1
     li   t1, NOISE
     add  s10, s10, t1        # &noise[hash(t) mod P][start]
-";
+",
+        seg_shift = lay.spike_seg_shift,
+    )
+}
 
 /// Phase B prologue for the soft-float variant (f32 arrays, 4-byte noise).
 const PHASE_B_HEAD_F32: &str = "
@@ -1064,13 +1464,13 @@ sf_nospike:
 /// Tail: publish spike count, barrier (coupled only), parity flip, loop,
 /// ROI stop, halt. The barrier routine stays in both variants — the
 /// skeleton head always synchronises once before the tick loop.
-fn skeleton_tail(coupled: bool) -> String {
+fn skeleton_tail(coupled: bool, lay: &layout::Layout) -> String {
     let sync = if coupled { "    call barrier\n" } else { "" };
     format!(
         "
 tick_publish:
     li   t0, SPIKE_COUNTS
-    slli t1, s3, 5
+    slli t1, s3, {count_parity_shift}
     add  t0, t0, t1
     slli t1, s4, 2
     add  t0, t0, t1
@@ -1093,7 +1493,8 @@ barrier_spin:
     lw   t2, (t0)
     beq  t2, t1, barrier_spin
     ret
-"
+",
+        count_parity_shift = lay.count_parity_shift,
     )
 }
 
@@ -1124,6 +1525,19 @@ pub(crate) fn assert_run_shape(cfg: &EngineConfig, image: &GuestImage) {
     assert!(
         image.ticks >= cfg.ticks,
         "image was built for fewer ticks than the run requests"
+    );
+    let lay = cfg.layout();
+    assert!(
+        cfg.system.scratch_size >= lay.scratch_size,
+        "scratchpad too small for this shape — call EngineConfig::fit_memory"
+    );
+    assert!(
+        cfg.system.sdram_size >= lay.sdram_size,
+        "SDRAM too small for this shape — call EngineConfig::fit_memory"
+    );
+    assert!(
+        image.noise_q.len() >= lay.noise_rows(cfg.n, cfg.ticks) as usize * cfg.n,
+        "image noise table shorter than the run's noise window"
     );
     if cfg.variant == Variant::SoftFloat {
         assert!(
@@ -1186,6 +1600,26 @@ pub fn run_prepared_system(
         .iter()
         .map(|c| Metrics::with_updates(c, cfg.system.clock_hz, c.nmpn / 2))
         .collect();
+    let weight_hash = cfg.plastic.then(|| {
+        // The total edge count is the last entry of the last core's row
+        // pointers — mode-independent, so every scheduler reads back the
+        // same multiset of words.
+        let lay = cfg.layout();
+        let n = cfg.n;
+        let last = ((cfg.n_cores as usize - 1) * (n + 1) + n) as u32;
+        let mem = &sys.shared().mem;
+        let total = mem
+            .read_u32(lay.rowptr + 4 * last)
+            .expect("rowptr table out of range");
+        let bytes = mem
+            .read_bytes(lay.edges, 4 * total as usize)
+            .expect("edge table out of range");
+        let mut h: u64 = 0;
+        for w in bytes.chunks_exact(4) {
+            h = h.wrapping_add(edge_word_fnv(u32::from_le_bytes(w.try_into().unwrap())));
+        }
+        h
+    });
     Ok(WorkloadResult {
         raster,
         metrics,
@@ -1193,6 +1627,7 @@ pub fn run_prepared_system(
         cycles: exit.cycles,
         instret: exit.instret,
         ticks: cfg.ticks,
+        weight_hash,
     })
 }
 
@@ -1422,6 +1857,164 @@ mod tests {
                 assert_eq!(relaxed.instret, par.instret, "{tag}: instret");
             }
         }
+    }
+
+    #[test]
+    fn scaled_layout_matches_standard_layout_raster() {
+        // The same network run on 16 cores (scaled map: restacked scratch,
+        // 16 core slots, CSR-only SDRAM) must reproduce the 4-core
+        // standard-map raster bit for bit — the layout is addressing, not
+        // physics.
+        let net = tiny_net(320);
+        let bias = vec![6.0; 320];
+        let noise = vec![2.0; 320];
+        let ticks = 120;
+        let mut std_cfg = EngineConfig::new(320, ticks, 4, Variant::Npu);
+        std_cfg.sparse = true;
+        assert!(!std_cfg.layout().is_scaled());
+        let std_img = GuestImage::from_network(&net, &bias, &noise, ticks, 11);
+        let a = run_workload(&std_cfg, &std_img, 4_000_000_000).unwrap();
+
+        let mut sc_cfg = EngineConfig::new(320, ticks, 16, Variant::Npu);
+        sc_cfg.sparse = true;
+        sc_cfg.fit_memory(net.n_synapses());
+        let lay = sc_cfg.layout();
+        assert!(lay.is_scaled());
+        let sc_img = GuestImage::from_network_csr(&net, &bias, &noise, ticks, 11, &lay);
+        let b = run_workload(&sc_cfg, &sc_img, 4_000_000_000).unwrap();
+
+        assert!(!a.raster.spikes.is_empty());
+        let mut sa = a.raster.spikes.clone();
+        let mut sb = b.raster.spikes.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb, "scaled map changed the computation");
+    }
+
+    #[test]
+    fn csr_native_image_matches_dense_image() {
+        // Same standard-layout shape, CSR-native vs dense image: the guest
+        // tables are built from different sources but must be identical.
+        let net = tiny_net(64);
+        let bias = vec![6.0; 64];
+        let noise = vec![2.0; 64];
+        let mut cfg = EngineConfig::new(64, 100, 2, Variant::Npu);
+        cfg.sparse = true;
+        let lay = cfg.layout();
+        let dense = GuestImage::from_network(&net, &bias, &noise, 100, 7);
+        let native = GuestImage::from_network_csr(&net, &bias, &noise, 100, 7, &lay);
+        assert_eq!(
+            dense.initial_weight_hash(&cfg),
+            native.initial_weight_hash(&cfg)
+        );
+        let a = run_workload(&cfg, &dense, 2_000_000_000).unwrap();
+        let b = run_workload(&cfg, &native, 2_000_000_000).unwrap();
+        assert_eq!(a.raster.spikes, b.raster.spikes);
+    }
+
+    #[test]
+    fn stdp_evolves_weights_identically_across_core_counts() {
+        let net = tiny_net(60);
+        let bias = vec![6.0; 60];
+        let noise = vec![2.0; 60];
+        let image = GuestImage::from_network(&net, &bias, &noise, 200, 11);
+        let mut results = Vec::new();
+        for cores in [1u32, 2, 3] {
+            let mut cfg = EngineConfig::new(60, 200, cores, Variant::Npu);
+            cfg.sparse = true;
+            cfg.plastic = true;
+            let initial = image.initial_weight_hash(&cfg);
+            let res = run_workload(&cfg, &image, 4_000_000_000).unwrap();
+            assert!(!res.raster.spikes.is_empty());
+            let hash = res.weight_hash.expect("plastic run must report weights");
+            assert_ne!(hash, initial, "{cores} cores: no weight ever updated");
+            results.push((res.raster_hash(), hash));
+        }
+        assert_eq!(results[0], results[1], "2 cores diverged");
+        assert_eq!(results[0], results[2], "3 cores diverged");
+    }
+
+    #[test]
+    fn non_plastic_runs_report_no_weight_hash() {
+        let res = run_tiny(Variant::Npu, 1, 50);
+        assert_eq!(res.weight_hash, None);
+    }
+
+    #[test]
+    fn stimulus_injection_drives_a_quiet_network() {
+        use izhi_sim::StimPlan;
+        // No synapses, no bias, no noise: only the injected neurons may
+        // fire, and without a plan nothing does.
+        let params = vec![izhi_core::params::IzhParams::regular_spiking(); 40];
+        let net = Network::from_edges(params, vec![]);
+        let bias = vec![0.0; 40];
+        let noise = vec![0.0; 40];
+        let image = GuestImage::from_network(&net, &bias, &noise, 60, 5);
+        let mut cfg = EngineConfig::new(40, 60, 2, Variant::Npu);
+        cfg.stim = true;
+        let quiet = run_workload(&cfg, &image, 2_000_000_000).unwrap();
+        assert!(
+            quiet.raster.spikes.is_empty(),
+            "quiet net fired unstimulated"
+        );
+        let mut plan = StimPlan::none();
+        for t in 10..16 {
+            plan = plan.with(t, 0, 3).with(t, 1, 25); // chunk = 20
+        }
+        cfg.system.stim = plan;
+        let res = run_workload(&cfg, &image, 2_000_000_000).unwrap();
+        assert!(!res.raster.spikes.is_empty(), "stimulus had no effect");
+        for &(t, n) in &res.raster.spikes {
+            assert!(t >= 10, "spike before any injection at tick {t}");
+            assert!(n == 3 || n == 25, "uninjected neuron {n} fired");
+        }
+    }
+
+    #[test]
+    fn stimulated_run_is_identical_across_schedulers() {
+        use izhi_sim::{SchedMode, StimPlan, TimingModel};
+        let net = tiny_net(40);
+        let bias = vec![5.0; 40];
+        let noise = vec![2.0; 40];
+        let image = GuestImage::from_network(&net, &bias, &noise, 100, 9);
+        let mut cfg = EngineConfig::new(40, 100, 2, Variant::Npu);
+        cfg.stim = true;
+        let mut plan = StimPlan::none();
+        let mut x = 9u32;
+        for t in 0..100u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let neuron = x % 40;
+            plan = plan.with(t, neuron / 20, neuron);
+        }
+        cfg.system.stim = plan;
+        let exact = run_workload(&cfg, &image, 4_000_000_000).unwrap();
+        assert!(!exact.raster.spikes.is_empty());
+        let mut hashes = vec![exact.raster_hash()];
+        cfg.system.sched = SchedMode::Relaxed {
+            quantum: 50_000,
+            timing: TimingModel::Unit,
+        };
+        hashes.push(
+            run_workload(&cfg, &image, 4_000_000_000)
+                .unwrap()
+                .raster_hash(),
+        );
+        for host_threads in [1u32, 2, 4] {
+            cfg.system.sched = SchedMode::RelaxedParallel {
+                quantum: 50_000,
+                host_threads,
+                timing: TimingModel::Unit,
+            };
+            hashes.push(
+                run_workload(&cfg, &image, 4_000_000_000)
+                    .unwrap()
+                    .raster_hash(),
+            );
+        }
+        assert!(
+            hashes.iter().all(|&h| h == hashes[0]),
+            "stimulated run diverged across schedulers: {hashes:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! The 80-20 cortical-network workload (Table V, Figs. 2-3).
+//! The 80-20 cortical-network workload (Table V, Figs. 2-3), plus its
+//! scale-out descendants: the CSR-native sharded population, the STDP
+//! (plastic) variant and the stimulus-streamed variant.
 
+use izhi_sim::StimPlan;
 use izhi_snn::gen8020::Net8020;
 use izhi_snn::network::Network;
+use izhi_snn::noise::XorShift32;
 
 use crate::engine::{EngineConfig, GuestImage, Variant};
 
@@ -14,6 +18,13 @@ pub struct Net8020Workload {
     pub image: GuestImage,
     /// Engine configuration.
     pub cfg: EngineConfig,
+    /// Commutative hash of the initial weight table — `Some` for plastic
+    /// (STDP) builds; [`Workload::verify`](crate::scenario::Workload)
+    /// demands the run's final hash exists and differs from it.
+    pub initial_weight_hash: Option<u64>,
+    /// Streaming build: all drive comes from injected stimulus, so the
+    /// wide cortical-rate verification band does not apply.
+    pub stream: bool,
 }
 
 impl Net8020Workload {
@@ -112,7 +123,140 @@ impl Net8020Workload {
         let image = GuestImage::from_network(&net.network, &bias, &noise_std, ticks, seed ^ 0xABCD);
         let mut cfg = EngineConfig::new(n, ticks, n_cores, variant);
         cfg.sparse = sparse;
-        Net8020Workload { net, image, cfg }
+        Net8020Workload {
+            net,
+            image,
+            cfg,
+            initial_weight_hash: None,
+            stream: false,
+        }
+    }
+
+    /// The scale-out build: a directly-generated sparse 80-20 population
+    /// sharded across `n_cores` guest cores (one contiguous neuron chunk
+    /// per core, spike exchange through the per-tick barrier). CSR-native
+    /// end to end — no dense matrix exists host- or guest-side, which is
+    /// what lets this cross the standard memory map's 4096-neuron /
+    /// 8-core bounds onto the scaled map.
+    pub fn sharded(
+        n_exc: usize,
+        n_inh: usize,
+        density: f64,
+        ticks: u32,
+        n_cores: u32,
+        seed: u32,
+    ) -> Self {
+        Self::build_csr(
+            Net8020::sparse_random(n_exc, n_inh, density, seed),
+            ticks,
+            n_cores,
+            seed,
+            false,
+        )
+    }
+
+    /// The plastic (STDP) build: the sharded population with the engine's
+    /// delivery-time nearest-neighbour plasticity switched on. Records the
+    /// initial weight hash so verification can prove the weights evolved.
+    pub fn stdp(
+        n_exc: usize,
+        n_inh: usize,
+        density: f64,
+        ticks: u32,
+        n_cores: u32,
+        seed: u32,
+    ) -> Self {
+        let mut wl = Self::build_csr(
+            Net8020::sparse_random(n_exc, n_inh, density, seed),
+            ticks,
+            n_cores,
+            seed,
+            true,
+        );
+        wl.initial_weight_hash = Some(wl.image.initial_weight_hash(&wl.cfg));
+        wl
+    }
+
+    /// The streaming build: no thalamic noise, no bias — every bit of
+    /// drive arrives through the MMIO stimulus port, `stim_rate` injected
+    /// events per tick drawn deterministically from the seed. One engine
+    /// template serves every seed: the drain code is shape (`cfg.stim`),
+    /// the schedule is seed data (`cfg.system.stim`).
+    pub fn stream(
+        n_exc: usize,
+        n_inh: usize,
+        density: f64,
+        ticks: u32,
+        n_cores: u32,
+        seed: u32,
+        stim_rate: u32,
+    ) -> Self {
+        let net = Net8020::sparse_random(n_exc, n_inh, density, seed);
+        let n = net.len();
+        let mut wl = Self::build_csr(net, ticks, n_cores, seed, false);
+        wl.stream = true;
+        // Silence the thalamic channel: the stimulus is the only input.
+        let bias = vec![0.0; n];
+        let zero_noise = vec![0.0; n];
+        let lay = wl.cfg.layout();
+        wl.image = GuestImage::from_network_csr(
+            &wl.net.network,
+            &bias,
+            &zero_noise,
+            ticks,
+            seed ^ 0xABCD,
+            &lay,
+        );
+        wl.cfg.stim = true;
+        let chunk = wl.cfg.chunk() as u32;
+        let mut rng = XorShift32::new(seed ^ 0x57D1);
+        let mut plan = StimPlan::none();
+        for t in 0..ticks {
+            for _ in 0..stim_rate {
+                let neuron = rng.next_u32() % n as u32;
+                plan = plan.with(t, neuron / chunk, neuron);
+            }
+        }
+        wl.cfg.system.stim = plan;
+        wl
+    }
+
+    fn build_csr(mut net: Net8020, ticks: u32, n_cores: u32, seed: u32, plastic: bool) -> Self {
+        // Same charge normalisation as the dense build (see `build`).
+        for w in &mut net.network.weights {
+            *w *= 0.25;
+        }
+        let n = net.len();
+        let bias = vec![0.0; n];
+        let noise_std: Vec<f64> = (0..n)
+            .map(|i| {
+                if net.is_excitatory(i) {
+                    net.exc_noise
+                } else {
+                    net.inh_noise
+                }
+            })
+            .collect();
+        let mut cfg = EngineConfig::new(n, ticks, n_cores, Variant::Npu);
+        cfg.sparse = true;
+        cfg.plastic = plastic;
+        cfg.fit_memory(net.network.n_synapses());
+        let lay = cfg.layout();
+        let image = GuestImage::from_network_csr(
+            &net.network,
+            &bias,
+            &noise_std,
+            ticks,
+            seed ^ 0xABCD,
+            &lay,
+        );
+        Net8020Workload {
+            net,
+            image,
+            cfg,
+            initial_weight_hash: None,
+            stream: false,
+        }
     }
 
     // Running lives on the `crate::scenario::Workload` trait impl (the

@@ -108,6 +108,12 @@ pub struct ScenarioParams {
     /// Sudoku only: restore half the blanks from the classical solution
     /// so short tick budgets converge (defaults to the scenario's choice).
     pub ease: Option<bool>,
+    /// Scale-out family only: number of population shards (= guest cores
+    /// the network is split across). Defaults to `cores`; when both are
+    /// given they must agree ([`Scenario::validate`]).
+    pub shards: Option<u32>,
+    /// `net8020_stream` only: injected stimulus events per tick.
+    pub stim_rate: Option<u32>,
 }
 
 impl ScenarioParams {
@@ -141,6 +147,18 @@ impl ScenarioParams {
         self
     }
 
+    /// Builder-style override of `shards`.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Builder-style override of `stim_rate`.
+    pub fn with_stim_rate(mut self, stim_rate: u32) -> Self {
+        self.stim_rate = Some(stim_rate);
+        self
+    }
+
     /// Layer `self` over `defaults` field by field: any `Some` in `self`
     /// wins, `None` falls through. This is the one merge rule shared by
     /// [`Scenario::build_quick`] and the template path.
@@ -151,6 +169,8 @@ impl ScenarioParams {
             n_cores: self.n_cores.or(defaults.n_cores),
             seed: self.seed.or(defaults.seed),
             ease: self.ease.or(defaults.ease),
+            shards: self.shards.or(defaults.shards),
+            stim_rate: self.stim_rate.or(defaults.stim_rate),
         }
     }
 }
@@ -198,6 +218,125 @@ impl Scenario {
     pub(crate) fn build_raw(&self, params: &ScenarioParams) -> Box<dyn Workload> {
         (self.build_fn)(params)
     }
+
+    /// Check a parameter set for *inconsistent combinations* before any
+    /// build work happens, so the CLI (and tests) get a one-line error
+    /// instead of a guest trap or assembler panic deep inside the engine.
+    /// Only explicitly-given (`Some`) fields are judged — `None` falls
+    /// through to scenario defaults, which are valid by construction.
+    pub fn validate(&self, p: &ScenarioParams) -> Result<(), String> {
+        let scale_out = matches!(
+            self.name,
+            "net8020_sharded" | "net8020_stdp" | "net8020_stream"
+        );
+        let sudoku = self.name.starts_with("sudoku");
+        let per_core_n = matches!(self.name, "net8020_sweep" | "net8020_points");
+        if let Some(c) = p.n_cores {
+            if c == 0 || c > 64 {
+                return Err(format!("cores = {c} outside 1..=64"));
+            }
+            if !scale_out && c > 8 {
+                return Err(format!(
+                    "{}: cores = {c} exceeds the standard memory map's 8 core slots \
+                     (the scale-out scenarios net8020_sharded/stdp/stream run the scaled map)",
+                    self.name
+                ));
+            }
+        }
+        if let Some(t) = p.ticks {
+            if t == 0 || t >= 65536 {
+                return Err(format!(
+                    "ticks = {t} outside 1..65536 (spike-log timestamps are 16-bit)"
+                ));
+            }
+        }
+        if let Some(n) = p.n {
+            if sudoku {
+                // `n` is a puzzle index there; any usize is taken mod 5.
+            } else if n == 0 {
+                return Err("n = 0: a population needs at least one neuron".into());
+            } else if n > 65535 {
+                return Err(format!(
+                    "n = {n} exceeds 65535 (spike words carry 16-bit neuron ids)"
+                ));
+            }
+        }
+        if let Some(sh) = p.shards {
+            if !scale_out {
+                return Err(format!(
+                    "{}: `shards` only applies to the scale-out scenarios \
+                     (net8020_sharded, net8020_stdp, net8020_stream)",
+                    self.name
+                ));
+            }
+            if sh == 0 || sh > 64 {
+                return Err(format!(
+                    "shards = {sh} outside 1..=64 (spike tables scale to 64 core slots)"
+                ));
+            }
+            if let Some(c) = p.n_cores {
+                if sh > c {
+                    return Err(format!(
+                        "shards = {sh} exceeds cores = {c}: every shard runs on its own \
+                         guest core, so shards <= cores"
+                    ));
+                }
+            }
+            if let Some(n) = p.n {
+                if n < sh as usize {
+                    return Err(format!(
+                        "n = {n} neurons cannot fill {sh} shards (need n >= shards)"
+                    ));
+                }
+            }
+        }
+        if let Some(r) = p.stim_rate {
+            if self.name != "net8020_stream" {
+                return Err(format!(
+                    "{}: `stim_rate` only applies to net8020_stream",
+                    self.name
+                ));
+            }
+            if r == 0 || r > 4096 {
+                return Err(format!("stim_rate = {r} outside 1..=4096 events per tick"));
+            }
+        }
+        // Standard-map scenarios: the dense/fixed regions also bound the
+        // total population and the per-core chunk.
+        if !scale_out && !sudoku {
+            let total = p.n.map(|n| {
+                if per_core_n {
+                    n * p.n_cores.unwrap_or(2) as usize
+                } else {
+                    n
+                }
+            });
+            if let Some(total) = total {
+                if total > 4096 {
+                    return Err(format!(
+                        "{}: {total} total neurons exceed the standard memory map's 4096 \
+                         (use net8020_sharded for larger populations)",
+                        self.name
+                    ));
+                }
+            }
+            if let (Some(n), Some(c)) = (p.n, p.n_cores) {
+                let per = if per_core_n {
+                    n
+                } else {
+                    n.div_ceil(c as usize)
+                };
+                if per > 1024 {
+                    return Err(format!(
+                        "{}: per-core chunk {per} exceeds the standard map's 1024-slot \
+                         spike segment — use more cores or the scale-out scenarios",
+                        self.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Every registered scenario, in listing order.
@@ -216,7 +355,7 @@ fn split_8020(n: usize) -> (usize, usize) {
     (n_exc, n - n_exc)
 }
 
-static REGISTRY: [Scenario; 8] = [
+static REGISTRY: [Scenario; 11] = [
     Scenario {
         name: "net8020",
         summary: "coupled 80-20 cortical network (paper Table V / Figs. 2-3)",
@@ -248,6 +387,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(5),
             ease: None,
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[5, 6],
         build_fn: build_net8020,
@@ -283,6 +424,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(9),
             ease: None,
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[5, 6],
         build_fn: build_net8020_sweep,
@@ -323,6 +466,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(100),
             ease: Some(true),
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[100],
         build_fn: build_sudoku,
@@ -358,6 +503,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(7),
             ease: None,
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[7, 8],
         build_fn: build_net8020_large,
@@ -394,6 +541,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(11),
             ease: None,
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[11, 12],
         build_fn: build_net8020_points,
@@ -429,6 +578,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(5),
             ease: None,
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[5],
         build_fn: build_net8020_basefixed,
@@ -465,6 +616,8 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(5),
             ease: None,
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[5],
         build_fn: build_net8020_softfloat,
@@ -505,9 +658,145 @@ static REGISTRY: [Scenario; 8] = [
             n_cores: Some(2),
             seed: Some(0),
             ease: Some(true),
+            shards: None,
+            stim_rate: None,
         },
         battery_seeds: &[0, 1, 2, 3, 4],
         build_fn: build_sudoku_batch,
+    },
+    Scenario {
+        name: "net8020_sharded",
+        summary:
+            "beyond-paper scale-out: CSR-native sparse 80-20 population sharded across 8-64 cores",
+        schema: &[
+            ParamSpec {
+                name: "n",
+                default: "10240",
+                help: "total neurons (80 % excitatory, generated directly in CSR)",
+            },
+            ParamSpec {
+                name: "ticks",
+                default: "200",
+                help: "simulated 1 ms steps",
+            },
+            ParamSpec {
+                name: "cores",
+                default: "16",
+                help: "guest cores on the scaled memory map (up to 64)",
+            },
+            ParamSpec {
+                name: "seed",
+                default: "17",
+                help: "network + noise seed",
+            },
+            ParamSpec {
+                name: "shards",
+                default: "cores",
+                help: "population shards (one per core; must be <= cores)",
+            },
+        ],
+        quick: ScenarioParams {
+            n: Some(512),
+            ticks: Some(100),
+            n_cores: Some(16),
+            seed: Some(17),
+            ease: None,
+            shards: None,
+            stim_rate: None,
+        },
+        battery_seeds: &[17, 18],
+        build_fn: build_net8020_sharded,
+    },
+    Scenario {
+        name: "net8020_stdp",
+        summary:
+            "beyond-paper: sparse 80-20 population with delivery-time STDP (weights evolve in-run)",
+        schema: &[
+            ParamSpec {
+                name: "n",
+                default: "1024",
+                help: "total neurons (80 % excitatory, generated directly in CSR)",
+            },
+            ParamSpec {
+                name: "ticks",
+                default: "400",
+                help: "simulated 1 ms steps",
+            },
+            ParamSpec {
+                name: "cores",
+                default: "4",
+                help: "guest cores (scaled map beyond 8)",
+            },
+            ParamSpec {
+                name: "seed",
+                default: "21",
+                help: "network + noise seed",
+            },
+            ParamSpec {
+                name: "shards",
+                default: "cores",
+                help: "population shards (one per core; must be <= cores)",
+            },
+        ],
+        quick: ScenarioParams {
+            n: Some(160),
+            ticks: Some(150),
+            n_cores: Some(2),
+            seed: Some(21),
+            ease: None,
+            shards: None,
+            stim_rate: None,
+        },
+        battery_seeds: &[21, 22],
+        build_fn: build_net8020_stdp,
+    },
+    Scenario {
+        name: "net8020_stream",
+        summary:
+            "beyond-paper: noiseless sparse 80-20 population driven by a streamed MMIO stimulus",
+        schema: &[
+            ParamSpec {
+                name: "n",
+                default: "400",
+                help: "total neurons (80 % excitatory, generated directly in CSR)",
+            },
+            ParamSpec {
+                name: "ticks",
+                default: "400",
+                help: "simulated 1 ms steps",
+            },
+            ParamSpec {
+                name: "cores",
+                default: "4",
+                help: "guest cores (scaled map beyond 8)",
+            },
+            ParamSpec {
+                name: "seed",
+                default: "31",
+                help: "network seed; stimulus schedule derives from seed ^ 0x57D1",
+            },
+            ParamSpec {
+                name: "shards",
+                default: "cores",
+                help: "population shards (one per core; must be <= cores)",
+            },
+            ParamSpec {
+                name: "stim_rate",
+                default: "8",
+                help: "injected stimulus events per tick",
+            },
+        ],
+        quick: ScenarioParams {
+            n: Some(80),
+            ticks: Some(150),
+            n_cores: Some(2),
+            seed: Some(31),
+            ease: None,
+            shards: None,
+            stim_rate: Some(4),
+        },
+        battery_seeds: &[31, 32],
+        build_fn: build_net8020_stream,
     },
 ];
 
@@ -641,9 +930,49 @@ fn build_sudoku_batch(p: &ScenarioParams) -> Box<dyn Workload> {
     ))
 }
 
-/// Shared raster sanity for the 80-20 family: spikes exist, indices are in
-/// range, and the mean rate is in a (very wide) cortical band.
-fn verify_raster(cfg: &EngineConfig, res: &WorkloadResult) -> Result<(), String> {
+fn build_net8020_sharded(p: &ScenarioParams) -> Box<dyn Workload> {
+    let cores = p.shards.or(p.n_cores).unwrap_or(16);
+    let (n_exc, n_inh) = split_8020(p.n.unwrap_or(10240));
+    Box::new(Net8020Workload::sharded(
+        n_exc,
+        n_inh,
+        0.02,
+        p.ticks.unwrap_or(200),
+        cores,
+        p.seed.unwrap_or(17),
+    ))
+}
+
+fn build_net8020_stdp(p: &ScenarioParams) -> Box<dyn Workload> {
+    let cores = p.shards.or(p.n_cores).unwrap_or(4);
+    let (n_exc, n_inh) = split_8020(p.n.unwrap_or(1024));
+    Box::new(Net8020Workload::stdp(
+        n_exc,
+        n_inh,
+        0.1,
+        p.ticks.unwrap_or(400),
+        cores,
+        p.seed.unwrap_or(21),
+    ))
+}
+
+fn build_net8020_stream(p: &ScenarioParams) -> Box<dyn Workload> {
+    let cores = p.shards.or(p.n_cores).unwrap_or(4);
+    let (n_exc, n_inh) = split_8020(p.n.unwrap_or(400));
+    Box::new(Net8020Workload::stream(
+        n_exc,
+        n_inh,
+        0.1,
+        p.ticks.unwrap_or(400),
+        cores,
+        p.seed.unwrap_or(31),
+        p.stim_rate.unwrap_or(8),
+    ))
+}
+
+/// Raster bounds check shared by every verification: spikes exist and
+/// their (tick, neuron) coordinates are inside the run's grid.
+fn verify_raster_bounds(cfg: &EngineConfig, res: &WorkloadResult) -> Result<(), String> {
     if res.raster.spikes.is_empty() {
         return Err("raster is empty".into());
     }
@@ -652,6 +981,13 @@ fn verify_raster(cfg: &EngineConfig, res: &WorkloadResult) -> Result<(), String>
             return Err(format!("spike ({t}, {n}) outside {}x{}", cfg.ticks, cfg.n));
         }
     }
+    Ok(())
+}
+
+/// Shared raster sanity for the 80-20 family: spikes exist, indices are in
+/// range, and the mean rate is in a (very wide) cortical band.
+fn verify_raster(cfg: &EngineConfig, res: &WorkloadResult) -> Result<(), String> {
+    verify_raster_bounds(cfg, res)?;
     let rate = res.raster.mean_rate_hz();
     if !(0.05..=500.0).contains(&rate) {
         return Err(format!("mean rate {rate:.2} Hz outside the plausible band"));
@@ -677,7 +1013,24 @@ impl Workload for Net8020Workload {
     }
 
     fn verify(&self, res: &WorkloadResult) -> Result<(), String> {
-        verify_raster(&self.cfg, res)
+        if self.stream {
+            // All drive is injected stimulus: the cortical-rate band does
+            // not apply, but the raster must still be sane.
+            verify_raster_bounds(&self.cfg, res)?;
+        } else {
+            verify_raster(&self.cfg, res)?;
+        }
+        if self.cfg.plastic {
+            let h = res
+                .weight_hash
+                .ok_or("plastic run reported no weight hash")?;
+            if Some(h) == self.initial_weight_hash {
+                return Err(format!(
+                    "weights never evolved: final hash {h:#018x} equals the initial hash"
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -863,6 +1216,127 @@ mod tests {
         let b = sweep.population_spikes(&res, 1);
         // Same seed, different parameter points => different dynamics.
         assert_ne!(a, b, "parameter points did not change the dynamics");
+    }
+
+    #[test]
+    fn scale_out_scenarios_run_and_verify() {
+        for name in ["net8020_sharded", "net8020_stdp", "net8020_stream"] {
+            let s = find(name).unwrap_or_else(|| panic!("{name} missing"));
+            let wl = s.build_quick(&ScenarioParams::default());
+            assert!(wl.cfg().sparse, "{name}: scale-out builds are CSR-native");
+            let res = wl.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+            wl.verify(&res).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sharded_quick_crosses_the_standard_map() {
+        let s = find("net8020_sharded").unwrap();
+        let wl = s.build_quick(&ScenarioParams::default());
+        assert!(
+            wl.cfg().n_cores >= 16,
+            "quick shape must exercise the scaled memory map (got {} cores)",
+            wl.cfg().n_cores
+        );
+    }
+
+    #[test]
+    fn stdp_scenario_reports_an_evolved_weight_hash() {
+        let s = find("net8020_stdp").unwrap();
+        let wl = s.build_quick(&ScenarioParams::default());
+        assert!(wl.cfg().plastic);
+        let initial = wl
+            .as_any()
+            .downcast_ref::<Net8020Workload>()
+            .unwrap()
+            .initial_weight_hash
+            .expect("plastic build records the initial hash");
+        let res = wl.run().unwrap();
+        let h = res.weight_hash.expect("plastic run reports a weight hash");
+        assert_ne!(h, initial, "weights must evolve during the run");
+        wl.verify(&res).unwrap();
+    }
+
+    #[test]
+    fn stream_scenario_spikes_without_noise_or_bias() {
+        let s = find("net8020_stream").unwrap();
+        let wl = s.build_quick(&ScenarioParams::default());
+        assert!(wl.cfg().stim);
+        assert!(!wl.cfg().system.stim.is_empty(), "stimulus plan installed");
+        let res = wl.run().unwrap();
+        assert!(
+            !res.raster.spikes.is_empty(),
+            "injected stimulus must drive spikes"
+        );
+        wl.verify(&res).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_combinations() {
+        let sharded = find("net8020_sharded").unwrap();
+        // shards > cores: each shard needs its own guest core.
+        let err = sharded
+            .validate(&ScenarioParams::default().with_shards(16).with_cores(8))
+            .unwrap_err();
+        assert!(err.contains("shards"), "unclear error: {err}");
+        // shards beyond the spike-table core slots.
+        assert!(sharded
+            .validate(&ScenarioParams::default().with_shards(65))
+            .is_err());
+        // Too few neurons to fill the shards.
+        assert!(sharded
+            .validate(&ScenarioParams::default().with_n(4).with_shards(8))
+            .is_err());
+        // stim_rate on a non-stream scenario.
+        assert!(sharded
+            .validate(&ScenarioParams::default().with_stim_rate(4))
+            .is_err());
+        // shards on a non-scale-out scenario.
+        let dense = find("net8020").unwrap();
+        assert!(dense
+            .validate(&ScenarioParams::default().with_shards(4))
+            .is_err());
+        // Standard-map scenarios cannot cross the 8-core / 4096-neuron /
+        // 1024-chunk bounds.
+        let err = dense
+            .validate(&ScenarioParams::default().with_cores(16))
+            .unwrap_err();
+        assert!(err.contains("standard memory map"), "unclear error: {err}");
+        assert!(dense
+            .validate(&ScenarioParams::default().with_n(10240))
+            .is_err());
+        assert!(dense
+            .validate(&ScenarioParams::default().with_n(4000).with_cores(2))
+            .is_err());
+        // Generic bounds.
+        assert!(dense
+            .validate(&ScenarioParams::default().with_ticks(0))
+            .is_err());
+        assert!(dense
+            .validate(&ScenarioParams::default().with_ticks(70000))
+            .is_err());
+        assert!(dense
+            .validate(&ScenarioParams::default().with_cores(0))
+            .is_err());
+    }
+
+    #[test]
+    fn validate_accepts_every_quick_and_default_shape() {
+        for s in registry() {
+            s.validate(&s.quick)
+                .unwrap_or_else(|e| panic!("{}: quick shape rejected: {e}", s.name));
+            s.validate(&ScenarioParams::default())
+                .unwrap_or_else(|e| panic!("{}: defaults rejected: {e}", s.name));
+        }
+        let sharded = find("net8020_sharded").unwrap();
+        sharded
+            .validate(
+                &ScenarioParams::default()
+                    .with_n(10240)
+                    .with_cores(64)
+                    .with_shards(64),
+            )
+            .unwrap();
     }
 
     #[test]

@@ -144,7 +144,9 @@ impl RunTemplate {
                     && a.variant == b.variant
                     && a.sparse == b.sparse
                     && a.scheduled == b.scheduled
-                    && a.coupled == b.coupled,
+                    && a.coupled == b.coupled
+                    && a.plastic == b.plastic
+                    && a.stim == b.stim,
                 "{}: re-seeding changed the engine shape — the scenario's \
                  shape must not depend on the seed",
                 self.scenario.name
@@ -253,7 +255,9 @@ impl Workload for RunInstance {
                     && self.cfg.variant == b.variant
                     && self.cfg.sparse == b.sparse
                     && self.cfg.scheduled == b.scheduled
-                    && self.cfg.coupled == b.coupled,
+                    && self.cfg.coupled == b.coupled
+                    && self.cfg.plastic == b.plastic
+                    && self.cfg.stim == b.stim,
                 "RunInstance shape diverged from its template — rebuild \
                  (or use run_cold()) after mutating shape fields"
             );
@@ -294,7 +298,7 @@ impl Workload for RunInstance {
 /// Default capacity of the process-wide cache (templates, not bytes):
 /// enough for every registered scenario's quick shape plus headroom for
 /// a few full-scale ones.
-pub const DEFAULT_CACHE_CAPACITY: usize = 12;
+pub const DEFAULT_CACHE_CAPACITY: usize = 16;
 
 #[derive(PartialEq, Eq, Hash, Clone)]
 struct CacheKey {

@@ -81,7 +81,7 @@ pub use cache::{Cache, CacheConfig};
 pub use counters::{CostTable, Metrics, OpClass, PerfCounters};
 pub use cpu::{Core, TrapCause};
 pub use mem::{layout, MainMemory};
-pub use mmio::{FaultKind, FaultPlan, FaultSpec, SharedDevices};
+pub use mmio::{FaultKind, FaultPlan, FaultSpec, SharedDevices, StimEvent, StimPlan};
 pub use parallel::resolve_host_threads;
 pub use predecode::{CodeMem, CodeTable, PreInst, SlotState};
 pub use system::{RunExit, SchedMode, SimError, System, SystemConfig, TimingModel};

@@ -47,6 +47,10 @@ pub mod layout {
     pub const MMIO_ROI: u32 = 0x24;
     /// Write: record a host-visible "progress" word (debug aid).
     pub const MMIO_PROGRESS: u32 = 0x28;
+    /// Stimulus injection port. Write: select the tick to query.
+    /// Read: next externally injected neuron index for the selected tick
+    /// on this core, or `0xFFFF_FFFF` once the tick's events are drained.
+    pub const MMIO_STIM: u32 = 0x2C;
 
     /// Which region an address belongs to.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -79,6 +79,55 @@ impl FaultPlan {
     }
 }
 
+/// One externally injected input spike: at simulation tick `tick`, neuron
+/// `neuron` (a guest-global index owned by `core`) receives one unit of
+/// stimulus current. The guest discovers it by writing the tick to
+/// [`layout::MMIO_STIM`] and reading events back until the drain sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StimEvent {
+    /// Simulation tick the event fires on.
+    pub tick: u32,
+    /// Hart that owns the target neuron (only this core sees the event).
+    pub core: u32,
+    /// Target neuron index (guest-global).
+    pub neuron: u32,
+}
+
+/// A deterministic, replayable stimulus schedule carried on
+/// [`SystemConfig`](crate::system::SystemConfig) — the streaming-input
+/// analogue of [`FaultPlan`]. The default (empty) plan injects nothing and
+/// leaves every run bit-identical to an unplanned one. Events are
+/// per-core state on the device, so delivery is schedule-invariant: every
+/// scheduling mode drains the same events in the same order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StimPlan {
+    /// The scheduled events, in any order (the device sorts per core).
+    pub events: Vec<StimEvent>,
+}
+
+impl StimPlan {
+    /// A plan with no events (same as `Default`).
+    pub fn none() -> Self {
+        StimPlan::default()
+    }
+
+    /// Builder: add one scheduled event.
+    pub fn with(mut self, tick: u32, core: u32, neuron: u32) -> Self {
+        self.events.push(StimEvent { tick, core, neuron });
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
 /// Side effects an MMIO write asks the core to apply to itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MmioEffect {
@@ -107,8 +156,10 @@ pub enum MmioEffect {
 /// [`SharedDevices::write`] when adding registers.
 #[inline]
 pub(crate) fn is_interactive(offset: u32, write: bool) -> bool {
-    matches!(offset, layout::MMIO_MUTEX | layout::MMIO_BARRIER)
-        || (!write && offset == layout::MMIO_RAND)
+    matches!(
+        offset,
+        layout::MMIO_MUTEX | layout::MMIO_BARRIER | layout::MMIO_STIM
+    ) || (!write && offset == layout::MMIO_RAND)
 }
 
 /// Shared device state.
@@ -127,6 +178,12 @@ pub struct SharedDevices {
     rng_state: u32,
     /// Failed mutex acquisition attempts (contention diagnostics).
     pub mutex_contention: u64,
+    /// Per-core stimulus event lists, sorted by (tick, neuron).
+    stim_events: Vec<Vec<(u32, u32)>>,
+    /// Per-core drain cursor into `stim_events`.
+    stim_cursor: Vec<usize>,
+    /// Per-core tick selected by the last [`layout::MMIO_STIM`] write.
+    stim_tick: Vec<u32>,
 }
 
 impl SharedDevices {
@@ -142,7 +199,30 @@ impl SharedDevices {
             progress: Vec::new(),
             rng_state: if rng_seed == 0 { 0x1234_5678 } else { rng_seed },
             mutex_contention: 0,
+            stim_events: vec![Vec::new(); n_cores as usize],
+            stim_cursor: vec![0; n_cores as usize],
+            stim_tick: vec![0; n_cores as usize],
         }
+    }
+
+    /// Install a stimulus schedule: events are bucketed per owning core
+    /// and sorted by (tick, neuron), so the guest drains them in a
+    /// canonical order regardless of how the plan was built. Events for
+    /// cores outside the system are dropped.
+    pub fn set_stim_plan(&mut self, plan: &StimPlan) {
+        for list in &mut self.stim_events {
+            list.clear();
+        }
+        for ev in &plan.events {
+            if ev.core < self.n_cores {
+                self.stim_events[ev.core as usize].push((ev.tick, ev.neuron));
+            }
+        }
+        for list in &mut self.stim_events {
+            list.sort_unstable();
+        }
+        self.stim_cursor.fill(0);
+        self.stim_tick.fill(0);
     }
 
     /// Handle a 32-bit MMIO read from `core_id` at global time `now`.
@@ -171,6 +251,17 @@ impl SharedDevices {
                 x ^= x << 5;
                 self.rng_state = x;
                 x
+            }
+            layout::MMIO_STIM => {
+                let c = core_id as usize;
+                let list = &self.stim_events[c];
+                match list.get(self.stim_cursor[c]) {
+                    Some(&(tick, neuron)) if tick == self.stim_tick[c] => {
+                        self.stim_cursor[c] += 1;
+                        neuron
+                    }
+                    _ => u32::MAX, // drained for the selected tick
+                }
             }
             _ => 0,
         }
@@ -213,6 +304,15 @@ impl SharedDevices {
             }
             layout::MMIO_PROGRESS => {
                 self.progress.push(value);
+                MmioEffect::None
+            }
+            layout::MMIO_STIM => {
+                // Select the tick to drain. Guests query monotonically
+                // increasing ticks, but a binary search keeps re-selection
+                // (e.g. a restarted run) well-defined too.
+                let c = core_id as usize;
+                self.stim_tick[c] = value;
+                self.stim_cursor[c] = self.stim_events[c].partition_point(|&(t, _)| t < value);
                 MmioEffect::None
             }
             _ => MmioEffect::None,
@@ -307,12 +407,14 @@ mod tests {
 
     #[test]
     fn interactive_classification_covers_the_shared_registers() {
-        // Reads whose value depends on other cores' traffic:
-        for off in [MMIO_MUTEX, MMIO_BARRIER, MMIO_RAND] {
+        // Reads whose value depends on other cores' traffic, plus the
+        // stimulus port (stateful on the real device block only — the
+        // buffered per-core shim cannot answer it):
+        for off in [MMIO_MUTEX, MMIO_BARRIER, MMIO_RAND, MMIO_STIM] {
             assert!(is_interactive(off, false), "read {off:#x}");
         }
-        // Writes with cross-core effects:
-        for off in [MMIO_MUTEX, MMIO_BARRIER] {
+        // Writes with cross-core effects or device-side state:
+        for off in [MMIO_MUTEX, MMIO_BARRIER, MMIO_STIM] {
             assert!(is_interactive(off, true), "write {off:#x}");
         }
         // Everything else is core-local or append-only.
@@ -331,6 +433,45 @@ mod tests {
         for off in [MMIO_CONSOLE, MMIO_COREID, MMIO_NCORES, MMIO_CYCLE] {
             assert!(!is_interactive(off, false), "read {off:#x}");
         }
+    }
+
+    #[test]
+    fn stim_port_drains_per_core_events_in_order() {
+        let mut d = SharedDevices::new(2, 1);
+        // Unsorted plan, events for both cores plus one out-of-range core.
+        let plan = StimPlan::none()
+            .with(5, 0, 30)
+            .with(3, 0, 11)
+            .with(3, 0, 7)
+            .with(3, 1, 99)
+            .with(3, 7, 1);
+        d.set_stim_plan(&plan);
+        // No write yet: tick 0 selected, nothing scheduled there.
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX);
+        // Core 0, tick 3: two events, sorted by neuron, then the sentinel.
+        d.write(0, MMIO_STIM, 3);
+        assert_eq!(d.read(0, MMIO_STIM, 0), 7);
+        assert_eq!(d.read(0, MMIO_STIM, 0), 11);
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX);
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX, "stays drained");
+        // Core 1 has its own cursor and only its own events.
+        d.write(1, MMIO_STIM, 3);
+        assert_eq!(d.read(1, MMIO_STIM, 0), 99);
+        assert_eq!(d.read(1, MMIO_STIM, 0), u32::MAX);
+        // Skipping a tick with no events yields the sentinel immediately.
+        d.write(0, MMIO_STIM, 4);
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX);
+        d.write(0, MMIO_STIM, 5);
+        assert_eq!(d.read(0, MMIO_STIM, 0), 30);
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX);
+    }
+
+    #[test]
+    fn empty_stim_plan_is_inert() {
+        let mut d = SharedDevices::new(1, 1);
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX);
+        d.write(0, MMIO_STIM, 17);
+        assert_eq!(d.read(0, MMIO_STIM, 0), u32::MAX);
     }
 
     #[test]

@@ -257,7 +257,7 @@ impl DevSink for BufferedDev<'_> {
             layout::MMIO_COREID => core_id,
             layout::MMIO_NCORES => self.n_cores,
             layout::MMIO_CYCLE => now as u32,
-            layout::MMIO_MUTEX | layout::MMIO_BARRIER | layout::MMIO_RAND => {
+            layout::MMIO_MUTEX | layout::MMIO_BARRIER | layout::MMIO_RAND | layout::MMIO_STIM => {
                 debug_assert!(false, "interactive MMIO read escaped the pre-check");
                 0
             }
@@ -288,7 +288,7 @@ impl DevSink for BufferedDev<'_> {
                     MmioEffect::RoiStop
                 }
             }
-            layout::MMIO_MUTEX | layout::MMIO_BARRIER => {
+            layout::MMIO_MUTEX | layout::MMIO_BARRIER | layout::MMIO_STIM => {
                 debug_assert!(false, "interactive MMIO write escaped the pre-check");
                 MmioEffect::None
             }

@@ -11,7 +11,7 @@ use crate::cpu::{
     Core, EstimatedTiming, ExactTiming, ExecCtx, RunStop, Timing, TrapCause, UnitTiming,
 };
 use crate::mem::{layout, read_slice, write_slice, MainMemory};
-use crate::mmio::{FaultPlan, MmioEffect, SharedDevices};
+use crate::mmio::{FaultPlan, MmioEffect, SharedDevices, StimPlan};
 use crate::predecode::{CodeTable, PreInst};
 
 use std::time::{Duration, Instant};
@@ -187,6 +187,10 @@ pub struct SystemConfig {
     /// Deterministic fault-injection schedule (empty by default; an empty
     /// plan leaves every run bit-identical to an unplanned one).
     pub faults: FaultPlan,
+    /// Deterministic stimulus-injection schedule served through the
+    /// [`layout::MMIO_STIM`] port (empty by default; an empty plan leaves
+    /// every run bit-identical to an unplanned one).
+    pub stim: StimPlan,
 }
 
 impl Default for SystemConfig {
@@ -210,6 +214,7 @@ impl Default for SystemConfig {
             rng_seed: 0xC0FFEE,
             wall_limit: None,
             faults: FaultPlan::default(),
+            stim: StimPlan::default(),
         }
     }
 }
@@ -501,13 +506,23 @@ impl System {
             .collect()
     }
 
+    /// Build the shared device block for a configuration (seeded RNG,
+    /// stimulus schedule installed).
+    fn build_devices(cfg: &SystemConfig) -> SharedDevices {
+        let mut dev = SharedDevices::new(cfg.n_cores, cfg.rng_seed);
+        if !cfg.stim.is_empty() {
+            dev.set_stim_plan(&cfg.stim);
+        }
+        dev
+    }
+
     /// Build a system from a configuration.
     pub fn new(cfg: SystemConfig) -> Self {
         let cores = Self::build_cores(&cfg);
         let shared = Shared {
             mem: MainMemory::new(cfg.sdram_size, cfg.scratch_size),
             bus: BusArbiter::new(),
-            dev: SharedDevices::new(cfg.n_cores, cfg.rng_seed),
+            dev: Self::build_devices(&cfg),
             bus_timings: cfg.bus,
             div_latency: cfg.div_latency,
             csr_writeback: cfg.csr_writeback,
@@ -533,7 +548,7 @@ impl System {
         let shared = Shared {
             mem,
             bus: BusArbiter::new(),
-            dev: SharedDevices::new(cfg.n_cores, cfg.rng_seed),
+            dev: Self::build_devices(&cfg),
             bus_timings: cfg.bus,
             div_latency: cfg.div_latency,
             csr_writeback: cfg.csr_writeback,

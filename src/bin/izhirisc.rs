@@ -25,6 +25,8 @@
 //! izhirisc scenario run <name> [options]     build + run a scenario
 //!     --sched MODE --quantum N --host-threads N --timing T    as above
 //!     --n N --ticks N --cores N --seed N           scenario parameters
+//!     --shards N       scale-out scenarios: population shards (<= cores)
+//!     --stim-rate N    net8020_stream: injected stimulus events per tick
 //!     --quick          use the scenario's CI-sized quick parameters
 //!     --battery        fan the scenario's battery (seeds x sched x timing)
 //!                      across host threads, verify cross-mode identity
@@ -60,7 +62,7 @@ use izhirisc::sim::{SchedMode, System, SystemConfig, TimingModel};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--timing T] [--json PATH]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--shards N] [--stim-rate N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--timing T] [--json PATH]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -441,6 +443,8 @@ fn cmd_scenario_run(args: &[String]) {
                 exit(2);
             }
         }),
+        shards: args.value("--shards").map(|s| parse_u32(&s)),
+        stim_rate: args.value("--stim-rate").map(|s| parse_u32(&s)),
     };
     let quick = args.switch("--quick");
     let battery_mode = args.switch("--battery");
@@ -472,6 +476,13 @@ fn cmd_scenario_run(args: &[String]) {
     };
     if json.is_some() && !battery_mode {
         eprintln!("--json only applies to --battery runs");
+        exit(2);
+    }
+    // Reject inconsistent parameter combinations up front (shards beyond
+    // cores, standard-map scenarios past their memory bounds, …) with a
+    // one-line error instead of a guest trap deep inside the engine.
+    if let Err(e) = sc.validate(&params) {
+        eprintln!("{name}: invalid parameters: {e}");
         exit(2);
     }
 
@@ -545,6 +556,9 @@ fn cmd_scenario_run(args: &[String]) {
         res.raster.spikes.len(),
         res.raster_hash()
     );
+    if let Some(w) = res.weight_hash {
+        println!("  final weight hash {w:#018x} (STDP)");
+    }
     println!(
         "  guest exec time {:.4} s ({:.4} ms/tick at {:.0} MHz)",
         res.exec_time_s(),
