@@ -13,9 +13,18 @@
 //!   seed interpreter (`izhi_bench::seedsim`), *interleaved* with the live
 //!   ones in the same process and repeated `REPS` times per session (best
 //!   run kept), so the reported speedups are immune to host-speed drift
-//!   between measurement sessions. Single-core rows must agree with the
-//!   seed bit- and cycle-exactly (cycles, instret, full packed spike log).
-//!   Dual-core rows must agree on the *spike raster as a set*: the seed's
+//!   between measurement sessions. Each single-core workload produces a
+//!   headline row (superblocks + assembler relaxation on — the shipping
+//!   configuration), a `_norelax` diagnostic row (relaxation off) and a
+//!   `_nosb` diagnostic row (superblocks off). The `_norelax` row must
+//!   agree with the seed bit- and cycle-exactly (cycles, instret, full
+//!   packed spike log) — relaxation is the *only* thing allowed to change
+//!   the instruction stream. The headline row must reproduce the seed's
+//!   spike log word for word (raster timestamps are simulation ticks, so
+//!   relaxation cannot move them) while retiring strictly fewer
+//!   instructions; the `_nosb` row must be bit-identical to the headline
+//!   row (superblock fusion is dispatch-only, never semantic). Dual-core
+//!   rows must agree on the *spike raster as a set*: the seed's
 //!   multi-core scheduler batches eight steps per pick, so its interleaving
 //!   (and therefore cycle/spin counts and log order) differs from both the
 //!   live exact schedule and the relaxed one — the physics may not.
@@ -64,17 +73,21 @@
 //!     [--check baseline.json] [--min-ratio 0.85] [--battery-only]
 //! ```
 //!
-//! Writes `BENCH_7.json` (or the given path). With `--check`, the
+//! Writes `BENCH_8.json` (or the given path). With `--check`, the
 //! single-core `speedup_vs_seed` entries of the fresh measurement are
 //! compared against the committed baseline file (exit non-zero if any
-//! entry fell below `min-ratio` × its baseline value), every battery
-//! key of the baseline must be present and verified in the fresh run,
-//! and — when the baseline carries the sections — every
-//! `estimated_accuracy` scenario must reproduce a ratio inside the
-//! `ACCURACY_LO..=ACCURACY_HI` band of [`izhi_bench::gate`] and the
-//! `battery_throughput` experiment must clear its floor. That set is
-//! the CI perf-regression gate. `--battery-only` runs and gates just
-//! the battery rows (the CI smoke job).
+//! entry fell below `min-ratio` × its baseline value), the headline
+//! single-core entries must additionally clear the absolute
+//! [`izhi_bench::gate::SINGLE_CORE_FLOOR`], every battery key of the
+//! baseline must be present and verified in the fresh run, and — when
+//! the baseline carries the sections — every `estimated_accuracy`
+//! scenario must reproduce a ratio inside the
+//! `ACCURACY_LO..=ACCURACY_HI` band of [`izhi_bench::gate`], the
+//! `battery_throughput` experiment must clear its floor, and the
+//! `instret_reduction` of the relaxation pass on the quick 80-20 row
+//! must clear [`izhi_bench::gate::INSTRET_REDUCTION_FLOOR`]. That set
+//! is the CI perf-regression gate. `--battery-only` runs and gates
+//! just the battery rows (the CI smoke job).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -293,33 +306,99 @@ fn engine_asm(cfg: &EngineConfig) -> String {
 }
 
 /// Interleaved seed-vs-live measurement of one single-core 80-20 setup.
-/// Returns `(seed_row, live_row)`, each the best of [`REPS`] runs. Bit-
-/// and cycle-exactness vs the seed is asserted on every rep.
-fn compare_rows_1core(name: &str, n: usize, ticks: u32) -> (Row, Row) {
-    let wl = build_scenario(
-        "net8020",
-        ScenarioParams::default()
-            .with_n(n)
-            .with_ticks(ticks)
-            .with_cores(1)
-            .with_seed(5),
-    );
+/// Returns `(seed, live, norelax, nosb)` rows, each the best of [`REPS`]
+/// runs:
+///
+/// * `live` — the headline shipping configuration (superblocks + assembler
+///   relaxation forced on, regardless of `IZHI_SUPERBLOCKS`/`IZHI_RELAX`
+///   in the environment, so the row means the same thing on every host).
+/// * `norelax` — relaxation off, superblocks on. Must match the seed
+///   interpreter bit- and cycle-exactly (cycles, instret, full packed
+///   spike log): the superblock interpreter alone is semantics- and
+///   timing-transparent, and relaxation is the only pass allowed to
+///   change the instruction stream.
+/// * `nosb` — relaxation on, superblocks off. Must be bit-identical to
+///   the headline row: block fusion is a dispatch optimisation only.
+///
+/// The headline row itself must reproduce the seed's spike log word for
+/// word (raster timestamps are simulation ticks — relaxation cannot move
+/// a spike) while retiring strictly fewer instructions.
+fn compare_rows_1core(name: &str, n: usize, ticks: u32) -> (Row, Row, Row, Row) {
+    let params = ScenarioParams::default()
+        .with_n(n)
+        .with_ticks(ticks)
+        .with_cores(1)
+        .with_seed(5);
+    let configure = |relax: bool, superblocks: bool| {
+        let mut wl = build_scenario("net8020", params);
+        wl.cfg_mut().system.asm_relax = relax;
+        wl.cfg_mut().system.superblocks = superblocks;
+        wl
+    };
+    let wl = configure(true, true);
+    let wl_norelax = configure(false, true);
+    let wl_nosb = configure(true, false);
     let asm = engine_asm(wl.cfg());
     let mut seed_best: Option<Row> = None;
     let mut live_best: Option<Row> = None;
+    let mut norelax_best: Option<Row> = None;
+    let mut nosb_best: Option<Row> = None;
     for _ in 0..REPS {
         let seed = seed_run(name, &asm, wl.cfg(), wl.image());
         let live = live_run(name, "exact", &*wl);
-        // The rework must be bit- and cycle-exact vs the seed interpreter:
+        let norelax = live_run(&format!("{name}_norelax"), "exact", &*wl_norelax);
+        let nosb = live_run(&format!("{name}_nosb"), "exact", &*wl_nosb);
+        // Relaxation off => bit- and cycle-exact vs the seed interpreter:
         // same cycles, same retired instructions, and the *full* packed
         // spike log word for word.
-        assert_eq!(seed.sim_cycles, live.sim_cycles, "{name}: cycle drift");
-        assert_eq!(seed.sim_instret, live.sim_instret, "{name}: instret drift");
-        assert_eq!(seed.spike_log, live.spike_log, "{name}: raster drift");
+        assert_eq!(
+            seed.sim_cycles, norelax.sim_cycles,
+            "{name}: cycle drift (relax off)"
+        );
+        assert_eq!(
+            seed.sim_instret, norelax.sim_instret,
+            "{name}: instret drift (relax off)"
+        );
+        assert_eq!(
+            seed.spike_log, norelax.spike_log,
+            "{name}: raster drift (relax off)"
+        );
+        // Headline (relaxed) row: identical physics, strictly fewer
+        // retired instructions.
+        assert_eq!(
+            seed.spike_log, live.spike_log,
+            "{name}: relaxation moved a spike"
+        );
+        assert!(
+            live.sim_instret < seed.sim_instret,
+            "{name}: relaxation saved no instructions ({} vs seed {})",
+            live.sim_instret,
+            seed.sim_instret
+        );
+        // Superblocks off => bit-identical to the headline row.
+        assert_eq!(
+            live.sim_cycles, nosb.sim_cycles,
+            "{name}: superblocks changed the cycle count"
+        );
+        assert_eq!(
+            live.sim_instret, nosb.sim_instret,
+            "{name}: superblocks changed instret"
+        );
+        assert_eq!(
+            live.spike_log, nosb.spike_log,
+            "{name}: superblocks changed the spike log"
+        );
         seed.keep_best(&mut seed_best);
         live.keep_best(&mut live_best);
+        norelax.keep_best(&mut norelax_best);
+        nosb.keep_best(&mut nosb_best);
     }
-    (seed_best.unwrap(), live_best.unwrap())
+    (
+        seed_best.unwrap(),
+        live_best.unwrap(),
+        norelax_best.unwrap(),
+        nosb_best.unwrap(),
+    )
 }
 
 /// Interleaved seed-vs-live measurement of the dual-core 80-20 setup:
@@ -493,15 +572,16 @@ fn sudoku_rows() -> (Row, Row, Row) {
 fn json(
     rows: &[Row],
     speedups: &[(String, f64)],
+    reductions: &[(String, f64)],
     battery: &[BatteryRow],
     accuracy: &[(String, f64)],
     service: Option<&LoadReport>,
     throughput: Option<&izhi_bench::gate::ThroughputSummary>,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v9\",\n");
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v10\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core rows assert cycle/instret/spike-log identity with the seed, 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; plastic (STDP) rows additionally record an order-independent hash of the final weight state, asserted bit-identical across all combinations; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s; battery_throughput: the repeat-seed quick battery (every scenario, first battery seed, {THROUGHPUT_TICKS}-tick service-shaped jobs, {THROUGHPUT_REPEATS} repeats) timed twice in-process — cold-building every run vs instantiating from the initially cleared template cache — with per-run hash/cycle/instret identity asserted between the arms; the gate requires cached/cold >= the floor (a same-host ratio, not an absolute runs/s)\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core workloads produce a headline row (superblock interpreter + assembler relaxation on), a _norelax diagnostic row (relaxation off; asserted cycle/instret/spike-log identical to the seed — the superblock interpreter is timing-transparent) and a _nosb diagnostic row (superblocks off; asserted bit-identical to the headline row — fusion is dispatch-only); the headline row asserts seed spike-log word identity plus strictly fewer retired instructions; instret_reduction records the headline row's fractional instret saving vs the seed (deterministic, gated on the quick row); 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; plastic (STDP) rows additionally record an order-independent hash of the final weight state, asserted bit-identical across all combinations; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s; battery_throughput: the repeat-seed quick battery (every scenario, first battery seed, {THROUGHPUT_TICKS}-tick service-shaped jobs, {THROUGHPUT_REPEATS} repeats) timed twice in-process — cold-building every run vs instantiating from the initially cleared template cache — with per-run hash/cycle/instret identity asserted between the arms; the gate requires cached/cold >= the floor (a same-host ratio, not an absolute runs/s)\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -560,6 +640,18 @@ fn json(
         out.push_str(if i + 1 < accuracy.len() { ",\n" } else { "\n" });
     }
     let _ = writeln!(out, "  }},");
+    if !reductions.is_empty() {
+        let _ = writeln!(out, "  \"instret_reduction\": {{");
+        for (i, (name, r)) in reductions.iter().enumerate() {
+            let _ = write!(out, "    \"{name}\": {r:.4}");
+            out.push_str(if i + 1 < reductions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = writeln!(out, "  }},");
+    }
     let _ = writeln!(out, "  \"speedup_vs_seed\": {{");
     for (i, (name, s)) in speedups.iter().enumerate() {
         let _ = write!(out, "    \"{name}\": {s:.3}");
@@ -613,6 +705,61 @@ fn check_gate(fresh: &[(String, f64)], baseline_path: &str, min_ratio: f64) -> b
             e.fresh,
             e.baseline,
             e.ratio()
+        );
+    }
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
+/// The absolute-floor side of the CI gate (core in [`izhi_bench::gate`]):
+/// every headline single-core speedup (the `*_1core` entries, excluding
+/// the `_norelax`/`_nosb` diagnostic rows) must reach
+/// [`izhi_bench::gate::SINGLE_CORE_FLOOR`] outright — not merely hold its
+/// ratio vs a committed baseline, which would let the floor erode one
+/// re-baseline at a time.
+fn check_floor_gate(fresh: &[(String, f64)]) -> bool {
+    let floor = izhi_bench::gate::SINGLE_CORE_FLOOR;
+    let report = izhi_bench::gate::check_floor_gate(fresh, floor);
+    println!("\nabsolute single-core floor ({floor:.1}x):");
+    for e in &report.checked {
+        println!("  {}: {:.3}x", e.name, e.fresh);
+    }
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
+/// The relaxation side of the CI gate (core in [`izhi_bench::gate`]):
+/// every workload of the baseline's `instret_reduction` section must be
+/// reproduced, and the quick 80-20 row's reduction must reach
+/// [`izhi_bench::gate::INSTRET_REDUCTION_FLOOR`]. The reduction is a
+/// deterministic property of the emitted code, so this gate carries no
+/// host noise at all. Baselines predating the relaxation pass (schema <=
+/// v9) skip it.
+fn check_instret_gate(reductions: &[(String, f64)], baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    if !izhi_bench::gate::has_instret_reduction(&text) {
+        println!("instret gate: baseline {baseline_path} predates assembler relaxation — skipped");
+        return true;
+    }
+    let floor = izhi_bench::gate::INSTRET_REDUCTION_FLOOR;
+    let report = izhi_bench::gate::check_instret_gate(reductions, &text, floor);
+    println!("instret-reduction gate vs {baseline_path} (quick-row floor {floor:.2}):");
+    for e in &report.checked {
+        println!(
+            "  {}: {:.2}% fewer retired instructions (baseline {:.2}%)",
+            e.name,
+            e.fresh * 100.0,
+            e.baseline * 100.0
         );
     }
     for f in &report.failures {
@@ -874,7 +1021,7 @@ fn main() {
             _ => out_path = Some(arg),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_7.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_8.json".into());
 
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
@@ -891,19 +1038,28 @@ fn main() {
         vec![selftest_row()]
     };
     let mut speedups = Vec::new();
+    let mut reductions = Vec::new();
 
     if !battery_only {
         for (name, n, ticks) in [
             ("net8020_quick_1core", 200, 300u32),
             ("net8020_paper_1core_100ms", 1000, 100),
         ] {
-            let (seed, live) = (0..SESSIONS)
+            let (seed, live, norelax, nosb) = (0..SESSIONS)
                 .map(|_| compare_rows_1core(name, n, ticks))
                 .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
                 .expect("at least one session");
             speedups.push((name.to_string(), seed.wall_s / live.wall_s));
+            speedups.push((format!("{name}_norelax"), seed.wall_s / norelax.wall_s));
+            speedups.push((format!("{name}_nosb"), seed.wall_s / nosb.wall_s));
+            reductions.push((
+                name.to_string(),
+                (seed.sim_instret - live.sim_instret) as f64 / seed.sim_instret as f64,
+            ));
             rows.push(seed);
             rows.push(live);
+            rows.push(norelax);
+            rows.push(nosb);
         }
 
         let name = "net8020_quick_2core";
@@ -954,6 +1110,9 @@ fn main() {
     for (name, s) in &speedups {
         println!("speedup vs seed interpreter on {name}: {s:.3}x");
     }
+    for (name, r) in &reductions {
+        println!("relaxation instret reduction on {name}: {:.2}%", r * 100.0);
+    }
     if !battery.is_empty() {
         println!("\nscenario battery (registry-driven, cross-mode raster identity verified):");
         print!("{}", battery::rows_table(&battery));
@@ -994,6 +1153,7 @@ fn main() {
         json(
             &rows,
             &speedups,
+            &reductions,
             &battery,
             &accuracy,
             service.as_ref(),
@@ -1007,6 +1167,8 @@ fn main() {
         let mut ok = true;
         if !battery_only {
             ok &= check_gate(&speedups, &baseline, min_ratio);
+            ok &= check_floor_gate(&speedups);
+            ok &= check_instret_gate(&reductions, &baseline);
         }
         if !cmp_only {
             ok &= check_battery_gate(&battery, &baseline);

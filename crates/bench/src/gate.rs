@@ -76,6 +76,27 @@ pub enum GateFailure {
         /// Required minimum ratio.
         floor: f64,
     },
+    /// A headline single-core speedup fell below the absolute floor
+    /// (independent of the committed baseline — the floor is a same-host
+    /// seed-vs-live ratio, so it is not a runner speed lottery).
+    BelowAbsoluteFloor {
+        /// Gated entry name.
+        name: String,
+        /// Fresh speedup.
+        fresh: f64,
+        /// Required minimum speedup.
+        floor: f64,
+    },
+    /// The assembler-relaxation instret reduction on the gated workload
+    /// fell below the required floor.
+    InstretReductionBelowFloor {
+        /// Gated entry name.
+        name: String,
+        /// Fresh fractional reduction (`1 - relaxed/unrelaxed`).
+        fresh: f64,
+        /// Required minimum fraction.
+        floor: f64,
+    },
 }
 
 impl core::fmt::Display for GateFailure {
@@ -113,6 +134,16 @@ impl core::fmt::Display for GateFailure {
             GateFailure::TemplateSpeedupBelowFloor { speedup, floor } => write!(
                 f,
                 "battery_throughput: cached/cold {speedup:.3}x BELOW the {floor:.1}x floor"
+            ),
+            GateFailure::BelowAbsoluteFloor { name, fresh, floor } => write!(
+                f,
+                "{name}: {fresh:.3}x BELOW the absolute {floor:.1}x single-core floor"
+            ),
+            GateFailure::InstretReductionBelowFloor { name, fresh, floor } => write!(
+                f,
+                "{name}: instret reduction {:.2}% BELOW the {:.1}% floor",
+                fresh * 100.0,
+                floor * 100.0
             ),
         }
     }
@@ -190,6 +221,133 @@ pub fn check_gate(fresh: &[(String, f64)], baseline_text: &str, min_ratio: f64) 
                     });
                 }
                 report.checked.push(entry);
+            }
+        }
+    }
+    report
+}
+
+/// Absolute floor on the headline single-core speedup-vs-seed rows
+/// (entries named `*_1core`, excluding the `*_norelax` / `*_nosb`
+/// diagnostic rows). The superblock interpreter + relaxation pass land
+/// the `net8020` quick row at ~2.2-2.3x on this host; the floor sits
+/// under that with margin for runner-scheduling noise — the interleaved
+/// same-process measurement makes the *ratio* host-stable, but not
+/// noise-free. (The original 2.8x target for this stack was not reached:
+/// the exact-path interpreter is dispatch-bound after the superblock
+/// work, see the README's interpreter-core notes.)
+pub const SINGLE_CORE_FLOOR: f64 = 2.0;
+
+/// Required fractional instret reduction (`1 - relaxed/unrelaxed`) from
+/// the assembler relaxation + peephole pass on the gated workload
+/// (`net8020_quick_1core`). The reduction is a deterministic property of
+/// the emitted code — no host noise — so the floor can sit directly
+/// under the measured 3.05%.
+pub const INSTRET_REDUCTION_FLOOR: f64 = 0.03;
+
+/// Gate the headline single-core speedups against the absolute
+/// [`SINGLE_CORE_FLOOR`]-style floor: every fresh `*_1core` entry that is
+/// not a `*_norelax` / `*_nosb` diagnostic row must reach `floor`. No
+/// baseline is consulted — the floor is absolute — but an empty gated set
+/// fails, mirroring the other gates' empty rule (the relative
+/// [`check_gate`] separately errors if a baseline row went missing).
+pub fn check_floor_gate(fresh: &[(String, f64)], floor: f64) -> GateReport {
+    let gated: Vec<_> = fresh
+        .iter()
+        .filter(|(name, _)| {
+            name.contains("_1core") && !name.ends_with("_norelax") && !name.ends_with("_nosb")
+        })
+        .collect();
+    if gated.is_empty() {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::NoGatedEntries],
+        };
+    }
+    let mut report = GateReport::default();
+    for (name, v) in gated {
+        if *v < floor {
+            report.failures.push(GateFailure::BelowAbsoluteFloor {
+                name: name.clone(),
+                fresh: *v,
+                floor,
+            });
+        }
+        report.checked.push(CheckedEntry {
+            name: name.clone(),
+            fresh: *v,
+            baseline: floor,
+        });
+    }
+    report
+}
+
+/// Whether a baseline file carries an `"instret_reduction"` section at
+/// all. Old baselines (schema <= v9) legitimately predate the relaxation
+/// pass; the caller skips this gate for them instead of failing on a
+/// section that could not exist.
+pub fn has_instret_reduction(text: &str) -> bool {
+    text.contains("\"instret_reduction\"")
+}
+
+/// Extract the `"instret_reduction"` object of a baseline JSON: per
+/// workload, the fractional instret saving of the relaxation pass.
+/// Unparseable or sectionless text yields an empty list.
+pub fn parse_instret_reduction(text: &str) -> Vec<(String, f64)> {
+    let Some(idx) = text.find("\"instret_reduction\"") else {
+        return Vec::new();
+    };
+    let rest = &text[idx + "\"instret_reduction\"".len()..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find('}') else {
+        return Vec::new();
+    };
+    rest[open + 1..open + close]
+        .split(',')
+        .filter_map(|entry| {
+            let (k, v) = entry.split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            let v: f64 = v.trim().parse().ok()?;
+            (!k.is_empty()).then(|| (k.to_string(), v))
+        })
+        .collect()
+}
+
+/// Gate the fresh relaxation instret reductions against a committed
+/// baseline that carries an `"instret_reduction"` section: every baseline
+/// entry must be present in the fresh run (a dropped row errors rather
+/// than silently disabling its own gate), and the `net8020_quick_1core`
+/// entry must reach `floor`. Other entries (e.g. the paper shape, whose
+/// integration loops relax less) are presence-checked but informational.
+pub fn check_instret_gate(fresh: &[(String, f64)], baseline_text: &str, floor: f64) -> GateReport {
+    let baseline = parse_instret_reduction(baseline_text);
+    if baseline.is_empty() {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::NoGatedEntries],
+        };
+    }
+    let mut report = GateReport::default();
+    for (name, base) in baseline {
+        match fresh.iter().find(|(n, _)| *n == name) {
+            None => report.failures.push(GateFailure::MissingEntry(name)),
+            Some((_, v)) => {
+                if name == "net8020_quick_1core" && *v < floor {
+                    report
+                        .failures
+                        .push(GateFailure::InstretReductionBelowFloor {
+                            name: name.clone(),
+                            fresh: *v,
+                            floor,
+                        });
+                }
+                report.checked.push(CheckedEntry {
+                    name,
+                    fresh: *v,
+                    baseline: base,
+                });
             }
         }
     }
@@ -920,5 +1078,95 @@ mod tests {
             ("net8020_quick_2core", 0.1),
         ]);
         assert!(check_gate(&f, BASELINE, 0.85).passed());
+    }
+
+    #[test]
+    fn floor_gate_checks_only_headline_single_core_rows() {
+        // Diagnostic (_norelax/_nosb) and multi-core rows are exempt from
+        // the absolute floor even when they sit far below it.
+        let f = fresh(&[
+            ("net8020_quick_1core", 2.2),
+            ("net8020_quick_1core_norelax", 1.1),
+            ("net8020_quick_1core_nosb", 0.9),
+            ("net8020_quick_2core", 1.2),
+        ]);
+        let report = check_floor_gate(&f, SINGLE_CORE_FLOOR);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked.len(), 1);
+        assert_eq!(report.checked[0].name, "net8020_quick_1core");
+    }
+
+    #[test]
+    fn floor_gate_errors_below_the_floor_and_on_empty_gated_set() {
+        let f = fresh(&[("net8020_quick_1core", 1.7)]);
+        let report = check_floor_gate(&f, 2.0);
+        assert!(matches!(
+            &report.failures[..],
+            [GateFailure::BelowAbsoluteFloor { name, fresh, floor }]
+                if name == "net8020_quick_1core" && *fresh == 1.7 && *floor == 2.0
+        ));
+        // A fresh run with no headline single-core rows gates nothing —
+        // an error, not a vacuous pass.
+        let diag_only = fresh(&[("net8020_quick_1core_nosb", 2.5)]);
+        assert_eq!(
+            check_floor_gate(&diag_only, 2.0).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+    }
+
+    const INSTRET_BASELINE: &str = r#"{
+  "instret_reduction": {
+    "net8020_quick_1core": 0.0305,
+    "net8020_paper_1core_100ms": 0.012
+  }
+}"#;
+
+    #[test]
+    fn instret_section_parses_and_is_detected() {
+        assert!(has_instret_reduction(INSTRET_BASELINE));
+        assert!(!has_instret_reduction(BASELINE), "old baselines skip");
+        let entries = parse_instret_reduction(INSTRET_BASELINE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], ("net8020_quick_1core".to_string(), 0.0305));
+    }
+
+    #[test]
+    fn instret_gate_floors_the_quick_row_only() {
+        // The paper shape relaxes less (its integration loops dominate);
+        // it is presence-checked but not floored.
+        let ok = fresh(&[
+            ("net8020_quick_1core", 0.031),
+            ("net8020_paper_1core_100ms", 0.001),
+        ]);
+        let report = check_instret_gate(&ok, INSTRET_BASELINE, INSTRET_REDUCTION_FLOOR);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked.len(), 2);
+
+        let low = fresh(&[
+            ("net8020_quick_1core", 0.004),
+            ("net8020_paper_1core_100ms", 0.012),
+        ]);
+        let report = check_instret_gate(&low, INSTRET_BASELINE, 0.03);
+        assert!(matches!(
+            &report.failures[..],
+            [GateFailure::InstretReductionBelowFloor { name, fresh, floor }]
+                if name == "net8020_quick_1core" && *fresh == 0.004 && *floor == 0.03
+        ));
+    }
+
+    #[test]
+    fn instret_gate_errors_on_missing_row_or_sectionless_baseline() {
+        let f = fresh(&[("net8020_quick_1core", 0.031)]);
+        let report = check_instret_gate(&f, INSTRET_BASELINE, 0.03);
+        assert_eq!(
+            report.failures,
+            vec![GateFailure::MissingEntry(
+                "net8020_paper_1core_100ms".to_string()
+            )]
+        );
+        assert_eq!(
+            check_instret_gate(&f, BASELINE, 0.03).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
     }
 }

@@ -206,3 +206,75 @@ fn battery_runner_shards_the_registry_and_checks_identity() {
     let timings: Vec<_> = rows.iter().take(5).map(|r| r.timing).collect();
     assert_eq!(timings, ["exact", "unit", "unit", "estimated", "estimated"]);
 }
+
+/// Assembler relaxation soundness, swept over **every** registry
+/// scenario: the relaxed build must produce the identical spike raster
+/// and final weight state while retiring strictly fewer instructions.
+/// The per-scenario reduction floors (per-mille of the unrelaxed
+/// instret) pin the measured win at the quick shape, so a peephole
+/// regression that silently stops firing cannot land:
+///
+/// | scenario          | measured reduction |
+/// |-------------------|--------------------|
+/// | sudoku            | 3.4%               |
+/// | net8020_large     | 4.2%               |
+/// | net8020_points    | 4.2%               |
+/// | net8020_basefixed | 0.6%               |
+/// | net8020_softfloat | 6.4%               |
+/// | sudoku_batch      | 3.4%               |
+/// | net8020_sharded   | 7.4%               |
+/// | net8020_stdp      | 4.6%               |
+/// | net8020_stream    | 5.3%               |
+#[test]
+fn assembler_relaxation_is_sound_on_every_scenario() {
+    for sc in scenario::registry() {
+        let run_with = |relax: bool| {
+            let mut wl = sc.build_quick(&ScenarioParams::default());
+            wl.cfg_mut().system.asm_relax = relax;
+            let res = wl
+                .run()
+                .unwrap_or_else(|e| panic!("{} relax={relax}: run failed: {e}", sc.name));
+            wl.verify(&res)
+                .unwrap_or_else(|e| panic!("{} relax={relax}: verification failed: {e}", sc.name));
+            res
+        };
+        let on = run_with(true);
+        let off = run_with(false);
+        assert_eq!(
+            on.raster_hash(),
+            off.raster_hash(),
+            "{}: relaxation changed the spike raster",
+            sc.name
+        );
+        assert_eq!(
+            on.weight_hash, off.weight_hash,
+            "{}: relaxation changed the final weight state",
+            sc.name
+        );
+        assert!(
+            on.instret < off.instret,
+            "{}: relaxation saved no instructions ({} >= {})",
+            sc.name,
+            on.instret,
+            off.instret
+        );
+        // Floors sit safely under the measured reductions above; a new
+        // scenario starts at the >0 guarantee until someone pins it.
+        let floor_permille = match sc.name {
+            "sudoku" | "sudoku_batch" => 30,
+            "net8020_large" | "net8020_points" => 35,
+            "net8020_basefixed" => 4,
+            "net8020_softfloat" => 55,
+            "net8020_sharded" => 65,
+            "net8020_stdp" => 40,
+            "net8020_stream" => 45,
+            _ => 0,
+        };
+        let permille = (off.instret - on.instret) * 1000 / off.instret;
+        assert!(
+            permille >= floor_permille,
+            "{}: relaxation win regressed to {permille} per-mille (floor {floor_permille})",
+            sc.name
+        );
+    }
+}

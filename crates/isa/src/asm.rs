@@ -13,9 +13,20 @@
 //!   instructions, and the usual pseudo-instructions (`li`, `la`, `mv`,
 //!   `not`, `neg`, `j`, `jr`, `ret`, `call`, `nop`, `beqz`, `bnez`, ...).
 //!
-//! Pass 1 lays out sections and collects symbols; pass 2 encodes. `li`/`la`
-//! with a symbolic or large operand always occupy two words (lui+addi) so
-//! both passes agree on layout.
+//! Pass 1 lays out sections and collects symbols; pass 2 encodes. By
+//! default `li`/`la` with a symbolic or large operand always occupy two
+//! words (lui+addi) so both passes agree on layout.
+//!
+//! [`Assembler::relax`] enables an optional relaxation + peephole stage
+//! between the passes: `li`/`la` shrink to a single `addi` (12-bit
+//! values) or a single `lui` (4 KiB-aligned values) even when symbolic,
+//! redundant moves are deleted, an adjacent `sw`/`lw` pair through the
+//! stack pointer collapses to a register move, and a branch over an
+//! unconditional jump folds into one inverted branch. Sizes are settled
+//! by a grow-only fixpoint (start minimal, re-lay-out, grow anything
+//! that no longer encodes), so layout always converges. The pass only
+//! changes *how many* instructions retire, never the architectural
+//! result; it is off by default and opted into by the program engine.
 
 use std::collections::HashMap;
 
@@ -114,6 +125,7 @@ fn csr_by_name(name: &str) -> Option<u16> {
 pub struct Assembler {
     text_base: u32,
     data_base: u32,
+    relax: bool,
 }
 
 impl Default for Assembler {
@@ -121,6 +133,7 @@ impl Default for Assembler {
         Assembler {
             text_base: DEFAULT_TEXT_BASE,
             data_base: DEFAULT_DATA_BASE,
+            relax: false,
         }
     }
 }
@@ -131,26 +144,56 @@ enum Section {
     Data,
 }
 
-/// An item recorded during pass 1 and encoded during pass 2.
+/// One parsed source statement. Layout (and the relaxation stage, which
+/// re-lays-out repeatedly) replays these without re-parsing the text.
 #[derive(Debug, Clone)]
-enum Item {
-    /// One machine instruction (possibly a pseudo expansion slot).
-    Inst {
+enum Stmt {
+    /// A label definition (bound to the cursor at its position).
+    Label { line: usize, name: String },
+    /// `.text [addr]` / `.data [addr]`.
+    SetSection {
         line: usize,
-        addr: u32,
-        mnemonic: String,
-        operands: Vec<String>,
+        section: Section,
+        expr: Option<String>,
     },
-    /// Raw data bytes already resolved in pass 1.
-    Bytes { addr: u32, bytes: Vec<u8> },
-    /// A `.word`/`.half`/`.byte` whose expressions need pass-2 symbols.
-    Data {
+    /// `.org addr`.
+    Org { line: usize, expr: String },
+    /// `.align n` (power of two).
+    Align { line: usize, expr: String },
+    /// `.space n` / `.skip n`.
+    Space { line: usize, expr: String },
+    /// `.equ name, expr` / `.set name, expr`.
+    Equ {
         line: usize,
-        addr: u32,
+        name: String,
+        expr: String,
+    },
+    /// `.word`/`.half`/`.byte` (expressions evaluated at emit time).
+    EmitData {
+        line: usize,
         width: u32,
         exprs: Vec<String>,
     },
+    /// One machine instruction (possibly a pseudo expansion slot).
+    Inst {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
 }
+
+/// The result of replaying the statement list at a given size vector:
+/// the symbol table and, parallel to the statements, each statement's
+/// address (and resolved byte count for `.space`).
+struct Layout {
+    symbols: HashMap<String, u32>,
+    addrs: Vec<u32>,
+    space: Vec<u32>,
+}
+
+/// Safety cap on relaxation rounds (each round is a full size fixpoint
+/// followed by one peephole sweep; real programs settle in 2-3).
+const MAX_RELAX_ROUNDS: usize = 16;
 
 impl Assembler {
     /// Assembler with the default section bases.
@@ -170,16 +213,34 @@ impl Assembler {
         self
     }
 
+    /// Enable (or disable) the relaxation + peephole stage. Off by
+    /// default: hand-written test programs often assert exact layouts
+    /// or rely on filler instructions; the program engine opts in.
+    pub fn relax(mut self, on: bool) -> Self {
+        self.relax = on;
+        self
+    }
+
     /// Assemble a full source text into a [`Program`].
     pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
-        let mut symbols: HashMap<String, u32> = HashMap::new();
-        let mut items: Vec<Item> = Vec::new();
+        let mut stmts = self.parse(source)?;
+        let (mut sizes, mut lay) = self.fix_sizes(&stmts)?;
+        if self.relax {
+            for _ in 0..MAX_RELAX_ROUNDS {
+                if !apply_peepholes(&mut stmts, &sizes, &lay) {
+                    break;
+                }
+                let fixed = self.fix_sizes(&stmts)?;
+                sizes = fixed.0;
+                lay = fixed.1;
+            }
+        }
+        self.emit(&stmts, &sizes, &lay)
+    }
 
-        let mut text_cursor = self.text_base;
-        let mut data_cursor = self.data_base;
-        let mut section = Section::Text;
-
-        // ---- pass 1: layout + symbol collection ----
+    /// Scan the source into a statement list (no layout yet).
+    fn parse(&self, source: &str) -> Result<Vec<Stmt>, AsmError> {
+        let mut stmts = Vec::new();
         for (lineno, raw_line) in source.lines().enumerate() {
             let line = lineno + 1;
             let mut text = strip_comment(raw_line).trim().to_string();
@@ -195,13 +256,7 @@ impl Assembler {
                         message: format!("bad label `{label}`"),
                     });
                 }
-                let addr = cursor(section, text_cursor, data_cursor);
-                if symbols.insert(label.clone(), addr).is_some() {
-                    return Err(AsmError {
-                        line,
-                        message: format!("duplicate label `{label}`"),
-                    });
-                }
+                stmts.push(Stmt::Label { line, name: label });
                 text = text[colon + 1..].trim().to_string();
             }
             if text.is_empty() {
@@ -210,45 +265,44 @@ impl Assembler {
 
             let (mnemonic, rest) = split_mnemonic(&text);
             let mnemonic = mnemonic.to_ascii_lowercase();
-            let cur = cursor_mut(section, &mut text_cursor, &mut data_cursor);
 
             if let Some(directive) = mnemonic.strip_prefix('.') {
                 match directive {
-                    "text" => {
-                        if !rest.trim().is_empty() {
-                            text_cursor = eval_const(rest, line, &symbols)? as u32;
-                        }
-                        section = Section::Text;
-                    }
-                    "data" => {
-                        if !rest.trim().is_empty() {
-                            data_cursor = eval_const(rest, line, &symbols)? as u32;
-                        }
-                        section = Section::Data;
-                    }
-                    "org" => {
-                        *cur = eval_const(rest, line, &symbols)? as u32;
-                    }
-                    "align" => {
-                        let n = eval_const(rest, line, &symbols)? as u32;
-                        let a = 1u32 << n;
-                        *cur = (*cur + a - 1) & !(a - 1);
-                    }
-                    "space" | "skip" => {
-                        let n = eval_const(rest, line, &symbols)? as u32;
-                        items.push(Item::Bytes {
-                            addr: *cur,
-                            bytes: vec![0; n as usize],
+                    "text" | "data" => {
+                        let section = if directive == "text" {
+                            Section::Text
+                        } else {
+                            Section::Data
+                        };
+                        let expr = (!rest.trim().is_empty()).then(|| rest.trim().to_string());
+                        stmts.push(Stmt::SetSection {
+                            line,
+                            section,
+                            expr,
                         });
-                        *cur += n;
                     }
+                    "org" => stmts.push(Stmt::Org {
+                        line,
+                        expr: rest.to_string(),
+                    }),
+                    "align" => stmts.push(Stmt::Align {
+                        line,
+                        expr: rest.to_string(),
+                    }),
+                    "space" | "skip" => stmts.push(Stmt::Space {
+                        line,
+                        expr: rest.to_string(),
+                    }),
                     "equ" | "set" => {
                         let (name, expr) = rest.split_once(',').ok_or_else(|| AsmError {
                             line,
                             message: ".equ needs name, value".into(),
                         })?;
-                        let v = eval_const(expr, line, &symbols)? as u32;
-                        symbols.insert(name.trim().to_string(), v);
+                        stmts.push(Stmt::Equ {
+                            line,
+                            name: name.trim().to_string(),
+                            expr: expr.to_string(),
+                        });
                     }
                     "word" | "half" | "byte" => {
                         let width = match directive {
@@ -260,14 +314,7 @@ impl Assembler {
                             .into_iter()
                             .map(|s| s.to_string())
                             .collect();
-                        let n = exprs.len() as u32 * width;
-                        items.push(Item::Data {
-                            line,
-                            addr: *cur,
-                            width,
-                            exprs,
-                        });
-                        *cur += n;
+                        stmts.push(Stmt::EmitData { line, width, exprs });
                     }
                     "global" | "globl" | "section" => { /* accepted, ignored */ }
                     _ => {
@@ -280,52 +327,188 @@ impl Assembler {
                 continue;
             }
 
-            // An instruction (or pseudo). Determine its encoded size.
             let operands: Vec<String> = split_operands(rest)
                 .into_iter()
                 .map(|s| s.to_string())
                 .collect();
-            let words = pseudo_size(&mnemonic, &operands, &symbols);
-            items.push(Item::Inst {
+            stmts.push(Stmt::Inst {
                 line,
-                addr: *cur,
                 mnemonic,
                 operands,
             });
-            *cur += 4 * words;
         }
+        Ok(stmts)
+    }
 
-        // ---- pass 2: encode ----
-        let mut image: Vec<(u32, Vec<u8>)> = Vec::new();
-        for item in &items {
-            match item {
-                Item::Bytes { addr, bytes } => image.push((*addr, bytes.clone())),
-                Item::Data {
+    /// Replay the statement list with the given per-statement instruction
+    /// sizes: advance the section cursors, bind labels, evaluate `.equ`s
+    /// and directive expressions (with the symbols defined so far, as a
+    /// single-pass assembler would).
+    fn layout(&self, stmts: &[Stmt], sizes: &[u32]) -> Result<Layout, AsmError> {
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let mut addrs = vec![0u32; stmts.len()];
+        let mut space = vec![0u32; stmts.len()];
+        let mut text_cursor = self.text_base;
+        let mut data_cursor = self.data_base;
+        let mut section = Section::Text;
+
+        for (idx, stmt) in stmts.iter().enumerate() {
+            addrs[idx] = cursor(section, text_cursor, data_cursor);
+            match stmt {
+                Stmt::Label { line, name } => {
+                    if symbols.insert(name.clone(), addrs[idx]).is_some() {
+                        return Err(AsmError {
+                            line: *line,
+                            message: format!("duplicate label `{name}`"),
+                        });
+                    }
+                }
+                Stmt::SetSection {
                     line,
-                    addr,
-                    width,
-                    exprs,
+                    section: sect,
+                    expr,
                 } => {
+                    if let Some(e) = expr {
+                        let v = eval_const(e, *line, &symbols)? as u32;
+                        *cursor_mut(*sect, &mut text_cursor, &mut data_cursor) = v;
+                    }
+                    section = *sect;
+                }
+                Stmt::Org { line, expr } => {
+                    let cur = cursor_mut(section, &mut text_cursor, &mut data_cursor);
+                    *cur = eval_const(expr, *line, &symbols)? as u32;
+                }
+                Stmt::Align { line, expr } => {
+                    let n = eval_const(expr, *line, &symbols)? as u32;
+                    let a = 1u32 << n;
+                    let cur = cursor_mut(section, &mut text_cursor, &mut data_cursor);
+                    *cur = (*cur + a - 1) & !(a - 1);
+                }
+                Stmt::Space { line, expr } => {
+                    let n = eval_const(expr, *line, &symbols)? as u32;
+                    space[idx] = n;
+                    *cursor_mut(section, &mut text_cursor, &mut data_cursor) += n;
+                }
+                Stmt::Equ { line, name, expr } => {
+                    let v = eval_const(expr, *line, &symbols)? as u32;
+                    symbols.insert(name.clone(), v);
+                }
+                Stmt::EmitData { width, exprs, .. } => {
+                    let n = exprs.len() as u32 * width;
+                    *cursor_mut(section, &mut text_cursor, &mut data_cursor) += n;
+                }
+                Stmt::Inst { .. } => {
+                    *cursor_mut(section, &mut text_cursor, &mut data_cursor) += 4 * sizes[idx];
+                }
+            }
+        }
+        Ok(Layout {
+            symbols,
+            addrs,
+            space,
+        })
+    }
+
+    /// Settle the per-instruction size vector. Without relaxation this
+    /// is the conservative single shot (`pseudo_size`). With relaxation
+    /// every `li`/`la` starts at one word and a grow-only fixpoint
+    /// widens any that no longer encode at the resulting addresses —
+    /// monotone growth, so it always terminates (and never oscillates
+    /// the way shrink-iteration can, e.g. a `lui`-only `li 0x1000`
+    /// pulling a label back below the 4 KiB boundary).
+    fn fix_sizes(&self, stmts: &[Stmt]) -> Result<(Vec<u32>, Layout), AsmError> {
+        let mut sizes: Vec<u32> = stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Inst {
+                    mnemonic, operands, ..
+                } => {
+                    if self.relax && matches!(mnemonic.as_str(), "li" | "la") {
+                        1
+                    } else {
+                        pseudo_size(mnemonic, operands, &HashMap::new())
+                    }
+                }
+                _ => 0,
+            })
+            .collect();
+        loop {
+            let lay = self.layout(stmts, &sizes)?;
+            if !self.relax {
+                return Ok((sizes, lay));
+            }
+            let mut grew = false;
+            for (idx, stmt) in stmts.iter().enumerate() {
+                let Stmt::Inst {
+                    line,
+                    mnemonic,
+                    operands,
+                } = stmt
+                else {
+                    continue;
+                };
+                if !matches!(mnemonic.as_str(), "li" | "la") {
+                    continue;
+                }
+                // An unresolvable operand sizes conservatively; pass 2
+                // reports the error with the proper source line.
+                let needed = match operands.get(1) {
+                    Some(e) => match eval_const(e, *line, &lay.symbols) {
+                        Ok(v) => li_words(v as i32),
+                        Err(_) => 2,
+                    },
+                    None => 1,
+                };
+                if needed > sizes[idx] {
+                    sizes[idx] = needed;
+                    grew = true;
+                }
+            }
+            if !grew {
+                return Ok((sizes, lay));
+            }
+        }
+    }
+
+    /// Pass 2: encode every statement at its settled address and merge
+    /// the pieces into contiguous segments.
+    fn emit(&self, stmts: &[Stmt], sizes: &[u32], lay: &Layout) -> Result<Program, AsmError> {
+        let symbols = &lay.symbols;
+        let mut image: Vec<(u32, Vec<u8>)> = Vec::new();
+        for (idx, stmt) in stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Space { .. } => {
+                    image.push((lay.addrs[idx], vec![0; lay.space[idx] as usize]));
+                }
+                Stmt::EmitData { line, width, exprs } => {
                     let mut bytes = Vec::with_capacity(exprs.len() * *width as usize);
                     for e in exprs {
-                        let v = eval_const(e, *line, &symbols)? as u32;
+                        let v = eval_const(e, *line, symbols)? as u32;
                         bytes.extend_from_slice(&v.to_le_bytes()[..*width as usize]);
                     }
-                    image.push((*addr, bytes));
+                    image.push((lay.addrs[idx], bytes));
                 }
-                Item::Inst {
+                Stmt::Inst {
                     line,
-                    addr,
                     mnemonic,
                     operands,
                 } => {
-                    let insts = encode_mnemonic(mnemonic, operands, *addr, *line, &symbols)?;
+                    let insts = encode_mnemonic(
+                        mnemonic,
+                        operands,
+                        lay.addrs[idx],
+                        *line,
+                        symbols,
+                        sizes[idx],
+                    )?;
+                    debug_assert_eq!(insts.len() as u32, sizes[idx], "layout/encode size drift");
                     let mut bytes = Vec::with_capacity(insts.len() * 4);
                     for i in insts {
                         bytes.extend_from_slice(&encode(i).to_le_bytes());
                     }
-                    image.push((*addr, bytes));
+                    image.push((lay.addrs[idx], bytes));
                 }
+                _ => {}
             }
         }
 
@@ -347,12 +530,247 @@ impl Assembler {
             }
         }
 
-        let entry = symbols.get("_start").copied().unwrap_or(self.text_base);
+        let entry = lay.symbols.get("_start").copied().unwrap_or(self.text_base);
         Ok(Program {
             segments,
-            symbols,
+            symbols: lay.symbols.clone(),
             entry,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The peephole catalogue (relaxation stage only)
+// ---------------------------------------------------------------------------
+
+/// One peephole sweep over the statement list. Returns whether anything
+/// changed (the caller then re-runs the size fixpoint and sweeps again).
+fn apply_peepholes(stmts: &mut Vec<Stmt>, sizes: &[u32], lay: &Layout) -> bool {
+    let mut remove = vec![false; stmts.len()];
+    let mut replace: Vec<(usize, Stmt)> = Vec::new();
+    let mut changed = false;
+
+    let mut i = 0;
+    while i < stmts.len() {
+        let Stmt::Inst {
+            line,
+            mnemonic,
+            operands,
+        } = &stmts[i]
+        else {
+            i += 1;
+            continue;
+        };
+
+        // --- redundant move / no-op elimination ---
+        if is_redundant_move(mnemonic, operands) {
+            remove[i] = true;
+            changed = true;
+            i += 1;
+            continue;
+        }
+
+        // The remaining patterns pair this instruction with the next one
+        // in the same straight-line run (no section/layout break between
+        // them; labels are tracked because a jump target between the two
+        // would observe the rewrite).
+        let Some((j, labeled)) = next_code_stmt(stmts, i) else {
+            i += 1;
+            continue;
+        };
+        if remove[j] || lay.addrs[j] != lay.addrs[i].wrapping_add(4 * sizes[i]) {
+            i += 1;
+            continue;
+        }
+        let Stmt::Inst {
+            mnemonic: next_mn,
+            operands: next_ops,
+            ..
+        } = &stmts[j]
+        else {
+            i += 1;
+            continue;
+        };
+
+        // --- branch-over-jump collapse ---
+        // `bcc a, b, L1; j L2; L1:` => `!bcc a, b, L2`. Only when the
+        // branch skips exactly the jump, the jump target is symbolic
+        // (literal targets are pc-relative and would shift), and nothing
+        // can land on the jump itself.
+        if let Some(inverted) = invert_branch(mnemonic) {
+            if !labeled {
+                if let Some(jump_target) = jump_target_expr(next_mn, next_ops) {
+                    let target_expr = operands.last().cloned().unwrap_or_default();
+                    let target = eval_const(&target_expr, *line, &lay.symbols).ok().map(|v| {
+                        if is_pure_literal(&target_expr) {
+                            (lay.addrs[i] as i64).wrapping_add(v)
+                        } else {
+                            v
+                        }
+                    });
+                    let jump_addr = lay.addrs[j];
+                    if target == Some(jump_addr as i64 + 4)
+                        && !is_pure_literal(jump_target)
+                        && !lay.symbols.values().any(|&v| v == jump_addr)
+                    {
+                        let mut new_ops = operands.clone();
+                        *new_ops.last_mut().unwrap() = jump_target.clone();
+                        replace.push((
+                            i,
+                            Stmt::Inst {
+                                line: *line,
+                                mnemonic: inverted.to_string(),
+                                operands: new_ops,
+                            },
+                        ));
+                        remove[j] = true;
+                        changed = true;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // --- load-after-store elimination ---
+        // `sw rs, off(sp); lw rd, off(sp)` => `mv rd, rs` (or nothing
+        // when rd == rs). Restricted to literal offsets through the
+        // stack pointer: stacks live in plain scratchpad RAM, while
+        // arbitrary bases may address MMIO where a store-then-load pair
+        // is a device handshake (the engine's barrier does exactly
+        // that), and symbolic offsets could re-resolve after layout.
+        if mnemonic == "sw" && next_mn == "lw" && !labeled {
+            let empty = HashMap::new();
+            let src = operands.first().and_then(|r| Reg::parse(r));
+            let dst = next_ops.first().and_then(|r| Reg::parse(r));
+            let st = operands.get(1).and_then(|m| parse_mem(m, 0, &empty).ok());
+            let ld = next_ops.get(1).and_then(|m| parse_mem(m, 0, &empty).ok());
+            if let (Some(src), Some(dst), Some(st), Some(ld)) = (src, dst, st, ld) {
+                if st == ld && st.0 == Reg(2) {
+                    if dst == src || dst == Reg(0) {
+                        remove[j] = true;
+                    } else {
+                        replace.push((
+                            j,
+                            Stmt::Inst {
+                                line: *line,
+                                mnemonic: "mv".to_string(),
+                                operands: vec![next_ops[0].clone(), operands[0].clone()],
+                            },
+                        ));
+                    }
+                    changed = true;
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+
+        i += 1;
+    }
+
+    if changed {
+        for (idx, stmt) in replace {
+            stmts[idx] = stmt;
+        }
+        let mut keep = remove.iter().map(|r| !r);
+        stmts.retain(|_| keep.next().unwrap());
+    }
+    changed
+}
+
+/// The next statement in the same straight-line code run: skips `.equ`s
+/// (no layout effect), notes labels, and gives up at anything that
+/// moves the cursor non-linearly. Returns (index, saw_label).
+fn next_code_stmt(stmts: &[Stmt], i: usize) -> Option<(usize, bool)> {
+    let mut labeled = false;
+    for (k, stmt) in stmts.iter().enumerate().skip(i + 1) {
+        match stmt {
+            Stmt::Inst { .. } => return Some((k, labeled)),
+            Stmt::Label { .. } => labeled = true,
+            Stmt::Equ { .. } => {}
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// A move (or arithmetic identity) that leaves all architectural state
+/// unchanged. Writes to `x0` are kept: `nop` is often a deliberate
+/// pipeline filler in timing-sensitive test programs.
+fn is_redundant_move(mnemonic: &str, ops: &[String]) -> bool {
+    let r = |i: usize| ops.get(i).and_then(|t| Reg::parse(t));
+    let (rd, rs1, rs2) = (r(0), r(1), r(2));
+    if rd == Some(Reg(0)) || rd.is_none() {
+        return false;
+    }
+    let lit_zero = |i: usize| {
+        ops.get(i)
+            .map(|e| eval_const(e, 0, &HashMap::new()) == Ok(0))
+            .unwrap_or(false)
+    };
+    match mnemonic {
+        "mv" => ops.len() == 2 && rd == rs1,
+        "addi" => ops.len() == 3 && rd == rs1 && lit_zero(2),
+        "add" | "or" | "xor" => {
+            ops.len() == 3
+                && ((rd == rs1 && rs2 == Some(Reg(0)))
+                    || (rd == rs2 && rs1 == Some(Reg(0)) && mnemonic != "xor"))
+        }
+        "sub" | "srli" | "slli" | "srai" => {
+            ops.len() == 3
+                && rd == rs1
+                && (if mnemonic == "sub" {
+                    rs2 == Some(Reg(0))
+                } else {
+                    lit_zero(2)
+                })
+        }
+        _ => false,
+    }
+}
+
+/// The inverted mnemonic of a conditional branch (operand order kept).
+fn invert_branch(mnemonic: &str) -> Option<&'static str> {
+    Some(match mnemonic {
+        "beq" => "bne",
+        "bne" => "beq",
+        "blt" => "bge",
+        "bge" => "blt",
+        "bltu" => "bgeu",
+        "bgeu" => "bltu",
+        "bgt" => "ble",
+        "ble" => "bgt",
+        "bgtu" => "bleu",
+        "bleu" => "bgtu",
+        "beqz" => "bnez",
+        "bnez" => "beqz",
+        "bltz" => "bgez",
+        "bgez" => "bltz",
+        "bgtz" => "blez",
+        "blez" => "bgtz",
+        _ => return None,
+    })
+}
+
+/// The target expression of an unconditional direct jump that links
+/// nothing (`j`/`tail`, or `jal` with rd = x0).
+fn jump_target_expr<'a>(mnemonic: &str, ops: &'a [String]) -> Option<&'a String> {
+    match mnemonic {
+        "j" | "tail" if ops.len() == 1 => ops.first(),
+        "jal" if ops.len() == 2 && Reg::parse(&ops[0]) == Some(Reg(0)) => ops.get(1),
+        _ => None,
+    }
+}
+
+/// Minimal number of words a relaxed `li`/`la` of value `v` needs: one
+/// `addi` for 12-bit values, one `lui` for 4 KiB-aligned values,
+/// `lui`+`addi` otherwise.
+fn li_words(v: i32) -> u32 {
+    if (-2048..=2047).contains(&v) || v & 0xFFF == 0 {
+        1
+    } else {
+        2
     }
 }
 
@@ -782,6 +1200,7 @@ fn encode_mnemonic(
     pc: u32,
     line: usize,
     symbols: &HashMap<String, u32>,
+    words: u32,
 ) -> Result<Vec<Inst>, AsmError> {
     let ev = |e: &str| eval_const(e, line, symbols);
     let reg = |t: &str| parse_reg(t, line);
@@ -1032,24 +1451,32 @@ fn encode_mnemonic(
             rs1: Reg::ZERO,
             imm: 0,
         }]),
-        "li" => {
+        // `li`/`la` encode at the size layout decided: one `addi` or
+        // one `lui` when the (possibly relaxed) sizing shrank them, the
+        // full lui+addi pair otherwise.
+        "li" | "la" => {
             expect_ops(2, ops, mnemonic, line)?;
             let rd = reg(&ops[0])?;
             let v = ev(&ops[1])? as i32;
-            if is_pure_literal(&ops[1]) && (-2048..=2047).contains(&(v as i64)) {
-                Ok(vec![Inst::OpImm {
-                    op: AluImmOp::Addi,
-                    rd,
-                    rs1: Reg::ZERO,
-                    imm: v,
-                }])
+            if words == 1 {
+                if (-2048..=2047).contains(&v) {
+                    Ok(vec![Inst::OpImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1: Reg::ZERO,
+                        imm: v,
+                    }])
+                } else if v & 0xFFF == 0 {
+                    Ok(vec![Inst::Lui { rd, imm: v }])
+                } else {
+                    Err(AsmError {
+                        line,
+                        message: format!("internal: `{mnemonic}` sized 1 word for {v:#x}"),
+                    })
+                }
             } else {
                 Ok(expand_li(rd, v))
             }
-        }
-        "la" => {
-            expect_ops(2, ops, mnemonic, line)?;
-            Ok(expand_li(reg(&ops[0])?, ev(&ops[1])? as i32))
         }
         "mv" => {
             expect_ops(2, ops, mnemonic, line)?;
@@ -1448,5 +1875,236 @@ mod tests {
             _start: nop
         ");
         assert_eq!(p.symbol("b"), Some(0x110));
+    }
+
+    // --- relaxation + peepholes ---
+
+    fn asm_relaxed(src: &str) -> Program {
+        Assembler::new()
+            .relax(true)
+            .assemble(src)
+            .expect("assembly failed")
+    }
+
+    /// Execute-independent check: both variants must load the same
+    /// constant into the same register.
+    fn first_li_value(p: &Program) -> i32 {
+        match decode(p.words()[0]).unwrap() {
+            Inst::OpImm { imm, .. } => imm,
+            Inst::Lui { imm: hi, .. } => match decode(p.words()[1]).unwrap() {
+                Inst::OpImm {
+                    op: AluImmOp::Addi,
+                    imm: lo,
+                    ..
+                } => hi.wrapping_add(lo),
+                _ => hi,
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_shrinks_symbolic_small_li() {
+        let src = "
+            .equ TAU, 2
+            _start: li t6, TAU
+            after:  ebreak
+        ";
+        let unrelaxed = asm(src);
+        let relaxed = asm_relaxed(src);
+        assert_eq!(unrelaxed.symbol("after"), Some(DEFAULT_TEXT_BASE + 8));
+        assert_eq!(relaxed.symbol("after"), Some(DEFAULT_TEXT_BASE + 4));
+        assert_eq!(first_li_value(&relaxed), 2);
+        match decode(relaxed.words()[0]).unwrap() {
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg(31),
+                rs1: Reg(0),
+                imm: 2,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_shrinks_aligned_li_to_lui() {
+        for v in ["0x10004000", "0x200000", "0x10040000"] {
+            let relaxed = asm_relaxed(&format!("_start: li a0, {v}\nebreak"));
+            assert_eq!(relaxed.words().len(), 2, "li {v} + ebreak");
+            let expect = i64::from_str_radix(&v[2..], 16).unwrap() as i32;
+            match decode(relaxed.words()[0]).unwrap() {
+                Inst::Lui { rd: Reg(10), imm } => assert_eq!(imm, expect),
+                other => panic!("{other:?}"),
+            }
+        }
+        // MMIO-style constants (low bits set) still need both words.
+        let p = asm_relaxed("_start: li a0, 0xf000001c\nebreak");
+        assert_eq!(p.words().len(), 3);
+        assert_eq!(first_li_value(&p), 0xf000001cu32 as i32);
+    }
+
+    #[test]
+    fn relax_keeps_branch_targets_correct_across_shrinks() {
+        // The branch crosses a li that shrinks from 2 words to 1; its
+        // encoded offset must follow the move.
+        let p = asm_relaxed(
+            "
+            .equ K, 7
+            _start: bnez a0, out
+                    li   t0, K
+            out:    ebreak
+        ",
+        );
+        assert_eq!(p.words().len(), 3);
+        match decode(p.words()[0]).unwrap() {
+            Inst::Branch { imm, .. } => assert_eq!(imm, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_grow_fixpoint_settles() {
+        // A symbolic li of a label that only fits one word if the label
+        // stays below 2048 — but the program also contains enough code
+        // that a mis-settled layout would corrupt the branch below.
+        // (0x1000-aligned labels exercise the lui-only growth path.)
+        let p = asm_relaxed(
+            "
+            _start: li a0, target
+                    j  done
+            .org 0x1000
+            target: nop
+            done:   ebreak
+        ",
+        );
+        assert_eq!(p.symbol("target"), Some(0x1000));
+        assert_eq!(first_li_value(&p), 0x1000);
+        match decode(p.words()[0]).unwrap() {
+            Inst::Lui { imm: 0x1000, .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_deletes_redundant_moves_but_keeps_nops() {
+        let p = asm_relaxed(
+            "
+            _start: mv   a0, a0
+                    addi a1, a1, 0
+                    add  a2, a2, x0
+                    nop
+                    ebreak
+        ",
+        );
+        // Only nop + ebreak survive; nop (a write to x0) is kept as a
+        // deliberate pipeline filler.
+        assert_eq!(p.words().len(), 2);
+        match decode(p.words()[0]).unwrap() {
+            Inst::OpImm {
+                rd: Reg(0),
+                rs1: Reg(0),
+                imm: 0,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_collapses_branch_over_jump() {
+        let p = asm_relaxed(
+            "
+            _start: beqz a0, skip
+                    j    far
+            skip:   ebreak
+            far:    nop
+                    ebreak
+        ",
+        );
+        // beqz/j collapse into one bnez straight to far.
+        let w = p.words();
+        assert_eq!(w.len(), 4);
+        match decode(w[0]).unwrap() {
+            Inst::Branch {
+                op: BranchOp::Ne,
+                imm,
+                ..
+            } => assert_eq!(DEFAULT_TEXT_BASE + imm as u32, p.symbol("far").unwrap()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_branch_over_jump_respects_labels_on_the_jump() {
+        // Something jumps to the `j` itself: the collapse must not fire.
+        let p = asm_relaxed(
+            "
+            _start: beqz a0, skip
+            hop:    j    far
+            skip:   ebreak
+            far:    j    hop
+        ",
+        );
+        assert_eq!(p.words().len(), 4);
+        match decode(p.words()[0]).unwrap() {
+            Inst::Branch {
+                op: BranchOp::Eq, ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relax_load_after_store_through_sp_only() {
+        // Stack slot round-trip collapses to a move…
+        let p = asm_relaxed(
+            "
+            _start: sw a0, 4(sp)
+                    lw a1, 4(sp)
+                    ebreak
+        ",
+        );
+        let w = p.words();
+        assert_eq!(w.len(), 3);
+        match decode(w[1]).unwrap() {
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg(11),
+                rs1: Reg(10),
+                imm: 0,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        // …same register disappears entirely…
+        let p = asm_relaxed("_start: sw a0, (sp)\nlw a0, (sp)\nebreak");
+        assert_eq!(p.words().len(), 2);
+        // …but a store-then-load through any other base is a potential
+        // MMIO handshake (the engine barrier does exactly this) and must
+        // survive untouched.
+        let p = asm_relaxed("_start: sw x0, (t0)\nlw t2, (t0)\nebreak");
+        assert_eq!(p.words().len(), 3);
+    }
+
+    #[test]
+    fn relax_off_is_byte_identical_to_legacy_layout() {
+        let src = "
+            .equ TAU, 2
+            _start: li t6, TAU
+                    li a0, 0x10004000
+                    sw a0, 4(sp)
+                    lw a1, 4(sp)
+                    beqz a1, skip
+                    j   end
+            skip:   nop
+            end:    ebreak
+        ";
+        let p = asm(src);
+        // Every li is conservative (symbolic or large => 2 words), no
+        // peephole fires: 2 + 2 + 1 + 1 + 1 + 1 + 1 + 1 words.
+        assert_eq!(p.words().len(), 10);
+        // Relaxed: both li shrink, lw becomes mv, beqz/j collapse:
+        // li + li + sw + mv + bnez + nop + ebreak.
+        let relaxed = asm_relaxed(src);
+        assert_eq!(relaxed.words().len(), 7);
     }
 }

@@ -1,0 +1,13 @@
+//! Dump the engine-emitted assembly for a scenario (debugging aid for
+//! assembler/peephole work): `cargo run -p izhi_programs --example dump_asm -- net8020`
+use izhi_programs::engine::build_asm;
+use izhi_programs::scenario::{self, ScenarioParams};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "net8020".into());
+    let sc = scenario::find(&name).expect("registered scenario");
+    let wl = sc.build_quick(&ScenarioParams::default());
+    let decay = (1.0 - 0.5 / wl.cfg().tau as f64) as f32;
+    println!(".equ DECAY_F32, {:#x}", decay.to_bits());
+    print!("{}", build_asm(wl.cfg()));
+}

@@ -1558,6 +1558,7 @@ pub fn prepare_run(cfg: &EngineConfig, image: &GuestImage) -> PreparedRun {
     let decay = (1.0 - 0.5 / cfg.tau as f64) as f32;
     asm = format!(".equ DECAY_F32, {:#x}\n{asm}", decay.to_bits());
     let prog = Assembler::new()
+        .relax(cfg.system.asm_relax)
         .assemble(&asm)
         .unwrap_or_else(|e| panic!("engine assembly failed: {e}"));
     let mut mem = MainMemory::new(cfg.system.sdram_size, cfg.system.scratch_size);

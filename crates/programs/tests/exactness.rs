@@ -164,3 +164,37 @@ fn dual_core_engine_run_matches_single_stepping() {
     run_by_single_stepping(&mut slow, 1_000_000_000);
     assert_identical(&fast, &slow);
 }
+
+/// Scenario-level superblock exactness: the same dual-core engine image
+/// with block fusion forced on vs off must produce identical spike
+/// rasters, consoles, clocks and the full counter block — fusion is a
+/// dispatch optimisation, never a semantic one.
+#[test]
+fn dual_core_engine_superblocks_on_off_bit_identical() {
+    let wl = Net8020Workload::sized(40, 10, 60, 2, 5, Variant::Npu);
+    let decay = (1.0 - 0.5 / wl.cfg.tau as f64) as f32;
+    let asm = format!(
+        ".equ DECAY_F32, {:#x}\n{}",
+        decay.to_bits(),
+        build_asm(&wl.cfg)
+    );
+    let prog = Assembler::new().assemble(&asm).expect("engine assembles");
+
+    let run = |superblocks: bool| {
+        let mut cfg = wl.cfg.clone();
+        cfg.system.n_cores = cfg.n_cores;
+        cfg.system.superblocks = superblocks;
+        let mut sys = System::new(cfg.system.clone());
+        assert!(sys.load_program(&prog));
+        wl.image.load_into(&mut sys, &cfg);
+        sys.run(1_000_000_000).expect("engine run");
+        sys
+    };
+    let on = run(true);
+    assert!(
+        !on.shared().dev.spike_log.is_empty(),
+        "engine produced no spikes — comparison would be vacuous"
+    );
+    let off = run(false);
+    assert_identical(&on, &off);
+}

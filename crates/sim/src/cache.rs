@@ -149,6 +149,16 @@ impl Cache {
         self.writebacks = 0;
     }
 
+    /// Non-mutating read-probe: would `access(addr, false)` hit? Touches
+    /// neither the line array nor the statistics — the superblock fetch
+    /// path uses it to end a block *before* a miss moves any state.
+    #[inline]
+    #[must_use]
+    pub fn would_hit(&self, addr: u32) -> bool {
+        let (index, tag) = self.index_tag(addr);
+        self.lines[index] & !Self::DIRTY == Self::VALID | tag
+    }
+
     /// Read-probe by a precomputed (set, tag) pair. Equivalent to
     /// `access(addr, false)` for the address that lowered to this pair.
     #[inline]

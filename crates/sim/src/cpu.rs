@@ -18,7 +18,7 @@ use crate::cache::{Access, Cache};
 use crate::counters::{CostTable, PerfCounters};
 use crate::mem::layout;
 use crate::mmio::{FaultKind, MmioEffect};
-use crate::predecode::{MicroOp, PreInst, SlotState, NO_DEST};
+use crate::predecode::{MicroOp, PreInst, SlotState, MAX_SB, NO_DEST};
 use crate::system::Shared;
 
 /// A timing policy: how the local clock advances per retired instruction.
@@ -135,6 +135,12 @@ pub(crate) trait ExecCtx {
     fn div_latency(&self) -> u64;
     /// Whether the CSR-writeback hazard fix is modelled.
     fn csr_writeback(&self) -> bool;
+    /// Whether superblock execution is enabled for this run (the
+    /// `IZHI_SUPERBLOCKS` / `--no-superblocks` escape hatch).
+    fn superblocks_enabled(&self) -> bool;
+    /// Look up (forming on first use) the fused superblock starting at
+    /// `pc`; see [`crate::predecode::CodeTable::superblock`].
+    fn superblock(&mut self, pc: u32, buf: &mut [PreInst; MAX_SB]) -> (u32, u32);
 }
 
 /// Why a core stopped abnormally.
@@ -232,6 +238,23 @@ enum PrevKind {
     NmWriteback,
 }
 
+/// In-arm exit signal from a `BLOCK`-mode [`Core::exec_op`] dispatch —
+/// the superblock loop reads it after each op so the memory arms can
+/// screen their own effective addresses (one dispatch per op instead of
+/// a separate pre-classification pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockExit {
+    /// The op retired normally; keep running the block.
+    None,
+    /// MMIO-classified access: the op did **not** run and no state —
+    /// architectural or model — moved. The caller ends the block and
+    /// single-steps the op with a flushed clock.
+    Defer,
+    /// The op retired but stored into the block's not-yet-executed tail:
+    /// the fused buffer is stale — end the block after this op.
+    StoreTail,
+}
+
 /// One processor core with private caches and counters.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -260,6 +283,12 @@ pub struct Core {
     prev_stall_dest: u8,
     /// log2 of the I-cache line size (cached off the geometry).
     iline_shift: u32,
+    /// log2 of the D-cache line size (cached off the geometry).
+    dline_shift: u32,
+    /// The line of the previous D-cache access and whether it is known
+    /// dirty — the same-line fast path in [`Core::sdram_timing`].
+    last_dline: u32,
+    last_dline_dirty: bool,
     /// The line of the previous fetch: a same-line fetch is a guaranteed
     /// hit (only this core's fetches mutate its I-cache), skipping the
     /// tag probe entirely.
@@ -278,6 +307,7 @@ impl Core {
     /// Create a core with the given caches.
     pub fn new(id: u32, icache: Cache, dcache: Cache) -> Self {
         let iline_shift = icache.config().line_bytes.trailing_zeros();
+        let dline_shift = dcache.config().line_bytes.trailing_zeros();
         Core {
             id,
             regs: [0; 32],
@@ -295,6 +325,9 @@ impl Core {
             prev_stall_dest: NO_DEST,
             iline_shift,
             last_iline: u32::MAX,
+            dline_shift,
+            last_dline: u32::MAX,
+            last_dline_dirty: false,
             fault: None,
             spike_corrupt: 0,
         }
@@ -409,8 +442,23 @@ impl Core {
     /// Cached-SDRAM data-access timing (hit: 0 extra cycles). Memory
     /// stall cycles are accounted here (and on the MMIO paths), so the
     /// common hit path never touches the counter.
+    ///
+    /// Same-line fast path: every D-cache access funnels through here, so
+    /// if the previous access touched line `last_dline`, nothing can have
+    /// evicted it since — a repeat is a guaranteed hit and skips the tag
+    /// probe. Writes additionally need the line already dirty (else the
+    /// probe must set the dirty bit); `last_dline_dirty` tracks that
+    /// conservatively — `false` merely routes one write through the full
+    /// probe, which is always correct.
     #[inline]
     fn sdram_timing<C: ExecCtx>(&mut self, ctx: &mut C, addr: u32, write: bool) -> u64 {
+        let line = addr >> self.dline_shift;
+        if line == self.last_dline && (!write || self.last_dline_dirty) {
+            self.dcache.hits += 1;
+            return 0;
+        }
+        self.last_dline = line;
+        self.last_dline_dirty = write;
         match self.dcache.access(addr, write) {
             Access::Hit => 0,
             Access::Miss { writeback } => {
@@ -665,6 +713,8 @@ impl Core {
         max_cycles: u64,
     ) -> Result<RunStop, TrapCause> {
         let stop = bound.min(max_cycles);
+        let sb = ctx.superblocks_enabled();
+        let mut sbuf = [PreInst::EMPTY; MAX_SB];
         let run = loop {
             if self.halted {
                 break Ok(RunStop::Halted);
@@ -681,6 +731,13 @@ impl Core {
                 } else {
                     RunStop::Budget
                 });
+            }
+            if sb {
+                match self.try_superblock::<T, _>(ctx, &mut sbuf, stop) {
+                    Ok(true) => continue,
+                    Ok(false) => {}
+                    Err(cause) => break Err(cause),
+                }
             }
             if let Err(cause) = self.exec_one::<T, _>(ctx) {
                 break Err(cause);
@@ -706,7 +763,6 @@ impl Core {
     ///   state is touched. Barrier arrivals that leave the round
     ///   incomplete park the core.
     #[inline(always)]
-    #[allow(clippy::too_many_lines)]
     pub(crate) fn exec_one<T: Timing, C: ExecCtx>(&mut self, ctx: &mut C) -> Result<(), TrapCause> {
         let pc = self.pc;
         // Fault-injection trigger: instret is schedule-invariant per core,
@@ -722,12 +778,54 @@ impl Core {
             return Err(TrapCause::BadFetch { pc });
         }
         // Predecoded fetch: direct table index; decode cost only on the
-        // first execution of a (possibly store-invalidated) slot. The
-        // slot state carries the predecoded region class; the flat
-        // MicroOp needs a single dispatch. Destructured straight into
-        // scalars so the 16-byte slot never round-trips through a stack
-        // temporary.
-        let PreInst {
+        // first execution of a (possibly store-invalidated) slot.
+        let pre = ctx.fetch(pc);
+        let mut exit = BlockExit::None;
+        let next_pc = self.exec_op::<T, _, false>(ctx, &pre, pc, 0, 0, &mut exit)?;
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Dispatch and retire one predecoded micro-op at `pc`, returning the
+    /// next pc. The single-step path ([`Core::exec_one`]) wraps this with
+    /// the fault-plan trigger, the alignment check and the table fetch;
+    /// the superblock path ([`Core::exec_block`]) hoists those out of the
+    /// per-op loop and runs ops straight from the fused buffer.
+    ///
+    /// `BLOCK` (a const, so both variants compile to straight-line code)
+    /// selects the superblock calling convention:
+    ///
+    /// * the caller guarantees the slot is decoded SDRAM and that the
+    ///   fetch is a verified I-cache hit (blocks end *before* a would-miss
+    ///   fetch) with accounting batched per line segment — the state match
+    ///   and the fetch-timing arm are both skipped;
+    /// * the memory arms screen their effective address *in-arm*: an
+    ///   MMIO-classified access signals [`BlockExit::Defer`] and returns
+    ///   with **no** state moved (the hazard-stall commit is rolled back),
+    ///   so the caller can single-step it with a flushed clock — MMIO is
+    ///   otherwise unreachable and the device-effect tail is skipped;
+    /// * a store landing in the block's not-yet-executed tail (derived
+    ///   from `blk_base`/`blk_len`; block pcs are straight-line, so the
+    ///   op index is `(pc - blk_base) / 4`) retires normally but signals
+    ///   [`BlockExit::StoreTail`];
+    /// * the non-exact clock/instret update is left to the caller, which
+    ///   accumulates one sum per block. The exact policy always retires
+    ///   per-op because stall costs are data-dependent.
+    ///
+    /// The slot is destructured straight into scalars so the 16-byte
+    /// `PreInst` never round-trips through a stack temporary.
+    #[inline(always)]
+    #[allow(clippy::too_many_lines)]
+    fn exec_op<T: Timing, C: ExecCtx, const BLOCK: bool>(
+        &mut self,
+        ctx: &mut C,
+        pre: &PreInst,
+        pc: u32,
+        blk_base: u32,
+        blk_len: u32,
+        exit: &mut BlockExit,
+    ) -> Result<u32, TrapCause> {
+        let &PreInst {
             op,
             rd,
             rs1,
@@ -736,40 +834,47 @@ impl Core {
             src_mask,
             dest,
             state,
-        } = ctx.fetch(pc);
+        } = pre;
         let mut extra = 0u64;
-        match state {
-            SlotState::Sdram => {
-                if T::EXACT {
-                    // Same line as the previous fetch => guaranteed hit
-                    // (only this core's own fetches mutate its I-cache);
-                    // otherwise a packed tag probe. Statistics live in the
-                    // cache model and are mirrored into PerfCounters at
-                    // sync points.
-                    let line = pc >> self.iline_shift;
-                    if line == self.last_iline {
-                        self.icache.hits += 1;
-                    } else {
-                        self.last_iline = line;
-                        if self.icache.access(pc, false) != Access::Hit {
-                            extra += Self::icache_refill(
-                                self.time,
-                                self.icache.config().line_words() as u64,
-                                ctx,
-                            );
+        if BLOCK {
+            // Blocks only cover decoded SDRAM slots (a CodeTable
+            // invariant) and the caller verified the fetch hits.
+            debug_assert_eq!(state, SlotState::Sdram);
+        } else {
+            match state {
+                SlotState::Sdram => {
+                    if T::EXACT {
+                        // Same line as the previous fetch => guaranteed hit
+                        // (only this core's own fetches mutate its I-cache);
+                        // otherwise a packed tag probe. Statistics live in the
+                        // cache model and are mirrored into PerfCounters at
+                        // sync points.
+                        let line = pc >> self.iline_shift;
+                        if line == self.last_iline {
+                            self.icache.hits += 1;
+                        } else {
+                            self.last_iline = line;
+                            if self.icache.access(pc, false) != Access::Hit {
+                                extra += Self::icache_refill(
+                                    self.time,
+                                    self.icache.config().line_words() as u64,
+                                    ctx,
+                                );
+                            }
                         }
                     }
                 }
+                SlotState::Scratch => {}
+                _ => return Err(Self::fetch_trap(state, pc, ctx)),
             }
-            SlotState::Scratch => {}
-            _ => return Err(Self::fetch_trap(state, pc, ctx)),
         }
 
         // Hazard stall: previous load / nm instruction feeding this one
         // (one shift into the predecoded source-register mask; the u64
         // widening makes the NO_DEST sentinel shift out to zero).
+        let mut stall = 0u64;
         if T::EXACT {
-            let stall = (u64::from(src_mask) >> self.prev_stall_dest) & 1;
+            stall = (u64::from(src_mask) >> self.prev_stall_dest) & 1;
             if stall != 0 {
                 self.counters.hazard_stalls += stall;
                 extra += stall;
@@ -847,6 +952,13 @@ impl Core {
                     _ => LoadOp::Lhu,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
+                if BLOCK && addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
+                    if T::EXACT {
+                        self.counters.hazard_stalls -= stall;
+                    }
+                    *exit = BlockExit::Defer;
+                    return Ok(pc);
+                }
                 let (value, mem_extra) = self.load::<T, _>(ctx, addr, lop, pc)?;
                 self.set_reg(rd, value);
                 extra += mem_extra;
@@ -859,9 +971,19 @@ impl Core {
                     _ => StoreOp::Sw,
                 };
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
+                if BLOCK && addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
+                    if T::EXACT {
+                        self.counters.hazard_stalls -= stall;
+                    }
+                    *exit = BlockExit::Defer;
+                    return Ok(pc);
+                }
                 let (mem_extra, eff) = self.store::<T, _>(ctx, addr, self.reg(rs2), sop, pc)?;
                 extra += mem_extra;
                 effect = eff;
+                if BLOCK {
+                    Self::flag_store_tail(addr, pc, blk_base, blk_len, exit);
+                }
             }
             MicroOp::Addi => {
                 let v = self.reg(rs1).wrapping_add(imm as u32);
@@ -1030,6 +1152,13 @@ impl Core {
                 let vu = self.reg(rs1);
                 let isyn = Q15_16::from_raw(self.reg(rs2) as i32);
                 let addr = self.reg(rd);
+                if BLOCK && addr.wrapping_sub(layout::MMIO_BASE) < layout::MMIO_SIZE {
+                    if T::EXACT {
+                        self.counters.hazard_stalls -= stall;
+                    }
+                    *exit = BlockExit::Defer;
+                    return Ok(pc);
+                }
                 let out = NpUnit::update(&self.nmregs, vu, isyn);
                 let (mem_extra, eff) = self.store::<T, _>(ctx, addr, out.vu, StoreOp::Sw, pc)?;
                 extra += mem_extra;
@@ -1037,6 +1166,9 @@ impl Core {
                 self.set_reg(rd, u32::from(out.spike));
                 self.counters.nmpn += 1;
                 kind = self.nm_kind(ctx);
+                if BLOCK {
+                    Self::flag_store_tail(addr, pc, blk_base, blk_len, exit);
+                }
             }
             MicroOp::Nmdec => {
                 let out = Dcu::exec_nmdec(&self.nmregs, self.reg(rs1), self.reg(rs2));
@@ -1062,17 +1194,202 @@ impl Core {
             self.prev_stall_dest = NO_DEST;
         }
 
-        self.counters.instret += 1;
-        // Exact: base cycle plus the dynamically accumulated stalls.
-        // Non-exact: the policy's static per-op cost (1 for Unit, the
-        // CostTable class cost for Estimated), with `extra` always 0.
-        self.time += if T::EXACT { 1 + extra } else { T::op_cost(op) };
-        self.pc = next_pc;
+        if T::EXACT {
+            // Exact: base cycle plus the dynamically accumulated stalls,
+            // retired per-op even inside a superblock (stall costs are
+            // data-dependent, and MMIO/bus arbitration reads the live
+            // clock).
+            self.counters.instret += 1;
+            self.time += 1 + extra;
+        } else if !BLOCK {
+            // Non-exact: the policy's static per-op cost (1 for Unit, the
+            // CostTable class cost for Estimated), with `extra` always 0.
+            // A superblock caller accumulates these itself and flushes
+            // once per block.
+            self.counters.instret += 1;
+            self.time += T::op_cost(op);
+        }
 
-        if effect != MmioEffect::None {
+        if BLOCK {
+            // MMIO never executes inside a block (the caller's address
+            // screen defers it), so no device effect can be pending.
+            debug_assert_eq!(effect, MmioEffect::None);
+        } else if effect != MmioEffect::None {
             self.apply_effect::<T>(effect);
         }
-        Ok(())
+        Ok(next_pc)
+    }
+
+    /// Attempt to execute the superblock starting at `self.pc` as one
+    /// dispatch. Returns `Ok(true)` if at least one op retired (the caller
+    /// re-enters its loop), `Ok(false)` to fall back to single-stepping —
+    /// no block at this pc, a fault-plan trigger too close, (non-exact)
+    /// not enough clock headroom before `stop` to guarantee the whole
+    /// block would also have run under single-stepping, or an
+    /// MMIO-classified access as the block's very first op.
+    #[inline]
+    pub(crate) fn try_superblock<T: Timing, C: ExecCtx>(
+        &mut self,
+        ctx: &mut C,
+        sbuf: &mut [PreInst; MAX_SB],
+        stop: u64,
+    ) -> Result<bool, TrapCause> {
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            // Let the single-step path raise the BadFetch.
+            return Ok(false);
+        }
+        let (len, est) = ctx.superblock(pc, sbuf);
+        if len < 2 {
+            return Ok(false);
+        }
+        // Fault-plan hoist: a trigger fires when `instret >= at` *before*
+        // an op, so a block of `len` retirements is trigger-free iff
+        // `instret + len <= at`. Anything closer single-steps.
+        if let Some((at, _)) = self.fault {
+            if self.counters.instret + u64::from(len) > at {
+                return Ok(false);
+            }
+        }
+        // Non-exact entry bound: `est` sums the static class costs, which
+        // are >= 1 cycle each, so it conservatively bounds the block's
+        // clock advance under both Unit and Estimated policies. If the
+        // whole block fits under `stop`, single-stepping would have run
+        // every op too — identical stop points at every quantum size and
+        // host-thread count. The exact policy re-checks per op instead
+        // (stall costs are data-dependent).
+        if !T::EXACT && self.time + u64::from(est) > stop {
+            return Ok(false);
+        }
+        self.exec_block::<T, _>(ctx, &sbuf[..len as usize], pc, stop)
+    }
+
+    /// Flag a retiring store that lands in its own block's not-yet-executed
+    /// tail (words past this op): the fused buffer is stale from the next
+    /// op on, so the block must end after this one. Block pcs are
+    /// straight-line, so the op's index is `(pc - blk_base) / 4`.
+    #[inline(always)]
+    fn flag_store_tail(addr: u32, pc: u32, blk_base: u32, blk_len: u32, exit: &mut BlockExit) {
+        let next_idx = (pc.wrapping_sub(blk_base) >> 2) + 1;
+        let tail_start = (blk_base >> 2).wrapping_add(next_idx);
+        if (addr >> 2).wrapping_sub(tail_start) < blk_len - next_idx {
+            *exit = BlockExit::StoreTail;
+        }
+    }
+
+    /// Run the fused micro-op buffer `ops` (the superblock starting at
+    /// `base_pc`) with the per-op fault/alignment/fetch checks hoisted
+    /// off, the I-cache accounting batched per line segment, and — under
+    /// the non-exact clocks — one clock/instret update per block. Returns
+    /// whether any op retired. Exits early — with all architectural and
+    /// model state exactly as single-stepping would leave it — on:
+    ///
+    /// * an exact-clock bound crossing before an interior op (`stop`);
+    /// * a fetch that would miss the I-cache (broken before the tag
+    ///   array, the statistics or the bus move — the single-step fallback
+    ///   re-probes for real and charges the refill);
+    /// * an MMIO-classified access ([`BlockExit::Defer`], signalled
+    ///   in-arm before the access and before any state moves: devices
+    ///   read the live clock, ROI markers snapshot the counters, and the
+    ///   host-parallel scheduler's shared-op pre-check must see
+    ///   interactive registers first — the caller single-steps the access
+    ///   with a flushed clock);
+    /// * a store landing in the block's not-yet-executed tail
+    ///   ([`BlockExit::StoreTail`]: the buffered copy is stale; re-entry
+    ///   re-forms the block).
+    fn exec_block<T: Timing, C: ExecCtx>(
+        &mut self,
+        ctx: &mut C,
+        ops: &[PreInst],
+        base_pc: u32,
+        stop: u64,
+    ) -> Result<bool, TrapCause> {
+        let len = ops.len();
+        let mut dt = 0u64;
+        let mut pc = base_pc;
+        let mut i = 0usize;
+        // First op index past the I-line the block last probed (exact),
+        // and the fetch hits accumulated locally since block entry —
+        // flushed to the cache's counter on every exit path. The counter
+        // is only observable outside the block (sync points and MMIO both
+        // defer out), so batching the read-modify-writes is invisible.
+        let mut seg_end = 0usize;
+        let mut seg_hits = 0u64;
+        while i < len {
+            let pre = &ops[i];
+            if T::EXACT {
+                if i > 0 && self.time > stop {
+                    break;
+                }
+                if i >= seg_end {
+                    // The block crossed into a new I-line: one pure probe
+                    // covers the line to its end (interior fetches are
+                    // guaranteed hits — only this core's own fetches
+                    // mutate its I-cache, and block ops are sequential).
+                    let line = pc >> self.iline_shift;
+                    if line != self.last_iline {
+                        if !self.icache.would_hit(pc) {
+                            break;
+                        }
+                        self.last_iline = line;
+                    }
+                    let line_end = (line + 1) << self.iline_shift;
+                    seg_end = i + (line_end.wrapping_sub(pc) >> 2) as usize;
+                }
+                // The op's fetch: a guaranteed hit, counted even if the
+                // op itself traps (single-stepping accounts the fetch
+                // before dispatch too).
+                seg_hits += 1;
+            }
+            let mut exit = BlockExit::None;
+            match self.exec_op::<T, _, true>(ctx, pre, pc, base_pc, len as u32, &mut exit) {
+                Ok(next) => {
+                    if exit != BlockExit::None {
+                        if exit == BlockExit::Defer {
+                            // The op did not run and nothing moved; its
+                            // fetch will be re-accounted by the
+                            // single-step fallback.
+                            if T::EXACT {
+                                seg_hits -= 1;
+                            }
+                            break;
+                        }
+                        // StoreTail: the op retired; end the block here.
+                        if !T::EXACT {
+                            dt += T::op_cost(pre.op);
+                        }
+                        pc = next;
+                        i += 1;
+                        break;
+                    }
+                    if !T::EXACT {
+                        dt += T::op_cost(pre.op);
+                    }
+                    pc = next;
+                    i += 1;
+                }
+                Err(cause) => {
+                    // The op at `pc` did not retire; leave pc there, flush
+                    // the retired prefix (and the trapped op's fetch).
+                    self.pc = pc;
+                    if T::EXACT {
+                        self.icache.hits += seg_hits;
+                    } else {
+                        self.time += dt;
+                        self.counters.instret += i as u64;
+                    }
+                    return Err(cause);
+                }
+            }
+        }
+        self.pc = pc;
+        if T::EXACT {
+            self.icache.hits += seg_hits;
+        } else {
+            self.time += dt;
+            self.counters.instret += i as u64;
+        }
+        Ok(i > 0)
     }
 
     /// Fire the armed fault (out of line; at most once per run). Returns

@@ -65,7 +65,7 @@ use izhi_isa::reg::Reg;
 use crate::cpu::{Core, ExecCtx, RunStop, Timing, TrapCause};
 use crate::mem::{layout, MainMemory};
 use crate::mmio::{is_interactive, MmioEffect, SharedDevices};
-use crate::predecode::{CodeMem, CodeTable, MicroOp, PreInst};
+use crate::predecode::{CodeMem, CodeTable, MicroOp, PreInst, MAX_SB};
 use crate::system::{SimError, System, Watchdog};
 
 /// Resolve a requested host-thread count: `0` means "auto" — the
@@ -331,6 +331,7 @@ struct ShardCtx<'a, D> {
     code: &'a mut CodeTable,
     dev: D,
     csr_writeback: bool,
+    superblocks: bool,
 }
 
 impl<D: DevSink> ExecCtx for ShardCtx<'_, D> {
@@ -413,6 +414,19 @@ impl<D: DevSink> ExecCtx for ShardCtx<'_, D> {
     fn csr_writeback(&self) -> bool {
         self.csr_writeback
     }
+
+    #[inline]
+    fn superblocks_enabled(&self) -> bool {
+        self.superblocks
+    }
+
+    #[inline]
+    fn superblock(&mut self, pc: u32, buf: &mut [PreInst; MAX_SB]) -> (u32, u32) {
+        // This core's own shard: block state diverges with the shard's
+        // invalidations, which is exactly what per-core self-modifying
+        // code needs.
+        self.code.superblock(pc, buf)
+    }
 }
 
 /// Run one core's quantum on a worker thread: the relaxed-clock loop of
@@ -432,6 +446,8 @@ fn run_quantum_parallel<T: Timing>(
         "parked cores never enter the parallel phase"
     );
     let stop = bound.min(max_cycles);
+    let sb = ctx.superblocks_enabled();
+    let mut sbuf = [PreInst::EMPTY; MAX_SB];
     let run = loop {
         if core.halted() {
             break Ok(RunStop::Halted);
@@ -449,6 +465,17 @@ fn run_quantum_parallel<T: Timing>(
             let pre = ctx.fetch(pc);
             if targets_interactive_mmio(core, &pre) {
                 break Ok(RunStop::SharedOp);
+            }
+        }
+        // Superblock attempt *after* the pre-check: the block's first op
+        // is the pre-checked one, and `exec_block` breaks before any
+        // interior MMIO access, so a deferred interactive op is always
+        // re-seen here first.
+        if sb {
+            match core.try_superblock::<T, _>(ctx, &mut sbuf, stop) {
+                Ok(true) => continue,
+                Ok(false) => {}
+                Err(cause) => break Err(cause),
             }
         }
         if let Err(cause) = core.exec_one::<T, _>(ctx) {
@@ -580,6 +607,7 @@ struct RunEnv {
     ram: RamView,
     n_cores: u32,
     csr_writeback: bool,
+    superblocks: bool,
     quantum: u64,
     max_cycles: u64,
 }
@@ -617,6 +645,7 @@ fn worker_loop<T: Timing>(
                         n_cores: env.n_cores,
                     },
                     csr_writeback: env.csr_writeback,
+                    superblocks: env.superblocks,
                 };
                 // A panicking quantum must not strand the rendezvous:
                 // catch it here (before it can poison the slot mutex or
@@ -654,6 +683,7 @@ fn run_direct<T: Timing>(
         code,
         dev: RealDev(dev),
         csr_writeback: env.csr_writeback,
+        superblocks: env.superblocks,
     };
     core.run_while::<T, _>(&mut ctx, bound, env.max_cycles)
 }
@@ -824,6 +854,7 @@ impl System {
             ram: RamView::new(&mut self.shared.mem),
             n_cores: n as u32,
             csr_writeback: self.shared.csr_writeback,
+            superblocks: self.shared.superblocks,
             quantum,
             max_cycles,
         };

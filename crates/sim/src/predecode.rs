@@ -44,6 +44,7 @@
 use izhi_isa::decode;
 use izhi_isa::inst::Inst;
 
+use crate::counters::CostTable;
 use crate::mem::{layout, MainMemory};
 
 /// Word-granular read access to guest memory, as the decode paths need it.
@@ -213,6 +214,31 @@ impl MicroOp {
         MicroOp::Nmpn,
         MicroOp::Nmdec,
     ];
+
+    /// Control transfers end a superblock but execute as its final op
+    /// (their `next_pc` is simply where the core resumes single-stepping).
+    pub(crate) fn ends_superblock(self) -> bool {
+        matches!(
+            self,
+            MicroOp::Jal
+                | MicroOp::Jalr
+                | MicroOp::Beq
+                | MicroOp::Bne
+                | MicroOp::Blt
+                | MicroOp::Bge
+                | MicroOp::Bltu
+                | MicroOp::Bgeu
+        )
+    }
+
+    /// Ops a superblock must stop *before*: `ecall`/`ebreak` drive the
+    /// halt machinery, and `csr` reads the live clock/instret — both are
+    /// stale inside a batched block under the relaxed clocks, and the
+    /// fused tables are shared across timing policies, so exclusion must
+    /// be timing-agnostic.
+    pub(crate) fn excluded_from_superblock(self) -> bool {
+        matches!(self, MicroOp::Ecall | MicroOp::Ebreak | MicroOp::Csr)
+    }
 }
 
 /// One predecoded 4-byte slot (16 bytes, returned by value in registers).
@@ -241,7 +267,7 @@ pub struct PreInst {
 }
 
 impl PreInst {
-    const EMPTY: PreInst = PreInst {
+    pub(crate) const EMPTY: PreInst = PreInst {
         op: MicroOp::Ebreak,
         rd: 0,
         rs1: 0,
@@ -264,13 +290,32 @@ pub const CODE_WINDOW_MAX: u32 = 1024 * 1024;
 /// currently materialised slots.
 const GROW_BYTES: u32 = 64 * 1024;
 
+/// Maximum superblock length in instructions. Long enough to swallow the
+/// engine's phase-B neuron body in one block, short enough that the
+/// store-invalidation backscan and the per-entry stack copy stay cheap.
+pub const MAX_SB: usize = 32;
+
 /// The per-system predecode tables (shared by all cores under the exact
 /// and relaxed schedulers; the host-parallel scheduler clones one shard
 /// per core — the table is a pure cache, so divergent shards stay correct).
+///
+/// Alongside the per-slot stream the table carries the **superblock
+/// index**: `sb_len[x]` is the length of the straight-line fused run
+/// starting at SDRAM slot `x` (`0` = not yet formed, `1` = unfusible,
+/// `>= 2` = a run the interpreter may execute as one dispatch), and
+/// `sb_est[x]` its total [`CostTable::DEFAULT`] cost (the relaxed
+/// schedulers' conservative bound-check sum). Formation only ever fuses
+/// already-decoded SDRAM slots, so a `Stale` slot is never covered by a
+/// block — the store-to-code guard relies on that invariant to skip the
+/// overlap backscan for never-executed (data) slots.
 #[derive(Debug, Clone)]
 pub struct CodeTable {
     /// Covers `[0, sdram.len() * 4)`; grown on demand up to `sdram_cap`.
     sdram: Vec<PreInst>,
+    /// Superblock length per SDRAM slot (kept sized with `sdram`).
+    sb_len: Vec<u16>,
+    /// Total estimated-timing cost per superblock (sized with `sdram`).
+    sb_est: Vec<u32>,
     /// Empty until scratch-resident code first runs, then the full region.
     scratch: Vec<PreInst>,
     /// Exclusive upper bound of executable SDRAM.
@@ -284,6 +329,8 @@ impl CodeTable {
     pub fn new(sdram_size: u32, scratch_size: u32) -> Self {
         CodeTable {
             sdram: Vec::new(),
+            sb_len: Vec::new(),
+            sb_est: Vec::new(),
             scratch: Vec::new(),
             sdram_cap: sdram_size.min(CODE_WINDOW_MAX) & !3,
             scratch_size: scratch_size & !3,
@@ -450,6 +497,8 @@ impl CodeTable {
             let needed = (pc.saturating_add(GROW_BYTES)).min(self.sdram_cap);
             if (needed / 4) as usize > self.sdram.len() {
                 self.sdram.resize((needed / 4) as usize, PreInst::EMPTY);
+                self.sb_len.resize(self.sdram.len(), 0);
+                self.sb_est.resize(self.sdram.len(), 0);
             }
             (false, (pc >> 2) as usize)
         } else {
@@ -479,16 +528,96 @@ impl CodeTable {
 
     /// Store-to-code guard: a guest store to `addr` invalidates the slot
     /// whose word it touches (alignment rules keep every store within one
-    /// word). Stores into windows never materialised are free.
+    /// word) and every superblock overlapping that slot. Stores into
+    /// windows never materialised are free, and stores to already-stale
+    /// slots skip the overlap backscan entirely (a stale slot is never
+    /// covered by a block — see the struct docs), so repeated data stores
+    /// inside the code window stay one branch each.
     #[inline]
     pub fn invalidate_store(&mut self, addr: u32) {
-        if let Some(slot) = self.sdram.get_mut((addr >> 2) as usize) {
-            slot.state = SlotState::Stale;
+        let x = (addr >> 2) as usize;
+        if let Some(slot) = self.sdram.get_mut(x) {
+            if slot.state != SlotState::Stale {
+                slot.state = SlotState::Stale;
+                for y in x.saturating_sub(MAX_SB - 1)..=x {
+                    if usize::from(self.sb_len[y]) > x - y {
+                        self.sb_len[y] = 0;
+                    }
+                }
+            }
         } else {
             let off = addr.wrapping_sub(layout::SCRATCH_BASE);
             if let Some(slot) = self.scratch.get_mut((off >> 2) as usize) {
                 slot.state = SlotState::Stale;
             }
+        }
+    }
+
+    /// Look up (forming on first use) the superblock starting at the
+    /// 4-aligned `pc`. On a hit the fused run is copied into `buf` and
+    /// `(len, est)` is returned, where `len >= 2` is the instruction count
+    /// and `est` the block's total [`CostTable::DEFAULT`] cost; `(0, 0)`
+    /// means "single-step this pc" (scratch-resident, unfusible, or not
+    /// yet decodable).
+    #[inline]
+    pub(crate) fn superblock(&mut self, pc: u32, buf: &mut [PreInst; MAX_SB]) -> (u32, u32) {
+        let x = (pc >> 2) as usize;
+        let mut len = match self.sb_len.get(x) {
+            Some(&l) => l,
+            None => return (0, 0),
+        };
+        if len == 0 {
+            len = self.form_superblock(x);
+        }
+        if len < 2 {
+            return (0, 0);
+        }
+        let len = usize::from(len);
+        buf[..len].copy_from_slice(&self.sdram[x..x + len]);
+        (len as u32, self.sb_est[x])
+    }
+
+    /// Formation scan: fuse decoded straight-line SDRAM slots from `x`
+    /// until a control transfer (included as the terminal op), an excluded
+    /// op (`ecall`/`ebreak`/`csr` — the block ends *before* it), an
+    /// undecoded/illegal slot, or [`MAX_SB`]. Runs shorter than 2 are
+    /// marked unfusible (`sb_len = 1`) — except when the scan stopped at a
+    /// `Stale` slot, which stays unformed (`0`) so the block re-forms once
+    /// the neighbour decodes through a normal fetch.
+    #[cold]
+    fn form_superblock(&mut self, x: usize) -> u16 {
+        let max = MAX_SB.min(self.sdram.len() - x);
+        let mut len = 0usize;
+        let mut est = 0u32;
+        let mut stale_stop = false;
+        while len < max {
+            let slot = self.sdram[x + len];
+            match slot.state {
+                SlotState::Sdram => {}
+                SlotState::Stale => {
+                    stale_stop = true;
+                    break;
+                }
+                _ => break,
+            }
+            if slot.op.excluded_from_superblock() {
+                break;
+            }
+            est = est.saturating_add(CostTable::DEFAULT.op_cost(slot.op) as u32);
+            len += 1;
+            if slot.op.ends_superblock() {
+                break;
+            }
+        }
+        if len >= 2 {
+            self.sb_len[x] = len as u16;
+            self.sb_est[x] = est;
+            len as u16
+        } else {
+            if !stale_stop {
+                self.sb_len[x] = 1;
+            }
+            0
         }
     }
 
@@ -507,21 +636,187 @@ impl CodeTable {
                 continue;
             }
             // Route through the slow path so windows materialise and the
-            // slot decodes exactly as a first fetch would.
-            if let Some(slot) = self.slot_mut(pc) {
-                slot.state = SlotState::Stale;
-            }
+            // slot decodes exactly as a first fetch would. Going through
+            // the store guard also drops any superblock (or unfusible
+            // mark) formed over a previous load of this span.
+            self.invalidate_store(pc);
             self.fetch_slow(pc, mem);
             pc += 4;
         }
+        // Pre-form the superblock index over the span so template-stamped
+        // runs (and the first pass through freshly loaded code) start hot.
+        let mut pc = base & !3;
+        while pc < end.min(self.sdram_cap) {
+            let x = (pc >> 2) as usize;
+            if x >= self.sdram.len() {
+                break;
+            }
+            if self.sb_len[x] == 0 {
+                self.form_superblock(x);
+            }
+            pc += 4;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CostTable, OpClass};
+    use crate::mem::MainMemory;
+    use izhi_isa::encode;
+    use izhi_isa::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, NmOp, StoreOp};
+    use izhi_isa::reg::Reg;
+
+    /// Write `insts` at pc 0, preload, and return the superblock formed
+    /// there: the fused ops and the formation-time `sb_est` cost sum.
+    fn form(insts: &[Inst]) -> (Vec<MicroOp>, u32) {
+        let mut mem = MainMemory::new(64 * 1024, 4096);
+        let mut code = CodeTable::new(64 * 1024, 4096);
+        for (i, inst) in insts.iter().enumerate() {
+            mem.write_u32(4 * i as u32, encode(*inst));
+        }
+        code.preload(0, 4 * insts.len() as u32, &mem);
+        let mut buf = [PreInst::EMPTY; MAX_SB];
+        let (len, est) = code.superblock(0, &mut buf);
+        (buf[..len as usize].iter().map(|p| p.op).collect(), est)
     }
 
-    fn slot_mut(&mut self, pc: u32) -> Option<&mut PreInst> {
-        if pc < self.sdram_cap {
-            self.sdram.get_mut((pc >> 2) as usize)
-        } else {
-            let off = pc.wrapping_sub(layout::SCRATCH_BASE);
-            self.scratch.get_mut((off >> 2) as usize)
+    /// The superblock cost audit: a block's formation-time `sb_est` must
+    /// equal the per-op sum the Estimated policy charges when the block
+    /// retires (`exec_block` adds `CostTable::DEFAULT.op_cost` per op),
+    /// exercised per [`OpClass`]. Any drift between the two sums would
+    /// let the relaxed bound check (`time + est > stop`) disagree with
+    /// the clock the block actually advances.
+    #[test]
+    fn superblock_est_equals_per_op_sum_for_every_op_class() {
+        let x1 = Reg(1);
+        let x2 = Reg(2);
+        // One fusible representative per class (Branch-class ops are
+        // block *terminators*; Csr-class ops are excluded entirely and
+        // covered by their own test below).
+        let reps: [(OpClass, Inst); 6] = [
+            (
+                OpClass::Alu,
+                Inst::Op {
+                    op: AluOp::Add,
+                    rd: x1,
+                    rs1: x1,
+                    rs2: x2,
+                },
+            ),
+            (
+                OpClass::Load,
+                Inst::Load {
+                    op: LoadOp::Lw,
+                    rd: x1,
+                    rs1: x2,
+                    imm: 0,
+                },
+            ),
+            (
+                OpClass::Store,
+                Inst::Store {
+                    op: StoreOp::Sw,
+                    rs1: x2,
+                    rs2: x1,
+                    imm: 0,
+                },
+            ),
+            (
+                OpClass::Mul,
+                Inst::Op {
+                    op: AluOp::Mul,
+                    rd: x1,
+                    rs1: x1,
+                    rs2: x2,
+                },
+            ),
+            (
+                OpClass::Div,
+                Inst::Op {
+                    op: AluOp::Div,
+                    rd: x1,
+                    rs1: x1,
+                    rs2: x2,
+                },
+            ),
+            (
+                OpClass::Npu,
+                Inst::Nm {
+                    op: NmOp::Nmdec,
+                    rd: x1,
+                    rs1: x1,
+                    rs2: x2,
+                },
+            ),
+        ];
+        let table = CostTable::DEFAULT;
+        for (class, rep) in reps {
+            let (ops, est) = form(&[rep, rep, rep, Inst::Jal { rd: Reg(0), imm: 8 }]);
+            assert_eq!(ops.len(), 4, "{class:?}: three ops + terminal jump fuse");
+            let per_op: u64 = ops.iter().map(|&op| table.op_cost(op)).sum();
+            assert_eq!(
+                u64::from(est),
+                per_op,
+                "{class:?}: sb_est diverges from the per-op Estimated sum"
+            );
+            assert_eq!(
+                u64::from(est),
+                3 * table.cost(class) + table.cost(OpClass::Branch),
+                "{class:?}: closed-form class cost"
+            );
+            // `est` must also stay a conservative bound for Unit timing,
+            // which charges one cycle per retired op.
+            assert!(u64::from(est) >= ops.len() as u64);
+        }
+    }
+
+    /// Branch-class ops terminate a block and are charged *inside* it.
+    #[test]
+    fn superblock_est_charges_the_terminal_branch() {
+        let add = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
+        let beq = Inst::Branch {
+            op: BranchOp::Eq,
+            rs1: Reg(1),
+            rs2: Reg(2),
+            imm: 8,
+        };
+        let (ops, est) = form(&[add, beq, add, add]);
+        assert_eq!(ops, [MicroOp::Add, MicroOp::Beq]);
+        let table = CostTable::DEFAULT;
+        assert_eq!(
+            u64::from(est),
+            table.cost(OpClass::Alu) + table.cost(OpClass::Branch)
+        );
+    }
+
+    /// Csr-class ops (`csr`/`ecall`/`ebreak`) never enter a block: the
+    /// block ends *before* them and their cost is charged by the
+    /// single-step fallback, so `sb_est` must not include them.
+    #[test]
+    fn superblock_est_excludes_csr_class_ops() {
+        let add = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(1),
+            rs2: Reg(2),
+        };
+        let csr = Inst::Csr {
+            op: CsrOp::Rs,
+            rd: Reg(1),
+            rs1: Reg(0),
+            csr: 0xC00,
+        };
+        for stopper in [csr, Inst::Ecall, Inst::Ebreak] {
+            let (ops, est) = form(&[add, add, stopper, add]);
+            assert_eq!(ops, [MicroOp::Add, MicroOp::Add]);
+            assert_eq!(u64::from(est), 2 * CostTable::DEFAULT.cost(OpClass::Alu));
         }
     }
 }

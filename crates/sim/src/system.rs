@@ -191,6 +191,24 @@ pub struct SystemConfig {
     /// [`layout::MMIO_STIM`] port (empty by default; an empty plan leaves
     /// every run bit-identical to an unplanned one).
     pub stim: StimPlan,
+    /// Superblock execution: fuse straight-line predecoded runs and
+    /// dispatch them as one batch (see [`crate::predecode`]). On by
+    /// default; `IZHI_SUPERBLOCKS=0` (or the `--no-superblocks` CLI flag)
+    /// turns it off for bisection. Results are bit-identical either way —
+    /// the exactness suite pins it — so this is purely a perf escape
+    /// hatch.
+    pub superblocks: bool,
+    /// Assembler relaxation + peephole pass for engine-emitted guest code
+    /// (see [`izhi_isa::asm::Assembler::relax`]). On by default;
+    /// `IZHI_RELAX=0` turns it off. Architectural results are unchanged;
+    /// instret strictly drops (the relaxation-soundness suite pins both).
+    pub asm_relax: bool,
+}
+
+/// `true` unless the environment variable `name` is set to exactly `"0"`
+/// (the opt-out convention all runtime escape hatches share).
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map_or(true, |v| v != "0")
 }
 
 impl Default for SystemConfig {
@@ -215,6 +233,8 @@ impl Default for SystemConfig {
             wall_limit: None,
             faults: FaultPlan::default(),
             stim: StimPlan::default(),
+            superblocks: env_flag("IZHI_SUPERBLOCKS"),
+            asm_relax: env_flag("IZHI_RELAX"),
         }
     }
 }
@@ -274,6 +294,8 @@ pub struct Shared {
     /// Predecoded instruction stream (replaces the seed's per-fetch
     /// `region_of` + `Option`-cache decode lookup; see [`crate::predecode`]).
     pub code: CodeTable,
+    /// Superblock execution enabled ([`SystemConfig::superblocks`]).
+    pub superblocks: bool,
 }
 
 /// The historical execution context: every method inlines to exactly the
@@ -359,6 +381,16 @@ impl ExecCtx for Shared {
     #[inline(always)]
     fn csr_writeback(&self) -> bool {
         self.csr_writeback
+    }
+
+    #[inline(always)]
+    fn superblocks_enabled(&self) -> bool {
+        self.superblocks
+    }
+
+    #[inline(always)]
+    fn superblock(&mut self, pc: u32, buf: &mut [PreInst; crate::predecode::MAX_SB]) -> (u32, u32) {
+        self.code.superblock(pc, buf)
     }
 }
 
@@ -528,6 +560,7 @@ impl System {
             csr_writeback: cfg.csr_writeback,
             // Demand-paged: costs nothing until code executes.
             code: CodeTable::new(cfg.sdram_size, cfg.scratch_size),
+            superblocks: cfg.superblocks,
         };
         System { cfg, cores, shared }
     }
@@ -553,6 +586,7 @@ impl System {
             div_latency: cfg.div_latency,
             csr_writeback: cfg.csr_writeback,
             code,
+            superblocks: cfg.superblocks,
         };
         System { cfg, cores, shared }
     }

@@ -21,6 +21,9 @@
 //!                      --sched relaxed when no scheduler flag is given
 //!     --trace          print every retired instruction (core 0)
 //!     --regs           dump the register file at exit
+//!     --no-superblocks single-step every micro-op instead of fusing
+//!                      straight-line runs into superblocks (also
+//!                      IZHI_SUPERBLOCKS=0; bit-identical, for A/B checks)
 //! izhirisc scenario list                     list registered scenarios
 //! izhirisc scenario run <name> [options]     build + run a scenario
 //!     --sched MODE --quantum N --host-threads N --timing T    as above
@@ -31,7 +34,8 @@
 //!     --battery        fan the scenario's battery (seeds x sched x timing)
 //!                      across host threads, verify cross-mode identity
 //!     --json PATH      write battery rows as JSON (with --battery)
-//! izhirisc scenario battery [--timing T] [--json PATH]
+//!     --no-superblocks as under `run`
+//! izhirisc scenario battery [--timing T] [--json PATH] [--no-superblocks]
 //!                                            quick battery of EVERY scenario
 //!                                            (--timing: only that clock's rows)
 //! izhirisc serve [options]                   scenario service (HTTP/1.1 JSON)
@@ -60,9 +64,19 @@ use izhirisc::programs::scenario::{self, ScenarioParams, Workload};
 use izhirisc::programs::template;
 use izhirisc::sim::{SchedMode, System, SystemConfig, TimingModel};
 
+/// Consume a `--no-superblocks` switch. The flag rides the existing
+/// `IZHI_SUPERBLOCKS` environment plumbing (set before any system or
+/// battery workload is built), so every execution path — single runs,
+/// templates, battery rows, supervised jobs — sees the same setting.
+fn take_no_superblocks(args: &mut Args) {
+    if args.switch("--no-superblocks") {
+        std::env::set_var("IZHI_SUPERBLOCKS", "0");
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--shards N] [--stim-rate N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH]\n  izhirisc scenario battery [--timing T] [--json PATH]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs] [--no-superblocks]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--shards N] [--stim-rate N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH] [--no-superblocks]\n  izhirisc scenario battery [--timing T] [--json PATH] [--no-superblocks]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -285,6 +299,7 @@ fn cmd_run(args: &[String]) {
         .unwrap_or(100_000_000);
     let trace = args.switch("--trace");
     let dump_regs = args.switch("--regs");
+    take_no_superblocks(&mut args);
     let sched = parse_sched(&mut args);
     let positionals = args.positionals();
     let Some(path) = positionals.first() else {
@@ -448,6 +463,7 @@ fn cmd_scenario_run(args: &[String]) {
     };
     let quick = args.switch("--quick");
     let battery_mode = args.switch("--battery");
+    take_no_superblocks(&mut args);
     let json = args.value("--json");
     // Remember whether the user restricted the schedule or the clock
     // before parse_sched consumes the flags: a --battery run honours an
@@ -576,6 +592,7 @@ fn cmd_scenario_run(args: &[String]) {
 
 fn cmd_scenario_battery(args: &[String]) {
     let mut args = Args::new(args);
+    take_no_superblocks(&mut args);
     let json = args.value("--json");
     let timing = args.value("--timing");
     let positionals = args.positionals();
