@@ -73,12 +73,16 @@
 //!     [--check baseline.json] [--min-ratio 0.85] [--battery-only]
 //! ```
 //!
-//! Writes `BENCH_8.json` (or the given path). With `--check`, the
+//! Writes `BENCH_9.json` (or the given path). With `--check`, the
 //! single-core `speedup_vs_seed` entries of the fresh measurement are
 //! compared against the committed baseline file (exit non-zero if any
 //! entry fell below `min-ratio` × its baseline value), the headline
 //! single-core entries must additionally clear the absolute
-//! [`izhi_bench::gate::SINGLE_CORE_FLOOR`], every battery key of the
+//! [`izhi_bench::gate::SINGLE_CORE_FLOOR`], the relaxed single-core rows
+//! must clear the kernel-offload gate
+//! ([`izhi_bench::gate::RELAXED_SINGLE_CORE_FLOOR`] on the quick row and
+//! [`izhi_bench::gate::KERNEL_SPEEDUP_FLOOR`] for every kernel-on vs
+//! kernel-off pair), every battery key of the
 //! baseline must be present and verified in the fresh run, and — when
 //! the baseline carries the sections — every `estimated_accuracy`
 //! scenario must reproduce a ratio inside the
@@ -323,31 +327,61 @@ fn engine_asm(cfg: &EngineConfig) -> String {
 /// The headline row itself must reproduce the seed's spike log word for
 /// word (raster timestamps are simulation ticks — relaxation cannot move
 /// a spike) while retiring strictly fewer instructions.
-fn compare_rows_1core(name: &str, n: usize, ticks: u32) -> (Row, Row, Row, Row) {
+///
+/// Two further rows measure the relaxed single-core configuration (the
+/// one kernel batches engage under): `relaxed` — `SchedMode::Relaxed`
+/// with kernel offload on — and `relaxed_nokernel` — identical but with
+/// kernels forced off. The `relaxed` row must still reproduce the seed's
+/// spike log word for word (relaxed timing changes the clock, never a
+/// raster tick), and the `nokernel` row must be bit-identical to the
+/// `relaxed` one (cycles, instret, full spike log): kernel offload is a
+/// dispatch optimisation, never a semantic one.
+struct CmpRows1 {
+    seed: Row,
+    live: Row,
+    norelax: Row,
+    nosb: Row,
+    relaxed: Row,
+    nokernel: Row,
+}
+
+fn compare_rows_1core(name: &str, n: usize, ticks: u32) -> CmpRows1 {
     let params = ScenarioParams::default()
         .with_n(n)
         .with_ticks(ticks)
         .with_cores(1)
         .with_seed(5);
-    let configure = |relax: bool, superblocks: bool| {
+    let configure = |relax: bool, superblocks: bool, sched: SchedMode, kernels: bool| {
         let mut wl = build_scenario("net8020", params);
         wl.cfg_mut().system.asm_relax = relax;
         wl.cfg_mut().system.superblocks = superblocks;
+        wl.cfg_mut().system.sched = sched;
+        wl.cfg_mut().system.kernels = kernels;
         wl
     };
-    let wl = configure(true, true);
-    let wl_norelax = configure(false, true);
-    let wl_nosb = configure(true, false);
+    let wl = configure(true, true, SchedMode::Exact, true);
+    let wl_norelax = configure(false, true, SchedMode::Exact, true);
+    let wl_nosb = configure(true, false, SchedMode::Exact, true);
+    let wl_relaxed = configure(true, true, SchedMode::relaxed(), true);
+    let wl_nokernel = configure(true, true, SchedMode::relaxed(), false);
     let asm = engine_asm(wl.cfg());
     let mut seed_best: Option<Row> = None;
     let mut live_best: Option<Row> = None;
     let mut norelax_best: Option<Row> = None;
     let mut nosb_best: Option<Row> = None;
+    let mut relaxed_best: Option<Row> = None;
+    let mut nokernel_best: Option<Row> = None;
     for _ in 0..REPS {
         let seed = seed_run(name, &asm, wl.cfg(), wl.image());
         let live = live_run(name, "exact", &*wl);
         let norelax = live_run(&format!("{name}_norelax"), "exact", &*wl_norelax);
         let nosb = live_run(&format!("{name}_nosb"), "exact", &*wl_nosb);
+        let relaxed = live_run(&format!("{name}_relaxed"), "relaxed", &*wl_relaxed);
+        let nokernel = live_run(
+            &format!("{name}_relaxed_nokernel"),
+            "relaxed",
+            &*wl_nokernel,
+        );
         // Relaxation off => bit- and cycle-exact vs the seed interpreter:
         // same cycles, same retired instructions, and the *full* packed
         // spike log word for word.
@@ -388,17 +422,44 @@ fn compare_rows_1core(name: &str, n: usize, ticks: u32) -> (Row, Row, Row, Row) 
             live.spike_log, nosb.spike_log,
             "{name}: superblocks changed the spike log"
         );
+        // Relaxed row: same physics as the seed (raster ticks cannot
+        // move), same retired stream as the exact headline row.
+        assert_eq!(
+            seed.spike_log, relaxed.spike_log,
+            "{name}: relaxed scheduling moved a spike"
+        );
+        assert_eq!(
+            live.sim_instret, relaxed.sim_instret,
+            "{name}: relaxed scheduling changed instret"
+        );
+        // Kernels off => bit-identical to the kernel-on relaxed row.
+        assert_eq!(
+            relaxed.sim_cycles, nokernel.sim_cycles,
+            "{name}: kernel offload changed the cycle count"
+        );
+        assert_eq!(
+            relaxed.sim_instret, nokernel.sim_instret,
+            "{name}: kernel offload changed instret"
+        );
+        assert_eq!(
+            relaxed.spike_log, nokernel.spike_log,
+            "{name}: kernel offload changed the spike log"
+        );
         seed.keep_best(&mut seed_best);
         live.keep_best(&mut live_best);
         norelax.keep_best(&mut norelax_best);
         nosb.keep_best(&mut nosb_best);
+        relaxed.keep_best(&mut relaxed_best);
+        nokernel.keep_best(&mut nokernel_best);
     }
-    (
-        seed_best.unwrap(),
-        live_best.unwrap(),
-        norelax_best.unwrap(),
-        nosb_best.unwrap(),
-    )
+    CmpRows1 {
+        seed: seed_best.unwrap(),
+        live: live_best.unwrap(),
+        norelax: norelax_best.unwrap(),
+        nosb: nosb_best.unwrap(),
+        relaxed: relaxed_best.unwrap(),
+        nokernel: nokernel_best.unwrap(),
+    }
 }
 
 /// Interleaved seed-vs-live measurement of the dual-core 80-20 setup:
@@ -578,10 +639,10 @@ fn json(
     service: Option<&LoadReport>,
     throughput: Option<&izhi_bench::gate::ThroughputSummary>,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v10\",\n");
+    let mut out = String::from("{\n  \"schema\": \"izhirisc-perf-baseline-v11\",\n");
     let _ = writeln!(
         out,
-        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core workloads produce a headline row (superblock interpreter + assembler relaxation on), a _norelax diagnostic row (relaxation off; asserted cycle/instret/spike-log identical to the seed — the superblock interpreter is timing-transparent) and a _nosb diagnostic row (superblocks off; asserted bit-identical to the headline row — fusion is dispatch-only); the headline row asserts seed spike-log word identity plus strictly fewer retired instructions; instret_reduction records the headline row's fractional instret saving vs the seed (deterministic, gated on the quick row); 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; plastic (STDP) rows additionally record an order-independent hash of the final weight state, asserted bit-identical across all combinations; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s; battery_throughput: the repeat-seed quick battery (every scenario, first battery seed, {THROUGHPUT_TICKS}-tick service-shaped jobs, {THROUGHPUT_REPEATS} repeats) timed twice in-process — cold-building every run vs instantiating from the initially cleared template cache — with per-run hash/cycle/instret identity asserted between the arms; the gate requires cached/cold >= the floor (a same-host ratio, not an absolute runs/s)\","
+        "  \"methodology\": \"seed rows: frozen seed interpreter, interleaved with live rows in-process, best of {REPS} reps x {SESSIONS} sessions; 1-core workloads produce a headline row (superblock interpreter + assembler relaxation on), a _norelax diagnostic row (relaxation off; asserted cycle/instret/spike-log identical to the seed — the superblock interpreter is timing-transparent) and a _nosb diagnostic row (superblocks off; asserted bit-identical to the headline row — fusion is dispatch-only), a _relaxed row (SchedMode::Relaxed with kernel offload on — the configuration relaxed sweeps ship; asserted seed spike-log word identity and headline-row instret identity) and a _relaxed_nokernel row (kernels forced off; asserted cycle/instret/spike-log bit-identical to the _relaxed row — kernel offload is dispatch-only); the headline row asserts seed spike-log word identity plus strictly fewer retired instructions; instret_reduction records the headline row's fractional instret saving vs the seed (deterministic, gated on the quick row); 2-core rows assert spike-raster set identity across seed/exact/relaxed schedules; relaxed rows run SchedMode::Relaxed (clock = 1 cycle per instruction, blocking barriers) and report that clock; relaxed-par rows run SchedMode::RelaxedParallel with the recorded host_threads forced and assert spike-log/cycle/instret bit-identity with the relaxed row (host_threads on sequential rows is 1); battery rows: every registered scenario at quick scale, seeds x (sched x timing) combinations sharded across host threads, raster-hash identity asserted across all combinations and each scenario's verification hook recorded; plastic (STDP) rows additionally record an order-independent hash of the final weight state, asserted bit-identical across all combinations; timing records the row's clock (exact = cycle-accurate, unit = 1 cycle/instruction, estimated = static per-op-class CostTable costs); estimated_accuracy: per scenario, estimated-vs-exact sim-cycle ratio summed over battery seeds (the gate bounds it); service: in-process scenario-service burst (bounded queue, supervised workers, two injected faults) — the gate requires health_ok/backpressure_hinted/failure_isolated and positive throughput, never an absolute jobs/s; battery_throughput: the repeat-seed quick battery (every scenario, first battery seed, {THROUGHPUT_TICKS}-tick service-shaped jobs, {THROUGHPUT_REPEATS} repeats) timed twice in-process — cold-building every run vs instantiating from the initially cleared template cache — with per-run hash/cycle/instret identity asserted between the arms; the gate requires cached/cold >= the floor (a same-host ratio, not an absolute runs/s)\","
     );
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -725,6 +786,29 @@ fn check_floor_gate(fresh: &[(String, f64)]) -> bool {
     println!("\nabsolute single-core floor ({floor:.1}x):");
     for e in &report.checked {
         println!("  {}: {:.3}x", e.name, e.fresh);
+    }
+    for f in &report.failures {
+        println!("  {f}");
+    }
+    report.passed()
+}
+
+/// The kernel-offload side of the CI gate (core in [`izhi_bench::gate`]):
+/// the relaxed quick row must clear the absolute
+/// [`izhi_bench::gate::RELAXED_SINGLE_CORE_FLOOR`] and every `*_relaxed`
+/// row must beat its `*_relaxed_nokernel` twin by at least
+/// [`izhi_bench::gate::KERNEL_SPEEDUP_FLOOR`]. Both are absolute,
+/// same-host ratios — no committed baseline is consulted.
+fn check_kernel_gate(fresh: &[(String, f64)]) -> bool {
+    let relaxed_floor = izhi_bench::gate::RELAXED_SINGLE_CORE_FLOOR;
+    let kernel_floor = izhi_bench::gate::KERNEL_SPEEDUP_FLOOR;
+    let report = izhi_bench::gate::check_kernel_gate(fresh, relaxed_floor, kernel_floor);
+    println!(
+        "\nkernel-offload gate (relaxed quick floor {relaxed_floor:.1}x, \
+         kernel-on/off floor {kernel_floor:.2}x):"
+    );
+    for e in &report.checked {
+        println!("  {}: kernel-on/off {:.3}x", e.name, e.fresh);
     }
     for f in &report.failures {
         println!("  {f}");
@@ -1021,7 +1105,7 @@ fn main() {
             _ => out_path = Some(arg),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_8.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_9.json".into());
 
     // BENCH_CMP_ONLY=1 runs just the interleaved seed-vs-live rows (fast
     // inner loop for performance work on the interpreter itself).
@@ -1045,13 +1129,28 @@ fn main() {
             ("net8020_quick_1core", 200, 300u32),
             ("net8020_paper_1core_100ms", 1000, 100),
         ] {
-            let (seed, live, norelax, nosb) = (0..SESSIONS)
+            let best = (0..SESSIONS)
                 .map(|_| compare_rows_1core(name, n, ticks))
-                .max_by(|a, b| (a.0.wall_s / a.1.wall_s).total_cmp(&(b.0.wall_s / b.1.wall_s)))
+                .max_by(|a, b| {
+                    (a.seed.wall_s / a.live.wall_s).total_cmp(&(b.seed.wall_s / b.live.wall_s))
+                })
                 .expect("at least one session");
+            let CmpRows1 {
+                seed,
+                live,
+                norelax,
+                nosb,
+                relaxed,
+                nokernel,
+            } = best;
             speedups.push((name.to_string(), seed.wall_s / live.wall_s));
             speedups.push((format!("{name}_norelax"), seed.wall_s / norelax.wall_s));
             speedups.push((format!("{name}_nosb"), seed.wall_s / nosb.wall_s));
+            speedups.push((format!("{name}_relaxed"), seed.wall_s / relaxed.wall_s));
+            speedups.push((
+                format!("{name}_relaxed_nokernel"),
+                seed.wall_s / nokernel.wall_s,
+            ));
             reductions.push((
                 name.to_string(),
                 (seed.sim_instret - live.sim_instret) as f64 / seed.sim_instret as f64,
@@ -1060,6 +1159,8 @@ fn main() {
             rows.push(live);
             rows.push(norelax);
             rows.push(nosb);
+            rows.push(relaxed);
+            rows.push(nokernel);
         }
 
         let name = "net8020_quick_2core";
@@ -1168,6 +1269,7 @@ fn main() {
         if !battery_only {
             ok &= check_gate(&speedups, &baseline, min_ratio);
             ok &= check_floor_gate(&speedups);
+            ok &= check_kernel_gate(&speedups);
             ok &= check_instret_gate(&reductions, &baseline);
         }
         if !cmp_only {

@@ -97,6 +97,19 @@ pub enum GateFailure {
         /// Required minimum fraction.
         floor: f64,
     },
+    /// A kernel-on relaxed row failed to beat its kernel-off twin by the
+    /// required multiple (both speedups are vs the same seed run, so the
+    /// ratio is a pure kernel-on/off wall-time ratio — host-stable).
+    KernelSpeedupBelowFloor {
+        /// Kernel-on entry name (the `*_relaxed` row).
+        name: String,
+        /// Fresh kernel-on speedup vs seed.
+        on: f64,
+        /// Fresh kernel-off speedup vs seed.
+        off: f64,
+        /// Required minimum on/off ratio.
+        floor: f64,
+    },
 }
 
 impl core::fmt::Display for GateFailure {
@@ -144,6 +157,16 @@ impl core::fmt::Display for GateFailure {
                 "{name}: instret reduction {:.2}% BELOW the {:.1}% floor",
                 fresh * 100.0,
                 floor * 100.0
+            ),
+            GateFailure::KernelSpeedupBelowFloor {
+                name,
+                on,
+                off,
+                floor,
+            } => write!(
+                f,
+                "{name}: kernel-on {on:.3}x vs kernel-off {off:.3}x — ratio {:.3} BELOW the {floor:.2}x kernel floor",
+                on / off
             ),
         }
     }
@@ -238,6 +261,20 @@ pub fn check_gate(fresh: &[(String, f64)], baseline_text: &str, min_ratio: f64) 
 /// work, see the README's interpreter-core notes.)
 pub const SINGLE_CORE_FLOOR: f64 = 2.0;
 
+/// Absolute floor on the relaxed single-core quick row
+/// (`net8020_quick_1core_relaxed`: `SchedMode::Relaxed`, kernel offload
+/// on — the configuration relaxed sweeps actually ship). The native
+/// closed-form kernel tier lands it at ~3.5x+ on this host; the floor
+/// sits below that with runner-noise margin. This is the 2.8x target the
+/// exact path (see [`SINGLE_CORE_FLOOR`]) could not reach.
+pub const RELAXED_SINGLE_CORE_FLOOR: f64 = 2.8;
+
+/// Required wall-time multiple of every kernel-on relaxed row over its
+/// kernel-off twin (`*_relaxed` vs `*_relaxed_nokernel`). Both rows'
+/// speedups are measured against the same interleaved seed run, so the
+/// ratio cancels the seed and is a pure same-host kernel-on/off ratio.
+pub const KERNEL_SPEEDUP_FLOOR: f64 = 1.25;
+
 /// Required fractional instret reduction (`1 - relaxed/unrelaxed`) from
 /// the assembler relaxation + peephole pass on the gated workload
 /// (`net8020_quick_1core`). The reduction is a deterministic property of
@@ -247,7 +284,9 @@ pub const INSTRET_REDUCTION_FLOOR: f64 = 0.03;
 
 /// Gate the headline single-core speedups against the absolute
 /// [`SINGLE_CORE_FLOOR`]-style floor: every fresh `*_1core` entry that is
-/// not a `*_norelax` / `*_nosb` diagnostic row must reach `floor`. No
+/// not a `*_norelax` / `*_nosb` / `*_nokernel` diagnostic row must reach
+/// `floor` (the `*_relaxed_nokernel` rows exist to price the kernel tier,
+/// not to clear headline floors — [`check_kernel_gate`] owns them). No
 /// baseline is consulted — the floor is absolute — but an empty gated set
 /// fails, mirroring the other gates' empty rule (the relative
 /// [`check_gate`] separately errors if a baseline row went missing).
@@ -255,7 +294,10 @@ pub fn check_floor_gate(fresh: &[(String, f64)], floor: f64) -> GateReport {
     let gated: Vec<_> = fresh
         .iter()
         .filter(|(name, _)| {
-            name.contains("_1core") && !name.ends_with("_norelax") && !name.ends_with("_nosb")
+            name.contains("_1core")
+                && !name.ends_with("_norelax")
+                && !name.ends_with("_nosb")
+                && !name.ends_with("_nokernel")
         })
         .collect();
     if gated.is_empty() {
@@ -278,6 +320,73 @@ pub fn check_floor_gate(fresh: &[(String, f64)], floor: f64) -> GateReport {
             fresh: *v,
             baseline: floor,
         });
+    }
+    report
+}
+
+/// Gate the kernel-offload rows of a fresh measurement. Two absolute,
+/// same-host checks (no committed baseline is consulted):
+///
+/// * every `*_relaxed` entry must have a `*_relaxed_nokernel` twin (a
+///   missing twin is an error — it would silently disable the ratio
+///   check) and beat it by at least `kernel_floor` — both speedups are
+///   vs the same interleaved seed run, so the ratio cancels the seed and
+///   is a pure kernel-on/off wall-time ratio;
+/// * the `net8020_quick_1core_relaxed` row must reach `relaxed_floor`
+///   outright, and must be present at all.
+///
+/// Each checked entry reports the on/off ratio as `fresh` against
+/// `kernel_floor` as `baseline`.
+pub fn check_kernel_gate(
+    fresh: &[(String, f64)],
+    relaxed_floor: f64,
+    kernel_floor: f64,
+) -> GateReport {
+    const GATED_RELAXED_ROW: &str = "net8020_quick_1core_relaxed";
+    let on_rows: Vec<_> = fresh
+        .iter()
+        .filter(|(name, _)| name.ends_with("_relaxed"))
+        .collect();
+    if on_rows.is_empty() {
+        return GateReport {
+            checked: Vec::new(),
+            failures: vec![GateFailure::NoGatedEntries],
+        };
+    }
+    let mut report = GateReport::default();
+    if !on_rows.iter().any(|(name, _)| name == GATED_RELAXED_ROW) {
+        report
+            .failures
+            .push(GateFailure::MissingEntry(GATED_RELAXED_ROW.to_string()));
+    }
+    for (name, on) in on_rows {
+        match fresh.iter().find(|(n, _)| *n == format!("{name}_nokernel")) {
+            None => report
+                .failures
+                .push(GateFailure::MissingEntry(format!("{name}_nokernel"))),
+            Some((_, off)) => {
+                if on / off < kernel_floor {
+                    report.failures.push(GateFailure::KernelSpeedupBelowFloor {
+                        name: name.clone(),
+                        on: *on,
+                        off: *off,
+                        floor: kernel_floor,
+                    });
+                }
+                report.checked.push(CheckedEntry {
+                    name: name.clone(),
+                    fresh: on / off,
+                    baseline: kernel_floor,
+                });
+            }
+        }
+        if name == GATED_RELAXED_ROW && *on < relaxed_floor {
+            report.failures.push(GateFailure::BelowAbsoluteFloor {
+                name: name.clone(),
+                fresh: *on,
+                floor: relaxed_floor,
+            });
+        }
     }
     report
 }
@@ -1082,18 +1191,91 @@ mod tests {
 
     #[test]
     fn floor_gate_checks_only_headline_single_core_rows() {
-        // Diagnostic (_norelax/_nosb) and multi-core rows are exempt from
-        // the absolute floor even when they sit far below it.
+        // Diagnostic (_norelax/_nosb/_nokernel) and multi-core rows are
+        // exempt from the absolute floor even when they sit far below it;
+        // the kernel-on relaxed row is headline and stays gated.
         let f = fresh(&[
             ("net8020_quick_1core", 2.2),
             ("net8020_quick_1core_norelax", 1.1),
             ("net8020_quick_1core_nosb", 0.9),
+            ("net8020_quick_1core_relaxed", 3.5),
+            ("net8020_quick_1core_relaxed_nokernel", 1.4),
             ("net8020_quick_2core", 1.2),
         ]);
         let report = check_floor_gate(&f, SINGLE_CORE_FLOOR);
         assert!(report.passed(), "{:?}", report.failures);
-        assert_eq!(report.checked.len(), 1);
+        assert_eq!(report.checked.len(), 2);
         assert_eq!(report.checked[0].name, "net8020_quick_1core");
+        assert_eq!(report.checked[1].name, "net8020_quick_1core_relaxed");
+    }
+
+    #[test]
+    fn kernel_gate_passes_when_both_floors_clear() {
+        let f = fresh(&[
+            ("net8020_quick_1core", 2.2),
+            ("net8020_quick_1core_relaxed", 3.5),
+            ("net8020_quick_1core_relaxed_nokernel", 1.4),
+            ("net8020_paper_1core_100ms_relaxed", 6.0),
+            ("net8020_paper_1core_100ms_relaxed_nokernel", 2.1),
+        ]);
+        let report = check_kernel_gate(&f, RELAXED_SINGLE_CORE_FLOOR, KERNEL_SPEEDUP_FLOOR);
+        assert!(report.passed(), "{:?}", report.failures);
+        // One checked entry per on/off pair, carrying the on/off ratio.
+        assert_eq!(report.checked.len(), 2);
+        assert!((report.checked[0].fresh - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_gate_errors_on_low_ratio_low_quick_row_or_missing_twin() {
+        // On/off ratio below the kernel floor.
+        let low_ratio = fresh(&[
+            ("net8020_quick_1core_relaxed", 3.0),
+            ("net8020_quick_1core_relaxed_nokernel", 2.9),
+        ]);
+        let report = check_kernel_gate(&low_ratio, 2.8, 1.25);
+        assert!(matches!(
+            &report.failures[..],
+            [GateFailure::KernelSpeedupBelowFloor { name, on, off, floor }]
+                if name == "net8020_quick_1core_relaxed"
+                    && *on == 3.0 && *off == 2.9 && *floor == 1.25
+        ));
+        // Quick relaxed row below its absolute floor (ratio fine).
+        let low_quick = fresh(&[
+            ("net8020_quick_1core_relaxed", 2.0),
+            ("net8020_quick_1core_relaxed_nokernel", 1.0),
+        ]);
+        let report = check_kernel_gate(&low_quick, 2.8, 1.25);
+        assert!(matches!(
+            &report.failures[..],
+            [GateFailure::BelowAbsoluteFloor { name, fresh, floor }]
+                if name == "net8020_quick_1core_relaxed" && *fresh == 2.0 && *floor == 2.8
+        ));
+        // A kernel-on row without its nokernel twin cannot silently skip
+        // the ratio check.
+        let no_twin = fresh(&[("net8020_quick_1core_relaxed", 3.5)]);
+        let report = check_kernel_gate(&no_twin, 2.8, 1.25);
+        assert!(report
+            .failures
+            .iter()
+            .any(|e| matches!(e, GateFailure::MissingEntry(n)
+                if n == "net8020_quick_1core_relaxed_nokernel")));
+        // No relaxed rows at all gates nothing — an error, not a pass.
+        let none = fresh(&[("net8020_quick_1core", 2.2)]);
+        assert_eq!(
+            check_kernel_gate(&none, 2.8, 1.25).failures,
+            vec![GateFailure::NoGatedEntries]
+        );
+        // The gated quick row itself must exist.
+        let paper_only = fresh(&[
+            ("net8020_paper_1core_100ms_relaxed", 6.0),
+            ("net8020_paper_1core_100ms_relaxed_nokernel", 2.1),
+        ]);
+        let report = check_kernel_gate(&paper_only, 2.8, 1.25);
+        assert!(report
+            .failures
+            .iter()
+            .any(|e| matches!(e, GateFailure::MissingEntry(n)
+                if n == "net8020_quick_1core_relaxed")));
     }
 
     #[test]

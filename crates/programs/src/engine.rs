@@ -20,7 +20,10 @@ use izhi_core::dcu::SHIFT_TABLES;
 use izhi_core::params::FixedIzhParams;
 use izhi_fixed::Q7_8;
 use izhi_isa::asm::Assembler;
-use izhi_sim::{CodeTable, MainMemory, Metrics, PerfCounters, SimError, System, SystemConfig};
+use izhi_sim::{
+    register_kernel_span, CodeTable, KernelVariant, MainMemory, Metrics, OpClass, PerfCounters,
+    SimError, System, SystemConfig,
+};
 use izhi_snn::analysis::SpikeRaster;
 use izhi_snn::network::Network;
 use izhi_snn::noise::XorShift32;
@@ -1571,6 +1574,30 @@ pub fn prepare_run(cfg: &EngineConfig, image: &GuestImage) -> PreparedRun {
     for seg in &prog.segments {
         code.preload(seg.base, seg.data.len() as u32, &mem);
     }
+    // Register the engine's hot inner loops as kernel spans: phase A's
+    // accumulate loop and phase B's per-neuron update. Registration is a
+    // structural audit of the assembled words, so it tracks whatever the
+    // assembler actually emitted (relaxation included); a shape the audit
+    // cannot prove batchable simply declines and the interpreter runs it.
+    // Soft-float phase B calls helper routines, which the audit rejects —
+    // skip it outright rather than audit a shape known not to qualify.
+    if cfg.variant != Variant::SoftFloat {
+        let phase_a = if cfg.sparse {
+            KernelVariant::SparseA
+        } else {
+            KernelVariant::DenseA
+        };
+        let phase_b = if cfg.variant == Variant::Npu {
+            KernelVariant::NpuB
+        } else {
+            KernelVariant::BaseFixedB
+        };
+        for (sym, variant) in [("phaseA_inner", phase_a), ("phaseB_neuron", phase_b)] {
+            if let Some(entry) = prog.symbol(sym) {
+                let _ = register_kernel_span(&mut code, &mem, entry, variant);
+            }
+        }
+    }
     let mut image_spans = PatchMap::default();
     image.load_into_mem(&mut mem, cfg, &mut image_spans);
     PreparedRun {
@@ -1582,6 +1609,35 @@ pub fn prepare_run(cfg: &EngineConfig, image: &GuestImage) -> PreparedRun {
     }
 }
 
+/// `IZHI_PROFILE=1` report: the per-op-class retired-instruction
+/// histogram (summed across cores) plus the share of retirement that ran
+/// inside kernel-span batches. Printed to stderr so battery JSON on
+/// stdout stays machine-parseable.
+fn print_profile_report(sys: &System, cfg: &EngineConfig, instret: u64, classes: &[u64; 8]) {
+    let mut kernel = 0u64;
+    for i in 0..cfg.n_cores as usize {
+        kernel += sys.core(i).kernel_instret;
+    }
+    let total: u64 = classes.iter().sum();
+    eprintln!("IZHI_PROFILE: {total} instructions retired by class");
+    for class in OpClass::ALL {
+        let v = classes[class as usize];
+        if v == 0 {
+            continue;
+        }
+        eprintln!(
+            "  {:<6} {:>14}  {:5.1}%",
+            class.label(),
+            v,
+            100.0 * v as f64 / total.max(1) as f64
+        );
+    }
+    eprintln!(
+        "  kernel-span coverage: {kernel} of {instret} retired ({:.1}%)",
+        100.0 * kernel as f64 / instret.max(1) as f64
+    );
+}
+
 /// Run a fully prepared system and collect the workload result — the
 /// execute/collect phase of [`run_workload`], shared with the template
 /// path.
@@ -1590,7 +1646,18 @@ pub fn run_prepared_system(
     cfg: &EngineConfig,
     max_cycles: u64,
 ) -> Result<WorkloadResult, SimError> {
+    // Histogram = delta of the process-global table around this run, so
+    // in-process batteries report per-run figures.
+    let prof_base =
+        izhi_sim::counters::profile_enabled().then(izhi_sim::counters::profile_snapshot);
     let exit = sys.run(max_cycles)?;
+    if let Some(base) = prof_base {
+        let mut classes = izhi_sim::counters::profile_snapshot();
+        for (v, b) in classes.iter_mut().zip(base) {
+            *v -= b;
+        }
+        print_profile_report(sys, cfg, exit.instret, &classes);
+    }
     let raster = SpikeRaster::from_packed(cfg.n as u32, cfg.ticks, &sys.shared().dev.spike_log);
     let counters: Vec<PerfCounters> = (0..cfg.n_cores as usize)
         .map(|i| sys.core(i).roi_counters())
@@ -1669,6 +1736,44 @@ mod tests {
         let image = GuestImage::from_network(&net, &bias, &noise, ticks, 11);
         let cfg = EngineConfig::new(20, ticks, n_cores, variant);
         run_workload(&cfg, &image, 4_000_000_000).expect("run failed")
+    }
+
+    #[test]
+    fn kernel_spans_register_for_fixed_point_variants() {
+        use izhi_sim::SpanState;
+        // Every fixed-point loop shape the engine emits must survive the
+        // structural audit — a silent registration failure is a perf
+        // regression the differential suites cannot see.
+        for (variant, sparse, scheduled, plastic) in [
+            (Variant::Npu, false, true, false),
+            (Variant::Npu, false, false, false),
+            (Variant::Npu, true, true, false),
+            (Variant::Npu, true, true, true),
+            (Variant::BaseFixed, false, true, false),
+        ] {
+            let net = tiny_net(20);
+            let bias = vec![6.0; 20];
+            let noise = vec![2.0; 20];
+            let image = GuestImage::from_network(&net, &bias, &noise, 5, 11);
+            let mut cfg = EngineConfig::new(20, 5, 1, variant);
+            cfg.sparse = sparse;
+            cfg.scheduled = scheduled;
+            cfg.plastic = plastic;
+            let prep = prepare_run(&cfg, &image);
+            let spans = prep.code.kernel_spans();
+            let what = format!("{variant:?} sparse={sparse} sched={scheduled} stdp={plastic}");
+            assert_eq!(spans.len(), 2, "{what}: both inner loops register");
+            for s in spans {
+                assert_eq!(s.state, SpanState::Ready, "{what}: span at {:#x}", s.entry);
+            }
+        }
+        // Soft-float phase B calls helper routines; registration is
+        // skipped outright.
+        let net = tiny_net(20);
+        let image = GuestImage::from_network(&net, &[6.0; 20], &[2.0; 20], 5, 11);
+        let cfg = EngineConfig::new(20, 5, 1, Variant::SoftFloat);
+        let prep = prepare_run(&cfg, &image);
+        assert!(prep.code.kernel_spans().is_empty());
     }
 
     #[test]

@@ -261,6 +261,14 @@ impl Scenario {
                 ));
             }
         }
+        if p.ease.is_some() && !sudoku {
+            // Silently dropping the flag would let `--ease false` "pass"
+            // on a scenario that never reads it.
+            return Err(format!(
+                "{}: `ease` only applies to the sudoku scenarios (sudoku, sudoku_batch)",
+                self.name
+            ));
+        }
         if let Some(sh) = p.shards {
             if !scale_out {
                 return Err(format!(
@@ -1296,6 +1304,26 @@ mod tests {
         assert!(dense
             .validate(&ScenarioParams::default().with_shards(4))
             .is_err());
+        // ease on a non-sudoku scenario: either polarity is rejected (it
+        // would otherwise be dropped silently), and the error names the
+        // scenarios it does apply to.
+        let err = dense
+            .validate(&ScenarioParams::default().with_ease(false))
+            .unwrap_err();
+        assert!(err.contains("sudoku"), "unclear error: {err}");
+        assert!(dense
+            .validate(&ScenarioParams::default().with_ease(true))
+            .is_err());
+        assert!(sharded
+            .validate(&ScenarioParams::default().with_ease(true))
+            .is_err());
+        for name in ["sudoku", "sudoku_batch"] {
+            let s = find(name).unwrap();
+            s.validate(&ScenarioParams::default().with_ease(false))
+                .unwrap();
+            s.validate(&ScenarioParams::default().with_ease(true))
+                .unwrap();
+        }
         // Standard-map scenarios cannot cross the 8-core / 4096-neuron /
         // 1024-chunk bounds.
         let err = dense

@@ -4,10 +4,11 @@
 //! with identical consoles, spike rasters and `PerfCounters`.
 
 use izhi_isa::Assembler;
-use izhi_programs::engine::{build_asm, EngineConfig, Variant};
+use izhi_programs::engine::{build_asm, EngineConfig, Variant, WorkloadResult};
 use izhi_programs::net8020::Net8020Workload;
+use izhi_programs::scenario::Workload as _;
 use izhi_programs::selftest;
-use izhi_sim::{System, SystemConfig};
+use izhi_sim::{FaultKind, FaultPlan, SchedMode, System, SystemConfig, TimingModel};
 
 /// Drive `sys` to completion one instruction at a time with the
 /// event-driven schedule (min local time, lowest hart id on ties).
@@ -197,4 +198,102 @@ fn dual_core_engine_superblocks_on_off_bit_identical() {
     );
     let off = run(false);
     assert_identical(&on, &off);
+}
+
+/// Every relaxed sched × timing × host-thread combination the battery
+/// fans over; kernel batches only engage under these (exact timing keeps
+/// interpreting by design).
+fn relaxed_modes() -> [SchedMode; 6] {
+    let q = SchedMode::DEFAULT_QUANTUM;
+    let relaxed = |timing| SchedMode::Relaxed { quantum: q, timing };
+    let parallel = |host_threads, timing| SchedMode::RelaxedParallel {
+        quantum: q,
+        host_threads,
+        timing,
+    };
+    [
+        relaxed(TimingModel::Unit),
+        relaxed(TimingModel::Estimated),
+        parallel(1, TimingModel::Unit),
+        parallel(2, TimingModel::Unit),
+        parallel(1, TimingModel::Estimated),
+        parallel(2, TimingModel::Estimated),
+    ]
+}
+
+fn assert_results_identical(on: &WorkloadResult, off: &WorkloadResult, tag: &str) {
+    assert_eq!(on.cycles, off.cycles, "{tag}: clock diverges");
+    assert_eq!(on.instret, off.instret, "{tag}: instret diverges");
+    assert_eq!(
+        on.raster.spikes, off.raster.spikes,
+        "{tag}: raster diverges"
+    );
+    assert_eq!(
+        on.raster_hash(),
+        off.raster_hash(),
+        "{tag}: raster hash diverges"
+    );
+    assert_eq!(on.counters, off.counters, "{tag}: ROI counters diverge");
+    assert_eq!(
+        on.weight_hash, off.weight_hash,
+        "{tag}: weight hash diverges"
+    );
+}
+
+/// Scenario-level kernel exactness: the relaxed schedules batch-execute
+/// the engine's registered loop spans (phase-A scatter natively, phase B
+/// through the generic trace executor); toggling the kernels must be
+/// invisible in every architectural observable — raster, clocks, retired
+/// counts, the full ROI counter block — across both arithmetic variants
+/// and every relaxed sched × timing × host-thread combination.
+#[test]
+fn dual_core_engine_kernels_on_off_bit_identical() {
+    for variant in [Variant::Npu, Variant::BaseFixed] {
+        for mode in relaxed_modes() {
+            let run = |kernels: bool| {
+                let mut wl = Net8020Workload::sized(40, 10, 60, 2, 5, variant);
+                wl.cfg.system.sched = mode;
+                wl.cfg.system.kernels = kernels;
+                wl.run().expect("engine run")
+            };
+            let on = run(true);
+            assert!(
+                !on.raster.spikes.is_empty(),
+                "engine produced no spikes — comparison would be vacuous"
+            );
+            let off = run(false);
+            assert_results_identical(&on, &off, &format!("{variant:?} {mode:?}"));
+        }
+    }
+}
+
+/// Kernel batches under an armed fault plan: the batch entry refuses any
+/// iteration whose retirement count could cross the trigger, so the fault
+/// fires at exactly the same instruction with kernels on or off — whether
+/// the plan corrupts spike traffic (MMIO stores defer to the interpreter,
+/// which applies the corruption) or traps the guest outright.
+#[test]
+fn engine_kernels_identical_under_injected_faults() {
+    let cases = [
+        (0u32, 2_000u64, FaultKind::CorruptSpike(3)),
+        (1, 120_000, FaultKind::CorruptSpike(1)),
+        (0, 250_000, FaultKind::GuestTrap),
+    ];
+    for (core, at, kind) in cases {
+        for mode in relaxed_modes() {
+            let run = |kernels: bool| {
+                let mut wl = Net8020Workload::sized(40, 10, 60, 2, 5, Variant::Npu);
+                wl.cfg.system.sched = mode;
+                wl.cfg.system.kernels = kernels;
+                wl.cfg.system.faults = FaultPlan::none().with(core, at, kind);
+                wl.run()
+            };
+            let tag = format!("{mode:?} {kind:?}@{at} core{core}");
+            match (run(true), run(false)) {
+                (Ok(on), Ok(off)) => assert_results_identical(&on, &off, &tag),
+                (Err(on), Err(off)) => assert_eq!(on, off, "{tag}: errors diverge"),
+                (on, off) => panic!("{tag}: outcome diverges: {on:?} vs {off:?}"),
+            }
+        }
+    }
 }

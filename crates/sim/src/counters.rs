@@ -1,6 +1,8 @@
 //! Per-core performance counters, the static cost model of the Estimated
 //! timing policy, and the derived metrics of Tables V/VI.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::predecode::MicroOp;
 
 /// Coarse operation class of a retired instruction, as the Estimated
@@ -29,6 +31,33 @@ pub enum OpClass {
 }
 
 impl OpClass {
+    /// Every class, in declaration order (the index each class occupies in
+    /// the global profile histogram — see [`profile_snapshot`]).
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Alu,
+        OpClass::Branch,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Mul,
+        OpClass::Div,
+        OpClass::Csr,
+        OpClass::Npu,
+    ];
+
+    /// Display label for the profile report.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpClass::Alu => "alu",
+            OpClass::Branch => "branch",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Mul => "mul",
+            OpClass::Div => "div",
+            OpClass::Csr => "csr",
+            OpClass::Npu => "npu",
+        }
+    }
+
     /// The class of a decoded micro-op. Total: every op has a class, so
     /// no instruction can silently fall outside the cost model.
     pub const fn of(op: MicroOp) -> OpClass {
@@ -214,6 +243,62 @@ impl PerfCounters {
     pub fn metrics(&self, clock_hz: f64) -> Metrics {
         Metrics::from_counters(self, clock_hz)
     }
+}
+
+/// Whether the per-op-class retired-instruction histogram is collected
+/// (`IZHI_PROFILE=1`, following the `IZHI_*` knob conventions: any value
+/// other than unset/`0` enables it). Read once per process — the flag
+/// gates a counter bump on the interpreter's hot path.
+pub fn profile_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("IZHI_PROFILE").is_ok_and(|v| v != "0"))
+}
+
+/// Process-global per-op-class retired-instruction histogram (indexed by
+/// [`OpClass`] declaration order, see [`OpClass::ALL`]). Deliberately
+/// *not* a [`PerfCounters`] field: bumping a counter through `&mut Core`
+/// from inside the dispatch loop forces the interpreter to assume its
+/// register-held state (pc, clock, hazard tracker) may have been
+/// clobbered, which costs ~10% of single-core throughput even with the
+/// flag off. A free function over an atomic table leaves the loop's
+/// register allocation untouched, and keeps the histogram out of the
+/// cross-mode counter-identity contract. Relaxed ordering: per-class
+/// totals only, no cross-class ordering is ever read.
+static CLASS_PROFILE: [AtomicU64; 8] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Per-retire histogram bump (`IZHI_PROFILE=1` only). Cold and out of
+/// line so the dispatch loop pays exactly one never-taken branch.
+#[cold]
+#[inline(never)]
+pub fn profile_bump(op: MicroOp) {
+    CLASS_PROFILE[OpClass::of(op) as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Bulk histogram add for kernel batches: `n` retirements of `class`.
+pub fn profile_add(class: OpClass, n: u64) {
+    CLASS_PROFILE[class as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Snapshot of the global histogram. Callers report a run's histogram as
+/// the difference of the snapshots taken around it (the table is never
+/// reset, so in-process batteries don't clobber each other's baselines —
+/// though *concurrent* profiled runs merge, which the opt-in diagnostic
+/// accepts).
+pub fn profile_snapshot() -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for (v, c) in out.iter_mut().zip(CLASS_PROFILE.iter()) {
+        *v = c.load(Ordering::Relaxed);
+    }
+    out
 }
 
 /// Number of equivalent base-ISA operations per full neuron update

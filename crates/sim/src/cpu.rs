@@ -15,7 +15,8 @@ use izhi_isa::inst::{LoadOp, StoreOp};
 use izhi_isa::reg::Reg;
 
 use crate::cache::{Access, Cache};
-use crate::counters::{CostTable, PerfCounters};
+use crate::counters::{self, CostTable, PerfCounters};
+use crate::kernel::{KernelHeader, SpanState};
 use crate::mem::layout;
 use crate::mmio::{FaultKind, MmioEffect};
 use crate::predecode::{MicroOp, PreInst, SlotState, MAX_SB, NO_DEST};
@@ -141,6 +142,16 @@ pub(crate) trait ExecCtx {
     /// Look up (forming on first use) the fused superblock starting at
     /// `pc`; see [`crate::predecode::CodeTable::superblock`].
     fn superblock(&mut self, pc: u32, buf: &mut [PreInst; MAX_SB]) -> (u32, u32);
+    /// Whether kernel-span batch execution is enabled for this run *and*
+    /// any span is registered (the `IZHI_KERNELS` / `--no-kernels` escape
+    /// hatch; runs without registered spans pay nothing either way).
+    fn kernels_enabled(&self) -> bool;
+    /// Header of the kernel span whose entry is exactly `pc`, if any.
+    fn kernel_match(&self, pc: u32) -> Option<KernelHeader>;
+    /// Copy span `idx`'s decoded trace into `buf`; returns the length.
+    fn kernel_copy(&self, idx: u8, buf: &mut [PreInst]) -> usize;
+    /// Write back a span's lifecycle state after re-verification.
+    fn kernel_set_state(&mut self, idx: u8, state: SpanState);
 }
 
 /// Why a core stopped abnormally.
@@ -260,19 +271,26 @@ enum BlockExit {
 pub struct Core {
     /// Hart id.
     pub id: u32,
-    regs: [u32; 32],
-    pc: u32,
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
     /// Local clock in cycles.
     pub time: u64,
     halted: bool,
     /// Set when the core arrived at an incomplete barrier round under
     /// relaxed scheduling; the scheduler deschedules it until release.
     parked: bool,
-    nmregs: NmRegs,
+    pub(crate) nmregs: NmRegs,
     icache: Cache,
     dcache: Cache,
     /// Cumulative event counters.
     pub counters: PerfCounters,
+    /// Instructions retired inside kernel-span batches (a host-side
+    /// coverage figure, *not* part of [`PerfCounters`]: it necessarily
+    /// differs between kernel-on and kernel-off runs).
+    pub kernel_instret: u64,
+    /// Whether the per-op-class histogram is collected (latched from
+    /// [`counters::profile_enabled`] at construction).
+    pub(crate) profile: bool,
     roi_active: bool,
     roi_base: PerfCounters,
     roi_final: Option<PerfCounters>,
@@ -280,7 +298,7 @@ pub struct Core {
     /// dependent consumer (load / nm writeback), otherwise [`NO_DEST`].
     /// A shift into the current slot's source mask replaces the seed's
     /// `sources()` array scan.
-    prev_stall_dest: u8,
+    pub(crate) prev_stall_dest: u8,
     /// log2 of the I-cache line size (cached off the geometry).
     iline_shift: u32,
     /// log2 of the D-cache line size (cached off the geometry).
@@ -296,11 +314,11 @@ pub struct Core {
     /// Armed fault from the system's [`FaultPlan`](crate::mmio::FaultPlan):
     /// `(at_instret, kind)`, cleared once fired. `None` (the default)
     /// keeps the trigger check to one never-taken branch per instruction.
-    fault: Option<(u64, FaultKind)>,
+    pub(crate) fault: Option<(u64, FaultKind)>,
     /// Pending spike-log corruption: XORed into the next spike-log store's
     /// value, then cleared. Only a fired [`FaultKind::CorruptSpike`] sets
     /// this.
-    spike_corrupt: u32,
+    pub(crate) spike_corrupt: u32,
 }
 
 impl Core {
@@ -319,6 +337,8 @@ impl Core {
             icache,
             dcache,
             counters: PerfCounters::default(),
+            kernel_instret: 0,
+            profile: counters::profile_enabled(),
             roi_active: false,
             roi_base: PerfCounters::default(),
             roi_final: None,
@@ -687,7 +707,11 @@ impl Core {
         if self.halted {
             return Ok(());
         }
-        let out = self.exec_one::<ExactTiming, _>(shared);
+        let out = if self.profile {
+            self.exec_one::<ExactTiming, _, true>(shared)
+        } else {
+            self.exec_one::<ExactTiming, _, false>(shared)
+        };
         self.sync_counters();
         out
     }
@@ -712,8 +736,26 @@ impl Core {
         bound: u64,
         max_cycles: u64,
     ) -> Result<RunStop, TrapCause> {
+        // One runtime dispatch per batch selects the profiled or plain
+        // monomorphisation of the whole loop (see `exec_op` on why the
+        // check cannot live inside it).
+        if self.profile {
+            self.run_while_p::<T, C, true>(ctx, bound, max_cycles)
+        } else {
+            self.run_while_p::<T, C, false>(ctx, bound, max_cycles)
+        }
+    }
+
+    /// [`Core::run_while`], monomorphised over the profiling flag.
+    fn run_while_p<T: Timing, C: ExecCtx, const PROF: bool>(
+        &mut self,
+        ctx: &mut C,
+        bound: u64,
+        max_cycles: u64,
+    ) -> Result<RunStop, TrapCause> {
         let stop = bound.min(max_cycles);
         let sb = ctx.superblocks_enabled();
+        let kern = !T::EXACT && ctx.kernels_enabled();
         let mut sbuf = [PreInst::EMPTY; MAX_SB];
         let run = loop {
             if self.halted {
@@ -732,14 +774,20 @@ impl Core {
                     RunStop::Budget
                 });
             }
+            // Kernel spans outrank superblocks at their entry pc: a batch
+            // swallows whole loop iterations where a block stops at the
+            // back-edge. Declines fall through to the block/single paths.
+            if kern && self.try_kernel::<T, _>(ctx, stop) {
+                continue;
+            }
             if sb {
-                match self.try_superblock::<T, _>(ctx, &mut sbuf, stop) {
+                match self.try_superblock::<T, _, PROF>(ctx, &mut sbuf, stop) {
                     Ok(true) => continue,
                     Ok(false) => {}
                     Err(cause) => break Err(cause),
                 }
             }
-            if let Err(cause) = self.exec_one::<T, _>(ctx) {
+            if let Err(cause) = self.exec_one::<T, _, PROF>(ctx) {
                 break Err(cause);
             }
         };
@@ -763,7 +811,10 @@ impl Core {
     ///   state is touched. Barrier arrivals that leave the round
     ///   incomplete park the core.
     #[inline(always)]
-    pub(crate) fn exec_one<T: Timing, C: ExecCtx>(&mut self, ctx: &mut C) -> Result<(), TrapCause> {
+    pub(crate) fn exec_one<T: Timing, C: ExecCtx, const PROF: bool>(
+        &mut self,
+        ctx: &mut C,
+    ) -> Result<(), TrapCause> {
         let pc = self.pc;
         // Fault-injection trigger: instret is schedule-invariant per core,
         // so a plan fires at the same architectural point under every
@@ -781,7 +832,7 @@ impl Core {
         // first execution of a (possibly store-invalidated) slot.
         let pre = ctx.fetch(pc);
         let mut exit = BlockExit::None;
-        let next_pc = self.exec_op::<T, _, false>(ctx, &pre, pc, 0, 0, &mut exit)?;
+        let next_pc = self.exec_op::<T, _, false, PROF>(ctx, &pre, pc, 0, 0, &mut exit)?;
         self.pc = next_pc;
         Ok(())
     }
@@ -816,7 +867,7 @@ impl Core {
     /// `PreInst` never round-trips through a stack temporary.
     #[inline(always)]
     #[allow(clippy::too_many_lines)]
-    fn exec_op<T: Timing, C: ExecCtx, const BLOCK: bool>(
+    fn exec_op<T: Timing, C: ExecCtx, const BLOCK: bool, const PROF: bool>(
         &mut self,
         ctx: &mut C,
         pre: &PreInst,
@@ -1178,6 +1229,21 @@ impl Core {
             }
         }
 
+        // Opt-in per-op-class histogram (`IZHI_PROFILE=1`): bumped on
+        // every retire path — single-step, superblock (the early `Defer`/
+        // `Err` returns above skip it, matching "retired") — and bulk-
+        // added by kernel batches. `PROF` is a monomorphisation constant
+        // (selected once per run from [`Core::profile`]), so the
+        // non-profiled interpreter carries no check at all: even a
+        // never-taken branch to a cold call here measurably slows the
+        // dispatch loop. The bump is a free function over a global table,
+        // not a write through `&mut self`, so the profiled variant's loop
+        // keeps its register-held state too (see
+        // [`counters::profile_bump`]).
+        if PROF {
+            counters::profile_bump(op);
+        }
+
         if T::EXACT {
             self.counters.flush_cycles += flushes;
             extra += flushes;
@@ -1228,7 +1294,7 @@ impl Core {
     /// block would also have run under single-stepping, or an
     /// MMIO-classified access as the block's very first op.
     #[inline]
-    pub(crate) fn try_superblock<T: Timing, C: ExecCtx>(
+    pub(crate) fn try_superblock<T: Timing, C: ExecCtx, const PROF: bool>(
         &mut self,
         ctx: &mut C,
         sbuf: &mut [PreInst; MAX_SB],
@@ -1261,7 +1327,7 @@ impl Core {
         if !T::EXACT && self.time + u64::from(est) > stop {
             return Ok(false);
         }
-        self.exec_block::<T, _>(ctx, &sbuf[..len as usize], pc, stop)
+        self.exec_block::<T, _, PROF>(ctx, &sbuf[..len as usize], pc, stop)
     }
 
     /// Flag a retiring store that lands in its own block's not-yet-executed
@@ -1297,7 +1363,7 @@ impl Core {
     /// * a store landing in the block's not-yet-executed tail
     ///   ([`BlockExit::StoreTail`]: the buffered copy is stale; re-entry
     ///   re-forms the block).
-    fn exec_block<T: Timing, C: ExecCtx>(
+    fn exec_block<T: Timing, C: ExecCtx, const PROF: bool>(
         &mut self,
         ctx: &mut C,
         ops: &[PreInst],
@@ -1342,7 +1408,7 @@ impl Core {
                 seg_hits += 1;
             }
             let mut exit = BlockExit::None;
-            match self.exec_op::<T, _, true>(ctx, pre, pc, base_pc, len as u32, &mut exit) {
+            match self.exec_op::<T, _, true, PROF>(ctx, pre, pc, base_pc, len as u32, &mut exit) {
                 Ok(next) => {
                     if exit != BlockExit::None {
                         if exit == BlockExit::Defer {

@@ -1,0 +1,1347 @@
+//! Host-native batch kernels for the guest's hot loops.
+//!
+//! Superblocks (PR 9) removed the per-instruction fetch/dispatch cost of a
+//! straight-line run; this module removes the per-*iteration* cost of the
+//! engine's phase-A scatter and phase-B neuron-update loops. The engine
+//! registers each loop it emits as a [`KernelSpan`] — the loop's entry pc,
+//! its decoded body, and a fingerprint of the raw code words — and the
+//! relaxed interpreters ([`UnitTiming`](crate::cpu) / estimated timing)
+//! execute a registered span as one **batch**: a tight host loop over the
+//! decoded trace that keeps the register file, the NM_REGS block and all
+//! event counters in locals, reads and writes guest RAM through the same
+//! bounds-checked views the interpreter uses, and only flushes register
+//! and counter state back to the core once per batch.
+//!
+//! ## Bit-identity by construction
+//!
+//! The batch executor is not a re-implementation of the loop's *meaning*
+//! — it is a mini-interpreter over the **same decoded micro-ops** the
+//! single-step path would execute, applying the same arithmetic, the same
+//! memory classification and the same counter increments in the same
+//! order. Ops retire one at a time with their memory traffic committed
+//! directly, exactly like [`Core::exec_block`](crate::cpu) runs a fused
+//! superblock; what makes that sound is the same rule superblocks use:
+//! any op the batch cannot run — an MMIO access (devices read the live
+//! clock and the host-parallel scheduler pre-screens interactive
+//! registers), a misaligned or unmapped address (the interpreter raises
+//! the trap), or a store into the span's own code words from the *next*
+//! op on (the decoded trace is stale) — **defers**: the batch ends with
+//! `pc` parked on the first op that did not retire and with every retired
+//! op's state already exactly what single-stepping would have left, so
+//! the interpreter simply picks up mid-iteration. Defers are therefore a
+//! pure performance event, never a semantic one. The same hoisted entry
+//! conditions as `Core::try_superblock` keep scheduler stop points and
+//! fault-plan trigger points identical: a batch iteration only starts
+//! when its whole conservative cost fits under the quantum bound and its
+//! whole length fits under the armed fault trigger.
+//!
+//! Exact timing keeps interpreting (the cycle model consults caches, the
+//! shared bus and hazard state per instruction — exactly what batching
+//! elides), mirroring the superblock would-miss-fetch rule.
+//!
+//! ## Registration: a structural audit
+//!
+//! [`register_kernel_span`] does not pattern-match a particular loop
+//! shape. It walks the decoded stream from the entry and accepts any
+//! single-entry loop in which every op is batchable (no `jalr`/`fence`/
+//! `ecall`/`ebreak`/`csr`; `jal` only as the non-linking `jal x0`, an
+//! unconditional jump), every interior branch or jump targets strictly
+//! forward within the span, and the final op is a conditional branch back
+//! to the entry — the sole back-edge. This covers all four emitted loop
+//! shapes (dense/sparse phase A, NPU and base-fixed phase B) and is immune
+//! to assembler relaxation or peephole drift; anything else is rejected,
+//! which only costs performance. The FNV-1a fingerprint over the raw code
+//! words makes spans self-verifying after a guest store into the span
+//! ([`SpanState::Dirty`]): if the words still hash to the fingerprint the
+//! decoded trace is still exact, otherwise the span is rejected for good
+//! and the interpreter (which re-decodes through the ordinary
+//! store-invalidation path) takes over.
+
+use izhi_core::dcu::Dcu;
+use izhi_core::npu::NpUnit;
+use izhi_fixed::Q15_16;
+use izhi_isa::inst::{LoadOp, StoreOp};
+
+use crate::counters::{self, OpClass};
+use crate::cpu::{Core, ExecCtx, Timing};
+use crate::mem::layout;
+use crate::predecode::{CodeMem, CodeTable, MicroOp, PreInst, SlotState, NO_DEST};
+
+/// Maximum decoded length of a kernel span in micro-ops (the base-fixed
+/// phase-B body is ~84 ops; 192 leaves generous headroom while keeping the
+/// per-batch stack buffer at 3 KiB).
+pub const MAX_KERNEL_OPS: usize = 192;
+/// Maximum registered spans per system (the engine registers at most a
+/// phase-A and a phase-B loop; 8 leaves room for tests and future shapes).
+pub const MAX_KERNEL_SPANS: usize = 8;
+
+/// Lifecycle state of a registered span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanState {
+    /// Verified against the code words; eligible for batch execution.
+    Ready,
+    /// A guest store landed inside the span (or the span was adopted
+    /// across a run boundary): the fingerprint must re-verify against the
+    /// live code words before the next batch.
+    Dirty,
+    /// The code under the span changed (or re-verification failed): the
+    /// span is permanently disabled — the interpreter owns this pc range.
+    Rejected,
+}
+
+/// Which emitted loop a span was registered for. Purely descriptive — the
+/// structural audit, not the variant, decides acceptance — but it keeps
+/// diagnostics and tests readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Dense phase-A synaptic scatter (fixed row stride).
+    DenseA,
+    /// Sparse (CSR) phase-A synaptic scatter.
+    SparseA,
+    /// Phase-B neuron update through the NPU/DCU custom ops.
+    NpuB,
+    /// Phase-B neuron update in base-ISA fixed-point.
+    BaseFixedB,
+}
+
+/// A span body that additionally matched a **closed-form host loop** at
+/// registration. Unlike [`KernelVariant`] (descriptive only), this is
+/// load-bearing: the batch entry runs the matched shape as straight host
+/// code — no per-op dispatch at all — whenever its up-front screens pass,
+/// and falls back to the generic batch loop otherwise. The matcher is
+/// purely structural over the decoded micro-ops (register roles are
+/// extracted, not assumed), so it tracks the emitted code, never the
+/// other way round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeShape {
+    /// The dense phase-A scatter body:
+    /// `M[pi] += sext16(M[pw]) << 8; pw += 2; pi += 4; cnt -= 1;`
+    /// looping while `cnt != 0`.
+    DenseAxpy {
+        /// Weight pointer register (`lh` base, stride +2).
+        pw: u8,
+        /// Accumulator pointer register (`lw`/`sw` base, stride +4).
+        pi: u8,
+        /// Weight temporary (`lh` destination, then shifted).
+        w: u8,
+        /// Accumulator temporary (`lw` destination, then stored).
+        s: u8,
+        /// Down-counter register (`addi -1`, back-edge operand).
+        cnt: u8,
+    },
+}
+
+/// Why [`register_kernel_span`] refused a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelReject {
+    /// The body contains an op the batch executor does not run
+    /// (`jalr`/`fence`/`ecall`/`ebreak`/`csr`, or a linking `jal`).
+    UnsupportedOp,
+    /// An interior branch targets backward, outside the span, or a
+    /// misaligned pc.
+    BadBranchTarget,
+    /// No back-edge within [`MAX_KERNEL_OPS`] ops of the entry.
+    TooLong,
+    /// The loop body is a single instruction (nothing to batch).
+    TooShort,
+    /// The entry (or the walk) left the executable SDRAM window.
+    OutOfWindow,
+    /// A word in the span does not decode (or is not resident SDRAM code).
+    Undecodable,
+    /// A span with this entry pc is already registered.
+    DuplicateEntry,
+    /// [`MAX_KERNEL_SPANS`] spans are already registered.
+    TableFull,
+}
+
+impl core::fmt::Display for KernelReject {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            KernelReject::UnsupportedOp => "unsupported op in loop body",
+            KernelReject::BadBranchTarget => "interior branch target not strictly forward in span",
+            KernelReject::TooLong => "no back-edge within the op limit",
+            KernelReject::TooShort => "loop body too short to batch",
+            KernelReject::OutOfWindow => "entry outside the executable SDRAM window",
+            KernelReject::Undecodable => "undecodable word in span",
+            KernelReject::DuplicateEntry => "span already registered at this entry",
+            KernelReject::TableFull => "kernel span table full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One registered loop: `[entry, exit)` in guest SDRAM, the decoded body
+/// (entry to back-edge inclusive) and the FNV-1a fingerprint of the raw
+/// code words used to re-verify a [`SpanState::Dirty`] span.
+#[derive(Debug, Clone)]
+pub struct KernelSpan {
+    /// Loop entry pc (the back-edge target).
+    pub entry: u32,
+    /// First pc past the back-edge branch.
+    pub exit: u32,
+    /// FNV-1a 64 over the raw words of `[entry, exit)`.
+    pub fp: u64,
+    /// Lifecycle state.
+    pub state: SpanState,
+    /// Descriptive origin of the span.
+    pub variant: KernelVariant,
+    /// Closed-form host loop the body matched, if any.
+    pub native: Option<NativeShape>,
+    trace: Box<[PreInst]>,
+}
+
+impl KernelSpan {
+    /// The decoded body, entry to back-edge inclusive.
+    pub fn trace(&self) -> &[PreInst] {
+        &self.trace
+    }
+}
+
+/// Copyable span summary handed to the dispatch fast path (the trace
+/// itself is copied separately into a stack buffer, and only after the
+/// entry pc matched).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelHeader {
+    /// Index into the span table (for state writebacks).
+    pub idx: u8,
+    /// Lifecycle state at lookup time.
+    pub state: SpanState,
+    /// Loop entry pc.
+    pub entry: u32,
+    /// First pc past the back-edge.
+    pub exit: u32,
+    /// Decoded body length in ops.
+    pub len: u32,
+    /// Fingerprint for `Dirty` re-verification.
+    pub fp: u64,
+    /// Closed-form host loop the body matched, if any.
+    pub native: Option<NativeShape>,
+}
+
+/// The registered spans of one [`CodeTable`], plus the covering pc range
+/// `[lo, lo + len)` that keeps the store-to-code hook
+/// ([`SpanTable::note_store`]) to one compare-and-branch for every store
+/// that lands outside all spans.
+#[derive(Debug, Clone)]
+pub struct SpanTable {
+    spans: Vec<KernelSpan>,
+    lo: u32,
+    len: u32,
+}
+
+impl Default for SpanTable {
+    fn default() -> Self {
+        SpanTable {
+            spans: Vec::new(),
+            // Empty cover: `addr - MAX` never lands below any span length.
+            lo: u32::MAX,
+            len: 0,
+        }
+    }
+}
+
+impl SpanTable {
+    /// Whether any span is registered.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The registered spans (inspection/tests).
+    pub fn spans(&self) -> &[KernelSpan] {
+        &self.spans
+    }
+
+    /// Store-to-code hook, called for **every** guest store (from
+    /// [`CodeTable::invalidate_store`]): one wrapping compare against the
+    /// covering range, then the cold per-span scan only on a hit.
+    #[inline]
+    pub fn note_store(&mut self, addr: u32) {
+        if (addr & !3).wrapping_sub(self.lo) < self.len {
+            self.dirty_word(addr & !3);
+        }
+    }
+
+    /// Mark every non-rejected span covering `word` dirty.
+    #[cold]
+    fn dirty_word(&mut self, word: u32) {
+        for s in &mut self.spans {
+            if s.state != SpanState::Rejected && word.wrapping_sub(s.entry) < s.exit - s.entry {
+                s.state = SpanState::Dirty;
+            }
+        }
+    }
+
+    /// Header of the span whose entry is exactly `pc`, if any.
+    #[inline]
+    pub fn lookup(&self, pc: u32) -> Option<KernelHeader> {
+        self.spans.iter().enumerate().find_map(|(i, s)| {
+            (s.entry == pc).then_some(KernelHeader {
+                idx: i as u8,
+                state: s.state,
+                entry: s.entry,
+                exit: s.exit,
+                len: s.trace.len() as u32,
+                fp: s.fp,
+                native: s.native,
+            })
+        })
+    }
+
+    /// Copy span `idx`'s trace into `buf`; returns the length copied.
+    #[inline]
+    pub fn copy_trace(&self, idx: u8, buf: &mut [PreInst]) -> usize {
+        let t = &self.spans[idx as usize].trace;
+        buf[..t.len()].copy_from_slice(t);
+        t.len()
+    }
+
+    /// Set span `idx`'s lifecycle state (dispatch re-verification).
+    pub fn set_state(&mut self, idx: u8, state: SpanState) {
+        self.spans[idx as usize].state = state;
+    }
+
+    /// Move the spans out (the host-parallel scheduler rebuilds its shared
+    /// [`CodeTable`] after a run; the spans survive the rebuild).
+    pub fn take(&mut self) -> Vec<KernelSpan> {
+        self.lo = u32::MAX;
+        self.len = 0;
+        std::mem::take(&mut self.spans)
+    }
+
+    /// Re-install spans taken from a previous table. Every non-rejected
+    /// span comes back [`SpanState::Dirty`]: the new table has not
+    /// observed the stores of the interim, so the fingerprint must
+    /// re-verify before the next batch.
+    pub fn adopt(&mut self, spans: Vec<KernelSpan>) {
+        for mut s in spans {
+            if s.state != SpanState::Rejected {
+                s.state = SpanState::Dirty;
+            }
+            self.insert(s);
+        }
+    }
+
+    fn insert(&mut self, span: KernelSpan) {
+        let (entry, exit) = (span.entry, span.exit);
+        self.spans.push(span);
+        let hi = self.lo.wrapping_add(self.len).max(exit);
+        self.lo = self.lo.min(entry);
+        self.len = hi - self.lo;
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_word(mut fp: u64, word: u32) -> u64 {
+    for b in word.to_le_bytes() {
+        fp = (fp ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    fp
+}
+
+/// Ops the batch executor runs. `jal x0` qualifies — it is an
+/// unconditional branch whose link write is architecturally void — but a
+/// linking `jal` and everything else that leaves the span or touches halt
+/// machinery / the live clock (`jalr`/`fence`/`ecall`/`ebreak`/`csr`)
+/// rejects the span at registration.
+fn batchable(pre: &PreInst) -> bool {
+    !matches!(
+        pre.op,
+        MicroOp::Jalr | MicroOp::Fence | MicroOp::Ecall | MicroOp::Ebreak | MicroOp::Csr
+    ) && (pre.op != MicroOp::Jal || pre.rd == 0)
+}
+
+fn is_branch(op: MicroOp) -> bool {
+    matches!(
+        op,
+        MicroOp::Beq | MicroOp::Bne | MicroOp::Blt | MicroOp::Bge | MicroOp::Bltu | MicroOp::Bgeu
+    )
+}
+
+/// Structural match of a decoded body against the dense phase-A scatter
+/// shape (see [`NativeShape::DenseAxpy`]). Register roles are extracted
+/// from the micro-ops; immediates (strides 2/4, shift 8, decrement -1)
+/// must match exactly. All five roles must be distinct and non-zero so
+/// the closed-form end state is well defined. Any mismatch just means
+/// "no native tier" — the generic batch loop still runs the span.
+fn match_native(trace: &[PreInst], entry: u32) -> Option<NativeShape> {
+    let [lh, lw, sll, add, sw, apw, api, acnt, bne] = trace else {
+        return None;
+    };
+    // lh w, 0(pw)
+    if lh.op != MicroOp::Lh || lh.imm != 0 {
+        return None;
+    }
+    let (w, pw) = (lh.rd, lh.rs1);
+    // lw s, 0(pi)
+    if lw.op != MicroOp::Lw || lw.imm != 0 {
+        return None;
+    }
+    let (s, pi) = (lw.rd, lw.rs1);
+    // slli w, w, 8
+    if sll.op != MicroOp::Slli || sll.rd != w || sll.rs1 != w || sll.imm & 0x1F != 8 {
+        return None;
+    }
+    // add s, s, w (either operand order)
+    if add.op != MicroOp::Add
+        || add.rd != s
+        || !((add.rs1 == s && add.rs2 == w) || (add.rs1 == w && add.rs2 == s))
+    {
+        return None;
+    }
+    // sw s, 0(pi)
+    if sw.op != MicroOp::Sw || sw.rs1 != pi || sw.rs2 != s || sw.imm != 0 {
+        return None;
+    }
+    // addi pw, pw, 2 ; addi pi, pi, 4 ; addi cnt, cnt, -1
+    if apw.op != MicroOp::Addi || apw.rd != pw || apw.rs1 != pw || apw.imm != 2 {
+        return None;
+    }
+    if api.op != MicroOp::Addi || api.rd != pi || api.rs1 != pi || api.imm != 4 {
+        return None;
+    }
+    if acnt.op != MicroOp::Addi || acnt.rd != acnt.rs1 || acnt.imm != -1 {
+        return None;
+    }
+    let cnt = acnt.rd;
+    // bne cnt, x0, entry (imm is the pre-resolved absolute target)
+    if bne.op != MicroOp::Bne || bne.rs1 != cnt || bne.rs2 != 0 || bne.imm as u32 != entry {
+        return None;
+    }
+    let roles = [pw, pi, w, s, cnt];
+    if roles.contains(&0) {
+        return None;
+    }
+    for i in 0..roles.len() {
+        if roles[i + 1..].contains(&roles[i]) {
+            return None;
+        }
+    }
+    Some(NativeShape::DenseAxpy { pw, pi, w, s, cnt })
+}
+
+/// Audit and register the loop at `entry` as a kernel span.
+///
+/// Walks the decoded stream from `entry` until the first conditional
+/// branch whose (pre-resolved, absolute) target is `entry` — the
+/// back-edge, which becomes the span's final op (`exit` = its pc + 4).
+/// Acceptance is purely structural (see the module docs); on success the
+/// span is stored [`SpanState::Ready`] in the table carried by `code`.
+/// Rejection leaves `code` unchanged apart from warmed decode slots and
+/// only costs performance: the interpreter runs the loop as before.
+pub fn register_kernel_span<M: CodeMem>(
+    code: &mut CodeTable,
+    mem: &M,
+    entry: u32,
+    variant: KernelVariant,
+) -> Result<(), KernelReject> {
+    if !entry.is_multiple_of(4) || entry >= code.sdram_limit() {
+        return Err(KernelReject::OutOfWindow);
+    }
+    if code.kernels.spans.len() >= MAX_KERNEL_SPANS {
+        return Err(KernelReject::TableFull);
+    }
+    if code.kernels.lookup(entry).is_some() {
+        return Err(KernelReject::DuplicateEntry);
+    }
+    let mut trace: Vec<PreInst> = Vec::new();
+    let mut fp = FNV_OFFSET;
+    let mut pc = entry;
+    loop {
+        if trace.len() >= MAX_KERNEL_OPS {
+            return Err(KernelReject::TooLong);
+        }
+        if pc >= code.sdram_limit() {
+            return Err(KernelReject::OutOfWindow);
+        }
+        let word = mem.code_word(pc).ok_or(KernelReject::Undecodable)?;
+        let pre = code.fetch(pc, mem);
+        if pre.state != SlotState::Sdram {
+            return Err(KernelReject::Undecodable);
+        }
+        if !batchable(&pre) {
+            return Err(KernelReject::UnsupportedOp);
+        }
+        fp = fnv_word(fp, word);
+        trace.push(pre);
+        if is_branch(pre.op) {
+            let target = pre.imm as u32;
+            if target == entry {
+                // The sole back-edge: the span ends after this op.
+                pc += 4;
+                break;
+            }
+            // Interior branches must jump strictly forward and stay
+            // 4-aligned; the upper bound (within the span) is checked
+            // against `exit` once the walk fixed it.
+            if target <= pc || !target.is_multiple_of(4) {
+                return Err(KernelReject::BadBranchTarget);
+            }
+        } else if pre.op == MicroOp::Jal {
+            // `jal x0`: unconditional, so it can never be the back-edge
+            // of a terminating loop — require a strictly forward in-span
+            // target like any interior branch.
+            let target = pre.imm as u32;
+            if target <= pc || !target.is_multiple_of(4) {
+                return Err(KernelReject::BadBranchTarget);
+            }
+        }
+        pc += 4;
+    }
+    let exit = pc;
+    if trace.len() < 2 {
+        return Err(KernelReject::TooShort);
+    }
+    for (i, p) in trace.iter().enumerate() {
+        let jumps = is_branch(p.op) || p.op == MicroOp::Jal;
+        if i + 1 < trace.len() && jumps && (p.imm as u32) > exit {
+            return Err(KernelReject::BadBranchTarget);
+        }
+    }
+    let native = match_native(&trace, entry);
+    code.kernels.insert(KernelSpan {
+        entry,
+        exit,
+        fp,
+        state: SpanState::Ready,
+        variant,
+        native,
+        trace: trace.into_boxed_slice(),
+    });
+    Ok(())
+}
+
+impl Core {
+    /// Attempt to run the kernel span at `self.pc` as one batch. Returns
+    /// whether at least one iteration committed (the caller re-enters its
+    /// scheduling loop). Only instantiated by the relaxed interpreters.
+    #[inline]
+    pub(crate) fn try_kernel<T: Timing, C: ExecCtx>(&mut self, ctx: &mut C, stop: u64) -> bool {
+        debug_assert!(!T::EXACT);
+        let Some(hdr) = ctx.kernel_match(self.pc) else {
+            return false;
+        };
+        self.kernel_enter::<T, C>(ctx, hdr, stop)
+    }
+
+    /// Out-of-line entry: state check / re-verification, trace copy and
+    /// the batch loop (kept off the per-op dispatch path, which only pays
+    /// the entry-pc probe above).
+    fn kernel_enter<T: Timing, C: ExecCtx>(
+        &mut self,
+        ctx: &mut C,
+        hdr: KernelHeader,
+        stop: u64,
+    ) -> bool {
+        match hdr.state {
+            SpanState::Rejected => return false,
+            SpanState::Ready => {}
+            SpanState::Dirty => {
+                // A store landed inside the span (or it crossed a run
+                // boundary): the decoded trace is only exact if the raw
+                // words still hash to the registration fingerprint.
+                let mut fp = FNV_OFFSET;
+                let mut pc = hdr.entry;
+                while pc < hdr.exit {
+                    let Some(word) = ctx.code_word(pc) else {
+                        ctx.kernel_set_state(hdr.idx, SpanState::Rejected);
+                        return false;
+                    };
+                    fp = fnv_word(fp, word);
+                    pc += 4;
+                }
+                if fp != hdr.fp {
+                    ctx.kernel_set_state(hdr.idx, SpanState::Rejected);
+                    return false;
+                }
+                ctx.kernel_set_state(hdr.idx, SpanState::Ready);
+            }
+        }
+        let mut buf = [PreInst::EMPTY; MAX_KERNEL_OPS];
+        let len = ctx.kernel_copy(hdr.idx, &mut buf);
+        debug_assert_eq!(len as u32, hdr.len);
+        // Native tier first: a matched shape whose screens pass runs as
+        // straight host code; otherwise the generic batch loop takes the
+        // span op by op. (A Dirty span that just re-verified hashes to
+        // the registration words, so the registration-time match is still
+        // exact.)
+        if let Some(shape) = hdr.native {
+            if let Some(ran) = self.kernel_native::<T, C>(ctx, &hdr, &buf[..len], shape, stop) {
+                return ran;
+            }
+        }
+        self.kernel_batch::<T, C>(ctx, &hdr, &buf[..len], stop)
+    }
+
+    /// Closed-form execution of a matched [`NativeShape`] span.
+    ///
+    /// Computes the exact number of iterations `k` the generic batch loop
+    /// would retire — bounded by the guest's own down-counter, the quantum
+    /// budget and the armed fault trigger, using the *same* conservative
+    /// per-iteration entry conditions — then screens the whole `k`-wide
+    /// load and store sweeps up front (single RAM region each, natural
+    /// alignment, store sweep clear of the span's own code words) and runs
+    /// the arithmetic as a tight host loop. Every screened quantity the
+    /// per-op path checks incrementally is checked here in closed form, so
+    /// the architectural end state — registers, memory, counters, clock,
+    /// `pc` — is bit-identical to `k` interpreted iterations. Returns
+    /// `None` when any screen fails (the generic batch loop, which defers
+    /// per-op, takes over) or `Some(ran)` when the native tier owned the
+    /// dispatch.
+    fn kernel_native<T: Timing, C: ExecCtx>(
+        &mut self,
+        ctx: &mut C,
+        hdr: &KernelHeader,
+        trace: &[PreInst],
+        shape: NativeShape,
+        stop: u64,
+    ) -> Option<bool> {
+        let NativeShape::DenseAxpy { pw, pi, w, s, cnt } = shape;
+        let (pw, pi, w, s, cnt) = (
+            pw as usize,
+            pi as usize,
+            w as usize,
+            s as usize,
+            cnt as usize,
+        );
+        let full_cost: u64 = trace.iter().map(|p| T::op_cost(p.op)).sum();
+        let full_len = trace.len() as u64;
+        // Iteration i (0-based) is admitted by the generic loop iff
+        // time + i*full_cost + full_cost <= stop and
+        // instret + i*full_len + full_len <= fault_at.
+        let k_budget = stop.saturating_sub(self.time) / full_cost;
+        let k_fault = match self.fault {
+            Some((at, _)) => at.saturating_sub(self.counters.instret) / full_len,
+            None => u64::MAX,
+        };
+        let c = self.regs[cnt];
+        // The back-edge makes the loop do-while: a zero counter wraps and
+        // runs 2^32 iterations (the sweep screens below reject anything
+        // that large, handing it to the generic loop).
+        let iters: u64 = if c == 0 { 1 << 32 } else { u64::from(c) };
+        let k = iters.min(k_budget).min(k_fault);
+        if k == 0 {
+            // The generic loop would break at its entry conditions too.
+            return Some(false);
+        }
+        let w0 = self.regs[pw];
+        let s0 = self.regs[pi];
+        if !w0.is_multiple_of(2) || !s0.is_multiple_of(4) {
+            return None;
+        }
+        let scratch_size = ctx.scratch_size() as u64;
+        let sdram_size = ctx.sdram_size() as u64;
+        // Load sweep [w0, w0 + 2k): wholly scratch or wholly SDRAM.
+        let w_scr = w0.wrapping_sub(layout::SCRATCH_BASE);
+        let w_in_scratch = u64::from(w_scr) < scratch_size;
+        if w_in_scratch {
+            if u64::from(w_scr) + 2 * k > scratch_size {
+                return None;
+            }
+        } else if u64::from(w0) + 2 * k > sdram_size {
+            return None;
+        }
+        // Store sweep [s0, s0 + 4k): same region rule, and in SDRAM it
+        // must not overlap the span's own code — the per-op path ends the
+        // batch after such a store (stale trace); natively it would not.
+        let s_scr = s0.wrapping_sub(layout::SCRATCH_BASE);
+        let s_in_scratch = u64::from(s_scr) < scratch_size;
+        if s_in_scratch {
+            if u64::from(s_scr) + 4 * k > scratch_size {
+                return None;
+            }
+        } else {
+            if u64::from(s0) + 4 * k > sdram_size {
+                return None;
+            }
+            if u64::from(s0) < u64::from(hdr.exit) && u64::from(hdr.entry) < u64::from(s0) + 4 * k {
+                return None;
+            }
+        }
+        let mut w_off = (if w_in_scratch { w_scr } else { w0 }) as usize;
+        let mut s_off = (if s_in_scratch { s_scr } else { s0 }) as usize;
+        let mut s_addr = s0;
+        let mut last_w = 0u32;
+        let mut last_s = 0u32;
+        for _ in 0..k {
+            // Same per-iteration access order as the guest: lh, lw, sw —
+            // so even overlapping sweeps behave identically.
+            let raw_w = if w_in_scratch {
+                ctx.read_scratch(w_off, LoadOp::Lh)
+            } else {
+                ctx.read_sdram(w_off, LoadOp::Lh)
+            };
+            let raw_s = if s_in_scratch {
+                ctx.read_scratch(s_off, LoadOp::Lw)
+            } else {
+                ctx.read_sdram(s_off, LoadOp::Lw)
+            };
+            let (Some(raw_w), Some(raw_s)) = (raw_w, raw_s) else {
+                debug_assert!(false, "screened native access failed");
+                return None;
+            };
+            last_w = (raw_w as u16 as i16 as i32 as u32) << 8;
+            last_s = raw_s.wrapping_add(last_w);
+            let ok = if s_in_scratch {
+                ctx.write_scratch(s_off, last_s, StoreOp::Sw)
+            } else {
+                ctx.write_sdram(s_off, last_s, StoreOp::Sw)
+            };
+            debug_assert!(ok, "screened native store failed");
+            ctx.invalidate_store(s_addr);
+            w_off += 2;
+            s_off += 4;
+            s_addr = s_addr.wrapping_add(4);
+        }
+        self.regs[w] = last_w;
+        self.regs[s] = last_s;
+        self.regs[pw] = w0.wrapping_add((2 * k) as u32);
+        self.regs[pi] = s0.wrapping_add((4 * k) as u32);
+        self.regs[cnt] = c.wrapping_sub(k as u32);
+        self.time += full_cost * k;
+        self.counters.instret += full_len * k;
+        self.counters.loads += 2 * k;
+        self.counters.stores += k;
+        self.kernel_instret += full_len * k;
+        if self.profile {
+            for p in trace {
+                counters::profile_add(OpClass::of(p.op), k);
+            }
+        }
+        self.prev_stall_dest = NO_DEST;
+        // k == iters: the counter reached zero and the back-edge fell
+        // through; otherwise the budget/fault bound stopped the batch at
+        // an iteration boundary, pc back on the entry.
+        self.pc = if k == iters { hdr.exit } else { hdr.entry };
+        Some(true)
+    }
+
+    /// The batch loop: retire the span's ops one at a time against local
+    /// register and counter state, committing memory traffic directly
+    /// through the same bounds-checked views the interpreter uses —
+    /// exactly the superblock execution discipline, minus the per-op
+    /// fetch, fault and budget checks (hoisted per iteration) and the
+    /// per-dispatch lookup (paid once per batch). Anything the batch
+    /// cannot run defers with `pc` parked on the first unretired op; see
+    /// the module docs for the identity argument.
+    #[allow(clippy::too_many_lines)]
+    fn kernel_batch<T: Timing, C: ExecCtx>(
+        &mut self,
+        ctx: &mut C,
+        hdr: &KernelHeader,
+        trace: &[PreInst],
+        stop: u64,
+    ) -> bool {
+        let len = trace.len();
+        // Conservative full-path bounds, mirroring `try_superblock`'s
+        // entry checks: an iteration only starts when the *maximum*
+        // possible cost fits under the quantum bound and the maximum
+        // possible retirement count stays below the armed fault trigger,
+        // so single-stepping would have run every retired op too —
+        // identical stop and trigger points.
+        let full_cost: u64 = trace.iter().map(|p| T::op_cost(p.op)).sum();
+        let full_len = len as u64;
+        let fault_at = self.fault.map_or(u64::MAX, |(at, _)| at);
+        let span_bytes = hdr.exit - hdr.entry;
+        let scratch_size = ctx.scratch_size();
+        let sdram_size = ctx.sdram_size();
+        let prof_on = self.profile;
+
+        let mut regs = self.regs;
+        let mut nmregs = self.nmregs;
+        let mut dt = 0u64;
+        let mut instret = 0u64;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut nmpn = 0u64;
+        let mut nmdec = 0u64;
+        let mut nmldl = 0u64;
+        let mut nmldh = 0u64;
+        let mut prof = [0u64; 8];
+        // Where the batch leaves the core; the exits below overwrite it.
+        let mut next_pc = hdr.entry;
+
+        // Retire the op at `idx` (accounting only; the arm already moved
+        // the architectural state).
+        macro_rules! retire {
+            ($op:expr) => {{
+                instret += 1;
+                dt += T::op_cost($op);
+                if prof_on {
+                    prof[OpClass::of($op) as usize] += 1;
+                }
+            }};
+        }
+        // A "defer" below ends the batch with `pc` on the op at `idx`,
+        // which did not retire and moved no state: the interpreter
+        // re-executes it — running the device access, raising the trap,
+        // re-decoding the stored-over code — and simply continues the
+        // iteration.
+
+        'batch: loop {
+            if self.time + dt + full_cost > stop {
+                break;
+            }
+            if self.counters.instret + instret + full_len > fault_at {
+                break;
+            }
+            let mut idx = 0usize;
+            loop {
+                let Some(pre) = trace.get(idx) else {
+                    // Fell past the back-edge (or a forward branch hit
+                    // `exit`): the guest leaves the loop.
+                    next_pc = hdr.exit;
+                    break 'batch;
+                };
+                let op = pre.op;
+                let (rd, rs1, rs2) = (pre.rd as usize, pre.rs1 as usize, pre.rs2 as usize);
+                let imm = pre.imm;
+                match op {
+                    // `auipc` was fully resolved at predecode.
+                    MicroOp::Lui | MicroOp::Auipc => {
+                        regs[rd] = imm as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Beq
+                    | MicroOp::Bne
+                    | MicroOp::Blt
+                    | MicroOp::Bge
+                    | MicroOp::Bltu
+                    | MicroOp::Bgeu => {
+                        let (a, b) = (regs[rs1], regs[rs2]);
+                        let taken = match op {
+                            MicroOp::Beq => a == b,
+                            MicroOp::Bne => a != b,
+                            MicroOp::Blt => (a as i32) < (b as i32),
+                            MicroOp::Bge => (a as i32) >= (b as i32),
+                            MicroOp::Bltu => a < b,
+                            _ => a >= b,
+                        };
+                        if taken {
+                            let target = imm as u32;
+                            if target == hdr.entry {
+                                // The back-edge: iteration complete.
+                                retire!(op);
+                                continue 'batch;
+                            }
+                            let off = (target.wrapping_sub(hdr.entry) >> 2) as usize;
+                            if off > len {
+                                // Re-verified traces never produce this;
+                                // defensively defer rather than trust it.
+                                next_pc = hdr.entry + ((idx as u32) << 2);
+                                break 'batch;
+                            }
+                            retire!(op);
+                            idx = off;
+                            continue;
+                        }
+                        retire!(op);
+                        idx += 1;
+                        continue;
+                    }
+                    MicroOp::Lb | MicroOp::Lh | MicroOp::Lw | MicroOp::Lbu | MicroOp::Lhu => {
+                        let (lop, size) = match op {
+                            MicroOp::Lb => (LoadOp::Lb, 1),
+                            MicroOp::Lh => (LoadOp::Lh, 2),
+                            MicroOp::Lw => (LoadOp::Lw, 4),
+                            MicroOp::Lbu => (LoadOp::Lbu, 1),
+                            _ => (LoadOp::Lhu, 2),
+                        };
+                        let addr = regs[rs1].wrapping_add(imm as u32);
+                        let scratch_off = addr.wrapping_sub(layout::SCRATCH_BASE);
+                        let raw = if !addr.is_multiple_of(size) {
+                            // Misaligned: the interpreter raises the trap.
+                            None
+                        } else if scratch_off < scratch_size {
+                            ctx.read_scratch(scratch_off as usize, lop)
+                        } else if addr < sdram_size {
+                            ctx.read_sdram(addr as usize, lop)
+                        } else {
+                            // MMIO loads interact with live devices;
+                            // out-of-range loads trap. Both belong to the
+                            // interpreter.
+                            None
+                        };
+                        let raw = match raw {
+                            Some(r) => r,
+                            None => {
+                                next_pc = hdr.entry + ((idx as u32) << 2);
+                                break 'batch;
+                            }
+                        };
+                        regs[rd] = match op {
+                            MicroOp::Lb => raw as u8 as i8 as i32 as u32,
+                            MicroOp::Lh => raw as u16 as i16 as i32 as u32,
+                            _ => raw,
+                        };
+                        regs[0] = 0;
+                        loads += 1;
+                    }
+                    MicroOp::Sb | MicroOp::Sh | MicroOp::Sw => {
+                        let (sop, size) = match op {
+                            MicroOp::Sb => (StoreOp::Sb, 1),
+                            MicroOp::Sh => (StoreOp::Sh, 2),
+                            _ => (StoreOp::Sw, 4),
+                        };
+                        let addr = regs[rs1].wrapping_add(imm as u32);
+                        let scratch_off = addr.wrapping_sub(layout::SCRATCH_BASE);
+                        let own;
+                        if !addr.is_multiple_of(size) {
+                            next_pc = hdr.entry + ((idx as u32) << 2);
+                            break 'batch;
+                        } else if scratch_off < scratch_size {
+                            if scratch_off + size > scratch_size {
+                                next_pc = hdr.entry + ((idx as u32) << 2);
+                                break 'batch;
+                            }
+                            let ok = ctx.write_scratch(scratch_off as usize, regs[rs2], sop);
+                            debug_assert!(ok, "screened batch store failed");
+                            own = false;
+                        } else if addr < sdram_size {
+                            if addr + size > sdram_size {
+                                next_pc = hdr.entry + ((idx as u32) << 2);
+                                break 'batch;
+                            }
+                            let ok = ctx.write_sdram(addr as usize, regs[rs2], sop);
+                            debug_assert!(ok, "screened batch store failed");
+                            own = (addr & !3).wrapping_sub(hdr.entry) < span_bytes;
+                        } else {
+                            // MMIO (the spike log included — the
+                            // interpreter's store path applies any pending
+                            // injected corruption) and unmapped addresses
+                            // defer, exactly like a superblock.
+                            next_pc = hdr.entry + ((idx as u32) << 2);
+                            break 'batch;
+                        }
+                        ctx.invalidate_store(addr);
+                        stores += 1;
+                        retire!(op);
+                        if own {
+                            // The store landed in the span's own code: the
+                            // copied trace is stale from the next op on.
+                            // Hand the rest of the iteration to the
+                            // interpreter (which re-decodes through the
+                            // ordinary invalidation path); the span is now
+                            // Dirty and re-verifies at the next entry.
+                            next_pc = hdr.entry + (((idx + 1) as u32) << 2);
+                            break 'batch;
+                        }
+                        idx += 1;
+                        continue;
+                    }
+                    MicroOp::Addi => {
+                        regs[rd] = regs[rs1].wrapping_add(imm as u32);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Slti => {
+                        regs[rd] = u32::from((regs[rs1] as i32) < imm);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Sltiu => {
+                        regs[rd] = u32::from(regs[rs1] < imm as u32);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Xori => {
+                        regs[rd] = regs[rs1] ^ imm as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Ori => {
+                        regs[rd] = regs[rs1] | imm as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Andi => {
+                        regs[rd] = regs[rs1] & imm as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Slli => {
+                        regs[rd] = regs[rs1] << (imm & 0x1F);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Srli => {
+                        regs[rd] = regs[rs1] >> (imm & 0x1F);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Srai => {
+                        regs[rd] = ((regs[rs1] as i32) >> (imm & 0x1F)) as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Add => {
+                        regs[rd] = regs[rs1].wrapping_add(regs[rs2]);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Sub => {
+                        regs[rd] = regs[rs1].wrapping_sub(regs[rs2]);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Sll => {
+                        regs[rd] = regs[rs1] << (regs[rs2] & 0x1F);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Slt => {
+                        regs[rd] = u32::from((regs[rs1] as i32) < (regs[rs2] as i32));
+                        regs[0] = 0;
+                    }
+                    MicroOp::Sltu => {
+                        regs[rd] = u32::from(regs[rs1] < regs[rs2]);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Xor => {
+                        regs[rd] = regs[rs1] ^ regs[rs2];
+                        regs[0] = 0;
+                    }
+                    MicroOp::Srl => {
+                        regs[rd] = regs[rs1] >> (regs[rs2] & 0x1F);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Sra => {
+                        regs[rd] = ((regs[rs1] as i32) >> (regs[rs2] & 0x1F)) as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Or => {
+                        regs[rd] = regs[rs1] | regs[rs2];
+                        regs[0] = 0;
+                    }
+                    MicroOp::And => {
+                        regs[rd] = regs[rs1] & regs[rs2];
+                        regs[0] = 0;
+                    }
+                    MicroOp::Mul => {
+                        regs[rd] = regs[rs1].wrapping_mul(regs[rs2]);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Mulh => {
+                        regs[rd] = ((regs[rs1] as i32 as i64).wrapping_mul(regs[rs2] as i32 as i64)
+                            >> 32) as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Mulhsu => {
+                        regs[rd] =
+                            ((regs[rs1] as i32 as i64).wrapping_mul(regs[rs2] as i64) >> 32) as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Mulhu => {
+                        regs[rd] = ((regs[rs1] as u64 * regs[rs2] as u64) >> 32) as u32;
+                        regs[0] = 0;
+                    }
+                    MicroOp::Div => {
+                        let (a, b) = (regs[rs1], regs[rs2]);
+                        regs[rd] = if b == 0 {
+                            u32::MAX
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            a
+                        } else {
+                            ((a as i32) / (b as i32)) as u32
+                        };
+                        regs[0] = 0;
+                    }
+                    MicroOp::Divu => {
+                        regs[rd] = regs[rs1].checked_div(regs[rs2]).unwrap_or(u32::MAX);
+                        regs[0] = 0;
+                    }
+                    MicroOp::Rem => {
+                        let (a, b) = (regs[rs1], regs[rs2]);
+                        regs[rd] = if b == 0 {
+                            a
+                        } else if a == 0x8000_0000 && b == u32::MAX {
+                            0
+                        } else {
+                            ((a as i32) % (b as i32)) as u32
+                        };
+                        regs[0] = 0;
+                    }
+                    MicroOp::Remu => {
+                        let (a, b) = (regs[rs1], regs[rs2]);
+                        regs[rd] = if b == 0 { a } else { a % b };
+                        regs[0] = 0;
+                    }
+                    MicroOp::Nmldl => {
+                        let ok = nmregs.exec_nmldl(regs[rs1], regs[rs2]);
+                        regs[rd] = ok;
+                        regs[0] = 0;
+                        nmldl += 1;
+                    }
+                    MicroOp::Nmldh => {
+                        let ok = nmregs.exec_nmldh(regs[rs1]);
+                        regs[rd] = ok;
+                        regs[0] = 0;
+                        nmldh += 1;
+                    }
+                    MicroOp::Nmpn => {
+                        let vu = regs[rs1];
+                        let isyn = Q15_16::from_raw(regs[rs2] as i32);
+                        let addr = regs[rd];
+                        // Screen the word store before the unit runs: the
+                        // interpreter computes the update, traps or hits
+                        // the device on the store, and only then writes
+                        // the spike flag — deferring before any state
+                        // moves reproduces all of it.
+                        let scratch_off = addr.wrapping_sub(layout::SCRATCH_BASE);
+                        let own;
+                        if !addr.is_multiple_of(4) {
+                            next_pc = hdr.entry + ((idx as u32) << 2);
+                            break 'batch;
+                        } else if scratch_off < scratch_size {
+                            if scratch_off + 4 > scratch_size {
+                                next_pc = hdr.entry + ((idx as u32) << 2);
+                                break 'batch;
+                            }
+                            own = false;
+                        } else if addr < sdram_size {
+                            if addr + 4 > sdram_size {
+                                next_pc = hdr.entry + ((idx as u32) << 2);
+                                break 'batch;
+                            }
+                            own = addr.wrapping_sub(hdr.entry) < span_bytes;
+                        } else {
+                            next_pc = hdr.entry + ((idx as u32) << 2);
+                            break 'batch;
+                        }
+                        let out = NpUnit::update(&nmregs, vu, isyn);
+                        // The store retires before the spike writeback,
+                        // exactly as the interpreter orders it.
+                        let ok = if scratch_off < scratch_size {
+                            ctx.write_scratch(scratch_off as usize, out.vu, StoreOp::Sw)
+                        } else {
+                            ctx.write_sdram(addr as usize, out.vu, StoreOp::Sw)
+                        };
+                        debug_assert!(ok, "screened batch store failed");
+                        ctx.invalidate_store(addr);
+                        stores += 1;
+                        regs[rd] = u32::from(out.spike);
+                        regs[0] = 0;
+                        nmpn += 1;
+                        retire!(op);
+                        if own {
+                            next_pc = hdr.entry + (((idx + 1) as u32) << 2);
+                            break 'batch;
+                        }
+                        idx += 1;
+                        continue;
+                    }
+                    MicroOp::Nmdec => {
+                        regs[rd] = Dcu::exec_nmdec(&nmregs, regs[rs1], regs[rs2]);
+                        regs[0] = 0;
+                        nmdec += 1;
+                    }
+                    MicroOp::Jal => {
+                        // Audited: only `jal x0` with a forward in-span
+                        // target survives registration, so the link write
+                        // is void and the jump is an always-taken branch.
+                        if rd != 0 {
+                            next_pc = hdr.entry + ((idx as u32) << 2);
+                            break 'batch;
+                        }
+                        let off = ((imm as u32).wrapping_sub(hdr.entry) >> 2) as usize;
+                        if off > len {
+                            next_pc = hdr.entry + ((idx as u32) << 2);
+                            break 'batch;
+                        }
+                        retire!(op);
+                        idx = off;
+                        continue;
+                    }
+                    // Rejected at registration; a re-verified trace cannot
+                    // contain them.
+                    MicroOp::Jalr
+                    | MicroOp::Fence
+                    | MicroOp::Ecall
+                    | MicroOp::Ebreak
+                    | MicroOp::Csr => {
+                        next_pc = hdr.entry + ((idx as u32) << 2);
+                        break 'batch;
+                    }
+                }
+                retire!(op);
+                idx += 1;
+            }
+        }
+
+        if instret == 0 {
+            return false;
+        }
+        self.regs = regs;
+        self.nmregs = nmregs;
+        self.time += dt;
+        self.counters.instret += instret;
+        self.counters.loads += loads;
+        self.counters.stores += stores;
+        self.counters.nmpn += nmpn;
+        self.counters.nmdec += nmdec;
+        self.counters.nmldl += nmldl;
+        self.counters.nmldh += nmldh;
+        self.kernel_instret += instret;
+        if prof_on {
+            for (class, d) in OpClass::ALL.into_iter().zip(prof.iter()) {
+                counters::profile_add(class, *d);
+            }
+        }
+        // Relaxed policies keep the hazard tracker neutral (same as the
+        // single-step epilogue).
+        self.prev_stall_dest = NO_DEST;
+        self.pc = next_pc;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MainMemory;
+    use izhi_isa::encode;
+    use izhi_isa::inst::{AluImmOp, BranchOp, Inst, StoreOp as IStoreOp};
+    use izhi_isa::reg::Reg;
+
+    const T0: Reg = Reg(5);
+    const T1: Reg = Reg(6);
+    const T2: Reg = Reg(7);
+
+    /// Assemble `insts` at pc 0 and try to register a span at `entry`.
+    fn try_register(insts: &[Inst], entry: u32) -> (CodeTable, Result<(), KernelReject>) {
+        let mut mem = MainMemory::new(64 * 1024, 4096);
+        let mut code = CodeTable::new(64 * 1024, 4096);
+        for (i, inst) in insts.iter().enumerate() {
+            mem.write_u32(4 * i as u32, encode(*inst));
+        }
+        code.preload(0, 4 * insts.len() as u32, &mem);
+        let r = register_kernel_span(&mut code, &mem, entry, KernelVariant::DenseA);
+        (code, r)
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Inst {
+        Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    /// A store-and-count loop: sw t0,(t1); addi t1,t1,4; addi t0,t0,1;
+    /// bne t0,t2,-12 (back to entry).
+    fn counted_loop() -> Vec<Inst> {
+        vec![
+            Inst::Store {
+                op: IStoreOp::Sw,
+                rs1: T1,
+                rs2: T0,
+                imm: 0,
+            },
+            addi(T1, T1, 4),
+            addi(T0, T0, 1),
+            Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: T0,
+                rs2: T2,
+                imm: -12,
+            },
+        ]
+    }
+
+    #[test]
+    fn registers_a_counted_store_loop() {
+        let (code, r) = try_register(&counted_loop(), 0);
+        assert_eq!(r, Ok(()));
+        let spans = code.kernel_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].entry, 0);
+        assert_eq!(spans[0].exit, 16);
+        assert_eq!(spans[0].state, SpanState::Ready);
+        assert_eq!(spans[0].trace().len(), 4);
+    }
+
+    #[test]
+    fn rejects_unsupported_ops_and_missing_back_edge() {
+        // `jal` in the body.
+        let mut body = counted_loop();
+        body.insert(1, Inst::Jal { rd: Reg(1), imm: 8 });
+        let (_, r) = try_register(&body, 0);
+        assert_eq!(r, Err(KernelReject::UnsupportedOp));
+
+        // Straight-line code ending in `ebreak`: no back-edge reachable.
+        let line = vec![addi(T0, T0, 1), addi(T1, T1, 1), Inst::Ebreak];
+        let (_, r) = try_register(&line, 0);
+        assert_eq!(r, Err(KernelReject::UnsupportedOp));
+    }
+
+    #[test]
+    fn accepts_forward_jal_x0_but_not_a_linking_jal() {
+        // entry: addi; jal x0,+8 (skips the next addi); addi; bne -12.
+        let diamond = |rd: Reg| {
+            vec![
+                addi(T0, T0, 1),
+                Inst::Jal { rd, imm: 8 },
+                addi(T1, T1, 1),
+                Inst::Branch {
+                    op: BranchOp::Ne,
+                    rs1: T0,
+                    rs2: T2,
+                    imm: -12,
+                },
+            ]
+        };
+        let (code, r) = try_register(&diamond(Reg(0)), 0);
+        assert_eq!(r, Ok(()));
+        assert_eq!(code.kernel_spans()[0].exit, 16);
+        let (_, r) = try_register(&diamond(Reg(1)), 0);
+        assert_eq!(r, Err(KernelReject::UnsupportedOp));
+    }
+
+    #[test]
+    fn rejects_interior_backward_branch() {
+        // entry: addi; addi; beq t0,t0,-4 (backward but not to entry).
+        let body = vec![
+            addi(T0, T0, 1),
+            addi(T1, T1, 1),
+            Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: T0,
+                rs2: T0,
+                imm: -4,
+            },
+        ];
+        let (_, r) = try_register(&body, 0);
+        assert_eq!(r, Err(KernelReject::BadBranchTarget));
+    }
+
+    #[test]
+    fn rejects_duplicate_entry() {
+        let (mut code, r) = try_register(&counted_loop(), 0);
+        assert_eq!(r, Ok(()));
+        let mut mem = MainMemory::new(64 * 1024, 4096);
+        for (i, inst) in counted_loop().iter().enumerate() {
+            mem.write_u32(4 * i as u32, encode(*inst));
+        }
+        let r2 = register_kernel_span(&mut code, &mem, 0, KernelVariant::DenseA);
+        assert_eq!(r2, Err(KernelReject::DuplicateEntry));
+    }
+
+    #[test]
+    fn store_into_span_marks_it_dirty() {
+        let (mut code, r) = try_register(&counted_loop(), 0);
+        assert_eq!(r, Ok(()));
+        // A store outside the span leaves it Ready.
+        code.invalidate_store(64);
+        assert_eq!(code.kernel_spans()[0].state, SpanState::Ready);
+        // A store into the span marks it Dirty.
+        code.invalidate_store(8);
+        assert_eq!(code.kernel_spans()[0].state, SpanState::Dirty);
+    }
+
+    #[test]
+    fn take_and_adopt_round_trip_marks_spans_dirty() {
+        let (mut code, r) = try_register(&counted_loop(), 0);
+        assert_eq!(r, Ok(()));
+        let spans = code.take_kernel_spans();
+        assert_eq!(spans.len(), 1);
+        assert!(code.kernel_spans().is_empty());
+        let mut fresh = CodeTable::new(64 * 1024, 4096);
+        fresh.adopt_kernel_spans(spans);
+        assert_eq!(fresh.kernel_spans()[0].state, SpanState::Dirty);
+        // The covering range survives the adoption: a store into the span
+        // still reaches it (idempotently — it is already Dirty).
+        fresh.invalidate_store(4);
+        assert_eq!(fresh.kernel_spans()[0].state, SpanState::Dirty);
+    }
+}

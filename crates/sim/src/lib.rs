@@ -70,6 +70,7 @@ pub mod bus;
 pub mod cache;
 pub mod counters;
 pub mod cpu;
+pub mod kernel;
 pub mod mem;
 pub mod mmio;
 pub mod parallel;
@@ -80,6 +81,7 @@ pub use bus::BusArbiter;
 pub use cache::{Cache, CacheConfig};
 pub use counters::{CostTable, Metrics, OpClass, PerfCounters};
 pub use cpu::{Core, TrapCause};
+pub use kernel::{register_kernel_span, KernelReject, KernelSpan, KernelVariant, SpanState};
 pub use mem::{layout, MainMemory};
 pub use mmio::{FaultKind, FaultPlan, FaultSpec, SharedDevices, StimEvent, StimPlan};
 pub use parallel::resolve_host_threads;

@@ -332,6 +332,7 @@ struct ShardCtx<'a, D> {
     dev: D,
     csr_writeback: bool,
     superblocks: bool,
+    kernels: bool,
 }
 
 impl<D: DevSink> ExecCtx for ShardCtx<'_, D> {
@@ -427,6 +428,26 @@ impl<D: DevSink> ExecCtx for ShardCtx<'_, D> {
         // code needs.
         self.code.superblock(pc, buf)
     }
+
+    #[inline]
+    fn kernels_enabled(&self) -> bool {
+        self.kernels && !self.code.kernels.is_empty()
+    }
+
+    #[inline]
+    fn kernel_match(&self, pc: u32) -> Option<crate::kernel::KernelHeader> {
+        self.code.kernels.lookup(pc)
+    }
+
+    #[inline]
+    fn kernel_copy(&self, idx: u8, buf: &mut [PreInst]) -> usize {
+        self.code.kernels.copy_trace(idx, buf)
+    }
+
+    #[inline]
+    fn kernel_set_state(&mut self, idx: u8, state: crate::kernel::SpanState) {
+        self.code.kernels.set_state(idx, state);
+    }
 }
 
 /// Run one core's quantum on a worker thread: the relaxed-clock loop of
@@ -441,12 +462,30 @@ fn run_quantum_parallel<T: Timing>(
     bound: u64,
     max_cycles: u64,
 ) -> Result<RunStop, TrapCause> {
+    // One dispatch per quantum selects the profiled or plain
+    // monomorphisation of the loop (see `Core::exec_op` on why the check
+    // cannot live on the per-op path).
+    if core.profile {
+        run_quantum_parallel_p::<T, true>(core, ctx, bound, max_cycles)
+    } else {
+        run_quantum_parallel_p::<T, false>(core, ctx, bound, max_cycles)
+    }
+}
+
+/// [`run_quantum_parallel`], monomorphised over the profiling flag.
+fn run_quantum_parallel_p<T: Timing, const PROF: bool>(
+    core: &mut Core,
+    ctx: &mut ShardCtx<'_, BufferedDev<'_>>,
+    bound: u64,
+    max_cycles: u64,
+) -> Result<RunStop, TrapCause> {
     debug_assert!(
         !core.parked(),
         "parked cores never enter the parallel phase"
     );
     let stop = bound.min(max_cycles);
     let sb = ctx.superblocks_enabled();
+    let kern = !T::EXACT && ctx.kernels_enabled();
     let mut sbuf = [PreInst::EMPTY; MAX_SB];
     let run = loop {
         if core.halted() {
@@ -467,18 +506,27 @@ fn run_quantum_parallel<T: Timing>(
                 break Ok(RunStop::SharedOp);
             }
         }
+        // Kernel attempt *after* the pre-check, mirroring the superblock
+        // ordering below. Batches only ever commit RAM traffic plus the
+        // buffered (non-interactive) spike log: any op that would touch an
+        // interactive device declines at validation time, before it
+        // executes, so a deferred interactive op is always re-seen by the
+        // pre-check above first.
+        if kern && core.try_kernel::<T, _>(ctx, stop) {
+            continue;
+        }
         // Superblock attempt *after* the pre-check: the block's first op
         // is the pre-checked one, and `exec_block` breaks before any
         // interior MMIO access, so a deferred interactive op is always
         // re-seen here first.
         if sb {
-            match core.try_superblock::<T, _>(ctx, &mut sbuf, stop) {
+            match core.try_superblock::<T, _, PROF>(ctx, &mut sbuf, stop) {
                 Ok(true) => continue,
                 Ok(false) => {}
                 Err(cause) => break Err(cause),
             }
         }
-        if let Err(cause) = core.exec_one::<T, _>(ctx) {
+        if let Err(cause) = core.exec_one::<T, _, PROF>(ctx) {
             break Err(cause);
         }
     };
@@ -608,6 +656,7 @@ struct RunEnv {
     n_cores: u32,
     csr_writeback: bool,
     superblocks: bool,
+    kernels: bool,
     quantum: u64,
     max_cycles: u64,
 }
@@ -646,6 +695,7 @@ fn worker_loop<T: Timing>(
                     },
                     csr_writeback: env.csr_writeback,
                     superblocks: env.superblocks,
+                    kernels: env.kernels,
                 };
                 // A panicking quantum must not strand the rendezvous:
                 // catch it here (before it can poison the slot mutex or
@@ -684,6 +734,7 @@ fn run_direct<T: Timing>(
         dev: RealDev(dev),
         csr_writeback: env.csr_writeback,
         superblocks: env.superblocks,
+        kernels: env.kernels,
     };
     core.run_while::<T, _>(&mut ctx, bound, env.max_cycles)
 }
@@ -855,6 +906,7 @@ impl System {
             n_cores: n as u32,
             csr_writeback: self.shared.csr_writeback,
             superblocks: self.shared.superblocks,
+            kernels: self.shared.kernels,
             quantum,
             max_cycles,
         };
@@ -898,8 +950,13 @@ impl System {
         // Guest stores during the run invalidated the per-core shards,
         // not the system's predecode table; drop the latter so any later
         // run of this system re-decodes lazily instead of trusting a
-        // possibly stale cache.
+        // possibly stale cache. Registered kernel spans survive the reset
+        // — they are registrations, not cached decodes — but come back
+        // dirty so the next dispatch re-verifies their fingerprints
+        // against whatever the guest left in RAM.
+        let spans = self.shared.code.take_kernel_spans();
         self.shared.code = CodeTable::new(self.cfg.sdram_size, self.cfg.scratch_size);
+        self.shared.code.adopt_kernel_spans(spans);
         match result {
             Ok(()) => Ok(()),
             Err(RoundError::Sim(e)) => Err(e),

@@ -45,6 +45,7 @@ use izhi_isa::decode;
 use izhi_isa::inst::Inst;
 
 use crate::counters::CostTable;
+use crate::kernel::{KernelSpan, SpanTable};
 use crate::mem::{layout, MainMemory};
 
 /// Word-granular read access to guest memory, as the decode paths need it.
@@ -321,6 +322,10 @@ pub struct CodeTable {
     /// Exclusive upper bound of executable SDRAM.
     sdram_cap: u32,
     scratch_size: u32,
+    /// Registered kernel spans (see [`crate::kernel`]). Rides the table's
+    /// clones into run templates and per-core shards, and shares the
+    /// store-to-code guard below.
+    pub(crate) kernels: SpanTable,
 }
 
 impl CodeTable {
@@ -334,12 +339,32 @@ impl CodeTable {
             scratch: Vec::new(),
             sdram_cap: sdram_size.min(CODE_WINDOW_MAX) & !3,
             scratch_size: scratch_size & !3,
+            kernels: SpanTable::default(),
         }
     }
 
     /// Exclusive upper bound of executable SDRAM (test hook).
     pub fn sdram_limit(&self) -> u32 {
         self.sdram_cap
+    }
+
+    /// The registered kernel spans (inspection/tests).
+    pub fn kernel_spans(&self) -> &[KernelSpan] {
+        self.kernels.spans()
+    }
+
+    /// Move the kernel spans out of this table (see
+    /// [`SpanTable::take`]); used when a fresh table replaces this one
+    /// across a run boundary.
+    pub fn take_kernel_spans(&mut self) -> Vec<KernelSpan> {
+        self.kernels.take()
+    }
+
+    /// Re-install spans taken from a previous table; every surviving span
+    /// comes back [`crate::kernel::SpanState::Dirty`] and must re-verify
+    /// its fingerprint before the next batch (see [`SpanTable::adopt`]).
+    pub fn adopt_kernel_spans(&mut self, spans: Vec<KernelSpan>) {
+        self.kernels.adopt(spans);
     }
 
     fn lower(pc: u32, word: u32, in_scratch: bool) -> PreInst {
@@ -535,6 +560,10 @@ impl CodeTable {
     /// inside the code window stay one branch each.
     #[inline]
     pub fn invalidate_store(&mut self, addr: u32) {
+        // Kernel spans carry decoded copies of their code words, so the
+        // guard must reach them even when the covered slot is already
+        // Stale (e.g. right after a table rebuild adopted the spans).
+        self.kernels.note_store(addr);
         let x = (addr >> 2) as usize;
         if let Some(slot) = self.sdram.get_mut(x) {
             if slot.state != SlotState::Stale {

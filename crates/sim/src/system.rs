@@ -198,6 +198,13 @@ pub struct SystemConfig {
     /// the exactness suite pins it — so this is purely a perf escape
     /// hatch.
     pub superblocks: bool,
+    /// Kernel-span batch execution: run the engine's registered hot loops
+    /// as host-native batches under the relaxed clocks (see
+    /// [`crate::kernel`]; exact scheduling always interprets). On by
+    /// default; `IZHI_KERNELS=0` (or the `--no-kernels` CLI flag) turns it
+    /// off for bisection. Results are bit-identical either way — the
+    /// exactness suites pin it — so this is purely a perf escape hatch.
+    pub kernels: bool,
     /// Assembler relaxation + peephole pass for engine-emitted guest code
     /// (see [`izhi_isa::asm::Assembler::relax`]). On by default;
     /// `IZHI_RELAX=0` turns it off. Architectural results are unchanged;
@@ -234,6 +241,7 @@ impl Default for SystemConfig {
             faults: FaultPlan::default(),
             stim: StimPlan::default(),
             superblocks: env_flag("IZHI_SUPERBLOCKS"),
+            kernels: env_flag("IZHI_KERNELS"),
             asm_relax: env_flag("IZHI_RELAX"),
         }
     }
@@ -296,6 +304,8 @@ pub struct Shared {
     pub code: CodeTable,
     /// Superblock execution enabled ([`SystemConfig::superblocks`]).
     pub superblocks: bool,
+    /// Kernel-span batch execution enabled ([`SystemConfig::kernels`]).
+    pub kernels: bool,
 }
 
 /// The historical execution context: every method inlines to exactly the
@@ -391,6 +401,28 @@ impl ExecCtx for Shared {
     #[inline(always)]
     fn superblock(&mut self, pc: u32, buf: &mut [PreInst; crate::predecode::MAX_SB]) -> (u32, u32) {
         self.code.superblock(pc, buf)
+    }
+
+    #[inline(always)]
+    fn kernels_enabled(&self) -> bool {
+        // The span check folds in here so runs that never registered a
+        // span (hand-written guests, tests) skip the per-dispatch probe.
+        self.kernels && !self.code.kernels.is_empty()
+    }
+
+    #[inline(always)]
+    fn kernel_match(&self, pc: u32) -> Option<crate::kernel::KernelHeader> {
+        self.code.kernels.lookup(pc)
+    }
+
+    #[inline(always)]
+    fn kernel_copy(&self, idx: u8, buf: &mut [PreInst]) -> usize {
+        self.code.kernels.copy_trace(idx, buf)
+    }
+
+    #[inline(always)]
+    fn kernel_set_state(&mut self, idx: u8, state: crate::kernel::SpanState) {
+        self.code.kernels.set_state(idx, state);
     }
 }
 
@@ -561,6 +593,7 @@ impl System {
             // Demand-paged: costs nothing until code executes.
             code: CodeTable::new(cfg.sdram_size, cfg.scratch_size),
             superblocks: cfg.superblocks,
+            kernels: cfg.kernels,
         };
         System { cfg, cores, shared }
     }
@@ -587,6 +620,7 @@ impl System {
             csr_writeback: cfg.csr_writeback,
             code,
             superblocks: cfg.superblocks,
+            kernels: cfg.kernels,
         };
         System { cfg, cores, shared }
     }
@@ -751,31 +785,13 @@ impl System {
         let (c0, c1) = (&mut head[0], &mut tail[0]);
         let shared = &mut self.shared;
         if !c0.halted() && !c1.halted() {
-            let fused = loop {
-                // Amortised wall-clock check (a no-op branch when no
-                // deadline is armed; never perturbs the schedule).
-                if let Err(e) = wd.tick() {
-                    break Err(e);
-                }
-                // Event-driven pick: minimum local time, tie to hart 0.
-                let pick0 = c0.time <= c1.time;
-                let (c, id) = if pick0 {
-                    (&mut *c0, 0u32)
-                } else {
-                    (&mut *c1, 1u32)
-                };
-                // Same halt → budget check order as `run_while`, so the
-                // interleaving matches the single-stepped schedule even at
-                // the timeout boundary.
-                if c.time > max_cycles {
-                    break Err(SimError::Timeout { max_cycles });
-                }
-                if let Err(cause) = c.exec_one::<ExactTiming, _>(shared) {
-                    break Err(SimError::Trap { core: id, cause });
-                }
-                if c.halted() {
-                    break Ok(());
-                }
+            // One dispatch selects the profiled or plain monomorphisation
+            // of the fused loop (see `Core::exec_op` on why the check
+            // cannot live on the per-op path).
+            let fused = if c0.profile {
+                Self::fused_exact_loop::<true>(c0, c1, shared, wd, max_cycles)
+            } else {
+                Self::fused_exact_loop::<false>(c0, c1, shared, wd, max_cycles)
             };
             c0.sync_counters();
             c1.sync_counters();
@@ -789,6 +805,41 @@ impl System {
             Self::run_core_to_halt(c, shared, id as u32, max_cycles, wd)?;
         }
         Ok(())
+    }
+
+    /// The fused two-core pick-and-step loop of
+    /// [`System::run_exact_fused`], monomorphised over the profiling flag.
+    fn fused_exact_loop<const PROF: bool>(
+        c0: &mut Core,
+        c1: &mut Core,
+        shared: &mut Shared,
+        wd: &mut Watchdog,
+        max_cycles: u64,
+    ) -> Result<(), SimError> {
+        loop {
+            // Amortised wall-clock check (a no-op branch when no
+            // deadline is armed; never perturbs the schedule).
+            wd.tick()?;
+            // Event-driven pick: minimum local time, tie to hart 0.
+            let pick0 = c0.time <= c1.time;
+            let (c, id) = if pick0 {
+                (&mut *c0, 0u32)
+            } else {
+                (&mut *c1, 1u32)
+            };
+            // Same halt → budget check order as `run_while`, so the
+            // interleaving matches the single-stepped schedule even at
+            // the timeout boundary.
+            if c.time > max_cycles {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            if let Err(cause) = c.exec_one::<ExactTiming, _, PROF>(shared) {
+                return Err(SimError::Trap { core: id, cause });
+            }
+            if c.halted() {
+                return Ok(());
+            }
+        }
     }
 
     /// General exact scheduler (3+ cores): scan for the pick and its

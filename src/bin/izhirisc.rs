@@ -24,6 +24,9 @@
 //!     --no-superblocks single-step every micro-op instead of fusing
 //!                      straight-line runs into superblocks (also
 //!                      IZHI_SUPERBLOCKS=0; bit-identical, for A/B checks)
+//!     --no-kernels     interpret registered loop spans op by op instead
+//!                      of batch-executing them host-natively (also
+//!                      IZHI_KERNELS=0; bit-identical, for A/B checks)
 //! izhirisc scenario list                     list registered scenarios
 //! izhirisc scenario run <name> [options]     build + run a scenario
 //!     --sched MODE --quantum N --host-threads N --timing T    as above
@@ -34,8 +37,8 @@
 //!     --battery        fan the scenario's battery (seeds x sched x timing)
 //!                      across host threads, verify cross-mode identity
 //!     --json PATH      write battery rows as JSON (with --battery)
-//!     --no-superblocks as under `run`
-//! izhirisc scenario battery [--timing T] [--json PATH] [--no-superblocks]
+//!     --no-superblocks / --no-kernels   as under `run`
+//! izhirisc scenario battery [--timing T] [--json PATH] [--no-superblocks] [--no-kernels]
 //!                                            quick battery of EVERY scenario
 //!                                            (--timing: only that clock's rows)
 //! izhirisc serve [options]                   scenario service (HTTP/1.1 JSON)
@@ -74,9 +77,19 @@ fn take_no_superblocks(args: &mut Args) {
     }
 }
 
+/// Consume a `--no-kernels` switch — the batch-kernel analogue of
+/// `--no-superblocks`, riding `IZHI_KERNELS` the same way. Relaxed
+/// schedules then interpret the registered loop spans op by op
+/// (bit-identical; for A/B checks and perf bisection).
+fn take_no_kernels(args: &mut Args) {
+    if args.switch("--no-kernels") {
+        std::env::set_var("IZHI_KERNELS", "0");
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs] [--no-superblocks]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--shards N] [--stim-rate N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH] [--no-superblocks]\n  izhirisc scenario battery [--timing T] [--json PATH] [--no-superblocks]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
+        "usage:\n  izhirisc asm <file.s> [-o out.bin]\n  izhirisc disasm <file.bin> [--base ADDR]\n  izhirisc run <file.s> [--cores N] [--cycles N] [--sched exact|relaxed|parallel] [--relaxed] [--quantum N] [--host-threads N] [--timing exact|unit|estimated] [--trace] [--regs] [--no-superblocks] [--no-kernels]\n  izhirisc scenario list\n  izhirisc scenario run <name> [--sched MODE] [--timing T] [--n N] [--ticks N] [--cores N] [--seed N] [--shards N] [--stim-rate N] [--quantum N] [--host-threads N] [--quick] [--battery] [--json PATH] [--no-superblocks] [--no-kernels]\n  izhirisc scenario battery [--timing T] [--json PATH] [--no-superblocks] [--no-kernels]\n  izhirisc serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--wall-limit SECS] [--no-retry]\n  izhirisc selftest"
     );
     exit(2);
 }
@@ -300,6 +313,7 @@ fn cmd_run(args: &[String]) {
     let trace = args.switch("--trace");
     let dump_regs = args.switch("--regs");
     take_no_superblocks(&mut args);
+    take_no_kernels(&mut args);
     let sched = parse_sched(&mut args);
     let positionals = args.positionals();
     let Some(path) = positionals.first() else {
@@ -464,6 +478,7 @@ fn cmd_scenario_run(args: &[String]) {
     let quick = args.switch("--quick");
     let battery_mode = args.switch("--battery");
     take_no_superblocks(&mut args);
+    take_no_kernels(&mut args);
     let json = args.value("--json");
     // Remember whether the user restricted the schedule or the clock
     // before parse_sched consumes the flags: a --battery run honours an
@@ -593,6 +608,7 @@ fn cmd_scenario_run(args: &[String]) {
 fn cmd_scenario_battery(args: &[String]) {
     let mut args = Args::new(args);
     take_no_superblocks(&mut args);
+    take_no_kernels(&mut args);
     let json = args.value("--json");
     let timing = args.value("--timing");
     let positionals = args.positionals();
